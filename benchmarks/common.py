@@ -1,0 +1,37 @@
+"""Shared machinery for the figure benchmarks.
+
+Thin shim over :mod:`repro.evaluation.figures` (the installable machinery —
+also reachable as ``python -m repro.experiments``): re-exports the sweeps and
+points ``record_figure`` output at ``benchmarks/results/``.
+"""
+
+import pathlib
+
+from repro.evaluation import figures as _figures
+from repro.evaluation.figures import (  # noqa: F401  (re-exported for benches)
+    HH_COLUMNS,
+    HH_STREAM_SIZE,
+    MATRIX_COLUMNS,
+    MATRIX_DIMS,
+    PHI_CLIENT,
+    PHI_OBJECT,
+    attp_hh_configs,
+    attp_hh_sweep,
+    bitp_hh_configs,
+    bitp_hh_sweep,
+    client_stream,
+    hh_rows_to_table,
+    log_scaling_series,
+    matrix_configs,
+    matrix_rows_to_table,
+    matrix_scaling_series,
+    matrix_stream,
+    matrix_sweep,
+    object_stream,
+    record_figure,
+    run_attp_hh_config,
+    run_bitp_hh_config,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+_figures.set_results_dir(RESULTS_DIR)

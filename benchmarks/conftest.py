@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Makes the sibling ``common`` module importable and ensures the results
+directory exists.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench prints the corresponding paper figure's series as a fixed-width
+table and also writes it to ``benchmarks/results/``.
+"""
+
+import pathlib
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+RESULTS_DIR = BENCH_DIR / "results"
+RESULTS_DIR.mkdir(exist_ok=True)

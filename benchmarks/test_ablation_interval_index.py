@@ -1,0 +1,63 @@
+"""Ablation: interval-tree query index (Section 3, "Queries") vs record scan.
+
+The paper notes ATTP sample queries can use an interval tree over record
+lifetimes, answering in ``O(k + log k log log n)`` instead of scanning all
+``O(k log n)`` records.  This bench measures the query-time gap on a long
+stream and verifies identical answers.
+"""
+
+import time
+
+import pytest
+
+from common import record_figure
+from repro.core.persistent_sampling import PersistentTopKSample
+
+N = 200_000
+K = 64
+PROBES = 200
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    sampler = PersistentTopKSample(k=K, seed=0)
+    for index in range(N):
+        sampler.update(index, float(index))
+    probes = [float(p) for p in range(500, N, N // PROBES)]
+
+    start = time.perf_counter()
+    scan_answers = [sorted(sampler.sample_at(t)) for t in probes]
+    scan_seconds = time.perf_counter() - start
+
+    build_start = time.perf_counter()
+    sampler.build_interval_index()
+    build_seconds = time.perf_counter() - build_start
+
+    start = time.perf_counter()
+    indexed_answers = [sorted(sampler.sample_at(t)) for t in probes]
+    indexed_seconds = time.perf_counter() - start
+
+    rows = [
+        ["linear scan", round(scan_seconds * 1e3, 2), "-"],
+        ["interval index", round(indexed_seconds * 1e3, 2),
+         round(build_seconds * 1e3, 2)],
+    ]
+    record_figure(
+        "ablation_interval_index",
+        f"Ablation: query index vs scan ({PROBES} queries, k={K}, n={N})",
+        ["variant", "query_ms (total)", "build_ms"],
+        rows,
+    )
+    return sampler, probes, scan_answers, indexed_answers, scan_seconds, indexed_seconds
+
+
+def test_index_answers_identical(experiment, benchmark):
+    sampler, probes, scan_answers, indexed_answers, _, _ = experiment
+    benchmark(lambda: sampler.sample_at(probes[len(probes) // 2]))
+    assert scan_answers == indexed_answers
+
+
+def test_index_faster_than_scan(experiment, benchmark):
+    _, _, _, _, scan_seconds, indexed_seconds = experiment
+    benchmark(lambda: None)
+    assert indexed_seconds < scan_seconds

@@ -1,0 +1,86 @@
+"""Figure 1: ATTP sketches vs a columnar store, memory and query time vs #logs.
+
+Paper series: SAMPLING, CMG, VERTICA (full data), VERTICA_WINDOWED_AGG.
+Paper shape: the stores grow linearly in memory and query time with the log
+count; both sketches stay near-flat (logarithmic).  Scaled substitution: the
+in-memory columnar engine stands in for Vertica (DESIGN.md section 4).
+"""
+
+import time
+
+import pytest
+
+from common import PHI_OBJECT, object_stream, record_figure
+from repro.baselines import ColumnarLogStore, WindowedAggregateStore
+from repro.evaluation import memory_of, mib
+from repro.persistent import AttpChainMisraGries, AttpSampleHeavyHitter
+
+SIZES = (25_000, 50_000, 100_000, 200_000)
+PHI = PHI_OBJECT
+
+
+def build_systems():
+    return {
+        "SAMPLING": AttpSampleHeavyHitter(k=1_000, seed=0),
+        "CMG": AttpChainMisraGries(eps=2e-3),
+        "VERTICA": ColumnarLogStore(chunk_rows=1_024),
+        "VERTICA_WINDOWED_AGG": WindowedAggregateStore(window_length=5_000.0),
+    }
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    stream = object_stream(max(SIZES))
+    systems = build_systems()
+    memory_series = {name: [] for name in systems}
+    query_series = {name: [] for name in systems}
+    cursor = 0
+    keys = stream.keys.tolist()
+    times = stream.timestamps.tolist()
+    for n in SIZES:
+        for index in range(cursor, n):
+            for system in systems.values():
+                system.update(keys[index], times[index])
+        cursor = n
+        t_query = times[n - 1]
+        for name, system in systems.items():
+            start = time.perf_counter()
+            system.heavy_hitters_at(t_query, PHI)
+            query_series[name].append(time.perf_counter() - start)
+            memory_series[name].append(mib(memory_of(system)))
+    rows = []
+    for position, n in enumerate(SIZES):
+        for name in systems:
+            rows.append([
+                n,
+                name,
+                round(memory_series[name][position], 4),
+                round(query_series[name][position] * 1e3, 3),
+            ])
+    record_figure(
+        "fig01",
+        "Figure 1: memory (MiB) and HH query time (ms) vs number of logs",
+        ["logs", "system", "memory_MiB", "query_ms"],
+        rows,
+    )
+    return systems, memory_series, stream
+
+
+def test_fig01_sketches_sublinear_vs_store_linear(experiment, benchmark):
+    systems, memory_series, stream = experiment
+    t_query = float(stream.timestamps[max(SIZES) - 1])
+    benchmark(lambda: systems["CMG"].heavy_hitters_at(t_query, PHI))
+    # Shape assertions: over an 8x size range the store's memory grows
+    # near-linearly while both sketches grow by only a log factor, and the
+    # store ends above both sketches (the Figure 1 crossover).
+    store_growth = memory_series["VERTICA"][-1] / memory_series["VERTICA"][0]
+    for sketch in ("CMG", "SAMPLING"):
+        sketch_growth = memory_series[sketch][-1] / memory_series[sketch][0]
+        assert store_growth > 2 * sketch_growth
+        assert memory_series["VERTICA"][-1] > memory_series[sketch][-1]
+
+
+def test_fig01_store_query_slower_at_scale(experiment, benchmark):
+    systems, _, stream = experiment
+    t_query = float(stream.timestamps[max(SIZES) - 1])
+    benchmark(lambda: systems["VERTICA"].heavy_hitters_at(t_query, PHI))

@@ -1,0 +1,62 @@
+"""Figure 2: ATTP heavy-hitter precision & recall vs memory (Client-ID).
+
+Paper shape: CMG reaches the highest precision at a given memory and has
+recall 1; SAMPLING is slightly behind; PCM_HH is inferior on both at any
+comparable memory (and far more expensive to update, see Figure 4).
+"""
+
+import pytest
+
+from common import (
+    HH_COLUMNS,
+    PHI_CLIENT,
+    attp_hh_sweep,
+    client_stream,
+    hh_rows_to_table,
+    record_figure,
+)
+from repro.evaluation import exact_prefix_heavy_hitters, feed_log_stream
+from repro.persistent import AttpChainMisraGries
+from repro.workloads import query_schedule
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rows = attp_hh_sweep("client")
+    record_figure(
+        "fig02",
+        "Figure 2: ATTP HH precision/recall vs memory (Client-ID)",
+        HH_COLUMNS,
+        hh_rows_to_table(rows),
+    )
+    return rows
+
+
+def by_sketch(rows, prefix):
+    return [row for row in rows if row["sketch"].startswith(prefix)]
+
+
+def test_fig02_cmg_recall_one(rows, benchmark):
+    stream = client_stream()
+    sketch = AttpChainMisraGries(eps=1e-3)
+    feed_log_stream(sketch, stream)
+    t = query_schedule(stream)[2]
+    benchmark(lambda: sketch.heavy_hitters_at(t, PHI_CLIENT))
+    assert all(row["recall"] == 1.0 for row in by_sketch(rows, "CMG"))
+
+
+def test_fig02_precision_improves_with_memory(rows, benchmark):
+    benchmark(lambda: hh_rows_to_table(rows))
+    for prefix in ("CMG", "SAMPLING"):
+        series = by_sketch(rows, prefix)
+        assert series[-1]["precision"] >= series[0]["precision"] - 0.05
+        assert series[-1]["precision"] > 0.7
+
+
+def test_fig02_sketches_dominate_pcm_per_memory(rows, benchmark):
+    benchmark(lambda: by_sketch(rows, "PCM_HH"))
+    # At comparable (or less) memory, CMG's accuracy is at least PCM_HH's.
+    best_cmg = max(by_sketch(rows, "CMG"), key=lambda row: row["precision"])
+    for pcm in by_sketch(rows, "PCM_HH"):
+        if pcm["memory_mib"] >= best_cmg["memory_mib"]:
+            assert best_cmg["precision"] >= pcm["precision"] - 0.1

@@ -1,0 +1,83 @@
+"""Figure 3: ATTP heavy-hitter memory vs stream size (Client-ID & Object-ID).
+
+Paper shape: PCM_HH memory scales linearly with the stream; SAMPLING and CMG
+scale logarithmically.
+"""
+
+import pytest
+
+from common import client_stream, object_stream, record_figure
+from repro.baselines import PcmHeavyHitter
+from repro.evaluation import mib
+from repro.persistent import AttpChainMisraGries, AttpSampleHeavyHitter
+
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+def scaling_series(stream, builders):
+    n = len(stream)
+    checkpoints = [int(f * n) for f in FRACTIONS]
+    systems = {name: build() for name, build in builders.items()}
+    series = {name: [] for name in builders}
+    keys = stream.keys.tolist()
+    times = stream.timestamps.tolist()
+    cursor = 0
+    for checkpoint in checkpoints:
+        for index in range(cursor, checkpoint):
+            for system in systems.values():
+                system.update(keys[index], times[index])
+        cursor = checkpoint
+        for name, system in systems.items():
+            series[name].append(mib(system.memory_bytes()))
+    return checkpoints, series
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    out = {}
+    for dataset, stream_fn, bits in (
+        ("client", client_stream, 15),
+        ("object", object_stream, 14),
+    ):
+        stream = stream_fn()
+        builders = {
+            "SAMPLING(k=500)": lambda: AttpSampleHeavyHitter(k=500, seed=0),
+            "CMG(eps=1e-3)": lambda: AttpChainMisraGries(eps=1e-3),
+            "PCM_HH(eps=8e-3)": lambda bits=bits: PcmHeavyHitter(
+                universe_bits=bits, eps=8e-3, depth=3, pla_delta=8.0
+            ),
+        }
+        checkpoints, series = scaling_series(stream, builders)
+        rows = []
+        for position, n in enumerate(checkpoints):
+            for name in series:
+                rows.append([dataset, n, name, round(series[name][position], 4)])
+        record_figure(
+            f"fig03_{dataset}",
+            f"Figure 3 ({dataset}): ATTP HH memory (MiB) vs stream size",
+            ["dataset", "stream_size", "sketch", "memory_MiB"],
+            rows,
+        )
+        out[dataset] = (checkpoints, series)
+    return out
+
+
+def test_fig03_pcm_linear_sketches_sublinear(experiment, benchmark):
+    benchmark(lambda: experiment["client"])
+    # Compare marginal growth over the second half of the stream: PCM keeps
+    # adding breakpoint mass linearly while the sketches have flattened.
+    for dataset in ("client", "object"):
+        _, series = experiment[dataset]
+        pcm_slope = series["PCM_HH(eps=8e-3)"][-1] - series["PCM_HH(eps=8e-3)"][1]
+        for sketch in ("SAMPLING(k=500)", "CMG(eps=1e-3)"):
+            sketch_slope = series[sketch][-1] - series[sketch][1]
+            assert pcm_slope > 2 * abs(sketch_slope)
+
+
+def test_fig03_pcm_largest_at_full_stream(experiment, benchmark):
+    benchmark(lambda: experiment["object"])
+    for dataset in ("client", "object"):
+        _, series = experiment[dataset]
+        pcm_final = series["PCM_HH(eps=8e-3)"][-1]
+        assert pcm_final > series["CMG(eps=1e-3)"][-1]
+        assert pcm_final > series["SAMPLING(k=500)"][-1]

@@ -1,0 +1,55 @@
+"""Figure 4: ATTP heavy-hitter update & query time vs memory (Client-ID).
+
+Paper shape: PCM_HH's update time is at least an order of magnitude above
+CMG and SAMPLING; sketch query times are sub-second throughout.
+"""
+
+import pytest
+
+from common import (
+    HH_COLUMNS,
+    PHI_CLIENT,
+    attp_hh_sweep,
+    client_stream,
+    hh_rows_to_table,
+    record_figure,
+)
+from repro.evaluation import feed_log_stream
+from repro.persistent import AttpSampleHeavyHitter
+from repro.workloads import query_schedule
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rows = attp_hh_sweep("client")
+    record_figure(
+        "fig04",
+        "Figure 4: ATTP HH update/query time vs memory (Client-ID)",
+        HH_COLUMNS,
+        hh_rows_to_table(rows),
+    )
+    return rows
+
+
+def by_sketch(rows, prefix):
+    return [row for row in rows if row["sketch"].startswith(prefix)]
+
+
+def test_fig04_pcm_updates_order_of_magnitude_slower(rows, benchmark):
+    stream = client_stream()
+    sketch = AttpSampleHeavyHitter(k=10_000, seed=0)
+    feed_log_stream(sketch, stream)
+    t = query_schedule(stream)[2]
+    benchmark(lambda: sketch.heavy_hitters_at(t, PHI_CLIENT))
+    slowest_sketch = max(
+        row["update_s"] for row in rows if not row["sketch"].startswith("PCM")
+    )
+    fastest_pcm = min(row["update_s"] for row in by_sketch(rows, "PCM_HH"))
+    assert fastest_pcm > 10 * slowest_sketch
+
+
+def test_fig04_sketch_queries_subsecond(rows, benchmark):
+    benchmark(lambda: hh_rows_to_table(rows))
+    for row in rows:
+        if not row["sketch"].startswith("PCM"):
+            assert row["query_s"] < 1.0  # 5 queries, sub-second total

@@ -1,0 +1,57 @@
+"""Figure 6: ATTP heavy-hitter update & query time vs memory (Object-ID).
+
+Paper shape: as Figure 4 — PCM_HH update times sit an order of magnitude (or
+more) above both ATTP sketches across the sweep.
+"""
+
+import pytest
+
+from common import (
+    HH_COLUMNS,
+    PHI_OBJECT,
+    attp_hh_sweep,
+    hh_rows_to_table,
+    object_stream,
+    record_figure,
+)
+from repro.evaluation import feed_log_stream
+from repro.persistent import AttpSampleHeavyHitter
+from repro.workloads import query_schedule
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rows = attp_hh_sweep("object")
+    record_figure(
+        "fig06",
+        "Figure 6: ATTP HH update/query time vs memory (Object-ID)",
+        HH_COLUMNS,
+        hh_rows_to_table(rows),
+    )
+    return rows
+
+
+def test_fig06_pcm_updates_slower(rows, benchmark):
+    stream = object_stream()
+    sketch = AttpSampleHeavyHitter(k=5_000, seed=0)
+    feed_log_stream(sketch, stream)
+    t = query_schedule(stream)[2]
+    benchmark(lambda: sketch.heavy_hitters_at(t, PHI_OBJECT))
+    slowest_sketch = max(
+        row["update_s"] for row in rows if not row["sketch"].startswith("PCM")
+    )
+    fastest_pcm = min(
+        row["update_s"] for row in rows if row["sketch"].startswith("PCM")
+    )
+    assert fastest_pcm > 10 * slowest_sketch
+
+
+def test_fig06_cmg_fastest_updates(rows, benchmark):
+    benchmark(lambda: hh_rows_to_table(rows))
+    cmg_best = min(
+        row["update_s"] for row in rows if row["sketch"].startswith("CMG")
+    )
+    pcm_best = min(
+        row["update_s"] for row in rows if row["sketch"].startswith("PCM")
+    )
+    assert cmg_best < pcm_best / 50

@@ -1,0 +1,55 @@
+"""Figure 9: BITP heavy-hitter update & query time vs memory (Client-ID).
+
+Paper shape: PCM_HH's update-time slope is much steeper than TMG's and
+SAMPLING's; the two BITP sketches stay fast.
+"""
+
+import pytest
+
+from common import (
+    HH_COLUMNS,
+    PHI_CLIENT,
+    bitp_hh_sweep,
+    client_stream,
+    hh_rows_to_table,
+    record_figure,
+)
+from repro.evaluation import feed_log_stream
+from repro.persistent import BitpTreeMisraGries
+from repro.workloads import query_schedule
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rows = bitp_hh_sweep("client")
+    record_figure(
+        "fig09",
+        "Figure 9: BITP HH update/query time vs memory (Client-ID)",
+        HH_COLUMNS,
+        hh_rows_to_table(rows),
+    )
+    return rows
+
+
+def test_fig09_pcm_updates_slowest(rows, benchmark):
+    stream = client_stream()
+    sketch = BitpTreeMisraGries(eps=2e-3, block_size=64)
+    feed_log_stream(sketch, stream)
+    since = query_schedule(stream)[2]
+    benchmark(lambda: sketch.heavy_hitters_since(since, PHI_CLIENT))
+    fastest_pcm = min(
+        row["update_s"] for row in rows if row["sketch"].startswith("PCM")
+    )
+    slowest_other = max(
+        row["update_s"] for row in rows if not row["sketch"].startswith("PCM")
+    )
+    assert fastest_pcm > 2 * slowest_other
+
+
+def test_fig09_sampling_updates_fast(rows, benchmark):
+    benchmark(lambda: hh_rows_to_table(rows))
+    sampling_best = min(
+        row["update_s"] for row in rows if row["sketch"].startswith("SAMPLING")
+    )
+    pcm_best = min(row["update_s"] for row in rows if row["sketch"].startswith("PCM"))
+    assert sampling_best < pcm_best / 20

@@ -1,0 +1,62 @@
+"""Figure 10: BITP heavy-hitter precision & recall vs memory (Object-ID).
+
+Paper shape: on the skewed dataset TMG's memory becomes comparable to
+SAMPLING's (higher eps suffices) while both reach high precision and recall;
+TMG keeps its no-false-negative guarantee.
+"""
+
+import pytest
+
+from common import (
+    HH_COLUMNS,
+    PHI_OBJECT,
+    bitp_hh_sweep,
+    hh_rows_to_table,
+    object_stream,
+    record_figure,
+)
+from repro.evaluation import feed_log_stream
+from repro.persistent import BitpTreeMisraGries
+from repro.workloads import query_schedule
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rows = bitp_hh_sweep("object")
+    record_figure(
+        "fig10",
+        "Figure 10: BITP HH precision/recall vs memory (Object-ID)",
+        HH_COLUMNS,
+        hh_rows_to_table(rows),
+    )
+    return rows
+
+
+def by_sketch(rows, prefix):
+    return [row for row in rows if row["sketch"].startswith(prefix)]
+
+
+def test_fig10_tmg_recall_one(rows, benchmark):
+    stream = object_stream()
+    sketch = BitpTreeMisraGries(eps=4e-3, block_size=64)
+    feed_log_stream(sketch, stream)
+    since = query_schedule(stream)[2]
+    benchmark(lambda: sketch.heavy_hitters_since(since, PHI_OBJECT))
+    assert all(row["recall"] == 1.0 for row in by_sketch(rows, "TMG"))
+
+
+def test_fig10_both_sketches_accurate_on_skewed_data(rows, benchmark):
+    benchmark(lambda: hh_rows_to_table(rows))
+    assert max(row["precision"] for row in by_sketch(rows, "TMG")) > 0.7
+    best_sampling = max(by_sketch(rows, "SAMPLING"), key=lambda row: row["precision"])
+    assert best_sampling["precision"] > 0.9
+    assert best_sampling["recall"] > 0.9
+
+
+def test_fig10_tmg_memory_comparable_to_sampling(rows, benchmark):
+    benchmark(lambda: by_sketch(rows, "TMG"))
+    # On the skewed dataset the gap shrinks: TMG's cheapest config sits
+    # within an order of magnitude of SAMPLING's largest.
+    tmg_min = min(row["memory_mib"] for row in by_sketch(rows, "TMG"))
+    sampling_max = max(row["memory_mib"] for row in by_sketch(rows, "SAMPLING"))
+    assert tmg_min < 10 * sampling_max

@@ -1,0 +1,53 @@
+"""Figure 11: BITP heavy-hitter update & query time vs memory (Object-ID).
+
+Paper shape: as Figure 9 — the persistent CountMin baseline pays a steep
+update-time premium; trade-offs between TMG and SAMPLING stay the same.
+"""
+
+import pytest
+
+from common import (
+    HH_COLUMNS,
+    PHI_OBJECT,
+    bitp_hh_sweep,
+    hh_rows_to_table,
+    object_stream,
+    record_figure,
+)
+from repro.evaluation import feed_log_stream
+from repro.persistent import BitpSampleHeavyHitter
+from repro.workloads import query_schedule
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rows = bitp_hh_sweep("object")
+    record_figure(
+        "fig11",
+        "Figure 11: BITP HH update/query time vs memory (Object-ID)",
+        HH_COLUMNS,
+        hh_rows_to_table(rows),
+    )
+    return rows
+
+
+def test_fig11_pcm_updates_slowest(rows, benchmark):
+    stream = object_stream()
+    sketch = BitpSampleHeavyHitter(k=5_000, seed=0)
+    feed_log_stream(sketch, stream)
+    since = query_schedule(stream)[2]
+    benchmark(lambda: sketch.heavy_hitters_since(since, PHI_OBJECT))
+    fastest_pcm = min(
+        row["update_s"] for row in rows if row["sketch"].startswith("PCM")
+    )
+    slowest_other = max(
+        row["update_s"] for row in rows if not row["sketch"].startswith("PCM")
+    )
+    assert fastest_pcm > 2 * slowest_other
+
+
+def test_fig11_bitp_queries_fast(rows, benchmark):
+    benchmark(lambda: hh_rows_to_table(rows))
+    for row in rows:
+        if not row["sketch"].startswith("PCM"):
+            assert row["query_s"] < 2.0  # 4 suffix queries well under a second each

@@ -1,0 +1,88 @@
+"""Figure 12: ATTP matrix-sketch memory vs stream size (three dimensions).
+
+Paper shape: PFD scales best — it only checkpoints when the frequent
+directions change (bursts at the start and around the mid-stream event);
+NS/NSWR grow like SAMPLING (log factor).
+"""
+
+import pytest
+
+from common import MATRIX_DIMS, matrix_stream, record_figure
+from repro.evaluation import mib
+from repro.persistent import (
+    AttpNormSampling,
+    AttpNormSamplingWR,
+    AttpPersistentFrequentDirections,
+)
+
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+def scaling_series(stream, builders):
+    n = len(stream)
+    checkpoints = [int(f * n) for f in FRACTIONS]
+    systems = {name: build() for name, build in builders.items()}
+    series = {name: [] for name in builders}
+    cursor = 0
+    for checkpoint in checkpoints:
+        for index in range(cursor, checkpoint):
+            row = stream.rows[index]
+            t = float(stream.timestamps[index])
+            for system in systems.values():
+                system.update(row, t)
+        cursor = checkpoint
+        for name, system in systems.items():
+            series[name].append(mib(system.memory_bytes()))
+    return checkpoints, series
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    out = {}
+    for size in ("low", "medium", "high"):
+        dim, n = MATRIX_DIMS[size]
+        stream = matrix_stream(dim, n)
+        ell = 20
+        k = 150
+        builders = {
+            f"PFD(ell={ell})": lambda dim=dim: AttpPersistentFrequentDirections(
+                ell=ell, dim=dim
+            ),
+            f"NS(k={k})": lambda dim=dim: AttpNormSampling(k=k, dim=dim, seed=0),
+            f"NSWR(k={k})": lambda dim=dim: AttpNormSamplingWR(k=k, dim=dim, seed=0),
+        }
+        checkpoints, series = scaling_series(stream, builders)
+        rows = []
+        for position, count in enumerate(checkpoints):
+            for name in series:
+                rows.append([size, count, name, round(series[name][position], 4)])
+        record_figure(
+            f"fig12_{size}",
+            f"Figure 12 ({size}-dim): ATTP matrix memory (MiB) vs stream size",
+            ["dataset", "stream_size", "sketch", "memory_MiB"],
+            rows,
+        )
+        out[size] = (checkpoints, series)
+    return out
+
+
+def test_fig12_pfd_flattest_growth(experiment, benchmark):
+    benchmark(lambda: experiment["low"])
+    for size in ("low", "medium", "high"):
+        _, series = experiment[size]
+        pfd_name = next(name for name in series if name.startswith("PFD"))
+        ns_name = next(name for name in series if name.startswith("NS("))
+        pfd_growth = series[pfd_name][-1] / series[pfd_name][0]
+        ns_growth = series[ns_name][-1] / series[ns_name][0]
+        assert pfd_growth < 2 * ns_growth  # PFD grows no faster (usually flatter)
+
+
+def test_fig12_pfd_smallest_at_end(experiment, benchmark):
+    benchmark(lambda: experiment["medium"])
+    for size in ("medium", "high"):
+        _, series = experiment[size]
+        pfd_name = next(name for name in series if name.startswith("PFD"))
+        for name in series:
+            if name == pfd_name:
+                continue
+            assert series[pfd_name][-1] < series[name][-1]

@@ -1,0 +1,65 @@
+"""Figure 13: ATTP matrix-estimation relative error vs memory (low & medium).
+
+Paper shape: PFD gives the best estimates, NS next; NSWR loses its advantage
+(the datasets have no weight outliers).  Error measured only on low/medium
+dims, as in the paper (exact A^T A is costly at high dimension).
+"""
+
+import pytest
+
+from common import (
+    MATRIX_COLUMNS,
+    matrix_rows_to_table,
+    matrix_sweep,
+    record_figure,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = {}
+    for size in ("low", "medium"):
+        out[size] = matrix_sweep(size, True)
+        record_figure(
+            f"fig13_{size}",
+            f"Figure 13 ({size}-dim): ATTP matrix relative error vs memory",
+            MATRIX_COLUMNS,
+            matrix_rows_to_table(out[size]),
+        )
+    return out
+
+
+def by_sketch(rows, prefix):
+    return [row for row in rows if row["sketch"].startswith(prefix)]
+
+
+def test_fig13_pfd_best_error_per_memory(rows, benchmark):
+    benchmark(lambda: matrix_rows_to_table(rows["low"]))
+    for size in ("low", "medium"):
+        sweep = rows[size]
+        # For every PFD point, no NS/NSWR point with <= its memory beats
+        # its error (Pareto dominance of the PFD curve).
+        for pfd in by_sketch(sweep, "PFD"):
+            rivals = [
+                row
+                for row in sweep
+                if not row["sketch"].startswith("PFD")
+                and row["memory_mib"] <= pfd["memory_mib"]
+            ]
+            for rival in rivals:
+                assert pfd["rel_error"] <= rival["rel_error"] + 0.02
+
+
+def test_fig13_error_decreases_with_memory(rows, benchmark):
+    benchmark(lambda: matrix_rows_to_table(rows["medium"]))
+    for size in ("low", "medium"):
+        for prefix in ("PFD", "NS(", "NSWR"):
+            series = by_sketch(rows[size], prefix)
+            assert series[-1]["rel_error"] < series[0]["rel_error"] + 0.02
+
+
+def test_fig13_all_errors_small(rows, benchmark):
+    benchmark(lambda: rows["low"])
+    for size in ("low", "medium"):
+        for row in rows[size]:
+            assert row["rel_error"] < 0.2

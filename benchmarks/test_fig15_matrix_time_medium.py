@@ -1,0 +1,48 @@
+"""Figure 15: ATTP matrix update & query time vs memory (medium dimension).
+
+Paper shape: PFD is orders of magnitude slower to update than NS/NSWR (it
+performs an SVD per update); query times are comparable and small.
+"""
+
+import pytest
+
+from common import (
+    MATRIX_COLUMNS,
+    matrix_rows_to_table,
+    matrix_sweep,
+    matrix_stream,
+    record_figure,
+)
+from repro.evaluation import feed_matrix_stream
+from repro.persistent import AttpNormSampling
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rows = matrix_sweep("medium", True)
+    record_figure(
+        "fig15",
+        "Figure 15 (medium-dim): ATTP matrix update/query time vs memory",
+        MATRIX_COLUMNS,
+        matrix_rows_to_table(rows),
+    )
+    return rows
+
+
+def test_fig15_pfd_updates_much_slower(rows, benchmark):
+    stream = matrix_stream(500, 2_000)
+    ns = AttpNormSampling(k=150, dim=500, seed=0)
+    feed_matrix_stream(ns, stream)
+    t = float(stream.timestamps[len(stream) // 2])
+    benchmark(lambda: ns.covariance_at(t))
+    fastest_pfd = min(r["update_s"] for r in rows if r["sketch"].startswith("PFD"))
+    slowest_ns = max(
+        r["update_s"] for r in rows if not r["sketch"].startswith("PFD")
+    )
+    assert fastest_pfd > 3 * slowest_ns
+
+
+def test_fig15_queries_fast_for_all(rows, benchmark):
+    benchmark(lambda: matrix_rows_to_table(rows))
+    for row in rows:
+        assert row["query_s"] < 1.0

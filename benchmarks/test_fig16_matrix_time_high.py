@@ -1,0 +1,55 @@
+"""Figure 16: ATTP matrix update & query time vs memory (high dimension).
+
+Paper shape: the PFD-vs-sampling update-time gap widens with the dimension
+(the per-update SVD cost grows); error is not measured at this dimension,
+matching the paper's protocol.
+"""
+
+import pytest
+
+from common import (
+    MATRIX_COLUMNS,
+    matrix_rows_to_table,
+    matrix_sweep,
+    matrix_stream,
+    record_figure,
+)
+from repro.evaluation import feed_matrix_stream
+from repro.persistent import AttpNormSamplingWR
+
+
+@pytest.fixture(scope="module")
+def rows():
+    rows = matrix_sweep("high", False)
+    record_figure(
+        "fig16",
+        "Figure 16 (high-dim): ATTP matrix update/query time vs memory",
+        MATRIX_COLUMNS[:-1],
+        [row[:-1] for row in matrix_rows_to_table(rows)],
+    )
+    return rows
+
+
+def test_fig16_pfd_updates_much_slower(rows, benchmark):
+    stream = matrix_stream(1_000, 1_000)
+    nswr = AttpNormSamplingWR(k=150, dim=1_000, seed=0)
+    feed_matrix_stream(nswr, stream)
+    t = float(stream.timestamps[len(stream) // 2])
+    benchmark(lambda: nswr.covariance_at(t))
+    fastest_pfd = min(r["update_s"] for r in rows if r["sketch"].startswith("PFD"))
+    slowest_ns = max(
+        r["update_s"] for r in rows if not r["sketch"].startswith("PFD")
+    )
+    assert fastest_pfd > 3 * slowest_ns
+
+
+def test_fig16_gap_wider_than_low_dim(rows, benchmark):
+    benchmark(lambda: matrix_rows_to_table(rows))
+    low = matrix_sweep("low", True)
+
+    def gap(sweep):
+        pfd = min(r["update_s"] for r in sweep if r["sketch"].startswith("PFD"))
+        ns = min(r["update_s"] for r in sweep if r["sketch"].startswith("NS("))
+        return pfd / ns
+
+    assert gap(rows) > gap(low) / 2  # the gap does not collapse at high dim

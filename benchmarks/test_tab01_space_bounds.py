@@ -1,0 +1,149 @@
+"""Table 1: empirical validation of the main asymptotic space bounds.
+
+The paper's Table 1 lists the sizes of the ATTP/BITP sketches.  This bench
+measures each structure's record/checkpoint count as the stream doubles and
+fits the growth against the claimed form: a bound of O(f(n)) passes when the
+measured size at 8x the base stream is within a constant factor of
+``size(base) * f(8n)/f(n)``.
+"""
+
+import numpy as np
+import pytest
+
+from common import record_figure
+from repro.core.bitp_sampling import BitpPrioritySample
+from repro.core.elementwise import ChainMisraGries
+from repro.core.merge_tree import MergeTreePersistence
+from repro.core.persistent_priority import PersistentPrioritySample
+from repro.core.persistent_sampling import PersistentTopKSample
+from repro.core.pfd import PersistentFrequentDirections
+from repro.sketches import MisraGries
+from repro.workloads import object_id_stream
+
+BASE_N = 4_000
+SIZES = (BASE_N, 2 * BASE_N, 4 * BASE_N, 8 * BASE_N)
+
+
+def measure(build, feed, size_of):
+    """size_of(sketch) at each stream size in SIZES."""
+    out = []
+    for n in SIZES:
+        sketch = build()
+        feed(sketch, n)
+        out.append(size_of(sketch))
+    return out
+
+
+def feed_uniform_keys(sketch, n):
+    stream = object_id_stream(n=n, universe=2_000, ratio=300.0, seed=3)
+    for key, timestamp in stream:
+        sketch.update(key, timestamp)
+
+
+def feed_weighted(sketch, n):
+    rng = np.random.default_rng(4)
+    weights = rng.uniform(1.0, 16.0, size=n)
+    for index in range(n):
+        sketch.update(index, float(index), float(weights[index]))
+
+
+def feed_rows(sketch, n):
+    rng = np.random.default_rng(5)
+    rows = rng.normal(size=(n, 20))
+    for index in range(n):
+        sketch.update(rows[index], float(index))
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    entries = []  # (name, claimed_growth_fn, sizes)
+    log_growth = lambda n: np.log(n)
+
+    entries.append((
+        "ATTP uniform sample O(k log n)",
+        log_growth,
+        measure(
+            lambda: PersistentTopKSample(k=100, seed=0),
+            feed_uniform_keys,
+            lambda s: len(s),
+        ),
+    ))
+    entries.append((
+        "ATTP weighted sample O(k(log n + log U))",
+        log_growth,
+        measure(
+            lambda: PersistentPrioritySample(k=100, seed=0),
+            feed_weighted,
+            lambda s: len(s),
+        ),
+    ))
+    entries.append((
+        "BITP sample O(k log n)",
+        log_growth,
+        measure(
+            lambda: BitpPrioritySample(k=100, seed=0),
+            feed_uniform_keys,
+            lambda s: (s._compact(), s.kept_count())[1],
+        ),
+    ))
+    entries.append((
+        "CMG (eps-FE) O((1/eps) log n)",
+        log_growth,
+        measure(
+            lambda: ChainMisraGries(eps=0.01),
+            feed_uniform_keys,
+            lambda s: s.num_checkpoints(),
+        ),
+    ))
+    entries.append((
+        "TMG merge tree O((1/eps^2) log n)",
+        log_growth,
+        measure(
+            lambda: MergeTreePersistence(
+                lambda: MisraGries(50), eps=0.1, mode="bitp", block_size=32
+            ),
+            feed_uniform_keys,
+            lambda s: s.num_nodes(),
+        ),
+    ))
+    entries.append((
+        "PFD (eps-MC) O((d/eps) log ||A||_F)",
+        log_growth,
+        measure(
+            lambda: PersistentFrequentDirections(ell=10, dim=20),
+            feed_rows,
+            lambda s: s.num_partial_checkpoints() + 1,
+        ),
+    ))
+
+    rows = []
+    for name, growth, sizes in entries:
+        predicted = sizes[0] * growth(SIZES[-1]) / growth(SIZES[0])
+        rows.append([
+            name,
+            *(int(size) for size in sizes),
+            round(predicted, 1),
+            round(sizes[-1] / predicted, 2),
+        ])
+    record_figure(
+        "tab01",
+        "Table 1: measured sketch sizes vs claimed growth (8x stream)",
+        ["sketch / bound", *(f"n={n}" for n in SIZES), "predicted@8x", "ratio"],
+        rows,
+    )
+    return entries
+
+
+def test_tab01_growth_matches_claimed_bounds(measurements, benchmark):
+    benchmark(lambda: len(measurements))
+    for name, growth, sizes in measurements:
+        predicted = sizes[0] * growth(SIZES[-1]) / growth(SIZES[0])
+        # Within a 3x constant of the claimed growth over an 8x stream range.
+        assert sizes[-1] < 3.0 * predicted, name
+
+
+def test_tab01_all_far_below_linear(measurements, benchmark):
+    benchmark(lambda: len(measurements))
+    for name, _, sizes in measurements:
+        linear_prediction = sizes[0] * SIZES[-1] / SIZES[0]
+        assert sizes[-1] < 0.6 * linear_prediction, name

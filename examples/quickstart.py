@@ -1,0 +1,64 @@
+"""Quickstart: persistent sketches in five minutes.
+
+Builds a small keyed stream, feeds one ATTP and one BITP heavy-hitter sketch
+plus an ATTP quantile summary, and queries all of them at historical times —
+the core of what this library does.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.persistent import (
+    AttpChainMisraGries,
+    AttpSampleQuantiles,
+    BitpSampleHeavyHitter,
+)
+from repro.workloads import object_id_stream
+
+
+def main() -> None:
+    # A skewed keyed log stream: 50k events, ids 0..8999, Zipf-like skew.
+    stream = object_id_stream(n=50_000, seed=7)
+    print(f"stream: {len(stream)} events over universe {stream.universe}")
+
+    # --- ATTP: "what were the heavy hitters as of time t?" -----------------
+    cmg = AttpChainMisraGries(eps=0.002)
+    for key, timestamp in stream:
+        cmg.update(key, timestamp)
+
+    t_quarter = float(stream.timestamps[len(stream) // 4])
+    t_half = float(stream.timestamps[len(stream) // 2])
+    print("\nATTP heavy hitters (phi = 1%) via Chain Misra-Gries:")
+    print(f"  at 25% of the stream: {cmg.heavy_hitters_at(t_quarter, 0.01)}")
+    print(f"  at 50% of the stream: {cmg.heavy_hitters_at(t_half, 0.01)}")
+    print(f"  sketch memory: {cmg.memory_bytes() / 1024:.1f} KiB "
+          f"(raw log would be {len(stream) * 12 / 1024:.1f} KiB)")
+
+    # --- BITP: "what is heavy over the last w events, for any w?" ----------
+    bitp = BitpSampleHeavyHitter(k=20_000, seed=1)
+    for key, timestamp in stream:
+        bitp.update(key, timestamp)
+
+    t_now = float(stream.timestamps[-1])
+    for window in (1_000, 10_000, 40_000):
+        since = t_now - window + 1
+        hitters = bitp.heavy_hitters_since(since, 0.01)
+        print(f"BITP heavy hitters over the last {window:>6} events: {hitters}")
+
+    # --- ATTP quantiles over a value stream --------------------------------
+    rng = np.random.default_rng(0)
+    values = np.concatenate([
+        rng.normal(0.0, 1.0, size=20_000),   # early regime
+        rng.normal(5.0, 1.0, size=20_000),   # late regime: the median shifts
+    ])
+    quantiles = AttpSampleQuantiles(k=4_000, seed=2)
+    for index, value in enumerate(values):
+        quantiles.update(float(value), float(index))
+    print("\nATTP medians of a drifting value stream:")
+    print(f"  median at t=19,999 (early regime): {quantiles.quantile_at(19_999, 0.5):+.2f}")
+    print(f"  median at t=39,999 (after drift):  {quantiles.quantile_at(39_999, 0.5):+.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — At-the-time and Back-in-time Persistent Sketches.
+
+A from-scratch Python reproduction of Shi, Zhao, Peng, Li & Phillips,
+"At-the-time and Back-in-time Persistent Sketches" (SIGMOD 2021).
+
+Layout
+------
+``repro.sketches``
+    Classic streaming sketches (CountMin, Count sketch, Misra-Gries,
+    SpaceSaving, Frequent Directions, KLL, reservoir/priority samples, ...).
+``repro.core``
+    The paper's persistence machinery: persistent samples (Section 3),
+    checkpoint chaining and PFD (Section 4), merge trees (Section 5).
+``repro.persistent``
+    Problem-level public API: ATTP/BITP heavy hitters, matrix covariance,
+    quantiles, range counting, KDE.
+``repro.baselines``
+    The PCM / PCM_HH competitor, columnar-store stand-ins, exact oracles.
+``repro.workloads``
+    Calibrated synthetic WorldCup'98 logs and Section-6.3 matrix streams.
+``repro.evaluation``
+    Metrics, the C-layout memory model, experiment harness, reporting.
+"""
+
+__version__ = "1.0.0"
+
+from repro import baselines, core, evaluation, persistent, sketches, workloads
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "core",
+    "evaluation",
+    "persistent",
+    "sketches",
+    "workloads",
+]

@@ -1,0 +1,18 @@
+"""Baselines: the paper's competitor (PCM / PCM_HH), the columnar-store
+stand-ins from Figure 1, and exact oracles for ground truth."""
+
+from repro.baselines.columnar import ColumnarLogStore
+from repro.baselines.exact import ExactMatrixOracle, ExactStreamOracle
+from repro.baselines.pcm import PersistentCountMin, PiecewiseLinearCounter
+from repro.baselines.pcm_hh import PcmHeavyHitter
+from repro.baselines.windowed_agg import WindowedAggregateStore
+
+__all__ = [
+    "ColumnarLogStore",
+    "ExactMatrixOracle",
+    "ExactStreamOracle",
+    "PcmHeavyHitter",
+    "PersistentCountMin",
+    "PiecewiseLinearCounter",
+    "WindowedAggregateStore",
+]

@@ -1,0 +1,149 @@
+"""Exact oracles used as ground truth by the tests and benchmarks.
+
+These intentionally store the full stream (O(n) space) — they are the
+reference the sketches are measured against, not competitors.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from typing import List, Sequence
+
+import numpy as np
+
+
+class ExactStreamOracle:
+    """Full-fidelity keyed stream store with prefix/suffix exact queries."""
+
+    def __init__(self):
+        self._timestamps: List[float] = []
+        self._keys: List[int] = []
+
+    def update(self, key: int, timestamp: float) -> None:
+        """Append one item (timestamps must be non-decreasing)."""
+        if self._timestamps and timestamp < self._timestamps[-1]:
+            raise ValueError("timestamps must be non-decreasing")
+        self._timestamps.append(timestamp)
+        self._keys.append(key)
+
+    @property
+    def count(self) -> int:
+        return len(self._keys)
+
+    def count_at(self, timestamp: float) -> int:
+        """Items at or before ``timestamp``."""
+        return bisect.bisect_right(self._timestamps, timestamp)
+
+    def count_since(self, timestamp: float) -> int:
+        """Items at or after ``timestamp``."""
+        return len(self._keys) - bisect.bisect_left(self._timestamps, timestamp)
+
+    def frequency_at(self, key: int, timestamp: float) -> int:
+        """Exact prefix count of ``key``."""
+        end = self.count_at(timestamp)
+        return sum(1 for k in self._keys[:end] if k == key)
+
+    def frequency_since(self, key: int, timestamp: float) -> int:
+        """Exact suffix count of ``key``."""
+        start = bisect.bisect_left(self._timestamps, timestamp)
+        return sum(1 for k in self._keys[start:] if k == key)
+
+    def counts_at(self, timestamp: float) -> Counter:
+        """Exact prefix histogram."""
+        end = self.count_at(timestamp)
+        return Counter(self._keys[:end])
+
+    def counts_since(self, timestamp: float) -> Counter:
+        """Exact suffix histogram."""
+        start = bisect.bisect_left(self._timestamps, timestamp)
+        return Counter(self._keys[start:])
+
+    def heavy_hitters_at(self, timestamp: float, phi: float) -> List[int]:
+        """Exact prefix phi-heavy hitters."""
+        counts = self.counts_at(timestamp)
+        n = sum(counts.values())
+        if n == 0:
+            return []
+        cut = phi * n
+        return sorted(key for key, count in counts.items() if count >= cut)
+
+    def heavy_hitters_since(self, timestamp: float, phi: float) -> List[int]:
+        """Exact suffix phi-heavy hitters."""
+        counts = self.counts_since(timestamp)
+        n = sum(counts.values())
+        if n == 0:
+            return []
+        cut = phi * n
+        return sorted(key for key, count in counts.items() if count >= cut)
+
+    def quantile_at(self, timestamp: float, phi: float) -> float:
+        """Exact prefix phi-quantile (keys must be orderable)."""
+        end = self.count_at(timestamp)
+        if end == 0:
+            raise ValueError("cannot query an empty prefix")
+        ordered = sorted(self._keys[:end])
+        index = min(end - 1, max(0, int(phi * end + 0.5) - 1))
+        return ordered[index]
+
+    def memory_bytes(self) -> int:
+        """8-byte timestamp + 4-byte key per row (the 'store everything' cost)."""
+        return len(self._keys) * 12
+
+
+class ExactMatrixOracle:
+    """Full row store with exact prefix/suffix covariance."""
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self._timestamps: List[float] = []
+        self._rows: List[np.ndarray] = []
+
+    def update(self, row: Sequence[float], timestamp: float) -> None:
+        """Append one row (timestamps must be non-decreasing)."""
+        if self._timestamps and timestamp < self._timestamps[-1]:
+            raise ValueError("timestamps must be non-decreasing")
+        row = np.asarray(row, dtype=float)
+        if row.shape != (self.dim,):
+            raise ValueError(f"expected a row of shape ({self.dim},), got {row.shape}")
+        self._timestamps.append(timestamp)
+        self._rows.append(row)
+
+    @property
+    def count(self) -> int:
+        return len(self._rows)
+
+    def matrix_at(self, timestamp: float) -> np.ndarray:
+        """The prefix row matrix ``A(t)``."""
+        end = bisect.bisect_right(self._timestamps, timestamp)
+        if end == 0:
+            return np.zeros((0, self.dim))
+        return np.vstack(self._rows[:end])
+
+    def matrix_since(self, timestamp: float) -> np.ndarray:
+        """The suffix row matrix ``A[t, now]``."""
+        start = bisect.bisect_left(self._timestamps, timestamp)
+        if start == len(self._rows):
+            return np.zeros((0, self.dim))
+        return np.vstack(self._rows[start:])
+
+    def covariance_at(self, timestamp: float) -> np.ndarray:
+        """Exact ``A(t)^T A(t)``."""
+        a = self.matrix_at(timestamp)
+        return a.T @ a
+
+    def covariance_since(self, timestamp: float) -> np.ndarray:
+        """Exact window covariance."""
+        a = self.matrix_since(timestamp)
+        return a.T @ a
+
+    def squared_frobenius_at(self, timestamp: float) -> float:
+        """Exact ``||A(t)||_F^2``."""
+        a = self.matrix_at(timestamp)
+        return float((a * a).sum())
+
+    def memory_bytes(self) -> int:
+        """8 bytes per matrix entry plus an 8-byte timestamp per row."""
+        return len(self._rows) * (self.dim * 8 + 8)

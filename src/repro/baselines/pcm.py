@@ -1,0 +1,152 @@
+"""Persistent Count-Min sketch (Wei, Luo, Yi, Du & Wen, SIGMOD 2015).
+
+The paper's FATP baseline ("PCM").  Each CountMin counter's value-over-time
+curve is approximated by a piecewise-linear function: a new breakpoint is
+recorded whenever the live counter deviates from the current linear
+prediction by more than ``pla_delta``.  Under the random-stream assumption
+counters grow linearly and few breakpoints are needed; on real skewed or
+bursty streams the number of breakpoints — and hence memory — grows linearly
+with the stream, which is exactly the weakness the persistent sketches paper
+demonstrates.
+
+Queries at historical time ``t`` interpolate each row's counter curve and
+return the **median** across rows (not the min — interpolated counters can
+under- as well as over-estimate, per the PCM paper).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+import numpy as np
+
+from repro.sketches.countmin import CountMinSketch
+
+
+class PiecewiseLinearCounter:
+    """Greedy piecewise-linear approximation of a non-decreasing counter.
+
+    Breakpoints ``(t, v)`` are appended when the observed value drifts more
+    than ``delta`` from the linear extrapolation of the last two breakpoints.
+    ``value_at(t)`` linearly interpolates (and extrapolates past the end).
+    """
+
+    __slots__ = ("delta", "_times", "_values")
+
+    def __init__(self, delta: float):
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def observe(self, timestamp: float, value: float) -> None:
+        """Offer the counter's current value at ``timestamp``."""
+        times, values = self._times, self._values
+        if not times:
+            times.append(timestamp)
+            values.append(value)
+            return
+        if timestamp == times[-1]:
+            # Same-instant updates collapse into the latest value.
+            if abs(value - values[-1]) > self.delta:
+                values[-1] = value
+            return
+        if abs(value - self._predict(timestamp)) > self.delta:
+            times.append(timestamp)
+            values.append(value)
+
+    def _predict(self, timestamp: float) -> float:
+        times, values = self._times, self._values
+        if len(times) == 1:
+            return values[-1]
+        t1, t2 = times[-2], times[-1]
+        v1, v2 = values[-2], values[-1]
+        slope = (v2 - v1) / (t2 - t1)
+        return v2 + slope * (timestamp - t2)
+
+    def value_at(self, timestamp: float) -> float:
+        """Interpolated counter value at ``timestamp``."""
+        times, values = self._times, self._values
+        if not times or timestamp < times[0]:
+            return 0.0
+        idx = bisect.bisect_right(times, timestamp) - 1
+        if idx == len(times) - 1:
+            # Beyond the last breakpoint the counter is assumed to keep its
+            # last linear trend — the PCM semantics (and its error source).
+            if len(times) == 1:
+                return values[-1]
+            return self._predict(timestamp)
+        t1, t2 = times[idx], times[idx + 1]
+        v1, v2 = values[idx], values[idx + 1]
+        return v1 + (v2 - v1) * (timestamp - t1) / (t2 - t1)
+
+    def num_breakpoints(self) -> int:
+        """Number of stored breakpoints."""
+        return len(self._times)
+
+    def memory_bytes(self) -> int:
+        """Breakpoint: 8-byte time + 8-byte value."""
+        return len(self._times) * 16
+
+
+class PersistentCountMin:
+    """FATP CountMin: a CountMin table of piecewise-linear counters."""
+
+    def __init__(self, width: int, depth: int = 3, pla_delta: float = 16.0, seed: int = 0):
+        self._cm = CountMinSketch(width, depth, seed=seed)
+        self.width = self._cm.width
+        self.depth = depth
+        self.pla_delta = pla_delta
+        self._curves = [
+            [PiecewiseLinearCounter(pla_delta) for _ in range(self.width)]
+            for _ in range(depth)
+        ]
+        self._total_curve = PiecewiseLinearCounter(pla_delta)
+        self.count = 0
+
+    @property
+    def total_weight(self) -> int:
+        return self._cm.total_weight
+
+    def update(self, key: int, timestamp: float, weight: int = 1) -> None:
+        """Add ``weight`` to ``key`` at ``timestamp``."""
+        if weight <= 0:
+            raise ValueError("PersistentCountMin is insertion-only")
+        self.count += 1
+        self._cm.update(key, weight)
+        counters = self._cm.counters()
+        for row, bucket in enumerate(self._cm._buckets(key)):
+            self._curves[row][bucket].observe(timestamp, float(counters[row, bucket]))
+        self._total_curve.observe(timestamp, float(self._cm.total_weight))
+
+    def total_weight_at(self, timestamp: float) -> float:
+        """Interpolated total stream weight at ``timestamp``."""
+        return self._total_curve.value_at(timestamp)
+
+    def estimate_at(self, key: int, timestamp: float) -> float:
+        """Median-of-rows interpolated estimate of ``key``'s count at ``t``."""
+        estimates = [
+            self._curves[row][bucket].value_at(timestamp)
+            for row, bucket in enumerate(self._cm._buckets(key))
+        ]
+        return float(np.median(estimates))
+
+    def estimate_now(self, key: int) -> int:
+        """Live CountMin estimate over the whole stream."""
+        return self._cm.query(key)
+
+    def num_breakpoints(self) -> int:
+        """Total PLA breakpoints across all cells."""
+        return sum(
+            curve.num_breakpoints() for row in self._curves for curve in row
+        )
+
+    def memory_bytes(self) -> int:
+        """Breakpoints (16 bytes each) + the live table."""
+        total = self._cm.memory_bytes() + self._total_curve.memory_bytes()
+        for row in self._curves:
+            for curve in row:
+                total += curve.memory_bytes()
+        return total

@@ -1,0 +1,110 @@
+"""PCM_HH: heavy-hitter retrieval over persistent Count-Min sketches.
+
+The paper's strongest prior-work baseline for ATTP/BITP heavy hitters: one
+:class:`~repro.baselines.pcm.PersistentCountMin` per dyadic level of the key
+universe (the paper builds 22 levels for Client-ID, 17 for Object-ID).
+Heavy hitters at time ``t`` are found by descending the dyadic tree and
+expanding only nodes whose interpolated count passes the threshold.
+
+BITP-style (suffix) queries are answered by differencing two FATP estimates
+— ``count[0, now] - count[0, t)`` — which a FATP sketch supports but which
+compounds the interpolation error, another effect visible in the paper's
+BITP experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.pcm import PersistentCountMin
+
+
+class PcmHeavyHitter:
+    """Dyadic hierarchy of persistent CountMin sketches (PCM_HH)."""
+
+    def __init__(
+        self,
+        universe_bits: int,
+        eps: float,
+        depth: int = 3,
+        pla_delta: float = 16.0,
+        seed: int = 0,
+    ):
+        if universe_bits < 1:
+            raise ValueError(f"universe_bits must be >= 1, got {universe_bits}")
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        self.universe_bits = universe_bits
+        self.eps = eps
+        width = max(4, int(2.0 / eps))
+        self.levels: List[PersistentCountMin] = [
+            PersistentCountMin(width, depth, pla_delta=pla_delta, seed=seed + level)
+            for level in range(universe_bits + 1)
+        ]
+        self.count = 0
+
+    def update(self, key: int, timestamp: float, weight: int = 1) -> None:
+        """Add ``weight`` to ``key`` at ``timestamp`` in every level."""
+        if not 0 <= key < (1 << self.universe_bits):
+            raise ValueError(f"key {key} outside universe [0, 2**{self.universe_bits})")
+        self.count += 1
+        for level, sketch in enumerate(self.levels):
+            sketch.update(key >> level, timestamp, weight)
+
+    def total_weight_at(self, timestamp: float) -> float:
+        """Interpolated total stream weight at ``timestamp``."""
+        return self.levels[0].total_weight_at(timestamp)
+
+    def estimate_at(self, key: int, timestamp: float) -> float:
+        """Point estimate of ``key``'s count in ``A^timestamp``."""
+        return self.levels[0].estimate_at(key, timestamp)
+
+    def estimate_since(self, key: int, timestamp: float) -> float:
+        """Window estimate by differencing (FATP emulating BITP)."""
+        now = self.levels[0].estimate_now(key)
+        return max(0.0, float(now) - self.levels[0].estimate_at(key, timestamp))
+
+    def heavy_hitters_at(self, timestamp: float, phi: float) -> List[int]:
+        """Keys with estimated prefix count >= ``phi * n(t)``."""
+        if not 0 < phi <= 1:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        cut = phi * self.total_weight_at(timestamp)
+        return self._descend(cut, lambda sketch, node: sketch.estimate_at(node, timestamp))
+
+    def heavy_hitters_since(self, timestamp: float, phi: float) -> List[int]:
+        """Keys with estimated window count >= ``phi * |window|``."""
+        if not 0 < phi <= 1:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        window = max(
+            0.0, self.levels[0].total_weight - self.total_weight_at(timestamp)
+        )
+        if window == 0.0:
+            return []
+        cut = phi * window
+
+        def window_estimate(sketch: PersistentCountMin, node: int) -> float:
+            return max(
+                0.0, float(sketch.estimate_now(node)) - sketch.estimate_at(node, timestamp)
+            )
+
+        return self._descend(cut, window_estimate)
+
+    def _descend(self, cut: float, estimate) -> List[int]:
+        if cut <= 0:
+            raise ValueError("non-positive heavy-hitter threshold")
+        hitters = []
+        frontier = [(self.universe_bits, 0)]
+        while frontier:
+            level, node = frontier.pop()
+            if estimate(self.levels[level], node) < cut:
+                continue
+            if level == 0:
+                hitters.append(node)
+            else:
+                frontier.append((level - 1, node * 2))
+                frontier.append((level - 1, node * 2 + 1))
+        return sorted(hitters)
+
+    def memory_bytes(self) -> int:
+        """Sum over all per-level persistent CountMin sketches."""
+        return sum(sketch.memory_bytes() for sketch in self.levels)

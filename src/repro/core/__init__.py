@@ -1,0 +1,54 @@
+"""Persistence core: the paper's ATTP/BITP constructions.
+
+* Section 3  — persistent random samples (uniform & weighted, ATTP & BITP)
+* Section 4  — checkpoint chaining (full-sketch and elementwise) and PFD
+* Section 5  — merge-tree persistence for mergeable sketches
+"""
+
+from repro.core.base import (
+    AttpSketch,
+    BitpSketch,
+    MergeableSketch,
+    MonotoneViolation,
+    Sketch,
+    StreamItem,
+    TimestampGuard,
+)
+from repro.core.bitp_sampling import BitpPrioritySample
+from repro.core.checkpoint_chain import CheckpointChain
+from repro.core.elementwise import ChainCountMin, ChainCountSketch, ChainMisraGries
+from repro.core.interval_index import IntervalIndex
+from repro.core.merge_tree import MergeTreePersistence
+from repro.core.persistent_priority import PersistentPrioritySample, PersistentWeightedWR
+from repro.core.persistent_sampling import (
+    PersistentReservoirChains,
+    PersistentTopKSample,
+    SampleRecord,
+)
+from repro.core.pfd import PersistentFrequentDirections
+from repro.core.timeindex import GeometricHistory, History
+
+__all__ = [
+    "AttpSketch",
+    "BitpPrioritySample",
+    "BitpSketch",
+    "ChainCountMin",
+    "ChainCountSketch",
+    "ChainMisraGries",
+    "CheckpointChain",
+    "GeometricHistory",
+    "History",
+    "IntervalIndex",
+    "MergeTreePersistence",
+    "MergeableSketch",
+    "MonotoneViolation",
+    "PersistentFrequentDirections",
+    "PersistentPrioritySample",
+    "PersistentReservoirChains",
+    "PersistentTopKSample",
+    "PersistentWeightedWR",
+    "SampleRecord",
+    "Sketch",
+    "StreamItem",
+    "TimestampGuard",
+]

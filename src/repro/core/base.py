@@ -1,0 +1,119 @@
+"""Shared types and protocols for persistent sketches.
+
+The paper (Section 2.3) defines a stream ``A = ((a_1, t_1), ..., (a_n, t_n))``
+with strictly increasing timestamps (ties broken by arrival order), and two
+persistence models over it:
+
+* **ATTP** — query the summary of the *prefix* ``A^t = A[t_0, t]``.
+* **BITP** — query the summary of the *suffix* ``A^{-t} = A[t, t_now]``.
+
+Every persistent sketch in this package implements one of the two small
+interfaces below.  Plain streaming sketches (the substrate in
+:mod:`repro.sketches`) follow the structural protocols ``Sketch`` /
+``MergeableSketch``; no inheritance is required of them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StreamItem:
+    """One timestamped stream element.
+
+    ``value`` is the object (an integer id, a vector, ...), ``timestamp`` the
+    arrival time, and ``weight`` an optional non-negative importance used by
+    weighted samplers (implicit weights such as squared row norms are computed
+    by the sketches themselves).
+    """
+
+    value: Any
+    timestamp: float
+    weight: float = 1.0
+
+
+@runtime_checkable
+class Sketch(Protocol):
+    """Minimal streaming-sketch protocol: ingest and account memory."""
+
+    def update(self, *args, **kwargs) -> None: ...
+
+    def memory_bytes(self) -> int: ...
+
+
+@runtime_checkable
+class MergeableSketch(Protocol):
+    """A sketch whose summaries combine without re-inspecting the data."""
+
+    def update(self, *args, **kwargs) -> None: ...
+
+    def merge(self, other: Any) -> None: ...
+
+    def memory_bytes(self) -> int: ...
+
+
+class MonotoneViolation(ValueError):
+    """Raised when a stream update arrives with a decreasing timestamp."""
+
+
+@dataclass
+class TimestampGuard:
+    """Enforces non-decreasing timestamps on a stream consumer.
+
+    The paper assumes increasing timestamps with ties handled "through an
+    assigned canonical order"; we therefore accept equal timestamps (arrival
+    order is the canonical order) and reject only decreases.
+    """
+
+    last: float = field(default=float("-inf"))
+
+    def check(self, timestamp: float) -> float:
+        """Validate and record one timestamp; returns it unchanged."""
+        if not math.isfinite(timestamp):
+            raise ValueError(f"timestamp must be finite, got {timestamp}")
+        if timestamp < self.last:
+            raise MonotoneViolation(
+                f"timestamp {timestamp} is earlier than the previous {self.last}"
+            )
+        self.last = timestamp
+        return timestamp
+
+
+def check_positive_weight(weight: float) -> float:
+    """Validate a stream weight: finite and strictly positive.
+
+    ``weight <= 0`` alone would let NaN (never comparable) and +inf through,
+    silently poisoning priorities and weight totals — a persistent structure
+    cannot afford that, so reject loudly.
+    """
+    if not (weight > 0) or math.isinf(weight):
+        raise ValueError(f"weight must be finite and positive, got {weight}")
+    return weight
+
+
+def check_finite_row(row: np.ndarray) -> np.ndarray:
+    """Validate a matrix row: all entries finite."""
+    if not np.isfinite(row).all():
+        raise ValueError("matrix row contains NaN or infinite entries")
+    return row
+
+
+class AttpSketch(Protocol):
+    """At-the-time persistent sketch: answers queries on any prefix A^t."""
+
+    def update(self, value: Any, timestamp: float, weight: float = 1.0) -> None: ...
+
+    def memory_bytes(self) -> int: ...
+
+
+class BitpSketch(Protocol):
+    """Back-in-time persistent sketch: answers queries on any suffix A^{-t}."""
+
+    def update(self, value: Any, timestamp: float, weight: float = 1.0) -> None: ...
+
+    def memory_bytes(self) -> int: ...

@@ -1,0 +1,202 @@
+"""BITP persistent random samples (Section 3.2 of the paper).
+
+A BITP query at time ``s`` asks for a sample of the *suffix* ``A[s, t_now]``.
+Simulate without-replacement (priority) sampling and observe: item ``i`` can
+appear in the top-``k`` of some suffix only while fewer than ``k`` *later*
+items have larger priority.  Once ``k`` later items outrank it, it is dead
+for every future query and can be discarded.
+
+A naive implementation pays O(k) per item; the paper's batched variant caches
+arrivals and, whenever the cache reaches the size of the kept set, performs
+one new-to-old *compaction scan* that retains an item iff fewer than ``k``
+already-scanned (= later) items have larger priority — O(log k) amortised
+expected time per item, at the cost of a constant-factor space increase
+(Corollary 3.1).
+
+Discarding an item never hides a kill: if ``k`` later items outrank item
+``x`` they also outrank every earlier item with smaller priority than ``x``,
+so scanning only survivors plus the cache is sound.
+
+``slack`` extra survivors per scan keep the (k+1)-th largest priority of any
+suffix available, so priority-sampling subset-sum estimates stay unbiased.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, List
+
+import numpy as np
+
+from repro.core.base import TimestampGuard, check_positive_weight
+
+_RNG_SALT_BITP = 105
+
+
+@dataclass
+class _Entry:
+    value: Any
+    timestamp: float
+    weight: float
+    priority: float
+    arrival: int  # 1-based arrival index; used to estimate suffix sizes
+
+
+class BitpPrioritySample:
+    """BITP weighted (or uniform) without-replacement sample of size ``k``.
+
+    With ``weight=1`` updates this is the BITP uniform sampler; with
+    ``weight=||a_i||^2`` it is BITP norm sampling.  ``sample_since(s)``
+    returns the top-``k`` priority sample of all items with timestamp >= s.
+    """
+
+    def __init__(self, k: int, seed: int = 0, slack: int = 1, batch_factor: float = 1.0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if slack < 0:
+            raise ValueError(f"slack must be >= 0, got {slack}")
+        if batch_factor <= 0:
+            raise ValueError(f"batch_factor must be positive, got {batch_factor}")
+        self.k = k
+        self.slack = slack
+        self.batch_factor = batch_factor
+        # Component-salted stream (see PersistentTopKSample for rationale).
+        self._rng = np.random.default_rng([seed, _RNG_SALT_BITP])
+        self._guard = TimestampGuard()
+        self._kept: List[_Entry] = []  # survivors, in arrival order
+        self._cache: List[_Entry] = []  # recent arrivals, in arrival order
+        self.count = 0
+        self.total_weight = 0.0
+        self.peak_memory_bytes = 0
+        self.compaction_scans = 0
+
+    def update(self, value: Any, timestamp: float, weight: float = 1.0) -> None:
+        """Offer one stream item with positive weight."""
+        check_positive_weight(weight)
+        self._guard.check(timestamp)
+        self.count += 1
+        self.total_weight += weight
+        u = float(self._rng.random())
+        while u == 0.0:
+            u = float(self._rng.random())
+        self._cache.append(
+            _Entry(value, timestamp, weight, weight / u, self.count)
+        )
+        if len(self._cache) >= max(
+            2 * self.k, int(self.batch_factor * len(self._kept))
+        ):
+            self._compact()
+        else:
+            self._track_peak()
+
+    def update_many(self, values, timestamps, weights=None) -> None:
+        """Offer a batch of items (equivalent to repeated :meth:`update`).
+
+        Priorities are drawn in one vectorised call, matching the sequential
+        PCG64 stream (up to the astronomically unlikely u=0 redraw).
+        """
+        if len(values) != len(timestamps):
+            raise ValueError(
+                f"values and timestamps differ in length: "
+                f"{len(values)} vs {len(timestamps)}"
+            )
+        if weights is None:
+            weights = np.ones(len(values))
+        elif len(weights) != len(values):
+            raise ValueError("weights length does not match values")
+        uniforms = self._rng.random(len(values))
+        check = self._guard.check
+        for index in range(len(values)):
+            weight = float(weights[index])
+            check_positive_weight(weight)
+            timestamp = timestamps[index]
+            check(timestamp)
+            self.count += 1
+            self.total_weight += weight
+            u = float(uniforms[index])
+            while u == 0.0:
+                u = float(self._rng.random())
+            self._cache.append(
+                _Entry(values[index], timestamp, weight, weight / u, self.count)
+            )
+            if len(self._cache) >= max(
+                2 * self.k, int(self.batch_factor * len(self._kept))
+            ):
+                self._compact()
+        self._track_peak()
+
+    def _compact(self) -> None:
+        """New-to-old scan keeping items with < k + slack later, larger priorities."""
+        self.compaction_scans += 1
+        self._track_peak()
+        merged = self._kept + self._cache  # arrival order
+        limit = self.k + self.slack
+        top: List[float] = []  # min-heap of the `limit` largest scanned priorities
+        survivors: List[_Entry] = []
+        for entry in reversed(merged):
+            if len(top) < limit:
+                survivors.append(entry)
+                heapq.heappush(top, entry.priority)
+            elif entry.priority > top[0]:
+                survivors.append(entry)
+                heapq.heapreplace(top, entry.priority)
+            # else: k+slack later items outrank it -> dead for all suffixes.
+        survivors.reverse()
+        self._kept = survivors
+        self._cache = []
+        self._track_peak()
+
+    def _track_peak(self) -> None:
+        size = self.memory_bytes()
+        if size > self.peak_memory_bytes:
+            self.peak_memory_bytes = size
+
+    def _entries_since(self, timestamp: float) -> List[_Entry]:
+        self._compact()
+        return [entry for entry in self._kept if entry.timestamp >= timestamp]
+
+    def sample_since(self, timestamp: float) -> list:
+        """``(value, adjusted_weight)`` top-k priority sample of ``A[timestamp, now]``.
+
+        Adjusted weights use the (k+1)-th largest suffix priority as the
+        threshold, so subset sums over the window are estimated unbiasedly.
+        """
+        window = self._entries_since(timestamp)
+        window.sort(key=lambda entry: -entry.priority)
+        kept = window[: self.k]
+        tau = window[self.k].priority if len(window) > self.k else 0.0
+        return [(entry.value, max(entry.weight, tau)) for entry in kept]
+
+    def raw_sample_since(self, timestamp: float) -> list:
+        """``(value, original_weight)`` pairs of the suffix sample."""
+        window = self._entries_since(timestamp)
+        window.sort(key=lambda entry: -entry.priority)
+        return [(entry.value, entry.weight) for entry in window[: self.k]]
+
+    def estimate_subset_sum_since(self, timestamp: float, predicate: Callable) -> float:
+        """Unbiased estimate of the matching total weight in ``A[timestamp, now]``."""
+        return sum(w for value, w in self.sample_since(timestamp) if predicate(value))
+
+    def suffix_count_since(self, timestamp: float) -> int:
+        """Estimated number of items with ``t >= timestamp``.
+
+        Exact while the oldest retained entry at or after ``timestamp`` is the
+        true first suffix item; otherwise off by the few discarded items in
+        between (relative error ~1/k, see module docstring).
+        """
+        window = self._entries_since(timestamp)
+        if not window:
+            return 0
+        return self.count - window[0].arrival + 1
+
+    def kept_count(self) -> int:
+        """Survivors + cached entries currently stored."""
+        return len(self._kept) + len(self._cache)
+
+    def memory_bytes(self) -> int:
+        """Entry: id(4)+time(8)+weight(8)+priority(8)+arrival(8)."""
+        return self.kept_count() * 36
+
+    def __len__(self) -> int:
+        return self.kept_count()

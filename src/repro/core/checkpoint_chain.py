@@ -1,0 +1,149 @@
+"""Checkpoint chaining: streaming sketch -> ATTP sketch (Section 4, Lemma 4.1).
+
+Run the streaming sketch as usual; additionally snapshot ("checkpoint") its
+full state whenever the stream weight has grown by a factor ``1 + eps`` since
+the last checkpoint.  A query at time ``t`` is answered from the latest
+checkpoint at or before ``t``; the weight that arrived after that checkpoint
+is at most ``eps * W(t)``, so any additive-error guarantee of the base sketch
+degrades by only ``eps * W(t)``.  The number of checkpoints is
+``O((1/eps) log W)`` because the checkpoint weights grow geometrically.
+
+The snapshot taken when item ``a_i`` crosses the threshold is of the state
+*before* ``a_i`` is applied, stamped with the previous element's timestamp —
+exactly the paper's construction.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Callable, Optional
+
+from repro.core.base import TimestampGuard, check_positive_weight
+from repro.core.timeindex import History
+
+
+class CheckpointChain:
+    """Generic full-sketch checkpoint chain over any additive-error sketch.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Zero-argument callable building a fresh streaming sketch.
+    eps:
+        Relative weight growth between checkpoints (the chaining error).
+    apply_update:
+        ``(sketch, value, weight) -> None``; defaults to
+        ``sketch.update(value, weight)`` and falls back to
+        ``sketch.update(value)`` for unweighted sketches.
+    snapshot:
+        ``(sketch) -> frozen state``; defaults to ``copy.deepcopy``.
+    """
+
+    def __init__(
+        self,
+        sketch_factory: Callable[[], Any],
+        eps: float,
+        apply_update: Optional[Callable] = None,
+        snapshot: Optional[Callable] = None,
+    ):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        self.eps = eps
+        self.live = sketch_factory()
+        self._apply_update = apply_update or _resolve_apply(self.live)
+        self._snapshot = snapshot or copy.deepcopy
+        self._guard = TimestampGuard()
+        self._checkpoints = History()
+        self._weight_at_last_checkpoint = 0.0
+        self._previous_timestamp: Optional[float] = None
+        self.total_weight = 0.0
+        self.count = 0
+
+    def update(self, value: Any, timestamp: float, weight: float = 1.0) -> None:
+        """Feed one stream item through the chain."""
+        check_positive_weight(weight)
+        self._guard.check(timestamp)
+        threshold_crossed = (
+            self._weight_at_last_checkpoint > 0.0
+            and self.total_weight - self._weight_at_last_checkpoint
+            > self.eps * self._weight_at_last_checkpoint
+        )
+        if threshold_crossed:
+            # Snapshot the state *before* this item, at the previous timestamp.
+            self._checkpoints.append(
+                self._previous_timestamp, self._snapshot(self.live)
+            )
+            self._weight_at_last_checkpoint = self.total_weight
+        self._apply_update(self.live, value, weight)
+        self.total_weight += weight
+        self.count += 1
+        self._previous_timestamp = timestamp
+        if self._weight_at_last_checkpoint == 0.0:
+            # Seed the chain: first checkpoint after the first item.
+            self._checkpoints.append(timestamp, self._snapshot(self.live))
+            self._weight_at_last_checkpoint = self.total_weight
+
+    def sketch_at(self, timestamp: float) -> Any:
+        """The checkpointed sketch state as of ``timestamp`` (or None).
+
+        The returned object is the stored snapshot; callers must not mutate
+        it.  For ``timestamp`` at or past the last update, the live sketch is
+        returned (zero staleness).
+        """
+        if self._previous_timestamp is not None and timestamp >= self._previous_timestamp:
+            return self.live
+        return self._checkpoints.value_at(timestamp)
+
+    def num_checkpoints(self) -> int:
+        """Number of stored snapshots."""
+        return len(self._checkpoints)
+
+    def checkpoints(self):
+        """Iterate ``(timestamp, snapshot)`` pairs (oldest first)."""
+        return iter(self._checkpoints)
+
+    def memory_bytes(self) -> int:
+        """Sum of snapshot sizes (via each snapshot's ``memory_bytes``) plus
+        the live sketch and an 8-byte timestamp per checkpoint."""
+        total = self.live.memory_bytes()
+        for _, snap in self._checkpoints:
+            total += snap.memory_bytes() + 8
+        return total
+
+
+def apply_weighted(target: Any, value: Any, weight: float) -> None:
+    """Standard apply for sketches with ``update(value, weight)``."""
+    target.update(value, weight)
+
+
+def apply_unweighted(target: Any, value: Any, weight: float) -> None:
+    """Apply for single-argument sketches; rejects non-unit weights."""
+    if weight != 1.0:
+        raise ValueError(
+            f"{type(target).__name__}.update takes no weight; got weight={weight}"
+        )
+    target.update(value)
+
+
+def apply_value_only(target: Any, value: Any, weight: float) -> None:
+    """Apply that drops the weight (e.g. matrix rows into FD sketches)."""
+    target.update(value)
+
+
+def apply_int_weighted(target: Any, value: Any, weight: float) -> None:
+    """Apply for integer-count sketches (e.g. Misra-Gries)."""
+    target.update(value, int(weight))
+
+
+def _resolve_apply(sketch: Any) -> Callable:
+    """Pick the update convention once, from the sketch's signature.
+
+    Sketches with a two-argument ``update(value, weight)`` receive the weight;
+    single-argument ones (e.g. KLL) must only be fed unit weights.  The
+    returned functions are module-level so chains stay picklable.
+    """
+    params = list(inspect.signature(sketch.update).parameters.values())
+    if len(params) >= 2:
+        return apply_weighted
+    return apply_unweighted

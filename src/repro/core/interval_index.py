@@ -1,0 +1,120 @@
+"""Interval index for persistent-sample queries (Section 3, "Queries").
+
+A persistent sample holds records with lifetimes ``[birth, death)``.  The
+naive ``sample_at(t)`` scans all ``O(k log n)`` records; the paper notes the
+active records can be indexed as intervals and queried in
+``O(k + log k log log n)`` time.  This module implements a static interval
+tree (centered / Edelsbrunner-style) built once over the records, answering
+stabbing queries in ``O(log m + answer)`` time.
+
+Build it lazily after the stream (or rebuild on demand); persistent samplers
+expose it through ``build_interval_index()`` / indexed ``sample_at``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+_INF = float("inf")
+
+
+class _CenterNode:
+    __slots__ = ("center", "by_start", "by_end", "left", "right")
+
+    def __init__(self, center: float):
+        self.center = center
+        # Intervals containing `center`, sorted two ways for one-sided scans.
+        self.by_start: List[Tuple[float, Any]] = []
+        self.by_end: List[Tuple[float, Any]] = []
+        self.left: Optional[_CenterNode] = None
+        self.right: Optional[_CenterNode] = None
+
+
+class IntervalIndex:
+    """Static centered interval tree over ``(start, end, payload)`` triples.
+
+    Intervals are half-open ``[start, end)``; ``end`` may be ``None`` /
+    ``inf`` for still-alive records.  ``stab(t)`` returns the payloads of all
+    intervals containing ``t``.
+    """
+
+    def __init__(self, intervals: Sequence[Tuple[float, Optional[float], Any]]):
+        normalized = [
+            (start, _INF if end is None else end, payload)
+            for start, end, payload in intervals
+        ]
+        for start, end, _ in normalized:
+            if end <= start:
+                raise ValueError(f"empty interval [{start}, {end})")
+        self._size = len(normalized)
+        self._root = self._build(normalized)
+
+    def _build(self, intervals: List[Tuple[float, float, Any]]) -> Optional[_CenterNode]:
+        if not intervals:
+            return None
+        endpoints = sorted(
+            {start for start, _, _ in intervals}
+            | {end for _, end, _ in intervals if end is not _INF}
+        )
+        if not endpoints:
+            endpoints = [0.0]
+        # Lower median: guarantees both recursive sides strictly shrink
+        # (no interval can end at or before the minimum endpoint).
+        center = endpoints[(len(endpoints) - 1) // 2]
+        node = _CenterNode(center)
+        left_side, right_side = [], []
+        containing = []
+        for interval in intervals:
+            start, end, _ = interval
+            if end <= center:
+                left_side.append(interval)
+            elif start > center:
+                right_side.append(interval)
+            else:
+                containing.append(interval)
+        node.by_start = sorted(
+            ((start, payload) for start, _, payload in containing),
+            key=lambda pair: pair[0],
+        )
+        node.by_end = sorted(
+            ((end, payload) for _, end, payload in containing),
+            key=lambda pair: pair[0],
+        )
+        node.left = self._build(left_side)
+        node.right = self._build(right_side)
+        return node
+
+    def stab(self, t: float) -> List[Any]:
+        """Payloads of all intervals with ``start <= t < end``."""
+        out: List[Any] = []
+        node = self._root
+        while node is not None:
+            if t < node.center:
+                # Containing intervals qualify iff start <= t.
+                for start, payload in node.by_start:
+                    if start > t:
+                        break
+                    out.append(payload)
+                node = node.left
+            elif t > node.center:
+                # Containing intervals qualify iff end > t; scan largest-end
+                # first.
+                for end, payload in reversed(node.by_end):
+                    if end <= t:
+                        break
+                    out.append(payload)
+                node = node.right
+            else:
+                # t == center: exactly the containing intervals cover it —
+                # left-subtree intervals end at or before the (half-open)
+                # center and right-subtree ones start strictly after it.
+                out.extend(payload for _, payload in node.by_start)
+                break
+        return out
+
+    def __len__(self) -> int:
+        return self._size
+
+    def memory_bytes(self) -> int:
+        """Two 8-byte endpoints + 4-byte payload ref per interval, x2 lists."""
+        return self._size * 40

@@ -1,0 +1,262 @@
+"""Dyadic merge-tree persistence for mergeable sketches (Section 5, Thm 5.1).
+
+Decompose the stream into dyadic intervals over fixed-size leaf blocks.  The
+streaming "binary counter" maintains one complete subtree sketch per power-of
+two size (the *spine*).  When two equal-size subtrees merge into their
+parent, the children become historical nodes; we *retain* a child iff it is
+within depth ``log(1/eps)`` of the relevant spine:
+
+* **ATTP** — retain node ``[a, b)`` iff ``b - a >= (eps/2) * a`` (close to
+  the *left* spine).  The rule is static, decided once at merge time.
+* **BITP** — retain node ``[a, b)`` while ``b - a >= (eps/2) * (n - b)``
+  (close to the *right* spine).  The rule decays as the stream grows, so
+  nodes are pruned lazily.
+
+A prefix query at time ``t`` greedily covers ``[0, m)`` (``m`` = items at or
+before ``t``) with the largest available nodes left-to-right and merges their
+sketches; the first unavailable node is smaller than ``(eps/2) m``, so the
+uncovered tail is below ``eps * m`` — an ``eps``-additive answer for any
+mergeable sketch, with total space ``O(s(1/eps) * (1/eps) * log n)``.
+Suffix (BITP) queries run the same cover right-to-left from ``n``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.core.base import TimestampGuard
+
+_NODE_OVERHEAD_BYTES = 32  # start, end indices + two timestamps
+
+
+@dataclass
+class _Node:
+    start: int  # item index, inclusive
+    end: int  # item index, exclusive
+    t_start: float
+    t_end: float
+    sketch: Any
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+class MergeTreePersistence:
+    """Generic ATTP/BITP persistence over any mergeable sketch.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Builds an empty mergeable sketch (``update``, ``merge``,
+        ``memory_bytes``).
+    eps:
+        Coverage slack: queries may ignore up to an ``eps`` fraction of the
+        queried range (the persistence error — the base sketch's own error
+        comes on top).
+    mode:
+        ``"attp"`` for prefix queries, ``"bitp"`` for suffix queries.
+    block_size:
+        Items per leaf block; granularity of query boundaries.
+    apply_update:
+        ``(sketch, value, weight) -> None`` override, as in CheckpointChain.
+    """
+
+    def __init__(
+        self,
+        sketch_factory: Callable[[], Any],
+        eps: float,
+        mode: str = "attp",
+        block_size: int = 64,
+        apply_update: Optional[Callable] = None,
+    ):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        if mode not in ("attp", "bitp"):
+            raise ValueError(f"mode must be 'attp' or 'bitp', got {mode!r}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.eps = eps
+        self.mode = mode
+        self.block_size = block_size
+        self._factory = sketch_factory
+        self._apply = apply_update or _resolve_apply(sketch_factory())
+        self._guard = TimestampGuard()
+        self._spine: List[_Node] = []  # strictly decreasing power-of-2 sizes
+        self._retained: List[_Node] = []
+        self._block_sketch = sketch_factory()
+        self._block_start = 0
+        self._block_t_start: Optional[float] = None
+        self._block_t_end: Optional[float] = None
+        self._block_count = 0
+        self.count = 0
+        self.peak_memory_bytes = 0
+
+    def update(self, value: Any, timestamp: float, weight: float = 1.0) -> None:
+        """Feed one stream item."""
+        self._guard.check(timestamp)
+        if self._block_count == 0:
+            self._block_t_start = timestamp
+        self._apply(self._block_sketch, value, weight)
+        self._block_t_end = timestamp
+        self._block_count += 1
+        self.count += 1
+        if self._block_count == self.block_size:
+            self._seal_block()
+            # Peak tracking at block boundaries: between seals the only
+            # growth is inside the live block, which the next seal captures.
+            size = self.memory_bytes()
+            if size > self.peak_memory_bytes:
+                self.peak_memory_bytes = size
+
+    def _seal_block(self) -> None:
+        node = _Node(
+            start=self._block_start,
+            end=self._block_start + self._block_count,
+            t_start=self._block_t_start,
+            t_end=self._block_t_end,
+            sketch=self._block_sketch,
+        )
+        self._block_start = node.end
+        self._block_sketch = self._factory()
+        self._block_t_start = None
+        self._block_t_end = None
+        self._block_count = 0
+        self._spine.append(node)
+        self._carry()
+
+    def _carry(self) -> None:
+        spine = self._spine
+        while len(spine) >= 2 and spine[-1].size == spine[-2].size:
+            right = spine.pop()
+            left = spine.pop()
+            parent_sketch = copy.deepcopy(left.sketch)
+            parent_sketch.merge(right.sketch)
+            parent = _Node(
+                start=left.start,
+                end=right.end,
+                t_start=left.t_start,
+                t_end=right.t_end,
+                sketch=parent_sketch,
+            )
+            for child in (left, right):
+                if self._retain_rule(child):
+                    self._retained.append(child)
+            spine.append(parent)
+        if self.mode == "bitp":
+            self._prune_retained()
+
+    def _retain_rule(self, node: _Node) -> bool:
+        if self.mode == "attp":
+            return node.size >= (self.eps / 2.0) * node.start
+        return node.size >= (self.eps / 2.0) * (self.count - node.end)
+
+    def _prune_retained(self) -> None:
+        self._retained = [node for node in self._retained if self._retain_rule(node)]
+
+    def _candidates(self) -> List[_Node]:
+        return self._spine + self._retained
+
+    def sketch_at(self, timestamp: float) -> Any:
+        """ATTP query: merged sketch covering (almost all of) ``A^timestamp``."""
+        if self.mode != "attp":
+            raise RuntimeError("sketch_at is only available in ATTP mode")
+        usable = [node for node in self._candidates() if node.t_end <= timestamp]
+        by_start: dict = {}
+        for node in usable:
+            best = by_start.get(node.start)
+            if best is None or node.size > best.size:
+                by_start[node.start] = node
+        result = None
+        position = 0
+        while position in by_start:
+            node = by_start[position]
+            if result is None:
+                result = copy.deepcopy(node.sketch)
+            else:
+                result.merge(node.sketch)
+            position = node.end
+        # Include the live partial block when it is fully inside the prefix.
+        if (
+            position == self._block_start
+            and self._block_count > 0
+            and self._block_t_end is not None
+            and self._block_t_end <= timestamp
+        ):
+            if result is None:
+                result = copy.deepcopy(self._block_sketch)
+            else:
+                result.merge(self._block_sketch)
+        if result is None:
+            result = self._factory()
+        return result
+
+    def sketch_since(self, timestamp: float) -> Any:
+        """BITP query: merged sketch covering (almost all of) ``A[timestamp, now]``."""
+        if self.mode != "bitp":
+            raise RuntimeError("sketch_since is only available in BITP mode")
+        usable = [node for node in self._candidates() if node.t_start >= timestamp]
+        by_end: dict = {}
+        for node in usable:
+            best = by_end.get(node.end)
+            if best is None or node.size > best.size:
+                by_end[node.end] = node
+        result = None
+        position = self._block_start
+        # The live partial block is always the newest part of any window.
+        if self._block_count > 0 and self._block_t_start >= timestamp:
+            result = copy.deepcopy(self._block_sketch)
+        while position in by_end:
+            node = by_end[position]
+            if result is None:
+                result = copy.deepcopy(node.sketch)
+            else:
+                result.merge(node.sketch)
+            position = node.start
+        # Block granularity at the window's old edge: when the cover stops at
+        # a leaf that straddles the window start, include it — this overcounts
+        # by at most one block and keeps sub-block windows answerable.
+        boundary = self._smallest_node_ending_at(position)
+        if (
+            boundary is not None
+            and boundary.size <= self.block_size
+            and boundary.t_end >= timestamp > boundary.t_start
+        ):
+            if result is None:
+                result = copy.deepcopy(boundary.sketch)
+            else:
+                result.merge(boundary.sketch)
+        if result is None:
+            result = self._factory()
+        return result
+
+    def _smallest_node_ending_at(self, position: int) -> Optional[_Node]:
+        best = None
+        for node in self._candidates():
+            if node.end == position and (best is None or node.size < best.size):
+                best = node
+        return best
+
+    def num_nodes(self) -> int:
+        """Stored nodes (spine + retained), excluding the live block."""
+        return len(self._spine) + len(self._retained)
+
+    def memory_bytes(self) -> int:
+        """Sum of node sketch sizes plus per-node overhead and the live block."""
+        total = self._block_sketch.memory_bytes()
+        for node in self._candidates():
+            total += node.sketch.memory_bytes() + _NODE_OVERHEAD_BYTES
+        return total
+
+
+def _resolve_apply(probe: Any) -> Callable:
+    import inspect
+
+    from repro.core.checkpoint_chain import apply_unweighted, apply_weighted
+
+    params = list(inspect.signature(probe.update).parameters.values())
+    if len(params) >= 2:
+        return apply_weighted
+    return apply_unweighted

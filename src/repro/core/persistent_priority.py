@@ -1,0 +1,226 @@
+"""ATTP persistent *weighted* random samples (Section 3.1 of the paper).
+
+* :class:`PersistentPrioritySample` — priority sampling (Duffield et al.)
+  made persistent: item ``a_i`` with weight ``w_i`` gets priority
+  ``q_i = w_i / u_i``; the top-``k`` priorities of any prefix form a weighted
+  without-replacement sample.  Displaced records are death-marked.  The
+  reweighting threshold ``tau(t)`` (the (k+1)-th largest priority of the
+  prefix) is itself monotone in ``t`` and is recorded as a small history, so
+  historical subset-sum estimates stay unbiased.  Theorem 3.2 bounds the
+  records by ``O(k (log n + log U))`` for U-bounded weights.
+
+* :class:`PersistentWeightedWR` — ``k`` independent weighted
+  with-replacement chains (replace with probability ``w_i / W_i``), the
+  construction analysed in Lemma 3.2.  This is the paper's NSWR when weights
+  are squared row norms.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Any, Callable, List
+
+import numpy as np
+
+from repro.core.base import TimestampGuard, check_positive_weight
+from repro.core.persistent_sampling import SampleRecord
+from repro.core.timeindex import GeometricHistory, History
+
+# RNG stream salts (see PersistentTopKSample for rationale).
+_RNG_SALT_PRIORITY = 103
+_RNG_SALT_WEIGHTED_WR = 104
+
+
+class PersistentPrioritySample:
+    """ATTP weighted without-replacement sample of size ``k``."""
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._rng = np.random.default_rng([seed, _RNG_SALT_PRIORITY])
+        self._guard = TimestampGuard()
+        self._records: List[SampleRecord] = []
+        self._birth_times: List[float] = []
+        self._weights: List[float] = []  # parallel to _records
+        self._heap: List[tuple] = []  # (priority, record index) min-heap of live
+        # tau(t): (k+1)-th largest priority of the prefix at t; non-decreasing.
+        self._tau_history = History()
+        self._tau = 0.0
+        self._interval_index = None
+        self._records_at_index_build = -1
+        self.count = 0
+        self.total_weight = 0.0
+
+    def update(self, value: Any, timestamp: float, weight: float = 1.0) -> None:
+        """Offer one stream item with positive weight."""
+        check_positive_weight(weight)
+        self._guard.check(timestamp)
+        self.count += 1
+        self.total_weight += weight
+        u = float(self._rng.random())
+        while u == 0.0:
+            u = float(self._rng.random())
+        self._offer(value, timestamp, weight, weight / u)
+
+    def _offer(self, value: Any, timestamp: float, weight: float, priority: float) -> None:
+        heap = self._heap
+        if len(heap) >= self.k and priority <= heap[0][0]:
+            # Rejected, but it may still raise the (k+1)-th largest priority.
+            self._note_tau(timestamp, priority)
+            return
+        record = SampleRecord(value=value, priority=priority, birth=timestamp)
+        index = len(self._records)
+        self._records.append(record)
+        self._birth_times.append(timestamp)
+        self._weights.append(weight)
+        if len(heap) < self.k:
+            heapq.heappush(heap, (priority, index))
+        else:
+            evicted_priority, evicted = heapq.heapreplace(heap, (priority, index))
+            self._records[evicted].death = timestamp
+            self._note_tau(timestamp, evicted_priority)
+
+    def _note_tau(self, timestamp: float, candidate: float) -> None:
+        if candidate > self._tau:
+            self._tau = candidate
+            self._tau_history.append(timestamp, candidate)
+
+    def tau_at(self, timestamp: float) -> float:
+        """Reweighting threshold: (k+1)-th largest priority of ``A^timestamp``."""
+        return self._tau_history.value_at(timestamp, default=0.0)
+
+    def sample_at(self, timestamp: float) -> list:
+        """``(value, adjusted_weight)`` pairs sampled from ``A^timestamp``.
+
+        Adjusted weight is ``max(w_i, tau(t))``, making subset-sum estimates
+        unbiased for the prefix.  Served from the interval index when one is
+        current (see :meth:`build_interval_index`).
+        """
+        tau = self.tau_at(timestamp)
+        interval_index = self._interval_index
+        if (
+            interval_index is not None
+            and self._records_at_index_build == len(self._records)
+        ):
+            return [
+                (self._records[i].value, max(self._weights[i], tau))
+                for i in interval_index.stab(timestamp)
+            ]
+        end = bisect.bisect_right(self._birth_times, timestamp)
+        return [
+            (record.value, max(self._weights[index], tau))
+            for index, record in enumerate(self._records[:end])
+            if record.alive_at(timestamp)
+        ]
+
+    def build_interval_index(self) -> None:
+        """Index record lifetimes for fast historical queries (Section 3).
+
+        Static: serves queries until the next update, after which queries
+        fall back to the scan until rebuilt.  Payloads are record indices so
+        adjusted weights can still be computed per query time.
+        """
+        from repro.core.interval_index import IntervalIndex
+
+        self._interval_index = IntervalIndex(
+            [
+                (record.birth, record.death, i)
+                for i, record in enumerate(self._records)
+                if record.death is None or record.death > record.birth
+            ]
+        )
+        self._records_at_index_build = len(self._records)
+
+    def raw_sample_at(self, timestamp: float) -> list:
+        """``(value, original_weight)`` pairs sampled from ``A^timestamp``."""
+        end = bisect.bisect_right(self._birth_times, timestamp)
+        return [
+            (record.value, self._weights[index])
+            for index, record in enumerate(self._records[:end])
+            if record.alive_at(timestamp)
+        ]
+
+    def estimate_subset_sum_at(self, timestamp: float, predicate: Callable) -> float:
+        """Unbiased estimate of the matching total weight in ``A^timestamp``."""
+        return sum(w for value, w in self.sample_at(timestamp) if predicate(value))
+
+    def records(self) -> List[SampleRecord]:
+        """All records ever kept."""
+        return self._records
+
+    def memory_bytes(self) -> int:
+        """Record: id(4)+priority(8)+weight(8)+2 times(16); tau entry: 16."""
+        return len(self._records) * 36 + len(self._tau_history) * 16
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class PersistentWeightedWR:
+    """ATTP weighted with-replacement sample via ``k`` persistent chains."""
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._rng = np.random.default_rng([seed, _RNG_SALT_WEIGHTED_WR])
+        self._guard = TimestampGuard()
+        self._births: List[List[float]] = [[] for _ in range(k)]
+        self._values: List[List[Any]] = [[] for _ in range(k)]
+        self._chain_weights: List[List[float]] = [[] for _ in range(k)]
+        # Total-weight history so estimates can scale by W(t); geometric
+        # checkpointing keeps it at O(log W) entries.
+        self._weight_history = GeometricHistory(delta=0.01)
+        self.count = 0
+        self.total_weight = 0.0
+
+    def update(self, value: Any, timestamp: float, weight: float = 1.0) -> None:
+        """Offer one stream item with positive weight to every chain."""
+        check_positive_weight(weight)
+        self._guard.check(timestamp)
+        self.count += 1
+        self.total_weight += weight
+        self._weight_history.observe(timestamp, self.total_weight)
+        p = weight / self.total_weight
+        if p >= 1.0:
+            hits = range(self.k)
+        else:
+            hits = np.flatnonzero(self._rng.random(self.k) < p)
+        for chain in hits:
+            self._births[chain].append(timestamp)
+            self._values[chain].append(value)
+            self._chain_weights[chain].append(weight)
+
+    def total_weight_at(self, timestamp: float) -> float:
+        """W(t): total stream weight at or before ``timestamp``."""
+        return self._weight_history.value_at(timestamp)
+
+    def sample_at(self, timestamp: float) -> list:
+        """``(value, weight)`` with-replacement weighted sample of ``A^timestamp``."""
+        out = []
+        for chain in range(self.k):
+            idx = bisect.bisect_right(self._births[chain], timestamp) - 1
+            if idx >= 0:
+                out.append((self._values[chain][idx], self._chain_weights[chain][idx]))
+        return out
+
+    def estimate_subset_sum_at(self, timestamp: float, predicate: Callable) -> float:
+        """Estimate matching weight in ``A^timestamp``: ``W(t) * hits / k``."""
+        sample = self.sample_at(timestamp)
+        if not sample:
+            return 0.0
+        hits = sum(1 for value, _ in sample if predicate(value))
+        return self.total_weight_at(timestamp) * hits / len(sample)
+
+    def total_records(self) -> int:
+        """Number of records ever kept across chains (Lemma 3.2 bound)."""
+        return sum(len(births) for births in self._births)
+
+    def memory_bytes(self) -> int:
+        """Record: id(4)+birth(8)+weight(8), plus the W(t) checkpoint history."""
+        return self.total_records() * 20 + self._weight_history.memory_bytes()
+
+    def __len__(self) -> int:
+        return self.total_records()

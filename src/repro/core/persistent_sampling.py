@@ -1,0 +1,235 @@
+"""ATTP persistent uniform random samples (Section 3 of the paper).
+
+The key idea: run a streaming sampler, but *never delete* — when the sampler
+would evict an item at time ``t``, mark the item with death time ``t``
+instead.  The sample at any historical time ``t`` is then exactly the set of
+recorded items that were born at or before ``t`` and not yet dead at ``t``.
+Because the retention probability decays like ``k / i``, only ``O(k log n)``
+items are ever recorded (Lemma 3.1).
+
+Two constructions:
+
+* :class:`PersistentTopKSample` — the mergeable top-k-by-random-priority
+  sampler made persistent; yields a uniform *without replacement* sample of
+  any prefix.  This is the building block of the paper's SAMPLING method.
+* :class:`PersistentReservoirChains` — ``k`` independent persistent reservoir
+  chains (Algorithm R with k=1 each); yields a uniform *with replacement*
+  sample of any prefix and matches Lemma 3.1's analysis exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.core.base import TimestampGuard
+
+# RNG stream salts: see PersistentTopKSample.__init__.
+_RNG_SALT_TOPK = 101
+_RNG_SALT_CHAINS = 102
+
+
+@dataclass
+class SampleRecord:
+    """One recorded item with its lifetime inside the evolving sample."""
+
+    value: Any
+    priority: float
+    birth: float
+    death: Optional[float] = None  # None = still in the current sample
+
+    def alive_at(self, timestamp: float) -> bool:
+        """Whether the record was part of the sample at ``timestamp``."""
+        if self.birth > timestamp:
+            return False
+        return self.death is None or self.death > timestamp
+
+
+class PersistentTopKSample:
+    """ATTP uniform without-replacement sample of size ``k``.
+
+    Every item receives an independent uniform priority.  An item enters the
+    record set iff it is among the ``k`` largest priorities of the prefix at
+    its arrival; when later displaced, its record is death-marked rather than
+    deleted.  The set of records alive at ``t`` replays the top-k heap state
+    at ``t``, i.e. a uniform without-replacement ``k``-sample of ``A^t``.
+
+    Updates are O(1) amortised: the overwhelming majority of items fail a
+    single threshold comparison and are never stored.
+    """
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Component-salted stream: equal integer seeds across different
+        # components (workloads, other samplers) stay uncorrelated.
+        self._rng = np.random.default_rng([seed, _RNG_SALT_TOPK])
+        self._guard = TimestampGuard()
+        self._records: List[SampleRecord] = []  # in arrival (= birth) order
+        self._birth_times: List[float] = []  # parallel array for bisect
+        # Min-heap over (priority, record index) of the current k live records.
+        self._heap: List[tuple] = []
+        self._interval_index = None
+        self._records_at_index_build = -1
+        self.count = 0
+
+    def update(self, value: Any, timestamp: float) -> None:
+        """Offer one stream item."""
+        self._guard.check(timestamp)
+        self.count += 1
+        priority = float(self._rng.random())
+        self._offer(value, timestamp, priority)
+
+    def update_many(self, values, timestamps) -> None:
+        """Offer a batch of items (equivalent to repeated :meth:`update`).
+
+        Draws all priorities in one vectorised call — the PCG64 stream yields
+        the same numbers as per-item draws, so batched and sequential feeding
+        produce byte-identical sketches.  Use for bulk ingest: rejected
+        (common-case) items cost one comparison each with no Python RNG call.
+        """
+        if len(values) != len(timestamps):
+            raise ValueError(
+                f"values and timestamps differ in length: "
+                f"{len(values)} vs {len(timestamps)}"
+            )
+        priorities = self._rng.random(len(values))
+        check = self._guard.check
+        offer = self._offer
+        for index in range(len(values)):
+            timestamp = timestamps[index]
+            check(timestamp)
+            self.count += 1
+            offer(values[index], timestamp, float(priorities[index]))
+
+    def _offer(self, value: Any, timestamp: float, priority: float) -> None:
+        heap = self._heap
+        if len(heap) >= self.k and priority <= heap[0][0]:
+            return  # common case: rejected by a single comparison
+        record = SampleRecord(value=value, priority=priority, birth=timestamp)
+        index = len(self._records)
+        self._records.append(record)
+        self._birth_times.append(timestamp)
+        if len(heap) < self.k:
+            heapq.heappush(heap, (priority, index))
+        else:
+            _, evicted = heapq.heapreplace(heap, (priority, index))
+            self._records[evicted].death = timestamp
+
+    def sample_at(self, timestamp: float) -> list:
+        """Uniform without-replacement sample of the prefix ``A^timestamp``.
+
+        Returns at most ``k`` values; fewer when fewer items had arrived.
+        Uses the interval index when one has been built (see
+        :meth:`build_interval_index`), else a linear record scan.
+        """
+        if math.isnan(timestamp):
+            raise ValueError("query timestamp must not be NaN")
+        index = self._interval_index
+        if index is not None and self._records_at_index_build == len(self._records):
+            return index.stab(timestamp)
+        end = bisect.bisect_right(self._birth_times, timestamp)
+        return [
+            record.value
+            for record in self._records[:end]
+            if record.alive_at(timestamp)
+        ]
+
+    def build_interval_index(self) -> None:
+        """Index record lifetimes for O(log m + k) historical queries.
+
+        The paper's "Queries" paragraph: store the records as intervals and
+        stab them with an interval tree.  The index is static — it serves
+        ``sample_at`` until the next update, after which queries fall back
+        to the scan until the index is rebuilt.
+        """
+        from repro.core.interval_index import IntervalIndex
+
+        # A record displaced at its own birth instant has an empty lifetime
+        # and can never be part of a sample; skip it.
+        self._interval_index = IntervalIndex(
+            [
+                (record.birth, record.death, record.value)
+                for record in self._records
+                if record.death is None or record.death > record.birth
+            ]
+        )
+        self._records_at_index_build = len(self._records)
+
+    def sample_now(self) -> list:
+        """The current sample (equivalent to a plain top-k sampler)."""
+        return [self._records[index].value for _, index in self._heap]
+
+    def records(self) -> List[SampleRecord]:
+        """All records ever kept (read-mostly; used by tests and queries)."""
+        return self._records
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size per record: id(4) + priority(8) + 2 times(16)."""
+        return len(self._records) * 28
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class PersistentReservoirChains:
+    """ATTP uniform with-replacement sample via ``k`` persistent chains.
+
+    Chain ``j`` replaces its held item by the i-th arrival with probability
+    ``1/i`` (classic single-slot reservoir).  Replacement death-marks the old
+    record, so chain ``j``'s record alive at ``t`` is a uniform draw from
+    ``A^t``, independently across chains — Lemma 3.1 bounds the total records
+    by ``k * H_n``.
+    """
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._rng = np.random.default_rng([seed, _RNG_SALT_CHAINS])
+        self._guard = TimestampGuard()
+        # Per chain: parallel lists of (birth_time, value); a record dies when
+        # the next record of the same chain is born, so no death field needed.
+        self._births: List[List[float]] = [[] for _ in range(k)]
+        self._values: List[List[Any]] = [[] for _ in range(k)]
+        self.count = 0
+
+    def update(self, value: Any, timestamp: float) -> None:
+        """Offer one stream item to every chain."""
+        self._guard.check(timestamp)
+        self.count += 1
+        if self.count == 1:
+            for chain in range(self.k):
+                self._births[chain].append(timestamp)
+                self._values[chain].append(value)
+            return
+        hits = self._rng.random(self.k) < (1.0 / self.count)
+        for chain in np.flatnonzero(hits):
+            self._births[chain].append(timestamp)
+            self._values[chain].append(value)
+
+    def sample_at(self, timestamp: float) -> list:
+        """With-replacement uniform sample of ``A^timestamp`` (one per chain)."""
+        out = []
+        for chain in range(self.k):
+            idx = bisect.bisect_right(self._births[chain], timestamp) - 1
+            if idx >= 0:
+                out.append(self._values[chain][idx])
+        return out
+
+    def total_records(self) -> int:
+        """Number of records ever kept, across all chains (E = k * H_n)."""
+        return sum(len(births) for births in self._births)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size per record: id(4) + birth time(8)."""
+        return self.total_records() * 12
+
+    def __len__(self) -> int:
+        return self.total_records()

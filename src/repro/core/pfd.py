@@ -1,0 +1,144 @@
+"""Persistent Frequent Directions — Algorithm 1 of the paper (Section 4.2).
+
+FD is not an h-component sketch (every shrink rewrites all rows jointly), but
+a similar space saving is achieved with *partial* and *full* checkpoints:
+
+* maintain an FD sketch ``C`` of the *residual* stream (rows since material
+  not yet spilled into checkpoints);
+* whenever the top residual direction carries squared norm at least
+  ``||A||_F^2 / ell``, spill it as a **partial checkpoint** — one
+  d-dimensional row ``b = sigma * v`` — and remove it from ``C``;
+* after every ``ell`` partial checkpoints, merge the previous full checkpoint
+  with the accumulated partials through FD into a new **full checkpoint**
+  (an ``ell x d`` matrix).
+
+A query at time ``t`` stacks the latest full checkpoint at or before ``t``
+with the partial checkpoints in between; Theorem 4.3 shows the result ``G``
+satisfies ``||A^T A - G^T G||_2 <= 2 * eps * ||A||_F^2`` with ``ell = 2/eps``
+and total space ``O((d / eps) log(||A||_F / ||a_1||))``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+import numpy as np
+
+from repro.core.base import TimestampGuard, check_finite_row
+from repro.sketches.frequent_directions import FrequentDirections, _shrink
+
+
+class PersistentFrequentDirections:
+    """ATTP eps-MC sketch via partial/full FD checkpoints (the paper's PFD)."""
+
+    def __init__(self, ell: int, dim: int):
+        if ell < 1:
+            raise ValueError(f"ell must be >= 1, got {ell}")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.ell = ell
+        self.dim = dim
+        self._guard = TimestampGuard()
+        self._residual = FrequentDirections(ell, dim)
+        # Partial checkpoints: spilled top directions, with timestamps.
+        self._partial_times: List[float] = []
+        self._partial_rows: List[np.ndarray] = []
+        # Full checkpoints: ell x d matrices, with timestamps.
+        self._full_times: List[float] = []
+        self._full_matrices: List[np.ndarray] = []
+        self._partials_since_full = 0
+        self.squared_frobenius = 0.0
+        self.count = 0
+
+    @classmethod
+    def from_error(cls, eps: float, dim: int) -> "PersistentFrequentDirections":
+        """Size per Theorem 4.3: ``ell = ceil(2 / eps)``."""
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        return cls(int(np.ceil(2.0 / eps)), dim)
+
+    def update(self, row: np.ndarray, timestamp: float) -> None:
+        """Append one d-dimensional row at ``timestamp`` (Algorithm 1 body)."""
+        row = np.asarray(row, dtype=float)
+        if row.shape != (self.dim,):
+            raise ValueError(f"expected a row of shape ({self.dim},), got {row.shape}")
+        check_finite_row(row)
+        self._guard.check(timestamp)
+        self.count += 1
+        self.squared_frobenius += float(row @ row)
+        self._residual.update(row)
+        # Spill while the top residual direction is heavy (lines 5-11).
+        while True:
+            sigma_sq, _ = self._residual.top_direction()
+            if sigma_sq <= 0.0 or sigma_sq < self.squared_frobenius / self.ell:
+                break
+            spilled = self._residual.remove_top_direction()
+            self._partial_times.append(timestamp)
+            self._partial_rows.append(spilled)
+            self._partials_since_full += 1
+            if self._partials_since_full >= self.ell:
+                self._make_full_checkpoint(timestamp)
+
+    def _make_full_checkpoint(self, timestamp: float) -> None:
+        last_full = self._full_matrices[-1] if self._full_matrices else None
+        recent = self._partial_rows[-self._partials_since_full :]
+        if last_full is None:
+            stacked = np.vstack(recent)
+        else:
+            stacked = np.vstack([last_full] + recent)
+        self._full_times.append(timestamp)
+        self._full_matrices.append(_shrink(stacked, self.ell))
+        self._partials_since_full = 0
+
+    def sketch_at(self, timestamp: float) -> np.ndarray:
+        """Matrix ``G`` whose Gram ``G^T G`` approximates ``A(t)^T A(t)``.
+
+        Stacks the latest full checkpoint at or before ``t`` with the partial
+        checkpoints recorded after it, up to ``t``.
+        """
+        full_idx = bisect.bisect_right(self._full_times, timestamp) - 1
+        parts: List[np.ndarray] = []
+        if full_idx >= 0:
+            parts.append(self._full_matrices[full_idx])
+            start = self._partials_after_full(full_idx)
+        else:
+            start = 0
+        end = bisect.bisect_right(self._partial_times, timestamp)
+        if end > start:
+            parts.append(np.vstack(self._partial_rows[start:end]))
+        if not parts:
+            return np.zeros((0, self.dim))
+        return np.vstack(parts)
+
+    def _partials_after_full(self, full_idx: int) -> int:
+        """Index of the first partial checkpoint recorded after full ``full_idx``.
+
+        Full checkpoint j consumes the first (j+1)*ell partial checkpoints.
+        """
+        return (full_idx + 1) * self.ell
+
+    def covariance_at(self, timestamp: float) -> np.ndarray:
+        """``G^T G`` — the covariance estimate for the prefix at ``timestamp``."""
+        g = self.sketch_at(timestamp)
+        return g.T @ g
+
+    def covariance_now(self) -> np.ndarray:
+        """Covariance estimate including the live residual sketch."""
+        g = self.sketch_at(float("inf"))
+        return g.T @ g + self._residual.covariance()
+
+    def num_partial_checkpoints(self) -> int:
+        """Number of spilled single-row (partial) checkpoints."""
+        return len(self._partial_rows)
+
+    def num_full_checkpoints(self) -> int:
+        """Number of ell x d (full) checkpoints."""
+        return len(self._full_matrices)
+
+    def memory_bytes(self) -> int:
+        """8 bytes per stored matrix entry, + 8-byte timestamp per checkpoint,
+        + the live residual sketch."""
+        partial = len(self._partial_rows) * (self.dim * 8 + 8)
+        full = len(self._full_matrices) * (self.ell * self.dim * 8 + 8)
+        return partial + full + self._residual.memory_bytes()

@@ -1,0 +1,48 @@
+"""Experiment support: metrics, the memory model, harness and reporting."""
+
+from repro.evaluation.harness import (
+    SweepRow,
+    average_accuracy,
+    exact_prefix_covariances,
+    exact_prefix_heavy_hitters,
+    exact_suffix_heavy_hitters,
+    feed_log_stream,
+    feed_matrix_stream,
+    memory_of,
+    time_calls,
+)
+from repro.evaluation.memory import format_bytes, mib
+from repro.evaluation.metrics import (
+    covariance_relative_error,
+    f1_score,
+    frequency_additive_error,
+    precision,
+    quantile_rank_error,
+    recall,
+    spectral_norm,
+)
+from repro.evaluation.reporting import memory_column, print_series, print_table
+
+__all__ = [
+    "SweepRow",
+    "average_accuracy",
+    "covariance_relative_error",
+    "exact_prefix_covariances",
+    "exact_prefix_heavy_hitters",
+    "exact_suffix_heavy_hitters",
+    "f1_score",
+    "feed_log_stream",
+    "feed_matrix_stream",
+    "format_bytes",
+    "frequency_additive_error",
+    "memory_column",
+    "memory_of",
+    "mib",
+    "precision",
+    "print_series",
+    "print_table",
+    "quantile_rank_error",
+    "recall",
+    "spectral_norm",
+    "time_calls",
+]

@@ -1,0 +1,371 @@
+"""Figure-regeneration machinery: workloads, sweeps and series recording.
+
+Every figure of the paper can be regenerated in two ways:
+
+* ``pytest benchmarks/ --benchmark-only`` — runs each figure as a bench with
+  shape assertions (CI-style);
+* ``python -m repro.experiments <figure>`` — runs just the sweep and prints
+  the series (user-style).
+
+Both paths share this module.  Workload scale: the paper streams 1.35B
+WorldCup rows through C++; we stream ~3x10^4 calibrated rows through Python
+(documented substitution, DESIGN.md section 4) with the paper's query
+schedule (five queries at 20% increments).
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.harness import (
+    average_accuracy,
+    exact_prefix_covariances,
+    exact_prefix_heavy_hitters,
+    exact_suffix_heavy_hitters,
+    feed_log_stream,
+    feed_matrix_stream,
+    memory_of,
+)
+from repro.evaluation.memory import mib
+from repro.evaluation.metrics import covariance_relative_error
+from repro.evaluation.reporting import print_table
+from repro.workloads import (
+    client_id_stream,
+    generate_matrix_stream,
+    matrix_query_schedule,
+    object_id_stream,
+    query_schedule,
+)
+
+_results_dir: Optional[pathlib.Path] = None
+
+# --- scaled workloads ------------------------------------------------------
+
+HH_STREAM_SIZE = 30_000
+PHI_CLIENT = 0.002  # paper: 0.0002 at 45x the scaled universe
+PHI_OBJECT = 0.01  # paper: 0.01
+
+
+def set_results_dir(path) -> None:
+    """Direct ``record_figure`` output to ``path`` (created if missing)."""
+    global _results_dir
+    _results_dir = pathlib.Path(path)
+    _results_dir.mkdir(parents=True, exist_ok=True)
+
+
+@functools.lru_cache(maxsize=None)
+def client_stream(n: int = HH_STREAM_SIZE):
+    """Scaled Client-ID dataset (mildly skewed, large universe)."""
+    return client_id_stream(n=n, universe=27_700, ratio=370.0, seed=1)
+
+
+@functools.lru_cache(maxsize=None)
+def object_stream(n: int = HH_STREAM_SIZE):
+    """Scaled Object-ID dataset (heavily skewed, small universe)."""
+    return object_id_stream(n=n, universe=9_000, ratio=1_180.0, seed=1)
+
+
+@functools.lru_cache(maxsize=None)
+def matrix_stream(dim: int, n: int):
+    """Scaled Section-6.3 matrix dataset."""
+    return generate_matrix_stream(n=n, dim=dim, horizon=1_000.0, seed=1)
+
+
+# --- result recording ------------------------------------------------------
+
+
+def record_figure(
+    name: str, title: str, columns: Sequence[str], rows: Sequence[Sequence]
+) -> None:
+    """Print a figure's series table; persist it when a results dir is set."""
+    print_table(title, columns, rows)
+    if _results_dir is None:
+        return
+    lines = ["\t".join(str(cell) for cell in row) for row in rows]
+    path = _results_dir / f"{name}.txt"
+    path.write_text(
+        f"# {title}\n" + "\t".join(columns) + "\n" + "\n".join(lines) + "\n"
+    )
+
+
+# --- heavy-hitter sweeps ---------------------------------------------------
+
+
+def run_attp_hh_config(name, build, stream, phi, truth, times) -> dict:
+    """Feed one ATTP heavy-hitter sketch and evaluate it on the schedule."""
+    sketch = build()
+    update_seconds = feed_log_stream(sketch, stream)
+    start = time.perf_counter()
+    reported = [sketch.heavy_hitters_at(t, phi) for t in times]
+    query_seconds = time.perf_counter() - start
+    precision, recall = average_accuracy(reported, truth)
+    return {
+        "sketch": name,
+        "memory_mib": mib(memory_of(sketch)),
+        "update_s": update_seconds,
+        "query_s": query_seconds,
+        "precision": precision,
+        "recall": recall,
+    }
+
+
+def run_bitp_hh_config(name, build, stream, phi, truth, times) -> dict:
+    """Feed one BITP heavy-hitter sketch and evaluate suffix queries."""
+    sketch = build()
+    update_seconds = feed_log_stream(sketch, stream)
+    start = time.perf_counter()
+    reported = [sketch.heavy_hitters_since(t, phi) for t in times]
+    query_seconds = time.perf_counter() - start
+    precision, recall = average_accuracy(reported, truth)
+    return {
+        "sketch": name,
+        "memory_mib": mib(memory_of(sketch)),
+        "update_s": update_seconds,
+        "query_s": query_seconds,
+        "precision": precision,
+        "recall": recall,
+    }
+
+
+def attp_hh_configs(dataset: str) -> List[tuple]:
+    """(label, builder) sweep for the ATTP heavy-hitter figures."""
+    from repro.baselines import PcmHeavyHitter
+    from repro.persistent import AttpChainMisraGries, AttpSampleHeavyHitter
+
+    if dataset == "client":
+        cmg_eps = (2e-3, 1e-3, 5e-4)
+        sample_k = (2_000, 10_000, 40_000)
+        pcm_eps = (2e-2, 8e-3, 3e-3)
+        bits = 15
+    else:
+        cmg_eps = (8e-3, 4e-3, 2e-3)
+        sample_k = (1_000, 5_000, 20_000)
+        pcm_eps = (2e-2, 8e-3, 3e-3)
+        bits = 14
+    configs = []
+    for eps in cmg_eps:
+        configs.append((
+            f"CMG(eps={eps:g})",
+            functools.partial(AttpChainMisraGries, eps=eps),
+        ))
+    for k in sample_k:
+        configs.append((
+            f"SAMPLING(k={k})",
+            functools.partial(AttpSampleHeavyHitter, k=k, seed=0),
+        ))
+    for eps in pcm_eps:
+        configs.append((
+            f"PCM_HH(eps={eps:g})",
+            functools.partial(
+                PcmHeavyHitter, universe_bits=bits, eps=eps, depth=3, pla_delta=16.0
+            ),
+        ))
+    return configs
+
+
+def bitp_hh_configs(dataset: str) -> List[tuple]:
+    """(label, builder) sweep for the BITP heavy-hitter figures."""
+    from repro.baselines import PcmHeavyHitter
+    from repro.persistent import BitpSampleHeavyHitter, BitpTreeMisraGries
+
+    if dataset == "client":
+        tmg_eps = (2e-3, 1e-3, 5e-4)
+        sample_k = (2_000, 10_000, 40_000)
+        pcm_eps = (2e-2, 8e-3, 3e-3)
+        bits = 15
+    else:
+        tmg_eps = (8e-3, 4e-3, 2e-3)
+        sample_k = (1_000, 5_000, 20_000)
+        pcm_eps = (2e-2, 8e-3, 3e-3)
+        bits = 14
+    configs = []
+    for eps in tmg_eps:
+        configs.append((
+            f"TMG(eps={eps:g})",
+            functools.partial(BitpTreeMisraGries, eps=eps, block_size=64),
+        ))
+    for k in sample_k:
+        configs.append((
+            f"SAMPLING(k={k})",
+            functools.partial(BitpSampleHeavyHitter, k=k, seed=0),
+        ))
+    for eps in pcm_eps:
+        configs.append((
+            f"PCM_HH(eps={eps:g})",
+            functools.partial(
+                PcmHeavyHitter, universe_bits=bits, eps=eps, depth=3, pla_delta=16.0
+            ),
+        ))
+    return configs
+
+
+@functools.lru_cache(maxsize=None)
+def attp_hh_sweep(dataset: str) -> tuple:
+    """Run the full ATTP heavy-hitter sweep for one dataset (cached)."""
+    stream = client_stream() if dataset == "client" else object_stream()
+    phi = PHI_CLIENT if dataset == "client" else PHI_OBJECT
+    times = query_schedule(stream)
+    truth = exact_prefix_heavy_hitters(stream, times, phi)
+    rows = [
+        run_attp_hh_config(name, build, stream, phi, truth, times)
+        for name, build in attp_hh_configs(dataset)
+    ]
+    return tuple(rows)
+
+
+@functools.lru_cache(maxsize=None)
+def bitp_hh_sweep(dataset: str) -> tuple:
+    """Run the full BITP heavy-hitter sweep for one dataset (cached)."""
+    stream = client_stream() if dataset == "client" else object_stream()
+    phi = PHI_CLIENT if dataset == "client" else PHI_OBJECT
+    times = query_schedule(stream)[:4]  # suffix windows (the 100% one is empty)
+    truth = exact_suffix_heavy_hitters(stream, times, phi)
+    return tuple(
+        run_bitp_hh_config(name, build, stream, phi, truth, times)
+        for name, build in bitp_hh_configs(dataset)
+    )
+
+
+def hh_rows_to_table(rows) -> List[List]:
+    return [
+        [
+            row["sketch"],
+            round(row["memory_mib"], 3),
+            round(row["update_s"], 3),
+            round(row["query_s"], 4),
+            round(row["precision"], 3),
+            round(row["recall"], 3),
+        ]
+        for row in rows
+    ]
+
+
+HH_COLUMNS = ["sketch", "memory_MiB", "update_s", "query_s", "precision", "recall"]
+
+
+# --- scaling series --------------------------------------------------------
+
+SCALING_FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+def log_scaling_series(stream, builders: Dict[str, Callable]) -> tuple:
+    """Feed a keyed stream once, recording each system's memory at fractions."""
+    n = len(stream)
+    checkpoints = [int(f * n) for f in SCALING_FRACTIONS]
+    systems = {name: build() for name, build in builders.items()}
+    series = {name: [] for name in builders}
+    keys = stream.keys.tolist()
+    times = stream.timestamps.tolist()
+    cursor = 0
+    for checkpoint in checkpoints:
+        for index in range(cursor, checkpoint):
+            for system in systems.values():
+                system.update(keys[index], times[index])
+        cursor = checkpoint
+        for name, system in systems.items():
+            series[name].append(mib(memory_of(system)))
+    return checkpoints, series
+
+
+def matrix_scaling_series(stream, builders: Dict[str, Callable]) -> tuple:
+    """Feed a matrix stream once, recording each system's memory at fractions."""
+    n = len(stream)
+    checkpoints = [int(f * n) for f in SCALING_FRACTIONS]
+    systems = {name: build() for name, build in builders.items()}
+    series = {name: [] for name in builders}
+    cursor = 0
+    for checkpoint in checkpoints:
+        for index in range(cursor, checkpoint):
+            row = stream.rows[index]
+            t = float(stream.timestamps[index])
+            for system in systems.values():
+                system.update(row, t)
+        cursor = checkpoint
+        for name, system in systems.items():
+            series[name].append(mib(system.memory_bytes()))
+    return checkpoints, series
+
+
+# --- matrix sweeps ---------------------------------------------------------
+
+MATRIX_DIMS = {"low": (100, 4_000), "medium": (500, 2_000), "high": (1_000, 1_000)}
+
+
+def matrix_configs(dim: int) -> List[tuple]:
+    from repro.persistent import (
+        AttpNormSampling,
+        AttpNormSamplingWR,
+        AttpPersistentFrequentDirections,
+    )
+
+    ells = [ell for ell in (10, 20, 40) if ell < dim]
+    ks = (50, 150, 400)
+    configs = []
+    for ell in ells:
+        configs.append((
+            f"PFD(ell={ell})",
+            functools.partial(AttpPersistentFrequentDirections, ell=ell, dim=dim),
+        ))
+    for k in ks:
+        configs.append((
+            f"NS(k={k})",
+            functools.partial(AttpNormSampling, k=k, dim=dim, seed=0),
+        ))
+    for k in ks:
+        configs.append((
+            f"NSWR(k={k})",
+            functools.partial(AttpNormSamplingWR, k=k, dim=dim, seed=0),
+        ))
+    return configs
+
+
+@functools.lru_cache(maxsize=None)
+def matrix_sweep(size: str, with_error: bool = True) -> tuple:
+    """Run the ATTP matrix sweep for one dataset size (cached)."""
+    dim, n = MATRIX_DIMS[size]
+    stream = matrix_stream(dim, n)
+    times = matrix_query_schedule(stream)
+    exact = exact_prefix_covariances(stream, times) if with_error else None
+    rows = []
+    for name, build in matrix_configs(dim):
+        sketch = build()
+        update_seconds = feed_matrix_stream(sketch, stream)
+        start = time.perf_counter()
+        estimates = [sketch.covariance_at(t) for t in times]
+        query_seconds = time.perf_counter() - start
+        row = {
+            "sketch": name,
+            "memory_mib": mib(memory_of(sketch)),
+            "update_s": update_seconds,
+            "query_s": query_seconds,
+        }
+        if with_error:
+            row["rel_error"] = float(
+                np.mean([
+                    covariance_relative_error(e, est)
+                    for e, est in zip(exact, estimates)
+                ])
+            )
+        rows.append(row)
+    return tuple(rows)
+
+
+MATRIX_COLUMNS = ["sketch", "memory_MiB", "update_s", "query_s", "rel_error"]
+
+
+def matrix_rows_to_table(rows) -> List[List]:
+    return [
+        [
+            row["sketch"],
+            round(row["memory_mib"], 3),
+            round(row["update_s"], 3),
+            round(row["query_s"], 4),
+            round(row.get("rel_error", float("nan")), 4),
+        ]
+        for row in rows
+    ]

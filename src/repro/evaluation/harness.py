@@ -1,0 +1,156 @@
+"""Experiment harness: feeding streams, timing, and exact references.
+
+The benches compose these building blocks; each figure's bench supplies the
+workload, the sketch configurations and the query schedule, then delegates
+the mechanics (feeding, timing, exact ground truth, accuracy averaging) here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.evaluation.metrics import precision as precision_metric
+from repro.evaluation.metrics import recall as recall_metric
+from repro.workloads.matrix_gen import MatrixStream
+from repro.workloads.worldcup import LogStream
+
+
+@dataclass
+class SweepRow:
+    """One (sketch, parameter) point of a figure's sweep."""
+
+    sketch: str
+    param: str
+    memory_bytes: int
+    update_seconds: float
+    query_seconds: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Flatten the row (including extras) into one mapping."""
+        row = {
+            "sketch": self.sketch,
+            "param": self.param,
+            "memory_bytes": self.memory_bytes,
+            "update_seconds": self.update_seconds,
+            "query_seconds": self.query_seconds,
+        }
+        row.update(self.extras)
+        return row
+
+
+def feed_log_stream(sketch, stream: LogStream) -> float:
+    """Push every (key, timestamp) of ``stream`` into ``sketch``; return seconds."""
+    update = sketch.update
+    keys = stream.keys.tolist()
+    times = stream.timestamps.tolist()
+    start = time.perf_counter()
+    for key, timestamp in zip(keys, times):
+        update(key, timestamp)
+    return time.perf_counter() - start
+
+
+def feed_matrix_stream(sketch, stream: MatrixStream) -> float:
+    """Push every (row, timestamp) of ``stream`` into ``sketch``; return seconds."""
+    update = sketch.update
+    start = time.perf_counter()
+    for row, timestamp in stream:
+        update(row, timestamp)
+    return time.perf_counter() - start
+
+
+def time_calls(fn: Callable, args_list: Sequence) -> tuple:
+    """Run ``fn(*args)`` for each args tuple; return (results, total seconds)."""
+    results = []
+    start = time.perf_counter()
+    for args in args_list:
+        results.append(fn(*args))
+    return results, time.perf_counter() - start
+
+
+def exact_prefix_heavy_hitters(
+    stream: LogStream, query_times: Sequence[float], phi: float
+) -> List[List[int]]:
+    """Exact phi-heavy hitters of each prefix ``A^t`` (vectorised)."""
+    return [
+        _exact_heavy_hitters(stream.keys[: _prefix_len(stream, t)], phi)
+        for t in query_times
+    ]
+
+
+def exact_suffix_heavy_hitters(
+    stream: LogStream, query_times: Sequence[float], phi: float
+) -> List[List[int]]:
+    """Exact phi-heavy hitters of each suffix ``A[t, now]`` (vectorised)."""
+    return [
+        _exact_heavy_hitters(stream.keys[_suffix_start(stream, t) :], phi)
+        for t in query_times
+    ]
+
+
+def _prefix_len(stream: LogStream, t: float) -> int:
+    return int(np.searchsorted(stream.timestamps, t, side="right"))
+
+
+def _suffix_start(stream: LogStream, t: float) -> int:
+    return int(np.searchsorted(stream.timestamps, t, side="left"))
+
+
+def _exact_heavy_hitters(keys: np.ndarray, phi: float) -> List[int]:
+    if len(keys) == 0:
+        return []
+    uniques, counts = np.unique(keys, return_counts=True)
+    cut = phi * len(keys)
+    return [int(k) for k in uniques[counts >= cut]]
+
+
+def average_accuracy(
+    reported_lists: Sequence[Sequence[int]], truth_lists: Sequence[Sequence[int]]
+) -> tuple:
+    """(mean precision, mean recall) over a query schedule."""
+    if len(reported_lists) != len(truth_lists):
+        raise ValueError("reported and truth lists differ in length")
+    if not truth_lists:
+        raise ValueError("empty query schedule")
+    precisions = [
+        precision_metric(reported, truth)
+        for reported, truth in zip(reported_lists, truth_lists)
+    ]
+    recalls = [
+        recall_metric(reported, truth)
+        for reported, truth in zip(reported_lists, truth_lists)
+    ]
+    return float(np.mean(precisions)), float(np.mean(recalls))
+
+
+def exact_prefix_covariances(
+    stream: MatrixStream, query_times: Sequence[float]
+) -> List[np.ndarray]:
+    """Exact ``A(t)^T A(t)`` for each query time (cumulative, one pass)."""
+    results = []
+    order = np.argsort(query_times, kind="stable")
+    sorted_times = [query_times[i] for i in order]
+    gram = np.zeros((stream.dim, stream.dim))
+    cursor = 0
+    sorted_results = []
+    for t in sorted_times:
+        end = int(np.searchsorted(stream.timestamps, t, side="right"))
+        if end > cursor:
+            block = stream.rows[cursor:end]
+            gram = gram + block.T @ block
+            cursor = end
+        sorted_results.append(gram.copy())
+    results = [None] * len(query_times)
+    for position, original_index in enumerate(order):
+        results[original_index] = sorted_results[position]
+    return results
+
+
+def memory_of(sketch) -> int:
+    """Peak memory when the sketch tracks it, else current modelled memory."""
+    peak = getattr(sketch, "peak_memory_bytes", 0)
+    return max(int(peak), int(sketch.memory_bytes()))

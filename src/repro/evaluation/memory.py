@@ -1,0 +1,59 @@
+"""The memory-accounting model.
+
+The paper reports memory of single-threaded C++ programs (32-bit ids, 64-bit
+timestamps/counters/doubles).  CPython object overhead (~28 bytes for a small
+int, 8-byte pointers everywhere) would drown the comparison, so every sketch
+in this package exposes ``memory_bytes()`` computed from the C layout its
+data would occupy:
+
+====================  ======  =========================================
+field                 bytes   used by
+====================  ======  =========================================
+key / id              4       heavy-hitter streams (32-bit uints)
+timestamp             8       UNIX timestamps (64-bit)
+counter / weight      8       64-bit counts, double weights
+float (matrix entry)  8       doubles
+priority              8       double
+====================  ======  =========================================
+
+Unit tests pin the per-entry costs of each sketch against these constants.
+This module also provides human-readable formatting helpers.
+"""
+
+from __future__ import annotations
+
+KEY_BYTES = 4
+TIMESTAMP_BYTES = 8
+COUNTER_BYTES = 8
+FLOAT_BYTES = 8
+PRIORITY_BYTES = 8
+
+#: Persistent sample record: key + priority + birth + death.
+SAMPLE_RECORD_BYTES = KEY_BYTES + PRIORITY_BYTES + 2 * TIMESTAMP_BYTES  # = 28
+#: Weighted persistent sample record: adds the weight field.
+WEIGHTED_SAMPLE_RECORD_BYTES = SAMPLE_RECORD_BYTES + FLOAT_BYTES  # = 36
+#: Elementwise checkpoint: (amortised) key + timestamp + value.
+COUNTER_CHECKPOINT_BYTES = KEY_BYTES + TIMESTAMP_BYTES + COUNTER_BYTES  # = 20
+#: Misra-Gries live counter: key + count.
+MG_COUNTER_BYTES = KEY_BYTES + COUNTER_BYTES  # = 12
+#: Piecewise-linear breakpoint: time + value.
+PLA_BREAKPOINT_BYTES = TIMESTAMP_BYTES + FLOAT_BYTES  # = 16
+#: Raw log row: timestamp + key (the 'store everything' unit cost).
+LOG_ROW_BYTES = TIMESTAMP_BYTES + KEY_BYTES  # = 12
+
+
+def mib(num_bytes: int) -> float:
+    """Bytes to MiB."""
+    return num_bytes / (1024.0 * 1024.0)
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Human-readable byte count (B / KiB / MiB / GiB)."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be >= 0, got {num_bytes}")
+    size = float(num_bytes)
+    for unit in ("B", "KiB", "MiB"):
+        if size < 1024.0:
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    return f"{size:.2f} GiB"

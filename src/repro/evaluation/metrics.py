@@ -1,0 +1,86 @@
+"""Accuracy metrics used across the experiments.
+
+The paper reports heavy-hitter *precision* and *recall* (Section 6.1/6.2) and
+matrix-covariance *relative error* ``||A^T A - B^T B||_2 / ||A||_F^2``
+(Section 6.3).  All metric functions here are pure and side-effect free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def precision(reported: Iterable, truth: Iterable) -> float:
+    """Fraction of reported items that are true (1.0 when nothing reported)."""
+    reported = set(reported)
+    truth = set(truth)
+    if not reported:
+        return 1.0 if not truth else 0.0
+    return len(reported & truth) / len(reported)
+
+
+def recall(reported: Iterable, truth: Iterable) -> float:
+    """Fraction of true items that were reported (1.0 when nothing is true)."""
+    reported = set(reported)
+    truth = set(truth)
+    if not truth:
+        return 1.0
+    return len(reported & truth) / len(truth)
+
+
+def f1_score(reported: Iterable, truth: Iterable) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(reported, truth)
+    r = recall(reported, truth)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def covariance_relative_error(exact: np.ndarray, estimate: np.ndarray) -> float:
+    """``||exact - estimate||_2 / trace(exact)`` — the paper's matrix metric.
+
+    ``trace(A^T A) = ||A||_F^2``, so this matches
+    ``||A^T A - B^T B||_2 / ||A||_F^2`` without needing the raw rows.
+    """
+    exact = np.asarray(exact, dtype=float)
+    estimate = np.asarray(estimate, dtype=float)
+    if exact.shape != estimate.shape:
+        raise ValueError(f"shape mismatch: {exact.shape} vs {estimate.shape}")
+    frobenius_sq = float(np.trace(exact))
+    if frobenius_sq <= 0.0:
+        raise ValueError("exact covariance has non-positive trace")
+    return float(np.linalg.norm(exact - estimate, 2)) / frobenius_sq
+
+
+def spectral_norm(matrix: np.ndarray) -> float:
+    """Largest singular value."""
+    return float(np.linalg.norm(np.asarray(matrix, dtype=float), 2))
+
+
+def quantile_rank_error(
+    values: Sequence[float], estimate: float, phi: float
+) -> float:
+    """``|rank(estimate)/n - phi|`` — rank error of a quantile estimate."""
+    if len(values) == 0:
+        raise ValueError("empty reference set")
+    ordered = np.sort(np.asarray(values, dtype=float))
+    rank = float(np.searchsorted(ordered, estimate, side="right")) / len(ordered)
+    return abs(rank - phi)
+
+
+def frequency_additive_error(
+    estimates: dict, truth: dict, total: float
+) -> float:
+    """Max additive frequency error, normalised by the stream size."""
+    if total <= 0:
+        raise ValueError(f"total must be positive, got {total}")
+    keys = set(estimates) | set(truth)
+    worst = 0.0
+    for key in keys:
+        err = abs(estimates.get(key, 0.0) - truth.get(key, 0.0))
+        if err > worst:
+            worst = err
+    return worst / total

@@ -1,0 +1,54 @@
+"""Fixed-width table reporting for the figure benches.
+
+Each bench prints the same rows/series the corresponding paper figure plots;
+these helpers keep the output format uniform across all benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.evaluation.memory import format_bytes
+
+
+def print_table(title: str, columns: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print one fixed-width table with a title rule."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(col.ljust(widths[index]) for index, col in enumerate(columns))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+
+
+def _render(cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0.0 and abs(cell) < 0.01:
+            return f"{cell:.2e}"
+        return f"{cell:.4f}" if abs(cell) < 100 else f"{cell:.1f}"
+    return str(cell)
+
+
+def print_series(
+    title: str, x_label: str, xs: Sequence, series: Dict[str, Sequence]
+) -> None:
+    """Print one figure-style series table: x column + one column per line."""
+    columns = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            row.append(series[name][index])
+        rows.append(row)
+    print_table(title, columns, rows)
+
+
+def memory_column(values_bytes: Sequence[int]) -> List[str]:
+    """Render a list of byte counts for table display."""
+    return [format_bytes(value) for value in values_bytes]

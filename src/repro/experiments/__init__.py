@@ -1,0 +1,10 @@
+"""Named experiment runners: ``python -m repro.experiments <name>``.
+
+Each runner regenerates one paper figure's series (same machinery as the
+pytest benches, minus the shape assertions) and prints it; with ``--out DIR``
+the series is also written as a tab-separated file.
+"""
+
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.experiments <names> [--out DIR]``."""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

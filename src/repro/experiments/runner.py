@@ -1,0 +1,252 @@
+"""Dispatch table and CLI for the figure experiments.
+
+``python -m repro.experiments list`` shows the available experiments;
+``python -m repro.experiments fig02`` runs one; ``all`` runs everything.
+The heavy-hitter and matrix sweeps are cached per process, so running
+``fig02 fig04`` costs one sweep, not two.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import time
+from typing import Callable, Dict
+
+from repro.evaluation import figures as f
+
+
+def _attp_hh(dataset: str, figure: str, what: str):
+    rows = f.attp_hh_sweep(dataset)
+    f.record_figure(
+        figure,
+        f"Figure {figure[3:]}: ATTP HH {what} ({dataset})",
+        f.HH_COLUMNS,
+        f.hh_rows_to_table(rows),
+    )
+    return rows
+
+
+def _bitp_hh(dataset: str, figure: str, what: str):
+    rows = f.bitp_hh_sweep(dataset)
+    f.record_figure(
+        figure,
+        f"Figure {figure[3:]}: BITP HH {what} ({dataset})",
+        f.HH_COLUMNS,
+        f.hh_rows_to_table(rows),
+    )
+    return rows
+
+
+def _matrix(size: str, figure: str, with_error: bool = True):
+    rows = f.matrix_sweep(size, with_error)
+    columns = f.MATRIX_COLUMNS if with_error else f.MATRIX_COLUMNS[:-1]
+    table = f.matrix_rows_to_table(rows)
+    if not with_error:
+        table = [row[:-1] for row in table]
+    f.record_figure(
+        figure,
+        f"Figure {figure[3:]}: ATTP matrix sweep ({size}-dim)",
+        columns,
+        table,
+    )
+    return rows
+
+
+def _fig01():
+    from repro.baselines import ColumnarLogStore, WindowedAggregateStore
+    from repro.evaluation import memory_of, mib
+    from repro.persistent import AttpChainMisraGries, AttpSampleHeavyHitter
+
+    sizes = (25_000, 50_000, 100_000, 200_000)
+    stream = f.object_stream(max(sizes))
+    systems = {
+        "SAMPLING": AttpSampleHeavyHitter(k=1_000, seed=0),
+        "CMG": AttpChainMisraGries(eps=2e-3),
+        "VERTICA": ColumnarLogStore(chunk_rows=1_024),
+        "VERTICA_WINDOWED_AGG": WindowedAggregateStore(window_length=5_000.0),
+    }
+    keys = stream.keys.tolist()
+    times = stream.timestamps.tolist()
+    rows = []
+    cursor = 0
+    for n in sizes:
+        for index in range(cursor, n):
+            for system in systems.values():
+                system.update(keys[index], times[index])
+        cursor = n
+        t_query = times[n - 1]
+        for name, system in systems.items():
+            start = time.perf_counter()
+            system.heavy_hitters_at(t_query, f.PHI_OBJECT)
+            elapsed = time.perf_counter() - start
+            rows.append([n, name, round(mib(memory_of(system)), 4),
+                         round(elapsed * 1e3, 3)])
+    f.record_figure(
+        "fig01",
+        "Figure 1: memory (MiB) and HH query time (ms) vs number of logs",
+        ["logs", "system", "memory_MiB", "query_ms"],
+        rows,
+    )
+    return rows
+
+
+def _fig03():
+    from repro.baselines import PcmHeavyHitter
+    from repro.persistent import AttpChainMisraGries, AttpSampleHeavyHitter
+
+    out = []
+    for dataset, stream_fn, bits in (
+        ("client", f.client_stream, 15),
+        ("object", f.object_stream, 14),
+    ):
+        builders = {
+            "SAMPLING(k=500)": functools.partial(AttpSampleHeavyHitter, k=500, seed=0),
+            "CMG(eps=1e-3)": functools.partial(AttpChainMisraGries, eps=1e-3),
+            "PCM_HH(eps=8e-3)": functools.partial(
+                PcmHeavyHitter, universe_bits=bits, eps=8e-3, depth=3, pla_delta=8.0
+            ),
+        }
+        checkpoints, series = f.log_scaling_series(stream_fn(), builders)
+        rows = [
+            [dataset, n, name, round(series[name][position], 4)]
+            for position, n in enumerate(checkpoints)
+            for name in series
+        ]
+        f.record_figure(
+            f"fig03_{dataset}",
+            f"Figure 3 ({dataset}): ATTP HH memory (MiB) vs stream size",
+            ["dataset", "stream_size", "sketch", "memory_MiB"],
+            rows,
+        )
+        out.append(rows)
+    return out
+
+
+def _fig08():
+    from repro.baselines import PcmHeavyHitter
+    from repro.persistent import BitpSampleHeavyHitter, BitpTreeMisraGries
+
+    out = []
+    for dataset, stream_fn, bits in (
+        ("client", f.client_stream, 15),
+        ("object", f.object_stream, 14),
+    ):
+        builders = {
+            "SAMPLING(k=500)": functools.partial(BitpSampleHeavyHitter, k=500, seed=0),
+            "TMG(eps=2e-3)": functools.partial(
+                BitpTreeMisraGries, eps=2e-3, block_size=64
+            ),
+            "PCM_HH(eps=8e-3)": functools.partial(
+                PcmHeavyHitter, universe_bits=bits, eps=8e-3, depth=3, pla_delta=8.0
+            ),
+        }
+        checkpoints, series = f.log_scaling_series(stream_fn(), builders)
+        rows = [
+            [dataset, n, name, round(series[name][position], 4)]
+            for position, n in enumerate(checkpoints)
+            for name in series
+        ]
+        f.record_figure(
+            f"fig08_{dataset}",
+            f"Figure 8 ({dataset}): BITP HH peak memory (MiB) vs stream size",
+            ["dataset", "stream_size", "sketch", "memory_MiB"],
+            rows,
+        )
+        out.append(rows)
+    return out
+
+
+def _fig12():
+    from repro.persistent import (
+        AttpNormSampling,
+        AttpNormSamplingWR,
+        AttpPersistentFrequentDirections,
+    )
+
+    out = []
+    for size in ("low", "medium", "high"):
+        dim, n = f.MATRIX_DIMS[size]
+        builders = {
+            "PFD(ell=20)": functools.partial(
+                AttpPersistentFrequentDirections, ell=20, dim=dim
+            ),
+            "NS(k=150)": functools.partial(AttpNormSampling, k=150, dim=dim, seed=0),
+            "NSWR(k=150)": functools.partial(
+                AttpNormSamplingWR, k=150, dim=dim, seed=0
+            ),
+        }
+        checkpoints, series = f.matrix_scaling_series(f.matrix_stream(dim, n), builders)
+        rows = [
+            [size, count, name, round(series[name][position], 4)]
+            for position, count in enumerate(checkpoints)
+            for name in series
+        ]
+        f.record_figure(
+            f"fig12_{size}",
+            f"Figure 12 ({size}-dim): ATTP matrix memory (MiB) vs stream size",
+            ["dataset", "stream_size", "sketch", "memory_MiB"],
+            rows,
+        )
+        out.append(rows)
+    return out
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig01": _fig01,
+    "fig02": functools.partial(_attp_hh, "client", "fig02", "precision/recall vs memory"),
+    "fig03": _fig03,
+    "fig04": functools.partial(_attp_hh, "client", "fig04", "update/query time vs memory"),
+    "fig05": functools.partial(_attp_hh, "object", "fig05", "precision/recall vs memory"),
+    "fig06": functools.partial(_attp_hh, "object", "fig06", "update/query time vs memory"),
+    "fig07": functools.partial(_bitp_hh, "client", "fig07", "precision/recall vs memory"),
+    "fig08": _fig08,
+    "fig09": functools.partial(_bitp_hh, "client", "fig09", "update/query time vs memory"),
+    "fig10": functools.partial(_bitp_hh, "object", "fig10", "precision/recall vs memory"),
+    "fig11": functools.partial(_bitp_hh, "object", "fig11", "update/query time vs memory"),
+    "fig12": _fig12,
+    "fig13": functools.partial(_matrix, "low", "fig13_low"),
+    "fig14": functools.partial(_matrix, "low", "fig14"),
+    "fig15": functools.partial(_matrix, "medium", "fig15"),
+    "fig16": functools.partial(_matrix, "high", "fig16", False),
+}
+
+
+def run_experiment(name: str):
+    """Run one named experiment; returns its raw rows."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name]()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures from the library.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="+",
+        help="experiment names (fig01..fig16), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to write the series files into (default: print only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.names == ["list"]:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.out:
+        f.set_results_dir(args.out)
+    names = sorted(EXPERIMENTS) if args.names == ["all"] else args.names
+    for name in names:
+        start = time.perf_counter()
+        run_experiment(name)
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+    return 0

@@ -1,0 +1,124 @@
+"""Durable sketch storage: versioned save/load with integrity checks.
+
+A persistent sketch is meant to outlive the process that built it — the
+paper's audit scenario queries a summary "months later".  Raw ``pickle``
+works but fails ungracefully (wrong file, truncation, version skew all
+surface as cryptic unpickling errors deep in a stack).  This module wraps
+pickle in a small framed format:
+
+* an 8-byte magic, a format version, the sketch's class path;
+* the pickled payload length and a SHA-256 digest of the payload.
+
+``load`` verifies all of it before unpickling and raises
+:class:`SketchFileError` with a precise message otherwise.
+
+SECURITY: the payload is still a pickle — load sketch files only from
+sources you trust, exactly as you would a pickle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+import struct
+from pathlib import Path
+from typing import Any
+
+MAGIC = b"REPROSK1"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct(">8sHI")  # magic, format version, class-path length
+_PAYLOAD = struct.Struct(">Q32s")  # payload length, sha256 digest
+
+
+class SketchFileError(RuntimeError):
+    """The file is not a valid sketch file (or is corrupt / mismatched)."""
+
+
+def class_path(obj: Any) -> str:
+    """Importable dotted path of an object's class."""
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def save_sketch(sketch: Any, path) -> int:
+    """Serialise ``sketch`` to ``path``; returns the bytes written.
+
+    The write goes through a temporary sibling file and an atomic rename, so
+    a crash mid-save never leaves a half-written sketch file behind.
+    """
+    path = Path(path)
+    payload = pickle.dumps(sketch, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).digest()
+    encoded_class = class_path(sketch).encode("utf-8")
+    buffer = io.BytesIO()
+    buffer.write(_HEADER.pack(MAGIC, FORMAT_VERSION, len(encoded_class)))
+    buffer.write(encoded_class)
+    buffer.write(_PAYLOAD.pack(len(payload), digest))
+    buffer.write(payload)
+    data = buffer.getvalue()
+    temporary = path.with_suffix(path.suffix + ".tmp")
+    temporary.write_bytes(data)
+    temporary.replace(path)
+    return len(data)
+
+
+def inspect_sketch_file(path) -> dict:
+    """Read a sketch file's metadata without unpickling the payload."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < _HEADER.size:
+        raise SketchFileError(f"{path}: too short to be a sketch file")
+    magic, version, class_length = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise SketchFileError(f"{path}: not a sketch file (bad magic)")
+    if version != FORMAT_VERSION:
+        raise SketchFileError(
+            f"{path}: format version {version} unsupported (expected {FORMAT_VERSION})"
+        )
+    offset = _HEADER.size
+    if len(data) < offset + class_length + _PAYLOAD.size:
+        raise SketchFileError(f"{path}: truncated header")
+    stored_class = data[offset : offset + class_length].decode("utf-8")
+    offset += class_length
+    payload_length, digest = _PAYLOAD.unpack_from(data, offset)
+    offset += _PAYLOAD.size
+    if len(data) != offset + payload_length:
+        raise SketchFileError(
+            f"{path}: payload length mismatch "
+            f"(header says {payload_length}, file has {len(data) - offset})"
+        )
+    return {
+        "class": stored_class,
+        "payload_bytes": payload_length,
+        "digest": digest,
+        "payload_offset": offset,
+    }
+
+
+def load_sketch(path, expected_class: Any = None) -> Any:
+    """Load a sketch saved by :func:`save_sketch`, verifying integrity.
+
+    ``expected_class`` (a class or dotted path string) additionally pins the
+    stored type — pass it whenever the caller knows what it expects, so a
+    mixed-up file fails before any state is used.
+    """
+    path = Path(path)
+    meta = inspect_sketch_file(path)
+    if expected_class is not None:
+        if isinstance(expected_class, str):
+            expected_path = expected_class
+        else:
+            expected_path = (
+                f"{expected_class.__module__}.{expected_class.__qualname__}"
+            )
+        if meta["class"] != expected_path:
+            raise SketchFileError(
+                f"{path}: holds a {meta['class']}, expected {expected_path}"
+            )
+    data = path.read_bytes()
+    payload = data[meta["payload_offset"] :]
+    if hashlib.sha256(payload).digest() != meta["digest"]:
+        raise SketchFileError(f"{path}: payload digest mismatch (corrupt file)")
+    return pickle.loads(payload)

@@ -1,0 +1,61 @@
+"""Problem-level persistent sketches — the library's main public API.
+
+Heavy hitters: SAMPLING / CMG / CCM (ATTP), SAMPLING-BITP / TMG (BITP).
+Matrix covariance: NS / NSWR / PFD (ATTP), merge-tree FD (BITP).
+Quantiles, range counting and KDE via persistent samples and chains.
+"""
+
+from repro.persistent.heavy_hitters import (
+    AttpChainCountMin,
+    AttpChainMisraGries,
+    AttpDyadicChainCountMin,
+    AttpSampleHeavyHitter,
+    AttpTreeMisraGries,
+    BitpSampleHeavyHitter,
+    BitpTreeMisraGries,
+)
+from repro.persistent.distinct import AttpKmvDistinct, BitpHllDistinct
+from repro.persistent.kde import AttpKdeCoreset, gaussian_kernel, laplace_kernel
+from repro.persistent.membership import AttpBloomMembership, BitpBloomMembership
+from repro.persistent.matrix import (
+    AttpNormSampling,
+    AttpNormSamplingWR,
+    AttpPersistentFrequentDirections,
+    BitpFrequentDirections,
+)
+from repro.persistent.quantiles import (
+    AttpChainKll,
+    AttpMergeTreeQuantiles,
+    AttpSampleQuantiles,
+    AttpWeightedQuantiles,
+    BitpMergeTreeQuantiles,
+)
+from repro.persistent.range_counting import AttpRangeCounting, AttpWeightedRangeCounting
+
+__all__ = [
+    "AttpBloomMembership",
+    "AttpChainCountMin",
+    "AttpChainMisraGries",
+    "AttpChainKll",
+    "AttpDyadicChainCountMin",
+    "AttpKdeCoreset",
+    "AttpMergeTreeQuantiles",
+    "AttpKmvDistinct",
+    "AttpNormSampling",
+    "AttpNormSamplingWR",
+    "AttpPersistentFrequentDirections",
+    "AttpRangeCounting",
+    "AttpSampleHeavyHitter",
+    "AttpSampleQuantiles",
+    "AttpTreeMisraGries",
+    "AttpWeightedQuantiles",
+    "AttpWeightedRangeCounting",
+    "BitpBloomMembership",
+    "BitpFrequentDirections",
+    "BitpHllDistinct",
+    "BitpMergeTreeQuantiles",
+    "BitpSampleHeavyHitter",
+    "BitpTreeMisraGries",
+    "gaussian_kernel",
+    "laplace_kernel",
+]

@@ -1,0 +1,146 @@
+"""Persistent distinct-count sketches.
+
+The paper lists distinct elements among the sketch families its frameworks
+extend to (Section 2.2.5); these are the two natural instantiations:
+
+* :class:`AttpKmvDistinct` — ATTP via the Section-3 persistence idea applied
+  to a bottom-k (KMV) sketch over hash values: records are death-marked
+  instead of deleted, so the k smallest hashes of *any prefix* can be
+  replayed.  Estimate at time ``t``: ``(k - 1) / kth_smallest_hash(t)``.
+  Duplicates are detected exactly with O(k) state: a hash at or above the
+  current k-th minimum can never enter, and one below it is necessarily in
+  the current sample already (hash values never change).
+* :class:`BitpHllDistinct` — BITP via the merge tree (Section 5) over
+  HyperLogLog: "how many distinct keys in the last w seconds, for any w".
+"""
+
+from __future__ import annotations
+
+import bisect
+import functools
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.base import TimestampGuard
+from repro.core.merge_tree import MergeTreePersistence
+from repro.sketches.hashing import mix64
+from repro.sketches.hyperloglog import HyperLogLog
+
+_HASH_RANGE = float(1 << 64)
+
+
+@dataclass
+class _KmvRecord:
+    unit: float  # hash mapped to (0, 1]
+    birth: float
+    death: Optional[float] = None
+
+
+class AttpKmvDistinct:
+    """ATTP k-minimum-values distinct counter over integer keys."""
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        self.k = k
+        self._salt = mix64(seed, 0x9E3779B97F4A7C15)
+        self._guard = TimestampGuard()
+        self._records: List[_KmvRecord] = []  # birth order
+        self._birth_times: List[float] = []
+        # Current k smallest units: max-heap (negated) + exact alive set.
+        self._heap: List[tuple] = []  # (-unit, record index)
+        self._alive_units = set()
+        self.count = 0
+
+    def update(self, key: int, timestamp: float) -> None:
+        """Observe one key at ``timestamp`` (duplicates are free)."""
+        self._guard.check(timestamp)
+        self.count += 1
+        unit = (mix64(int(key), self._salt) + 1) / _HASH_RANGE  # in (0, 1]
+        if unit in self._alive_units:
+            return  # duplicate of a currently-sampled key
+        if len(self._heap) >= self.k:
+            if unit >= -self._heap[0][0]:
+                # Too large to enter now — and hashes are static, so it can
+                # never enter a later prefix's bottom-k either.
+                return
+        record = _KmvRecord(unit=unit, birth=timestamp)
+        index = len(self._records)
+        self._records.append(record)
+        self._birth_times.append(timestamp)
+        self._alive_units.add(unit)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-unit, index))
+        else:
+            _, evicted = heapq.heapreplace(self._heap, (-unit, index))
+            self._records[evicted].death = timestamp
+            self._alive_units.discard(self._records[evicted].unit)
+
+    def _sample_at(self, timestamp: float) -> List[float]:
+        end = bisect.bisect_right(self._birth_times, timestamp)
+        return [
+            record.unit
+            for record in self._records[:end]
+            if record.birth <= timestamp
+            and (record.death is None or record.death > timestamp)
+        ]
+
+    def distinct_at(self, timestamp: float) -> float:
+        """Estimated number of distinct keys in ``A^timestamp``.
+
+        Exact (up to hash collisions) while fewer than ``k`` distinct keys
+        have arrived; ``(k - 1) / kth_smallest`` afterwards.
+        """
+        units = self._sample_at(timestamp)
+        if len(units) < self.k:
+            return float(len(units))
+        return (self.k - 1) / max(units)
+
+    def distinct_now(self) -> float:
+        """Estimated distinct keys over the whole stream."""
+        if len(self._heap) < self.k:
+            return float(len(self._heap))
+        return (self.k - 1) / (-self._heap[0][0])
+
+    def num_records(self) -> int:
+        """KMV records ever kept (alive + death-marked)."""
+        return len(self._records)
+
+    def memory_bytes(self) -> int:
+        """Record: hash(8) + birth(8) + death(8); alive set: 8 per entry."""
+        return len(self._records) * 24 + len(self._alive_units) * 8
+
+
+class BitpHllDistinct:
+    """BITP distinct counter: merge tree over HyperLogLog sketches."""
+
+    def __init__(self, p: int = 12, eps_tree: float = 0.1, block_size: int = 64, seed: int = 0):
+        self.p = p
+        self._tree = MergeTreePersistence(
+            functools.partial(HyperLogLog, p, seed=seed),
+            eps=eps_tree,
+            mode="bitp",
+            block_size=block_size,
+        )
+
+    @property
+    def count(self) -> int:
+        return self._tree.count
+
+    def update(self, key: int, timestamp: float) -> None:
+        """Observe one key at ``timestamp``."""
+        self._tree.update(key, timestamp)
+
+    def distinct_since(self, timestamp: float) -> float:
+        """Estimated distinct keys in the window ``A[timestamp, now]``."""
+        merged = self._tree.sketch_since(timestamp)
+        return merged.estimate()
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return self._tree.peak_memory_bytes
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout footprint (see repro.evaluation.memory)."""
+        return self._tree.memory_bytes()

@@ -1,0 +1,178 @@
+"""Persistent matrix-covariance (eps-MC) sketches (Section 6.3 lineup).
+
+* :class:`AttpNormSampling` — "NS": persistent priority sampling with weight
+  ``||a_i||^2`` (weighted without replacement, Section 3.1).
+* :class:`AttpNormSamplingWR` — "NSWR": persistent weighted with-replacement
+  chains with the same weights.
+* :class:`AttpPersistentFrequentDirections` — "PFD": Algorithm 1 (re-exported
+  from :mod:`repro.core.pfd`).
+* :class:`BitpFrequentDirections` — BITP eps-MC via the merge tree over
+  Frequent Directions (Theorem 5.1).
+
+All estimators return a ``d x d`` covariance estimate of ``A(t)^T A(t)``
+whose spectral error is bounded relative to ``||A(t)||_F^2``.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.core.base import check_finite_row
+from repro.core.checkpoint_chain import apply_value_only
+from repro.core.merge_tree import MergeTreePersistence
+from repro.core.persistent_priority import PersistentPrioritySample, PersistentWeightedWR
+from repro.core.pfd import PersistentFrequentDirections
+from repro.sketches.frequent_directions import FastFrequentDirections
+
+
+class AttpNormSampling:
+    """ATTP norm sampling: weighted without-replacement row sample (NS).
+
+    Rows are sampled with probability proportional to their squared norm; the
+    covariance estimator rescales each sampled row by its adjusted weight, so
+    ``E[estimate] = A(t)^T A(t)`` with spectral error ``eps * ||A(t)||_F^2``
+    for ``k = O(d / eps^2)`` rows (Theorem 3.3).
+    """
+
+    def __init__(self, k: int, dim: int, seed: int = 0):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.k = k
+        self.dim = dim
+        self._sample = PersistentPrioritySample(k, seed=seed)
+        self.count = 0
+
+    def update(self, row: np.ndarray, timestamp: float) -> None:
+        """Append one d-dimensional row at ``timestamp``."""
+        row = np.asarray(row, dtype=float)
+        if row.shape != (self.dim,):
+            raise ValueError(f"expected a row of shape ({self.dim},), got {row.shape}")
+        check_finite_row(row)
+        norm_sq = float(row @ row)
+        if norm_sq == 0.0:
+            return  # zero rows carry no covariance mass
+        self.count += 1
+        self._sample.update(row, timestamp, weight=norm_sq)
+
+    def sketch_rows_at(self, timestamp: float) -> np.ndarray:
+        """Row matrix ``B`` with ``B^T B`` = the covariance estimate at ``t``."""
+        pairs = self._sample.sample_at(timestamp)
+        if not pairs:
+            return np.zeros((0, self.dim))
+        rows = []
+        for row, adjusted in pairs:
+            norm_sq = float(row @ row)
+            rows.append(row * np.sqrt(adjusted / norm_sq))
+        return np.vstack(rows)
+
+    def covariance_at(self, timestamp: float) -> np.ndarray:
+        """Unbiased estimate of ``A(t)^T A(t)``."""
+        b = self.sketch_rows_at(timestamp)
+        return b.T @ b
+
+    def num_records(self) -> int:
+        """Records ever kept by the persistent sampler."""
+        return len(self._sample)
+
+    def memory_bytes(self) -> int:
+        """Each record stores a d-vector (8d) plus sampler bookkeeping (28)."""
+        return self.num_records() * (self.dim * 8 + 28)
+
+
+class AttpNormSamplingWR:
+    """ATTP norm sampling with replacement (NSWR): k independent chains."""
+
+    def __init__(self, k: int, dim: int, seed: int = 0):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.k = k
+        self.dim = dim
+        self._sample = PersistentWeightedWR(k, seed=seed)
+        self.count = 0
+
+    def update(self, row: np.ndarray, timestamp: float) -> None:
+        """Append one d-dimensional row at ``timestamp``."""
+        row = np.asarray(row, dtype=float)
+        if row.shape != (self.dim,):
+            raise ValueError(f"expected a row of shape ({self.dim},), got {row.shape}")
+        check_finite_row(row)
+        norm_sq = float(row @ row)
+        if norm_sq == 0.0:
+            return
+        self.count += 1
+        self._sample.update(row, timestamp, weight=norm_sq)
+
+    def sketch_rows_at(self, timestamp: float) -> np.ndarray:
+        """Row matrix ``B`` with ``B^T B`` = the covariance estimate at ``t``."""
+        pairs = self._sample.sample_at(timestamp)
+        if not pairs:
+            return np.zeros((0, self.dim))
+        w_t = self._sample.total_weight_at(timestamp)  # = ||A(t)||_F^2 (approx)
+        scale = w_t / len(pairs)
+        rows = []
+        for row, norm_sq in pairs:
+            rows.append(row * np.sqrt(scale / norm_sq))
+        return np.vstack(rows)
+
+    def covariance_at(self, timestamp: float) -> np.ndarray:
+        """Estimate of ``A(t)^T A(t)``: ``(W(t)/k) * sum a a^T / ||a||^2``."""
+        b = self.sketch_rows_at(timestamp)
+        return b.T @ b
+
+    def num_records(self) -> int:
+        """Records ever kept across the sampler chains."""
+        return self._sample.total_records()
+
+    def memory_bytes(self) -> int:
+        """Each record stores a d-vector (8d) plus chain bookkeeping (16)."""
+        return self.num_records() * (self.dim * 8 + 16)
+
+
+class AttpPersistentFrequentDirections(PersistentFrequentDirections):
+    """ATTP Frequent Directions (PFD, Algorithm 1).
+
+    Re-exported from :mod:`repro.core.pfd` under the Section 6.3 name.
+    """
+
+
+class BitpFrequentDirections:
+    """BITP eps-MC sketch: merge tree of Frequent Directions summaries."""
+
+    def __init__(self, ell: int, dim: int, eps_tree: float = 0.1, block_size: int = 32):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.ell = ell
+        self.dim = dim
+        self._tree = MergeTreePersistence(
+            functools.partial(FastFrequentDirections, ell, dim),
+            eps=eps_tree,
+            mode="bitp",
+            block_size=block_size,
+            apply_update=apply_value_only,
+        )
+
+    @property
+    def count(self) -> int:
+        return self._tree.count
+
+    def update(self, row: np.ndarray, timestamp: float) -> None:
+        """Append one d-dimensional row at ``timestamp``."""
+        row = np.asarray(row, dtype=float)
+        if row.shape != (self.dim,):
+            raise ValueError(f"expected a row of shape ({self.dim},), got {row.shape}")
+        self._tree.update(row, timestamp)
+
+    def covariance_since(self, timestamp: float) -> np.ndarray:
+        """Estimate of the window covariance ``A[t, now]^T A[t, now]``."""
+        merged = self._tree.sketch_since(timestamp)
+        return merged.covariance()
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return self._tree.peak_memory_bytes
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout footprint (see repro.evaluation.memory)."""
+        return self._tree.memory_bytes()

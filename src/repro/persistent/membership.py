@@ -1,0 +1,114 @@
+"""Persistent approximate membership.
+
+The paper cites persistent Bloom filters (Peng et al., SIGMOD 2018) as a
+problem-specific prior; its own frameworks cover the problem generically:
+
+* :class:`AttpBloomMembership` — checkpoint-chained Bloom filter: "had key x
+  been seen by time t?"  No false negatives at checkpoint granularity; false
+  positives at the filter's rate.  Checkpoints trigger on insertion-count
+  growth (Lemma 4.1's weight is the count here, since Bloom queries have no
+  additive-error form); staleness means a key inserted within the last
+  ``eps`` fraction of the prefix may be missed, the membership analogue of
+  the chaining error.
+* :class:`BitpBloomMembership` — merge tree of Bloom filters: "was key x
+  seen in the last w items, for any w?"  Bloom union is register-wise OR, so
+  it is mergeable and Section 5 applies directly.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.checkpoint_chain import CheckpointChain, apply_value_only
+from repro.core.merge_tree import MergeTreePersistence
+from repro.sketches.bloom import BloomFilter
+
+
+class AttpBloomMembership:
+    """ATTP membership: checkpoint-chained Bloom filter."""
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01, eps: float = 0.05, seed: int = 0):
+        self._chain = CheckpointChain(
+            functools.partial(BloomFilter.from_capacity, capacity, fp_rate, seed=seed),
+            eps=eps,
+            apply_update=apply_value_only,
+        )
+
+    @property
+    def count(self) -> int:
+        return self._chain.count
+
+    def update(self, key: int, timestamp: float) -> None:
+        """Insert one key at ``timestamp``."""
+        self._chain.update(key, timestamp)
+
+    def contains_at(self, key: int, timestamp: float) -> bool:
+        """Whether ``key`` may have been inserted at or before ``timestamp``.
+
+        False is definitive up to checkpoint staleness (a key inserted in the
+        trailing ``eps`` fraction of the prefix may still read False).
+        """
+        snapshot = self._chain.sketch_at(timestamp)
+        if snapshot is None:
+            return False
+        return snapshot.query(key)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout footprint (see repro.evaluation.memory)."""
+        return self._chain.memory_bytes()
+
+
+class BitpBloomMembership:
+    """BITP membership: merge tree of Bloom filters over suffix windows.
+
+    Merging ORs the per-node filters, so the false-positive rate of a window
+    query grows with the number of distinct keys in the window — size
+    ``capacity_per_block`` to the largest window you intend to query, not to
+    the block.
+    """
+
+    def __init__(
+        self,
+        capacity_per_block: int = 256,
+        fp_rate: float = 0.01,
+        eps_tree: float = 0.1,
+        block_size: int = 128,
+        seed: int = 0,
+    ):
+        self._tree = MergeTreePersistence(
+            functools.partial(
+                BloomFilter.from_capacity,
+                max(capacity_per_block, block_size),
+                fp_rate,
+                seed=seed,
+            ),
+            eps=eps_tree,
+            mode="bitp",
+            block_size=block_size,
+        )
+
+    @property
+    def count(self) -> int:
+        return self._tree.count
+
+    def update(self, key: int, timestamp: float) -> None:
+        """Insert one key at ``timestamp``."""
+        self._tree.update(key, timestamp)
+
+    def contains_since(self, key: int, timestamp: float) -> bool:
+        """Whether ``key`` may have appeared in the window ``A[timestamp, now]``.
+
+        The merged filter covers the window up to the eps cover slack (old
+        edge) and one block of overshoot, so very-near-the-boundary keys can
+        flip either way; everywhere else False is definitive.
+        """
+        merged = self._tree.sketch_since(timestamp)
+        return merged.query(key)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return self._tree.peak_memory_bytes
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout footprint (see repro.evaluation.memory)."""
+        return self._tree.memory_bytes()

@@ -1,0 +1,223 @@
+"""Persistent quantile summaries.
+
+* :class:`AttpSampleQuantiles` — persistent uniform sample; a sample of size
+  ``k = O(eps^-2 log(1/delta))`` is an eps-quantile summary of any prefix
+  (Theorem 3.1).
+* :class:`AttpChainKll` — checkpoint-chained KLL sketch (Theorem 4.1's
+  eps-quantiles row).
+* :class:`BitpMergeTreeQuantiles` — merge tree of KLL sketches: eps-quantile
+  summaries over any suffix window (Theorem 5.1's framework).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List
+
+from repro.core.checkpoint_chain import CheckpointChain
+from repro.core.merge_tree import MergeTreePersistence
+from repro.core.persistent_sampling import PersistentTopKSample
+from repro.sketches.kll import KllSketch
+
+
+def _empirical_quantile(values: List[float], phi: float) -> float:
+    if not values:
+        raise ValueError("cannot query an empty summary")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(phi * len(ordered) + 0.5) - 1))
+    return ordered[index]
+
+
+class AttpSampleQuantiles:
+    """ATTP quantiles from a persistent uniform sample."""
+
+    def __init__(self, k: int, seed: int = 0):
+        self._sample = PersistentTopKSample(k, seed=seed)
+        self.k = k
+
+    @property
+    def count(self) -> int:
+        return self._sample.count
+
+    def update(self, value: float, timestamp: float) -> None:
+        """Insert one value at ``timestamp``."""
+        self._sample.update(float(value), timestamp)
+
+    def quantile_at(self, timestamp: float, phi: float) -> float:
+        """Estimated phi-quantile of ``A^timestamp``."""
+        if not 0 <= phi <= 1:
+            raise ValueError(f"phi must be in [0, 1], got {phi}")
+        return _empirical_quantile(self._sample.sample_at(timestamp), phi)
+
+    def cdf_at(self, timestamp: float, value: float) -> float:
+        """Estimated fraction of ``A^timestamp`` at most ``value``."""
+        sample = self._sample.sample_at(timestamp)
+        if not sample:
+            raise ValueError("cannot query an empty summary")
+        return sum(1 for item in sample if item <= value) / len(sample)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout footprint (see repro.evaluation.memory)."""
+        return self._sample.memory_bytes()
+
+
+class AttpChainKll:
+    """ATTP quantiles from checkpoint-chained KLL sketches."""
+
+    def __init__(self, k: int = 200, eps_ckpt: float = 0.05, seed: int = 0):
+        self._chain = CheckpointChain(
+            functools.partial(KllSketch, k, seed=seed), eps=eps_ckpt
+        )
+        self.k = k
+
+    @property
+    def count(self) -> int:
+        return self._chain.count
+
+    def update(self, value: float, timestamp: float) -> None:
+        """Insert one value at ``timestamp``."""
+        self._chain.update(float(value), timestamp)
+
+    def quantile_at(self, timestamp: float, phi: float) -> float:
+        """Estimated phi-quantile of ``A^timestamp``."""
+        sketch = self._chain.sketch_at(timestamp)
+        if sketch is None:
+            raise ValueError("cannot query before the first checkpoint")
+        return sketch.quantile(phi)
+
+    def cdf_at(self, timestamp: float, value: float) -> float:
+        """Estimated fraction of ``A^timestamp`` at most ``value``."""
+        sketch = self._chain.sketch_at(timestamp)
+        if sketch is None:
+            raise ValueError("cannot query before the first checkpoint")
+        return sketch.cdf(value)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout footprint (see repro.evaluation.memory)."""
+        return self._chain.memory_bytes()
+
+
+class AttpWeightedQuantiles:
+    """ATTP *weighted* quantiles via persistent priority sampling (Thm 3.3).
+
+    Each value carries a positive weight; the phi-quantile at time ``t`` is
+    the smallest value ``v`` such that the weight of items ``<= v`` in
+    ``A^t`` reaches ``phi`` of the total weight.
+    """
+
+    def __init__(self, k: int, seed: int = 0):
+        from repro.core.persistent_priority import PersistentPrioritySample
+
+        self._sample = PersistentPrioritySample(k, seed=seed)
+        self.k = k
+
+    @property
+    def count(self) -> int:
+        return self._sample.count
+
+    def update(self, value: float, timestamp: float, weight: float = 1.0) -> None:
+        """Insert one weighted value at ``timestamp``."""
+        self._sample.update(float(value), timestamp, weight=weight)
+
+    def quantile_at(self, timestamp: float, phi: float) -> float:
+        """Estimated weighted phi-quantile of ``A^timestamp``."""
+        if not 0 <= phi <= 1:
+            raise ValueError(f"phi must be in [0, 1], got {phi}")
+        pairs = sorted(self._sample.sample_at(timestamp))
+        if not pairs:
+            raise ValueError("cannot query an empty summary")
+        total = sum(weight for _, weight in pairs)
+        target = phi * total
+        cumulative = 0.0
+        for value, weight in pairs:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return pairs[-1][0]
+
+    def weighted_cdf_at(self, timestamp: float, value: float) -> float:
+        """Estimated weighted fraction of ``A^timestamp`` at most ``value``."""
+        pairs = self._sample.sample_at(timestamp)
+        if not pairs:
+            raise ValueError("cannot query an empty summary")
+        total = sum(weight for _, weight in pairs)
+        below = sum(weight for item, weight in pairs if item <= value)
+        return below / total
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout footprint (see repro.evaluation.memory)."""
+        return self._sample.memory_bytes()
+
+
+class AttpMergeTreeQuantiles:
+    """ATTP quantiles: merge tree over KLL sketches (Theorem 5.1, ATTP mode)."""
+
+    def __init__(self, k: int = 200, eps_tree: float = 0.05, block_size: int = 64, seed: int = 0):
+        self._tree = MergeTreePersistence(
+            functools.partial(KllSketch, k, seed=seed),
+            eps=eps_tree,
+            mode="attp",
+            block_size=block_size,
+        )
+        self.k = k
+
+    @property
+    def count(self) -> int:
+        return self._tree.count
+
+    def update(self, value: float, timestamp: float) -> None:
+        """Insert one value at ``timestamp``."""
+        self._tree.update(float(value), timestamp)
+
+    def quantile_at(self, timestamp: float, phi: float) -> float:
+        """Estimated phi-quantile of the prefix ``A^timestamp``."""
+        merged = self._tree.sketch_at(timestamp)
+        return merged.quantile(phi)
+
+    def cdf_at(self, timestamp: float, value: float) -> float:
+        """Estimated fraction of the prefix at most ``value``."""
+        merged = self._tree.sketch_at(timestamp)
+        return merged.cdf(value)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout footprint (see repro.evaluation.memory)."""
+        return self._tree.memory_bytes()
+
+
+class BitpMergeTreeQuantiles:
+    """BITP quantiles: merge tree over KLL sketches."""
+
+    def __init__(self, k: int = 200, eps_tree: float = 0.05, block_size: int = 64, seed: int = 0):
+        self._tree = MergeTreePersistence(
+            functools.partial(KllSketch, k, seed=seed),
+            eps=eps_tree,
+            mode="bitp",
+            block_size=block_size,
+        )
+        self.k = k
+
+    @property
+    def count(self) -> int:
+        return self._tree.count
+
+    def update(self, value: float, timestamp: float) -> None:
+        """Insert one value at ``timestamp``."""
+        self._tree.update(float(value), timestamp)
+
+    def quantile_since(self, timestamp: float, phi: float) -> float:
+        """Estimated phi-quantile of the window ``A[timestamp, now]``."""
+        merged = self._tree.sketch_since(timestamp)
+        return merged.quantile(phi)
+
+    def cdf_since(self, timestamp: float, value: float) -> float:
+        """Estimated fraction of the window at most ``value``."""
+        merged = self._tree.sketch_since(timestamp)
+        return merged.cdf(value)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return self._tree.peak_memory_bytes
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout footprint (see repro.evaluation.memory)."""
+        return self._tree.memory_bytes()

@@ -1,0 +1,108 @@
+"""ATTP approximate range counting (eps-ARC, Theorem 3.1 / 3.3).
+
+A persistent uniform sample of size ``k = O(eps^-2 (v + log(1/delta)))`` is
+an eps-ARC summary of any prefix for ranges of VC-dimension ``v`` — here
+axis-aligned rectangles (``v = 2d``).  The weighted variant supports
+importance-weighted points (Theorem 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.persistent_priority import PersistentPrioritySample
+from repro.core.persistent_sampling import PersistentTopKSample
+from repro.core.timeindex import GeometricHistory
+
+
+def _in_rect(point: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> bool:
+    return bool(np.all(point >= lo) and np.all(point <= hi))
+
+
+class AttpRangeCounting:
+    """ATTP range counting over d-dimensional points, axis-aligned ranges."""
+
+    def __init__(self, k: int, dim: int, seed: int = 0):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.k = k
+        self.dim = dim
+        self._sample = PersistentTopKSample(k, seed=seed)
+        self._count_history = GeometricHistory(delta=0.01)
+        self.count = 0
+
+    def update(self, point: Sequence[float], timestamp: float) -> None:
+        """Insert one point at ``timestamp``."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dim,):
+            raise ValueError(f"expected a point of shape ({self.dim},), got {point.shape}")
+        self.count += 1
+        self._sample.update(point, timestamp)
+        self._count_history.observe(timestamp, float(self.count))
+
+    def range_count_at(
+        self, timestamp: float, lo: Sequence[float], hi: Sequence[float]
+    ) -> float:
+        """Estimated number of points of ``A^timestamp`` inside ``[lo, hi]``."""
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        if np.any(lo > hi):
+            raise ValueError("range is empty: lo > hi in some coordinate")
+        sample = self._sample.sample_at(timestamp)
+        if not sample:
+            return 0.0
+        hits = sum(1 for point in sample if _in_rect(point, lo, hi))
+        return hits / len(sample) * self._count_history.value_at(timestamp)
+
+    def range_fraction_at(
+        self, timestamp: float, lo: Sequence[float], hi: Sequence[float]
+    ) -> float:
+        """Estimated fraction of points of ``A^timestamp`` inside ``[lo, hi]``."""
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        sample = self._sample.sample_at(timestamp)
+        if not sample:
+            return 0.0
+        return sum(1 for point in sample if _in_rect(point, lo, hi)) / len(sample)
+
+    def memory_bytes(self) -> int:
+        """Record: d-vector (8d) + sampler bookkeeping (28)."""
+        return len(self._sample) * (self.dim * 8 + 28) + self._count_history.memory_bytes()
+
+
+class AttpWeightedRangeCounting:
+    """ATTP weighted range counting: point weights via priority sampling."""
+
+    def __init__(self, k: int, dim: int, seed: int = 0):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.k = k
+        self.dim = dim
+        self._sample = PersistentPrioritySample(k, seed=seed)
+        self.count = 0
+
+    def update(self, point: Sequence[float], timestamp: float, weight: float = 1.0) -> None:
+        """Insert one weighted point at ``timestamp``."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dim,):
+            raise ValueError(f"expected a point of shape ({self.dim},), got {point.shape}")
+        self.count += 1
+        self._sample.update(point, timestamp, weight=weight)
+
+    def range_weight_at(
+        self, timestamp: float, lo: Sequence[float], hi: Sequence[float]
+    ) -> float:
+        """Estimated total weight of points of ``A^timestamp`` inside ``[lo, hi]``."""
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        if np.any(lo > hi):
+            raise ValueError("range is empty: lo > hi in some coordinate")
+        return self._sample.estimate_subset_sum_at(
+            timestamp, lambda point: _in_rect(point, lo, hi)
+        )
+
+    def memory_bytes(self) -> int:
+        """Record: d-vector (8d) + sampler bookkeeping (36)."""
+        return len(self._sample) * (self.dim * 8 + 36)

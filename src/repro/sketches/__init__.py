@@ -1,0 +1,43 @@
+"""Streaming sketch substrate.
+
+This subpackage implements, from scratch, the classic streaming sketches the
+paper builds its persistent variants on: CountMin, Count sketch, Misra-Gries,
+SpaceSaving, Frequent Directions, KLL quantiles, reservoir / priority
+sampling, and a Bloom filter.  Every sketch follows the small protocol set in
+:mod:`repro.core.base` (``update`` / ``query`` / ``memory_bytes``), and the
+mergeable ones additionally implement ``merge``.
+"""
+
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.dyadic import DyadicCountMin
+from repro.sketches.frequent_directions import FastFrequentDirections, FrequentDirections
+from repro.sketches.hashing import HashFamily, MultiplyShiftHash, SignHash
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kll import KllSketch
+from repro.sketches.misra_gries import MisraGries
+from repro.sketches.priority import PrioritySample
+from repro.sketches.reservoir import ReservoirSample, TopKPrioritySample
+from repro.sketches.spacesaving import SpaceSaving
+from repro.sketches.weighted_reservoir import WeightedReservoirWR
+
+__all__ = [
+    "BloomFilter",
+    "CountMinSketch",
+    "CountSketch",
+    "DyadicCountMin",
+    "FastFrequentDirections",
+    "FrequentDirections",
+    "HashFamily",
+    "HyperLogLog",
+    "KllSketch",
+    "MisraGries",
+    "MultiplyShiftHash",
+    "PrioritySample",
+    "ReservoirSample",
+    "SignHash",
+    "SpaceSaving",
+    "TopKPrioritySample",
+    "WeightedReservoirWR",
+]

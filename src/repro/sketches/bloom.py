@@ -1,0 +1,70 @@
+"""Bloom filter (Bloom, 1970).
+
+Standard ``m``-bit filter with ``h`` hash functions.  Included as a substrate
+for the membership-style example (the paper cites persistent Bloom filters as
+the closest specialised prior work) and to exercise the checkpoint-chaining
+framework on a non-counter sketch in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sketches.hashing import HashFamily, next_pow2_bits
+
+
+class BloomFilter:
+    """Approximate-membership filter with no false negatives."""
+
+    def __init__(self, bits: int, num_hashes: int = 4, seed: int = 0):
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        self._bit_width = next_pow2_bits(bits)
+        self.bits = 1 << self._bit_width
+        self.num_hashes = num_hashes
+        self.seed = seed
+        family = HashFamily(seed)
+        self._hashes = [family.draw_multiply_shift(self._bit_width) for _ in range(num_hashes)]
+        self._array = np.zeros(self.bits, dtype=bool)
+        self.count = 0
+
+    @classmethod
+    def from_capacity(cls, capacity: int, fp_rate: float = 0.01, seed: int = 0) -> "BloomFilter":
+        """Size for ``capacity`` insertions at the target false-positive rate."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0 < fp_rate < 1:
+            raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        bits = math.ceil(-capacity * math.log(fp_rate) / math.log(2) ** 2)
+        num_hashes = max(1, round(bits / capacity * math.log(2)))
+        return cls(bits, num_hashes, seed=seed)
+
+    def update(self, key: int) -> None:
+        """Insert a key."""
+        for h in self._hashes:
+            self._array[h(key)] = True
+        self.count += 1
+
+    def query(self, key: int) -> bool:
+        """True if the key *may* have been inserted; False is definitive."""
+        return all(self._array[h(key)] for h in self._hashes)
+
+    def merge(self, other: "BloomFilter") -> None:
+        """Union with a filter of identical shape and seed."""
+        if (self.bits, self.num_hashes, self.seed) != (other.bits, other.num_hashes, other.seed):
+            raise ValueError("Bloom filters differ in shape or seed; cannot merge")
+        self._array |= other._array
+        self.count += other.count
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set."""
+        return float(self._array.mean())
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: the bit array, in bytes."""
+        return self.bits // 8
+
+    def __len__(self) -> int:
+        return self.count

@@ -1,0 +1,107 @@
+"""CountMin sketch (Cormode & Muthukrishnan, 2005).
+
+A linear sketch for frequency estimation: ``depth`` rows of ``width``
+counters, each row indexed by an independent 2-universal hash.  The point
+estimate is the minimum over rows, which overestimates the true count by at
+most ``eps * W`` (total weight) with probability ``1 - delta`` when
+``width = ceil(e / eps)`` and ``depth = ceil(ln(1 / delta))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sketches.hashing import HashFamily, next_pow2_bits
+
+
+class CountMinSketch:
+    """CountMin frequency sketch over integer keys.
+
+    Parameters
+    ----------
+    width:
+        Number of counters per row (rounded up to a power of two).
+    depth:
+        Number of rows.
+    seed:
+        Hash seed; sketches with equal shape and seed are merge-compatible.
+    conservative:
+        If true, use conservative update (only raise counters that equal the
+        current estimate), which reduces overestimation for skewed streams
+        but loses linearity (no deletions or merges of deltas).
+    """
+
+    def __init__(self, width: int, depth: int = 3, seed: int = 0,
+                 conservative: bool = False):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self._bits = next_pow2_bits(width)
+        self.width = 1 << self._bits
+        self.depth = depth
+        self.seed = seed
+        self.conservative = conservative
+        family = HashFamily(seed)
+        self._hashes = [family.draw_multiply_shift(self._bits) for _ in range(depth)]
+        self._table = np.zeros((depth, self.width), dtype=np.int64)
+        self.total_weight = 0
+
+    @classmethod
+    def from_error(cls, eps: float, delta: float = 0.01, seed: int = 0) -> "CountMinSketch":
+        """Size the sketch for additive error ``eps*W`` w.p. ``1 - delta``."""
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        width = math.ceil(math.e / eps)
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        return cls(width, depth, seed=seed)
+
+    def _buckets(self, key: int) -> list:
+        return [h(key) for h in self._hashes]
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Add ``weight`` to ``key``'s count (negative allowed unless conservative)."""
+        if self.conservative:
+            if weight < 0:
+                raise ValueError("conservative CountMin is insertion-only")
+            buckets = self._buckets(key)
+            current = min(self._table[r, b] for r, b in enumerate(buckets))
+            floor = current + weight
+            for r, b in enumerate(buckets):
+                if self._table[r, b] < floor:
+                    self._table[r, b] = floor
+        else:
+            for r, b in enumerate(self._buckets(key)):
+                self._table[r, b] += weight
+        self.total_weight += weight
+
+    def query(self, key: int) -> int:
+        """Point estimate of ``key``'s total weight (never underestimates)."""
+        return int(min(self._table[r, b] for r, b in enumerate(self._buckets(key))))
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add another sketch's counters into this one (linear merge)."""
+        self._check_compatible(other)
+        self._table += other._table
+        self.total_weight += other.total_weight
+
+    def _check_compatible(self, other: "CountMinSketch") -> None:
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            raise ValueError("CountMin sketches differ in shape or seed; cannot merge")
+        if self.conservative or other.conservative:
+            raise ValueError("conservative CountMin sketches are not mergeable")
+
+    def counters(self) -> np.ndarray:
+        """The raw counter table (read-only view)."""
+        view = self._table.view()
+        view.flags.writeable = False
+        return view
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: 8 bytes per counter."""
+        return self._table.size * 8
+
+    def __len__(self) -> int:
+        return self._table.size

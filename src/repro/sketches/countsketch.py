@@ -1,0 +1,77 @@
+"""Count sketch (Charikar, Chen & Farach-Colton, 2002).
+
+Like CountMin but each update is multiplied by a random sign, and the point
+estimate is the *median* over rows.  The error scales with the L2 norm of the
+frequency vector rather than the L1 norm, which is much smaller on skewed
+streams.  The sketch is linear, hence mergeable and deletion-tolerant.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sketches.hashing import HashFamily, next_pow2_bits
+
+
+class CountSketch:
+    """Count sketch frequency estimator over integer keys."""
+
+    def __init__(self, width: int, depth: int = 5, seed: int = 0):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self._bits = next_pow2_bits(width)
+        self.width = 1 << self._bits
+        self.depth = depth
+        self.seed = seed
+        family = HashFamily(seed)
+        self._hashes = [family.draw_multiply_shift(self._bits) for _ in range(depth)]
+        self._signs = [family.draw_sign() for _ in range(depth)]
+        self._table = np.zeros((depth, self.width), dtype=np.int64)
+        self.total_weight = 0
+
+    @classmethod
+    def from_error(cls, eps: float, delta: float = 0.01, seed: int = 0) -> "CountSketch":
+        """Size for additive error ``eps * ||f||_2`` w.p. ``1 - delta``."""
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        width = math.ceil(3.0 / eps**2)
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        return cls(width, depth, seed=seed)
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Add ``weight`` (may be negative) to ``key``'s count."""
+        for r in range(self.depth):
+            self._table[r, self._hashes[r](key)] += self._signs[r](key) * weight
+        self.total_weight += weight
+
+    def query(self, key: int) -> int:
+        """Median-of-rows point estimate of ``key``'s total weight."""
+        estimates = [
+            self._signs[r](key) * self._table[r, self._hashes[r](key)]
+            for r in range(self.depth)
+        ]
+        return int(np.median(estimates))
+
+    def merge(self, other: "CountSketch") -> None:
+        """Add another sketch's counters into this one (linear merge)."""
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            raise ValueError("Count sketches differ in shape or seed; cannot merge")
+        self._table += other._table
+        self.total_weight += other.total_weight
+
+    def counters(self) -> np.ndarray:
+        """The raw counter table (read-only view)."""
+        view = self._table.view()
+        view.flags.writeable = False
+        return view
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: 8 bytes per counter."""
+        return self._table.size * 8
+
+    def __len__(self) -> int:
+        return self._table.size

@@ -1,0 +1,91 @@
+"""Dyadic CountMin hierarchy for range sums and heavy-hitter enumeration.
+
+Maintains one CountMin sketch per dyadic level of the key universe
+``[0, 2**universe_bits)``: at level ``j`` keys are collapsed by dropping the
+``j`` low bits.  Range sums decompose into at most ``2 * universe_bits``
+dyadic nodes; heavy hitters are enumerated by descending from the root and
+expanding only the nodes whose estimated count passes the threshold.
+
+This is the classic retrieval structure the paper's PCM_HH baseline needs
+("a dyadic range sum technique is required to efficiently query heavy
+hitters"); it is also useful on its own.
+"""
+
+from __future__ import annotations
+
+from repro.sketches.countmin import CountMinSketch
+
+
+class DyadicCountMin:
+    """A stack of CountMin sketches over dyadic aggregations of the keys."""
+
+    def __init__(self, universe_bits: int, width: int, depth: int = 3, seed: int = 0):
+        if universe_bits < 1:
+            raise ValueError(f"universe_bits must be >= 1, got {universe_bits}")
+        self.universe_bits = universe_bits
+        self.levels = [
+            CountMinSketch(width, depth, seed=seed + level)
+            for level in range(universe_bits + 1)
+        ]
+        self.total_weight = 0
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Add ``weight`` to ``key`` at every dyadic level."""
+        if not 0 <= key < (1 << self.universe_bits):
+            raise ValueError(f"key {key} outside universe [0, 2**{self.universe_bits})")
+        for level, sketch in enumerate(self.levels):
+            sketch.update(key >> level, weight)
+        self.total_weight += weight
+
+    def query(self, key: int) -> int:
+        """Point estimate of ``key``'s total weight."""
+        return self.levels[0].query(key)
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Estimated total weight of keys in ``[lo, hi]`` (inclusive)."""
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        total = 0
+        level = 0
+        # Standard dyadic decomposition: peel aligned blocks from both ends.
+        while lo <= hi:
+            if lo % 2 == 1:
+                total += self.levels[level].query(lo)
+                lo += 1
+            if hi % 2 == 0:
+                total += self.levels[level].query(hi)
+                hi -= 1
+            if lo > hi:
+                break
+            lo //= 2
+            hi //= 2
+            level += 1
+        return total
+
+    def heavy_hitters(self, threshold: float) -> list:
+        """Keys with estimated count >= ``threshold * total_weight``.
+
+        Descends the dyadic tree, expanding only qualifying nodes, so the
+        cost is proportional to the output size times ``universe_bits``.
+        """
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        cut = threshold * self.total_weight
+        if self.total_weight == 0:
+            return []
+        hitters = []
+        frontier = [(self.universe_bits, 0)]
+        while frontier:
+            level, node = frontier.pop()
+            if self.levels[level].query(node) < cut:
+                continue
+            if level == 0:
+                hitters.append(node)
+            else:
+                frontier.append((level - 1, node * 2))
+                frontier.append((level - 1, node * 2 + 1))
+        return sorted(hitters)
+
+    def memory_bytes(self) -> int:
+        """Sum of the per-level CountMin sizes."""
+        return sum(sketch.memory_bytes() for sketch in self.levels)

@@ -1,0 +1,126 @@
+"""Seeded hash families shared by the linear sketches.
+
+The linear sketches (CountMin, Count sketch, dyadic structures) need
+families of pairwise-independent hash functions that are cheap, seeded and
+reproducible.  We implement the classic multiply-shift scheme of Dietzfelbinger
+et al. over 64-bit arithmetic, plus a sign hash for the Count sketch.
+
+All functions accept either a single integer key or a numpy array of keys and
+vectorize accordingly; streams in this package use non-negative integer ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_WORD_BITS = 64
+
+
+class HashFamily:
+    """A reproducible source of independent hash functions.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the underlying PRNG.  Two families built with the same seed
+        produce identical hash functions in the same order, which the
+        persistent sketches rely on when reconstructing historical state.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def draw_multiply_shift(self, out_bits: int) -> "MultiplyShiftHash":
+        """Draw a multiply-shift hash mapping keys to ``[0, 2**out_bits)``."""
+        # Multiplier must be odd for the scheme's guarantees.
+        mult = int(self._rng.integers(0, 2**63, dtype=np.uint64)) * 2 + 1
+        add = int(self._rng.integers(0, 2**63, dtype=np.uint64))
+        return MultiplyShiftHash(mult, add, out_bits)
+
+    def draw_sign(self) -> "SignHash":
+        """Draw a hash mapping keys to ``{-1, +1}``."""
+        mult = int(self._rng.integers(0, 2**63, dtype=np.uint64)) * 2 + 1
+        add = int(self._rng.integers(0, 2**63, dtype=np.uint64))
+        return SignHash(mult, add)
+
+
+class MultiplyShiftHash:
+    """``h(x) = ((a*x + b) mod 2^64) >> (64 - out_bits)``.
+
+    This family is 2-universal for odd ``a``; we use it for bucket selection
+    in CountMin / Count sketch rows.
+    """
+
+    __slots__ = ("_a", "_b", "out_bits", "_shift")
+
+    def __init__(self, a: int, b: int, out_bits: int):
+        if not 1 <= out_bits <= _WORD_BITS:
+            raise ValueError(f"out_bits must be in [1, 64], got {out_bits}")
+        if a % 2 == 0:
+            raise ValueError("multiplier must be odd")
+        self._a = np.uint64(a)
+        self._b = np.uint64(b)
+        self.out_bits = out_bits
+        self._shift = np.uint64(_WORD_BITS - out_bits)
+
+    @property
+    def range_size(self) -> int:
+        """Number of distinct output buckets."""
+        return 1 << self.out_bits
+
+    def __call__(self, key):
+        key = np.asarray(key, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = (self._a * key + self._b) & _MASK64
+        out = mixed >> self._shift
+        if out.ndim == 0:
+            return int(out)
+        return out.astype(np.int64)
+
+
+class SignHash:
+    """``s(x) in {-1, +1}`` from the top bit of a multiply-shift mix."""
+
+    __slots__ = ("_a", "_b")
+
+    def __init__(self, a: int, b: int):
+        if a % 2 == 0:
+            raise ValueError("multiplier must be odd")
+        self._a = np.uint64(a)
+        self._b = np.uint64(b)
+
+    def __call__(self, key):
+        key = np.asarray(key, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = (self._a * key + self._b) & _MASK64
+        bit = (mixed >> np.uint64(63)).astype(np.int64)
+        out = 2 * bit - 1
+        if out.ndim == 0:
+            return int(out)
+        return out
+
+
+def mix64(key: int, seed: int = 0) -> int:
+    """Strong 64-bit finalizer (murmur3 fmix64 over ``key ^ seed``).
+
+    Multiply-shift is 2-universal but leaves visible structure on sequential
+    integer keys (its per-residue high bits form tight arithmetic
+    progressions).  Sketches that consume *bit patterns* of the hash — the
+    leading-zero ranks of HyperLogLog, the order statistics of KMV — need
+    the avalanche behaviour this finalizer provides.
+    """
+    x = (key ^ seed) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 33
+    return x
+
+
+def next_pow2_bits(width: int) -> int:
+    """Smallest ``b`` with ``2**b >= width`` (at least 1)."""
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    return max(1, int(width - 1).bit_length())

@@ -1,0 +1,83 @@
+"""HyperLogLog distinct-count sketch (Flajolet et al., 2007).
+
+``2**p`` single-byte registers; each key is hashed, the low ``p`` bits pick a
+register and the register keeps the maximum leading-zero count of the rest.
+Standard error is ``~1.04 / sqrt(2**p)``.  Mergeable (register-wise max), so
+it slots straight into the merge-tree persistence of Section 5 — giving the
+"distinct elements" row the paper lists among further-sketch candidates
+(Section 2.2.5).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sketches.hashing import mix64
+
+
+def _alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+class HyperLogLog:
+    """Mergeable approximate distinct counter over integer keys."""
+
+    def __init__(self, p: int = 12, seed: int = 0):
+        if not 4 <= p <= 18:
+            raise ValueError(f"p must be in [4, 18], got {p}")
+        self.p = p
+        self.m = 1 << p
+        self.seed = seed
+        # mix64 gives full avalanche; the rank bits need it (see hashing.py).
+        self._salt = mix64(seed, 0x9E3779B97F4A7C15)
+        self._registers = np.zeros(self.m, dtype=np.uint8)
+        self.count = 0
+
+    @classmethod
+    def from_error(cls, eps: float, seed: int = 0) -> "HyperLogLog":
+        """Size for relative standard error ``eps``."""
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        p = max(4, min(18, math.ceil(2 * math.log2(1.04 / eps))))
+        return cls(p, seed=seed)
+
+    def update(self, key: int) -> None:
+        """Observe one key (duplicates are free)."""
+        hashed = mix64(int(key), self._salt)
+        register = hashed & (self.m - 1)
+        rest = hashed >> self.p
+        rank = (64 - self.p) - rest.bit_length() + 1
+        if rank > self._registers[register]:
+            self._registers[register] = rank
+        self.count += 1
+
+    def estimate(self) -> float:
+        """Approximate number of distinct keys observed."""
+        registers = self._registers.astype(float)
+        raw = _alpha(self.m) * self.m**2 / np.sum(2.0**-registers)
+        zeros = int(np.count_nonzero(self._registers == 0))
+        if raw <= 2.5 * self.m and zeros > 0:
+            return self.m * math.log(self.m / zeros)  # small-range correction
+        return float(raw)
+
+    def merge(self, other: "HyperLogLog") -> None:
+        """Register-wise max with a sketch of identical shape and seed."""
+        if (self.p, self.seed) != (other.p, other.seed):
+            raise ValueError("HyperLogLog sketches differ in shape or seed")
+        np.maximum(self._registers, other._registers, out=self._registers)
+        self.count += other.count
+
+    def memory_bytes(self) -> int:
+        """One byte per register."""
+        return self.m
+
+    def __len__(self) -> int:
+        return self.m

@@ -1,0 +1,122 @@
+"""KLL quantile sketch (Karnin, Lang & Liberty, 2016).
+
+A hierarchy of compactor buffers: level ``h`` stores items with weight
+``2**h``; when a level fills it sorts its buffer and promotes every other
+item (random even/odd offset) to level ``h+1``.  Capacities decay
+geometrically (ratio 2/3) below the top so the total space is ``O(k)`` while
+the rank error is ``eps = O(1/k)`` with high probability.  Mergeable by
+concatenating levels and re-compacting.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_DECAY = 2.0 / 3.0
+
+
+class KllSketch:
+    """Mergeable eps-quantile sketch over items with a total order."""
+
+    def __init__(self, k: int = 200, seed: int = 0):
+        if k < 4:
+            raise ValueError(f"k must be >= 4, got {k}")
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+        self._levels: list = [[]]
+        self.count = 0
+
+    @classmethod
+    def from_error(cls, eps: float, seed: int = 0) -> "KllSketch":
+        """Size for rank error ``eps * n``; in practice ``k ~ 2/eps`` suffices."""
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        return cls(max(4, math.ceil(2.0 / eps)), seed=seed)
+
+    def _capacity(self, level: int) -> int:
+        depth_below_top = len(self._levels) - 1 - level
+        return max(2, math.ceil(self.k * _DECAY**depth_below_top))
+
+    def update(self, item) -> None:
+        """Insert one item."""
+        self.count += 1
+        self._levels[0].append(item)
+        self._compress()
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._levels):
+            buf = self._levels[level]
+            if len(buf) < self._capacity(level):
+                level += 1
+                continue
+            buf.sort()
+            offset = int(self._rng.integers(0, 2))
+            promoted = buf[offset::2]
+            self._levels[level] = []
+            if level + 1 == len(self._levels):
+                self._levels.append([])
+            self._levels[level + 1].extend(promoted)
+            level += 1
+
+    def merge(self, other: "KllSketch") -> None:
+        """Merge another KLL sketch (same ``k``) into this one."""
+        if self.k != other.k:
+            raise ValueError(f"cannot merge KLL sketches with k={self.k} and k={other.k}")
+        while len(self._levels) < len(other._levels):
+            self._levels.append([])
+        for level, buf in enumerate(other._levels):
+            self._levels[level].extend(buf)
+        self.count += other.count
+        self._compress()
+
+    def _weighted_items(self) -> list:
+        """All retained ``(item, weight)`` pairs, sorted by item."""
+        pairs = []
+        for level, buf in enumerate(self._levels):
+            weight = 1 << level
+            pairs.extend((item, weight) for item in buf)
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
+    def rank(self, value) -> float:
+        """Estimated number of items ``<= value``."""
+        total = 0
+        for level, buf in enumerate(self._levels):
+            weight = 1 << level
+            total += weight * sum(1 for item in buf if item <= value)
+        return float(total)
+
+    def cdf(self, value) -> float:
+        """Estimated fraction of items ``<= value``."""
+        if self.count == 0:
+            raise ValueError("cannot query an empty sketch")
+        return self.rank(value) / self.count
+
+    def quantile(self, phi: float):
+        """Estimated ``phi``-quantile, ``phi in [0, 1]``."""
+        if not 0 <= phi <= 1:
+            raise ValueError(f"phi must be in [0, 1], got {phi}")
+        if self.count == 0:
+            raise ValueError("cannot query an empty sketch")
+        pairs = self._weighted_items()
+        target = phi * sum(weight for _, weight in pairs)
+        cumulative = 0
+        for item, weight in pairs:
+            cumulative += weight
+            if cumulative >= target:
+                return item
+        return pairs[-1][0]
+
+    def retained(self) -> int:
+        """Number of items currently stored across all levels."""
+        return sum(len(buf) for buf in self._levels)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: 8 bytes per retained item."""
+        return self.retained() * 8
+
+    def __len__(self) -> int:
+        return self.retained()

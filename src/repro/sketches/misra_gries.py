@@ -1,0 +1,109 @@
+"""Misra-Gries frequent-items summary (Misra & Gries, 1982).
+
+Maintains at most ``k`` (key, counter) pairs.  For a stream of total weight
+``W`` the estimate ``f_hat(x)`` satisfies ``f(x) - W/(k+1) <= f_hat(x) <= f(x)``
+— i.e. an eps-FE summary with ``k = ceil(1/eps) - 1`` counters, never
+overestimating.  Mergeable (Agarwal et al., 2013): add counters pointwise,
+then subtract the (k+1)-th largest counter from all and drop non-positive.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+
+class MisraGries:
+    """Deterministic eps-FE summary using at most ``k`` counters."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._counters: dict = {}
+        self.total_weight = 0
+        # Total amount decremented from every surviving counter; the true
+        # count of x is within [counter[x], counter[x] + decrement_bound].
+        self.decrement_bound = 0
+
+    @classmethod
+    def from_error(cls, eps: float) -> "MisraGries":
+        """Size for additive error ``eps * W``: ``k = ceil(1/eps) - 1``."""
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        return cls(max(1, math.ceil(1.0 / eps) - 1))
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Add ``weight`` (must be positive) occurrences of ``key``."""
+        if weight <= 0:
+            raise ValueError("Misra-Gries is insertion-only; weight must be > 0")
+        counters = self._counters
+        self.total_weight += weight
+        if key in counters:
+            counters[key] += weight
+            return
+        if len(counters) < self.k:
+            counters[key] = weight
+            return
+        # Decrement all counters by the largest amount that keeps them
+        # non-negative while consuming the incoming weight.
+        dec = min(weight, min(counters.values()))
+        remaining = weight - dec
+        self.decrement_bound += dec
+        dead = []
+        for other, count in counters.items():
+            count -= dec
+            if count <= 0:
+                dead.append(other)
+            else:
+                counters[other] = count
+        for other in dead:
+            del counters[other]
+        if remaining > 0:
+            # The incoming key survived the decrement round; re-process the
+            # remainder now that a slot is guaranteed to be free.
+            self.update(key, remaining)
+            self.total_weight -= remaining
+
+    def query(self, key: int) -> int:
+        """Lower-bound estimate of ``key``'s count (never overestimates)."""
+        return self._counters.get(key, 0)
+
+    def heavy_hitters(self, threshold: float) -> list:
+        """Keys whose *estimated* count is at least ``threshold * W``.
+
+        Contains every key with true frequency ``>= (threshold + eps) * W``
+        and no key below ``(threshold - eps) * W`` where ``eps = 1/(k+1)``.
+        """
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        cut = threshold * self.total_weight
+        return sorted(key for key, count in self._counters.items() if count >= cut)
+
+    def merge(self, other: "MisraGries") -> None:
+        """Merge another summary into this one, keeping at most ``k`` counters."""
+        if self.k != other.k:
+            raise ValueError(f"cannot merge MG summaries with k={self.k} and k={other.k}")
+        counters = self._counters
+        for key, count in other._counters.items():
+            counters[key] = counters.get(key, 0) + count
+        self.total_weight += other.total_weight
+        self.decrement_bound += other.decrement_bound
+        if len(counters) > self.k:
+            # Subtract the (k+1)-th largest counter value from everything.
+            cutoff = heapq.nlargest(self.k + 1, counters.values())[-1]
+            self.decrement_bound += cutoff
+            self._counters = {
+                key: count - cutoff for key, count in counters.items() if count > cutoff
+            }
+
+    def items(self) -> dict:
+        """Copy of the (key, counter) map."""
+        return dict(self._counters)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: 4-byte key + 8-byte counter per entry."""
+        return len(self._counters) * 12
+
+    def __len__(self) -> int:
+        return len(self._counters)

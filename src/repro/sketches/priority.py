@@ -1,0 +1,77 @@
+"""Priority sampling (Duffield, Lund & Thorup, 2007).
+
+Weighted without-replacement sampling: item ``a_i`` with weight ``w_i`` gets
+priority ``q_i = w_i / u_i`` for an independent uniform ``u_i in (0, 1]``, and
+the ``k`` items with the largest priorities are kept.  Each kept item is
+re-weighted to ``max(w_i, tau)`` where ``tau`` is the (k+1)-th largest
+priority, which makes subset-sum estimates unbiased (near-variance-optimal).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+
+class PrioritySample:
+    """Weighted without-replacement sample of ``k`` items by priority."""
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+        self._heap: list = []  # (priority, tiebreak, item, weight) min-heap
+        self._tiebreak = itertools.count()
+        # (k+1)-th largest priority seen so far: the reweighting threshold.
+        self._tau = 0.0
+        self.count = 0
+        self.total_weight = 0.0
+
+    def update(self, item, weight: float) -> None:
+        """Offer one item with positive weight."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        u = float(self._rng.random())
+        while u == 0.0:
+            u = float(self._rng.random())
+        self.offer(item, weight, weight / u)
+
+    def offer(self, item, weight: float, priority: float) -> None:
+        """Offer an item with an externally supplied priority."""
+        self.count += 1
+        self.total_weight += weight
+        heap = self._heap
+        if len(heap) < self.k:
+            heapq.heappush(heap, (priority, next(self._tiebreak), item, weight))
+        elif priority > heap[0][0]:
+            evicted = heapq.heapreplace(heap, (priority, next(self._tiebreak), item, weight))
+            self._tau = max(self._tau, evicted[0])
+        else:
+            self._tau = max(self._tau, priority)
+
+    def sample(self) -> list:
+        """``(item, adjusted_weight)`` pairs; adjusted weights sum ~ total weight."""
+        tau = self._tau
+        return [(item, max(weight, tau)) for _, _, item, weight in self._heap]
+
+    def raw_sample(self) -> list:
+        """``(item, original_weight)`` pairs without reweighting."""
+        return [(item, weight) for _, _, item, weight in self._heap]
+
+    def threshold(self) -> float:
+        """Current reweighting threshold tau ((k+1)-th largest priority)."""
+        return self._tau
+
+    def estimate_subset_sum(self, predicate) -> float:
+        """Unbiased estimate of the total weight of items matching ``predicate``."""
+        return sum(weight for item, weight in self.sample() if predicate(item))
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: two 8-byte floats + 4-byte id per entry."""
+        return len(self._heap) * 20
+
+    def __len__(self) -> int:
+        return len(self._heap)

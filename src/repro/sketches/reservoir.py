@@ -1,0 +1,132 @@
+"""Uniform random-sample summaries.
+
+Two classic constructions:
+
+* :class:`ReservoirSample` — Vitter's Algorithm R: ``k`` slots, the i-th item
+  replaces a uniformly random slot with probability ``k / i``.
+* :class:`TopKPrioritySample` — assign each item an independent uniform value
+  ``u_i`` and keep the ``k`` items with the largest values; this yields a
+  uniform without-replacement sample and is the mergeable formulation the
+  paper's persistent samplers build on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+
+class ReservoirSample:
+    """Vitter's Algorithm R maintaining ``k`` uniform with-replacement slots.
+
+    Each of the ``k`` slots is an independent "replace with probability 1/i"
+    chain when ``independent_chains`` is true (giving k independent uniform
+    samples, the form analysed in Lemma 3.1); otherwise the classic shared
+    reservoir (without replacement) is kept.
+    """
+
+    def __init__(self, k: int, seed: int = 0, independent_chains: bool = False):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.independent_chains = independent_chains
+        self._rng = np.random.default_rng(seed)
+        self._slots: list = [None] * k if independent_chains else []
+        self.count = 0
+
+    def update(self, item) -> None:
+        """Offer one stream item to the reservoir."""
+        self.count += 1
+        i = self.count
+        if self.independent_chains:
+            if i == 1:
+                self._slots = [item] * self.k
+                return
+            # Each chain independently replaces its item with probability 1/i.
+            hits = self._rng.random(self.k) < (1.0 / i)
+            for slot in np.flatnonzero(hits):
+                self._slots[slot] = item
+            return
+        if len(self._slots) < self.k:
+            self._slots.append(item)
+            return
+        j = int(self._rng.integers(0, i))
+        if j < self.k:
+            self._slots[j] = item
+
+    def sample(self) -> list:
+        """The current sample (length ``min(k, count)``)."""
+        if self.independent_chains:
+            return [item for item in self._slots if item is not None]
+        return list(self._slots)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: 4-byte id per kept slot."""
+        return len(self.sample()) * 4
+
+    def __len__(self) -> int:
+        return len(self.sample())
+
+
+class TopKPrioritySample:
+    """Uniform without-replacement sample: top-``k`` items by random value.
+
+    Items are kept in a min-heap on their random priority; a new item is
+    compared against the current k-th largest value before touching the heap,
+    so updates are O(1) amortised and O(log k) worst case.  Mergeable: union
+    the (priority, item) pairs and re-take the top ``k``.
+    """
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+        self._heap: list = []  # (priority, tiebreak, item) min-heap
+        self._tiebreak = itertools.count()
+        self.count = 0
+
+    def update(self, item) -> None:
+        """Offer one stream item."""
+        self.count += 1
+        priority = float(self._rng.random())
+        self.offer(item, priority)
+
+    def offer(self, item, priority: float) -> None:
+        """Offer an item with an externally supplied priority."""
+        heap = self._heap
+        if len(heap) < self.k:
+            heapq.heappush(heap, (priority, next(self._tiebreak), item))
+        elif priority > heap[0][0]:
+            heapq.heapreplace(heap, (priority, next(self._tiebreak), item))
+
+    def sample(self) -> list:
+        """The current sample (unordered, length ``min(k, count)``)."""
+        return [item for _, _, item in self._heap]
+
+    def threshold(self) -> float:
+        """Smallest priority currently kept (0.0 when underfull)."""
+        if len(self._heap) < self.k:
+            return 0.0
+        return self._heap[0][0]
+
+    def merge(self, other: "TopKPrioritySample") -> None:
+        """Union with another sample of the same ``k``."""
+        if self.k != other.k:
+            raise ValueError(f"cannot merge samples with k={self.k} and k={other.k}")
+        for entry in other._heap:
+            heap = self._heap
+            if len(heap) < self.k:
+                heapq.heappush(heap, entry)
+            elif entry[0] > heap[0][0]:
+                heapq.heapreplace(heap, entry)
+        self.count += other.count
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: 8-byte priority + 4-byte id per entry."""
+        return len(self._heap) * 12
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,78 @@
+"""SpaceSaving sketch (Metwally, Agrawal & El Abbadi, 2006).
+
+Keeps ``k`` (key, count, error) entries.  On overflow the minimum-count entry
+is evicted and the newcomer inherits its count as an overestimate bound.
+Isomorphic to Misra-Gries (Agarwal et al., 2013) but *overestimates*:
+``f(x) <= f_hat(x) <= f(x) + W/k``.  Included as a substrate baseline and for
+cross-validation of the Misra-Gries implementation in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class SpaceSaving:
+    """Deterministic eps-FE summary with exactly-at-most ``k`` counters."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._counts: dict = {}
+        self._errors: dict = {}
+        self.total_weight = 0
+
+    @classmethod
+    def from_error(cls, eps: float) -> "SpaceSaving":
+        """Size for additive error ``eps * W``: ``k = ceil(1/eps)``."""
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {eps}")
+        return cls(max(1, math.ceil(1.0 / eps)))
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Add ``weight`` (must be positive) occurrences of ``key``."""
+        if weight <= 0:
+            raise ValueError("SpaceSaving is insertion-only; weight must be > 0")
+        self.total_weight += weight
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self.k:
+            counts[key] = weight
+            self._errors[key] = 0
+            return
+        victim = min(counts, key=counts.get)
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def query(self, key: int) -> int:
+        """Upper-bound estimate of ``key``'s count (never underestimates)."""
+        return self._counts.get(key, 0)
+
+    def guaranteed_count(self, key: int) -> int:
+        """Lower bound on ``key``'s true count: estimate minus its error term."""
+        if key not in self._counts:
+            return 0
+        return self._counts[key] - self._errors[key]
+
+    def heavy_hitters(self, threshold: float) -> list:
+        """Keys whose estimated count is at least ``threshold * W`` (no false negatives)."""
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        cut = threshold * self.total_weight
+        return sorted(key for key, count in self._counts.items() if count >= cut)
+
+    def items(self) -> dict:
+        """Copy of the (key, count) map."""
+        return dict(self._counts)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: 4-byte key + two 8-byte fields per entry."""
+        return len(self._counts) * 20
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,58 @@
+"""Weighted with-replacement reservoir sampling (Section 3.1 of the paper).
+
+Runs ``k`` independent single-item chains.  Chain ``j`` holds one item; on
+seeing ``a_i`` with weight ``w_i`` it replaces its item with probability
+``w_i / W_i`` where ``W_i`` is the running total weight.  After the stream,
+chain ``j``'s item is distributed as one weighted with-replacement draw, so
+the ``k`` chains together form a with-replacement sample of size ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WeightedReservoirWR:
+    """``k`` independent weighted with-replacement sampling chains."""
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+        self._slots: list = [None] * k
+        self.count = 0
+        self.total_weight = 0.0
+
+    def update(self, item, weight: float) -> None:
+        """Offer one item with positive weight to every chain."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self.count += 1
+        self.total_weight += weight
+        p = weight / self.total_weight
+        if p >= 1.0:
+            self._slots = [item] * self.k
+            return
+        hits = self._rng.random(self.k) < p
+        for slot in np.flatnonzero(hits):
+            self._slots[slot] = item
+
+    def sample(self) -> list:
+        """The ``k`` chain contents (with replacement; empty before any update)."""
+        return [item for item in self._slots if item is not None]
+
+    def estimate_subset_weight(self, predicate) -> float:
+        """Estimate of total weight of matching items: ``W * (hits / k)``."""
+        sample = self.sample()
+        if not sample:
+            return 0.0
+        hits = sum(1 for item in sample if predicate(item))
+        return self.total_weight * hits / len(sample)
+
+    def memory_bytes(self) -> int:
+        """Modelled C-layout size: 4-byte id per chain."""
+        return len(self.sample()) * 4
+
+    def __len__(self) -> int:
+        return len(self.sample())

@@ -1,0 +1,42 @@
+"""Workload generators: calibrated Zipf streams standing in for the
+WorldCup'98 log, and the paper's Section-6.3 synthetic matrix datasets."""
+
+from repro.workloads.matrix_gen import (
+    MatrixStream,
+    generate_matrix_stream,
+    high_dimension_stream,
+    low_dimension_stream,
+    matrix_query_schedule,
+    medium_dimension_stream,
+)
+from repro.workloads.worldcup import (
+    LogStream,
+    bursty_stream,
+    client_id_stream,
+    object_id_stream,
+    query_schedule,
+)
+from repro.workloads.zipf import (
+    ZipfGenerator,
+    calibrate_exponent,
+    generalized_harmonic,
+    max_to_average_ratio,
+)
+
+__all__ = [
+    "LogStream",
+    "bursty_stream",
+    "MatrixStream",
+    "ZipfGenerator",
+    "calibrate_exponent",
+    "client_id_stream",
+    "generalized_harmonic",
+    "generate_matrix_stream",
+    "high_dimension_stream",
+    "low_dimension_stream",
+    "matrix_query_schedule",
+    "max_to_average_ratio",
+    "medium_dimension_stream",
+    "object_id_stream",
+    "query_schedule",
+]

@@ -1,0 +1,144 @@
+"""Synthetic WorldCup'98-style access-log streams (substitute workload).
+
+The paper evaluates on the 1998 World Cup website access log [Arlitt & Jin]:
+~1.35B entries of (UNIX timestamp, client id, object id), ~2.77M distinct
+clients (max/avg frequency ratio ~3,700 — "quite uniform") and ~90K distinct
+objects (ratio ~11,800 — "slightly more skewed"), ids assigned consecutively
+from 0.  The raw log is too large to ship and not redistributable, so this
+module generates streams matching those published statistics at configurable
+scale: Zipf-calibrated key skew, consecutive integer ids, and monotonically
+increasing integer timestamps.
+
+Scaled defaults keep the *shape* of the two datasets: universe sizes and the
+max/avg ratios are shrunk proportionally so the heavy-hitter thresholds from
+the paper (phi = 0.0002 and 0.01) still select comparable hitter sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.zipf import ZipfGenerator, calibrate_exponent
+
+
+@dataclass(frozen=True)
+class LogStream:
+    """A materialised (timestamps, keys) stream plus its generator metadata."""
+
+    timestamps: np.ndarray
+    keys: np.ndarray
+    universe: int
+    exponent: float
+    name: str
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __iter__(self):
+        return zip(self.keys.tolist(), self.timestamps.tolist())
+
+
+# Paper-reported characteristics (full scale).
+CLIENT_UNIVERSE_FULL = 2_770_000
+CLIENT_MAX_AVG_RATIO = 3_700.0
+OBJECT_UNIVERSE_FULL = 90_000
+OBJECT_MAX_AVG_RATIO = 11_800.0
+
+
+def client_id_stream(
+    n: int, universe: int = 27_700, ratio: float = 370.0, seed: int = 0
+) -> LogStream:
+    """A scaled Client-ID-like stream: large universe, mild skew.
+
+    Defaults scale the paper's universe and max/avg ratio by 100x so that a
+    ~10^5-10^6-row Python run keeps the same hitters-per-universe density as
+    the paper's 1.35B-row C++ run.
+    """
+    return _generate("client-id", n, universe, ratio, seed)
+
+
+def object_id_stream(
+    n: int, universe: int = 9_000, ratio: float = 1_180.0, seed: int = 0
+) -> LogStream:
+    """A scaled Object-ID-like stream: small universe, heavy skew.
+
+    Defaults scale the paper's universe and ratio by 10x.
+    """
+    return _generate("object-id", n, universe, ratio, seed)
+
+
+def _generate(name: str, n: int, universe: int, ratio: float, seed: int) -> LogStream:
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    exponent = calibrate_exponent(universe, ratio)
+    generator = ZipfGenerator(universe, exponent, seed=seed)
+    keys = generator.sample(n)
+    # UNIX-like integer timestamps: strictly increasing, ~1 second apart.
+    timestamps = np.arange(n, dtype=float) + 900_000_000.0
+    return LogStream(
+        timestamps=timestamps, keys=keys, universe=universe, exponent=exponent, name=name
+    )
+
+
+def bursty_stream(
+    n: int,
+    universe: int = 9_000,
+    ratio: float = 1_180.0,
+    epochs: int = 8,
+    flash_fraction: float = 0.3,
+    seed: int = 0,
+) -> LogStream:
+    """A *non-stationary* access-log stream: popularity shifts between epochs.
+
+    The real WorldCup log is bursty — match days produce flash crowds around
+    different objects.  This generator splits the stream into ``epochs``; in
+    each, a ``flash_fraction`` of the traffic concentrates on a small set of
+    epoch-specific "flash" keys (re-drawn per epoch) while the remainder
+    follows the stationary calibrated Zipf law.  Non-stationarity is what
+    breaks piecewise-linear counter approximations (PCM's random-stream
+    assumption), so this workload exposes the paper's baseline weakness that
+    a stationary synthetic stream hides.
+    """
+    if n < epochs:
+        raise ValueError(f"n must be >= epochs, got n={n}, epochs={epochs}")
+    if not 0 <= flash_fraction < 1:
+        raise ValueError(f"flash_fraction must be in [0, 1), got {flash_fraction}")
+    exponent = calibrate_exponent(universe, ratio)
+    generator = ZipfGenerator(universe, exponent, seed=seed)
+    rng = np.random.default_rng([seed, 7])
+    keys = generator.sample(n)
+    epoch_length = n // epochs
+    flash_keys_per_epoch = max(1, universe // 1_000)
+    for epoch in range(epochs):
+        start = epoch * epoch_length
+        end = n if epoch == epochs - 1 else start + epoch_length
+        flash_keys = rng.choice(universe, size=flash_keys_per_epoch, replace=False)
+        is_flash = rng.random(end - start) < flash_fraction
+        replacement = rng.choice(flash_keys, size=int(is_flash.sum()))
+        segment = keys[start:end]
+        segment[is_flash] = replacement
+        keys[start:end] = segment
+    timestamps = np.arange(n, dtype=float) + 900_000_000.0
+    return LogStream(
+        timestamps=timestamps,
+        keys=keys,
+        universe=universe,
+        exponent=exponent,
+        name="bursty",
+    )
+
+
+def query_schedule(stream: LogStream, fractions=(0.2, 0.4, 0.6, 0.8, 1.0)) -> list:
+    """The paper's query schedule: timestamps at 20% increments of the stream.
+
+    Each returned timestamp targets the state *after* the corresponding
+    fraction of updates (the fraction-th item's timestamp).
+    """
+    n = len(stream)
+    times = []
+    for fraction in fractions:
+        index = max(0, min(n - 1, int(round(fraction * n)) - 1))
+        times.append(float(stream.timestamps[index]))
+    return times

@@ -1,0 +1,93 @@
+"""Seeded Zipf samplers with skew calibration.
+
+The WorldCup'98 substitute streams are characterised in the paper by their
+max-to-average frequency ratios (~3,700x for Client-ID, ~11,800x for
+Object-ID).  For a Zipf law with exponent ``s`` over a universe of ``U``
+items, ``p_max / p_avg = U / H_{U,s}`` where ``H_{U,s}`` is the generalised
+harmonic number — so a target ratio determines ``s`` given ``U``, which
+:func:`calibrate_exponent` solves by bisection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def generalized_harmonic(universe: int, exponent: float) -> float:
+    """``H_{U,s} = sum_{r=1..U} r^-s``."""
+    if universe < 1:
+        raise ValueError(f"universe must be >= 1, got {universe}")
+    ranks = np.arange(1, universe + 1, dtype=float)
+    return float(np.sum(ranks**-exponent))
+
+
+def max_to_average_ratio(universe: int, exponent: float) -> float:
+    """Expected max/avg frequency ratio of a Zipf(s) stream over U items."""
+    return universe / generalized_harmonic(universe, exponent)
+
+
+def calibrate_exponent(universe: int, target_ratio: float, tol: float = 1e-3) -> float:
+    """Zipf exponent whose max/avg frequency ratio matches ``target_ratio``.
+
+    The ratio is 1 at ``s = 0`` (uniform) and approaches ``U`` as ``s`` grows,
+    so any target in ``(1, U)`` has a unique solution, found by bisection.
+    """
+    if not 1.0 < target_ratio < universe:
+        raise ValueError(
+            f"target_ratio must be in (1, universe={universe}), got {target_ratio}"
+        )
+    lo, hi = 0.0, 1.0
+    while max_to_average_ratio(universe, hi) < target_ratio:
+        hi *= 2.0
+        if hi > 64:
+            raise ValueError("target ratio unreachable; universe too small")
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if max_to_average_ratio(universe, mid) < target_ratio:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+class ZipfGenerator:
+    """Seeded Zipf(s) key sampler over ``[0, universe)``.
+
+    Rank-to-key assignment is a seeded permutation, so heavy keys are spread
+    over the id space as in the anonymised WorldCup logs.
+    """
+
+    def __init__(self, universe: int, exponent: float, seed: int = 0):
+        if universe < 1:
+            raise ValueError(f"universe must be >= 1, got {universe}")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        self.universe = universe
+        self.exponent = exponent
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, universe + 1, dtype=float)
+        weights = ranks**-exponent
+        self._probabilities = weights / weights.sum()
+        self._cumulative = np.cumsum(self._probabilities)
+        self._rank_to_key = self._rng.permutation(universe)
+
+    def sample(self, n: int) -> np.ndarray:
+        """Draw ``n`` keys i.i.d. from the calibrated Zipf distribution."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        uniforms = self._rng.random(n)
+        ranks = np.searchsorted(self._cumulative, uniforms, side="right")
+        ranks = np.minimum(ranks, self.universe - 1)
+        return self._rank_to_key[ranks]
+
+    def probability_of_key(self, key: int) -> float:
+        """The stationary probability assigned to ``key``."""
+        rank = int(np.flatnonzero(self._rank_to_key == key)[0])
+        return float(self._probabilities[rank])
+
+    def expected_heavy_hitters(self, phi: float) -> list:
+        """Keys whose stationary probability is at least ``phi``."""
+        if not 0 < phi <= 1:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        heavy_ranks = np.flatnonzero(self._probabilities >= phi)
+        return sorted(int(self._rank_to_key[rank]) for rank in heavy_ranks)

@@ -1,0 +1,85 @@
+"""Tests for the columnar log store (the Vertica stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ColumnarLogStore
+
+
+def fill(store, n=5_000, universe=100, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, universe, size=n)
+    for index, key in enumerate(keys):
+        store.update(int(key), float(index))
+    return keys
+
+
+class TestColumnarLogStore:
+    def test_exact_counts(self):
+        store = ColumnarLogStore(chunk_rows=512)
+        keys = fill(store)
+        counts = np.bincount(keys[:2_500], minlength=100)
+        for key in range(0, 100, 10):
+            assert store.frequency_at(key, 2_499.0) == counts[key]
+
+    def test_exact_heavy_hitters(self):
+        store = ColumnarLogStore(chunk_rows=512)
+        rng = np.random.default_rng(1)
+        keys = (rng.zipf(1.5, size=6_000) % 50).astype(int)
+        for index, key in enumerate(keys):
+            store.update(key, float(index))
+        phi = 0.05
+        t = 2_999.0
+        prefix = keys[:3_000]
+        counts = np.bincount(prefix, minlength=50)
+        truth = sorted(int(k) for k in range(50) if counts[k] >= phi * 3_000)
+        assert store.heavy_hitters_at(t, phi) == truth
+
+    def test_count_at(self):
+        store = ColumnarLogStore(chunk_rows=128)
+        fill(store, n=1_000)
+        assert store.count_at(499.0) == 500
+        assert store.count_at(-1.0) == 0
+        assert store.count_at(10_000.0) == 1_000
+
+    def test_buffer_rows_visible_before_seal(self):
+        store = ColumnarLogStore(chunk_rows=1_000)
+        for index in range(10):  # never seals
+            store.update(7, float(index))
+        assert store.frequency_at(7, 9.0) == 10
+
+    def test_memory_linear_in_rows(self):
+        # Use multiples of the chunk size so the uncompressed tail buffer
+        # does not skew the comparison.
+        small = ColumnarLogStore(chunk_rows=512)
+        large = ColumnarLogStore(chunk_rows=512)
+        fill(small, n=2_048)
+        fill(large, n=20_480)
+        ratio = large.memory_bytes() / small.memory_bytes()
+        assert 5 < ratio < 20  # linear up to compression constants
+
+    def test_compression_beats_raw(self):
+        store = ColumnarLogStore(chunk_rows=1_024)
+        fill(store, n=10_000, universe=16)
+        raw = 10_000 * 12
+        assert store.memory_bytes() < raw
+
+    def test_rejects_decreasing_timestamps(self):
+        store = ColumnarLogStore(chunk_rows=4)
+        store.update(1, 5.0)
+        with pytest.raises(ValueError):
+            store.update(1, 4.0)
+        for t in (5.0, 6.0, 7.0):  # seal a chunk
+            store.update(1, t)
+        with pytest.raises(ValueError):
+            store.update(1, 1.0)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            ColumnarLogStore(chunk_rows=0)
+
+    def test_phi_validated(self):
+        store = ColumnarLogStore()
+        store.update(1, 0.0)
+        with pytest.raises(ValueError):
+            store.heavy_hitters_at(0.0, 0.0)

@@ -1,0 +1,97 @@
+"""Tests for the exact oracles."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExactMatrixOracle, ExactStreamOracle
+
+
+class TestExactStreamOracle:
+    def test_prefix_and_suffix_counts(self):
+        oracle = ExactStreamOracle()
+        for index in range(100):
+            oracle.update(index % 3, float(index))
+        assert oracle.count_at(49.0) == 50
+        assert oracle.count_since(50.0) == 50
+        assert oracle.count == 100
+
+    def test_frequencies(self):
+        oracle = ExactStreamOracle()
+        for index in range(90):
+            oracle.update(index % 3, float(index))
+        assert oracle.frequency_at(0, 29.0) == 10
+        assert oracle.frequency_since(0, 60.0) == 10
+
+    def test_heavy_hitters_prefix_suffix(self):
+        oracle = ExactStreamOracle()
+        for index in range(100):
+            oracle.update(0 if index < 50 else 1, float(index))
+        assert oracle.heavy_hitters_at(49.0, 0.9) == [0]
+        assert oracle.heavy_hitters_since(50.0, 0.9) == [1]
+        assert sorted(oracle.heavy_hitters_at(99.0, 0.4)) == [0, 1]
+
+    def test_quantile_at(self):
+        oracle = ExactStreamOracle()
+        for index in range(101):
+            oracle.update(index, float(index))
+        assert oracle.quantile_at(100.0, 0.5) == 50
+
+    def test_quantile_empty_raises(self):
+        oracle = ExactStreamOracle()
+        oracle.update(1, 10.0)
+        with pytest.raises(ValueError):
+            oracle.quantile_at(5.0, 0.5)
+
+    def test_rejects_decreasing_timestamps(self):
+        oracle = ExactStreamOracle()
+        oracle.update(1, 5.0)
+        with pytest.raises(ValueError):
+            oracle.update(1, 4.0)
+
+    def test_memory_is_linear(self):
+        oracle = ExactStreamOracle()
+        for index in range(100):
+            oracle.update(index, float(index))
+        assert oracle.memory_bytes() == 100 * 12
+
+
+class TestExactMatrixOracle:
+    def test_prefix_covariance(self):
+        oracle = ExactMatrixOracle(dim=3)
+        rng = np.random.default_rng(0)
+        rows = rng.normal(size=(50, 3))
+        for index, row in enumerate(rows):
+            oracle.update(row, float(index))
+        prefix = rows[:25]
+        assert np.allclose(oracle.covariance_at(24.0), prefix.T @ prefix)
+
+    def test_suffix_covariance(self):
+        oracle = ExactMatrixOracle(dim=3)
+        rng = np.random.default_rng(1)
+        rows = rng.normal(size=(50, 3))
+        for index, row in enumerate(rows):
+            oracle.update(row, float(index))
+        window = rows[25:]
+        assert np.allclose(oracle.covariance_since(25.0), window.T @ window)
+
+    def test_squared_frobenius(self):
+        oracle = ExactMatrixOracle(dim=2)
+        oracle.update([3.0, 4.0], 0.0)
+        assert oracle.squared_frobenius_at(0.0) == pytest.approx(25.0)
+
+    def test_empty_prefix(self):
+        oracle = ExactMatrixOracle(dim=2)
+        oracle.update([1.0, 1.0], 10.0)
+        assert oracle.matrix_at(5.0).shape == (0, 2)
+        assert oracle.matrix_since(20.0).shape == (0, 2)
+
+    def test_rejects_wrong_shape(self):
+        oracle = ExactMatrixOracle(dim=2)
+        with pytest.raises(ValueError):
+            oracle.update([1.0], 0.0)
+
+    def test_rejects_decreasing_timestamps(self):
+        oracle = ExactMatrixOracle(dim=1)
+        oracle.update([1.0], 5.0)
+        with pytest.raises(ValueError):
+            oracle.update([1.0], 4.0)

@@ -1,0 +1,123 @@
+"""Tests for the persistent Count-Min baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PersistentCountMin, PiecewiseLinearCounter
+
+
+class TestPiecewiseLinearCounter:
+    def test_linear_counter_needs_few_breakpoints(self):
+        pla = PiecewiseLinearCounter(delta=4.0)
+        for step in range(1, 10_000):
+            pla.observe(float(step), float(step))  # perfectly linear
+        assert pla.num_breakpoints() < 10
+
+    def test_bursty_counter_needs_many_breakpoints(self):
+        pla = PiecewiseLinearCounter(delta=4.0)
+        value = 0.0
+        rng = np.random.default_rng(0)
+        for step in range(1, 2_000):
+            if rng.random() < 0.05:
+                value += 100.0  # bursts break linearity
+            pla.observe(float(step), value)
+        assert pla.num_breakpoints() > 20
+
+    def test_interpolation_between_breakpoints(self):
+        pla = PiecewiseLinearCounter(delta=0.5)
+        pla.observe(0.0, 0.0)
+        pla.observe(10.0, 100.0)
+        assert pla.value_at(5.0) == pytest.approx(50.0)
+
+    def test_extrapolation_past_end(self):
+        pla = PiecewiseLinearCounter(delta=0.5)
+        pla.observe(0.0, 0.0)
+        pla.observe(10.0, 100.0)
+        assert pla.value_at(20.0) == pytest.approx(200.0)
+
+    def test_zero_before_first(self):
+        pla = PiecewiseLinearCounter(delta=1.0)
+        pla.observe(10.0, 5.0)
+        assert pla.value_at(5.0) == 0.0
+
+    def test_same_timestamp_updates_collapse(self):
+        pla = PiecewiseLinearCounter(delta=1.0)
+        pla.observe(1.0, 1.0)
+        pla.observe(1.0, 50.0)
+        assert pla.num_breakpoints() == 1
+        assert pla.value_at(1.0) == 50.0
+
+    def test_accuracy_at_observed_times(self):
+        pla = PiecewiseLinearCounter(delta=8.0)
+        rng = np.random.default_rng(1)
+        value = 0.0
+        observations = []
+        for step in range(1, 3_000):
+            value += float(rng.integers(0, 3))
+            pla.observe(float(step), value)
+            observations.append((float(step), value))
+        # Drift between breakpoints stays within a few deltas.
+        errors = [abs(pla.value_at(t) - v) for t, v in observations[::50]]
+        assert max(errors) < 5 * 8.0
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCounter(delta=0.0)
+
+    def test_memory_model(self):
+        pla = PiecewiseLinearCounter(delta=1.0)
+        pla.observe(1.0, 10.0)
+        assert pla.memory_bytes() == 16
+
+
+class TestPersistentCountMin:
+    def test_estimates_track_history(self):
+        pcm = PersistentCountMin(width=512, depth=3, pla_delta=4.0, seed=0)
+        rng = np.random.default_rng(0)
+        keys = rng.zipf(1.4, size=8_000) % 100
+        for index, key in enumerate(keys):
+            pcm.update(int(key), float(index))
+        t_index = 3_999
+        counts = np.bincount(keys[: t_index + 1], minlength=100)
+        heavy = np.argsort(counts)[-5:]
+        for key in heavy:
+            estimate = pcm.estimate_at(int(key), float(t_index))
+            assert abs(estimate - counts[key]) < 0.05 * (t_index + 1)
+
+    def test_total_weight_interpolated(self):
+        pcm = PersistentCountMin(width=64, depth=2, pla_delta=4.0, seed=1)
+        for index in range(5_000):
+            pcm.update(index % 10, float(index))
+        w = pcm.total_weight_at(2_499.0)
+        assert abs(w - 2_500) < 100
+
+    def test_memory_grows_with_stream_on_bursty_data(self):
+        # The paper's point: PCM memory scales with the stream for
+        # non-random arrival patterns.
+        pcm = PersistentCountMin(width=64, depth=2, pla_delta=2.0, seed=2)
+        rng = np.random.default_rng(2)
+        checkpoints = []
+        for index in range(20_000):
+            # bursty: key popularity shifts every 1000 steps
+            key = int(rng.integers(0, 8)) + (index // 1_000) % 8
+            pcm.update(key, float(index))
+            if (index + 1) % 5_000 == 0:
+                checkpoints.append(pcm.memory_bytes())
+        assert checkpoints[-1] > 1.5 * checkpoints[0]
+
+    def test_estimate_now_is_live_countmin(self):
+        pcm = PersistentCountMin(width=256, depth=3, seed=3)
+        for index in range(1_000):
+            pcm.update(index % 5, float(index))
+        assert pcm.estimate_now(0) >= 200
+
+    def test_rejects_nonpositive_weight(self):
+        pcm = PersistentCountMin(width=16, depth=2)
+        with pytest.raises(ValueError):
+            pcm.update(1, 1.0, weight=0)
+
+    def test_breakpoint_count_exposed(self):
+        pcm = PersistentCountMin(width=16, depth=2, pla_delta=1.0)
+        for index in range(100):
+            pcm.update(index % 3, float(index))
+        assert pcm.num_breakpoints() > 0

@@ -1,0 +1,80 @@
+"""Tests for the PCM_HH baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PcmHeavyHitter
+from repro.evaluation import (
+    average_accuracy,
+    exact_prefix_heavy_hitters,
+    exact_suffix_heavy_hitters,
+    feed_log_stream,
+)
+from repro.workloads import object_id_stream, query_schedule
+
+
+@pytest.fixture(scope="module")
+def fed_pcm():
+    stream = object_id_stream(n=8_000, universe=2_000, ratio=300.0, seed=0)
+    pcm = PcmHeavyHitter(universe_bits=11, eps=0.002, depth=3, pla_delta=4.0, seed=0)
+    feed_log_stream(pcm, stream)
+    return stream, pcm
+
+
+class TestPcmHeavyHitter:
+    def test_attp_accuracy_at_high_memory(self, fed_pcm):
+        stream, pcm = fed_pcm
+        phi = 0.01
+        times = query_schedule(stream)
+        truth = exact_prefix_heavy_hitters(stream, times, phi)
+        reported = [pcm.heavy_hitters_at(t, phi) for t in times]
+        p, r = average_accuracy(reported, truth)
+        assert p > 0.6
+        assert r > 0.8
+
+    def test_bitp_emulation_via_differencing(self, fed_pcm):
+        stream, pcm = fed_pcm
+        phi = 0.01
+        times = query_schedule(stream)[:4]
+        truth = exact_suffix_heavy_hitters(stream, times, phi)
+        reported = [pcm.heavy_hitters_since(t, phi) for t in times]
+        _, r = average_accuracy(reported, truth)
+        assert r > 0.5  # differencing compounds error; recall degrades
+
+    def test_point_estimates(self, fed_pcm):
+        stream, pcm = fed_pcm
+        counts = np.bincount(stream.keys[:4_000])
+        top = int(np.argmax(counts))
+        t = float(stream.timestamps[3_999])
+        estimate = pcm.estimate_at(top, t)
+        assert abs(estimate - counts[top]) < 0.1 * 4_000
+
+    def test_memory_larger_than_sketches(self, fed_pcm):
+        stream, pcm = fed_pcm
+        from repro.persistent import AttpChainMisraGries
+
+        cmg = AttpChainMisraGries(eps=0.002)
+        feed_log_stream(cmg, stream)
+        assert pcm.memory_bytes() > cmg.memory_bytes()
+
+    def test_rejects_out_of_universe(self):
+        pcm = PcmHeavyHitter(universe_bits=4, eps=0.1)
+        with pytest.raises(ValueError):
+            pcm.update(16, 0.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PcmHeavyHitter(universe_bits=0, eps=0.1)
+        with pytest.raises(ValueError):
+            PcmHeavyHitter(universe_bits=4, eps=0.0)
+
+    def test_phi_validated(self, fed_pcm):
+        _, pcm = fed_pcm
+        with pytest.raises(ValueError):
+            pcm.heavy_hitters_at(1.0, 0.0)
+
+    def test_empty_window_reports_nothing(self):
+        pcm = PcmHeavyHitter(universe_bits=4, eps=0.1)
+        for index in range(100):
+            pcm.update(index % 16, float(index))
+        assert pcm.heavy_hitters_since(1_000.0, 0.5) == []

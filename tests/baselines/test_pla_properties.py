@@ -1,0 +1,71 @@
+"""Property tests for the piecewise-linear counter approximation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PiecewiseLinearCounter
+
+increments = st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=300)
+
+
+class TestPlaProperties:
+    @given(increments=increments, delta=st.sampled_from([1.0, 4.0, 16.0]))
+    @settings(max_examples=50, deadline=None)
+    def test_breakpoints_subset_of_observations(self, increments, delta):
+        pla = PiecewiseLinearCounter(delta=delta)
+        observed = {}
+        value = 0.0
+        for step, increment in enumerate(increments):
+            value += increment
+            pla.observe(float(step), value)
+            observed[float(step)] = value
+        # Every breakpoint records an actually-observed (t, v) pair.
+        for t, v in zip(pla._times, pla._values):
+            assert observed[t] == v
+
+    @given(increments=increments)
+    @settings(max_examples=50, deadline=None)
+    def test_value_at_breakpoints_is_exact(self, increments):
+        pla = PiecewiseLinearCounter(delta=2.0)
+        value = 0.0
+        for step, increment in enumerate(increments):
+            value += increment
+            pla.observe(float(step), value)
+        for t, v in zip(list(pla._times), list(pla._values)):
+            assert pla.value_at(t) == v
+
+    @given(increments=increments, delta=st.sampled_from([2.0, 8.0]))
+    @settings(max_examples=50, deadline=None)
+    def test_fewer_breakpoints_with_larger_delta(self, increments, delta):
+        tight = PiecewiseLinearCounter(delta=delta)
+        loose = PiecewiseLinearCounter(delta=4 * delta)
+        value = 0.0
+        for step, increment in enumerate(increments):
+            value += increment
+            tight.observe(float(step), value)
+            loose.observe(float(step), value)
+        assert loose.num_breakpoints() <= tight.num_breakpoints()
+
+    @given(increments=increments)
+    @settings(max_examples=50, deadline=None)
+    def test_interpolation_monotone_between_breakpoints(self, increments):
+        # Counters are non-decreasing, so interpolated values between two
+        # consecutive breakpoints must be non-decreasing too.
+        pla = PiecewiseLinearCounter(delta=3.0)
+        value = 0.0
+        for step, increment in enumerate(increments):
+            value += increment
+            pla.observe(float(step), value)
+        times = list(pla._times)
+        for t1, t2 in zip(times, times[1:]):
+            probes = np.linspace(t1, t2, 5)
+            interpolated = [pla.value_at(float(p)) for p in probes]
+            assert all(b >= a - 1e-9 for a, b in zip(interpolated, interpolated[1:]))
+
+    def test_zero_increment_stream_single_breakpoint(self):
+        pla = PiecewiseLinearCounter(delta=1.0)
+        for step in range(100):
+            pla.observe(float(step), 10.0)
+        assert pla.num_breakpoints() == 1
+        assert pla.value_at(50.0) == 10.0

@@ -1,0 +1,76 @@
+"""Property tests: the stores agree with the exact oracle.
+
+The columnar store is exact at any timestamp; the windowed store is exact at
+window boundaries.  Both are cross-validated against ExactStreamOracle on
+random streams — any divergence is a bug in one of the three.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    ColumnarLogStore,
+    ExactStreamOracle,
+    WindowedAggregateStore,
+)
+
+key_streams = st.lists(
+    st.integers(min_value=0, max_value=12), min_size=5, max_size=200
+)
+
+
+class TestColumnarEquivalence:
+    @given(keys=key_streams, chunk=st.sampled_from([3, 7, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_frequencies_match_oracle_at_any_time(self, keys, chunk):
+        store = ColumnarLogStore(chunk_rows=chunk)
+        oracle = ExactStreamOracle()
+        for index, key in enumerate(keys):
+            store.update(key, float(index))
+            oracle.update(key, float(index))
+        for t in (0.0, len(keys) / 3, len(keys) - 1.0, len(keys) + 10.0):
+            assert store.count_at(t) == oracle.count_at(t)
+            for key in set(keys):
+                assert store.frequency_at(key, t) == oracle.frequency_at(key, t)
+
+    @given(keys=key_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_heavy_hitters_match_oracle(self, keys):
+        store = ColumnarLogStore(chunk_rows=8)
+        oracle = ExactStreamOracle()
+        for index, key in enumerate(keys):
+            store.update(key, float(index))
+            oracle.update(key, float(index))
+        for phi in (0.1, 0.3, 0.6):
+            t = float(len(keys) - 1)
+            assert store.heavy_hitters_at(t, phi) == oracle.heavy_hitters_at(t, phi)
+
+
+class TestWindowedEquivalence:
+    @given(keys=key_streams, window=st.sampled_from([5.0, 10.0, 50.0]))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_at_window_boundaries(self, keys, window):
+        store = WindowedAggregateStore(window_length=window)
+        oracle = ExactStreamOracle()
+        for index, key in enumerate(keys):
+            store.update(key, float(index))
+            oracle.update(key, float(index))
+        # Probe only at boundaries strictly before the last sealed window's
+        # end; the current window is not yet visible to the store.
+        last_window_start = (len(keys) - 1) // window * window
+        boundaries = np.arange(0.0, last_window_start + 1e-9, window)
+        for boundary in boundaries:
+            assert store.count_at(float(boundary)) == oracle.count_at(
+                float(boundary) - 0.5
+            )
+
+    @given(keys=key_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_total_count_preserved(self, keys):
+        store = WindowedAggregateStore(window_length=4.0)
+        for index, key in enumerate(keys):
+            store.update(key, float(index))
+        # A query past every window boundary sees the full stream (the open
+        # window is included once the timestamp passes its end).
+        assert store.count_at(1e12) == len(keys)

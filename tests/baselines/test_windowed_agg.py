@@ -1,0 +1,66 @@
+"""Tests for the windowed aggregate store."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import WindowedAggregateStore
+
+
+class TestWindowedAggregateStore:
+    def test_counts_at_window_granularity(self):
+        store = WindowedAggregateStore(window_length=100.0)
+        for index in range(1_000):
+            store.update(index % 5, float(index))
+        # Query inside window 4 (t=450): only windows 0-3 are counted.
+        assert store.count_at(450.0) == 400
+        # Query at a window boundary includes everything before it.
+        assert store.count_at(500.0) == 500
+
+    def test_frequency_at(self):
+        store = WindowedAggregateStore(window_length=10.0)
+        for index in range(100):
+            store.update(index % 2, float(index))
+        assert store.frequency_at(0, 50.0) == 25
+        assert store.frequency_at(1, 50.0) == 25
+
+    def test_heavy_hitters_exact_at_boundaries(self):
+        store = WindowedAggregateStore(window_length=100.0)
+        rng = np.random.default_rng(0)
+        keys = (rng.zipf(1.5, size=2_000) % 30).astype(int)
+        for index, key in enumerate(keys):
+            store.update(key, float(index))
+        phi = 0.05
+        prefix = keys[:1_000]
+        counts = np.bincount(prefix, minlength=30)
+        truth = sorted(int(k) for k in range(30) if counts[k] >= phi * 1_000)
+        assert store.heavy_hitters_at(1_000.0, phi) == truth
+
+    def test_memory_much_smaller_than_raw(self):
+        store = WindowedAggregateStore(window_length=1_000.0)
+        for index in range(50_000):
+            store.update(index % 20, float(index))
+        raw = 50_000 * 12
+        assert store.memory_bytes() < raw / 10
+
+    def test_memory_grows_with_windows(self):
+        few = WindowedAggregateStore(window_length=10_000.0)
+        many = WindowedAggregateStore(window_length=100.0)
+        for index in range(20_000):
+            few.update(index % 50, float(index))
+            many.update(index % 50, float(index))
+        assert many.memory_bytes() > few.memory_bytes()
+
+    def test_rejects_decreasing_windows(self):
+        store = WindowedAggregateStore(window_length=10.0)
+        store.update(1, 25.0)
+        with pytest.raises(ValueError):
+            store.update(1, 5.0)
+
+    def test_rejects_bad_window_length(self):
+        with pytest.raises(ValueError):
+            WindowedAggregateStore(window_length=0.0)
+
+    def test_empty_store(self):
+        store = WindowedAggregateStore(window_length=10.0)
+        assert store.count_at(100.0) == 0
+        assert store.heavy_hitters_at(100.0, 0.5) == []

@@ -1,0 +1,30 @@
+"""Shared fixtures: small seeded streams used across the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import client_id_stream, generate_matrix_stream, object_id_stream
+
+
+@pytest.fixture(scope="session")
+def small_object_stream():
+    """A 10k-row skewed keyed stream (Object-ID-like)."""
+    return object_id_stream(n=10_000, universe=2_000, ratio=300.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_client_stream():
+    """A 10k-row mildly-skewed keyed stream (Client-ID-like)."""
+    return client_id_stream(n=10_000, universe=5_000, ratio=100.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_matrix_stream():
+    """A 1k-row, 20-dimensional Section-6.3-style matrix stream."""
+    return generate_matrix_stream(n=1_000, dim=20, horizon=1_000.0, seed=42)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,52 @@
+"""Tests for shared stream types and protocols."""
+
+import pytest
+
+from repro.core.base import (
+    MergeableSketch,
+    MonotoneViolation,
+    Sketch,
+    StreamItem,
+    TimestampGuard,
+)
+from repro.sketches import CountMinSketch, MisraGries
+
+
+class TestStreamItem:
+    def test_defaults(self):
+        item = StreamItem(value=7, timestamp=1.0)
+        assert item.weight == 1.0
+
+    def test_frozen(self):
+        item = StreamItem(value=7, timestamp=1.0)
+        with pytest.raises(AttributeError):
+            item.value = 8
+
+
+class TestTimestampGuard:
+    def test_accepts_nondecreasing(self):
+        guard = TimestampGuard()
+        guard.check(1.0)
+        guard.check(1.0)
+        guard.check(2.0)
+
+    def test_rejects_decreasing(self):
+        guard = TimestampGuard()
+        guard.check(5.0)
+        with pytest.raises(MonotoneViolation):
+            guard.check(4.9)
+
+    def test_monotone_violation_is_value_error(self):
+        assert issubclass(MonotoneViolation, ValueError)
+
+
+class TestProtocols:
+    def test_countmin_satisfies_mergeable(self):
+        assert isinstance(CountMinSketch(16), Sketch)
+        assert isinstance(CountMinSketch(16), MergeableSketch)
+
+    def test_misra_gries_satisfies_mergeable(self):
+        assert isinstance(MisraGries(4), MergeableSketch)
+
+    def test_non_sketch_rejected(self):
+        assert not isinstance(object(), Sketch)

@@ -1,0 +1,122 @@
+"""Tests for BITP priority sampling (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import MonotoneViolation
+from repro.core.bitp_sampling import BitpPrioritySample
+
+
+class TestBitpPrioritySample:
+    def test_sample_is_suffix_topk(self):
+        # With deterministic feeding we cannot know the priorities, but the
+        # invariant "sample contains only window items, at most k, distinct"
+        # must hold for every query.
+        sampler = BitpPrioritySample(k=20, seed=0)
+        for index in range(2_000):
+            sampler.update(index, float(index))
+        for since in (0.0, 500.0, 1_500.0, 1_990.0):
+            sample = sampler.raw_sample_since(since)
+            values = [value for value, _ in sample]
+            assert all(value >= since for value in values)
+            assert len(values) == min(20, 2_000 - int(since))
+            assert len(set(values)) == len(values)
+
+    def test_survivor_rule_never_loses_window_topk(self):
+        """Every query's top-k must match a brute-force run with the same
+        priorities; we capture priorities by mirroring the RNG sequence."""
+        seed, k, n = 7, 5, 400
+        sampler = BitpPrioritySample(k=k, seed=seed, slack=1)
+        from repro.core.bitp_sampling import _RNG_SALT_BITP
+
+        rng = np.random.default_rng([seed, _RNG_SALT_BITP])
+        priorities = []
+        for index in range(n):
+            u = float(rng.random())
+            while u == 0.0:
+                u = float(rng.random())
+            priorities.append(1.0 / u)  # weight 1
+            sampler.update(index, float(index), weight=1.0)
+        for since in (0, 100, 250, 390):
+            window = [(priorities[i], i) for i in range(since, n)]
+            window.sort(key=lambda pair: -pair[0])
+            expected = sorted(i for _, i in window[:k])
+            got = sorted(v for v, _ in sampler.raw_sample_since(float(since)))
+            assert got == expected
+
+    def test_space_logarithmic(self):
+        n, k = 20_000, 50
+        sampler = BitpPrioritySample(k=k, seed=1)
+        for index in range(n):
+            sampler.update(index, float(index))
+        sampler._compact()
+        # O(k log(n/k)) survivors expected; allow constant-factor slack.
+        bound = 6 * k * (1 + np.log(n / k))
+        assert sampler.kept_count() < bound
+
+    def test_peak_memory_tracked(self):
+        sampler = BitpPrioritySample(k=10, seed=2)
+        for index in range(5_000):
+            sampler.update(index, float(index))
+        assert sampler.peak_memory_bytes >= sampler.memory_bytes()
+        assert sampler.compaction_scans > 0
+
+    def test_suffix_count_estimate(self):
+        sampler = BitpPrioritySample(k=50, seed=3)
+        n = 5_000
+        for index in range(n):
+            sampler.update(index, float(index))
+        for since in (1_000, 3_000, 4_900):
+            estimate = sampler.suffix_count_since(float(since))
+            true = n - since
+            assert abs(estimate - true) <= max(5, 0.2 * true)
+
+    def test_subset_sum_estimate_reasonable(self):
+        estimates = []
+        true = 500.0  # items 500..999, weight 1 each, subset = first half
+        for seed in range(100):
+            sampler = BitpPrioritySample(k=80, seed=seed)
+            for index in range(1_000):
+                sampler.update(index, float(index))
+            estimates.append(
+                sampler.estimate_subset_sum_since(500.0, lambda value: value < 750)
+            )
+        # subset = items 500..749 -> true weight 250
+        assert abs(np.mean(estimates) - 250.0) < 35.0
+
+    def test_most_recent_k_always_present(self):
+        sampler = BitpPrioritySample(k=10, seed=4)
+        for index in range(1_000):
+            sampler.update(index, float(index))
+        sample = sampler.raw_sample_since(995.0)
+        assert sorted(v for v, _ in sample) == list(range(995, 1_000))
+
+    def test_rejects_nonpositive_weight(self):
+        sampler = BitpPrioritySample(k=2, seed=0)
+        with pytest.raises(ValueError):
+            sampler.update(1, 1.0, weight=0.0)
+
+    def test_rejects_decreasing_timestamps(self):
+        sampler = BitpPrioritySample(k=2, seed=0)
+        sampler.update(1, 5.0)
+        with pytest.raises(MonotoneViolation):
+            sampler.update(2, 4.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BitpPrioritySample(k=0)
+        with pytest.raises(ValueError):
+            BitpPrioritySample(k=1, slack=-1)
+        with pytest.raises(ValueError):
+            BitpPrioritySample(k=1, batch_factor=0.0)
+
+    def test_weighted_priorities_favor_heavy(self):
+        hits = 0
+        for seed in range(100):
+            sampler = BitpPrioritySample(k=1, seed=seed)
+            sampler.update("light", 0.0, weight=1.0)
+            sampler.update("heavy", 1.0, weight=50.0)
+            (value, _), = sampler.raw_sample_since(0.0)
+            if value == "heavy":
+                hits += 1
+        assert hits > 80  # P(heavy wins) = 50/51

@@ -1,0 +1,123 @@
+"""Tests for the bulk-ingest (update_many) APIs."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.bitp_sampling import BitpPrioritySample
+from repro.core.persistent_sampling import PersistentTopKSample
+from repro.persistent import AttpSampleHeavyHitter, BitpSampleHeavyHitter
+
+
+class TestPersistentTopKBulk:
+    def test_identical_to_sequential(self):
+        n = 5_000
+        values = list(range(n))
+        timestamps = [float(index) for index in range(n)]
+        sequential = PersistentTopKSample(k=16, seed=7)
+        for value, timestamp in zip(values, timestamps):
+            sequential.update(value, timestamp)
+        bulk = PersistentTopKSample(k=16, seed=7)
+        bulk.update_many(values, timestamps)
+        assert len(sequential) == len(bulk)
+        for t in (0.0, 1_234.0, 4_999.0):
+            assert sorted(sequential.sample_at(t)) == sorted(bulk.sample_at(t))
+
+    def test_mixed_bulk_and_single(self):
+        a = PersistentTopKSample(k=8, seed=1)
+        b = PersistentTopKSample(k=8, seed=1)
+        values = list(range(1_000))
+        times = [float(v) for v in values]
+        for value, timestamp in zip(values, times):
+            a.update(value, timestamp)
+        b.update_many(values[:500], times[:500])
+        for value, timestamp in zip(values[500:], times[500:]):
+            b.update(value, timestamp)
+        assert sorted(a.sample_now()) == sorted(b.sample_now())
+
+    def test_length_mismatch_rejected(self):
+        sampler = PersistentTopKSample(k=4, seed=0)
+        with pytest.raises(ValueError):
+            sampler.update_many([1, 2], [0.0])
+
+    def test_monotonicity_enforced_in_bulk(self):
+        from repro.core.base import MonotoneViolation
+
+        sampler = PersistentTopKSample(k=4, seed=0)
+        with pytest.raises(MonotoneViolation):
+            sampler.update_many([1, 2, 3], [0.0, 2.0, 1.0])
+        assert sampler.count == 2  # items before the violation were accepted
+
+    def test_bulk_is_faster(self):
+        n = 200_000
+        values = np.arange(n)
+        times = np.arange(n, dtype=float)
+        slow = PersistentTopKSample(k=16, seed=2)
+        start = time.perf_counter()
+        for index in range(n):
+            slow.update(int(values[index]), float(times[index]))
+        sequential_seconds = time.perf_counter() - start
+        fast = PersistentTopKSample(k=16, seed=2)
+        start = time.perf_counter()
+        fast.update_many(values.tolist(), times.tolist())
+        bulk_seconds = time.perf_counter() - start
+        assert bulk_seconds < sequential_seconds
+
+
+class TestBitpBulk:
+    def test_identical_to_sequential(self):
+        n = 5_000
+        values = list(range(n))
+        timestamps = [float(index) for index in range(n)]
+        sequential = BitpPrioritySample(k=32, seed=7)
+        for value, timestamp in zip(values, timestamps):
+            sequential.update(value, timestamp)
+        bulk = BitpPrioritySample(k=32, seed=7)
+        bulk.update_many(values, timestamps)
+        for since in (0.0, 2_500.0, 4_990.0):
+            assert sequential.raw_sample_since(since) == bulk.raw_sample_since(since)
+
+    def test_weighted_bulk(self):
+        weights = [1.0 + (index % 5) for index in range(2_000)]
+        sequential = BitpPrioritySample(k=16, seed=3)
+        bulk = BitpPrioritySample(k=16, seed=3)
+        for index in range(2_000):
+            sequential.update(index, float(index), weights[index])
+        bulk.update_many(list(range(2_000)), [float(i) for i in range(2_000)], weights)
+        assert sequential.raw_sample_since(1_000.0) == bulk.raw_sample_since(1_000.0)
+
+    def test_bad_weights_rejected(self):
+        sampler = BitpPrioritySample(k=4, seed=0)
+        with pytest.raises(ValueError):
+            sampler.update_many([1], [0.0], [0.0])
+        with pytest.raises(ValueError):
+            sampler.update_many([1, 2], [0.0, 1.0], [1.0])
+
+
+class TestPublicApiBulk:
+    def test_attp_hh_bulk_matches_sequential(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 30, size=4_000).tolist()
+        times = [float(index) for index in range(4_000)]
+        a = AttpSampleHeavyHitter(k=600, seed=5)
+        b = AttpSampleHeavyHitter(k=600, seed=5)
+        for key, timestamp in zip(keys, times):
+            a.update(key, timestamp)
+        b.update_many(keys, times)
+        for t in (1_000.0, 3_999.0):
+            assert a.heavy_hitters_at(t, 0.05) == b.heavy_hitters_at(t, 0.05)
+
+    def test_bitp_hh_bulk_matches_sequential(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 30, size=4_000).tolist()
+        times = [float(index) for index in range(4_000)]
+        a = BitpSampleHeavyHitter(k=600, seed=5)
+        b = BitpSampleHeavyHitter(k=600, seed=5)
+        for key, timestamp in zip(keys, times):
+            a.update(key, timestamp)
+        b.update_many(keys, times)
+        for since in (1_000.0, 3_500.0):
+            assert a.heavy_hitters_since(since, 0.05) == b.heavy_hitters_since(
+                since, 0.05
+            )

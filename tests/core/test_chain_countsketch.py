@@ -1,0 +1,92 @@
+"""Tests for the elementwise Count sketch chain (CCS) and FATP differencing."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import MonotoneViolation
+from repro.core.elementwise import ChainCountMin, ChainCountSketch
+
+
+class TestChainCountSketch:
+    def test_point_estimates_track_prefix(self):
+        ccs = ChainCountSketch(width=1024, depth=5, eps_ckpt=0.005, seed=0)
+        n = 10_000
+        rng = np.random.default_rng(0)
+        keys = (rng.zipf(1.4, size=n) % 50).astype(int)
+        for index, key in enumerate(keys):
+            ccs.update(int(key), float(index))
+        t_index = 4_999
+        counts = np.bincount(keys[: t_index + 1], minlength=50)
+        heavy = np.argsort(counts)[-5:]
+        for key in heavy:
+            err = abs(ccs.estimate_at(int(key), float(t_index)) - counts[key])
+            assert err <= 0.03 * (t_index + 1) + 2
+
+    def test_turnstile_deletions(self):
+        ccs = ChainCountSketch(width=512, depth=5, eps_ckpt=0.01, seed=1)
+        t = 0.0
+        for _ in range(500):
+            ccs.update(7, t, weight=2)
+            t += 1.0
+        for _ in range(400):
+            ccs.update(7, t, weight=-2)
+            t += 1.0
+        # Now key 7 holds 2*500 - 2*400 = 200.
+        assert abs(ccs.estimate_now(7) - 200) <= 50
+        # Historically (t=499), it held 1000.
+        assert abs(ccs.estimate_at(7, 499.0) - 1_000) <= 100
+
+    def test_estimate_now_matches_live(self):
+        ccs = ChainCountSketch(width=256, depth=5, eps_ckpt=0.01, seed=2)
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 40, size=2_000)
+        for index, key in enumerate(keys):
+            ccs.update(int(key), float(index))
+        for key in range(40):
+            assert ccs.estimate_now(key) == ccs._cs.query(key)
+
+    def test_estimate_between_differences(self):
+        ccs = ChainCountSketch(width=1024, depth=5, eps_ckpt=0.002, seed=3)
+        for index in range(9_000):
+            ccs.update(index % 3, float(index))
+        middle = ccs.estimate_between(0, 2_999.0, 5_999.0)
+        assert abs(middle - 1_000) <= 300
+
+    def test_rejects_zero_weight_and_decreasing_time(self):
+        ccs = ChainCountSketch(width=64, eps_ckpt=0.1)
+        with pytest.raises(ValueError):
+            ccs.update(1, 0.0, weight=0)
+        ccs.update(1, 5.0)
+        with pytest.raises(MonotoneViolation):
+            ccs.update(1, 4.0)
+        with pytest.raises(ValueError):
+            ccs.estimate_between(1, 5.0, 4.0)
+
+    def test_checkpoints_bounded(self):
+        ccs = ChainCountSketch(width=128, depth=3, eps_ckpt=0.01, seed=4)
+        n = 20_000
+        for index in range(n):
+            ccs.update(index % 4, float(index))
+        bound = 8 * 3 * (1.0 / 0.01) * np.log(n)
+        assert ccs.num_checkpoints() <= bound
+
+
+class TestChainCountMinBetween:
+    def test_fatp_interval_estimates(self):
+        ccm = ChainCountMin(width=1024, depth=3, eps_ckpt=0.002, seed=0)
+        for index in range(9_000):
+            ccm.update(index % 3, float(index))
+        middle = ccm.estimate_between(0, 2_999.0, 5_999.0)
+        assert abs(middle - 1_000) <= 300
+
+    def test_empty_interval_rejected(self):
+        ccm = ChainCountMin(width=64, eps_ckpt=0.1)
+        ccm.update(1, 1.0)
+        with pytest.raises(ValueError):
+            ccm.estimate_between(1, 2.0, 1.0)
+
+    def test_interval_estimate_nonnegative(self):
+        ccm = ChainCountMin(width=256, depth=3, eps_ckpt=0.01, seed=1)
+        for index in range(2_000):
+            ccm.update(index % 7, float(index))
+        assert ccm.estimate_between(3, 100.0, 1_500.0) >= 0.0

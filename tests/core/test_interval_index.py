@@ -1,0 +1,140 @@
+"""Tests for the interval index (Section 3 query acceleration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval_index import IntervalIndex
+from repro.core.persistent_sampling import PersistentTopKSample
+
+
+def brute_stab(intervals, t):
+    out = []
+    for start, end, payload in intervals:
+        if end is None:
+            end = float("inf")
+        if start <= t < end:
+            out.append(payload)
+    return sorted(out)
+
+
+class TestIntervalIndex:
+    def test_simple_stab(self):
+        index = IntervalIndex([(0.0, 10.0, "a"), (5.0, None, "b"), (12.0, 20.0, "c")])
+        assert sorted(index.stab(0.0)) == ["a"]
+        assert sorted(index.stab(7.0)) == ["a", "b"]
+        assert sorted(index.stab(11.0)) == ["b"]
+        assert sorted(index.stab(15.0)) == ["b", "c"]
+        assert sorted(index.stab(100.0)) == ["b"]
+        assert index.stab(-1.0) == []
+
+    def test_half_open_boundaries(self):
+        index = IntervalIndex([(0.0, 5.0, "a")])
+        assert index.stab(0.0) == ["a"]
+        assert index.stab(4.999) == ["a"]
+        assert index.stab(5.0) == []
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            IntervalIndex([(5.0, 5.0, "x")])
+
+    def test_empty_index(self):
+        index = IntervalIndex([])
+        assert index.stab(3.0) == []
+        assert len(index) == 0
+
+    def test_memory_model(self):
+        index = IntervalIndex([(0.0, 1.0, "a"), (0.5, 2.0, "b")])
+        assert index.memory_bytes() == 2 * 40
+
+    @given(
+        intervals=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=110, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        probes=st.lists(
+            st.floats(min_value=-5, max_value=115, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_bruteforce(self, intervals, probes):
+        cleaned = [
+            (min(a, b), max(a, b), index)
+            for index, (a, b) in enumerate(intervals)
+            if a != b
+        ]
+        index = IntervalIndex(cleaned)
+        for probe in probes:
+            assert sorted(index.stab(probe)) == brute_stab(cleaned, probe)
+
+
+class TestIndexedSampler:
+    def test_indexed_sample_matches_scan(self):
+        sampler = PersistentTopKSample(k=8, seed=0)
+        for i in range(2_000):
+            sampler.update(i, float(i))
+        probes = [0.0, 13.0, 499.0, 1_234.0, 1_999.0]
+        scans = [sorted(sampler.sample_at(t)) for t in probes]
+        sampler.build_interval_index()
+        indexed = [sorted(sampler.sample_at(t)) for t in probes]
+        assert scans == indexed
+
+    def test_index_invalidated_by_updates(self):
+        sampler = PersistentTopKSample(k=4, seed=1)
+        for i in range(100):
+            sampler.update(i, float(i))
+        sampler.build_interval_index()
+        sampler.update(100, 100.0)
+        # Falls back to the scan (correct answer including the new item).
+        assert len(sampler.sample_at(100.0)) == 4
+        assert all(v <= 100 for v in sampler.sample_at(100.0))
+
+    def test_indexed_query_faster_on_large_history(self):
+        import time
+
+        sampler = PersistentTopKSample(k=10, seed=2)
+        for i in range(100_000):
+            sampler.update(i, float(i))
+        probes = [float(p) for p in range(1_000, 100_000, 1_000)]
+        start = time.perf_counter()
+        for t in probes:
+            sampler.sample_at(t)
+        scan_time = time.perf_counter() - start
+        sampler.build_interval_index()
+        start = time.perf_counter()
+        for t in probes:
+            sampler.sample_at(t)
+        indexed_time = time.perf_counter() - start
+        assert indexed_time < scan_time
+
+
+class TestIndexedWeightedSampler:
+    def test_indexed_weighted_sample_matches_scan(self):
+        from repro.core.persistent_priority import PersistentPrioritySample
+
+        sampler = PersistentPrioritySample(k=8, seed=0)
+        for i in range(2_000):
+            sampler.update(i, float(i), weight=1.0 + i % 5)
+        probes = [0.0, 77.0, 640.0, 1_999.0]
+        scans = [sorted(sampler.sample_at(t)) for t in probes]
+        sampler.build_interval_index()
+        indexed = [sorted(sampler.sample_at(t)) for t in probes]
+        assert scans == indexed
+
+    def test_weighted_index_invalidated_by_updates(self):
+        from repro.core.persistent_priority import PersistentPrioritySample
+
+        sampler = PersistentPrioritySample(k=4, seed=1)
+        for i in range(200):
+            sampler.update(i, float(i), weight=1.0)
+        sampler.build_interval_index()
+        sampler.update(200, 200.0, weight=1.0)
+        sample = sampler.sample_at(200.0)
+        assert len(sample) == 4

@@ -1,0 +1,167 @@
+"""Tests for merge-tree persistence (Section 5, Theorem 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import MonotoneViolation
+from repro.core.merge_tree import MergeTreePersistence
+from repro.sketches import FastFrequentDirections, KllSketch, MisraGries
+
+
+def mg_factory():
+    return MisraGries(50)
+
+
+class TestMergeTreeAttp:
+    def test_prefix_coverage_within_eps(self):
+        eps = 0.1
+        tree = MergeTreePersistence(mg_factory, eps=eps, mode="attp", block_size=16)
+        n = 8_000
+        for index in range(n):
+            tree.update(index % 3, float(index))
+        for t in (999.0, 3_999.0, 7_999.0):
+            merged = tree.sketch_at(t)
+            covered = merged.total_weight
+            target = t + 1
+            assert covered <= target
+            assert covered >= (1 - eps) * target - tree.block_size
+
+    def test_estimates_track_prefix(self):
+        tree = MergeTreePersistence(mg_factory, eps=0.05, mode="attp", block_size=16)
+        n = 6_000
+        for index in range(n):
+            tree.update(index % 5, float(index))
+        merged = tree.sketch_at(2_999.0)
+        true = 3_000 / 5
+        assert abs(merged.query(0) - true) <= 0.15 * 3_000
+
+    def test_node_count_logarithmic(self):
+        eps = 0.1
+        tree = MergeTreePersistence(mg_factory, eps=eps, mode="attp", block_size=16)
+        n = 20_000
+        for index in range(n):
+            tree.update(index % 3, float(index))
+        blocks = n / 16
+        bound = 6 * (2 / eps) * np.log2(blocks)
+        assert tree.num_nodes() <= bound
+
+    def test_query_at_zero_prefix(self):
+        tree = MergeTreePersistence(mg_factory, eps=0.1, mode="attp", block_size=4)
+        tree.update(1, 10.0)
+        merged = tree.sketch_at(5.0)
+        assert merged.total_weight == 0
+
+    def test_bitp_query_rejected_in_attp_mode(self):
+        tree = MergeTreePersistence(mg_factory, eps=0.1, mode="attp")
+        with pytest.raises(RuntimeError):
+            tree.sketch_since(0.0)
+
+    def test_includes_live_partial_block(self):
+        tree = MergeTreePersistence(mg_factory, eps=0.1, mode="attp", block_size=100)
+        for index in range(50):  # never fills a block
+            tree.update(1, float(index))
+        merged = tree.sketch_at(49.0)
+        assert merged.total_weight == 50
+
+
+class TestMergeTreeBitp:
+    def test_suffix_coverage_within_eps(self):
+        eps = 0.1
+        tree = MergeTreePersistence(mg_factory, eps=eps, mode="bitp", block_size=16)
+        n = 8_000
+        for index in range(n):
+            tree.update(index % 3, float(index))
+        for since in (7_000.0, 4_000.0, 1_000.0):
+            merged = tree.sketch_since(since)
+            window = n - since
+            covered = merged.total_weight
+            assert covered <= window + tree.block_size
+            assert covered >= (1 - eps) * window - tree.block_size
+
+    def test_window_estimates(self):
+        tree = MergeTreePersistence(mg_factory, eps=0.05, mode="bitp", block_size=16)
+        n = 6_000
+        for index in range(n):
+            tree.update(index % 5, float(index))
+        merged = tree.sketch_since(3_000.0)
+        true = 3_000 / 5
+        assert abs(merged.query(0) - true) <= 0.15 * 3_000
+
+    def test_pruning_keeps_space_bounded(self):
+        eps = 0.1
+        tree = MergeTreePersistence(mg_factory, eps=eps, mode="bitp", block_size=16)
+        n = 20_000
+        for index in range(n):
+            tree.update(index % 3, float(index))
+        blocks = n / 16
+        bound = 6 * (2 / eps) * np.log2(blocks)
+        assert tree.num_nodes() <= bound
+
+    def test_newest_data_always_covered(self):
+        # Sub-block windows are answered at block granularity: the result
+        # covers at least the window and at most one extra block.
+        tree = MergeTreePersistence(mg_factory, eps=0.1, mode="bitp", block_size=8)
+        for index in range(1_000):
+            tree.update(7, float(index))
+        merged = tree.sketch_since(996.0)
+        assert 4 <= merged.total_weight <= 4 + tree.block_size
+
+    def test_attp_query_rejected_in_bitp_mode(self):
+        tree = MergeTreePersistence(mg_factory, eps=0.1, mode="bitp")
+        with pytest.raises(RuntimeError):
+            tree.sketch_at(0.0)
+
+    def test_peak_memory_tracked(self):
+        tree = MergeTreePersistence(mg_factory, eps=0.1, mode="bitp", block_size=16)
+        for index in range(2_000):
+            tree.update(index % 3, float(index))
+        assert tree.peak_memory_bytes > 0
+
+
+class TestMergeTreeGeneric:
+    def test_kll_merge_tree_quantiles(self):
+        tree = MergeTreePersistence(
+            lambda: KllSketch(64, seed=0), eps=0.1, mode="bitp", block_size=32
+        )
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 100, size=4_000)
+        for index, value in enumerate(values):
+            tree.update(float(value), float(index))
+        merged = tree.sketch_since(2_000.0)
+        median = merged.quantile(0.5)
+        true = float(np.median(values[2_000:]))
+        assert abs(median - true) < 10
+
+    def test_fd_merge_tree(self):
+        dim = 10
+        tree = MergeTreePersistence(
+            lambda: FastFrequentDirections(6, dim),
+            eps=0.2,
+            mode="bitp",
+            block_size=16,
+            apply_update=lambda sketch, value, weight: sketch.update(value),
+        )
+        rng = np.random.default_rng(1)
+        rows = rng.normal(size=(500, dim))
+        for index, row in enumerate(rows):
+            tree.update(row, float(index))
+        merged = tree.sketch_since(250.0)
+        window = rows[250:]
+        err = np.linalg.norm(window.T @ window - merged.covariance(), 2)
+        frob_sq = np.linalg.norm(window, "fro") ** 2
+        # FD error + tree slack (eps fraction of window mass missing).
+        assert err <= frob_sq / 6 + 0.25 * frob_sq
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MergeTreePersistence(mg_factory, eps=0.0)
+        with pytest.raises(ValueError):
+            MergeTreePersistence(mg_factory, eps=0.1, mode="both")
+        with pytest.raises(ValueError):
+            MergeTreePersistence(mg_factory, eps=0.1, block_size=0)
+
+    def test_rejects_decreasing_timestamps(self):
+        tree = MergeTreePersistence(mg_factory, eps=0.1)
+        tree.update(1, 5.0)
+        with pytest.raises(MonotoneViolation):
+            tree.update(1, 4.0)

@@ -1,0 +1,123 @@
+"""Edge-case tests across core modules not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint_chain import CheckpointChain
+from repro.core.merge_tree import MergeTreePersistence
+from repro.sketches import MisraGries
+from repro.sketches.hashing import mix64
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345, 7) == mix64(12345, 7)
+
+    def test_seed_changes_output(self):
+        assert mix64(12345, 7) != mix64(12345, 8)
+
+    def test_avalanche_on_sequential_keys(self):
+        # Adjacent keys must differ in ~half their 64 bits.
+        flips = []
+        for key in range(500):
+            xor = mix64(key, 0) ^ mix64(key + 1, 0)
+            flips.append(bin(xor).count("1"))
+        assert 24 < np.mean(flips) < 40
+
+    def test_high_bits_unbiased_for_sequential_keys(self):
+        # The defect that motivated mix64: multiply-shift's per-residue high
+        # bits are correlated for sequential keys; mix64's must not be.
+        top_bits = [mix64(key, 0) >> 63 for key in range(2_000)]
+        assert 0.45 < np.mean(top_bits) < 0.55
+
+    def test_output_in_64_bit_range(self):
+        for key in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= mix64(key, 0) < 2**64
+
+
+class TestCheckpointChainCustomization:
+    def test_custom_snapshot_function(self):
+        # Snapshot only the counters dict instead of deep-copying the sketch.
+        snapshots = []
+
+        def light_snapshot(sketch):
+            state = dict(sketch.items())
+            snapshots.append(state)
+            return _DictView(state)
+
+        chain = CheckpointChain(
+            lambda: MisraGries(8), eps=0.5, snapshot=light_snapshot
+        )
+        for index in range(200):
+            chain.update(index % 3, float(index))
+        assert snapshots  # custom snapshotting was used
+        historical = chain.sketch_at(50.0)
+        assert isinstance(historical, _DictView)
+
+    def test_checkpoints_iterate_in_time_order(self):
+        chain = CheckpointChain(lambda: MisraGries(4), eps=0.3)
+        for index in range(500):
+            chain.update(0, float(index))
+        times = [t for t, _ in chain.checkpoints()]
+        assert times == sorted(times)
+
+
+class _DictView:
+    def __init__(self, state):
+        self.state = state
+
+    def memory_bytes(self):
+        return len(self.state) * 12
+
+
+class TestMergeTreeWeighted:
+    def test_weighted_updates_flow_to_nodes(self):
+        tree = MergeTreePersistence(
+            lambda: MisraGries(16), eps=0.2, mode="attp", block_size=8
+        )
+        for index in range(256):
+            tree.update(index % 2, float(index), weight=3)
+        merged = tree.sketch_at(255.0)
+        assert merged.total_weight >= (1 - 0.2) * 256 * 3 - 8 * 3
+
+    def test_single_item_stream(self):
+        tree = MergeTreePersistence(
+            lambda: MisraGries(4), eps=0.5, mode="attp", block_size=4
+        )
+        tree.update(9, 100.0)
+        merged = tree.sketch_at(100.0)
+        assert merged.query(9) == 1
+
+
+class TestTreeRecallToggles:
+    def test_bitp_tmg_without_recall_margin(self, small_object_stream):
+        from repro.persistent import BitpTreeMisraGries
+
+        sketch = BitpTreeMisraGries(eps=0.002, block_size=64)
+        for key, timestamp in small_object_stream:
+            sketch.update(key, timestamp)
+        since = float(small_object_stream.timestamps[5_000])
+        with_margin = set(sketch.heavy_hitters_since(since, 0.01))
+        without = set(sketch.heavy_hitters_since(since, 0.01, guarantee_recall=False))
+        assert without <= with_margin  # margin only adds candidates
+
+    def test_attp_tree_without_recall_margin(self, small_object_stream):
+        from repro.persistent import AttpTreeMisraGries
+
+        sketch = AttpTreeMisraGries(eps=0.002, block_size=64)
+        for key, timestamp in small_object_stream:
+            sketch.update(key, timestamp)
+        t = float(small_object_stream.timestamps[5_000])
+        with_margin = set(sketch.heavy_hitters_at(t, 0.01))
+        without = set(sketch.heavy_hitters_at(t, 0.01, guarantee_recall=False))
+        assert without <= with_margin
+
+
+class TestReservoirChainsEdge:
+    def test_empty_chains(self):
+        from repro.core.persistent_sampling import PersistentReservoirChains
+
+        chains = PersistentReservoirChains(k=3, seed=0)
+        assert chains.sample_at(100.0) == []
+        assert chains.total_records() == 0
+        assert chains.memory_bytes() == 0

@@ -1,0 +1,152 @@
+"""Additional property tests on core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitp_sampling import BitpPrioritySample
+from repro.core.persistent_priority import PersistentPrioritySample
+from repro.core.timeindex import GeometricHistory
+from repro.persistent import AttpKmvDistinct
+
+
+class TestGeometricHistoryProperties:
+    @given(
+        increments=st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        ),
+        delta=st.sampled_from([0.01, 0.1, 0.5]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recorded_value_sandwiched(self, increments, delta):
+        history = GeometricHistory(delta=delta)
+        running = 0.0
+        observed = []
+        for step, increment in enumerate(increments):
+            running += increment
+            history.observe(float(step), running)
+            observed.append((float(step), running))
+        for t, true_value in observed:
+            recorded = history.value_at(t)
+            assert recorded <= true_value + 1e-9
+            # Either within the geometric factor, or nothing recorded yet
+            # (only possible while the value is still zero).
+            if true_value > 0:
+                assert recorded * (1 + delta) >= min(
+                    v for s, v in observed if s <= t and v > 0
+                ) * (1 - 1e-12) or recorded > 0
+
+    @given(
+        increments=st.lists(
+            st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_entries_grow_geometrically(self, increments):
+        delta = 0.1
+        history = GeometricHistory(delta=delta)
+        running = 0.0
+        for step, increment in enumerate(increments):
+            running += increment
+            history.observe(float(step), running)
+        values = [value for _, value in history._history]
+        for a, b in zip(values, values[1:]):
+            assert b >= a * (1 + delta) - 1e-9
+
+
+class TestWeightedSamplerProperties:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+            min_size=5,
+            max_size=150,
+        ),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tau_monotone_in_time(self, weights, k):
+        sampler = PersistentPrioritySample(k=k, seed=11)
+        for index, weight in enumerate(weights):
+            sampler.update(index, float(index), weight)
+        taus = [sampler.tau_at(float(t)) for t in range(len(weights))]
+        assert taus == sorted(taus)
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+            min_size=5,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adjusted_weights_cover_raw(self, weights):
+        sampler = PersistentPrioritySample(k=4, seed=12)
+        for index, weight in enumerate(weights):
+            sampler.update(index, float(index), weight)
+        t = float(len(weights) - 1)
+        raw = dict(sampler.raw_sample_at(t))
+        adjusted = dict(sampler.sample_at(t))
+        assert set(raw) == set(adjusted)
+        for value in raw:
+            assert adjusted[value] >= raw[value] - 1e-12
+
+
+class TestBitpProperties:
+    @given(
+        n=st.integers(min_value=20, max_value=400),
+        k=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_window_nesting(self, n, k):
+        """A larger window's sample always covers at least as much priority
+        mass: the top-k of [s1, now] and [s2, now] with s1 < s2 must agree on
+        any item both contain."""
+        sampler = BitpPrioritySample(k=k, seed=13)
+        for index in range(n):
+            sampler.update(index, float(index))
+        wide = dict(sampler.raw_sample_since(0.0))
+        narrow = dict(sampler.raw_sample_since(float(n // 2)))
+        # Items in the narrow sample that also appear in the wide sample
+        # carry identical weights (they are the same entries).
+        for value in set(wide) & set(narrow):
+            assert wide[value] == narrow[value]
+
+    @given(n=st.integers(min_value=30, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_suffix_count_bounds(self, n):
+        sampler = BitpPrioritySample(k=8, seed=14)
+        for index in range(n):
+            sampler.update(index, float(index))
+        for since in range(0, n, max(1, n // 4)):
+            estimate = sampler.suffix_count_since(float(since))
+            assert 0 <= estimate <= n
+
+
+class TestKmvProperties:
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=400)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_below_k(self, keys):
+        kmv = AttpKmvDistinct(k=1_024, seed=15)
+        for index, key in enumerate(keys):
+            kmv.update(key, float(index))
+        # With k far above the distinct count, the estimate is exact.
+        assert kmv.distinct_now() == len(set(keys))
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_monotone_in_time(self, keys):
+        kmv = AttpKmvDistinct(k=256, seed=16)
+        for index, key in enumerate(keys):
+            kmv.update(key, float(index))
+        estimates = [kmv.distinct_at(float(t)) for t in range(len(keys))]
+        for a, b in zip(estimates, estimates[1:]):
+            assert b >= a - 1e-9

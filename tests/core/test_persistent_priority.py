@@ -1,0 +1,167 @@
+"""Tests for ATTP persistent weighted samples (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import MonotoneViolation
+from repro.core.persistent_priority import (
+    PersistentPrioritySample,
+    PersistentWeightedWR,
+)
+
+
+def brute_force_top_k(offers, k, t):
+    prefix = [
+        (priority, value)
+        for value, timestamp, _, priority in offers
+        if timestamp <= t
+    ]
+    prefix.sort(key=lambda pair: -pair[0])
+    return sorted(value for _, value in prefix[:k])
+
+
+class TestPersistentPrioritySample:
+    def test_sample_at_equals_bruteforce(self):
+        rng = np.random.default_rng(0)
+        k = 6
+        sampler = PersistentPrioritySample(k=k, seed=0)
+        offers = []
+        for index in range(150):
+            weight = 1.0 + index % 4
+            priority = weight / float(rng.uniform(0.01, 1.0))
+            offers.append((index, float(index), weight, priority))
+            sampler.count += 1
+            sampler.total_weight += weight
+            sampler._offer(index, float(index), weight, priority)
+        for t in (5.0, 40.0, 90.0, 149.0):
+            got = sorted(value for value, _ in sampler.raw_sample_at(t))
+            assert got == brute_force_top_k(offers, k, t)
+
+    def test_tau_at_is_k_plus_1_largest(self):
+        rng = np.random.default_rng(1)
+        k = 4
+        sampler = PersistentPrioritySample(k=k, seed=0)
+        priorities = []
+        for index in range(100):
+            weight = 1.0
+            priority = weight / float(rng.uniform(0.01, 1.0))
+            priorities.append(priority)
+            sampler.count += 1
+            sampler.total_weight += weight
+            sampler._offer(index, float(index), weight, priority)
+            if index >= k:
+                expected_tau = sorted(priorities, reverse=True)[k]
+                assert sampler.tau_at(float(index)) == pytest.approx(expected_tau)
+
+    def test_subset_sum_unbiased_at_historical_time(self):
+        weights = [1.0 + (index % 10) for index in range(400)]
+        t = 199.0
+        true = sum(w for index, w in enumerate(weights) if index <= t and index < 100)
+        estimates = []
+        for seed in range(200):
+            sampler = PersistentPrioritySample(k=40, seed=seed)
+            for index, weight in enumerate(weights):
+                sampler.update(index, float(index), weight)
+            estimates.append(
+                sampler.estimate_subset_sum_at(t, lambda value: value < 100)
+            )
+        mean = float(np.mean(estimates))
+        assert abs(mean - true) < 0.1 * true
+
+    def test_records_bounded(self):
+        # Theorem 3.2: O(k (log n + log U)) records for U-bounded weights.
+        n, k = 5_000, 20
+        sampler = PersistentPrioritySample(k=k, seed=0)
+        rng = np.random.default_rng(0)
+        for index in range(n):
+            sampler.update(index, float(index), float(rng.uniform(1.0, 16.0)))
+        bound = 4 * k * (np.log(n) + np.log(16))
+        assert len(sampler) < bound
+
+    def test_sample_at_adjusted_weights_at_least_tau(self):
+        sampler = PersistentPrioritySample(k=5, seed=2)
+        for index in range(200):
+            sampler.update(index, float(index), 1.0 + index % 3)
+        t = 150.0
+        tau = sampler.tau_at(t)
+        for _, weight in sampler.sample_at(t):
+            assert weight >= tau - 1e-12
+
+    def test_rejects_nonpositive_weight(self):
+        sampler = PersistentPrioritySample(k=2, seed=0)
+        with pytest.raises(ValueError):
+            sampler.update(1, 1.0, 0.0)
+
+    def test_rejects_decreasing_timestamps(self):
+        sampler = PersistentPrioritySample(k=2, seed=0)
+        sampler.update(1, 5.0, 1.0)
+        with pytest.raises(MonotoneViolation):
+            sampler.update(2, 4.0, 1.0)
+
+    def test_memory_includes_tau_history(self):
+        sampler = PersistentPrioritySample(k=2, seed=0)
+        for index in range(100):
+            sampler.update(index, float(index), 1.0)
+        assert sampler.memory_bytes() > len(sampler) * 36
+
+
+class TestPersistentWeightedWR:
+    def test_sample_size_is_k(self):
+        wr = PersistentWeightedWR(k=12, seed=0)
+        for index in range(100):
+            wr.update(index, float(index), 1.0)
+        assert len(wr.sample_at(50.0)) == 12
+
+    def test_sample_values_in_prefix(self):
+        wr = PersistentWeightedWR(k=6, seed=1)
+        for index in range(300):
+            wr.update(index, float(index), 1.0 + index % 5)
+        for t in (20.0, 150.0, 299.0):
+            assert all(value <= t for value, _ in wr.sample_at(t))
+
+    def test_total_weight_at_tracks_geometrically(self):
+        wr = PersistentWeightedWR(k=2, seed=0)
+        for index in range(1_000):
+            wr.update(index, float(index), 1.0)
+        w = wr.total_weight_at(499.0)
+        assert 450 <= w <= 500
+
+    def test_subset_sum_estimate_reasonable(self):
+        weights = [1.0 + (index % 10) for index in range(300)]
+        t = 299.0
+        true = sum(w for index, w in enumerate(weights) if index < 150)
+        estimates = []
+        for seed in range(150):
+            wr = PersistentWeightedWR(k=60, seed=seed)
+            for index, weight in enumerate(weights):
+                wr.update(index, float(index), weight)
+            estimates.append(wr.estimate_subset_sum_at(t, lambda value: value < 150))
+        assert abs(np.mean(estimates) - true) < 0.12 * true
+
+    def test_weighted_marginals_at_history(self):
+        hits = {0: 0, 1: 0}
+        for seed in range(300):
+            wr = PersistentWeightedWR(k=4, seed=seed)
+            wr.update(0, 0.0, 1.0)
+            wr.update(1, 1.0, 3.0)
+            wr.update(2, 2.0, 100.0)  # later heavy item must not affect t=1
+            for value, _ in wr.sample_at(1.0):
+                hits[value] += 1
+        ratio = hits[1] / max(1, hits[0])
+        assert 2.0 < ratio < 4.5
+
+    def test_records_logarithmic_for_uniform_weights(self):
+        n, k = 5_000, 10
+        wr = PersistentWeightedWR(k=k, seed=3)
+        for index in range(n):
+            wr.update(index, float(index), 1.0)
+        assert wr.total_records() < 4 * k * (1 + np.log(n))
+
+    def test_rejects_nonpositive_weight(self):
+        wr = PersistentWeightedWR(k=2, seed=0)
+        with pytest.raises(ValueError):
+            wr.update(1, 1.0, -1.0)
+
+    def test_empty_estimate(self):
+        wr = PersistentWeightedWR(k=2, seed=0)
+        assert wr.estimate_subset_sum_at(10.0, lambda value: True) == 0.0

@@ -1,0 +1,174 @@
+"""Tests for ATTP persistent uniform samples (Section 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import MonotoneViolation
+from repro.core.persistent_sampling import (
+    PersistentReservoirChains,
+    PersistentTopKSample,
+)
+
+
+def brute_force_topk(offers, k, t):
+    """Top-k values by priority among offers with timestamp <= t."""
+    prefix = [(priority, value) for value, timestamp, priority in offers if timestamp <= t]
+    prefix.sort(key=lambda pair: -pair[0])
+    return sorted(value for _, value in prefix[:k])
+
+
+class TestPersistentTopKSample:
+    def test_sample_at_equals_bruteforce_topk(self):
+        rng = np.random.default_rng(0)
+        k = 5
+        sampler = PersistentTopKSample(k=k, seed=0)
+        offers = []
+        for index in range(200):
+            priority = float(rng.random())
+            offers.append((index, float(index), priority))
+            sampler._offer(index, float(index), priority)
+        for t in (0.0, 3.0, 10.0, 57.0, 123.0, 199.0):
+            assert sorted(sampler.sample_at(t)) == brute_force_topk(offers, k, t)
+
+    def test_sample_now_matches_sample_at_end(self):
+        sampler = PersistentTopKSample(k=10, seed=1)
+        for index in range(500):
+            sampler.update(index, float(index))
+        assert sorted(sampler.sample_now()) == sorted(sampler.sample_at(499.0))
+
+    def test_sample_size_is_min_k_prefix(self):
+        sampler = PersistentTopKSample(k=10, seed=2)
+        for index in range(100):
+            sampler.update(index, float(index))
+        assert len(sampler.sample_at(4.0)) == 5
+        assert len(sampler.sample_at(50.0)) == 10
+
+    def test_expected_records_harmonic(self):
+        # Lemma 3.1: E[records] ~ k * (1 + ln(n/k)) for the top-k process.
+        n, k = 5_000, 20
+        totals = []
+        for seed in range(10):
+            sampler = PersistentTopKSample(k=k, seed=seed)
+            for index in range(n):
+                sampler.update(index, float(index))
+            totals.append(len(sampler))
+        expected = k * (1 + np.log(n / k))
+        assert 0.5 * expected < np.mean(totals) < 2.0 * expected
+
+    def test_historical_sample_uniform(self):
+        # The sample at t should be uniform over the prefix: check marginals.
+        n, k, t_index = 40, 4, 19
+        hits = np.zeros(n)
+        for seed in range(600):
+            sampler = PersistentTopKSample(k=k, seed=seed)
+            for index in range(n):
+                sampler.update(index, float(index))
+            for value in sampler.sample_at(float(t_index)):
+                hits[value] += 1
+        prefix_hits = hits[: t_index + 1]
+        assert hits[t_index + 1 :].sum() == 0
+        expected = 600 * k / (t_index + 1)
+        assert np.all(np.abs(prefix_hits - expected) < 5 * np.sqrt(expected))
+
+    def test_death_after_birth(self):
+        sampler = PersistentTopKSample(k=3, seed=3)
+        for index in range(200):
+            sampler.update(index, float(index))
+        for record in sampler.records():
+            if record.death is not None:
+                assert record.death > record.birth
+
+    def test_alive_records_exactly_k(self):
+        sampler = PersistentTopKSample(k=7, seed=4)
+        for index in range(300):
+            sampler.update(index, float(index))
+        alive = [record for record in sampler.records() if record.death is None]
+        assert len(alive) == 7
+
+    def test_rejects_decreasing_timestamps(self):
+        sampler = PersistentTopKSample(k=2, seed=0)
+        sampler.update(1, 5.0)
+        with pytest.raises(MonotoneViolation):
+            sampler.update(2, 4.0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            PersistentTopKSample(k=0)
+
+    def test_memory_model(self):
+        sampler = PersistentTopKSample(k=2, seed=0)
+        for index in range(50):
+            sampler.update(index, float(index))
+        assert sampler.memory_bytes() == len(sampler.records()) * 28
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_property_sample_at_subset_of_prefix(self, k, n):
+        sampler = PersistentTopKSample(k=k, seed=99)
+        for index in range(n):
+            sampler.update(index, float(index))
+        for t in range(0, n, max(1, n // 5)):
+            sample = sampler.sample_at(float(t))
+            assert len(sample) == min(k, t + 1)
+            assert all(value <= t for value in sample)
+            assert len(set(sample)) == len(sample)  # without replacement
+
+
+class TestPersistentReservoirChains:
+    def test_sample_at_size(self):
+        chains = PersistentReservoirChains(k=8, seed=0)
+        for index in range(100):
+            chains.update(index, float(index))
+        assert len(chains.sample_at(50.0)) == 8
+        assert len(chains.sample_at(0.0)) == 8  # all chains hold item 0
+
+    def test_sample_values_in_prefix(self):
+        chains = PersistentReservoirChains(k=5, seed=1)
+        for index in range(200):
+            chains.update(index, float(index))
+        for t in (10.0, 99.0, 150.0):
+            assert all(value <= t for value in chains.sample_at(t))
+
+    def test_lemma_3_1_expected_records(self):
+        # E[total records] = k * H_n.
+        n, k = 2_000, 10
+        totals = []
+        for seed in range(10):
+            chains = PersistentReservoirChains(k=k, seed=seed)
+            for index in range(n):
+                chains.update(index, float(index))
+            totals.append(chains.total_records())
+        harmonic = float(np.sum(1.0 / np.arange(1, n + 1)))
+        expected = k * harmonic
+        assert abs(np.mean(totals) - expected) < 0.25 * expected
+
+    def test_marginal_uniformity(self):
+        n, t_index = 30, 29
+        hits = np.zeros(n)
+        for seed in range(400):
+            chains = PersistentReservoirChains(k=3, seed=seed)
+            for index in range(n):
+                chains.update(index, float(index))
+            for value in chains.sample_at(float(t_index)):
+                hits[value] += 1
+        expected = 400 * 3 / n
+        assert np.all(np.abs(hits - expected) < 5 * np.sqrt(expected))
+
+    def test_empty_before_first(self):
+        chains = PersistentReservoirChains(k=3, seed=0)
+        chains.update(1, 10.0)
+        assert chains.sample_at(5.0) == []
+
+    def test_rejects_decreasing_timestamps(self):
+        chains = PersistentReservoirChains(k=2, seed=0)
+        chains.update(1, 5.0)
+        with pytest.raises(MonotoneViolation):
+            chains.update(2, 1.0)
+
+    def test_memory_model(self):
+        chains = PersistentReservoirChains(k=2, seed=0)
+        for index in range(20):
+            chains.update(index, float(index))
+        assert chains.memory_bytes() == chains.total_records() * 12

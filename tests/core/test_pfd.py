@@ -1,0 +1,116 @@
+"""Tests for Persistent Frequent Directions (Algorithm 1, Theorem 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import MonotoneViolation
+from repro.core.pfd import PersistentFrequentDirections
+
+
+def gaussian_stream(n, d, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, d))
+
+
+class TestPersistentFrequentDirections:
+    def test_error_bound_at_all_times(self):
+        # Theorem 4.3: ||A(t)^T A(t) - G^T G||_2 <= 2 ||A(t)||_F^2 / ell.
+        a = gaussian_stream(600, 20, seed=0)
+        ell = 10
+        pfd = PersistentFrequentDirections(ell=ell, dim=20)
+        for index, row in enumerate(a):
+            pfd.update(row, float(index))
+        for t_index in (59, 149, 299, 599):
+            prefix = a[: t_index + 1]
+            frob_sq = np.linalg.norm(prefix, "fro") ** 2
+            err = np.linalg.norm(
+                prefix.T @ prefix - pfd.covariance_at(float(t_index)), 2
+            )
+            assert err <= 2 * frob_sq / ell + 1e-6
+
+    def test_detects_mid_stream_burst(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(scale=0.1, size=(400, 30))
+        direction = rng.normal(size=30)
+        direction /= np.linalg.norm(direction)
+        burst = np.outer(rng.normal(scale=5.0, size=50), direction)
+        a = np.vstack([noise[:200], burst, noise[200:]])
+        pfd = PersistentFrequentDirections(ell=8, dim=30)
+        for index, row in enumerate(a):
+            pfd.update(row, float(index))
+        before = pfd.covariance_at(199.0)
+        after = pfd.covariance_at(249.0)
+        gain = float(direction @ (after - before) @ direction)
+        true_gain = float(direction @ (burst.T @ burst) @ direction)
+        assert gain > 0.5 * true_gain
+
+    def test_partial_checkpoint_count_bounded(self):
+        # Theorem 4.3: O((1/eps) log(||A||_F / ||a_1||)) partial checkpoints.
+        a = gaussian_stream(2_000, 10, seed=2)
+        ell = 10
+        pfd = PersistentFrequentDirections(ell=ell, dim=10)
+        for index, row in enumerate(a):
+            pfd.update(row, float(index))
+        frob = np.linalg.norm(a, "fro")
+        first = np.linalg.norm(a[0])
+        bound = 4 * ell * np.log(frob / first) + 2 * ell
+        assert pfd.num_partial_checkpoints() <= bound
+
+    def test_full_checkpoints_every_ell_partials(self):
+        a = gaussian_stream(2_000, 10, seed=3)
+        pfd = PersistentFrequentDirections(ell=5, dim=10)
+        for index, row in enumerate(a):
+            pfd.update(row, float(index))
+        assert pfd.num_full_checkpoints() == pfd.num_partial_checkpoints() // 5
+
+    def test_query_before_first_checkpoint_empty(self):
+        pfd = PersistentFrequentDirections(ell=4, dim=8)
+        sketch = pfd.sketch_at(0.0)
+        assert sketch.shape == (0, 8)
+        assert np.allclose(pfd.covariance_at(0.0), np.zeros((8, 8)))
+
+    def test_covariance_now_includes_residual(self):
+        a = gaussian_stream(100, 8, seed=4)
+        pfd = PersistentFrequentDirections(ell=4, dim=8)
+        for index, row in enumerate(a):
+            pfd.update(row, float(index))
+        err_now = np.linalg.norm(a.T @ a - pfd.covariance_now(), 2)
+        err_at = np.linalg.norm(a.T @ a - pfd.covariance_at(99.0), 2)
+        assert err_now <= err_at + 1e-9
+
+    def test_from_error_sizing(self):
+        pfd = PersistentFrequentDirections.from_error(0.1, dim=16)
+        assert pfd.ell == 20
+        with pytest.raises(ValueError):
+            PersistentFrequentDirections.from_error(0.0, dim=16)
+
+    def test_squared_frobenius_tracked(self):
+        a = gaussian_stream(50, 8, seed=5)
+        pfd = PersistentFrequentDirections(ell=4, dim=8)
+        for index, row in enumerate(a):
+            pfd.update(row, float(index))
+        assert pfd.squared_frobenius == pytest.approx(np.linalg.norm(a, "fro") ** 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            PersistentFrequentDirections(ell=0, dim=8)
+        with pytest.raises(ValueError):
+            PersistentFrequentDirections(ell=4, dim=0)
+        pfd = PersistentFrequentDirections(ell=4, dim=8)
+        with pytest.raises(ValueError):
+            pfd.update(np.zeros(5), 0.0)
+        pfd.update(np.ones(8), 5.0)
+        with pytest.raises(MonotoneViolation):
+            pfd.update(np.ones(8), 4.0)
+
+    def test_memory_accounts_checkpoints(self):
+        a = gaussian_stream(500, 10, seed=6)
+        pfd = PersistentFrequentDirections(ell=5, dim=10)
+        for index, row in enumerate(a):
+            pfd.update(row, float(index))
+        expected = (
+            pfd.num_partial_checkpoints() * (10 * 8 + 8)
+            + pfd.num_full_checkpoints() * (5 * 10 * 8 + 8)
+            + pfd._residual.memory_bytes()
+        )
+        assert pfd.memory_bytes() == expected

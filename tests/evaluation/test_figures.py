@@ -1,0 +1,106 @@
+"""Tests for the installable figure machinery and the experiments CLI."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.evaluation import figures
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+class TestFiguresModule:
+    def test_streams_cached(self):
+        assert figures.client_stream() is figures.client_stream()
+        assert figures.object_stream() is figures.object_stream()
+
+    def test_configs_cover_three_sketches(self):
+        for dataset in ("client", "object"):
+            attp_names = [name for name, _ in figures.attp_hh_configs(dataset)]
+            assert any(name.startswith("CMG") for name in attp_names)
+            assert any(name.startswith("SAMPLING") for name in attp_names)
+            assert any(name.startswith("PCM_HH") for name in attp_names)
+            bitp_names = [name for name, _ in figures.bitp_hh_configs(dataset)]
+            assert any(name.startswith("TMG") for name in bitp_names)
+
+    def test_record_figure_writes_when_dir_set(self, tmp_path, capsys):
+        figures.set_results_dir(tmp_path)
+        try:
+            figures.record_figure("demo", "Demo title", ["a"], [[1], [2]])
+        finally:
+            figures._results_dir = None
+        out = capsys.readouterr().out
+        assert "Demo title" in out
+        content = (tmp_path / "demo.txt").read_text()
+        assert content.startswith("# Demo title")
+        assert "1" in content and "2" in content
+
+    def test_record_figure_print_only_without_dir(self, capsys):
+        figures._results_dir = None
+        figures.record_figure("demo2", "T", ["a"], [[1]])
+        assert "T" in capsys.readouterr().out
+
+    def test_hh_table_shape(self):
+        rows = [
+            {
+                "sketch": "X",
+                "memory_mib": 1.0,
+                "update_s": 0.5,
+                "query_s": 0.1,
+                "precision": 0.9,
+                "recall": 1.0,
+            }
+        ]
+        table = figures.hh_rows_to_table(rows)
+        assert table == [["X", 1.0, 0.5, 0.1, 0.9, 1.0]]
+        assert len(figures.HH_COLUMNS) == len(table[0])
+
+    def test_log_scaling_series(self):
+        from repro.persistent import AttpSampleHeavyHitter
+
+        stream = figures.object_stream(1_000)
+        checkpoints, series = figures.log_scaling_series(
+            stream, {"S": lambda: AttpSampleHeavyHitter(k=50, seed=0)}
+        )
+        assert checkpoints == [250, 500, 750, 1_000]
+        assert len(series["S"]) == 4
+        assert all(b >= 0 for b in series["S"])
+
+
+class TestExperimentRegistry:
+    def test_all_sixteen_figures_registered(self):
+        assert sorted(EXPERIMENTS) == [f"fig{i:02d}" for i in range(1, 17)]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_cli_list(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "fig01" in result.stdout
+        assert "fig16" in result.stdout
+
+    def test_cli_runs_one_figure(self, tmp_path):
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "fig14",
+                "--out",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "fig14.txt").exists()
+        assert "PFD" in (tmp_path / "fig14.txt").read_text()

@@ -1,0 +1,130 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    SweepRow,
+    average_accuracy,
+    exact_prefix_covariances,
+    exact_prefix_heavy_hitters,
+    exact_suffix_heavy_hitters,
+    feed_log_stream,
+    feed_matrix_stream,
+    memory_of,
+    time_calls,
+)
+from repro.workloads import (
+    generate_matrix_stream,
+    matrix_query_schedule,
+    object_id_stream,
+    query_schedule,
+)
+
+
+class TestFeeding:
+    def test_feed_log_stream(self, small_object_stream):
+        from repro.baselines import ExactStreamOracle
+
+        oracle = ExactStreamOracle()
+        elapsed = feed_log_stream(oracle, small_object_stream)
+        assert oracle.count == len(small_object_stream)
+        assert elapsed > 0
+
+    def test_feed_matrix_stream(self, small_matrix_stream):
+        from repro.baselines import ExactMatrixOracle
+
+        oracle = ExactMatrixOracle(dim=small_matrix_stream.dim)
+        elapsed = feed_matrix_stream(oracle, small_matrix_stream)
+        assert oracle.count == len(small_matrix_stream)
+        assert elapsed > 0
+
+
+class TestExactReferences:
+    def test_prefix_hh_match_oracle(self, small_object_stream):
+        from repro.baselines import ExactStreamOracle
+
+        stream = small_object_stream
+        oracle = ExactStreamOracle()
+        feed_log_stream(oracle, stream)
+        times = query_schedule(stream)
+        fast = exact_prefix_heavy_hitters(stream, times, 0.01)
+        slow = [oracle.heavy_hitters_at(t, 0.01) for t in times]
+        assert fast == slow
+
+    def test_suffix_hh_match_oracle(self, small_object_stream):
+        from repro.baselines import ExactStreamOracle
+
+        stream = small_object_stream
+        oracle = ExactStreamOracle()
+        feed_log_stream(oracle, stream)
+        times = query_schedule(stream)[:4]
+        fast = exact_suffix_heavy_hitters(stream, times, 0.01)
+        slow = [oracle.heavy_hitters_since(t, 0.01) for t in times]
+        assert fast == slow
+
+    def test_prefix_covariances_match_direct(self, small_matrix_stream):
+        stream = small_matrix_stream
+        times = matrix_query_schedule(stream)
+        covariances = exact_prefix_covariances(stream, times)
+        for t, cov in zip(times, covariances):
+            end = int(np.searchsorted(stream.timestamps, t, side="right"))
+            prefix = stream.rows[:end]
+            assert np.allclose(cov, prefix.T @ prefix)
+
+    def test_prefix_covariances_unsorted_times(self, small_matrix_stream):
+        stream = small_matrix_stream
+        times = matrix_query_schedule(stream)
+        shuffled = [times[2], times[0], times[4]]
+        covariances = exact_prefix_covariances(stream, shuffled)
+        for t, cov in zip(shuffled, covariances):
+            end = int(np.searchsorted(stream.timestamps, t, side="right"))
+            prefix = stream.rows[:end]
+            assert np.allclose(cov, prefix.T @ prefix)
+
+
+class TestHelpers:
+    def test_time_calls(self):
+        results, elapsed = time_calls(lambda x: x * 2, [(1,), (2,), (3,)])
+        assert results == [2, 4, 6]
+        assert elapsed >= 0
+
+    def test_average_accuracy(self):
+        p, r = average_accuracy([[1, 2], [3]], [[1], [3, 4]])
+        assert p == pytest.approx((0.5 + 1.0) / 2)
+        assert r == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_average_accuracy_validates(self):
+        with pytest.raises(ValueError):
+            average_accuracy([[1]], [])
+        with pytest.raises(ValueError):
+            average_accuracy([], [])
+
+    def test_memory_of_prefers_peak(self):
+        class Fake:
+            peak_memory_bytes = 100
+
+            def memory_bytes(self):
+                return 40
+
+        assert memory_of(Fake()) == 100
+
+    def test_memory_of_without_peak(self):
+        class Fake:
+            def memory_bytes(self):
+                return 40
+
+        assert memory_of(Fake()) == 40
+
+    def test_sweep_row_as_dict(self):
+        row = SweepRow(
+            sketch="CMG",
+            param="eps=1e-4",
+            memory_bytes=100,
+            update_seconds=1.0,
+            query_seconds=0.5,
+            extras={"precision": 0.9},
+        )
+        d = row.as_dict()
+        assert d["sketch"] == "CMG"
+        assert d["precision"] == 0.9

@@ -1,0 +1,53 @@
+"""Tests for the memory model constants and formatting."""
+
+import pytest
+
+from repro.evaluation.memory import (
+    COUNTER_CHECKPOINT_BYTES,
+    LOG_ROW_BYTES,
+    MG_COUNTER_BYTES,
+    PLA_BREAKPOINT_BYTES,
+    SAMPLE_RECORD_BYTES,
+    WEIGHTED_SAMPLE_RECORD_BYTES,
+    format_bytes,
+    mib,
+)
+
+
+class TestConstants:
+    def test_record_layouts(self):
+        assert SAMPLE_RECORD_BYTES == 28
+        assert WEIGHTED_SAMPLE_RECORD_BYTES == 36
+        assert COUNTER_CHECKPOINT_BYTES == 20
+        assert MG_COUNTER_BYTES == 12
+        assert PLA_BREAKPOINT_BYTES == 16
+        assert LOG_ROW_BYTES == 12
+
+    def test_sketches_use_the_constants(self):
+        from repro.core.persistent_sampling import PersistentTopKSample
+        from repro.sketches import MisraGries
+
+        sampler = PersistentTopKSample(k=2, seed=0)
+        for index in range(10):
+            sampler.update(index, float(index))
+        assert sampler.memory_bytes() == len(sampler) * SAMPLE_RECORD_BYTES
+
+        mg = MisraGries(4)
+        for key in range(4):
+            mg.update(key)
+        assert mg.memory_bytes() == 4 * MG_COUNTER_BYTES
+
+
+class TestFormatting:
+    def test_mib(self):
+        assert mib(1024 * 1024) == 1.0
+
+    def test_format_bytes_scales(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2_048) == "2.0 KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0 MiB"
+        assert "GiB" in format_bytes(5 * 1024**3)
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)

@@ -1,0 +1,91 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    covariance_relative_error,
+    f1_score,
+    frequency_additive_error,
+    precision,
+    quantile_rank_error,
+    recall,
+    spectral_norm,
+)
+
+
+class TestSetMetrics:
+    def test_perfect(self):
+        assert precision([1, 2], [1, 2]) == 1.0
+        assert recall([1, 2], [1, 2]) == 1.0
+        assert f1_score([1, 2], [1, 2]) == 1.0
+
+    def test_half_precision(self):
+        assert precision([1, 2, 3, 4], [1, 2]) == 0.5
+
+    def test_half_recall(self):
+        assert recall([1], [1, 2]) == 0.5
+
+    def test_empty_reported(self):
+        assert precision([], [1]) == 0.0
+        assert precision([], []) == 1.0
+
+    def test_empty_truth(self):
+        assert recall([1, 2], []) == 1.0
+
+    def test_f1_zero_when_disjoint(self):
+        assert f1_score([1], [2]) == 0.0
+
+    def test_duplicates_ignored(self):
+        assert precision([1, 1, 2], [1, 2]) == 1.0
+
+
+class TestMatrixMetrics:
+    def test_zero_error_for_identical(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(50, 5))
+        cov = a.T @ a
+        assert covariance_relative_error(cov, cov) == 0.0
+
+    def test_error_normalised_by_frobenius(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(50, 5))
+        cov = a.T @ a
+        perturbed = cov + 0.01 * np.trace(cov) * np.eye(5)
+        err = covariance_relative_error(cov, perturbed)
+        assert err == pytest.approx(0.01, rel=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            covariance_relative_error(np.eye(3), np.eye(4))
+
+    def test_zero_trace_rejected(self):
+        with pytest.raises(ValueError):
+            covariance_relative_error(np.zeros((2, 2)), np.eye(2))
+
+    def test_spectral_norm(self):
+        assert spectral_norm(np.diag([3.0, 1.0])) == pytest.approx(3.0)
+
+
+class TestOtherMetrics:
+    def test_quantile_rank_error_exact(self):
+        values = list(range(100))
+        assert quantile_rank_error(values, 49, 0.5) == pytest.approx(0.0)
+
+    def test_quantile_rank_error_off(self):
+        values = list(range(100))
+        assert quantile_rank_error(values, 74, 0.5) == pytest.approx(0.25)
+
+    def test_quantile_rank_error_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile_rank_error([], 0.0, 0.5)
+
+    def test_frequency_additive_error(self):
+        estimates = {1: 10.0, 2: 5.0}
+        truth = {1: 12.0, 3: 4.0}
+        err = frequency_additive_error(estimates, truth, total=100)
+        assert err == pytest.approx(0.05)  # key 2 off by 5
+
+    def test_frequency_error_rejects_bad_total(self):
+        with pytest.raises(ValueError):
+            frequency_additive_error({}, {}, total=0)

@@ -1,0 +1,35 @@
+"""Tests for the reporting helpers."""
+
+from repro.evaluation import memory_column, print_series, print_table
+
+
+class TestPrintTable:
+    def test_prints_title_and_rows(self, capsys):
+        print_table("Demo", ["a", "b"], [[1, 2.5], ["x", 0.001]])
+        out = capsys.readouterr().out
+        assert "== Demo ==" in out
+        assert "a" in out and "b" in out
+        assert "2.5000" in out
+        assert "1.00e-03" in out
+
+    def test_column_alignment(self, capsys):
+        print_table("T", ["col"], [["short"], ["a-much-longer-cell"]])
+        out = capsys.readouterr().out.splitlines()
+        data_lines = [line for line in out if "cell" in line or line.strip() == "short"]
+        assert len(data_lines) == 2
+
+
+class TestPrintSeries:
+    def test_series_layout(self, capsys):
+        print_series(
+            "Fig X", "memory", [1, 2], {"CMG": [0.9, 0.95], "SAMPLING": [0.8, 0.85]}
+        )
+        out = capsys.readouterr().out
+        assert "Fig X" in out
+        assert "CMG" in out and "SAMPLING" in out
+        assert "0.9500" in out
+
+
+def test_memory_column():
+    rendered = memory_column([1024, 1024 * 1024])
+    assert rendered == ["1.0 KiB", "1.0 MiB"]

@@ -1,0 +1,178 @@
+"""End-to-end mini experiments: tiny-scale versions of the paper's figures.
+
+Each test runs the same pipeline as the corresponding bench (workload ->
+sketch sweep -> query schedule -> accuracy/memory/time rows) and asserts the
+*qualitative* finding the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ColumnarLogStore,
+    PcmHeavyHitter,
+    WindowedAggregateStore,
+)
+from repro.evaluation import (
+    average_accuracy,
+    covariance_relative_error,
+    exact_prefix_covariances,
+    exact_prefix_heavy_hitters,
+    exact_suffix_heavy_hitters,
+    feed_log_stream,
+    feed_matrix_stream,
+)
+from repro.persistent import (
+    AttpChainMisraGries,
+    AttpNormSampling,
+    AttpPersistentFrequentDirections,
+    AttpSampleHeavyHitter,
+    BitpSampleHeavyHitter,
+    BitpTreeMisraGries,
+)
+from repro.workloads import (
+    generate_matrix_stream,
+    matrix_query_schedule,
+    object_id_stream,
+    query_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def hh_stream():
+    return object_id_stream(n=12_000, universe=3_000, ratio=400.0, seed=0)
+
+
+class TestFigure1Shape:
+    """Sketch memory is sublinear in the stream; exact stores are linear."""
+
+    def test_memory_scaling_separation(self):
+        sizes = [2_048, 8_192, 32_768]  # chunk multiples: no tail-buffer skew
+        cmg_memory, store_memory = [], []
+        for n in sizes:
+            stream = object_id_stream(n=n, universe=2_000, ratio=300.0, seed=1)
+            cmg = AttpChainMisraGries(eps=0.002)
+            store = ColumnarLogStore(chunk_rows=512)
+            feed_log_stream(cmg, stream)
+            feed_log_stream(store, stream)
+            cmg_memory.append(cmg.memory_bytes())
+            store_memory.append(store.memory_bytes())
+        store_growth = store_memory[-1] / store_memory[0]
+        cmg_growth = cmg_memory[-1] / cmg_memory[0]
+        assert store_growth > 10  # ~linear in 16x data
+        assert cmg_growth < store_growth / 2  # clearly sublinear
+
+    def test_windowed_agg_loses_granularity_but_saves_space(self):
+        # Windowed aggregation wins when rows-per-window far exceeds the
+        # distinct keys per window, as in the paper's daily WorldCup setup.
+        stream = object_id_stream(n=20_000, universe=200, ratio=50.0, seed=2)
+        full = ColumnarLogStore(chunk_rows=1_024)
+        windowed = WindowedAggregateStore(window_length=5_000.0)
+        feed_log_stream(full, stream)
+        feed_log_stream(windowed, stream)
+        assert windowed.memory_bytes() < full.memory_bytes()
+
+
+class TestAttpHeavyHittersShape:
+    """Fig 2/5: CMG has recall 1 and best precision-per-memory; SAMPLING is
+    close; PCM_HH needs far more memory and update time."""
+
+    def test_sketches_beat_pcm_on_update_time(self, hh_stream):
+        phi = 0.01
+        cmg = AttpChainMisraGries(eps=0.002)
+        sampling = AttpSampleHeavyHitter(k=3_000, seed=0)
+        pcm = PcmHeavyHitter(universe_bits=12, eps=0.005, depth=3, pla_delta=8.0)
+        t_cmg = feed_log_stream(cmg, hh_stream)
+        t_sampling = feed_log_stream(sampling, hh_stream)
+        t_pcm = feed_log_stream(pcm, hh_stream)
+        assert t_pcm > 5 * t_cmg
+        assert t_pcm > 5 * t_sampling
+
+    def test_cmg_recall_one_and_good_precision(self, hh_stream):
+        phi = 0.01
+        times = query_schedule(hh_stream)
+        truth = exact_prefix_heavy_hitters(hh_stream, times, phi)
+        cmg = AttpChainMisraGries(eps=0.001)
+        feed_log_stream(cmg, hh_stream)
+        reported = [cmg.heavy_hitters_at(t, phi) for t in times]
+        p, r = average_accuracy(reported, truth)
+        assert r == 1.0
+        assert p > 0.6
+
+    def test_sampling_accuracy_grows_with_k(self, hh_stream):
+        phi = 0.01
+        times = query_schedule(hh_stream)
+        truth = exact_prefix_heavy_hitters(hh_stream, times, phi)
+        scores = []
+        for k in (200, 2_000, 8_000):
+            sketch = AttpSampleHeavyHitter(k=k, seed=3)
+            feed_log_stream(sketch, hh_stream)
+            reported = [sketch.heavy_hitters_at(t, phi) for t in times]
+            p, r = average_accuracy(reported, truth)
+            scores.append((p + r) / 2)
+        assert scores[-1] > scores[0]
+
+
+class TestBitpHeavyHittersShape:
+    """Fig 7/10: SAMPLING-BITP reaches high accuracy in small memory; TMG
+    guarantees recall but needs more memory."""
+
+    def test_bitp_sampling_small_and_accurate(self, hh_stream):
+        phi = 0.01
+        times = query_schedule(hh_stream)[:4]
+        truth = exact_suffix_heavy_hitters(hh_stream, times, phi)
+        sketch = BitpSampleHeavyHitter(k=4_000, seed=0)
+        feed_log_stream(sketch, hh_stream)
+        reported = [sketch.heavy_hitters_since(t, phi) for t in times]
+        p, r = average_accuracy(reported, truth)
+        assert p > 0.75 and r > 0.75
+
+    def test_tmg_recall_one_but_bigger(self, hh_stream):
+        phi = 0.01
+        times = query_schedule(hh_stream)[:4]
+        truth = exact_suffix_heavy_hitters(hh_stream, times, phi)
+        tmg = BitpTreeMisraGries(eps=0.002, block_size=64)
+        sampling = BitpSampleHeavyHitter(k=2_000, seed=0)
+        feed_log_stream(tmg, hh_stream)
+        feed_log_stream(sampling, hh_stream)
+        reported = [tmg.heavy_hitters_since(t, phi) for t in times]
+        _, r = average_accuracy(reported, truth)
+        assert r == 1.0
+        assert tmg.memory_bytes() > sampling.memory_bytes()
+
+
+class TestAttpMatrixShape:
+    """Fig 13/14: PFD has the best error-per-memory but slower updates than
+    norm sampling."""
+
+    @pytest.fixture(scope="class")
+    def matrix_stream(self):
+        return generate_matrix_stream(n=2_000, dim=60, seed=0)
+
+    def test_pfd_best_error_per_memory(self, matrix_stream):
+        times = matrix_query_schedule(matrix_stream)
+        exact = exact_prefix_covariances(matrix_stream, times)
+
+        pfd = AttpPersistentFrequentDirections(ell=12, dim=60)
+        feed_matrix_stream(pfd, matrix_stream)
+        pfd_err = np.mean(
+            [covariance_relative_error(e, pfd.covariance_at(t)) for e, t in zip(exact, times)]
+        )
+
+        # Give NS slightly MORE memory than PFD; PFD must stay on the Pareto
+        # front (no worse than NS beyond noise) despite the memory handicap.
+        k = max(20, int(pfd.memory_bytes() / (60 * 8 + 28)) + 20)
+        ns = AttpNormSampling(k=k, dim=60, seed=1)
+        feed_matrix_stream(ns, matrix_stream)
+        ns_err = np.mean(
+            [covariance_relative_error(e, ns.covariance_at(t)) for e, t in zip(exact, times)]
+        )
+        assert ns.memory_bytes() >= pfd.memory_bytes()
+        assert pfd_err < ns_err + 0.02
+
+    def test_pfd_slower_updates_than_sampling(self, matrix_stream):
+        pfd = AttpPersistentFrequentDirections(ell=12, dim=60)
+        ns = AttpNormSampling(k=100, dim=60, seed=0)
+        t_pfd = feed_matrix_stream(pfd, matrix_stream)
+        t_ns = feed_matrix_stream(ns, matrix_stream)
+        assert t_pfd > t_ns  # SVDs cost; the paper's Fig 14-16 trade-off

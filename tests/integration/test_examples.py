@@ -1,0 +1,31 @@
+"""The examples must run end-to-end (scaled down via monkeypatched workloads
+where needed, but here they are small enough to run as-is)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "website_monitoring.py",
+        "sliding_window_trends.py",
+        "matrix_anomaly.py",
+        "cardinality_and_membership.py",
+    ],
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()  # produced some report

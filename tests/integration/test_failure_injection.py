@@ -1,0 +1,105 @@
+"""Failure-injection tests: hostile inputs must be rejected loudly.
+
+Errors should never pass silently — every persistent structure validates its
+inputs (NaN/inf weights, non-finite timestamps, wrong shapes, time travel)
+instead of silently corrupting months of accumulated history.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitpPrioritySample,
+    ChainMisraGries,
+    CheckpointChain,
+    MergeTreePersistence,
+    MonotoneViolation,
+    PersistentPrioritySample,
+    PersistentTopKSample,
+)
+from repro.persistent import (
+    AttpNormSampling,
+    AttpPersistentFrequentDirections,
+    AttpSampleHeavyHitter,
+)
+from repro.sketches import MisraGries
+
+
+class TestTimeTravel:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: PersistentTopKSample(k=4, seed=0),
+            lambda: ChainMisraGries(eps=0.1),
+            lambda: CheckpointChain(lambda: MisraGries(4), eps=0.5),
+            lambda: MergeTreePersistence(lambda: MisraGries(4), eps=0.5),
+            lambda: BitpPrioritySample(k=4, seed=0),
+        ],
+        ids=["sample", "cmg", "chain", "tree", "bitp"],
+    )
+    def test_decreasing_timestamps_rejected_state_preserved(self, build):
+        sketch = build()
+        sketch.update(1, 10.0)
+        sketch.update(2, 11.0)
+        with pytest.raises(MonotoneViolation):
+            sketch.update(3, 9.0)
+        # The failed update must not have corrupted the accepted history.
+        sketch.update(4, 12.0)
+        assert sketch.count == 3
+
+
+class TestHostileWeights:
+    def test_nan_weight_rejected_by_priority_sampler(self):
+        sampler = PersistentPrioritySample(k=4, seed=0)
+        with pytest.raises(ValueError):
+            sampler.update(1, 0.0, weight=float("nan"))
+
+    def test_negative_and_zero_weights_rejected(self):
+        sampler = PersistentPrioritySample(k=4, seed=0)
+        for bad in (0.0, -1.0, -math.inf):
+            with pytest.raises(ValueError):
+                sampler.update(1, 0.0, weight=bad)
+
+    def test_infinite_weight_rejected(self):
+        sampler = PersistentPrioritySample(k=4, seed=0)
+        with pytest.raises(ValueError):
+            sampler.update(1, 0.0, weight=math.inf)
+
+    def test_bitp_sampler_rejects_nan_weight(self):
+        sampler = BitpPrioritySample(k=4, seed=0)
+        with pytest.raises(ValueError):
+            sampler.update(1, 0.0, weight=float("nan"))
+
+
+class TestHostileRows:
+    def test_nan_row_rejected_by_pfd(self):
+        pfd = AttpPersistentFrequentDirections(ell=4, dim=4)
+        with pytest.raises(ValueError):
+            pfd.update(np.array([1.0, float("nan"), 0.0, 0.0]), 0.0)
+
+    def test_inf_row_rejected_by_pfd(self):
+        pfd = AttpPersistentFrequentDirections(ell=4, dim=4)
+        with pytest.raises(ValueError):
+            pfd.update(np.array([1.0, float("inf"), 0.0, 0.0]), 0.0)
+
+    def test_nan_row_rejected_by_norm_sampling(self):
+        ns = AttpNormSampling(k=4, dim=4, seed=0)
+        with pytest.raises(ValueError):
+            ns.update(np.array([float("nan"), 0.0, 0.0, 0.0]), 0.0)
+
+
+class TestHostileTimestamps:
+    def test_nan_timestamp_rejected(self):
+        sketch = AttpSampleHeavyHitter(k=4, seed=0)
+        with pytest.raises(ValueError):
+            sketch.update(1, float("nan"))
+
+    def test_nan_query_rejected(self):
+        sketch = AttpSampleHeavyHitter(k=4, seed=0)
+        sketch.update(1, 1.0)
+        # NaN comparisons are never true, so a NaN query would silently
+        # return garbage — the sampler rejects it instead.
+        with pytest.raises(ValueError):
+            sketch.heavy_hitters_at(float("nan"), 0.5)

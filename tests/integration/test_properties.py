@@ -1,0 +1,126 @@
+"""Cross-cutting property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint_chain import CheckpointChain
+from repro.core.elementwise import ChainMisraGries
+from repro.core.merge_tree import MergeTreePersistence
+from repro.core.persistent_sampling import PersistentTopKSample
+from repro.sketches import MisraGries
+
+
+key_streams = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=10, max_size=400
+)
+
+
+class TestAttpEquivalenceAtNow:
+    """Querying any ATTP sketch at t_now must match the plain streaming
+    sketch run over the same data — persistence adds history, never changes
+    the present."""
+
+    @given(keys=key_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_checkpoint_chain_now(self, keys):
+        chain = CheckpointChain(lambda: MisraGries(8), eps=0.3)
+        plain = MisraGries(8)
+        for index, key in enumerate(keys):
+            chain.update(key, float(index))
+            plain.update(key)
+        now = float(len(keys) - 1)
+        live = chain.sketch_at(now)
+        assert live.items() == plain.items()
+
+    @given(keys=key_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_cmg_now(self, keys):
+        cmg = ChainMisraGries(eps=0.2)
+        plain = MisraGries(cmg.k)
+        for index, key in enumerate(keys):
+            cmg.update(key, float(index))
+            plain.update(key)
+        for key in set(keys):
+            assert cmg.estimate_now(key) == plain.query(key)
+
+
+class TestPersistentSampleInvariants:
+    @given(keys=key_streams, k=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_lifetimes_partition_time(self, keys, k):
+        """At every instant the alive records number exactly min(k, i+1)."""
+        sampler = PersistentTopKSample(k=k, seed=0)
+        for index, key in enumerate(keys):
+            sampler.update(key, float(index))
+        for t in range(0, len(keys), max(1, len(keys) // 7)):
+            alive = [r for r in sampler.records() if r.alive_at(float(t))]
+            assert len(alive) == min(k, t + 1)
+
+    @given(keys=key_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_record_growth(self, keys):
+        """Records are append-only: prefixes of the stream yield prefixes of
+        the record list."""
+        sampler = PersistentTopKSample(k=4, seed=1)
+        sizes = []
+        for index, key in enumerate(keys):
+            sampler.update(key, float(index))
+            sizes.append(len(sampler.records()))
+        assert sizes == sorted(sizes)
+
+
+class TestMergeTreeInvariants:
+    @given(keys=key_streams, block=st.sampled_from([4, 8, 16]))
+    @settings(max_examples=20, deadline=None)
+    def test_attp_coverage_never_exceeds_prefix(self, keys, block):
+        tree = MergeTreePersistence(
+            lambda: MisraGries(16), eps=0.2, mode="attp", block_size=block
+        )
+        for index, key in enumerate(keys):
+            tree.update(key, float(index))
+        for t in range(0, len(keys), max(1, len(keys) // 5)):
+            merged = tree.sketch_at(float(t))
+            assert merged.total_weight <= t + 1
+
+    @given(keys=key_streams, block=st.sampled_from([4, 8, 16]))
+    @settings(max_examples=20, deadline=None)
+    def test_bitp_coverage_bounded_by_window_plus_block(self, keys, block):
+        tree = MergeTreePersistence(
+            lambda: MisraGries(16), eps=0.2, mode="bitp", block_size=block
+        )
+        for index, key in enumerate(keys):
+            tree.update(key, float(index))
+        n = len(keys)
+        for since in range(0, n, max(1, n // 5)):
+            merged = tree.sketch_since(float(since))
+            window = n - since
+            assert merged.total_weight <= window + block
+
+    @given(keys=key_streams)
+    @settings(max_examples=20, deadline=None)
+    def test_estimates_never_exceed_true_counts_plus_slack(self, keys):
+        """MG under the tree never overestimates a key's prefix count by
+        more than the block at the boundary."""
+        tree = MergeTreePersistence(
+            lambda: MisraGries(16), eps=0.2, mode="attp", block_size=8
+        )
+        for index, key in enumerate(keys):
+            tree.update(key, float(index))
+        t = float(len(keys) - 1)
+        merged = tree.sketch_at(t)
+        for key in set(keys):
+            assert merged.query(key) <= keys.count(key)
+
+
+class TestMemoryAccountingInvariants:
+    @given(keys=key_streams)
+    @settings(max_examples=20, deadline=None)
+    def test_memory_nonnegative_and_monotone_for_persistent_sample(self, keys):
+        sampler = PersistentTopKSample(k=3, seed=2)
+        last = 0
+        for index, key in enumerate(keys):
+            sampler.update(key, float(index))
+            current = sampler.memory_bytes()
+            assert current >= last
+            last = current

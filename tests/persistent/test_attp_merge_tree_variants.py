@@ -1,0 +1,82 @@
+"""Tests for the ATTP-mode merge-tree sketches (Theorem 5.1, ATTP side)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    average_accuracy,
+    exact_prefix_heavy_hitters,
+    feed_log_stream,
+)
+from repro.persistent import (
+    AttpChainMisraGries,
+    AttpMergeTreeQuantiles,
+    AttpTreeMisraGries,
+)
+from repro.workloads import query_schedule
+
+
+class TestAttpTreeMisraGries:
+    def test_recall_guaranteed(self, small_object_stream):
+        stream = small_object_stream
+        sketch = AttpTreeMisraGries(eps=0.002, block_size=64)
+        feed_log_stream(sketch, stream)
+        times = query_schedule(stream)
+        truth = exact_prefix_heavy_hitters(stream, times, 0.01)
+        reported = [sketch.heavy_hitters_at(t, 0.01) for t in times]
+        _, recall = average_accuracy(reported, truth)
+        assert recall == 1.0
+
+    def test_estimates_track_prefix(self, small_object_stream):
+        stream = small_object_stream
+        sketch = AttpTreeMisraGries(eps=0.005, block_size=64)
+        feed_log_stream(sketch, stream)
+        counts = np.bincount(stream.keys[:5_000])
+        top = int(np.argmax(counts))
+        t = float(stream.timestamps[4_999])
+        estimate = sketch.estimate_at(top, t)
+        assert abs(estimate - counts[top]) <= 0.01 * 5_000 + 64
+
+    def test_cmg_dominates_on_space(self, small_object_stream):
+        # The Section 5 discussion: the tree pays an extra 1/eps factor that
+        # chaining avoids.
+        stream = small_object_stream
+        tree = AttpTreeMisraGries(eps=0.002, block_size=64)
+        cmg = AttpChainMisraGries(eps=0.002)
+        feed_log_stream(tree, stream)
+        feed_log_stream(cmg, stream)
+        assert cmg.memory_bytes() < tree.memory_bytes()
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            AttpTreeMisraGries(eps=1.5)
+
+
+class TestAttpMergeTreeQuantiles:
+    def test_prefix_quantiles(self):
+        rng = np.random.default_rng(0)
+        values = np.concatenate(
+            [rng.normal(0, 1, size=5_000), rng.normal(5, 1, size=5_000)]
+        )
+        sketch = AttpMergeTreeQuantiles(k=128, eps_tree=0.05, block_size=64, seed=0)
+        for index, value in enumerate(values):
+            sketch.update(float(value), float(index))
+        early = sketch.quantile_at(4_999.0, 0.5)
+        late = sketch.quantile_at(9_999.0, 0.5)
+        assert abs(early - 0.0) < 0.4
+        assert abs(late - float(np.median(values))) < 0.5
+
+    def test_cdf_at(self):
+        sketch = AttpMergeTreeQuantiles(k=128, eps_tree=0.05, block_size=32, seed=1)
+        for index in range(4_000):
+            sketch.update(float(index), float(index))
+        assert sketch.cdf_at(3_999.0, 1_999.0) == pytest.approx(0.5, abs=0.1)
+
+    def test_memory_sublinear(self):
+        small = AttpMergeTreeQuantiles(k=64, block_size=32, seed=2)
+        large = AttpMergeTreeQuantiles(k=64, block_size=32, seed=2)
+        for index in range(2_000):
+            small.update(float(index % 100), float(index))
+        for index in range(32_000):
+            large.update(float(index % 100), float(index))
+        assert large.memory_bytes() < 8 * small.memory_bytes()

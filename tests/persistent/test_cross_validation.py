@@ -1,0 +1,104 @@
+"""Cross-sketch consistency: independent implementations must agree.
+
+Different persistence mechanisms answering the same question (sampling vs
+chaining vs merge tree vs dyadic linear sketches) should agree on everything
+that is clearly inside their error budgets.  Divergence flags a bug in one
+of them even when each passes its own error-bound tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import feed_log_stream, feed_matrix_stream
+from repro.persistent import (
+    AttpChainMisraGries,
+    AttpDyadicChainCountMin,
+    AttpMergeTreeQuantiles,
+    AttpNormSampling,
+    AttpPersistentFrequentDirections,
+    AttpSampleHeavyHitter,
+    AttpSampleQuantiles,
+    AttpTreeMisraGries,
+)
+from repro.workloads import generate_matrix_stream, object_id_stream, query_schedule
+
+
+@pytest.fixture(scope="module")
+def hh_stream():
+    return object_id_stream(n=10_000, universe=1_000, ratio=200.0, seed=6)
+
+
+@pytest.fixture(scope="module")
+def hh_sketches(hh_stream):
+    sketches = {
+        "cmg": AttpChainMisraGries(eps=0.002),
+        "tree": AttpTreeMisraGries(eps=0.002, block_size=64),
+        "sampling": AttpSampleHeavyHitter(k=6_000, seed=2),
+        "dyadic": AttpDyadicChainCountMin(
+            universe_bits=10, eps=0.002, eps_ckpt=0.001, seed=0
+        ),
+    }
+    for sketch in sketches.values():
+        feed_log_stream(sketch, hh_stream)
+    return sketches
+
+
+class TestHeavyHitterConsensus:
+    def test_all_four_find_clear_hitters(self, hh_stream, hh_sketches):
+        phi = 0.02
+        for t in query_schedule(hh_stream)[1:]:
+            n_t = int(np.searchsorted(hh_stream.timestamps, t, side="right"))
+            counts = np.bincount(hh_stream.keys[:n_t])
+            clear = {
+                int(k) for k in np.flatnonzero(counts >= 1.5 * phi * n_t)
+            }
+            if not clear:
+                continue
+            assert clear <= set(hh_sketches["cmg"].heavy_hitters_at(t, phi))
+            assert clear <= set(hh_sketches["tree"].heavy_hitters_at(t, phi))
+            assert clear <= set(hh_sketches["dyadic"].heavy_hitters_at(t, phi))
+            sampled = set(hh_sketches["sampling"].heavy_hitters_at(t, phi))
+            assert len(clear & sampled) >= 0.8 * len(clear)
+
+    def test_point_estimates_agree_on_top_key(self, hh_stream, hh_sketches):
+        t = query_schedule(hh_stream)[2]
+        n_t = int(np.searchsorted(hh_stream.timestamps, t, side="right"))
+        counts = np.bincount(hh_stream.keys[:n_t])
+        top = int(np.argmax(counts))
+        estimates = {
+            "cmg": hh_sketches["cmg"].estimate_at(top, t),
+            "tree": hh_sketches["tree"].estimate_at(top, t),
+            "dyadic": hh_sketches["dyadic"].estimate_at(top, t),
+            "sampling": hh_sketches["sampling"].estimate_at(top, t),
+        }
+        for name, estimate in estimates.items():
+            assert abs(estimate - counts[top]) < 0.05 * n_t, name
+
+
+class TestQuantileConsensus:
+    def test_sample_and_tree_medians_agree(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(10.0, 3.0, size=12_000)
+        sample = AttpSampleQuantiles(k=4_000, seed=4)
+        tree = AttpMergeTreeQuantiles(k=200, eps_tree=0.05, block_size=64, seed=5)
+        for index, value in enumerate(values):
+            sample.update(float(value), float(index))
+            tree.update(float(value), float(index))
+        for t in (3_000.0, 11_999.0):
+            a = sample.quantile_at(t, 0.5)
+            b = tree.quantile_at(t, 0.5)
+            assert abs(a - b) < 0.5
+
+
+class TestMatrixConsensus:
+    def test_pfd_and_ns_agree_on_top_direction(self):
+        stream = generate_matrix_stream(n=1_500, dim=40, seed=7)
+        pfd = AttpPersistentFrequentDirections(ell=10, dim=40)
+        ns = AttpNormSampling(k=150, dim=40, seed=8)
+        feed_matrix_stream(pfd, stream)
+        feed_matrix_stream(ns, stream)
+        t = float(stream.timestamps[-1])
+        top_pfd = np.linalg.eigh(pfd.covariance_at(t))[1][:, -1]
+        top_ns = np.linalg.eigh(ns.covariance_at(t))[1][:, -1]
+        # Same leading direction up to sign.
+        assert abs(float(top_pfd @ top_ns)) > 0.9

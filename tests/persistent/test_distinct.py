@@ -1,0 +1,106 @@
+"""Tests for the persistent distinct-count sketches."""
+
+import numpy as np
+import pytest
+
+from repro.persistent import AttpKmvDistinct, BitpHllDistinct
+
+
+class TestAttpKmvDistinct:
+    def test_exact_below_k(self):
+        kmv = AttpKmvDistinct(k=64, seed=0)
+        for index in range(30):
+            kmv.update(index, float(index))
+        assert kmv.distinct_at(29.0) == 30.0
+        assert kmv.distinct_now() == 30.0
+
+    def test_estimate_within_error(self):
+        kmv = AttpKmvDistinct(k=512, seed=1)
+        for index in range(20_000):
+            kmv.update(index, float(index))
+        estimate = kmv.distinct_now()
+        assert abs(estimate - 20_000) < 0.15 * 20_000
+
+    def test_historical_estimates(self):
+        kmv = AttpKmvDistinct(k=256, seed=2)
+        for index in range(10_000):
+            kmv.update(index, float(index))
+        for t_index in (999, 4_999, 9_999):
+            estimate = kmv.distinct_at(float(t_index))
+            truth = t_index + 1
+            assert abs(estimate - truth) < 0.25 * truth
+
+    def test_duplicates_ignored(self):
+        kmv = AttpKmvDistinct(k=128, seed=3)
+        for repetition in range(10):
+            for key in range(2_000):
+                kmv.update(key, float(repetition * 2_000 + key))
+        estimate = kmv.distinct_now()
+        assert abs(estimate - 2_000) < 0.3 * 2_000
+
+    def test_historical_sees_fewer_distinct(self):
+        kmv = AttpKmvDistinct(k=128, seed=4)
+        # first half repeats 100 keys, second half brings 5000 new ones
+        t = 0
+        for repetition in range(50):
+            for key in range(100):
+                kmv.update(key, float(t))
+                t += 1
+        for key in range(100, 5_100):
+            kmv.update(key, float(t))
+            t += 1
+        early = kmv.distinct_at(4_999.0)
+        late = kmv.distinct_now()
+        assert abs(early - 100) < 30
+        assert late > 10 * early
+
+    def test_dedup_state_bounded_by_k(self):
+        kmv = AttpKmvDistinct(k=32, seed=5)
+        for index in range(50_000):
+            kmv.update(index, float(index))
+        assert len(kmv._alive_units) <= 32
+        # Records grow like k log(D/k), far below D.
+        assert kmv.num_records() < 32 * (1 + np.log(50_000 / 32)) * 4
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            AttpKmvDistinct(k=1)
+
+    def test_memory_model(self):
+        kmv = AttpKmvDistinct(k=16, seed=0)
+        for index in range(100):
+            kmv.update(index, float(index))
+        expected = kmv.num_records() * 24 + len(kmv._alive_units) * 8
+        assert kmv.memory_bytes() == expected
+
+
+class TestBitpHllDistinct:
+    def test_window_distinct_counts(self):
+        sketch = BitpHllDistinct(p=12, block_size=128, seed=0)
+        # keys rotate: window of size w contains ~min(w, 3000) distinct keys
+        for index in range(30_000):
+            sketch.update(index % 3_000, float(index))
+        full = sketch.distinct_since(0.0)
+        assert abs(full - 3_000) < 0.2 * 3_000
+        recent = sketch.distinct_since(29_500.0)
+        assert abs(recent - 500) < 0.35 * 500
+
+    def test_regime_change_visible(self):
+        sketch = BitpHllDistinct(p=12, block_size=64, seed=1)
+        for index in range(5_000):
+            sketch.update(index % 10, float(index))  # low cardinality
+        for index in range(5_000, 10_000):
+            sketch.update(index, float(index))  # high cardinality
+        old_window = sketch.distinct_since(0.0)
+        recent = sketch.distinct_since(9_000.0)
+        assert recent > 500
+        assert old_window > recent  # total includes both regimes
+
+    def test_memory_sublinear(self):
+        small = BitpHllDistinct(p=8, block_size=64, seed=2)
+        for index in range(2_000):
+            small.update(index, float(index))
+        large = BitpHllDistinct(p=8, block_size=64, seed=2)
+        for index in range(32_000):
+            large.update(index, float(index))
+        assert large.memory_bytes() < 8 * small.memory_bytes()

@@ -1,0 +1,163 @@
+"""Tests for the persistent heavy-hitter public API."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    average_accuracy,
+    exact_prefix_heavy_hitters,
+    exact_suffix_heavy_hitters,
+    feed_log_stream,
+)
+from repro.persistent import (
+    AttpChainMisraGries,
+    AttpSampleHeavyHitter,
+    BitpSampleHeavyHitter,
+    BitpTreeMisraGries,
+)
+from repro.workloads import query_schedule
+
+
+PHI = 0.01
+
+
+class TestAttpSampleHeavyHitter:
+    def test_accuracy_on_skewed_stream(self, small_object_stream):
+        stream = small_object_stream
+        sketch = AttpSampleHeavyHitter(k=4_000, seed=0)
+        feed_log_stream(sketch, stream)
+        times = query_schedule(stream)
+        truth = exact_prefix_heavy_hitters(stream, times, PHI)
+        reported = [sketch.heavy_hitters_at(t, PHI) for t in times]
+        p, r = average_accuracy(reported, truth)
+        assert p > 0.7
+        assert r > 0.8
+
+    def test_estimate_at_tracks_prefix(self, small_object_stream):
+        stream = small_object_stream
+        sketch = AttpSampleHeavyHitter(k=5_000, seed=1)
+        feed_log_stream(sketch, stream)
+        t = float(stream.timestamps[4_999])
+        counts = np.bincount(stream.keys[:5_000])
+        top = int(np.argmax(counts))
+        estimate = sketch.estimate_at(top, t)
+        assert abs(estimate - counts[top]) < 0.25 * counts[top] + 20
+
+    def test_empty_before_stream(self):
+        sketch = AttpSampleHeavyHitter(k=10, seed=0)
+        sketch.update(1, 100.0)
+        assert sketch.heavy_hitters_at(50.0, 0.5) == []
+        assert sketch.estimate_at(1, 50.0) == 0.0
+
+    def test_phi_validated(self):
+        sketch = AttpSampleHeavyHitter(k=10, seed=0)
+        with pytest.raises(ValueError):
+            sketch.heavy_hitters_at(1.0, 0.0)
+
+    def test_memory_grows_sublinearly(self):
+        small = AttpSampleHeavyHitter(k=100, seed=0)
+        large = AttpSampleHeavyHitter(k=100, seed=0)
+        for index in range(1_000):
+            small.update(index % 50, float(index))
+        for index in range(100_000):
+            large.update(index % 50, float(index))
+        # 100x more items -> far less than 100x more memory (log factor).
+        assert large.memory_bytes() < 10 * small.memory_bytes()
+
+
+class TestAttpChainMisraGriesApi:
+    def test_is_the_core_implementation(self):
+        from repro.core.elementwise import ChainMisraGries
+
+        assert issubclass(AttpChainMisraGries, ChainMisraGries)
+
+    def test_accuracy_and_recall_guarantee(self, small_object_stream):
+        stream = small_object_stream
+        sketch = AttpChainMisraGries(eps=0.002)
+        feed_log_stream(sketch, stream)
+        times = query_schedule(stream)
+        truth = exact_prefix_heavy_hitters(stream, times, PHI)
+        reported = [sketch.heavy_hitters_at(t, PHI) for t in times]
+        p, r = average_accuracy(reported, truth)
+        assert r == 1.0  # guaranteed recall
+        assert p > 0.5
+
+
+class TestBitpSampleHeavyHitter:
+    def test_accuracy_on_windows(self, small_object_stream):
+        stream = small_object_stream
+        sketch = BitpSampleHeavyHitter(k=4_000, seed=0)
+        feed_log_stream(sketch, stream)
+        times = query_schedule(stream)[:4]  # suffix queries
+        truth = exact_suffix_heavy_hitters(stream, times, PHI)
+        reported = [sketch.heavy_hitters_since(t, PHI) for t in times]
+        p, r = average_accuracy(reported, truth)
+        assert p > 0.7
+        assert r > 0.8
+
+    def test_estimate_since(self, small_object_stream):
+        stream = small_object_stream
+        sketch = BitpSampleHeavyHitter(k=5_000, seed=1)
+        feed_log_stream(sketch, stream)
+        since = float(stream.timestamps[5_000])
+        window_keys = stream.keys[5_000:]
+        counts = np.bincount(window_keys)
+        top = int(np.argmax(counts))
+        estimate = sketch.estimate_since(top, since)
+        assert abs(estimate - counts[top]) < 0.3 * counts[top] + 20
+
+    def test_peak_memory_exposed(self, small_object_stream):
+        sketch = BitpSampleHeavyHitter(k=500, seed=0)
+        feed_log_stream(sketch, small_object_stream)
+        assert sketch.peak_memory_bytes >= sketch.memory_bytes()
+
+    def test_phi_validated(self):
+        sketch = BitpSampleHeavyHitter(k=10, seed=0)
+        with pytest.raises(ValueError):
+            sketch.heavy_hitters_since(0.0, 1.5)
+
+
+class TestBitpTreeMisraGries:
+    def test_recall_guaranteed(self, small_object_stream):
+        stream = small_object_stream
+        sketch = BitpTreeMisraGries(eps=0.002, block_size=64)
+        feed_log_stream(sketch, stream)
+        times = query_schedule(stream)[:4]
+        truth = exact_suffix_heavy_hitters(stream, times, PHI)
+        reported = [sketch.heavy_hitters_since(t, PHI) for t in times]
+        _, r = average_accuracy(reported, truth)
+        assert r == 1.0
+
+    def test_precision_reasonable_when_eps_below_phi(self, small_object_stream):
+        stream = small_object_stream
+        sketch = BitpTreeMisraGries(eps=0.002, block_size=64)
+        feed_log_stream(sketch, stream)
+        times = query_schedule(stream)[:4]
+        truth = exact_suffix_heavy_hitters(stream, times, PHI)
+        reported = [sketch.heavy_hitters_since(t, PHI) for t in times]
+        p, _ = average_accuracy(reported, truth)
+        assert p > 0.4
+
+    def test_estimate_since(self, small_object_stream):
+        stream = small_object_stream
+        sketch = BitpTreeMisraGries(eps=0.005, block_size=64)
+        feed_log_stream(sketch, stream)
+        since = float(stream.timestamps[5_000])
+        counts = np.bincount(stream.keys[5_000:])
+        top = int(np.argmax(counts))
+        estimate = sketch.estimate_since(top, since)
+        window = len(stream) - 5_000
+        assert abs(estimate - counts[top]) <= 0.01 * window + 64
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            BitpTreeMisraGries(eps=0.0)
+
+    def test_uses_more_memory_than_sampling(self, small_object_stream):
+        # The paper's observation: TMG pays an extra 1/eps factor.
+        stream = small_object_stream
+        tmg = BitpTreeMisraGries(eps=0.002, block_size=64)
+        sampling = BitpSampleHeavyHitter(k=1_000, seed=0)
+        feed_log_stream(tmg, stream)
+        feed_log_stream(sampling, stream)
+        assert tmg.memory_bytes() > sampling.memory_bytes()

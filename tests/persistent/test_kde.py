@@ -1,0 +1,84 @@
+"""Tests for the ATTP KDE coreset."""
+
+import numpy as np
+import pytest
+
+from repro.persistent import AttpKdeCoreset, gaussian_kernel, laplace_kernel
+
+
+def mixture_points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal([-2, 0], 0.5, size=(n // 2, 2))
+    b = rng.normal([+2, 0], 0.5, size=(n - n // 2, 2))
+    return np.vstack([a, b])
+
+
+def exact_kde(points, x, kernel):
+    return sum(kernel(x, p) for p in points) / len(points)
+
+
+class TestKernels:
+    def test_gaussian_peak_at_center(self):
+        k = gaussian_kernel(1.0)
+        assert k(np.zeros(2), np.zeros(2)) == 1.0
+        assert k(np.zeros(2), np.ones(2)) < 1.0
+
+    def test_laplace_peak_at_center(self):
+        k = laplace_kernel(1.0)
+        assert k(np.zeros(2), np.zeros(2)) == 1.0
+        assert 0 < k(np.zeros(2), np.array([3.0, 0.0])) < 0.1
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel(0.0)
+        with pytest.raises(ValueError):
+            laplace_kernel(-1.0)
+
+
+class TestAttpKdeCoreset:
+    def test_kde_estimate_close_to_exact(self):
+        points = mixture_points(4_000, seed=0)
+        kde = AttpKdeCoreset(k=1_000, dim=2, kernel=gaussian_kernel(0.8), seed=0)
+        for index, point in enumerate(points):
+            kde.update(point, float(index))
+        t = float(len(points) - 1)
+        for x in ([-2.0, 0.0], [0.0, 0.0], [2.0, 0.0]):
+            estimate = kde.kde_at(t, x)
+            truth = exact_kde(points, np.asarray(x), gaussian_kernel(0.8))
+            assert abs(estimate - truth) < 0.05
+
+    def test_historical_kde_sees_only_first_mode(self):
+        points = mixture_points(4_000, seed=1)  # first half is the -2 mode
+        kde = AttpKdeCoreset(k=1_000, dim=2, kernel=gaussian_kernel(0.8), seed=1)
+        for index, point in enumerate(points):
+            kde.update(point, float(index))
+        t_half = 1_999.0
+        left = kde.kde_at(t_half, [-2.0, 0.0])
+        right = kde.kde_at(t_half, [2.0, 0.0])
+        assert left > 5 * right  # the +2 mode has not arrived yet
+
+    def test_default_kernel_is_gaussian(self):
+        kde = AttpKdeCoreset(k=10, dim=1, seed=0)
+        kde.update([0.0], 0.0)
+        assert kde.kde_at(0.0, [0.0]) == 1.0
+
+    def test_coreset_at_returns_points(self):
+        kde = AttpKdeCoreset(k=5, dim=1, seed=0)
+        for index in range(100):
+            kde.update([float(index)], float(index))
+        coreset = kde.coreset_at(50.0)
+        assert len(coreset) == 5
+        assert all(point[0] <= 50.0 for point in coreset)
+
+    def test_rejects_wrong_shapes(self):
+        kde = AttpKdeCoreset(k=5, dim=2, seed=0)
+        with pytest.raises(ValueError):
+            kde.update([1.0], 0.0)
+        kde.update([1.0, 2.0], 0.0)
+        with pytest.raises(ValueError):
+            kde.kde_at(0.0, [1.0])
+
+    def test_empty_prefix_density_zero(self):
+        kde = AttpKdeCoreset(k=5, dim=1, seed=0)
+        kde.update([1.0], 10.0)
+        assert kde.kde_at(5.0, [1.0]) == 0.0

@@ -1,0 +1,132 @@
+"""Tests for the persistent matrix-covariance public API."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import covariance_relative_error, feed_matrix_stream
+from repro.persistent import (
+    AttpNormSampling,
+    AttpNormSamplingWR,
+    AttpPersistentFrequentDirections,
+    BitpFrequentDirections,
+)
+from repro.workloads import matrix_query_schedule
+
+
+def exact_prefix_cov(stream, t):
+    end = int(np.searchsorted(stream.timestamps, t, side="right"))
+    prefix = stream.rows[:end]
+    return prefix.T @ prefix
+
+
+class TestAttpNormSampling:
+    def test_error_small_at_all_query_times(self, small_matrix_stream):
+        stream = small_matrix_stream
+        ns = AttpNormSampling(k=150, dim=stream.dim, seed=0)
+        feed_matrix_stream(ns, stream)
+        for t in matrix_query_schedule(stream):
+            exact = exact_prefix_cov(stream, t)
+            err = covariance_relative_error(exact, ns.covariance_at(t))
+            assert err < 0.3
+
+    def test_unbiased_over_seeds(self, small_matrix_stream):
+        stream = small_matrix_stream
+        t = matrix_query_schedule(stream)[2]
+        exact = exact_prefix_cov(stream, t)
+        total = np.zeros_like(exact)
+        runs = 30
+        for seed in range(runs):
+            ns = AttpNormSampling(k=50, dim=stream.dim, seed=seed)
+            feed_matrix_stream(ns, stream)
+            total += ns.covariance_at(t)
+        mean = total / runs
+        err = covariance_relative_error(exact, mean)
+        assert err < 0.08
+
+    def test_skips_zero_rows(self):
+        ns = AttpNormSampling(k=5, dim=4, seed=0)
+        ns.update(np.zeros(4), 0.0)
+        assert ns.count == 0
+
+    def test_rejects_wrong_shape(self):
+        ns = AttpNormSampling(k=5, dim=4, seed=0)
+        with pytest.raises(ValueError):
+            ns.update(np.zeros(3), 0.0)
+
+    def test_sketch_rows_gram_matches_covariance(self, small_matrix_stream):
+        stream = small_matrix_stream
+        ns = AttpNormSampling(k=50, dim=stream.dim, seed=1)
+        feed_matrix_stream(ns, stream)
+        t = matrix_query_schedule(stream)[1]
+        b = ns.sketch_rows_at(t)
+        assert np.allclose(b.T @ b, ns.covariance_at(t))
+
+    def test_memory_counts_vectors(self, small_matrix_stream):
+        stream = small_matrix_stream
+        ns = AttpNormSampling(k=20, dim=stream.dim, seed=2)
+        feed_matrix_stream(ns, stream)
+        assert ns.memory_bytes() == ns.num_records() * (stream.dim * 8 + 28)
+
+
+class TestAttpNormSamplingWR:
+    def test_error_small_at_all_query_times(self, small_matrix_stream):
+        stream = small_matrix_stream
+        nswr = AttpNormSamplingWR(k=200, dim=stream.dim, seed=0)
+        feed_matrix_stream(nswr, stream)
+        for t in matrix_query_schedule(stream):
+            exact = exact_prefix_cov(stream, t)
+            err = covariance_relative_error(exact, nswr.covariance_at(t))
+            assert err < 0.35
+
+    def test_empty_query_returns_zero_rows(self):
+        nswr = AttpNormSamplingWR(k=5, dim=4, seed=0)
+        assert nswr.sketch_rows_at(0.0).shape == (0, 4)
+
+    def test_memory_counts_vectors(self, small_matrix_stream):
+        stream = small_matrix_stream
+        nswr = AttpNormSamplingWR(k=20, dim=stream.dim, seed=2)
+        feed_matrix_stream(nswr, stream)
+        assert nswr.memory_bytes() == nswr.num_records() * (stream.dim * 8 + 16)
+
+
+class TestAttpPfdApi:
+    def test_is_the_core_implementation(self):
+        from repro.core.pfd import PersistentFrequentDirections
+
+        assert issubclass(
+            AttpPersistentFrequentDirections, PersistentFrequentDirections
+        )
+
+    def test_beats_sampling_error_at_same_ell(self, small_matrix_stream):
+        # Fig 13's qualitative finding: PFD gives the best error per memory.
+        stream = small_matrix_stream
+        pfd = AttpPersistentFrequentDirections(ell=10, dim=stream.dim)
+        feed_matrix_stream(pfd, stream)
+        t = matrix_query_schedule(stream)[-1]
+        exact = exact_prefix_cov(stream, t)
+        err = covariance_relative_error(exact, pfd.covariance_at(t))
+        assert err < 0.2
+
+
+class TestBitpFrequentDirections:
+    def test_window_covariance(self, small_matrix_stream):
+        stream = small_matrix_stream
+        bfd = BitpFrequentDirections(ell=10, dim=stream.dim, eps_tree=0.1)
+        feed_matrix_stream(bfd, stream)
+        since = matrix_query_schedule(stream)[2]
+        start = int(np.searchsorted(stream.timestamps, since, side="left"))
+        window = stream.rows[start:]
+        exact = window.T @ window
+        frob_sq = float(np.trace(exact))
+        err = float(np.linalg.norm(exact - bfd.covariance_since(since), 2))
+        assert err <= frob_sq / 10 + 0.3 * frob_sq
+
+    def test_rejects_wrong_shape(self):
+        bfd = BitpFrequentDirections(ell=4, dim=10)
+        with pytest.raises(ValueError):
+            bfd.update(np.zeros(5), 0.0)
+
+    def test_peak_memory_exposed(self, small_matrix_stream):
+        bfd = BitpFrequentDirections(ell=6, dim=small_matrix_stream.dim)
+        feed_matrix_stream(bfd, small_matrix_stream)
+        assert bfd.peak_memory_bytes > 0

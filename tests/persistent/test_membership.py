@@ -1,0 +1,82 @@
+"""Tests for persistent approximate membership."""
+
+import pytest
+
+from repro.persistent import AttpBloomMembership, BitpBloomMembership
+
+
+class TestAttpBloomMembership:
+    def test_no_false_negatives_at_checkpoints(self):
+        sketch = AttpBloomMembership(capacity=5_000, eps=0.05, seed=0)
+        for index in range(5_000):
+            sketch.update(index, float(index))
+        # Query at now: everything inserted must be found.
+        for key in range(0, 5_000, 97):
+            assert sketch.contains_at(key, 4_999.0)
+
+    def test_historical_negatives(self):
+        sketch = AttpBloomMembership(capacity=5_000, fp_rate=0.001, eps=0.05, seed=1)
+        for index in range(5_000):
+            sketch.update(index, float(index))
+        # Key 4000 was inserted at t=4000; at t=2000 it should read False
+        # (modulo the filter's false-positive rate — use several keys).
+        false_reads = sum(
+            1 for key in range(4_000, 4_100) if sketch.contains_at(key, 2_000.0)
+        )
+        assert false_reads < 10
+
+    def test_staleness_bounded(self):
+        sketch = AttpBloomMembership(capacity=1_000, eps=0.1, seed=2)
+        for index in range(1_000):
+            sketch.update(index, float(index))
+        # A key inserted long before t is always visible at t.
+        assert sketch.contains_at(100, 500.0)
+        # Keys inserted within the eps-staleness window may be missed;
+        # both outcomes are acceptable — just must not crash.
+        sketch.contains_at(499, 499.0)
+
+    def test_before_stream_is_false(self):
+        sketch = AttpBloomMembership(capacity=100, seed=0)
+        sketch.update(1, 10.0)
+        assert not sketch.contains_at(1, 5.0)
+
+    def test_memory_sublinear_in_queries(self):
+        sketch = AttpBloomMembership(capacity=10_000, eps=0.1, seed=3)
+        for index in range(10_000):
+            sketch.update(index, float(index))
+        # O((1/eps) log n) checkpoints of a fixed-size filter.
+        raw = 10_000 * 12
+        assert sketch.memory_bytes() < 40 * raw  # sanity ceiling
+        assert sketch._chain.num_checkpoints() < 150
+
+
+class TestBitpBloomMembership:
+    def test_window_membership(self):
+        sketch = BitpBloomMembership(
+            capacity_per_block=20_000, block_size=128, seed=0
+        )
+        for index in range(10_000):
+            sketch.update(index, float(index))
+        # Recent keys are in recent windows.
+        assert sketch.contains_since(9_990, 9_900.0)
+        # Old keys are not in a recent window (fp rate aside; vote over many).
+        false_reads = sum(
+            1 for key in range(0, 100) if sketch.contains_since(key, 9_000.0)
+        )
+        assert false_reads < 20
+
+    def test_full_window_contains_everything(self):
+        sketch = BitpBloomMembership(
+            capacity_per_block=10_000, block_size=64, seed=1
+        )
+        for index in range(3_000):
+            sketch.update(index, float(index))
+        hits = sum(1 for key in range(0, 3_000, 53) if sketch.contains_since(key, 0.0))
+        # The eps cover slack may drop the very oldest blocks.
+        assert hits > 0.85 * len(range(0, 3_000, 53))
+
+    def test_peak_memory_exposed(self):
+        sketch = BitpBloomMembership(block_size=32, seed=2)
+        for index in range(500):
+            sketch.update(index, float(index))
+        assert sketch.peak_memory_bytes > 0

@@ -1,0 +1,97 @@
+"""Tests for persistent quantile summaries."""
+
+import numpy as np
+import pytest
+
+from repro.persistent import AttpChainKll, AttpSampleQuantiles, BitpMergeTreeQuantiles
+
+
+def drifting_values(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [rng.normal(0, 1, size=n // 2), rng.normal(4, 1, size=n - n // 2)]
+    )
+
+
+class TestAttpSampleQuantiles:
+    def test_median_tracks_prefix(self):
+        values = drifting_values()
+        sketch = AttpSampleQuantiles(k=3_000, seed=0)
+        for index, value in enumerate(values):
+            sketch.update(float(value), float(index))
+        early = sketch.quantile_at(9_999.0, 0.5)
+        late = sketch.quantile_at(19_999.0, 0.5)
+        assert abs(early - 0.0) < 0.2
+        assert abs(late - float(np.median(values))) < 0.25
+
+    def test_cdf_at(self):
+        values = np.arange(1_000, dtype=float)
+        sketch = AttpSampleQuantiles(k=500, seed=1)
+        for index, value in enumerate(values):
+            sketch.update(value, float(index))
+        assert sketch.cdf_at(999.0, 499.0) == pytest.approx(0.5, abs=0.08)
+
+    def test_rejects_bad_phi(self):
+        sketch = AttpSampleQuantiles(k=10, seed=0)
+        sketch.update(1.0, 0.0)
+        with pytest.raises(ValueError):
+            sketch.quantile_at(0.0, 1.5)
+
+    def test_empty_query_raises(self):
+        sketch = AttpSampleQuantiles(k=10, seed=0)
+        sketch.update(1.0, 10.0)
+        with pytest.raises(ValueError):
+            sketch.quantile_at(5.0, 0.5)
+
+
+class TestAttpChainKll:
+    def test_median_tracks_prefix(self):
+        values = drifting_values(seed=1)
+        sketch = AttpChainKll(k=200, eps_ckpt=0.02, seed=0)
+        for index, value in enumerate(values):
+            sketch.update(float(value), float(index))
+        early = sketch.quantile_at(9_999.0, 0.5)
+        assert abs(early - 0.0) < 0.3
+
+    def test_cdf_at(self):
+        sketch = AttpChainKll(k=200, eps_ckpt=0.05, seed=0)
+        for index in range(2_000):
+            sketch.update(float(index), float(index))
+        assert sketch.cdf_at(1_999.0, 999.0) == pytest.approx(0.5, abs=0.08)
+
+    def test_query_before_first_raises(self):
+        sketch = AttpChainKll(k=100, seed=0)
+        sketch.update(1.0, 10.0)
+        with pytest.raises(ValueError):
+            sketch.quantile_at(5.0, 0.5)
+
+    def test_memory_smaller_than_sample_at_high_accuracy(self):
+        values = drifting_values(n=30_000, seed=2)
+        chain = AttpChainKll(k=400, eps_ckpt=0.05, seed=0)
+        sample = AttpSampleQuantiles(k=30_000, seed=0)
+        for index, value in enumerate(values):
+            chain.update(float(value), float(index))
+            sample.update(float(value), float(index))
+        assert chain.memory_bytes() < sample.memory_bytes()
+
+
+class TestBitpMergeTreeQuantiles:
+    def test_window_median_sees_regime_change(self):
+        values = drifting_values(seed=3)
+        sketch = BitpMergeTreeQuantiles(k=128, eps_tree=0.05, block_size=64, seed=0)
+        for index, value in enumerate(values):
+            sketch.update(float(value), float(index))
+        recent = sketch.quantile_since(15_000.0, 0.5)
+        assert abs(recent - 4.0) < 0.4  # the recent window is all regime 2
+
+    def test_cdf_since(self):
+        sketch = BitpMergeTreeQuantiles(k=128, eps_tree=0.05, block_size=32, seed=0)
+        for index in range(4_000):
+            sketch.update(float(index), float(index))
+        assert sketch.cdf_since(2_000.0, 3_000.0) == pytest.approx(0.5, abs=0.1)
+
+    def test_peak_memory_exposed(self):
+        sketch = BitpMergeTreeQuantiles(k=64, block_size=32, seed=0)
+        for index in range(1_000):
+            sketch.update(float(index), float(index))
+        assert sketch.peak_memory_bytes > 0

@@ -1,0 +1,88 @@
+"""Tests for ATTP approximate range counting."""
+
+import numpy as np
+import pytest
+
+from repro.persistent import AttpRangeCounting, AttpWeightedRangeCounting
+
+
+def uniform_points(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 1, size=(n, dim))
+
+
+class TestAttpRangeCounting:
+    def test_range_counts_accurate(self):
+        points = uniform_points(10_000, 2, seed=0)
+        arc = AttpRangeCounting(k=3_000, dim=2, seed=0)
+        for index, point in enumerate(points):
+            arc.update(point, float(index))
+        t = 9_999.0
+        lo, hi = [0.2, 0.2], [0.6, 0.6]
+        estimate = arc.range_count_at(t, lo, hi)
+        truth = int(np.sum(np.all((points >= 0.2) & (points <= 0.6), axis=1)))
+        assert abs(estimate - truth) < 0.05 * len(points)
+
+    def test_historical_range_counts(self):
+        points = uniform_points(8_000, 2, seed=1)
+        arc = AttpRangeCounting(k=3_000, dim=2, seed=1)
+        for index, point in enumerate(points):
+            arc.update(point, float(index))
+        t = 3_999.0
+        prefix = points[:4_000]
+        lo, hi = [0.0, 0.0], [0.5, 1.0]
+        estimate = arc.range_count_at(t, lo, hi)
+        truth = int(np.sum(np.all((prefix >= lo) & (prefix <= hi), axis=1)))
+        assert abs(estimate - truth) < 0.06 * len(prefix)
+
+    def test_fraction_in_unit_box_is_one(self):
+        points = uniform_points(500, 3, seed=2)
+        arc = AttpRangeCounting(k=200, dim=3, seed=2)
+        for index, point in enumerate(points):
+            arc.update(point, float(index))
+        assert arc.range_fraction_at(499.0, [0, 0, 0], [1, 1, 1]) == 1.0
+
+    def test_rejects_empty_range(self):
+        arc = AttpRangeCounting(k=10, dim=1, seed=0)
+        arc.update([0.5], 0.0)
+        with pytest.raises(ValueError):
+            arc.range_count_at(0.0, [0.9], [0.1])
+
+    def test_rejects_wrong_dim(self):
+        arc = AttpRangeCounting(k=10, dim=2, seed=0)
+        with pytest.raises(ValueError):
+            arc.update([0.5], 0.0)
+
+    def test_empty_prefix_counts_zero(self):
+        arc = AttpRangeCounting(k=10, dim=1, seed=0)
+        arc.update([0.5], 10.0)
+        assert arc.range_count_at(5.0, [0.0], [1.0]) == 0.0
+
+
+class TestAttpWeightedRangeCounting:
+    def test_weighted_range_estimate(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, size=(5_000, 1))
+        weights = 1.0 + rng.integers(0, 10, size=5_000).astype(float)
+        estimates = []
+        truth = float(np.sum(weights[(points[:, 0] < 0.5)]))
+        for seed in range(30):
+            arc = AttpWeightedRangeCounting(k=800, dim=1, seed=seed)
+            for index in range(len(points)):
+                arc.update(points[index], float(index), weights[index])
+            estimates.append(arc.range_weight_at(4_999.0, [0.0], [0.5]))
+        assert abs(np.mean(estimates) - truth) < 0.08 * truth
+
+    def test_historical_weighted_estimate(self):
+        arc = AttpWeightedRangeCounting(k=500, dim=1, seed=0)
+        for index in range(2_000):
+            arc.update([index / 2_000.0], float(index), 2.0)
+        # At t=999 the prefix is points 0..999, all in [0, 0.5].
+        estimate = arc.range_weight_at(999.0, [0.0], [0.5])
+        assert abs(estimate - 2_000.0) < 300.0
+
+    def test_rejects_empty_range(self):
+        arc = AttpWeightedRangeCounting(k=10, dim=1, seed=0)
+        arc.update([0.5], 0.0, 1.0)
+        with pytest.raises(ValueError):
+            arc.range_weight_at(0.0, [1.0], [0.0])

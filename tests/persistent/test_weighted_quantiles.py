@@ -1,0 +1,67 @@
+"""Tests for ATTP weighted quantiles (Theorem 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.persistent import AttpWeightedQuantiles
+
+
+class TestAttpWeightedQuantiles:
+    def test_unit_weights_match_plain_quantiles(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 100, size=5_000)
+        # NB: the sampler seed must differ from the value-generator seed, or
+        # the sampler's uniforms coincide with the (scaled) values and the
+        # sample becomes value-correlated.
+        sketch = AttpWeightedQuantiles(k=1_500, seed=777)
+        for index, value in enumerate(values):
+            sketch.update(float(value), float(index), weight=1.0)
+        t = float(len(values) - 1)
+        median = sketch.quantile_at(t, 0.5)
+        assert abs(median - float(np.median(values))) < 6.0
+
+    def test_weights_shift_the_quantile(self):
+        # Values 0..99, weight 9 on values < 50 and 1 on the rest: the
+        # weighted median sits inside the heavy half.
+        sketch = AttpWeightedQuantiles(k=2_000, seed=1)
+        t = 0.0
+        rng = np.random.default_rng(1)
+        for _ in range(5_000):
+            value = float(rng.integers(0, 100))
+            weight = 9.0 if value < 50 else 1.0
+            sketch.update(value, t, weight)
+            t += 1.0
+        median = sketch.quantile_at(t, 0.5)
+        assert median < 50
+
+    def test_historical_weighted_quantiles(self):
+        sketch = AttpWeightedQuantiles(k=2_000, seed=2)
+        # first half: values near 0; second half: values near 100
+        for index in range(4_000):
+            value = 0.0 + index % 10 if index < 2_000 else 100.0 + index % 10
+            sketch.update(float(value), float(index), weight=1.0)
+        early_median = sketch.quantile_at(1_999.0, 0.5)
+        late_median = sketch.quantile_at(3_999.0, 0.5)
+        assert early_median < 20
+        assert late_median > 20
+
+    def test_weighted_cdf(self):
+        sketch = AttpWeightedQuantiles(k=1_000, seed=3)
+        for index in range(2_000):
+            sketch.update(float(index % 100), float(index), weight=1.0)
+        cdf = sketch.weighted_cdf_at(1_999.0, 49.0)
+        assert abs(cdf - 0.5) < 0.1
+
+    def test_empty_query_raises(self):
+        sketch = AttpWeightedQuantiles(k=10, seed=0)
+        sketch.update(1.0, 10.0)
+        with pytest.raises(ValueError):
+            sketch.quantile_at(5.0, 0.5)
+        with pytest.raises(ValueError):
+            sketch.weighted_cdf_at(5.0, 1.0)
+
+    def test_phi_validated(self):
+        sketch = AttpWeightedQuantiles(k=10, seed=0)
+        sketch.update(1.0, 0.0)
+        with pytest.raises(ValueError):
+            sketch.quantile_at(0.0, -0.1)

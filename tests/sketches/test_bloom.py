@@ -1,0 +1,51 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+
+from repro.sketches import BloomFilter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter.from_capacity(1_000, fp_rate=0.01, seed=0)
+        for key in range(1_000):
+            bf.update(key)
+        assert all(bf.query(key) for key in range(1_000))
+
+    def test_false_positive_rate_near_target(self):
+        bf = BloomFilter.from_capacity(2_000, fp_rate=0.01, seed=1)
+        for key in range(2_000):
+            bf.update(key)
+        false_positives = sum(1 for key in range(10_000, 30_000) if bf.query(key))
+        assert false_positives / 20_000 < 0.05
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter(bits=1024, num_hashes=3, seed=0)
+        assert not bf.query(42)
+        assert bf.fill_ratio() == 0.0
+
+    def test_merge_is_union(self):
+        a = BloomFilter(bits=4096, num_hashes=4, seed=5)
+        b = BloomFilter(bits=4096, num_hashes=4, seed=5)
+        for key in range(100):
+            a.update(key)
+        for key in range(100, 200):
+            b.update(key)
+        a.merge(b)
+        assert all(a.query(key) for key in range(200))
+
+    def test_merge_rejects_mismatched(self):
+        a = BloomFilter(bits=1024, num_hashes=4, seed=5)
+        b = BloomFilter(bits=1024, num_hashes=4, seed=6)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_from_capacity_validates(self):
+        with pytest.raises(ValueError):
+            BloomFilter.from_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.from_capacity(10, fp_rate=1.5)
+
+    def test_memory_model(self):
+        bf = BloomFilter(bits=8192, num_hashes=2)
+        assert bf.memory_bytes() == 8192 // 8

@@ -1,0 +1,120 @@
+"""Tests for the CountMin sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import CountMinSketch
+
+
+def feed_zipfish(sketch, n=5_000, universe=200, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.zipf(1.3, size=n) % universe
+    for key in keys:
+        sketch.update(int(key))
+    return keys
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        cm = CountMinSketch(width=64, depth=3, seed=0)
+        keys = feed_zipfish(cm)
+        counts = np.bincount(keys)
+        for key, true_count in enumerate(counts):
+            assert cm.query(key) >= true_count
+
+    def test_error_bound(self):
+        eps = 0.01
+        cm = CountMinSketch.from_error(eps, delta=0.01, seed=1)
+        keys = feed_zipfish(cm, n=20_000)
+        counts = np.bincount(keys)
+        overshoot = max(cm.query(key) - counts[key] for key in range(len(counts)))
+        assert overshoot <= eps * len(keys)
+
+    def test_exact_when_wide(self):
+        cm = CountMinSketch(width=4096, depth=5, seed=2)
+        for key in range(10):
+            for _ in range(key + 1):
+                cm.update(key)
+        for key in range(10):
+            assert cm.query(key) == key + 1
+
+    def test_weighted_updates(self):
+        cm = CountMinSketch(width=256, depth=3, seed=3)
+        cm.update(5, 100)
+        cm.update(5, 23)
+        assert cm.query(5) >= 123
+
+    def test_negative_weights_linear(self):
+        cm = CountMinSketch(width=256, depth=3, seed=4)
+        cm.update(5, 100)
+        cm.update(5, -40)
+        assert cm.query(5) >= 60
+        assert cm.total_weight == 60
+
+    def test_merge_equals_union(self):
+        a = CountMinSketch(width=128, depth=3, seed=7)
+        b = CountMinSketch(width=128, depth=3, seed=7)
+        both = CountMinSketch(width=128, depth=3, seed=7)
+        for key in range(50):
+            a.update(key)
+            both.update(key)
+        for key in range(25, 75):
+            b.update(key)
+            both.update(key)
+        a.merge(b)
+        assert np.array_equal(a.counters(), both.counters())
+        assert a.total_weight == both.total_weight
+
+    def test_merge_rejects_mismatched(self):
+        a = CountMinSketch(width=128, depth=3, seed=7)
+        b = CountMinSketch(width=128, depth=3, seed=8)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_conservative_tighter_than_plain(self):
+        plain = CountMinSketch(width=32, depth=3, seed=9)
+        conservative = CountMinSketch(width=32, depth=3, seed=9, conservative=True)
+        keys = feed_zipfish(plain, n=5_000, universe=500, seed=9)
+        for key in keys:
+            conservative.update(int(key))
+        counts = np.bincount(keys, minlength=500)
+        plain_err = sum(plain.query(key) - counts[key] for key in range(500))
+        cons_err = sum(conservative.query(key) - counts[key] for key in range(500))
+        assert cons_err <= plain_err
+        for key in range(500):  # still never underestimates
+            assert conservative.query(key) >= counts[key]
+
+    def test_conservative_rejects_deletion_and_merge(self):
+        conservative = CountMinSketch(width=32, depth=3, seed=1, conservative=True)
+        with pytest.raises(ValueError):
+            conservative.update(1, -1)
+        other = CountMinSketch(width=32, depth=3, seed=1)
+        with pytest.raises(ValueError):
+            other.merge(conservative)
+
+    def test_width_rounded_to_pow2(self):
+        cm = CountMinSketch(width=100, depth=2)
+        assert cm.width == 128
+
+    def test_memory_model(self):
+        cm = CountMinSketch(width=128, depth=3)
+        assert cm.memory_bytes() == 128 * 3 * 8
+
+    def test_from_error_validates(self):
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error(0.0)
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error(0.1, delta=1.5)
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_overestimate_only(self, keys):
+        cm = CountMinSketch(width=32, depth=3, seed=11)
+        for key in keys:
+            cm.update(key)
+        for key in set(keys):
+            assert cm.query(key) >= keys.count(key)

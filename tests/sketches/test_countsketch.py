@@ -1,0 +1,91 @@
+"""Tests for the Count sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import CountSketch
+
+
+class TestCountSketch:
+    def test_accurate_on_heavy_keys(self):
+        cs = CountSketch(width=512, depth=5, seed=0)
+        rng = np.random.default_rng(0)
+        keys = rng.zipf(1.5, size=20_000) % 1_000
+        for key in keys:
+            cs.update(int(key))
+        counts = np.bincount(keys, minlength=1_000)
+        l2 = float(np.sqrt((counts.astype(float) ** 2).sum()))
+        heavy = np.argsort(counts)[-10:]
+        for key in heavy:
+            assert abs(cs.query(int(key)) - counts[key]) <= 0.2 * l2
+
+    def test_supports_deletions(self):
+        cs = CountSketch(width=256, depth=5, seed=1)
+        cs.update(42, 10)
+        cs.update(42, -10)
+        assert cs.query(42) == 0
+
+    def test_linearity_via_merge(self):
+        a = CountSketch(width=128, depth=5, seed=2)
+        b = CountSketch(width=128, depth=5, seed=2)
+        combined = CountSketch(width=128, depth=5, seed=2)
+        for key in range(100):
+            a.update(key, key)
+            combined.update(key, key)
+        for key in range(100):
+            b.update(key, 1)
+            combined.update(key, 1)
+        a.merge(b)
+        assert np.array_equal(a.counters(), combined.counters())
+
+    def test_merge_rejects_mismatched_seed(self):
+        a = CountSketch(width=128, depth=5, seed=2)
+        b = CountSketch(width=128, depth=5, seed=3)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_unbiasedness_across_seeds(self):
+        # Mean estimate over many independent sketches approaches the truth.
+        estimates = []
+        for seed in range(30):
+            cs = CountSketch(width=16, depth=1, seed=seed)
+            for key in range(40):
+                cs.update(key, 5)
+            estimates.append(cs.query(0))
+        assert abs(np.mean(estimates) - 5) < 10
+
+    def test_memory_model(self):
+        cs = CountSketch(width=64, depth=5)
+        assert cs.memory_bytes() == 64 * 5 * 8
+
+    def test_from_error_sizes(self):
+        cs = CountSketch.from_error(0.1, delta=0.01)
+        assert cs.width >= 3 / 0.1**2
+        with pytest.raises(ValueError):
+            CountSketch.from_error(2.0)
+
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=-20, max_value=20),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_when_wide(self, updates):
+        # With width far above the number of distinct keys and depth 5, the
+        # median estimate is exact for most keys; check total preserved.
+        cs = CountSketch(width=4096, depth=5, seed=5)
+        truth = {}
+        for key, weight in updates:
+            if weight == 0:
+                continue
+            cs.update(key, weight)
+            truth[key] = truth.get(key, 0) + weight
+        for key, expected in truth.items():
+            assert cs.query(key) == expected

@@ -1,0 +1,61 @@
+"""Tests for the dyadic CountMin hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import DyadicCountMin
+
+
+class TestDyadicCountMin:
+    def test_point_query_overestimates(self):
+        dy = DyadicCountMin(universe_bits=8, width=256, seed=0)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 256, size=3_000)
+        for key in keys:
+            dy.update(int(key))
+        counts = np.bincount(keys, minlength=256)
+        for key in range(256):
+            assert dy.query(key) >= counts[key]
+
+    def test_range_sum_accurate_when_wide(self):
+        dy = DyadicCountMin(universe_bits=8, width=1024, depth=4, seed=1)
+        for key in range(200):
+            dy.update(key, key + 1)
+        true = sum(key + 1 for key in range(10, 101))
+        assert dy.range_sum(10, 100) == pytest.approx(true, rel=0.05)
+
+    def test_range_sum_full_universe(self):
+        dy = DyadicCountMin(universe_bits=6, width=256, depth=4, seed=2)
+        for key in range(64):
+            dy.update(key, 2)
+        assert dy.range_sum(0, 63) >= 128
+
+    def test_heavy_hitters_found(self):
+        dy = DyadicCountMin(universe_bits=10, width=1024, depth=4, seed=3)
+        rng = np.random.default_rng(3)
+        for _ in range(2_000):
+            dy.update(int(rng.integers(0, 1024)))
+        for _ in range(500):
+            dy.update(777)
+        hitters = dy.heavy_hitters(0.1)
+        assert 777 in hitters
+        assert len(hitters) < 20
+
+    def test_heavy_hitters_empty_stream(self):
+        dy = DyadicCountMin(universe_bits=4, width=16)
+        assert dy.heavy_hitters(0.5) == []
+
+    def test_rejects_out_of_universe(self):
+        dy = DyadicCountMin(universe_bits=4, width=16)
+        with pytest.raises(ValueError):
+            dy.update(16)
+
+    def test_rejects_empty_range(self):
+        dy = DyadicCountMin(universe_bits=4, width=16)
+        with pytest.raises(ValueError):
+            dy.range_sum(5, 2)
+
+    def test_memory_is_sum_of_levels(self):
+        dy = DyadicCountMin(universe_bits=4, width=16, depth=2)
+        per_level = 16 * 2 * 8
+        assert dy.memory_bytes() == per_level * 5  # levels 0..4

@@ -1,0 +1,137 @@
+"""Tests for Frequent Directions (slow and fast variants)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import FastFrequentDirections, FrequentDirections
+
+
+def random_matrix(n, d, seed=0, rank=None):
+    rng = np.random.default_rng(seed)
+    if rank is None:
+        return rng.normal(size=(n, d))
+    left = rng.normal(size=(n, rank))
+    right = rng.normal(size=(rank, d))
+    return left @ right
+
+
+class TestFrequentDirections:
+    def test_error_bound(self):
+        a = random_matrix(300, 15, seed=0)
+        fd = FrequentDirections(ell=8, dim=15)
+        for row in a:
+            fd.update(row)
+        err = np.linalg.norm(a.T @ a - fd.covariance(), 2)
+        assert err <= (np.linalg.norm(a, "fro") ** 2) / fd.ell + 1e-6
+
+    def test_exact_for_low_rank(self):
+        a = random_matrix(200, 12, seed=1, rank=3)
+        fd = FrequentDirections(ell=6, dim=12)
+        for row in a:
+            fd.update(row)
+        # rank 3 < ell: the sketch should capture the matrix near-exactly in
+        # the principal subspace; error stays far below the generic bound.
+        err = np.linalg.norm(a.T @ a - fd.covariance(), 2)
+        assert err <= 0.35 * (np.linalg.norm(a, "fro") ** 2) / fd.ell
+
+    def test_top_direction_is_sorted_first(self):
+        a = random_matrix(100, 10, seed=2)
+        fd = FrequentDirections(ell=5, dim=10)
+        for row in a:
+            fd.update(row)
+        sigma_sq, v = fd.top_direction()
+        b = fd.sketch_matrix()
+        norms = (b * b).sum(axis=1)
+        assert sigma_sq == pytest.approx(norms.max())
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_remove_top_direction(self):
+        a = random_matrix(100, 10, seed=3)
+        fd = FrequentDirections(ell=5, dim=10)
+        for row in a:
+            fd.update(row)
+        before = fd.covariance()
+        sigma_sq, v = fd.top_direction()
+        spilled = fd.remove_top_direction()
+        after = fd.covariance()
+        assert np.allclose(before - np.outer(spilled, spilled), after, atol=1e-8)
+        assert float(spilled @ spilled) == pytest.approx(sigma_sq)
+
+    def test_squared_frobenius_tracked(self):
+        a = random_matrix(50, 8, seed=4)
+        fd = FrequentDirections(ell=4, dim=8)
+        for row in a:
+            fd.update(row)
+        assert fd.squared_frobenius == pytest.approx(np.linalg.norm(a, "fro") ** 2)
+
+    def test_merge_error_bound(self):
+        a = random_matrix(200, 10, seed=5)
+        half = len(a) // 2
+        fd1 = FrequentDirections(ell=8, dim=10)
+        fd2 = FrequentDirections(ell=8, dim=10)
+        for row in a[:half]:
+            fd1.update(row)
+        for row in a[half:]:
+            fd2.update(row)
+        fd1.merge(fd2)
+        err = np.linalg.norm(a.T @ a - fd1.covariance(), 2)
+        assert err <= (np.linalg.norm(a, "fro") ** 2) / fd1.ell + 1e-6
+
+    def test_rejects_wrong_shape(self):
+        fd = FrequentDirections(ell=4, dim=8)
+        with pytest.raises(ValueError):
+            fd.update(np.zeros(5))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FrequentDirections(0, 5)
+        with pytest.raises(ValueError):
+            FrequentDirections(5, 0)
+
+    def test_memory_model(self):
+        fd = FrequentDirections(ell=4, dim=8)
+        assert fd.memory_bytes() == 4 * 8 * 8
+
+
+class TestFastFrequentDirections:
+    def test_error_bound(self):
+        a = random_matrix(400, 12, seed=6)
+        fd = FastFrequentDirections(ell=8, dim=12)
+        for row in a:
+            fd.update(row)
+        err = np.linalg.norm(a.T @ a - fd.covariance(), 2)
+        assert err <= (np.linalg.norm(a, "fro") ** 2) / fd.ell + 1e-6
+
+    def test_agrees_with_slow_on_error_scale(self):
+        a = random_matrix(300, 10, seed=7)
+        slow = FrequentDirections(ell=6, dim=10)
+        fast = FastFrequentDirections(ell=6, dim=10)
+        for row in a:
+            slow.update(row)
+            fast.update(row)
+        bound = (np.linalg.norm(a, "fro") ** 2) / 6
+        err_slow = np.linalg.norm(a.T @ a - slow.covariance(), 2)
+        err_fast = np.linalg.norm(a.T @ a - fast.covariance(), 2)
+        assert err_slow <= bound + 1e-6
+        assert err_fast <= bound + 1e-6
+
+    def test_merge_error_bound(self):
+        a = random_matrix(200, 10, seed=8)
+        half = len(a) // 2
+        fd1 = FastFrequentDirections(ell=8, dim=10)
+        fd2 = FastFrequentDirections(ell=8, dim=10)
+        for row in a[:half]:
+            fd1.update(row)
+        for row in a[half:]:
+            fd2.update(row)
+        fd1.merge(fd2)
+        err = np.linalg.norm(a.T @ a - fd1.covariance(), 2)
+        assert err <= (np.linalg.norm(a, "fro") ** 2) / fd1.ell + 1e-6
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            FastFrequentDirections(4, 8).merge(FastFrequentDirections(4, 9))
+
+    def test_memory_model_is_double_buffer(self):
+        fd = FastFrequentDirections(ell=4, dim=8)
+        assert fd.memory_bytes() == 2 * 4 * 8 * 8

@@ -1,0 +1,88 @@
+"""Tests for the seeded hash families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.hashing import HashFamily, MultiplyShiftHash, SignHash, next_pow2_bits
+
+
+class TestMultiplyShiftHash:
+    def test_output_range(self):
+        h = HashFamily(0).draw_multiply_shift(8)
+        outputs = [h(key) for key in range(1000)]
+        assert all(0 <= out < 256 for out in outputs)
+
+    def test_deterministic(self):
+        h1 = HashFamily(7).draw_multiply_shift(10)
+        h2 = HashFamily(7).draw_multiply_shift(10)
+        assert [h1(key) for key in range(100)] == [h2(key) for key in range(100)]
+
+    def test_different_seeds_differ(self):
+        h1 = HashFamily(1).draw_multiply_shift(16)
+        h2 = HashFamily(2).draw_multiply_shift(16)
+        outs1 = [h1(key) for key in range(200)]
+        outs2 = [h2(key) for key in range(200)]
+        assert outs1 != outs2
+
+    def test_vectorized_matches_scalar(self):
+        h = HashFamily(3).draw_multiply_shift(12)
+        keys = np.arange(500, dtype=np.uint64)
+        vector = h(keys)
+        scalar = [h(int(key)) for key in keys]
+        assert vector.tolist() == scalar
+
+    def test_roughly_uniform(self):
+        h = HashFamily(5).draw_multiply_shift(4)  # 16 buckets
+        counts = np.bincount([h(key) for key in range(16_000)], minlength=16)
+        # Each bucket should get about 1000; allow generous slack.
+        assert counts.min() > 500
+        assert counts.max() < 2000
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(4, 1, 8)
+
+    def test_out_bits_bounds(self):
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(3, 1, 0)
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(3, 1, 65)
+
+    def test_range_size(self):
+        h = MultiplyShiftHash(3, 1, 6)
+        assert h.range_size == 64
+
+
+class TestSignHash:
+    def test_outputs_are_signs(self):
+        s = HashFamily(0).draw_sign()
+        assert set(s(key) for key in range(1000)) == {-1, 1}
+
+    def test_balanced(self):
+        s = HashFamily(1).draw_sign()
+        total = sum(s(key) for key in range(10_000))
+        assert abs(total) < 600  # ~3 sigma for fair signs
+
+    def test_vectorized_matches_scalar(self):
+        s = HashFamily(2).draw_sign()
+        keys = np.arange(300, dtype=np.uint64)
+        assert s(keys).tolist() == [s(int(key)) for key in keys]
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            SignHash(2, 0)
+
+
+class TestNextPow2Bits:
+    @given(st.integers(min_value=1, max_value=2**30))
+    @settings(max_examples=200)
+    def test_covers_width(self, width):
+        bits = next_pow2_bits(width)
+        assert 2**bits >= width
+        assert 2 ** (bits - 1) < width or bits == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_pow2_bits(0)

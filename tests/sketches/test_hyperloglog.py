@@ -1,0 +1,72 @@
+"""Tests for the HyperLogLog sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import HyperLogLog
+
+
+class TestHyperLogLog:
+    def test_estimate_within_error(self):
+        hll = HyperLogLog(p=12, seed=0)
+        for key in range(50_000):
+            hll.update(key)
+        estimate = hll.estimate()
+        assert abs(estimate - 50_000) < 0.05 * 50_000
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(p=10, seed=1)
+        for _ in range(20):
+            for key in range(1_000):
+                hll.update(key)
+        assert abs(hll.estimate() - 1_000) < 0.15 * 1_000
+
+    def test_small_range_correction(self):
+        hll = HyperLogLog(p=10, seed=2)
+        for key in range(10):
+            hll.update(key)
+        assert abs(hll.estimate() - 10) < 3
+
+    def test_merge_is_union(self):
+        a = HyperLogLog(p=11, seed=3)
+        b = HyperLogLog(p=11, seed=3)
+        union = HyperLogLog(p=11, seed=3)
+        for key in range(10_000):
+            a.update(key)
+            union.update(key)
+        for key in range(5_000, 20_000):
+            b.update(key)
+            union.update(key)
+        a.merge(b)
+        assert np.array_equal(a._registers, union._registers)
+        assert abs(a.estimate() - 20_000) < 0.1 * 20_000
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=10, seed=0).merge(HyperLogLog(p=11, seed=0))
+        with pytest.raises(ValueError):
+            HyperLogLog(p=10, seed=0).merge(HyperLogLog(p=10, seed=1))
+
+    def test_from_error_sizing(self):
+        hll = HyperLogLog.from_error(0.02)
+        assert 1.04 / np.sqrt(hll.m) <= 0.025
+        with pytest.raises(ValueError):
+            HyperLogLog.from_error(0.0)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=3)
+        with pytest.raises(ValueError):
+            HyperLogLog(p=19)
+
+    def test_memory_model(self):
+        hll = HyperLogLog(p=10)
+        assert hll.memory_bytes() == 1024
+
+    def test_deterministic_with_seed(self):
+        a = HyperLogLog(p=10, seed=5)
+        b = HyperLogLog(p=10, seed=5)
+        for key in range(1_000):
+            a.update(key)
+            b.update(key)
+        assert a.estimate() == b.estimate()

@@ -1,0 +1,115 @@
+"""Tests for the KLL quantile sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import KllSketch
+
+
+def rank_error(values, sketch, probes=50):
+    ordered = np.sort(values)
+    worst = 0.0
+    for phi in np.linspace(0.02, 0.98, probes):
+        estimate = sketch.quantile(phi)
+        true_rank = np.searchsorted(ordered, estimate, side="right") / len(ordered)
+        worst = max(worst, abs(true_rank - phi))
+    return worst
+
+
+class TestKllSketch:
+    def test_rank_error_bound(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=20_000)
+        kll = KllSketch(k=200, seed=0)
+        for value in values:
+            kll.update(float(value))
+        assert rank_error(values, kll) < 0.03
+
+    def test_exact_when_small(self):
+        kll = KllSketch(k=64, seed=0)
+        values = list(range(50))
+        for value in values:
+            kll.update(value)
+        assert kll.quantile(0.0) == 0
+        assert kll.quantile(1.0) == 49
+        assert abs(kll.quantile(0.5) - 24.5) <= 1
+
+    def test_cdf_monotone(self):
+        rng = np.random.default_rng(1)
+        kll = KllSketch(k=100, seed=1)
+        for value in rng.uniform(0, 100, size=5_000):
+            kll.update(float(value))
+        cdf_values = [kll.cdf(x) for x in np.linspace(0, 100, 21)]
+        assert all(b >= a for a, b in zip(cdf_values, cdf_values[1:]))
+        assert cdf_values[0] <= 0.1 and cdf_values[-1] >= 0.9
+
+    def test_rank_counts_weighted_items(self):
+        kll = KllSketch(k=100, seed=0)
+        for value in range(1_000):
+            kll.update(value)
+        assert kll.rank(499) == pytest.approx(500, rel=0.05)
+
+    def test_space_sublinear(self):
+        kll = KllSketch(k=100, seed=2)
+        for value in range(100_000):
+            kll.update(value)
+        assert kll.retained() < 3_000
+
+    def test_merge_rank_error(self):
+        rng = np.random.default_rng(3)
+        values_a = rng.normal(0, 1, size=8_000)
+        values_b = rng.normal(3, 1, size=8_000)
+        a = KllSketch(k=200, seed=3)
+        b = KllSketch(k=200, seed=4)
+        for value in values_a:
+            a.update(float(value))
+        for value in values_b:
+            b.update(float(value))
+        a.merge(b)
+        assert a.count == 16_000
+        assert rank_error(np.concatenate([values_a, values_b]), a) < 0.04
+
+    def test_merge_rejects_mismatched_k(self):
+        with pytest.raises(ValueError):
+            KllSketch(k=100).merge(KllSketch(k=128))
+
+    def test_empty_queries_raise(self):
+        kll = KllSketch(k=16)
+        with pytest.raises(ValueError):
+            kll.quantile(0.5)
+        with pytest.raises(ValueError):
+            kll.cdf(0.0)
+
+    def test_phi_validated(self):
+        kll = KllSketch(k=16)
+        kll.update(1.0)
+        with pytest.raises(ValueError):
+            kll.quantile(1.5)
+
+    def test_from_error_sizing(self):
+        kll = KllSketch.from_error(0.01)
+        assert kll.k >= 200
+
+    def test_memory_model(self):
+        kll = KllSketch(k=16)
+        for value in range(10):
+            kll.update(value)
+        assert kll.memory_bytes() == kll.retained() * 8
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=500,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_quantiles_within_range(self, values):
+        kll = KllSketch(k=32, seed=5)
+        for value in values:
+            kll.update(value)
+        lo, hi = min(values), max(values)
+        for phi in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert lo <= kll.quantile(phi) <= hi

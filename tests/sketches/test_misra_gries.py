@@ -1,0 +1,138 @@
+"""Tests for the Misra-Gries summary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import MisraGries
+
+
+class TestMisraGries:
+    def test_never_overestimates(self):
+        mg = MisraGries(k=10)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 100, size=5_000)
+        for key in keys:
+            mg.update(int(key))
+        counts = np.bincount(keys, minlength=100)
+        for key in range(100):
+            assert mg.query(key) <= counts[key]
+
+    def test_error_bound(self):
+        k = 9  # eps = 1/(k+1) = 0.1
+        mg = MisraGries(k=k)
+        rng = np.random.default_rng(1)
+        keys = rng.zipf(1.2, size=10_000) % 50
+        for key in keys:
+            mg.update(int(key))
+        counts = np.bincount(keys, minlength=50)
+        bound = len(keys) / (k + 1)
+        for key in range(50):
+            assert counts[key] - mg.query(key) <= bound + 1e-9
+
+    def test_decrement_bound_tracks_error(self):
+        mg = MisraGries(k=5)
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 40, size=3_000)
+        for key in keys:
+            mg.update(int(key))
+        counts = np.bincount(keys, minlength=40)
+        for key in range(40):
+            assert counts[key] - mg.query(key) <= mg.decrement_bound
+
+    def test_exact_with_few_keys(self):
+        mg = MisraGries(k=10)
+        for key in range(5):
+            for _ in range(key + 1):
+                mg.update(key)
+        for key in range(5):
+            assert mg.query(key) == key + 1
+
+    def test_weighted_updates(self):
+        mg = MisraGries(k=4)
+        mg.update(1, 100)
+        mg.update(2, 50)
+        assert mg.query(1) == 100
+        assert mg.total_weight == 150
+
+    def test_heavy_weight_survives_eviction_round(self):
+        mg = MisraGries(k=2)
+        mg.update(1, 1)
+        mg.update(2, 1)
+        mg.update(3, 10)  # forces a decrement round, 3 must survive
+        assert mg.query(3) >= 8
+        assert mg.total_weight == 12
+
+    def test_rejects_nonpositive_weight(self):
+        mg = MisraGries(k=3)
+        with pytest.raises(ValueError):
+            mg.update(1, 0)
+        with pytest.raises(ValueError):
+            mg.update(1, -2)
+
+    def test_at_most_k_counters(self):
+        mg = MisraGries(k=7)
+        for key in range(1_000):
+            mg.update(key)
+        assert len(mg) <= 7
+
+    def test_heavy_hitters_finds_majority(self):
+        mg = MisraGries.from_error(0.05)
+        for _ in range(600):
+            mg.update(1)
+        for key in range(2, 402):
+            mg.update(key)
+        hitters = mg.heavy_hitters(0.3)
+        assert hitters == [1]
+
+    def test_merge_preserves_error_bound(self):
+        k = 19
+        a = MisraGries(k=k)
+        b = MisraGries(k=k)
+        rng = np.random.default_rng(3)
+        keys_a = rng.zipf(1.3, size=4_000) % 60
+        keys_b = rng.zipf(1.3, size=4_000) % 60
+        for key in keys_a:
+            a.update(int(key))
+        for key in keys_b:
+            b.update(int(key))
+        a.merge(b)
+        counts = np.bincount(np.concatenate([keys_a, keys_b]), minlength=60)
+        total = len(keys_a) + len(keys_b)
+        assert len(a) <= k
+        assert a.total_weight == total
+        for key in range(60):
+            assert a.query(key) <= counts[key]
+            assert counts[key] - a.query(key) <= total / (k + 1) + 1e-9
+
+    def test_merge_rejects_mismatched_k(self):
+        with pytest.raises(ValueError):
+            MisraGries(3).merge(MisraGries(4))
+
+    def test_from_error_validates(self):
+        with pytest.raises(ValueError):
+            MisraGries.from_error(0.0)
+        assert MisraGries.from_error(0.1).k == 9
+
+    def test_memory_model(self):
+        mg = MisraGries(k=5)
+        for key in range(5):
+            mg.update(key)
+        assert mg.memory_bytes() == 5 * 12
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=25), min_size=1, max_size=400),
+        k=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_sandwich_bound(self, keys, k):
+        mg = MisraGries(k=k)
+        for key in keys:
+            mg.update(key)
+        n = len(keys)
+        for key in set(keys):
+            estimate = mg.query(key)
+            true = keys.count(key)
+            assert estimate <= true
+            assert true - estimate <= n / (k + 1) + 1e-9

@@ -1,0 +1,80 @@
+"""Tests for weighted priority sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import PrioritySample
+
+
+class TestPrioritySample:
+    def test_keeps_k_items(self):
+        ps = PrioritySample(k=20, seed=0)
+        for item in range(200):
+            ps.update(item, 1.0 + item % 5)
+        assert len(ps) == 20
+        assert len(ps.sample()) == 20
+
+    def test_subset_sum_unbiased(self):
+        # Average the estimator over many independent runs.
+        true = sum(1.0 + (item % 10) for item in range(300) if item < 150)
+        estimates = []
+        for seed in range(200):
+            ps = PrioritySample(k=40, seed=seed)
+            for item in range(300):
+                ps.update(item, 1.0 + (item % 10))
+            estimates.append(ps.estimate_subset_sum(lambda item: item < 150))
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates)) / np.sqrt(len(estimates))
+        assert abs(mean - true) < 4 * stderr + 0.01 * true
+
+    def test_total_sum_estimate(self):
+        total = sum(1.0 + (item % 7) for item in range(500))
+        estimates = []
+        for seed in range(100):
+            ps = PrioritySample(k=50, seed=seed)
+            for item in range(500):
+                ps.update(item, 1.0 + (item % 7))
+            estimates.append(ps.estimate_subset_sum(lambda item: True))
+        assert abs(np.mean(estimates) - total) < 0.05 * total
+
+    def test_heavy_items_always_kept(self):
+        ps = PrioritySample(k=10, seed=3)
+        for item in range(100):
+            ps.update(item, 1.0)
+        ps.update(999, 1e9)  # priority ~ 1e9/u, astronomically large
+        assert 999 in [item for item, _ in ps.sample()]
+
+    def test_adjusted_weights_at_least_tau(self):
+        ps = PrioritySample(k=5, seed=1)
+        for item in range(100):
+            ps.update(item, 1.0 + item % 3)
+        tau = ps.threshold()
+        assert tau > 0
+        for _, weight in ps.sample():
+            assert weight >= tau - 1e-12
+
+    def test_raw_sample_preserves_weights(self):
+        ps = PrioritySample(k=5, seed=2)
+        for item in range(50):
+            ps.update(item, float(item + 1))
+        for item, weight in ps.raw_sample():
+            assert weight == float(item + 1)
+
+    def test_rejects_nonpositive_weight(self):
+        ps = PrioritySample(k=3, seed=0)
+        with pytest.raises(ValueError):
+            ps.update(1, 0.0)
+        with pytest.raises(ValueError):
+            ps.update(1, -1.0)
+
+    def test_total_weight_tracked(self):
+        ps = PrioritySample(k=3, seed=0)
+        for item in range(10):
+            ps.update(item, 2.0)
+        assert ps.total_weight == pytest.approx(20.0)
+
+    def test_memory_model(self):
+        ps = PrioritySample(k=4, seed=0)
+        for item in range(10):
+            ps.update(item, 1.0)
+        assert ps.memory_bytes() == 4 * 20

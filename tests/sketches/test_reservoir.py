@@ -1,0 +1,111 @@
+"""Tests for reservoir and top-k priority sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import ReservoirSample, TopKPrioritySample
+
+
+class TestReservoirSample:
+    def test_keeps_first_k(self):
+        rs = ReservoirSample(k=10, seed=0)
+        for item in range(5):
+            rs.update(item)
+        assert sorted(rs.sample()) == [0, 1, 2, 3, 4]
+
+    def test_size_capped_at_k(self):
+        rs = ReservoirSample(k=10, seed=0)
+        for item in range(1_000):
+            rs.update(item)
+        assert len(rs) == 10
+
+    def test_uniformity(self):
+        # Each of 20 items should land in a k=5 sample ~ k/n of the time.
+        hits = np.zeros(20)
+        for seed in range(400):
+            rs = ReservoirSample(k=5, seed=seed)
+            for item in range(20):
+                rs.update(item)
+            for item in rs.sample():
+                hits[item] += 1
+        expected = 400 * 5 / 20
+        assert np.all(np.abs(hits - expected) < 5 * np.sqrt(expected))
+
+    def test_independent_chains_mode(self):
+        rs = ReservoirSample(k=8, seed=1, independent_chains=True)
+        for item in range(100):
+            rs.update(item)
+        sample = rs.sample()
+        assert len(sample) == 8  # one item per chain, duplicates allowed
+        assert all(0 <= item < 100 for item in sample)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(k=0)
+
+    def test_memory_model(self):
+        rs = ReservoirSample(k=4, seed=0)
+        for item in range(10):
+            rs.update(item)
+        assert rs.memory_bytes() == 4 * 4
+
+
+class TestTopKPrioritySample:
+    def test_without_replacement(self):
+        tk = TopKPrioritySample(k=50, seed=0)
+        for item in range(500):
+            tk.update(item)
+        sample = tk.sample()
+        assert len(sample) == 50
+        assert len(set(sample)) == 50
+
+    def test_uniformity(self):
+        hits = np.zeros(20)
+        for seed in range(400):
+            tk = TopKPrioritySample(k=5, seed=seed)
+            for item in range(20):
+                tk.update(item)
+            for item in tk.sample():
+                hits[item] += 1
+        expected = 400 * 5 / 20
+        assert np.all(np.abs(hits - expected) < 5 * np.sqrt(expected))
+
+    def test_threshold_is_kth_largest(self):
+        tk = TopKPrioritySample(k=3, seed=0)
+        for item, priority in enumerate([0.9, 0.5, 0.7, 0.3, 0.8]):
+            tk.offer(item, priority)
+        assert tk.threshold() == pytest.approx(0.7)
+
+    def test_threshold_zero_when_underfull(self):
+        tk = TopKPrioritySample(k=10, seed=0)
+        tk.update(1)
+        assert tk.threshold() == 0.0
+
+    def test_merge_equals_union_topk(self):
+        a = TopKPrioritySample(k=5, seed=0)
+        b = TopKPrioritySample(k=5, seed=1)
+        offers_a = [(item, 0.1 * item) for item in range(10)]
+        offers_b = [(item + 100, 0.05 * item) for item in range(10)]
+        for item, priority in offers_a:
+            a.offer(item, priority)
+        for item, priority in offers_b:
+            b.offer(item, priority)
+        a.merge(b)
+        all_offers = sorted(offers_a + offers_b, key=lambda pair: -pair[1])[:5]
+        assert sorted(a.sample()) == sorted(item for item, _ in all_offers)
+
+    def test_merge_rejects_mismatched_k(self):
+        with pytest.raises(ValueError):
+            TopKPrioritySample(3).merge(TopKPrioritySample(4))
+
+    def test_count_tracks_stream(self):
+        tk = TopKPrioritySample(k=2, seed=0)
+        for item in range(7):
+            tk.update(item)
+        assert tk.count == 7
+
+    def test_memory_model(self):
+        tk = TopKPrioritySample(k=3, seed=0)
+        for item in range(10):
+            tk.update(item)
+        assert tk.memory_bytes() == 3 * 12

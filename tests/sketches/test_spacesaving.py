@@ -1,0 +1,90 @@
+"""Tests for the SpaceSaving sketch, including cross-validation vs Misra-Gries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import MisraGries, SpaceSaving
+
+
+class TestSpaceSaving:
+    def test_never_underestimates(self):
+        ss = SpaceSaving(k=10)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 100, size=5_000)
+        for key in keys:
+            ss.update(int(key))
+        counts = np.bincount(keys, minlength=100)
+        for key in range(100):
+            if ss.query(key) > 0:
+                assert ss.query(key) >= counts[key] or key not in ss.items()
+
+    def test_tracked_keys_overestimate(self):
+        ss = SpaceSaving(k=10)
+        rng = np.random.default_rng(1)
+        keys = rng.zipf(1.5, size=8_000) % 50
+        for key in keys:
+            ss.update(int(key))
+        counts = np.bincount(keys, minlength=50)
+        for key, estimate in ss.items().items():
+            assert estimate >= counts[key]
+            assert estimate - counts[key] <= len(keys) / ss.k + 1e-9
+
+    def test_guaranteed_count_is_lower_bound(self):
+        ss = SpaceSaving(k=5)
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 30, size=2_000)
+        for key in keys:
+            ss.update(int(key))
+        counts = np.bincount(keys, minlength=30)
+        for key in ss.items():
+            assert ss.guaranteed_count(key) <= counts[key]
+
+    def test_no_false_negatives(self):
+        ss = SpaceSaving.from_error(0.02)
+        rng = np.random.default_rng(3)
+        keys = rng.zipf(1.4, size=10_000) % 200
+        for key in keys:
+            ss.update(int(key))
+        counts = np.bincount(keys, minlength=200)
+        phi = 0.05
+        truth = {key for key in range(200) if counts[key] >= phi * len(keys)}
+        reported = set(ss.heavy_hitters(phi))
+        assert truth <= reported
+
+    def test_capacity_respected(self):
+        ss = SpaceSaving(k=6)
+        for key in range(500):
+            ss.update(key)
+        assert len(ss) <= 6
+
+    def test_rejects_nonpositive_weight(self):
+        ss = SpaceSaving(k=3)
+        with pytest.raises(ValueError):
+            ss.update(1, -1)
+
+    def test_memory_model(self):
+        ss = SpaceSaving(k=4)
+        for key in range(4):
+            ss.update(key)
+        assert ss.memory_bytes() == 4 * 20
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=300),
+        k=st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_isomorphic_error_to_misra_gries(self, keys, k):
+        """SS with k counters and MG with k counters have the same worst-case
+        additive error n/k vs n/(k+1); check both stay within n/k."""
+        ss = SpaceSaving(k=k)
+        mg = MisraGries(k=k)
+        for key in keys:
+            ss.update(key)
+            mg.update(key)
+        n = len(keys)
+        for key in set(keys):
+            true = keys.count(key)
+            assert abs(ss.query(key) - true) <= n / k + 1e-9
+            assert abs(mg.query(key) - true) <= n / k + 1e-9

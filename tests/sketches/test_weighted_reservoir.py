@@ -1,0 +1,62 @@
+"""Tests for the weighted with-replacement reservoir chains."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import WeightedReservoirWR
+
+
+class TestWeightedReservoirWR:
+    def test_sample_size_is_k(self):
+        wr = WeightedReservoirWR(k=16, seed=0)
+        for item in range(100):
+            wr.update(item, 1.0)
+        assert len(wr.sample()) == 16
+
+    def test_first_item_fills_all_chains(self):
+        wr = WeightedReservoirWR(k=8, seed=0)
+        wr.update(42, 3.0)
+        assert wr.sample() == [42] * 8
+
+    def test_weighted_marginals(self):
+        # Item weights 1:3 -> inclusion odds 1:3 per chain.
+        hits = {0: 0, 1: 0}
+        for seed in range(300):
+            wr = WeightedReservoirWR(k=4, seed=seed)
+            wr.update(0, 1.0)
+            wr.update(1, 3.0)
+            for item in wr.sample():
+                hits[item] += 1
+        ratio = hits[1] / max(1, hits[0])
+        assert 2.0 < ratio < 4.5
+
+    def test_subset_weight_estimate(self):
+        weights = [1.0 + (item % 10) for item in range(400)]
+        true = sum(w for item, w in enumerate(weights) if item < 200)
+        estimates = []
+        for seed in range(150):
+            wr = WeightedReservoirWR(k=60, seed=seed)
+            for item, weight in enumerate(weights):
+                wr.update(item, weight)
+            estimates.append(wr.estimate_subset_weight(lambda item: item < 200))
+        assert abs(np.mean(estimates) - true) < 0.08 * true
+
+    def test_rejects_nonpositive_weight(self):
+        wr = WeightedReservoirWR(k=2, seed=0)
+        with pytest.raises(ValueError):
+            wr.update(1, 0.0)
+
+    def test_total_weight_tracked(self):
+        wr = WeightedReservoirWR(k=2, seed=0)
+        for item in range(5):
+            wr.update(item, 2.5)
+        assert wr.total_weight == pytest.approx(12.5)
+
+    def test_empty_estimate_is_zero(self):
+        wr = WeightedReservoirWR(k=2, seed=0)
+        assert wr.estimate_subset_weight(lambda item: True) == 0.0
+
+    def test_memory_model(self):
+        wr = WeightedReservoirWR(k=6, seed=0)
+        wr.update(1, 1.0)
+        assert wr.memory_bytes() == 6 * 4

@@ -1,0 +1,52 @@
+"""Tests for the bursty (non-stationary) workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import bursty_stream, object_id_stream
+
+
+class TestBurstyStream:
+    def test_shape_and_monotone_timestamps(self):
+        stream = bursty_stream(n=8_000, seed=0)
+        assert len(stream) == 8_000
+        assert np.all(np.diff(stream.timestamps) > 0)
+        assert stream.keys.min() >= 0
+        assert stream.keys.max() < stream.universe
+
+    def test_deterministic_with_seed(self):
+        a = bursty_stream(n=2_000, seed=9)
+        b = bursty_stream(n=2_000, seed=9)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_popularity_shifts_between_epochs(self):
+        stream = bursty_stream(n=16_000, epochs=4, flash_fraction=0.4, seed=1)
+        epoch_length = len(stream) // 4
+        top_keys = []
+        for epoch in range(4):
+            segment = stream.keys[epoch * epoch_length : (epoch + 1) * epoch_length]
+            counts = np.bincount(segment, minlength=stream.universe)
+            top_keys.append(set(np.argsort(counts)[-3:].tolist()))
+        # The dominant keys are not identical across all epochs.
+        assert len(set.union(*top_keys)) > 3
+
+    def test_flash_keys_dominate_their_epoch(self):
+        stream = bursty_stream(n=16_000, epochs=4, flash_fraction=0.5, seed=2)
+        epoch_length = len(stream) // 4
+        segment = stream.keys[:epoch_length]
+        counts = np.bincount(segment, minlength=stream.universe)
+        # ~50% of one epoch concentrated on <= universe/1000 flash keys.
+        flash_mass = np.sort(counts)[-max(1, stream.universe // 1_000) :].sum()
+        assert flash_mass > 0.3 * epoch_length
+
+    def test_zero_flash_fraction_is_stationaryish(self):
+        bursty = bursty_stream(n=10_000, flash_fraction=0.0, seed=3)
+        stationary = object_id_stream(n=10_000, seed=3)
+        # With no flash traffic the generator reduces to the calibrated Zipf.
+        assert np.array_equal(bursty.keys, stationary.keys)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            bursty_stream(n=4, epochs=8)
+        with pytest.raises(ValueError):
+            bursty_stream(n=100, flash_fraction=1.0)

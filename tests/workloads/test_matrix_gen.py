@@ -1,0 +1,70 @@
+"""Tests for the Section-6.3 synthetic matrix generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    generate_matrix_stream,
+    low_dimension_stream,
+    matrix_query_schedule,
+    medium_dimension_stream,
+)
+
+
+class TestMatrixGenerator:
+    def test_shapes_and_time_order(self):
+        stream = generate_matrix_stream(n=500, dim=20, seed=0)
+        assert stream.rows.shape == (500, 20)
+        assert np.all(np.diff(stream.timestamps) >= 0)
+
+    def test_event_half_concentrated_mid_stream(self):
+        stream = generate_matrix_stream(n=2_000, dim=50, horizon=1_000.0, seed=1)
+        # Event rows are much longer on average; find them by norm.
+        norms = np.linalg.norm(stream.rows, axis=1)
+        heavy = norms > np.percentile(norms, 75)
+        heavy_times = stream.timestamps[heavy]
+        # The heavy rows cluster near horizon/2 with scale ~horizon/50.
+        assert abs(np.median(heavy_times) - 500.0) < 50.0
+        assert np.std(heavy_times) < 100.0
+
+    def test_event_rows_low_rank(self):
+        stream = generate_matrix_stream(n=2_000, dim=50, seed=2)
+        norms = np.linalg.norm(stream.rows, axis=1)
+        event_rows = stream.rows[norms > np.percentile(norms, 80)]
+        singular_values = np.linalg.svd(event_rows, compute_uv=False)
+        energy = np.cumsum(singular_values**2) / np.sum(singular_values**2)
+        # d/10 = 5 directions carry nearly all event energy.
+        assert energy[4] > 0.95
+
+    def test_deterministic_with_seed(self):
+        a = generate_matrix_stream(n=100, dim=20, seed=9)
+        b = generate_matrix_stream(n=100, dim=20, seed=9)
+        assert np.array_equal(a.rows, b.rows)
+
+    def test_iteration(self):
+        stream = generate_matrix_stream(n=10, dim=20, seed=0)
+        pairs = list(stream)
+        assert len(pairs) == 10
+        row, timestamp = pairs[0]
+        assert row.shape == (20,)
+
+    def test_named_presets(self):
+        low = low_dimension_stream(n=100, seed=0)
+        assert low.dim == 100
+        medium = medium_dimension_stream(n=100, seed=0)
+        assert medium.dim == 500
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            generate_matrix_stream(n=1, dim=20)
+        with pytest.raises(ValueError):
+            generate_matrix_stream(n=100, dim=5)
+
+    def test_query_schedule(self):
+        stream = generate_matrix_stream(n=1_000, dim=20, seed=0)
+        times = matrix_query_schedule(stream)
+        assert len(times) == 5
+        sizes = [
+            int(np.searchsorted(stream.timestamps, t, side="right")) for t in times
+        ]
+        assert sizes == [200, 400, 600, 800, 1_000]

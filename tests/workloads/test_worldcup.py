@@ -1,0 +1,64 @@
+"""Tests for the WorldCup'98-substitute log generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import client_id_stream, object_id_stream, query_schedule
+
+
+class TestLogStreams:
+    def test_client_stream_shape(self):
+        stream = client_id_stream(n=5_000, seed=0)
+        assert len(stream) == 5_000
+        assert stream.keys.min() >= 0
+        assert stream.keys.max() < stream.universe
+        assert np.all(np.diff(stream.timestamps) > 0)  # strictly increasing
+
+    def test_object_stream_more_skewed_than_client(self):
+        client = client_id_stream(n=100_000, seed=1)
+        obj = object_id_stream(n=100_000, seed=1)
+        client_counts = np.bincount(client.keys)
+        object_counts = np.bincount(obj.keys)
+        client_ratio = client_counts.max() / client_counts[client_counts > 0].mean()
+        object_ratio = object_counts.max() / object_counts[object_counts > 0].mean()
+        assert object_ratio > client_ratio
+
+    def test_deterministic_with_seed(self):
+        a = object_id_stream(n=1_000, seed=5)
+        b = object_id_stream(n=1_000, seed=5)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_iteration_yields_pairs(self):
+        stream = client_id_stream(n=10, seed=0)
+        pairs = list(stream)
+        assert len(pairs) == 10
+        key, timestamp = pairs[0]
+        assert isinstance(key, int)
+        assert isinstance(timestamp, float)
+
+    def test_unix_like_timestamps(self):
+        stream = client_id_stream(n=100, seed=0)
+        assert stream.timestamps[0] >= 900_000_000.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            client_id_stream(n=0)
+
+
+class TestQuerySchedule:
+    def test_five_queries_at_20pct_increments(self):
+        stream = client_id_stream(n=1_000, seed=0)
+        times = query_schedule(stream)
+        assert len(times) == 5
+        assert times[-1] == float(stream.timestamps[-1])
+        prefix_sizes = [
+            int(np.searchsorted(stream.timestamps, t, side="right")) for t in times
+        ]
+        assert prefix_sizes == [200, 400, 600, 800, 1_000]
+
+    def test_custom_fractions(self):
+        stream = client_id_stream(n=100, seed=0)
+        times = query_schedule(stream, fractions=(0.5,))
+        assert len(times) == 1
+        size = int(np.searchsorted(stream.timestamps, times[0], side="right"))
+        assert size == 50

@@ -1,0 +1,86 @@
+"""Tests for the Zipf calibration and sampler."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ZipfGenerator,
+    calibrate_exponent,
+    generalized_harmonic,
+    max_to_average_ratio,
+)
+
+
+class TestCalibration:
+    def test_harmonic_known_values(self):
+        assert generalized_harmonic(1, 1.0) == 1.0
+        assert generalized_harmonic(2, 1.0) == pytest.approx(1.5)
+        assert generalized_harmonic(4, 0.0) == pytest.approx(4.0)
+
+    def test_ratio_uniform_is_one(self):
+        assert max_to_average_ratio(100, 0.0) == pytest.approx(1.0)
+
+    def test_ratio_increases_with_exponent(self):
+        ratios = [max_to_average_ratio(1_000, s) for s in (0.0, 0.5, 1.0, 1.5)]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+    def test_calibrate_hits_target(self):
+        for universe, target in ((10_000, 300.0), (2_000, 50.0), (90_000, 1_180.0)):
+            s = calibrate_exponent(universe, target)
+            achieved = max_to_average_ratio(universe, s)
+            assert achieved == pytest.approx(target, rel=0.05)
+
+    def test_calibrate_rejects_unreachable(self):
+        with pytest.raises(ValueError):
+            calibrate_exponent(100, 0.5)
+        with pytest.raises(ValueError):
+            calibrate_exponent(100, 200.0)
+
+
+class TestZipfGenerator:
+    def test_keys_in_universe(self):
+        gen = ZipfGenerator(universe=500, exponent=1.0, seed=0)
+        keys = gen.sample(5_000)
+        assert keys.min() >= 0
+        assert keys.max() < 500
+
+    def test_deterministic_with_seed(self):
+        a = ZipfGenerator(universe=100, exponent=1.0, seed=3).sample(1_000)
+        b = ZipfGenerator(universe=100, exponent=1.0, seed=3).sample(1_000)
+        assert np.array_equal(a, b)
+
+    def test_empirical_skew_matches_calibration(self):
+        universe, target = 1_000, 50.0
+        s = calibrate_exponent(universe, target)
+        gen = ZipfGenerator(universe, s, seed=1)
+        keys = gen.sample(200_000)
+        counts = np.bincount(keys, minlength=universe)
+        ratio = counts.max() / counts.mean()
+        assert 0.6 * target < ratio < 1.4 * target
+
+    def test_heavy_keys_are_spread_by_permutation(self):
+        gen = ZipfGenerator(universe=1_000, exponent=1.5, seed=2)
+        heavy = gen.expected_heavy_hitters(0.01)
+        assert len(heavy) > 0
+        assert max(heavy) > 100  # not all clustered at small ids
+
+    def test_probability_of_key_sums(self):
+        gen = ZipfGenerator(universe=50, exponent=1.0, seed=0)
+        total = sum(gen.probability_of_key(key) for key in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_expected_heavy_hitters_threshold(self):
+        gen = ZipfGenerator(universe=100, exponent=1.2, seed=0)
+        for key in gen.expected_heavy_hitters(0.05):
+            assert gen.probability_of_key(key) >= 0.05
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(universe=0, exponent=1.0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(universe=10, exponent=-1.0)
+        gen = ZipfGenerator(universe=10, exponent=1.0)
+        with pytest.raises(ValueError):
+            gen.sample(-1)
+        with pytest.raises(ValueError):
+            gen.expected_heavy_hitters(0.0)
