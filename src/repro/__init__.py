@@ -20,16 +20,29 @@ Layout
     Calibrated synthetic WorldCup'98 logs and Section-6.3 matrix streams.
 ``repro.evaluation``
     Metrics, the C-layout memory model, experiment harness, reporting.
+``repro.durability``
+    Crash-safe ingestion: segmented write-ahead log, DurableSketch
+    (log-then-apply + snapshots), snapshot/WAL-replay recovery,
+    fault-injection harness.
 """
 
 __version__ = "1.0.0"
 
-from repro import baselines, core, evaluation, persistent, sketches, workloads
+from repro import (
+    baselines,
+    core,
+    durability,
+    evaluation,
+    persistent,
+    sketches,
+    workloads,
+)
 
 __all__ = [
     "__version__",
     "baselines",
     "core",
+    "durability",
     "evaluation",
     "persistent",
     "sketches",

@@ -13,6 +13,7 @@ from repro.core.base import (
     Sketch,
     StreamItem,
     TimestampGuard,
+    apply_stream_update,
 )
 from repro.core.bitp_sampling import BitpPrioritySample
 from repro.core.checkpoint_chain import CheckpointChain
@@ -51,4 +52,5 @@ __all__ = [
     "Sketch",
     "StreamItem",
     "TimestampGuard",
+    "apply_stream_update",
 ]

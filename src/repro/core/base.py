@@ -15,6 +15,8 @@ interfaces below.  Plain streaming sketches (the substrate in
 
 from __future__ import annotations
 
+import functools
+import inspect
 import math
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
@@ -94,6 +96,45 @@ def check_positive_weight(weight: float) -> float:
     if not (weight > 0) or math.isinf(weight):
         raise ValueError(f"weight must be finite and positive, got {weight}")
     return weight
+
+
+@functools.lru_cache(maxsize=None)
+def _update_accepts_weight(cls: type) -> bool:
+    """Whether ``cls.update`` can take a ``weight`` keyword argument."""
+    try:
+        signature = inspect.signature(cls.update)
+    except (TypeError, ValueError):  # builtins / C accelerators: assume yes
+        return True
+    parameters = signature.parameters
+    if "weight" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+def apply_stream_update(
+    sketch: Any, value: Any, timestamp: float, weight: float = 1.0
+) -> None:
+    """Apply one ``(value, timestamp, weight)`` stream item to any sketch.
+
+    The single dispatch point shared by live ingestion and WAL replay
+    (:mod:`repro.durability`): some sketches take ``update(value, t)``, others
+    ``update(value, t, weight)``, and a durable log must re-apply a record
+    exactly the way it was applied the first time.  Dispatch depends only on
+    the sketch's type, so replaying the same records through the same sketch
+    class reproduces the same state bit-for-bit.
+    """
+    if _update_accepts_weight(type(sketch)):
+        sketch.update(value, timestamp, weight=weight)
+    elif weight == 1.0:
+        sketch.update(value, timestamp)
+    else:
+        raise TypeError(
+            f"{type(sketch).__name__}.update does not accept weights, "
+            f"got weight={weight}"
+        )
 
 
 def check_finite_row(row: np.ndarray) -> np.ndarray:

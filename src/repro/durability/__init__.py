@@ -1,0 +1,76 @@
+"""Crash-safe ingestion for persistent sketches.
+
+A persistent sketch answers "what did the summary look like months ago?" —
+which is only meaningful if the summary survives until months later.  This
+package wraps any ATTP/BITP sketch in the standard database recipe:
+
+* :class:`WriteAheadLog` — segmented append-only log with per-record CRC32
+  framing, configurable fsync policy, and segment rotation;
+* :class:`DurableSketch` — log-then-apply ingestion, periodic framed
+  snapshots (``repro.io`` format), WAL truncation only after a snapshot is
+  durably on disk;
+* :func:`recover` — newest-valid-snapshot + WAL-tail replay, tolerating a
+  torn final record (truncate-and-continue) and quarantining interior
+  corruption with precise diagnostics;
+* :mod:`~repro.durability.faults` — an injectable filesystem shim used by
+  the kill-point sweep in ``tests/durability/test_crash_sweep.py`` to crash
+  ingestion at every WAL/snapshot boundary and prove recovery exact.
+
+Quick use::
+
+    from repro.durability import DurableSketch
+    from repro.persistent import AttpSampleHeavyHitter
+
+    store = DurableSketch.open(
+        lambda: AttpSampleHeavyHitter(k=1000, seed=7), "state/hh",
+        fsync_policy="always",
+    )
+    store.update(key, timestamp)          # durable before applied
+    store.heavy_hitters_at(t, 0.01)       # queries forward to the sketch
+    store.close()                         # final snapshot + WAL release
+
+After a crash, the same ``DurableSketch.open`` call recovers the exact
+pre-crash state.
+"""
+
+from repro.durability.faults import (
+    FaultPlan,
+    FaultyFilesystem,
+    InjectedIOError,
+    OsFilesystem,
+    SimulatedCrash,
+)
+from repro.durability.recovery import (
+    RecoveryResult,
+    Snapshot,
+    WalCorruptionError,
+    list_snapshots,
+    recover,
+)
+from repro.durability.store import DurableSketch
+from repro.durability.wal import (
+    WalRecord,
+    WriteAheadLog,
+    iter_records,
+    list_segments,
+    scan_segment,
+)
+
+__all__ = [
+    "DurableSketch",
+    "FaultPlan",
+    "FaultyFilesystem",
+    "InjectedIOError",
+    "OsFilesystem",
+    "RecoveryResult",
+    "SimulatedCrash",
+    "Snapshot",
+    "WalCorruptionError",
+    "WalRecord",
+    "WriteAheadLog",
+    "iter_records",
+    "list_segments",
+    "list_snapshots",
+    "recover",
+    "scan_segment",
+]

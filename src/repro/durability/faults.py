@@ -1,0 +1,282 @@
+"""Injectable filesystem shim and fault-injection harness.
+
+The durability layer (:mod:`repro.durability.wal` / ``store``) performs all
+of its writes through a :class:`Filesystem` object instead of calling ``os``
+directly.  In production that object is :class:`OsFilesystem`; in tests it is
+:class:`FaultyFilesystem`, which wraps the real one, labels and counts every
+operation, and can
+
+* **crash** (raise :class:`SimulatedCrash`) before or after the Nth
+  operation, or mid-write leaving a *torn* record on disk;
+* **fail** the Nth operation once with an injected ``OSError`` (disk full,
+  fsync failure) without crashing the process;
+* **short-write** the Nth write — silently persist only a prefix, the way a
+  real kernel may on ENOSPC — to exercise CRC detection at recovery.
+
+A *kill-point sweep* runs ingestion once in trace mode to enumerate every
+labelled operation, then re-runs it crashing at each chosen point and
+asserts recovery reproduces the pre-crash answers
+(``tests/durability/test_crash_sweep.py``).
+
+:class:`SimulatedCrash` inherits from ``BaseException`` on purpose: durable
+code under test must not be able to swallow it with ``except Exception``,
+exactly as it cannot swallow a real power failure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+
+class SimulatedCrash(BaseException):
+    """The process 'died' here — everything after this point never ran."""
+
+
+class InjectedIOError(OSError):
+    """An injected I/O failure (disk full, fsync error, ...)."""
+
+
+class AppendHandle:
+    """An open append-only file: sequential writes, explicit fsync."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._file = open(self.path, "ab")
+
+    @property
+    def size(self) -> int:
+        return self._file.tell()
+
+    def write(self, data: bytes) -> int:
+        written = self._file.write(data)
+        self._file.flush()
+        return written
+
+    def fsync(self) -> None:
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class OsFilesystem:
+    """The real filesystem, factored into the primitives the WAL needs.
+
+    ``write_atomic`` composes the primitives (rather than calling ``os``
+    directly) so a fault injector wrapping this class sees — and can crash
+    between — each step of the temp-write / fsync / rename / dirsync dance.
+    """
+
+    def open_append(self, path) -> AppendHandle:
+        """Open ``path`` for appending; returns an :class:`AppendHandle`."""
+        return AppendHandle(Path(path))
+
+    def append(self, handle: AppendHandle, data: bytes) -> int:
+        """Append ``data`` through ``handle``; returns bytes written."""
+        return handle.write(data)
+
+    def fsync(self, handle: AppendHandle) -> None:
+        """fsync the bytes appended through ``handle`` to stable storage."""
+        handle.fsync()
+
+    def write_bytes(self, path, data: bytes) -> int:
+        """Create/overwrite ``path`` with ``data`` (not atomic, not synced)."""
+        with open(path, "wb") as file:
+            written = file.write(data)
+        return written
+
+    def fsync_file(self, path) -> None:
+        """fsync an existing file by path."""
+        fd = os.open(str(path), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def fsync_dir(self, directory) -> None:
+        """fsync a directory entry (best-effort; see :func:`repro.io.fsync_directory`)."""
+        try:
+            fd = os.open(str(directory), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def replace(self, source, destination) -> None:
+        """Atomically rename ``source`` over ``destination``."""
+        os.replace(str(source), str(destination))
+
+    def remove(self, path) -> None:
+        """Delete a file."""
+        os.remove(str(path))
+
+    def truncate(self, path, size: int) -> None:
+        """Cut ``path`` down to ``size`` bytes."""
+        os.truncate(str(path), size)
+
+    def write_atomic(self, path, data: bytes, durable: bool = True) -> int:
+        """Temp-file + fsync + atomic rename + directory fsync."""
+        path = Path(path)
+        temporary = path.with_suffix(path.suffix + ".tmp")
+        self.write_bytes(temporary, data)
+        if durable:
+            self.fsync_file(temporary)
+        self.replace(temporary, path)
+        if durable:
+            self.fsync_dir(path.parent)
+        return len(data)
+
+
+@dataclass
+class FaultPlan:
+    """Where and how a :class:`FaultyFilesystem` misbehaves.
+
+    Operation indices are 1-based positions in the global operation sequence
+    (the order :class:`FaultyFilesystem` records in ``ops``).  ``crash_mode``:
+
+    * ``'before'`` — crash instead of performing the operation;
+    * ``'after'``  — perform it fully, then crash;
+    * ``'torn'``   — for data-writing ops, persist only a strict prefix of
+      the bytes, then crash (non-writes behave as ``'after'``).
+    """
+
+    crash_at: Optional[int] = None
+    crash_mode: str = "before"
+    error_at: Optional[int] = None
+    short_write_at: Optional[int] = None
+
+    def __post_init__(self):
+        if self.crash_mode not in ("before", "after", "torn"):
+            raise ValueError(f"unknown crash_mode {self.crash_mode!r}")
+
+
+@dataclass
+class OpRecord:
+    """One recorded filesystem operation."""
+
+    index: int
+    label: str
+
+    def __iter__(self):
+        return iter((self.index, self.label))
+
+
+class FaultyFilesystem(OsFilesystem):
+    """A filesystem that counts, traces, and injects faults into every op.
+
+    With a default :class:`FaultPlan` it is a pure tracer: run the workload
+    once, read ``ops`` to learn every kill point, then re-run with
+    ``crash_at`` set to each point of interest.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan or FaultPlan()
+        self.ops: List[OpRecord] = []
+        self.crashed = False
+
+    # -- injection core ----------------------------------------------------
+
+    def _arm(self, label: str) -> int:
+        """Record one op; handle 'before' crash and injected errors."""
+        index = len(self.ops) + 1
+        self.ops.append(OpRecord(index, label))
+        if index == self.plan.error_at:
+            raise InjectedIOError(f"injected I/O error at op {index} ({label})")
+        if index == self.plan.crash_at and self.plan.crash_mode == "before":
+            self._crash(index, label)
+        return index
+
+    def _crash(self, index: int, label: str) -> None:
+        self.crashed = True
+        raise SimulatedCrash(f"simulated crash at op {index} ({label})")
+
+    def _finish(self, index: int, label: str) -> None:
+        if index == self.plan.crash_at and self.plan.crash_mode != "before":
+            self._crash(index, label)
+
+    def _torn_here(self, index: int) -> bool:
+        return index == self.plan.crash_at and self.plan.crash_mode == "torn"
+
+    def _short_here(self, index: int) -> bool:
+        return index == self.plan.short_write_at
+
+    @staticmethod
+    def _prefix(data: bytes) -> bytes:
+        """A strict prefix: at least one byte lost, at most all of them."""
+        return data[: max(0, len(data) - 1 - len(data) // 3)]
+
+    # -- instrumented primitives -------------------------------------------
+
+    def append(self, handle: AppendHandle, data: bytes) -> int:
+        """Instrumented :meth:`OsFilesystem.append` (traced, fault-injectable)."""
+        index = self._arm(f"append:{handle.path.name}")
+        if self._torn_here(index):
+            super().append(handle, self._prefix(data))
+            self._crash(index, f"append:{handle.path.name}")
+        if self._short_here(index):
+            return super().append(handle, self._prefix(data))
+        written = super().append(handle, data)
+        self._finish(index, f"append:{handle.path.name}")
+        return written
+
+    def fsync(self, handle: AppendHandle) -> None:
+        """Instrumented :meth:`OsFilesystem.fsync` (traced, fault-injectable)."""
+        label = f"fsync:{handle.path.name}"
+        index = self._arm(label)
+        super().fsync(handle)
+        self._finish(index, label)
+
+    def write_bytes(self, path, data: bytes) -> int:
+        """Instrumented :meth:`OsFilesystem.write_bytes` (traced, fault-injectable)."""
+        label = f"write:{Path(path).name}"
+        index = self._arm(label)
+        if self._torn_here(index):
+            super().write_bytes(path, self._prefix(data))
+            self._crash(index, label)
+        if self._short_here(index):
+            return super().write_bytes(path, self._prefix(data))
+        written = super().write_bytes(path, data)
+        self._finish(index, label)
+        return written
+
+    def fsync_file(self, path) -> None:
+        """Instrumented :meth:`OsFilesystem.fsync_file` (traced, fault-injectable)."""
+        label = f"fsync_file:{Path(path).name}"
+        index = self._arm(label)
+        super().fsync_file(path)
+        self._finish(index, label)
+
+    def fsync_dir(self, directory) -> None:
+        """Instrumented :meth:`OsFilesystem.fsync_dir` (traced, fault-injectable)."""
+        label = "fsync_dir"
+        index = self._arm(label)
+        super().fsync_dir(directory)
+        self._finish(index, label)
+
+    def replace(self, source, destination) -> None:
+        """Instrumented :meth:`OsFilesystem.replace` (traced, fault-injectable)."""
+        label = f"replace:{Path(destination).name}"
+        index = self._arm(label)
+        super().replace(source, destination)
+        self._finish(index, label)
+
+    def remove(self, path) -> None:
+        """Instrumented :meth:`OsFilesystem.remove` (traced, fault-injectable)."""
+        label = f"remove:{Path(path).name}"
+        index = self._arm(label)
+        super().remove(path)
+        self._finish(index, label)
+
+    def truncate(self, path, size: int) -> None:
+        """Instrumented :meth:`OsFilesystem.truncate` (traced, fault-injectable)."""
+        label = f"truncate:{Path(path).name}"
+        index = self._arm(label)
+        super().truncate(path, size)
+        self._finish(index, label)

@@ -1,0 +1,235 @@
+"""DurableSketch: crash-safe ingestion around any ATTP/BITP sketch.
+
+The write path is the classic WAL protocol:
+
+1. ``update(value, timestamp, weight)`` frames the record and appends it to
+   the :class:`~repro.durability.wal.WriteAheadLog` **first**;
+2. only then is the update applied to the in-memory sketch (through
+   :func:`repro.core.apply_stream_update`, the same dispatch replay uses);
+3. every ``snapshot_every`` accepted updates, the whole sketch is written
+   as a framed snapshot (``repro.io`` format) via an atomic, fsynced
+   temp-file rename, and *only after* the snapshot is durable are the WAL
+   segments it covers deleted.
+
+Consequences:
+
+* a crash at any instant loses at most the in-flight update (plus, under
+  ``fsync_policy='batch'``/``'off'``, unsynced appends the OS had not yet
+  written back — bounded by ``batch_every``);
+* :func:`repro.durability.recovery.recover` always finds either the old
+  snapshot + full WAL, or the new snapshot + WAL tail — never a state with
+  holes;
+* an update the sketch itself rejects (``MonotoneViolation``, bad weight)
+  re-raises to the caller *after* being logged; replay re-rejects it
+  deterministically, so the WAL never needs compensation records.
+
+Queries go straight to the wrapped sketch (attribute access is forwarded),
+so a ``DurableSketch`` answers ``heavy_hitters_at`` / ``quantile_at`` /
+``estimate_since`` exactly like the sketch it protects.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.core.base import apply_stream_update
+from repro.durability.faults import OsFilesystem
+from repro.durability.recovery import Snapshot, list_snapshots, recover, snapshot_name
+from repro.durability.wal import WriteAheadLog, list_segments
+from repro.io import encode_sketch
+
+
+class DurableSketch:
+    """A sketch whose accepted updates survive process death.
+
+    Build fresh or resume with :meth:`open`; ingest with :meth:`update`;
+    query through any attribute of the wrapped sketch.  ``snapshot_every=0``
+    disables automatic snapshots (call :meth:`snapshot` manually).
+    """
+
+    def __init__(
+        self,
+        sketch: Any,
+        directory,
+        *,
+        fs: Optional[OsFilesystem] = None,
+        fsync_policy: str = "batch",
+        batch_every: int = 64,
+        snapshot_every: int = 10_000,
+        segment_bytes: int = 1 << 20,
+        keep_snapshots: int = 2,
+        next_seqno: int = 1,
+        applied_seqno: int = 0,
+        snapshot_seqno: int = 0,
+    ):
+        if snapshot_every < 0:
+            raise ValueError(f"snapshot_every must be >= 0, got {snapshot_every}")
+        if keep_snapshots < 1:
+            raise ValueError(f"keep_snapshots must be >= 1, got {keep_snapshots}")
+        self._sketch = sketch
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fs = fs or OsFilesystem()
+        self.snapshot_every = snapshot_every
+        self.keep_snapshots = keep_snapshots
+        self.applied_seqno = applied_seqno
+        self.last_snapshot_seqno = snapshot_seqno
+        self.snapshots_taken = 0
+        self.updates_rejected = 0
+        self.wal = WriteAheadLog(
+            self.directory,
+            fs=self.fs,
+            fsync_policy=fsync_policy,
+            batch_every=batch_every,
+            segment_bytes=segment_bytes,
+            next_seqno=next_seqno,
+        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        factory: Callable[[], Any],
+        directory,
+        *,
+        strict: bool = True,
+        **options,
+    ) -> "DurableSketch":
+        """Open ``directory``, recovering any existing state first.
+
+        ``factory`` builds the empty sketch — with the *same* parameters and
+        seed every time, since replay determinism depends on it.  On a fresh
+        directory this is just ``factory()`` plus an empty WAL.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        has_state = bool(list_segments(directory)) or bool(list_snapshots(directory))
+        if has_state:
+            result = recover(directory, factory, strict=strict, fs=options.get("fs"))
+            store = cls(
+                result.sketch,
+                directory,
+                next_seqno=result.last_seqno + 1,
+                applied_seqno=result.last_seqno,
+                snapshot_seqno=result.snapshot_seqno,
+                **options,
+            )
+            store.last_recovery = result
+            return store
+        store = cls(factory(), directory, **options)
+        store.last_recovery = None
+        return store
+
+    # -- ingestion ----------------------------------------------------------
+
+    def update(self, value: Any, timestamp: float, weight: float = 1.0) -> int:
+        """Log, then apply, one stream update; returns its sequence number.
+
+        When this returns, the update is in the WAL (on stable storage under
+        ``fsync_policy='always'``) *and* applied to the in-memory sketch.
+        If the sketch rejects the offer (``MonotoneViolation``, hostile
+        weight), the exception propagates and the logged record will be
+        re-rejected identically at replay — accepted state is never skewed.
+        """
+        seqno = self.wal.append(value, timestamp, weight)
+        try:
+            apply_stream_update(self._sketch, value, timestamp, weight)
+        except ValueError:
+            self.updates_rejected += 1
+            self.applied_seqno = seqno
+            raise
+        self.applied_seqno = seqno
+        if (
+            self.snapshot_every
+            and seqno - self.last_snapshot_seqno >= self.snapshot_every
+        ):
+            self.snapshot()
+        return seqno
+
+    def update_many(self, values, timestamps, weights=None) -> int:
+        """Bulk :meth:`update`; returns the last sequence number assigned."""
+        seqno = self.applied_seqno
+        if weights is None:
+            for value, timestamp in zip(values, timestamps):
+                seqno = self.update(value, timestamp)
+        else:
+            for value, timestamp, weight in zip(values, timestamps, weights):
+                seqno = self.update(value, timestamp, weight)
+        return seqno
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> Path:
+        """Write a durable snapshot, then truncate the WAL it covers.
+
+        The ordering is the whole point: WAL flush → snapshot bytes fsynced
+        → atomic rename → directory fsync → *only then* segment deletion.
+        A crash anywhere in between leaves a recoverable directory.
+        """
+        self.wal.flush()
+        seqno = self.applied_seqno
+        payload = Snapshot(self._sketch, seqno, wall_time=time.time())
+        path = self.directory / snapshot_name(seqno)
+        self.fs.write_atomic(path, encode_sketch(payload), durable=True)
+        self.last_snapshot_seqno = seqno
+        self.snapshots_taken += 1
+        self.wal.truncate_through(seqno)
+        self._prune_snapshots()
+        return path
+
+    def _prune_snapshots(self) -> None:
+        """Keep the newest ``keep_snapshots`` snapshots as fallbacks."""
+        for path in list_snapshots(self.directory)[self.keep_snapshots :]:
+            self.fs.remove(path)
+        self.fs.fsync_dir(self.directory)
+
+    # -- lifecycle / introspection ------------------------------------------
+
+    @property
+    def sketch(self) -> Any:
+        """The wrapped in-memory sketch (shared, not a copy)."""
+        return self._sketch
+
+    def stats(self) -> dict:
+        """Counters for monitoring: log/snapshot/rejection activity."""
+        return {
+            "applied_seqno": self.applied_seqno,
+            "records_appended": self.wal.records_appended,
+            "snapshots_taken": self.snapshots_taken,
+            "last_snapshot_seqno": self.last_snapshot_seqno,
+            "segments_live": len(self.wal.segments()),
+            "segments_removed": self.wal.segments_removed,
+            "updates_rejected": self.updates_rejected,
+        }
+
+    def flush(self) -> None:
+        """Durability barrier: make every accepted update stable."""
+        self.wal.flush()
+
+    def close(self, final_snapshot: bool = True) -> None:
+        """Flush (and by default snapshot) then release the WAL."""
+        if final_snapshot and self.applied_seqno > self.last_snapshot_seqno:
+            self.snapshot()
+        else:
+            self.wal.flush()
+        self.wal.close()
+
+    def __enter__(self) -> "DurableSketch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Crash-looking exits (including SimulatedCrash) skip the tidy
+        # close: recovery is the code path that must handle them.
+        if exc_type is None:
+            self.close()
+
+    def __getattr__(self, name: str) -> Any:
+        # Forward queries (heavy_hitters_at, quantile_at, count, ...) to the
+        # wrapped sketch.  Only called when normal lookup fails, so the
+        # store's own attributes always win.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._sketch, name)

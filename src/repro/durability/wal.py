@@ -1,0 +1,330 @@
+"""Segmented append-only write-ahead log for sketch ingestion.
+
+On-disk layout, inside a directory::
+
+    wal-00000001.log  wal-00000002.log  ...
+
+Each segment starts with a 24-byte header — magic ``WALSEG01``, the segment
+index, and the sequence number of its first record — followed by framed
+records::
+
+    [crc32 : u32] [payload length : u32] [seqno : u64] [payload bytes]
+
+The CRC covers the length, seqno, and payload, so any torn or bit-flipped
+record is detected at scan time.  The payload is a pickle of
+``(value, timestamp, weight)``; values are arbitrary picklable objects
+(integers, floats, numpy rows).
+
+Durability knobs:
+
+* ``fsync_policy='always'`` — fsync after every append; an update that
+  returned is on stable storage.
+* ``'batch'`` — fsync every ``batch_every`` appends and at every barrier
+  (rotation, snapshot, close); bounded loss of the in-flight batch.
+* ``'off'`` — never fsync; the OS decides (tests, bulk backfills).
+
+Segments rotate at ``segment_bytes``; old segments are deleted by
+``truncate_through(seqno)`` once a snapshot covering them is durable
+(:mod:`repro.durability.store` enforces that ordering).
+
+Scanning (:func:`scan_segment`) distinguishes a *torn tail* — a record cut
+short at the physical end of the last segment, the normal residue of a crash
+mid-append, handled by truncate-and-continue — from *interior corruption*,
+which recovery quarantines (:mod:`repro.durability.recovery`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.durability.faults import AppendHandle, OsFilesystem
+
+SEGMENT_MAGIC = b"WALSEG01"
+_SEGMENT_HEADER = struct.Struct(">8sQQ")  # magic, segment index, first seqno
+_RECORD_HEADER = struct.Struct(">IIQ")  # crc32, payload length, seqno
+
+_SEGMENT_NAME = re.compile(r"^wal-(\d{8})\.log$")
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+
+def segment_name(index: int) -> str:
+    return f"wal-{index:08d}.log"
+
+
+def segment_index(path) -> Optional[int]:
+    """The numeric index of a segment file, or None for other files."""
+    match = _SEGMENT_NAME.match(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+def list_segments(directory) -> List[Path]:
+    """WAL segment files under ``directory``, in index order."""
+    directory = Path(directory)
+    found = [
+        (segment_index(path), path)
+        for path in directory.iterdir()
+        if segment_index(path) is not None
+    ]
+    return [path for _, path in sorted(found)]
+
+
+def encode_record(value: Any, timestamp: float, weight: float, seqno: int) -> bytes:
+    payload = pickle.dumps((value, timestamp, weight), protocol=pickle.HIGHEST_PROTOCOL)
+    body = struct.pack(">IQ", len(payload), seqno) + payload
+    return struct.pack(">I", zlib.crc32(body)) + body
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL record."""
+
+    seqno: int
+    value: Any
+    timestamp: float
+    weight: float
+
+
+@dataclass
+class SegmentScan:
+    """Result of scanning one segment file.
+
+    ``status``:
+    * ``'ok'``      — every byte accounted for;
+    * ``'torn'``    — a record is cut short at the physical end of the file
+      (crash mid-append); ``good_bytes`` is the truncation point;
+    * ``'corrupt'`` — a CRC/structure violation *before* the end of the
+      file, or a bad segment header: interior damage, not a torn tail.
+    """
+
+    path: Path
+    status: str
+    records: List[WalRecord] = field(default_factory=list)
+    good_bytes: int = 0
+    detail: str = ""
+    first_seqno: Optional[int] = None
+
+
+def scan_segment(path) -> SegmentScan:
+    """Parse one segment, classifying any damage (reads the real filesystem)."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < _SEGMENT_HEADER.size:
+        # A crash while creating the segment leaves a short (often empty)
+        # file with no complete records in it — a torn tail of size zero.
+        return SegmentScan(path, "torn", [], 0, "segment header cut short")
+    magic, index, first_seqno = _SEGMENT_HEADER.unpack_from(data, 0)
+    if magic != SEGMENT_MAGIC:
+        return SegmentScan(path, "corrupt", [], 0, "bad segment magic")
+    records: List[WalRecord] = []
+    offset = _SEGMENT_HEADER.size
+    while offset < len(data):
+        remaining = len(data) - offset
+        if remaining < _RECORD_HEADER.size:
+            return SegmentScan(
+                path, "torn", records, offset,
+                f"record header cut short at byte {offset}", first_seqno,
+            )
+        crc, length, seqno = _RECORD_HEADER.unpack_from(data, offset)
+        end = offset + _RECORD_HEADER.size + length
+        if end > len(data):
+            return SegmentScan(
+                path, "torn", records, offset,
+                f"record payload cut short at byte {offset}", first_seqno,
+            )
+        body = data[offset + 4 : end]
+        if zlib.crc32(body) != crc:
+            status = "torn" if end == len(data) else "corrupt"
+            return SegmentScan(
+                path, status, records, offset,
+                f"CRC mismatch in record at byte {offset}", first_seqno,
+            )
+        payload = data[offset + _RECORD_HEADER.size : end]
+        try:
+            value, timestamp, weight = pickle.loads(payload)
+        except Exception:
+            status = "torn" if end == len(data) else "corrupt"
+            return SegmentScan(
+                path, status, records, offset,
+                f"undecodable record payload at byte {offset}", first_seqno,
+            )
+        if records and seqno != records[-1].seqno + 1:
+            return SegmentScan(
+                path, "corrupt", records, offset,
+                f"sequence break at byte {offset}: "
+                f"{records[-1].seqno} then {seqno}", first_seqno,
+            )
+        records.append(WalRecord(seqno, value, timestamp, weight))
+        offset = end
+    return SegmentScan(path, "ok", records, offset, "", first_seqno)
+
+
+class WriteAheadLog:
+    """Appender over a directory of rotating, CRC-framed segments.
+
+    ``next_seqno`` lets a recovered store resume numbering where the old log
+    left off; appends always start a fresh segment, so a possibly-torn old
+    tail is never appended to.
+    """
+
+    def __init__(
+        self,
+        directory,
+        fs: Optional[OsFilesystem] = None,
+        fsync_policy: str = "batch",
+        batch_every: int = 64,
+        segment_bytes: int = 1 << 20,
+        next_seqno: int = 1,
+    ):
+        if fsync_policy not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync_policy must be one of {FSYNC_POLICIES}, got {fsync_policy!r}"
+            )
+        if batch_every < 1:
+            raise ValueError(f"batch_every must be >= 1, got {batch_every}")
+        if segment_bytes < 1024:
+            raise ValueError(f"segment_bytes must be >= 1024, got {segment_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fs = fs or OsFilesystem()
+        self.fsync_policy = fsync_policy
+        self.batch_every = batch_every
+        self.segment_bytes = segment_bytes
+        self.next_seqno = next_seqno
+        existing = list_segments(self.directory)
+        self._next_segment_index = (
+            (segment_index(existing[-1]) + 1) if existing else 1
+        )
+        # first seqno of every live segment, by index — drives truncation.
+        self._segment_first_seqno = {}
+        for path in existing:
+            scan_first = _peek_first_seqno(path)
+            if scan_first is not None:
+                self._segment_first_seqno[segment_index(path)] = scan_first
+        self._handle: Optional[AppendHandle] = None
+        self._unsynced = 0
+        self.records_appended = 0
+        self.segments_removed = 0
+
+    # -- appending ----------------------------------------------------------
+
+    def append(self, value: Any, timestamp: float, weight: float = 1.0) -> int:
+        """Frame and append one record; returns its sequence number.
+
+        The record is on disk (and, under ``'always'``, on stable storage)
+        when this returns.  On any I/O error the record is not assigned: the
+        caller must not apply the update.
+        """
+        if self._handle is None or self._handle.size >= self.segment_bytes:
+            self._rotate()
+        seqno = self.next_seqno
+        self.fs.append(self._handle, encode_record(value, timestamp, weight, seqno))
+        self.next_seqno = seqno + 1
+        self.records_appended += 1
+        self._unsynced += 1
+        if self.fsync_policy == "always" or (
+            self.fsync_policy == "batch" and self._unsynced >= self.batch_every
+        ):
+            self.fs.fsync(self._handle)
+            self._unsynced = 0
+        return seqno
+
+    def flush(self) -> None:
+        """Durability barrier: fsync pending appends (unless policy 'off')."""
+        if self._handle is not None and self.fsync_policy != "off" and self._unsynced:
+            self.fs.fsync(self._handle)
+            self._unsynced = 0
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+        index = self._next_segment_index
+        self._next_segment_index += 1
+        path = self.directory / segment_name(index)
+        self._handle = self.fs.open_append(path)
+        self.fs.append(
+            self._handle, _SEGMENT_HEADER.pack(SEGMENT_MAGIC, index, self.next_seqno)
+        )
+        self._segment_first_seqno[index] = self.next_seqno
+        # Make the new segment's directory entry durable before records go in.
+        if self.fsync_policy != "off":
+            self.fs.fsync_dir(self.directory)
+
+    # -- truncation ---------------------------------------------------------
+
+    def truncate_through(self, seqno: int) -> List[Path]:
+        """Delete closed segments whose records are all covered by ``seqno``.
+
+        Callers must only pass a ``seqno`` covered by a *durable* snapshot —
+        this is the WAL-truncation half of the snapshot protocol.  The active
+        segment is never removed.  Returns the deleted paths.
+        """
+        indices = sorted(self._segment_first_seqno)
+        removed: List[Path] = []
+        for position, index in enumerate(indices):
+            is_active = position == len(indices) - 1
+            if is_active:
+                break
+            next_first = self._segment_first_seqno[indices[position + 1]]
+            if next_first - 1 > seqno:  # segment holds records beyond seqno
+                break
+            path = self.directory / segment_name(index)
+            self.fs.remove(path)
+            del self._segment_first_seqno[index]
+            removed.append(path)
+            self.segments_removed += 1
+        if removed and self.fsync_policy != "off":
+            self.fs.fsync_dir(self.directory)
+        return removed
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def segments(self) -> List[Path]:
+        """Live segment files, in index order."""
+        return list_segments(self.directory)
+
+    def close(self) -> None:
+        """Flush pending appends and release the active segment handle."""
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _peek_first_seqno(path) -> Optional[int]:
+    """Read just a segment's header; None if it is too short or not a WAL."""
+    try:
+        with open(path, "rb") as file:
+            header = file.read(_SEGMENT_HEADER.size)
+    except OSError:
+        return None
+    if len(header) < _SEGMENT_HEADER.size:
+        return None
+    magic, _, first_seqno = _SEGMENT_HEADER.unpack(header)
+    return first_seqno if magic == SEGMENT_MAGIC else None
+
+
+def iter_records(directory) -> Iterator[WalRecord]:
+    """Yield records across all clean segments (testing/inspection helper).
+
+    Raises ``ValueError`` on any damage — use
+    :func:`repro.durability.recovery.recover` for fault-tolerant reads.
+    """
+    for path in list_segments(directory):
+        scan = scan_segment(path)
+        if scan.status != "ok":
+            raise ValueError(f"{path}: {scan.status} ({scan.detail})")
+        yield from scan.records

@@ -12,6 +12,13 @@ pickle in a small framed format:
 ``load`` verifies all of it before unpickling and raises
 :class:`SketchFileError` with a precise message otherwise.
 
+:func:`save_sketch` is crash-safe in the strong sense: the bytes go to a
+temporary sibling file which is fsynced, atomically renamed over the target,
+and the parent directory is fsynced — so after ``save_sketch`` returns, the
+file survives power loss, and a crash mid-save leaves the old file intact.
+The :mod:`repro.durability` subsystem builds its snapshots on the same
+format via :func:`encode_sketch` / :func:`decode_sketch`.
+
 SECURITY: the payload is still a pickle — load sketch files only from
 sources you trust, exactly as you would a pickle.
 """
@@ -20,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import io
+import os
 import pickle
 import struct
 from pathlib import Path
@@ -37,18 +45,32 @@ class SketchFileError(RuntimeError):
 
 
 def class_path(obj: Any) -> str:
-    """Importable dotted path of an object's class."""
-    cls = type(obj)
+    """Importable dotted path of a class, or of an object's class."""
+    cls = obj if isinstance(obj, type) else type(obj)
     return f"{cls.__module__}.{cls.__qualname__}"
 
 
-def save_sketch(sketch: Any, path) -> int:
-    """Serialise ``sketch`` to ``path``; returns the bytes written.
+def fsync_directory(directory) -> None:
+    """fsync a directory so renames/creates/removals inside it are durable.
 
-    The write goes through a temporary sibling file and an atomic rename, so
-    a crash mid-save never leaves a half-written sketch file behind.
+    Best-effort on platforms whose filesystems reject directory fsync
+    (some network mounts, Windows): those errors are swallowed — there is
+    nothing more a user-space program can do there.
     """
-    path = Path(path)
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def encode_sketch(sketch: Any) -> bytes:
+    """Serialise ``sketch`` to the framed byte format (no I/O)."""
     payload = pickle.dumps(sketch, protocol=pickle.HIGHEST_PROTOCOL)
     digest = hashlib.sha256(payload).digest()
     encoded_class = class_path(sketch).encode("utf-8")
@@ -57,36 +79,35 @@ def save_sketch(sketch: Any, path) -> int:
     buffer.write(encoded_class)
     buffer.write(_PAYLOAD.pack(len(payload), digest))
     buffer.write(payload)
-    data = buffer.getvalue()
-    temporary = path.with_suffix(path.suffix + ".tmp")
-    temporary.write_bytes(data)
-    temporary.replace(path)
-    return len(data)
+    return buffer.getvalue()
 
 
-def inspect_sketch_file(path) -> dict:
-    """Read a sketch file's metadata without unpickling the payload."""
-    path = Path(path)
-    data = path.read_bytes()
+def _parse_frame(data: bytes, origin: str) -> dict:
+    """Validate the frame around ``data`` and return its metadata.
+
+    ``origin`` names the source (a path, "<memory>") for error messages.
+    Does not verify the payload digest — callers that intend to unpickle
+    must check it against ``data[meta['payload_offset']:]`` first.
+    """
     if len(data) < _HEADER.size:
-        raise SketchFileError(f"{path}: too short to be a sketch file")
+        raise SketchFileError(f"{origin}: too short to be a sketch file")
     magic, version, class_length = _HEADER.unpack_from(data, 0)
     if magic != MAGIC:
-        raise SketchFileError(f"{path}: not a sketch file (bad magic)")
+        raise SketchFileError(f"{origin}: not a sketch file (bad magic)")
     if version != FORMAT_VERSION:
         raise SketchFileError(
-            f"{path}: format version {version} unsupported (expected {FORMAT_VERSION})"
+            f"{origin}: format version {version} unsupported (expected {FORMAT_VERSION})"
         )
     offset = _HEADER.size
     if len(data) < offset + class_length + _PAYLOAD.size:
-        raise SketchFileError(f"{path}: truncated header")
+        raise SketchFileError(f"{origin}: truncated header")
     stored_class = data[offset : offset + class_length].decode("utf-8")
     offset += class_length
     payload_length, digest = _PAYLOAD.unpack_from(data, offset)
     offset += _PAYLOAD.size
     if len(data) != offset + payload_length:
         raise SketchFileError(
-            f"{path}: payload length mismatch "
+            f"{origin}: payload length mismatch "
             f"(header says {payload_length}, file has {len(data) - offset})"
         )
     return {
@@ -97,28 +118,61 @@ def inspect_sketch_file(path) -> dict:
     }
 
 
-def load_sketch(path, expected_class: Any = None) -> Any:
-    """Load a sketch saved by :func:`save_sketch`, verifying integrity.
+def decode_sketch(data: bytes, origin: str = "<memory>", expected_class: Any = None) -> Any:
+    """Decode framed bytes produced by :func:`encode_sketch`, verifying them.
 
     ``expected_class`` (a class or dotted path string) additionally pins the
     stored type — pass it whenever the caller knows what it expects, so a
     mixed-up file fails before any state is used.
     """
-    path = Path(path)
-    meta = inspect_sketch_file(path)
+    meta = _parse_frame(data, origin)
     if expected_class is not None:
-        if isinstance(expected_class, str):
-            expected_path = expected_class
-        else:
-            expected_path = (
-                f"{expected_class.__module__}.{expected_class.__qualname__}"
-            )
+        expected_path = (
+            expected_class
+            if isinstance(expected_class, str)
+            else class_path(expected_class)
+        )
         if meta["class"] != expected_path:
             raise SketchFileError(
-                f"{path}: holds a {meta['class']}, expected {expected_path}"
+                f"{origin}: holds a {meta['class']}, expected {expected_path}"
             )
-    data = path.read_bytes()
     payload = data[meta["payload_offset"] :]
     if hashlib.sha256(payload).digest() != meta["digest"]:
-        raise SketchFileError(f"{path}: payload digest mismatch (corrupt file)")
+        raise SketchFileError(f"{origin}: payload digest mismatch (corrupt file)")
     return pickle.loads(payload)
+
+
+def save_sketch(sketch: Any, path) -> int:
+    """Serialise ``sketch`` to ``path``; returns the bytes written.
+
+    The write goes through a temporary sibling file (fsynced), an atomic
+    rename, and a parent-directory fsync — a crash at any point leaves either
+    the previous file or the complete new one, and a completed save survives
+    power loss.
+    """
+    path = Path(path)
+    data = encode_sketch(sketch)
+    temporary = path.with_suffix(path.suffix + ".tmp")
+    with open(temporary, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    temporary.replace(path)
+    fsync_directory(path.parent)
+    return len(data)
+
+
+def inspect_sketch_file(path) -> dict:
+    """Read a sketch file's metadata without unpickling the payload."""
+    path = Path(path)
+    return _parse_frame(path.read_bytes(), str(path))
+
+
+def load_sketch(path, expected_class: Any = None) -> Any:
+    """Load a sketch saved by :func:`save_sketch`, verifying integrity.
+
+    The file is read exactly once; header, class pin, and payload digest are
+    all verified against that same buffer (no re-read window).
+    """
+    path = Path(path)
+    return decode_sketch(path.read_bytes(), str(path), expected_class)

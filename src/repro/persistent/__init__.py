@@ -3,6 +3,12 @@
 Heavy hitters: SAMPLING / CMG / CCM (ATTP), SAMPLING-BITP / TMG (BITP).
 Matrix covariance: NS / NSWR / PFD (ATTP), merge-tree FD (BITP).
 Quantiles, range counting and KDE via persistent samples and chains.
+
+Every sketch here ingests through a deterministic, seeded update path, so
+all of them can be wrapped in :class:`repro.durability.DurableSketch` for
+crash-safe ingestion (write-ahead log + snapshots + exact replay recovery)
+— see ``docs/API.md`` ("Durability & crash recovery") and
+``examples/crash_recovery.py``.
 """
 
 from repro.persistent.heavy_hitters import (

@@ -10,9 +10,18 @@ import inspect
 import pytest
 
 import repro
-from repro import baselines, core, evaluation, persistent, sketches, workloads
+from repro import baselines, core, durability, evaluation, persistent, sketches, workloads
 
-PACKAGES = [repro, baselines, core, evaluation, persistent, sketches, workloads]
+PACKAGES = [
+    repro,
+    baselines,
+    core,
+    durability,
+    evaluation,
+    persistent,
+    sketches,
+    workloads,
+]
 
 
 def public_objects():

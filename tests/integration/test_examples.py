@@ -18,6 +18,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
         "sliding_window_trends.py",
         "matrix_anomaly.py",
         "cardinality_and_membership.py",
+        "crash_recovery.py",
     ],
 )
 def test_example_runs(script):

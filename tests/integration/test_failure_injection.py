@@ -49,6 +49,31 @@ class TestTimeTravel:
         sketch.update(4, 12.0)
         assert sketch.count == 3
 
+    def test_rejected_update_leaves_attp_answers_unchanged(self):
+        # Not just the count: the *query answers* over the accepted history
+        # must be identical before and after a rejected offer.
+        sketch = AttpSampleHeavyHitter(k=64, seed=3)
+        for index in range(500):
+            sketch.update(index % 13, float(index))
+        times = (100.0, 250.0, 499.0)
+        before = [sketch.heavy_hitters_at(t, 0.05) for t in times]
+        estimates = [sketch.estimate_at(key, 499.0) for key in range(13)]
+        with pytest.raises(MonotoneViolation):
+            sketch.update(7, 42.0)  # time travel
+        assert [sketch.heavy_hitters_at(t, 0.05) for t in times] == before
+        assert [sketch.estimate_at(key, 499.0) for key in range(13)] == estimates
+
+    def test_rejected_update_leaves_bitp_answers_unchanged(self):
+        sketch = BitpPrioritySample(k=64, seed=3)
+        for index in range(500):
+            sketch.update(index % 13, float(index))
+        before = sorted(sketch.raw_sample_since(250.0))
+        count_before = sketch.suffix_count_since(250.0)
+        with pytest.raises(MonotoneViolation):
+            sketch.update(7, 42.0)
+        assert sorted(sketch.raw_sample_since(250.0)) == before
+        assert sketch.suffix_count_since(250.0) == count_before
+
 
 class TestHostileWeights:
     def test_nan_weight_rejected_by_priority_sampler(self):
@@ -71,6 +96,18 @@ class TestHostileWeights:
         sampler = BitpPrioritySample(k=4, seed=0)
         with pytest.raises(ValueError):
             sampler.update(1, 0.0, weight=float("nan"))
+
+    def test_bad_weight_leaves_query_answers_unchanged(self):
+        sampler = PersistentPrioritySample(k=16, seed=1)
+        for index in range(200):
+            sampler.update(index % 7, float(index), weight=1.0 + index % 4)
+        before = sorted(sampler.raw_sample_at(199.0))
+        tau_before = sampler.tau_at(199.0)
+        for bad in (0.0, -2.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                sampler.update(3, 200.0, weight=bad)
+        assert sorted(sampler.raw_sample_at(199.0)) == before
+        assert sampler.tau_at(199.0) == tau_before
 
 
 class TestHostileRows:

@@ -106,6 +106,38 @@ class TestOtherSerialization:
         assert kmv.distinct_at(2_500.0) == clone.distinct_at(2_500.0)
         assert kmv.distinct_now() == clone.distinct_now()
 
+    def test_norm_sampling_roundtrip_rows_and_continuation(self):
+        rng = np.random.default_rng(4)
+        ns = AttpNormSampling(k=50, dim=10, seed=8)
+        rows = rng.normal(size=(600, 10))
+        for index, row in enumerate(rows[:400]):
+            ns.update(row, float(index))
+        clone = roundtrip(ns)
+        kept, kept_clone = ns.sketch_rows_at(200.0), clone.sketch_rows_at(200.0)
+        assert np.allclose(kept, kept_clone)
+        # The RNG stream position must survive: feeding both the same suffix
+        # keeps them identical.
+        for index, row in enumerate(rows[400:], start=400):
+            ns.update(row, float(index))
+            clone.update(row, float(index))
+        assert np.allclose(ns.covariance_at(599.0), clone.covariance_at(599.0))
+
+    def test_bitp_priority_sample_roundtrip(self):
+        from repro.core import BitpPrioritySample
+
+        sampler = BitpPrioritySample(k=64, seed=9)
+        for index in range(3_000):
+            sampler.update(index % 50, float(index), weight=1.0 + index % 3)
+        clone = roundtrip(sampler)
+        for since in (0.0, 1_500.0, 2_900.0):
+            assert sampler.raw_sample_since(since) == clone.raw_sample_since(since)
+            assert sampler.suffix_count_since(since) == clone.suffix_count_since(since)
+        # Deterministic continuation after the roundtrip.
+        for index in range(3_000, 3_200):
+            sampler.update(index % 50, float(index))
+            clone.update(index % 50, float(index))
+        assert sampler.raw_sample_since(3_000.0) == clone.raw_sample_since(3_000.0)
+
     def test_indexed_sampler_roundtrip(self):
         from repro.core.persistent_sampling import PersistentTopKSample
 
