@@ -13,6 +13,7 @@ from repro.core.base import (
     Sketch,
     StreamItem,
     TimestampGuard,
+    apply_stream_batch,
     apply_stream_update,
 )
 from repro.core.bitp_sampling import BitpPrioritySample
@@ -52,5 +53,6 @@ __all__ = [
     "Sketch",
     "StreamItem",
     "TimestampGuard",
+    "apply_stream_batch",
     "apply_stream_update",
 ]

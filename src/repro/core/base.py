@@ -86,6 +86,57 @@ class TimestampGuard:
         return timestamp
 
 
+def check_batch_lengths(values, timestamps, weights=None) -> int:
+    """Validate that a batch's parallel arrays agree in length; returns it.
+
+    Raised *before* anything is applied, so a shape mistake never leaves a
+    sketch with half a batch in it.
+    """
+    n = len(values)
+    if len(timestamps) != n:
+        raise ValueError(
+            f"values and timestamps length mismatch: {n} vs {len(timestamps)}"
+        )
+    if weights is not None and len(weights) != n:
+        raise ValueError(
+            f"values and weights length mismatch: {n} vs {len(weights)}"
+        )
+    return n
+
+
+def first_timestamp_violation(last: float, timestamps: np.ndarray) -> int:
+    """Index of the first invalid timestamp in a batch, or -1 if all valid.
+
+    Mirrors :meth:`TimestampGuard.check` applied left to right starting from
+    ``last``: a timestamp is invalid if it is non-finite or decreases below
+    its predecessor.  Entries after the first violation are ignored (the
+    scalar loop would never have seen them).
+    """
+    timestamps = np.asarray(timestamps, dtype=float)
+    if timestamps.size == 0:
+        return -1
+    previous = np.concatenate(([last], timestamps[:-1]))
+    ok = np.isfinite(timestamps) & (timestamps >= previous)
+    if ok.all():
+        return -1
+    return int(np.argmax(~ok))
+
+
+def first_invalid_weight(weights: np.ndarray) -> int:
+    """Index of the first invalid weight in a batch, or -1 if all valid.
+
+    Mirrors :func:`check_positive_weight`: a weight is invalid unless it is
+    finite and strictly positive (NaN and inf both fail).
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.size == 0:
+        return -1
+    ok = (weights > 0) & np.isfinite(weights)
+    if ok.all():
+        return -1
+    return int(np.argmax(~ok))
+
+
 def check_positive_weight(weight: float) -> float:
     """Validate a stream weight: finite and strictly positive.
 
@@ -135,6 +186,81 @@ def apply_stream_update(
             f"{type(sketch).__name__}.update does not accept weights, "
             f"got weight={weight}"
         )
+
+
+@functools.lru_cache(maxsize=None)
+def _batch_dispatch(cls: type):
+    """``(has_update_batch, accepts_weights)`` for ``cls.update_batch``."""
+    method = getattr(cls, "update_batch", None)
+    if method is None:
+        return (False, False)
+    try:
+        signature = inspect.signature(method)
+    except (TypeError, ValueError):  # builtins / C accelerators: assume yes
+        return (True, True)
+    parameters = signature.parameters
+    accepts = "weights" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+    return (True, accepts)
+
+
+def apply_stream_batch(sketch: Any, values, timestamps, weights=None) -> None:
+    """Apply one batch of stream items to any sketch, replay-identically.
+
+    The batch analogue of :func:`apply_stream_update`, and the single
+    dispatch point shared by live batch ingestion and WAL ``BATCH``-record
+    replay (:mod:`repro.durability`).  Dispatches to the sketch's own
+    ``update_batch(values, timestamps[, weights])`` when it has one —
+    typically a NumPy-vectorized override — and otherwise falls back to a
+    scalar loop over :func:`apply_stream_update`.  Dispatch depends only on
+    the sketch's type, so replaying a logged batch through the same sketch
+    class reproduces the same state (including RNG consumption for seeded
+    samplers) bit-for-bit.
+
+    Like the scalar loop it emulates, a mid-batch rejection (monotonicity or
+    weight violation) leaves the prefix before the offending item applied
+    and re-raises the same exception.
+    """
+    has_batch, accepts_weights = _batch_dispatch(type(sketch))
+    if has_batch:
+        if accepts_weights:
+            sketch.update_batch(values, timestamps, weights=weights)
+            return
+        if weights is None:
+            sketch.update_batch(values, timestamps)
+            return
+        weight_array = np.asarray(weights, dtype=float)
+        if np.all(weight_array == 1.0):
+            sketch.update_batch(values, timestamps)
+            return
+        raise TypeError(
+            f"{type(sketch).__name__}.update_batch does not accept weights"
+        )
+    if weights is None:
+        for value, timestamp in zip(values, timestamps):
+            apply_stream_update(sketch, value, timestamp)
+    else:
+        for value, timestamp, weight in zip(values, timestamps, weights):
+            apply_stream_update(sketch, value, timestamp, weight)
+
+
+def update_batch_fallback(sketch: Any, values, timestamps, weights=None) -> None:
+    """Scalar-loop batch ingestion: the documented fallback path.
+
+    Used as the body of ``update_batch`` on sketches whose update logic is
+    inherently order-dependent per item (see docs/BATCHING.md): identical
+    semantics to calling ``update`` once per item, including prefix-apply
+    on a mid-batch rejection.
+    """
+    n = check_batch_lengths(values, timestamps, weights)
+    if weights is None:
+        for i in range(n):
+            sketch.update(values[i], timestamps[i])
+    else:
+        for i in range(n):
+            sketch.update(values[i], timestamps[i], weights[i])
 
 
 def check_finite_row(row: np.ndarray) -> np.ndarray:

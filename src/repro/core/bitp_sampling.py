@@ -29,7 +29,13 @@ from typing import Any, Callable, List
 
 import numpy as np
 
-from repro.core.base import TimestampGuard, check_positive_weight
+from repro.core.base import (
+    TimestampGuard,
+    check_batch_lengths,
+    check_positive_weight,
+    first_invalid_weight,
+    first_timestamp_violation,
+)
 
 _RNG_SALT_BITP = 105
 
@@ -90,41 +96,64 @@ class BitpPrioritySample:
         else:
             self._track_peak()
 
-    def update_many(self, values, timestamps, weights=None) -> None:
-        """Offer a batch of items (equivalent to repeated :meth:`update`).
+    def update_batch(self, values, timestamps, weights=None) -> None:
+        """Offer a batch; state- and RNG-identical to the scalar loop.
 
-        Priorities are drawn in one vectorised call, matching the sequential
-        PCG64 stream (up to the astronomically unlikely u=0 redraw).
+        Weights and timestamps are validated vectorised, then the uniforms
+        for the valid prefix come from one ``Generator.random`` call,
+        matching the sequential PCG64 stream (up to the astronomically
+        unlikely ``u == 0`` redraw).  Cache fills and compaction scans
+        happen at exactly the scalar positions.  A mid-batch weight or
+        timestamp violation applies the prefix before it and raises, in
+        the scalar check order.
         """
-        if len(values) != len(timestamps):
-            raise ValueError(
-                f"values and timestamps differ in length: "
-                f"{len(values)} vs {len(timestamps)}"
-            )
-        if weights is None:
-            weights = np.ones(len(values))
-        elif len(weights) != len(values):
-            raise ValueError("weights length does not match values")
-        uniforms = self._rng.random(len(values))
-        check = self._guard.check
-        for index in range(len(values)):
-            weight = float(weights[index])
-            check_positive_weight(weight)
-            timestamp = timestamps[index]
-            check(timestamp)
-            self.count += 1
-            self.total_weight += weight
-            u = float(uniforms[index])
-            while u == 0.0:
-                u = float(self._rng.random())
-            self._cache.append(
-                _Entry(values[index], timestamp, weight, weight / u, self.count)
-            )
-            if len(self._cache) >= max(
-                2 * self.k, int(self.batch_factor * len(self._kept))
-            ):
-                self._compact()
-        self._track_peak()
+        n = check_batch_lengths(values, timestamps, weights)
+        if n == 0:
+            return
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        weight_array = (
+            np.ones(n, dtype=float)
+            if weights is None
+            else np.asarray(weights, dtype=float)
+        )
+        bad_weight = first_invalid_weight(weight_array)
+        bad_time = first_timestamp_violation(self._guard.last, timestamp_array)
+        candidates = [index for index in (bad_weight, bad_time) if index >= 0]
+        bad = min(candidates) if candidates else -1
+        limit = n if bad < 0 else bad
+        if limit:
+            uniforms = self._rng.random(limit)
+            for index in range(limit):
+                weight = float(weight_array[index])
+                self.count += 1
+                self.total_weight += weight
+                u = float(uniforms[index])
+                while u == 0.0:
+                    u = float(self._rng.random())
+                self._cache.append(
+                    _Entry(
+                        values[index],
+                        float(timestamp_array[index]),
+                        weight,
+                        weight / u,
+                        self.count,
+                    )
+                )
+                if len(self._cache) >= max(
+                    2 * self.k, int(self.batch_factor * len(self._kept))
+                ):
+                    self._compact()
+            self._guard.last = float(timestamp_array[limit - 1])
+            self._track_peak()
+        if bad >= 0:
+            # Reproduce the scalar error, in the scalar check order.
+            check_positive_weight(float(weight_array[bad]))
+            self._guard.check(float(timestamp_array[bad]))
+            raise AssertionError("unreachable: batch validation found no violation")
+
+    def update_many(self, values, timestamps, weights=None) -> None:
+        """Backward-compatible alias of :meth:`update_batch`."""
+        self.update_batch(values, timestamps, weights)
 
     def _compact(self) -> None:
         """New-to-old scan keeping items with < k + slack later, larger priorities."""

@@ -19,7 +19,15 @@ import copy
 import inspect
 from typing import Any, Callable, Optional
 
-from repro.core.base import TimestampGuard, check_positive_weight
+import numpy as np
+
+from repro.core.base import (
+    TimestampGuard,
+    check_batch_lengths,
+    check_positive_weight,
+    first_invalid_weight,
+    first_timestamp_violation,
+)
 from repro.core.timeindex import History
 
 
@@ -52,6 +60,7 @@ class CheckpointChain:
         self.eps = eps
         self.live = sketch_factory()
         self._apply_update = apply_update or _resolve_apply(self.live)
+        self._apply_batch = resolve_apply_batch(self.live, self._apply_update)
         self._snapshot = snapshot or copy.deepcopy
         self._guard = TimestampGuard()
         self._checkpoints = History()
@@ -83,6 +92,76 @@ class CheckpointChain:
             # Seed the chain: first checkpoint after the first item.
             self._checkpoints.append(timestamp, self._snapshot(self.live))
             self._weight_at_last_checkpoint = self.total_weight
+
+    def update_batch(self, values, timestamps, weights=None) -> None:
+        """Feed one batch through the chain; checkpoint-exact vs the scalar loop.
+
+        Checkpoint trigger points *within* the batch are located by binary
+        search on the cumulative batch weight (a checkpoint fires before the
+        first item whose pre-application total exceeds ``(1+eps)`` times the
+        weight at the last checkpoint — the same rule :meth:`update` applies
+        per item), and the runs between triggers are applied to the live
+        sketch through its vectorized ``update_batch`` when it has one.
+        A mid-batch weight or timestamp violation applies the prefix before
+        it and raises, exactly like the scalar loop.
+        """
+        n = check_batch_lengths(values, timestamps, weights)
+        if n == 0:
+            return
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        weight_array = (
+            np.ones(n, dtype=float)
+            if weights is None
+            else np.asarray(weights, dtype=float)
+        )
+        bad_weight = first_invalid_weight(weight_array)
+        bad_time = first_timestamp_violation(self._guard.last, timestamp_array)
+        candidates = [index for index in (bad_weight, bad_time) if index >= 0]
+        if candidates:
+            bad = min(candidates)
+            if bad:
+                self.update_batch(
+                    values[:bad], timestamp_array[:bad], weight_array[:bad]
+                )
+            # Reproduce the scalar error, in the scalar check order.
+            check_positive_weight(float(weight_array[bad]))
+            self._guard.check(float(timestamp_array[bad]))
+            raise AssertionError("unreachable: batch validation found no violation")
+        # cumulative[i] = batch weight before item i; fixed for the whole batch.
+        cumulative = np.concatenate(([0.0], np.cumsum(weight_array)))
+        base = self.total_weight
+        position = 0
+        if self._weight_at_last_checkpoint == 0.0:
+            # Seed the chain exactly like the scalar path: first item, then
+            # the first checkpoint.
+            self.update(
+                values[0], float(timestamp_array[0]), float(weight_array[0])
+            )
+            position = 1
+        while position < n:
+            limit = (1.0 + self.eps) * self._weight_at_last_checkpoint
+            trigger = int(np.searchsorted(cumulative, limit - base, side="right"))
+            if trigger <= position:
+                # The next item crosses the threshold: snapshot the state
+                # before it, at the previous item's timestamp.
+                self._checkpoints.append(
+                    self._previous_timestamp, self._snapshot(self.live)
+                )
+                self._weight_at_last_checkpoint = self.total_weight
+                continue
+            end = min(trigger, n)
+            self._guard.last = float(timestamp_array[end - 1])
+            if self._apply_batch is not None:
+                self._apply_batch(
+                    self.live, values[position:end], weight_array[position:end]
+                )
+            else:
+                for i in range(position, end):
+                    self._apply_update(self.live, values[i], float(weight_array[i]))
+            self.total_weight = base + float(cumulative[end])
+            self.count += end - position
+            self._previous_timestamp = float(timestamp_array[end - 1])
+            position = end
 
     def sketch_at(self, timestamp: float) -> Any:
         """The checkpointed sketch state as of ``timestamp`` (or None).
@@ -147,3 +226,51 @@ def _resolve_apply(sketch: Any) -> Callable:
     if len(params) >= 2:
         return apply_weighted
     return apply_unweighted
+
+
+def apply_batch_weighted(target: Any, values, weights) -> None:
+    """Batch apply for sketches with ``update_batch(values, weights)``."""
+    target.update_batch(values, weights)
+
+
+def apply_batch_unweighted(target: Any, values, weights) -> None:
+    """Batch apply for value-only sketches; rejects non-unit weights."""
+    if weights is not None and np.any(np.asarray(weights) != 1.0):
+        raise ValueError(
+            f"{type(target).__name__}.update takes no weight; "
+            f"got a batch with non-unit weights"
+        )
+    target.update_batch(values)
+
+
+def apply_batch_value_only(target: Any, values, weights) -> None:
+    """Batch apply that drops the weights (e.g. keys into Bloom filters)."""
+    target.update_batch(values)
+
+
+def apply_batch_int_weighted(target: Any, values, weights) -> None:
+    """Batch apply for integer-count sketches (e.g. Misra-Gries)."""
+    if weights is None:
+        target.update_batch(values)
+    else:
+        target.update_batch(values, np.asarray(weights, dtype=np.int64))
+
+
+_BATCH_APPLY = {
+    apply_weighted: apply_batch_weighted,
+    apply_unweighted: apply_batch_unweighted,
+    apply_value_only: apply_batch_value_only,
+    apply_int_weighted: apply_batch_int_weighted,
+}
+
+
+def resolve_apply_batch(sketch: Any, apply_update: Callable) -> Optional[Callable]:
+    """The batch counterpart of a scalar apply convention, if one exists.
+
+    Returns None — meaning "loop the scalar apply" — when the base sketch has
+    no ``update_batch`` or the scalar apply is a custom callable we cannot
+    translate.  Module-level returns keep chains picklable.
+    """
+    if getattr(type(sketch), "update_batch", None) is None:
+        return None
+    return _BATCH_APPLY.get(apply_update)

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List
 
-from repro.core.base import TimestampGuard
+from repro.core.base import TimestampGuard, check_batch_lengths
 from repro.core.timeindex import GeometricHistory, History
 
 
@@ -63,6 +63,18 @@ class ChainMisraGries:
         self.total_weight += weight
         self._weight_history.observe(timestamp, self.total_weight)
         self._mg_update(key, weight, timestamp)
+
+    def update_batch(self, keys, timestamps, weights=None) -> None:
+        """Bulk :meth:`update` (scalar loop; counter histories are inherently
+        sequential — every item can move the drift threshold).  A mid-batch
+        violation applies the prefix before it and raises, like the loop."""
+        n = check_batch_lengths(keys, timestamps, weights)
+        for index in range(n):
+            self.update(
+                keys[index],
+                float(timestamps[index]),
+                1 if weights is None else int(weights[index]),
+            )
 
     def _mg_update(self, key: int, weight: int, timestamp: float) -> None:
         counters = self._counters
@@ -203,6 +215,18 @@ class ChainCountMin:
                 history.append(timestamp, current)
                 self._last_recorded[cell] = current
 
+    def update_batch(self, keys, timestamps, weights=None) -> None:
+        """Bulk :meth:`update` (scalar loop; cell histories are inherently
+        sequential — every item can move the drift threshold).  A mid-batch
+        violation applies the prefix before it and raises, like the loop."""
+        n = check_batch_lengths(keys, timestamps, weights)
+        for index in range(n):
+            self.update(
+                keys[index],
+                float(timestamps[index]),
+                1 if weights is None else int(weights[index]),
+            )
+
     def total_weight_at(self, timestamp: float) -> float:
         """W(t) from the geometric weight history (slight underestimate)."""
         return self._weight_history.value_at(timestamp)
@@ -311,6 +335,18 @@ class ChainCountSketch:
                     self._histories[cell] = history
                 history.append(timestamp, current)
                 self._last_recorded[cell] = current
+
+    def update_batch(self, keys, timestamps, weights=None) -> None:
+        """Bulk :meth:`update` (scalar loop; cell histories are inherently
+        sequential — every item can move the drift threshold).  A mid-batch
+        violation applies the prefix before it and raises, like the loop."""
+        n = check_batch_lengths(keys, timestamps, weights)
+        for index in range(n):
+            self.update(
+                keys[index],
+                float(timestamps[index]),
+                1 if weights is None else int(weights[index]),
+            )
 
     def estimate_at(self, key: int, timestamp: float) -> float:
         """Median-of-rows estimate of ``key``'s signed count in ``A^timestamp``."""

@@ -26,7 +26,13 @@ import copy
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
-from repro.core.base import TimestampGuard
+import numpy as np
+
+from repro.core.base import (
+    TimestampGuard,
+    check_batch_lengths,
+    first_timestamp_violation,
+)
 
 _NODE_OVERHEAD_BYTES = 32  # start, end indices + two timestamps
 
@@ -82,7 +88,9 @@ class MergeTreePersistence:
         self.mode = mode
         self.block_size = block_size
         self._factory = sketch_factory
-        self._apply = apply_update or _resolve_apply(sketch_factory())
+        probe = sketch_factory()
+        self._apply = apply_update or _resolve_apply(probe)
+        self._apply_batch = _resolve_apply_batch(probe, self._apply)
         self._guard = TimestampGuard()
         self._spine: List[_Node] = []  # strictly decreasing power-of-2 sizes
         self._retained: List[_Node] = []
@@ -110,6 +118,59 @@ class MergeTreePersistence:
             size = self.memory_bytes()
             if size > self.peak_memory_bytes:
                 self.peak_memory_bytes = size
+
+    def update_batch(self, values, timestamps, weights=None) -> None:
+        """Feed one batch; block-exact vs the scalar loop.
+
+        Fills the live leaf block in chunks of its remaining capacity,
+        sealing (and carrying up the spine) at exactly the item positions
+        the scalar path would — each chunk goes through the block sketch's
+        vectorized ``update_batch`` when it has one.  A mid-batch timestamp
+        violation applies the prefix before it and raises, exactly like the
+        scalar loop.
+        """
+        n = check_batch_lengths(values, timestamps, weights)
+        if n == 0:
+            return
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        weight_array = None if weights is None else np.asarray(weights, dtype=float)
+        bad = first_timestamp_violation(self._guard.last, timestamp_array)
+        if bad >= 0:
+            if bad:
+                self.update_batch(
+                    values[:bad],
+                    timestamp_array[:bad],
+                    None if weight_array is None else weight_array[:bad],
+                )
+            self._guard.check(float(timestamp_array[bad]))  # raises
+            raise AssertionError("unreachable: batch validation found no violation")
+        position = 0
+        while position < n:
+            end = min(n, position + self.block_size - self._block_count)
+            if self._block_count == 0:
+                self._block_t_start = float(timestamp_array[position])
+            self._guard.last = float(timestamp_array[end - 1])
+            if self._apply_batch is not None:
+                self._apply_batch(
+                    self._block_sketch,
+                    values[position:end],
+                    None if weight_array is None else weight_array[position:end],
+                )
+            elif weight_array is None:
+                for i in range(position, end):
+                    self._apply(self._block_sketch, values[i], 1.0)
+            else:
+                for i in range(position, end):
+                    self._apply(self._block_sketch, values[i], float(weight_array[i]))
+            self._block_t_end = float(timestamp_array[end - 1])
+            self._block_count += end - position
+            self.count += end - position
+            position = end
+            if self._block_count == self.block_size:
+                self._seal_block()
+                size = self.memory_bytes()
+                if size > self.peak_memory_bytes:
+                    self.peak_memory_bytes = size
 
     def _seal_block(self) -> None:
         node = _Node(
@@ -260,3 +321,9 @@ def _resolve_apply(probe: Any) -> Callable:
     if len(params) >= 2:
         return apply_weighted
     return apply_unweighted
+
+
+def _resolve_apply_batch(probe: Any, apply_update: Callable) -> Optional[Callable]:
+    from repro.core.checkpoint_chain import resolve_apply_batch
+
+    return resolve_apply_batch(probe, apply_update)

@@ -23,7 +23,13 @@ from typing import Any, Callable, List
 
 import numpy as np
 
-from repro.core.base import TimestampGuard, check_positive_weight
+from repro.core.base import (
+    TimestampGuard,
+    check_batch_lengths,
+    check_positive_weight,
+    first_invalid_weight,
+    first_timestamp_violation,
+)
 from repro.core.persistent_sampling import SampleRecord
 from repro.core.timeindex import GeometricHistory, History
 
@@ -63,6 +69,53 @@ class PersistentPrioritySample:
         while u == 0.0:
             u = float(self._rng.random())
         self._offer(value, timestamp, weight, weight / u)
+
+    def update_batch(self, values, timestamps, weights=None) -> None:
+        """Offer a batch; state- and RNG-identical to the scalar loop.
+
+        Weights and timestamps are validated vectorised, then the uniforms
+        for the valid prefix come from one ``Generator.random`` call (same
+        PCG64 consumption as per-item draws; the astronomically rare
+        ``u == 0`` redraw falls back to scalar draws).  A mid-batch weight
+        or timestamp violation applies the prefix before it and raises, in
+        the scalar check order.
+        """
+        n = check_batch_lengths(values, timestamps, weights)
+        if n == 0:
+            return
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        weight_array = (
+            np.ones(n, dtype=float)
+            if weights is None
+            else np.asarray(weights, dtype=float)
+        )
+        bad_weight = first_invalid_weight(weight_array)
+        bad_time = first_timestamp_violation(self._guard.last, timestamp_array)
+        candidates = [index for index in (bad_weight, bad_time) if index >= 0]
+        bad = min(candidates) if candidates else -1
+        limit = n if bad < 0 else bad
+        if limit:
+            uniforms = self._rng.random(limit)
+            offer = self._offer
+            for index in range(limit):
+                weight = float(weight_array[index])
+                u = float(uniforms[index])
+                while u == 0.0:
+                    u = float(self._rng.random())
+                self.count += 1
+                self.total_weight += weight
+                offer(
+                    values[index],
+                    float(timestamp_array[index]),
+                    weight,
+                    weight / u,
+                )
+            self._guard.last = float(timestamp_array[limit - 1])
+        if bad >= 0:
+            # Reproduce the scalar error, in the scalar check order.
+            check_positive_weight(float(weight_array[bad]))
+            self._guard.check(float(timestamp_array[bad]))
+            raise AssertionError("unreachable: batch validation found no violation")
 
     def _offer(self, value: Any, timestamp: float, weight: float, priority: float) -> None:
         heap = self._heap
@@ -192,6 +245,72 @@ class PersistentWeightedWR:
             self._births[chain].append(timestamp)
             self._values[chain].append(value)
             self._chain_weights[chain].append(weight)
+
+    def update_batch(self, values, timestamps, weights=None) -> None:
+        """Offer a batch; state- and RNG-identical to the scalar loop.
+
+        Running totals accumulate in scalar order (and feed the W(t)
+        history per item); the per-item ``k`` uniforms for the valid prefix
+        are drawn as one ``(m, k)`` matrix, consuming the PCG64 stream like
+        ``m`` sequential ``random(k)`` calls.  Only the very first stream
+        item can hit the ``p >= 1`` no-draw branch, handled separately.  A
+        mid-batch weight or timestamp violation applies the prefix before
+        it and raises, in the scalar check order.
+        """
+        n = check_batch_lengths(values, timestamps, weights)
+        if n == 0:
+            return
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        weight_array = (
+            np.ones(n, dtype=float)
+            if weights is None
+            else np.asarray(weights, dtype=float)
+        )
+        bad_weight = first_invalid_weight(weight_array)
+        bad_time = first_timestamp_violation(self._guard.last, timestamp_array)
+        candidates = [index for index in (bad_weight, bad_time) if index >= 0]
+        bad = min(candidates) if candidates else -1
+        limit = n if bad < 0 else bad
+        start = 0
+        if limit and self.count == 0:
+            # First stream item: p = w/W = 1, every chain takes it, no draw.
+            first_weight = float(weight_array[0])
+            first_timestamp = float(timestamp_array[0])
+            self.count = 1
+            self.total_weight += first_weight
+            self._weight_history.observe(first_timestamp, self.total_weight)
+            for chain in range(self.k):
+                self._births[chain].append(first_timestamp)
+                self._values[chain].append(values[0])
+                self._chain_weights[chain].append(first_weight)
+            start = 1
+        remaining = limit - start
+        if remaining > 0:
+            # Scalar-order accumulation keeps totals bit-identical to the loop.
+            probabilities = np.empty(remaining)
+            total = self.total_weight
+            for j in range(remaining):
+                item_weight = float(weight_array[start + j])
+                total += item_weight
+                probabilities[j] = item_weight / total
+                self._weight_history.observe(
+                    float(timestamp_array[start + j]), total
+                )
+            self.total_weight = total
+            self.count += remaining
+            draws = self._rng.random((remaining, self.k))
+            rows, chains = np.nonzero(draws < probabilities[:, None])
+            for row, chain in zip(rows.tolist(), chains.tolist()):
+                self._births[chain].append(float(timestamp_array[start + row]))
+                self._values[chain].append(values[start + row])
+                self._chain_weights[chain].append(float(weight_array[start + row]))
+        if limit:
+            self._guard.last = float(timestamp_array[limit - 1])
+        if bad >= 0:
+            # Reproduce the scalar error, in the scalar check order.
+            check_positive_weight(float(weight_array[bad]))
+            self._guard.check(float(timestamp_array[bad]))
+            raise AssertionError("unreachable: batch validation found no violation")
 
     def total_weight_at(self, timestamp: float) -> float:
         """W(t): total stream weight at or before ``timestamp``."""

@@ -27,7 +27,11 @@ from typing import Any, List, Optional
 
 import numpy as np
 
-from repro.core.base import TimestampGuard
+from repro.core.base import (
+    TimestampGuard,
+    check_batch_lengths,
+    first_timestamp_violation,
+)
 
 # RNG stream salts: see PersistentTopKSample.__init__.
 _RNG_SALT_TOPK = 101
@@ -86,27 +90,41 @@ class PersistentTopKSample:
         priority = float(self._rng.random())
         self._offer(value, timestamp, priority)
 
-    def update_many(self, values, timestamps) -> None:
-        """Offer a batch of items (equivalent to repeated :meth:`update`).
+    def update_batch(self, values, timestamps) -> None:
+        """Offer a batch of items; state- and RNG-identical to the scalar loop.
 
-        Draws all priorities in one vectorised call — the PCG64 stream yields
-        the same numbers as per-item draws, so batched and sequential feeding
-        produce byte-identical sketches.  Use for bulk ingest: rejected
+        Timestamps are validated vectorised, then all priorities for the
+        valid prefix come from one ``Generator.random`` call — the PCG64
+        stream yields the same numbers as per-item draws, so batched and
+        sequential feeding produce identical sketches (even across a
+        mid-batch monotonicity violation, which applies the prefix and
+        re-raises like the scalar loop).  Use for bulk ingest: rejected
         (common-case) items cost one comparison each with no Python RNG call.
         """
-        if len(values) != len(timestamps):
-            raise ValueError(
-                f"values and timestamps differ in length: "
-                f"{len(values)} vs {len(timestamps)}"
-            )
-        priorities = self._rng.random(len(values))
-        check = self._guard.check
-        offer = self._offer
-        for index in range(len(values)):
-            timestamp = timestamps[index]
-            check(timestamp)
-            self.count += 1
-            offer(values[index], timestamp, float(priorities[index]))
+        n = check_batch_lengths(values, timestamps)
+        if n == 0:
+            return
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        bad = first_timestamp_violation(self._guard.last, timestamp_array)
+        limit = n if bad < 0 else bad
+        if limit:
+            priorities = self._rng.random(limit)
+            offer = self._offer
+            for index in range(limit):
+                offer(
+                    values[index],
+                    float(timestamp_array[index]),
+                    float(priorities[index]),
+                )
+            self.count += limit
+            self._guard.last = float(timestamp_array[limit - 1])
+        if bad >= 0:
+            self._guard.check(float(timestamp_array[bad]))  # raises
+            raise AssertionError("unreachable: batch validation found no violation")
+
+    def update_many(self, values, timestamps) -> None:
+        """Backward-compatible alias of :meth:`update_batch`."""
+        self.update_batch(values, timestamps)
 
     def _offer(self, value: Any, timestamp: float, priority: float) -> None:
         heap = self._heap
@@ -213,6 +231,46 @@ class PersistentReservoirChains:
         for chain in np.flatnonzero(hits):
             self._births[chain].append(timestamp)
             self._values[chain].append(value)
+
+    def update_batch(self, values, timestamps) -> None:
+        """Offer a batch; state- and RNG-identical to the scalar loop.
+
+        The per-item ``k`` uniforms for the valid prefix are drawn as one
+        ``(m, k)`` matrix (same PCG64 consumption as ``m`` sequential
+        ``random(k)`` calls) and the rare replacements applied row by row.
+        A mid-batch monotonicity violation applies the prefix and re-raises,
+        exactly like the scalar loop.
+        """
+        n = check_batch_lengths(values, timestamps)
+        if n == 0:
+            return
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        bad = first_timestamp_violation(self._guard.last, timestamp_array)
+        limit = n if bad < 0 else bad
+        start = 0
+        if limit and self.count == 0:
+            first_timestamp = float(timestamp_array[0])
+            for chain in range(self.k):
+                self._births[chain].append(first_timestamp)
+                self._values[chain].append(values[0])
+            self.count = 1
+            start = 1
+        remaining = limit - start
+        if remaining > 0:
+            draws = self._rng.random((remaining, self.k))
+            thresholds = 1.0 / np.arange(
+                self.count + 1, self.count + remaining + 1
+            )
+            rows, chains = np.nonzero(draws < thresholds[:, None])
+            for row, chain in zip(rows.tolist(), chains.tolist()):
+                self._births[chain].append(float(timestamp_array[start + row]))
+                self._values[chain].append(values[start + row])
+            self.count += remaining
+        if limit:
+            self._guard.last = float(timestamp_array[limit - 1])
+        if bad >= 0:
+            self._guard.check(float(timestamp_array[bad]))  # raises
+            raise AssertionError("unreachable: batch validation found no violation")
 
     def sample_at(self, timestamp: float) -> list:
         """With-replacement uniform sample of ``A^timestamp`` (one per chain)."""

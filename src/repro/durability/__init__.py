@@ -6,9 +6,10 @@ package wraps any ATTP/BITP sketch in the standard database recipe:
 
 * :class:`WriteAheadLog` — segmented append-only log with per-record CRC32
   framing, configurable fsync policy, and segment rotation;
-* :class:`DurableSketch` — log-then-apply ingestion, periodic framed
-  snapshots (``repro.io`` format), WAL truncation only after a snapshot is
-  durably on disk;
+* :class:`DurableSketch` — log-then-apply ingestion (one record per scalar
+  ``update``, or one ``BATCH`` record per ``update_batch`` call), periodic
+  framed snapshots (``repro.io`` format), WAL truncation only after a
+  snapshot is durably on disk;
 * :func:`recover` — newest-valid-snapshot + WAL-tail replay, tolerating a
   torn final record (truncate-and-continue) and quarantining interior
   corruption with precise diagnostics;
@@ -49,6 +50,7 @@ from repro.durability.recovery import (
 )
 from repro.durability.store import DurableSketch
 from repro.durability.wal import (
+    WalBatchRecord,
     WalRecord,
     WriteAheadLog,
     iter_records,
@@ -65,6 +67,7 @@ __all__ = [
     "RecoveryResult",
     "SimulatedCrash",
     "Snapshot",
+    "WalBatchRecord",
     "WalCorruptionError",
     "WalRecord",
     "WriteAheadLog",

@@ -32,9 +32,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, List, Optional
 
-from repro.core.base import apply_stream_update
+from repro.core.base import apply_stream_batch, apply_stream_update
 from repro.durability.faults import OsFilesystem
-from repro.durability.wal import SegmentScan, list_segments, scan_segment
+from repro.durability.wal import (
+    SegmentScan,
+    WalBatchRecord,
+    list_segments,
+    scan_segment,
+)
 from repro.io import SketchFileError, load_sketch
 
 SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{16})\.sketch$")
@@ -203,9 +208,16 @@ def recover(
                     raise WalCorruptionError(f"{directory}: {detail}")
                 return result
             try:
-                apply_stream_update(
-                    sketch, record.value, record.timestamp, record.weight
-                )
+                if isinstance(record, WalBatchRecord):
+                    # Same dispatch as ingest: the valid prefix of a
+                    # mid-batch-rejected record re-applies identically.
+                    apply_stream_batch(
+                        sketch, record.values, record.timestamps, record.weights
+                    )
+                else:
+                    apply_stream_update(
+                        sketch, record.value, record.timestamp, record.weight
+                    )
                 result.replayed += 1
             except ValueError:
                 # The sketch rejected this offer at ingest time too (same

@@ -34,7 +34,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Optional
 
-from repro.core.base import apply_stream_update
+from repro.core.base import apply_stream_batch, apply_stream_update, check_batch_lengths
 from repro.durability.faults import OsFilesystem
 from repro.durability.recovery import Snapshot, list_snapshots, recover, snapshot_name
 from repro.durability.wal import WriteAheadLog, list_segments
@@ -76,6 +76,10 @@ class DurableSketch:
         self.keep_snapshots = keep_snapshots
         self.applied_seqno = applied_seqno
         self.last_snapshot_seqno = snapshot_seqno
+        # Snapshot cadence counts *updates*, not records: a BATCH record
+        # advances it by its length.  Seeded from the seqno gap so resumed
+        # scalar-only stores behave exactly as before.
+        self._updates_since_snapshot = max(0, applied_seqno - snapshot_seqno)
         self.snapshots_taken = 0
         self.updates_rejected = 0
         self.wal = WriteAheadLog(
@@ -135,6 +139,7 @@ class DurableSketch:
         re-rejected identically at replay — accepted state is never skewed.
         """
         seqno = self.wal.append(value, timestamp, weight)
+        self._updates_since_snapshot += 1
         try:
             apply_stream_update(self._sketch, value, timestamp, weight)
         except ValueError:
@@ -142,15 +147,48 @@ class DurableSketch:
             self.applied_seqno = seqno
             raise
         self.applied_seqno = seqno
-        if (
-            self.snapshot_every
-            and seqno - self.last_snapshot_seqno >= self.snapshot_every
-        ):
+        if self.snapshot_every and self._updates_since_snapshot >= self.snapshot_every:
+            self.snapshot()
+        return seqno
+
+    def update_batch(self, values, timestamps, weights=None) -> int:
+        """Log one BATCH record, then apply the batch; returns its seqno.
+
+        The whole batch is one WAL record under a single sequence number,
+        so durability costs one frame (and at most one fsync) regardless of
+        the batch size, and replay re-applies it through the same
+        :func:`repro.core.apply_stream_batch` dispatch — vectorized when
+        the sketch has ``update_batch``, a scalar loop otherwise.
+
+        Mirrors :meth:`update` on rejection: a batch whose item ``i`` is
+        rejected mid-way has items ``[0, i)`` applied (prefix-apply), the
+        exception propagates, and replay re-rejects it at the same item.
+        """
+        n = check_batch_lengths(values, timestamps, weights)
+        if n == 0:
+            return self.applied_seqno
+        # Normalise to plain lists so the applied batch and the logged
+        # payload are the *same* objects — replay is then bit-identical.
+        values = _plain_list(values)
+        timestamps = _plain_list(timestamps)
+        weights = None if weights is None else _plain_list(weights)
+        seqno = self.wal.append_batch(values, timestamps, weights)
+        self._updates_since_snapshot += n
+        try:
+            apply_stream_batch(self._sketch, values, timestamps, weights)
+        except ValueError:
+            self.updates_rejected += 1
+            self.applied_seqno = seqno
+            raise
+        self.applied_seqno = seqno
+        if self.snapshot_every and self._updates_since_snapshot >= self.snapshot_every:
             self.snapshot()
         return seqno
 
     def update_many(self, values, timestamps, weights=None) -> int:
-        """Bulk :meth:`update`; returns the last sequence number assigned."""
+        """Bulk :meth:`update`: one WAL record *per item* (see
+        :meth:`update_batch` for the single-record batched form).  Returns
+        the last sequence number assigned."""
         seqno = self.applied_seqno
         if weights is None:
             for value, timestamp in zip(values, timestamps):
@@ -175,6 +213,7 @@ class DurableSketch:
         path = self.directory / snapshot_name(seqno)
         self.fs.write_atomic(path, encode_sketch(payload), durable=True)
         self.last_snapshot_seqno = seqno
+        self._updates_since_snapshot = 0
         self.snapshots_taken += 1
         self.wal.truncate_through(seqno)
         self._prune_snapshots()
@@ -233,3 +272,10 @@ class DurableSketch:
         if name.startswith("_"):
             raise AttributeError(name)
         return getattr(self._sketch, name)
+
+
+def _plain_list(items) -> list:
+    """Arrays/sequences as plain Python lists (stable pickle payloads)."""
+    if hasattr(items, "tolist"):
+        return items.tolist()
+    return list(items)

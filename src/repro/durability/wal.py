@@ -11,9 +11,15 @@ records::
     [crc32 : u32] [payload length : u32] [seqno : u64] [payload bytes]
 
 The CRC covers the length, seqno, and payload, so any torn or bit-flipped
-record is detected at scan time.  The payload is a pickle of
-``(value, timestamp, weight)``; values are arbitrary picklable objects
-(integers, floats, numpy rows).
+record is detected at scan time.  There are two payload shapes, both plain
+pickles inside the same frame:
+
+* scalar — ``(value, timestamp, weight)``: one stream update; values are
+  arbitrary picklable objects (integers, floats, numpy rows);
+* batch — ``('BATCH', values, timestamps, weights)``: one *vectorised*
+  update of many items under a single sequence number (``weights`` may be
+  ``None`` for all-unit weights).  A batch is atomic in the log: it is
+  either fully framed (CRC-clean) or a torn tail, never partially visible.
 
 Durability knobs:
 
@@ -75,20 +81,48 @@ def list_segments(directory) -> List[Path]:
     return [path for _, path in sorted(found)]
 
 
-def encode_record(value: Any, timestamp: float, weight: float, seqno: int) -> bytes:
-    payload = pickle.dumps((value, timestamp, weight), protocol=pickle.HIGHEST_PROTOCOL)
+BATCH_TAG = "BATCH"
+
+
+def _frame(payload: bytes, seqno: int) -> bytes:
     body = struct.pack(">IQ", len(payload), seqno) + payload
     return struct.pack(">I", zlib.crc32(body)) + body
 
 
+def encode_record(value: Any, timestamp: float, weight: float, seqno: int) -> bytes:
+    payload = pickle.dumps((value, timestamp, weight), protocol=pickle.HIGHEST_PROTOCOL)
+    return _frame(payload, seqno)
+
+
+def encode_batch_record(values, timestamps, weights, seqno: int) -> bytes:
+    """Frame one BATCH record: many items, one seqno, one CRC."""
+    payload = pickle.dumps(
+        (BATCH_TAG, values, timestamps, weights), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    return _frame(payload, seqno)
+
+
 @dataclass(frozen=True)
 class WalRecord:
-    """One decoded WAL record."""
+    """One decoded scalar WAL record."""
 
     seqno: int
     value: Any
     timestamp: float
     weight: float
+
+
+@dataclass(frozen=True)
+class WalBatchRecord:
+    """One decoded BATCH WAL record (``weights is None`` = all-unit)."""
+
+    seqno: int
+    values: Any
+    timestamps: Any
+    weights: Any = None
+
+    def __len__(self) -> int:
+        return len(self.values)
 
 
 @dataclass
@@ -147,7 +181,16 @@ def scan_segment(path) -> SegmentScan:
             )
         payload = data[offset + _RECORD_HEADER.size : end]
         try:
-            value, timestamp, weight = pickle.loads(payload)
+            decoded = pickle.loads(payload)
+            if (
+                isinstance(decoded, tuple)
+                and len(decoded) == 4
+                and decoded[0] == BATCH_TAG
+            ):
+                record = WalBatchRecord(seqno, decoded[1], decoded[2], decoded[3])
+            else:
+                value, timestamp, weight = decoded
+                record = WalRecord(seqno, value, timestamp, weight)
         except Exception:
             status = "torn" if end == len(data) else "corrupt"
             return SegmentScan(
@@ -160,7 +203,7 @@ def scan_segment(path) -> SegmentScan:
                 f"sequence break at byte {offset}: "
                 f"{records[-1].seqno} then {seqno}", first_seqno,
             )
-        records.append(WalRecord(seqno, value, timestamp, weight))
+        records.append(record)
         offset = end
     return SegmentScan(path, "ok", records, offset, "", first_seqno)
 
@@ -215,16 +258,32 @@ class WriteAheadLog:
     # -- appending ----------------------------------------------------------
 
     def append(self, value: Any, timestamp: float, weight: float = 1.0) -> int:
-        """Frame and append one record; returns its sequence number.
+        """Frame and append one scalar record; returns its sequence number.
 
         The record is on disk (and, under ``'always'``, on stable storage)
         when this returns.  On any I/O error the record is not assigned: the
         caller must not apply the update.
         """
+        return self._append_framed(
+            lambda seqno: encode_record(value, timestamp, weight, seqno)
+        )
+
+    def append_batch(self, values, timestamps, weights=None) -> int:
+        """Frame and append one BATCH record; returns its sequence number.
+
+        The whole batch shares a single frame (one CRC, one seqno), so a
+        crash mid-append leaves a torn tail covering the *entire* batch —
+        recovery drops it whole, never a prefix of it.
+        """
+        return self._append_framed(
+            lambda seqno: encode_batch_record(values, timestamps, weights, seqno)
+        )
+
+    def _append_framed(self, encode) -> int:
         if self._handle is None or self._handle.size >= self.segment_bytes:
             self._rotate()
         seqno = self.next_seqno
-        self.fs.append(self._handle, encode_record(value, timestamp, weight, seqno))
+        self.fs.append(self._handle, encode(seqno))
         self.next_seqno = seqno + 1
         self.records_appended += 1
         self._unsynced += 1

@@ -22,9 +22,11 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.base import TimestampGuard
+import numpy as np
+
+from repro.core.base import TimestampGuard, check_batch_lengths, first_timestamp_violation
 from repro.core.merge_tree import MergeTreePersistence
-from repro.sketches.hashing import mix64
+from repro.sketches.hashing import mix64, mix64_array
 from repro.sketches.hyperloglog import HyperLogLog
 
 _HASH_RANGE = float(1 << 64)
@@ -58,6 +60,36 @@ class AttpKmvDistinct:
         self._guard.check(timestamp)
         self.count += 1
         unit = (mix64(int(key), self._salt) + 1) / _HASH_RANGE  # in (0, 1]
+        self._offer(unit, timestamp)
+
+    def update_batch(self, keys, timestamps) -> None:
+        """Observe many keys; state-identical to a scalar :meth:`update` loop.
+
+        Hashing is vectorized (:func:`repro.sketches.hashing.mix64_array`);
+        the bottom-k offer loop stays sequential because each acceptance can
+        move the k-th minimum that gates later items.  On a timestamp
+        violation the valid prefix is applied, then the scalar exception is
+        raised.
+        """
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        n = check_batch_lengths(keys, timestamp_array)
+        if n == 0:
+            return
+        bad = first_timestamp_violation(self._guard.last, timestamp_array)
+        limit = n if bad < 0 else bad
+        if limit:
+            hashed = mix64_array(np.asarray(keys).astype(np.uint64), self._salt)
+            for i in range(limit):
+                self.count += 1
+                # int(h) + 1 in exact Python arithmetic: float64(h) + 1.0
+                # can round differently near representability boundaries.
+                self._offer((int(hashed[i]) + 1) / _HASH_RANGE, float(timestamp_array[i]))
+            self._guard.last = float(timestamp_array[limit - 1])
+        if bad >= 0:
+            self._guard.check(float(timestamp_array[bad]))
+            raise AssertionError("unreachable: guard.check must raise")
+
+    def _offer(self, unit: float, timestamp: float) -> None:
         if unit in self._alive_units:
             return  # duplicate of a currently-sampled key
         if len(self._heap) >= self.k:
@@ -131,6 +163,11 @@ class BitpHllDistinct:
     def update(self, key: int, timestamp: float) -> None:
         """Observe one key at ``timestamp``."""
         self._tree.update(key, timestamp)
+
+    def update_batch(self, keys, timestamps) -> None:
+        """Bulk insert: block-exact batched merge-tree ingest (vectorized
+        HyperLogLog register updates within each leaf block)."""
+        self._tree.update_batch(keys, timestamps)
 
     def distinct_since(self, timestamp: float) -> float:
         """Estimated distinct keys in the window ``A[timestamp, now]``."""

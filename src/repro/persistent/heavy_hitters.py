@@ -22,6 +22,9 @@ import functools
 from collections import Counter
 from typing import List
 
+import numpy as np
+
+from repro.core.base import check_batch_lengths, first_timestamp_violation
 from repro.core.bitp_sampling import BitpPrioritySample
 from repro.core.checkpoint_chain import apply_int_weighted
 from repro.core.elementwise import ChainCountMin, ChainMisraGries
@@ -53,12 +56,32 @@ class AttpSampleHeavyHitter:
         self.count += 1
         self._count_history.observe(timestamp, float(self.count))
 
+    def update_batch(self, keys, timestamps) -> None:
+        """Bulk insert: vectorised sampler ingest plus the count history.
+
+        Equivalent to repeated :meth:`update` (same sample, same RNG
+        stream), but the persistent sample ingests the whole batch at once.
+        A mid-batch timestamp violation applies (and observes) the valid
+        prefix, then raises the scalar error.
+        """
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        n = check_batch_lengths(keys, timestamp_array)
+        if n == 0:
+            return
+        bad = first_timestamp_violation(self._sample._guard.last, timestamp_array)
+        limit = n if bad < 0 else bad
+        try:
+            self._sample.update_batch(keys, timestamp_array)
+        finally:
+            for index in range(limit):
+                self.count += 1
+                self._count_history.observe(
+                    float(timestamp_array[index]), float(self.count)
+                )
+
     def update_many(self, keys, timestamps) -> None:
-        """Bulk insert (equivalent to repeated :meth:`update`, but faster)."""
-        self._sample.update_many(keys, timestamps)
-        for timestamp in timestamps:
-            self.count += 1
-            self._count_history.observe(timestamp, float(self.count))
+        """Backward-compatible alias of :meth:`update_batch`."""
+        self.update_batch(keys, timestamps)
 
     def heavy_hitters_at(self, timestamp: float, phi: float) -> List[int]:
         """Keys with estimated frequency >= ``phi * n(t)`` in ``A^timestamp``."""
@@ -142,6 +165,17 @@ class AttpDyadicChainCountMin:
         for level, sketch in enumerate(self.levels):
             sketch.update(key >> level, timestamp, weight)
 
+    def update_batch(self, keys, timestamps, weights=None) -> None:
+        """Bulk :meth:`update` (scalar loop; the per-level chains checkpoint
+        counter drift item by item, so the work is inherently sequential)."""
+        n = check_batch_lengths(keys, timestamps, weights)
+        for index in range(n):
+            self.update(
+                int(keys[index]),
+                float(timestamps[index]),
+                1 if weights is None else int(weights[index]),
+            )
+
     def total_weight_at(self, timestamp: float) -> float:
         """W(t) from the level-0 chain's weight history."""
         return self.levels[0].total_weight_at(timestamp)
@@ -199,9 +233,13 @@ class BitpSampleHeavyHitter:
         """Insert one occurrence of ``key`` at ``timestamp``."""
         self._sample.update(key, timestamp, weight=1.0)
 
-    def update_many(self, keys, timestamps) -> None:
+    def update_batch(self, keys, timestamps) -> None:
         """Bulk insert (equivalent to repeated :meth:`update`, but faster)."""
-        self._sample.update_many(keys, timestamps)
+        self._sample.update_batch(keys, timestamps)
+
+    def update_many(self, keys, timestamps) -> None:
+        """Backward-compatible alias of :meth:`update_batch`."""
+        self.update_batch(keys, timestamps)
 
     def heavy_hitters_since(self, timestamp: float, phi: float) -> List[int]:
         """Keys with estimated frequency >= ``phi * |window|`` in ``A[t, now]``."""
@@ -260,6 +298,10 @@ class AttpTreeMisraGries:
         """Insert one occurrence of ``key`` at ``timestamp``."""
         self._tree.update(key, timestamp, weight=1)
 
+    def update_batch(self, keys, timestamps) -> None:
+        """Bulk insert: block-exact batched merge-tree ingest."""
+        self._tree.update_batch(keys, timestamps)
+
     def heavy_hitters_at(
         self, timestamp: float, phi: float, guarantee_recall: bool = True
     ) -> List[int]:
@@ -310,6 +352,10 @@ class BitpTreeMisraGries:
     def update(self, key: int, timestamp: float) -> None:
         """Insert one occurrence of ``key`` at ``timestamp``."""
         self._tree.update(key, timestamp, weight=1)
+
+    def update_batch(self, keys, timestamps) -> None:
+        """Bulk insert: block-exact batched merge-tree ingest."""
+        self._tree.update_batch(keys, timestamps)
 
     def heavy_hitters_since(
         self, timestamp: float, phi: float, guarantee_recall: bool = True

@@ -12,6 +12,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.base import check_batch_lengths, first_timestamp_violation
 from repro.core.persistent_sampling import PersistentTopKSample
 
 
@@ -58,6 +59,27 @@ class AttpKdeCoreset:
             raise ValueError(f"expected a point of shape ({self.dim},), got {point.shape}")
         self.count += 1
         self._sample.update(point, timestamp)
+
+    def update_batch(self, points, timestamps) -> None:
+        """Insert many points (an ``(n, dim)`` matrix); state- and
+        RNG-identical to a scalar :meth:`update` loop.
+
+        A mid-batch timestamp violation applies the valid prefix, then
+        raises the scalar error (the offending point is still counted,
+        exactly as the scalar path counts it before the sampler rejects).
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dim:
+            raise ValueError(
+                f"expected points of shape (n, {self.dim}), got {points.shape}"
+            )
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        n = check_batch_lengths(points, timestamp_array)
+        if n == 0:
+            return
+        bad = first_timestamp_violation(self._sample._guard.last, timestamp_array)
+        self.count += n if bad < 0 else bad + 1
+        self._sample.update_batch(list(points), timestamp_array)
 
     def kde_at(self, timestamp: float, x: Sequence[float]) -> float:
         """Estimated normalised kernel density of ``A^timestamp`` at ``x``."""

@@ -19,7 +19,11 @@ import functools
 
 import numpy as np
 
-from repro.core.base import check_finite_row
+from repro.core.base import (
+    check_batch_lengths,
+    check_finite_row,
+    first_timestamp_violation,
+)
 from repro.core.checkpoint_chain import apply_value_only
 from repro.core.merge_tree import MergeTreePersistence
 from repro.core.persistent_priority import PersistentPrioritySample, PersistentWeightedWR
@@ -55,6 +59,28 @@ class AttpNormSampling:
             return  # zero rows carry no covariance mass
         self.count += 1
         self._sample.update(row, timestamp, weight=norm_sq)
+
+    def update_batch(self, rows, timestamps) -> None:
+        """Append many rows (an ``(n, dim)`` matrix); state- and
+        RNG-identical to a scalar :meth:`update` loop.
+
+        Norms are computed with the scalar ``row @ row`` (not a reassociated
+        ``einsum``) so sampled weights are bit-identical; zero-norm rows are
+        dropped exactly as the scalar path drops them.  A mid-batch
+        non-finite row or timestamp violation applies the valid prefix,
+        then raises the scalar error.
+        """
+        prepared = _prepare_row_batch(self._sample, self.dim, rows, timestamps)
+        if prepared is None:
+            return
+        rows, timestamp_array, kept, norms, count_delta, bad_finite = prepared
+        self.count += count_delta
+        self._sample.update_batch(
+            [rows[i] for i in kept], timestamp_array[kept], [norms[i] for i in kept]
+        )
+        if bad_finite >= 0:
+            check_finite_row(rows[bad_finite])
+            raise AssertionError("unreachable: check_finite_row must raise")
 
     def sketch_rows_at(self, timestamp: float) -> np.ndarray:
         """Row matrix ``B`` with ``B^T B`` = the covariance estimate at ``t``."""
@@ -103,6 +129,23 @@ class AttpNormSamplingWR:
             return
         self.count += 1
         self._sample.update(row, timestamp, weight=norm_sq)
+
+    def update_batch(self, rows, timestamps) -> None:
+        """Append many rows (an ``(n, dim)`` matrix); state- and
+        RNG-identical to a scalar :meth:`update` loop (see
+        :meth:`AttpNormSampling.update_batch` for the exactness notes).
+        """
+        prepared = _prepare_row_batch(self._sample, self.dim, rows, timestamps)
+        if prepared is None:
+            return
+        rows, timestamp_array, kept, norms, count_delta, bad_finite = prepared
+        self.count += count_delta
+        self._sample.update_batch(
+            [rows[i] for i in kept], timestamp_array[kept], [norms[i] for i in kept]
+        )
+        if bad_finite >= 0:
+            check_finite_row(rows[bad_finite])
+            raise AssertionError("unreachable: check_finite_row must raise")
 
     def sketch_rows_at(self, timestamp: float) -> np.ndarray:
         """Row matrix ``B`` with ``B^T B`` = the covariance estimate at ``t``."""
@@ -164,6 +207,16 @@ class BitpFrequentDirections:
             raise ValueError(f"expected a row of shape ({self.dim},), got {row.shape}")
         self._tree.update(row, timestamp)
 
+    def update_batch(self, rows, timestamps) -> None:
+        """Append many rows (an ``(n, dim)`` matrix): block-exact batched
+        merge-tree ingest."""
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or rows.shape[1] != self.dim:
+            raise ValueError(
+                f"expected rows of shape (n, {self.dim}), got {rows.shape}"
+            )
+        self._tree.update_batch(list(rows), timestamps)
+
     def covariance_since(self, timestamp: float) -> np.ndarray:
         """Estimate of the window covariance ``A[t, now]^T A[t, now]``."""
         merged = self._tree.sketch_since(timestamp)
@@ -176,3 +229,35 @@ class BitpFrequentDirections:
     def memory_bytes(self) -> int:
         """Modelled C-layout footprint (see repro.evaluation.memory)."""
         return self._tree.memory_bytes()
+
+
+def _prepare_row_batch(sampler, dim, rows, timestamps):
+    """Validate a row batch against the scalar path's per-row semantics.
+
+    Returns ``(rows, timestamp_array, kept, norms, count_delta, bad_finite)``
+    or ``None`` for an empty batch.  ``kept`` holds the indices before the
+    first non-finite row whose norm is non-zero; ``count_delta`` is how far
+    the wrapper's ``count`` advances — including the row the sampler is
+    about to reject on a timestamp violation, which the scalar loop counts
+    *before* the sampler raises.
+    """
+    rows = np.asarray(rows, dtype=float)
+    if rows.ndim != 2 or rows.shape[1] != dim:
+        raise ValueError(f"expected rows of shape (n, {dim}), got {rows.shape}")
+    timestamp_array = np.asarray(timestamps, dtype=float)
+    n = check_batch_lengths(rows, timestamp_array)
+    if n == 0:
+        return None
+    finite = np.isfinite(rows).all(axis=1)
+    bad_finite = -1 if bool(finite.all()) else int(np.argmin(finite))
+    stop = n if bad_finite < 0 else bad_finite
+    # Scalar order and precision: row @ row per row, no reassociation.
+    norms = [float(row @ row) for row in rows[:stop]]
+    kept = [index for index in range(stop) if norms[index] != 0.0]
+    bad_time = (
+        first_timestamp_violation(sampler._guard.last, timestamp_array[kept])
+        if kept
+        else -1
+    )
+    count_delta = len(kept) if bad_time < 0 else bad_time + 1
+    return rows, timestamp_array, kept, norms, count_delta, bad_finite

@@ -42,6 +42,11 @@ class AttpBloomMembership:
         """Insert one key at ``timestamp``."""
         self._chain.update(key, timestamp)
 
+    def update_batch(self, keys, timestamps) -> None:
+        """Bulk insert: checkpoint-exact batched chain ingest (vectorized
+        Bloom bit-setting between checkpoint boundaries)."""
+        self._chain.update_batch(keys, timestamps)
+
     def contains_at(self, key: int, timestamp: float) -> bool:
         """Whether ``key`` may have been inserted at or before ``timestamp``.
 
@@ -94,6 +99,10 @@ class BitpBloomMembership:
     def update(self, key: int, timestamp: float) -> None:
         """Insert one key at ``timestamp``."""
         self._tree.update(key, timestamp)
+
+    def update_batch(self, keys, timestamps) -> None:
+        """Bulk insert: block-exact batched merge-tree ingest."""
+        self._tree.update_batch(keys, timestamps)
 
     def contains_since(self, key: int, timestamp: float) -> bool:
         """Whether ``key`` may have appeared in the window ``A[timestamp, now]``.

@@ -14,10 +14,17 @@ from __future__ import annotations
 import functools
 from typing import List
 
+import numpy as np
+
 from repro.core.checkpoint_chain import CheckpointChain
 from repro.core.merge_tree import MergeTreePersistence
 from repro.core.persistent_sampling import PersistentTopKSample
 from repro.sketches.kll import KllSketch
+
+
+def _float_list(values) -> List[float]:
+    """Values as plain Python floats (matches the scalar ``float(value)``)."""
+    return np.asarray(values, dtype=float).tolist()
 
 
 def _empirical_quantile(values: List[float], phi: float) -> float:
@@ -42,6 +49,10 @@ class AttpSampleQuantiles:
     def update(self, value: float, timestamp: float) -> None:
         """Insert one value at ``timestamp``."""
         self._sample.update(float(value), timestamp)
+
+    def update_batch(self, values, timestamps) -> None:
+        """Bulk insert (state-identical to repeated :meth:`update`)."""
+        self._sample.update_batch(_float_list(values), timestamps)
 
     def quantile_at(self, timestamp: float, phi: float) -> float:
         """Estimated phi-quantile of ``A^timestamp``."""
@@ -77,6 +88,10 @@ class AttpChainKll:
     def update(self, value: float, timestamp: float) -> None:
         """Insert one value at ``timestamp``."""
         self._chain.update(float(value), timestamp)
+
+    def update_batch(self, values, timestamps) -> None:
+        """Bulk insert: checkpoint-exact batched chain ingest."""
+        self._chain.update_batch(_float_list(values), timestamps)
 
     def quantile_at(self, timestamp: float, phi: float) -> float:
         """Estimated phi-quantile of ``A^timestamp``."""
@@ -118,6 +133,10 @@ class AttpWeightedQuantiles:
     def update(self, value: float, timestamp: float, weight: float = 1.0) -> None:
         """Insert one weighted value at ``timestamp``."""
         self._sample.update(float(value), timestamp, weight=weight)
+
+    def update_batch(self, values, timestamps, weights=None) -> None:
+        """Bulk insert (state- and RNG-identical to repeated :meth:`update`)."""
+        self._sample.update_batch(_float_list(values), timestamps, weights)
 
     def quantile_at(self, timestamp: float, phi: float) -> float:
         """Estimated weighted phi-quantile of ``A^timestamp``."""
@@ -169,6 +188,10 @@ class AttpMergeTreeQuantiles:
         """Insert one value at ``timestamp``."""
         self._tree.update(float(value), timestamp)
 
+    def update_batch(self, values, timestamps) -> None:
+        """Bulk insert: block-exact batched merge-tree ingest."""
+        self._tree.update_batch(_float_list(values), timestamps)
+
     def quantile_at(self, timestamp: float, phi: float) -> float:
         """Estimated phi-quantile of the prefix ``A^timestamp``."""
         merged = self._tree.sketch_at(timestamp)
@@ -203,6 +226,10 @@ class BitpMergeTreeQuantiles:
     def update(self, value: float, timestamp: float) -> None:
         """Insert one value at ``timestamp``."""
         self._tree.update(float(value), timestamp)
+
+    def update_batch(self, values, timestamps) -> None:
+        """Bulk insert: block-exact batched merge-tree ingest."""
+        self._tree.update_batch(_float_list(values), timestamps)
 
     def quantile_since(self, timestamp: float, phi: float) -> float:
         """Estimated phi-quantile of the window ``A[timestamp, now]``."""

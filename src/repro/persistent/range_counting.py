@@ -12,6 +12,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.base import (
+    check_batch_lengths,
+    first_invalid_weight,
+    first_timestamp_violation,
+)
 from repro.core.persistent_priority import PersistentPrioritySample
 from repro.core.persistent_sampling import PersistentTopKSample
 from repro.core.timeindex import GeometricHistory
@@ -41,6 +46,35 @@ class AttpRangeCounting:
         self.count += 1
         self._sample.update(point, timestamp)
         self._count_history.observe(timestamp, float(self.count))
+
+    def update_batch(self, points, timestamps) -> None:
+        """Insert many points (an ``(n, dim)`` matrix); state- and
+        RNG-identical to a scalar :meth:`update` loop, count history
+        included.  A mid-batch timestamp violation applies (and observes)
+        the valid prefix, then raises the scalar error.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dim:
+            raise ValueError(
+                f"expected points of shape (n, {self.dim}), got {points.shape}"
+            )
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        n = check_batch_lengths(points, timestamp_array)
+        if n == 0:
+            return
+        bad = first_timestamp_violation(self._sample._guard.last, timestamp_array)
+        limit = n if bad < 0 else bad
+        base = self.count
+        # The scalar loop counts the offending point before the sampler
+        # rejects it, but never observes it in the count history.
+        self.count += n if bad < 0 else bad + 1
+        try:
+            self._sample.update_batch(list(points), timestamp_array)
+        finally:
+            for index in range(limit):
+                self._count_history.observe(
+                    float(timestamp_array[index]), float(base + index + 1)
+                )
 
     def range_count_at(
         self, timestamp: float, lo: Sequence[float], hi: Sequence[float]
@@ -90,6 +124,34 @@ class AttpWeightedRangeCounting:
             raise ValueError(f"expected a point of shape ({self.dim},), got {point.shape}")
         self.count += 1
         self._sample.update(point, timestamp, weight=weight)
+
+    def update_batch(self, points, timestamps, weights=None) -> None:
+        """Insert many weighted points (an ``(n, dim)`` matrix); state- and
+        RNG-identical to a scalar :meth:`update` loop.  A mid-batch weight
+        or timestamp violation applies the valid prefix, then raises the
+        scalar error (the offending point is still counted, as in the
+        scalar path).
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dim:
+            raise ValueError(
+                f"expected points of shape (n, {self.dim}), got {points.shape}"
+            )
+        timestamp_array = np.asarray(timestamps, dtype=float)
+        n = check_batch_lengths(points, timestamp_array, weights)
+        if n == 0:
+            return
+        weight_array = (
+            np.ones(n, dtype=float)
+            if weights is None
+            else np.asarray(weights, dtype=float)
+        )
+        bad_weight = first_invalid_weight(weight_array)
+        bad_time = first_timestamp_violation(self._sample._guard.last, timestamp_array)
+        candidates = [index for index in (bad_weight, bad_time) if index >= 0]
+        bad = min(candidates) if candidates else -1
+        self.count += n if bad < 0 else bad + 1
+        self._sample.update_batch(list(points), timestamp_array, weight_array)
 
     def range_weight_at(
         self, timestamp: float, lo: Sequence[float], hi: Sequence[float]

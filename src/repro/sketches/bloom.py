@@ -47,6 +47,15 @@ class BloomFilter:
             self._array[h(key)] = True
         self.count += 1
 
+    def update_batch(self, keys) -> None:
+        """Vectorised bulk insert; bit-identical to the scalar loop."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return
+        for h in self._hashes:
+            self._array[h(keys)] = True
+        self.count += int(keys.size)
+
     def query(self, key: int) -> bool:
         """True if the key *may* have been inserted; False is definitive."""
         return all(self._array[h(key)] for h in self._hashes)

@@ -77,6 +77,36 @@ class CountMinSketch:
                 self._table[r, b] += weight
         self.total_weight += weight
 
+    def update_batch(self, keys, weights=None) -> None:
+        """Vectorised bulk :meth:`update`; counter-exact vs the scalar loop.
+
+        Each row scatter-adds all buckets at once (``np.add.at`` handles
+        duplicate keys within the batch).  Integer weights only — the table
+        is int64, like the scalar path.  Conservative sketches fall back to
+        the scalar loop: their update rule depends on the running estimate,
+        which is inherently order-dependent.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        if n == 0:
+            return
+        weight_array = None if weights is None else np.asarray(weights, dtype=np.int64)
+        if weight_array is not None and weight_array.size != n:
+            raise ValueError(
+                f"keys and weights length mismatch: {n} vs {weight_array.size}"
+            )
+        if self.conservative:
+            for i in range(n):
+                self.update(int(keys[i]), 1 if weight_array is None else int(weight_array[i]))
+            return
+        for h, row in zip(self._hashes, self._table):
+            buckets = h(keys)
+            if weight_array is None:
+                np.add.at(row, buckets, 1)
+            else:
+                np.add.at(row, buckets, weight_array)
+        self.total_weight += n if weight_array is None else int(weight_array.sum())
+
     def query(self, key: int) -> int:
         """Point estimate of ``key``'s total weight (never underestimates)."""
         return int(min(self._table[r, b] for r, b in enumerate(self._buckets(key))))

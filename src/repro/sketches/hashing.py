@@ -119,6 +119,40 @@ def mix64(key: int, seed: int = 0) -> int:
     return x
 
 
+def mix64_array(keys, seed: int = 0) -> np.ndarray:
+    """Vectorised :func:`mix64`: one uint64 fmix64 output per key.
+
+    Produces exactly the same values as calling ``mix64(key, seed)`` on each
+    element — the vectorized batch paths (HyperLogLog, KMV) depend on that
+    for batch ≡ scalar-loop equivalence.
+    """
+    x = np.asarray(keys, dtype=np.uint64) ^ np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        x = x ^ (x >> np.uint64(33))
+        x = x * np.uint64(0xFF51AFD7ED558CCD)
+        x = x ^ (x >> np.uint64(33))
+        x = x * np.uint64(0xC4CEB9FE1A85EC53)
+        x = x ^ (x >> np.uint64(33))
+    return x
+
+
+def bit_length_u64(values: np.ndarray) -> np.ndarray:
+    """Exact ``int.bit_length()`` of each uint64 element, as int64.
+
+    A float ``log2`` would be wrong above 2**53 (double mantissa); this is a
+    6-step binary search on shifts, exact over the full 64-bit range.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    length = np.zeros(values.shape, dtype=np.int64)
+    remaining = values.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = remaining >= (np.uint64(1) << np.uint64(shift))
+        length[mask] += shift
+        remaining[mask] >>= np.uint64(shift)
+    length[remaining > 0] += 1
+    return length
+
+
 def next_pow2_bits(width: int) -> int:
     """Smallest ``b`` with ``2**b >= width`` (at least 1)."""
     if width < 1:

@@ -14,7 +14,7 @@ import math
 
 import numpy as np
 
-from repro.sketches.hashing import mix64
+from repro.sketches.hashing import bit_length_u64, mix64, mix64_array
 
 
 def _alpha(m: int) -> float:
@@ -58,6 +58,26 @@ class HyperLogLog:
         if rank > self._registers[register]:
             self._registers[register] = rank
         self.count += 1
+
+    def update_batch(self, keys) -> None:
+        """Vectorised bulk observe; register-identical to the scalar loop.
+
+        Hashes the whole batch with :func:`mix64_array`, computes exact
+        leading-zero ranks via :func:`bit_length_u64` (float log2 would be
+        wrong above 2**53), and folds them in with an unbuffered
+        ``np.maximum.at`` so duplicate registers within the batch resolve
+        exactly like sequential updates.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        if n == 0:
+            return
+        hashed = mix64_array(keys, self._salt)
+        registers = (hashed & np.uint64(self.m - 1)).astype(np.int64)
+        rest = hashed >> np.uint64(self.p)
+        ranks = ((64 - self.p) - bit_length_u64(rest) + 1).astype(np.uint8)
+        np.maximum.at(self._registers, registers, ranks)
+        self.count += n
 
     def estimate(self) -> float:
         """Approximate number of distinct keys observed."""

@@ -43,23 +43,56 @@ class KllSketch:
         """Insert one item."""
         self.count += 1
         self._levels[0].append(item)
-        self._compress()
+        if len(self._levels[0]) >= self._capacity(0):
+            self._compress()
+
+    def update_batch(self, items) -> None:
+        """Bulk insert, state- and RNG-identical to the scalar loop.
+
+        Appends in chunks that fill level 0 exactly to its capacity before
+        each compaction — the same points at which the scalar path compacts
+        — so the compaction (and coin-flip) sequence is unchanged.
+        """
+        n = len(items)
+        position = 0
+        while position < n:
+            buffer = self._levels[0]
+            room = self._capacity(0) - len(buffer)
+            if room <= 0:
+                self._compress()
+                continue
+            take = min(room, n - position)
+            buffer.extend(items[position : position + take])
+            self.count += take
+            position += take
+            if len(buffer) >= self._capacity(0):
+                self._compress()
 
     def _compress(self) -> None:
-        level = 0
-        while level < len(self._levels):
-            buf = self._levels[level]
-            if len(buf) < self._capacity(level):
+        # Runs to a fixpoint: growing the hierarchy shrinks lower-level
+        # capacities (the 2/3 decay is anchored at the top), so one pass can
+        # leave an earlier level over its new capacity.  Stabilizing here
+        # means the *only* compaction trigger is level 0 filling up, which
+        # makes chunked batch insertion take the identical compaction (and
+        # coin-flip) sequence as the scalar loop.
+        compacted = True
+        while compacted:
+            compacted = False
+            level = 0
+            while level < len(self._levels):
+                buf = self._levels[level]
+                if len(buf) < self._capacity(level):
+                    level += 1
+                    continue
+                buf.sort()
+                offset = int(self._rng.integers(0, 2))
+                promoted = buf[offset::2]
+                self._levels[level] = []
+                if level + 1 == len(self._levels):
+                    self._levels.append([])
+                self._levels[level + 1].extend(promoted)
+                compacted = True
                 level += 1
-                continue
-            buf.sort()
-            offset = int(self._rng.integers(0, 2))
-            promoted = buf[offset::2]
-            self._levels[level] = []
-            if level + 1 == len(self._levels):
-                self._levels.append([])
-            self._levels[level + 1].extend(promoted)
-            level += 1
 
     def merge(self, other: "KllSketch") -> None:
         """Merge another KLL sketch (same ``k``) into this one."""

@@ -12,6 +12,8 @@ from __future__ import annotations
 import heapq
 import math
 
+import numpy as np
+
 
 class MisraGries:
     """Deterministic eps-FE summary using at most ``k`` counters."""
@@ -64,6 +66,38 @@ class MisraGries:
             # remainder now that a slot is guaranteed to be free.
             self.update(key, remaining)
             self.total_weight -= remaining
+
+    def update_batch(self, keys, weights=None) -> None:
+        """Bulk insert with sorted-unique pre-aggregation.
+
+        Duplicate keys in the batch are summed first, then applied in
+        ascending key order — one counter operation per *distinct* key, which
+        is the dominant win on the skewed streams this summary targets.  The
+        result satisfies the same ``W/(k+1)`` error guarantee (each
+        aggregated insertion is a legal weighted update) but is not
+        necessarily state-identical to the scalar loop: Misra-Gries is
+        order-dependent.  See docs/BATCHING.md.  All weights are validated
+        up front, so an invalid weight rejects the whole batch atomically.
+        """
+        keys = np.asarray(keys)
+        n = int(keys.size)
+        if n == 0:
+            return
+        if weights is None:
+            unique, aggregated = np.unique(keys, return_counts=True)
+        else:
+            weight_array = np.asarray(weights, dtype=np.int64)
+            if weight_array.size != n:
+                raise ValueError(
+                    f"keys and weights length mismatch: {n} vs {weight_array.size}"
+                )
+            if not np.all(weight_array > 0):
+                raise ValueError("Misra-Gries is insertion-only; weight must be > 0")
+            unique, inverse = np.unique(keys, return_inverse=True)
+            aggregated = np.zeros(unique.size, dtype=np.int64)
+            np.add.at(aggregated, inverse, weight_array)
+        for key, weight in zip(unique.tolist(), aggregated.tolist()):
+            self.update(key, int(weight))
 
     def query(self, key: int) -> int:
         """Lower-bound estimate of ``key``'s count (never overestimates)."""

@@ -39,6 +39,36 @@ class PrioritySample:
             u = float(self._rng.random())
         self.offer(item, weight, weight / u)
 
+    def update_batch(self, items, weights) -> None:
+        """Bulk offer; RNG-stream- and state-identical to the scalar loop.
+
+        Draws all ``n`` uniforms in one ``Generator.random(n)`` call (same
+        PCG64 consumption as ``n`` sequential draws).  A zero draw is
+        redrawn scalar-wise, exactly like :meth:`update` — the one
+        astronomically rare event where batch RNG consumption can diverge
+        from the scalar loop (see docs/BATCHING.md).  A non-positive weight
+        raises after the prefix before it has been applied, matching the
+        scalar loop; the whole batch's uniforms are consumed either way.
+        """
+        n = len(items)
+        if len(weights) != n:
+            raise ValueError(
+                f"items and weights length mismatch: {n} vs {len(weights)}"
+            )
+        if n == 0:
+            return
+        weight_array = np.asarray(weights, dtype=float)
+        uniforms = self._rng.random(n)
+        offer = self.offer
+        for i in range(n):
+            weight = float(weight_array[i])
+            if weight <= 0:
+                raise ValueError(f"weight must be positive, got {weight}")
+            u = float(uniforms[i])
+            while u == 0.0:
+                u = float(self._rng.random())
+            offer(items[i], weight, weight / u)
+
     def offer(self, item, weight: float, priority: float) -> None:
         """Offer an item with an externally supplied priority."""
         self.count += 1

@@ -56,6 +56,38 @@ class ReservoirSample:
         if j < self.k:
             self._slots[j] = item
 
+    def update_batch(self, items) -> None:
+        """Bulk offer; RNG-stream- and state-identical to the scalar loop.
+
+        In ``independent_chains`` mode the per-item ``k`` uniforms are drawn
+        as one ``(n, k)`` matrix — ``Generator.random`` consumes the PCG64
+        stream in the same order as ``n`` sequential ``random(k)`` calls —
+        and the rare replacements are applied row by row.  The classic
+        reservoir draws a *bounded integer* per item once full, which is
+        stateful in ``i``, so it falls back to the scalar loop.
+        """
+        n = len(items)
+        if n == 0:
+            return
+        if not self.independent_chains:
+            for i in range(n):
+                self.update(items[i])
+            return
+        start = 0
+        if self.count == 0:
+            self._slots = [items[0]] * self.k
+            self.count = 1
+            start = 1
+        remaining = n - start
+        if remaining <= 0:
+            return
+        draws = self._rng.random((remaining, self.k))
+        thresholds = 1.0 / np.arange(self.count + 1, self.count + remaining + 1)
+        rows, chains = np.nonzero(draws < thresholds[:, None])
+        for row, chain in zip(rows.tolist(), chains.tolist()):
+            self._slots[chain] = items[start + row]
+        self.count += remaining
+
     def sample(self) -> list:
         """The current sample (length ``min(k, count)``)."""
         if self.independent_chains:
@@ -93,6 +125,22 @@ class TopKPrioritySample:
         self.count += 1
         priority = float(self._rng.random())
         self.offer(item, priority)
+
+    def update_batch(self, items) -> None:
+        """Bulk offer; RNG-stream- and state-identical to the scalar loop.
+
+        All ``n`` priorities come from a single ``Generator.random(n)`` call
+        (same PCG64 consumption as ``n`` scalar draws); the heap then sees
+        the same (priority, tiebreak, item) sequence as sequential updates.
+        """
+        n = len(items)
+        if n == 0:
+            return
+        priorities = self._rng.random(n)
+        offer = self.offer
+        for i in range(n):
+            offer(items[i], float(priorities[i]))
+        self.count += n
 
     def offer(self, item, priority: float) -> None:
         """Offer an item with an externally supplied priority."""

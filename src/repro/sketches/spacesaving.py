@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 
 class SpaceSaving:
     """Deterministic eps-FE summary with exactly-at-most ``k`` counters."""
@@ -48,6 +50,36 @@ class SpaceSaving:
         self._errors.pop(victim)
         counts[key] = floor + weight
         self._errors[key] = floor
+
+    def update_batch(self, keys, weights=None) -> None:
+        """Bulk insert with sorted-unique pre-aggregation.
+
+        Duplicate keys are summed first and applied in ascending key order —
+        one eviction decision per distinct key.  Preserves the ``W/k``
+        overestimate guarantee but, like the scalar sketch, is
+        order-dependent, so the batch is not necessarily state-identical to
+        the scalar loop (see docs/BATCHING.md).  All weights are validated
+        up front, so an invalid weight rejects the whole batch atomically.
+        """
+        keys = np.asarray(keys)
+        n = int(keys.size)
+        if n == 0:
+            return
+        if weights is None:
+            unique, aggregated = np.unique(keys, return_counts=True)
+        else:
+            weight_array = np.asarray(weights, dtype=np.int64)
+            if weight_array.size != n:
+                raise ValueError(
+                    f"keys and weights length mismatch: {n} vs {weight_array.size}"
+                )
+            if not np.all(weight_array > 0):
+                raise ValueError("SpaceSaving is insertion-only; weight must be > 0")
+            unique, inverse = np.unique(keys, return_inverse=True)
+            aggregated = np.zeros(unique.size, dtype=np.int64)
+            np.add.at(aggregated, inverse, weight_array)
+        for key, weight in zip(unique.tolist(), aggregated.tolist()):
+            self.update(key, int(weight))
 
     def query(self, key: int) -> int:
         """Upper-bound estimate of ``key``'s count (never underestimates)."""

@@ -38,6 +38,45 @@ class WeightedReservoirWR:
         for slot in np.flatnonzero(hits):
             self._slots[slot] = item
 
+    def update_batch(self, items, weights) -> None:
+        """Bulk offer; RNG-stream- and state-identical to the scalar loop.
+
+        The replacement probability ``w_i / W_i`` uses the running total, so
+        it is computed from a cumulative sum; the per-item ``k`` uniforms are
+        drawn as one ``(n, k)`` matrix, which consumes the PCG64 stream
+        exactly like ``n`` sequential ``random(k)`` calls.  Only the very
+        first stream item hits the ``p >= 1`` no-draw branch, handled
+        separately.  Weights are validated up front (whole-batch reject).
+        """
+        n = len(items)
+        if len(weights) != n:
+            raise ValueError(
+                f"items and weights length mismatch: {n} vs {len(weights)}"
+            )
+        if n == 0:
+            return
+        weight_array = np.asarray(weights, dtype=float)
+        if not np.all(weight_array > 0):
+            bad = float(weight_array[np.flatnonzero(~(weight_array > 0))[0]])
+            raise ValueError(f"weight must be positive, got {bad}")
+        start = 0
+        if self.count == 0:
+            self.count = 1
+            self.total_weight += float(weight_array[0])
+            self._slots = [items[0]] * self.k
+            start = 1
+        remaining = n - start
+        if remaining <= 0:
+            return
+        totals = self.total_weight + np.cumsum(weight_array[start:])
+        probabilities = weight_array[start:] / totals
+        draws = self._rng.random((remaining, self.k))
+        rows, chains = np.nonzero(draws < probabilities[:, None])
+        for row, chain in zip(rows.tolist(), chains.tolist()):
+            self._slots[chain] = items[start + row]
+        self.count += remaining
+        self.total_weight = float(totals[-1])
+
     def sample(self) -> list:
         """The ``k`` chain contents (with replacement; empty before any update)."""
         return [item for item in self._slots if item is not None]

@@ -1,0 +1,265 @@
+"""BATCH WAL records: framing, replay identity, and crash recovery.
+
+One ``update_batch`` call produces exactly one ``BATCH`` record under one
+sequence number.  The record is atomic *in the log* — after a crash it is
+either fully framed (CRC-valid) or a torn tail that recovery truncates; a
+partially applied batch is never visible after replay except as the same
+deterministic prefix-apply the live path produced.
+"""
+
+import pytest
+
+from repro.durability import (
+    DurableSketch,
+    FaultPlan,
+    FaultyFilesystem,
+    SimulatedCrash,
+    WalBatchRecord,
+    WalRecord,
+    WriteAheadLog,
+    iter_records,
+    recover,
+    scan_segment,
+)
+from repro.durability.wal import encode_batch_record, encode_record
+from repro.persistent import AttpSampleHeavyHitter
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+UNIVERSE = 53
+N = 2_000
+BATCH = 125
+
+
+def stream(n=N):
+    return [((i * i) % UNIVERSE, float(i)) for i in range(n)]
+
+
+def factory():
+    return AttpSampleHeavyHitter(k=256, seed=13)
+
+
+def batches(n=N, size=BATCH):
+    items = stream(n)
+    for start in range(0, n, size):
+        chunk = items[start : start + size]
+        yield [key for key, _ in chunk], [t for _, t in chunk]
+
+
+def answers(sketch, count):
+    times = [count * fraction for fraction in (0.25, 0.5, 0.75, 1.0)]
+    return (
+        sketch.count,
+        [sketch.heavy_hitters_at(t, 0.03) for t in times],
+        [sketch.estimate_at(key, times[-1]) for key in range(0, UNIVERSE, 5)],
+    )
+
+
+class TestBatchFraming:
+    def test_roundtrip_through_scan(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync_policy="always")
+        seqno = wal.append_batch([1, 2, 3], [0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        wal.append(9, 3.0, 1.0)
+        wal.close()
+        records = list(iter_records(tmp_path))
+        assert len(records) == 2
+        batch, scalar = records
+        assert isinstance(batch, WalBatchRecord)
+        assert batch.seqno == seqno
+        assert batch.values == [1, 2, 3]
+        assert batch.timestamps == [0.0, 1.0, 2.0]
+        assert batch.weights == [1.0, 2.0, 3.0]
+        assert len(batch) == 3
+        assert isinstance(scalar, WalRecord)
+        assert scalar.seqno == seqno + 1
+
+    def test_unweighted_batch_keeps_weights_none(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append_batch([4, 5], [0.5, 1.5], None)
+        wal.close()
+        (record,) = list(iter_records(tmp_path))
+        assert record.weights is None
+
+    def test_one_seqno_per_batch(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        first = wal.append_batch(list(range(100)), [float(i) for i in range(100)], None)
+        second = wal.append_batch([100], [100.0], None)
+        assert second == first + 1
+        wal.close()
+
+    def test_torn_batch_tail_truncates_cleanly(self, tmp_path):
+        """A BATCH record cut mid-frame is classified torn, not corrupt."""
+        wal = WriteAheadLog(tmp_path)
+        wal.append_batch([1, 2], [0.0, 1.0], None)
+        wal.append_batch([3, 4], [2.0, 3.0], None)
+        wal.close()
+        (segment,) = sorted(tmp_path.glob("wal-*.log"))
+        whole = segment.read_bytes()
+        # 24-byte segment header, then the first framed BATCH record.
+        boundary = 24 + len(encode_batch_record([1, 2], [0.0, 1.0], None, 1))
+        segment.write_bytes(whole[: boundary + 7])  # cut inside record 2
+        scan = scan_segment(segment)
+        assert scan.status == "torn"
+        assert len(scan.records) == 1
+        assert scan.good_bytes == boundary
+
+    def test_batch_frame_same_layout_as_scalar(self):
+        """Both record kinds share the 16-byte crc/length/seqno header."""
+        scalar = encode_record(1, 2.0, 3.0, 7)
+        batch = encode_batch_record([1], [2.0], [3.0], 7)
+        # Bytes 8..16 are the big-endian seqno in both frames.
+        assert scalar[8:16] == batch[8:16]
+
+
+class TestDurableBatchIngest:
+    def test_batch_store_state_equals_scalar_store(self, tmp_path):
+        scalar_store = DurableSketch.open(factory, tmp_path / "scalar", snapshot_every=0)
+        for key, timestamp in stream():
+            scalar_store.update(key, timestamp)
+        batch_store = DurableSketch.open(factory, tmp_path / "batch", snapshot_every=0)
+        for keys, times in batches():
+            batch_store.update_batch(keys, times)
+        assert answers(scalar_store.sketch, N) == answers(batch_store.sketch, N)
+        # The batch WAL holds one record per batch, not per update.
+        assert batch_store.wal.records_appended == (N + BATCH - 1) // BATCH
+        assert scalar_store.wal.records_appended == N
+        scalar_store.close(final_snapshot=False)
+        batch_store.close(final_snapshot=False)
+
+    def test_recovery_replays_batches_exactly(self, tmp_path):
+        directory = tmp_path / "state"
+        store = DurableSketch.open(factory, directory, snapshot_every=0)
+        for keys, times in batches():
+            store.update_batch(keys, times)
+        expected = answers(store.sketch, N)
+        store.wal.flush()
+        store.wal.close()  # abandon without snapshot: replay does all the work
+        result = recover(directory, factory)
+        assert result.replayed == (N + BATCH - 1) // BATCH
+        assert answers(result.sketch, N) == expected
+
+    def test_mixed_scalar_and_batch_replay(self, tmp_path):
+        directory = tmp_path / "state"
+        store = DurableSketch.open(factory, directory, snapshot_every=0)
+        items = stream(600)
+        for key, timestamp in items[:100]:
+            store.update(key, timestamp)
+        store.update_batch(
+            [k for k, _ in items[100:400]], [t for _, t in items[100:400]]
+        )
+        for key, timestamp in items[400:450]:
+            store.update(key, timestamp)
+        store.update_batch(
+            [k for k, _ in items[450:600]], [t for _, t in items[450:600]]
+        )
+        expected = answers(store.sketch, 600)
+        store.wal.flush()
+        store.wal.close()
+        result = recover(directory, factory)
+        assert result.replayed == 100 + 1 + 50 + 1
+        assert answers(result.sketch, 600) == expected
+
+    def test_snapshot_cadence_counts_updates_not_records(self, tmp_path):
+        store = DurableSketch.open(
+            factory, tmp_path / "state", snapshot_every=500, keep_snapshots=10
+        )
+        for keys, times in batches(2_000, 125):  # 16 records, 2000 updates
+            store.update_batch(keys, times)
+        assert store.snapshots_taken == 4
+        store.close(final_snapshot=False)
+
+    def test_rejected_batch_prefix_replays_identically(self, tmp_path):
+        from repro.core import MonotoneViolation
+
+        directory = tmp_path / "state"
+        store = DurableSketch.open(factory, directory, snapshot_every=0)
+        store.update_batch([1, 2], [0.0, 1.0])
+        with pytest.raises(MonotoneViolation):
+            store.update_batch([3, 4, 5], [2.0, 0.5, 3.0])  # rejected at index 1
+        store.update_batch([6], [4.0])
+        assert store.updates_rejected == 1
+        expected = answers(store.sketch, 4)
+        store.wal.flush()
+        store.wal.close()
+        result = recover(directory, factory)
+        assert result.rejected == 1
+        assert result.replayed == 2
+        assert answers(result.sketch, 4) == expected
+
+    def test_seeded_sampler_batches_recover_bit_identically(self, tmp_path):
+        """RNG-bearing sketches replay batches to the same PCG64 position."""
+        directory = tmp_path / "state"
+        store = DurableSketch.open(factory, directory, snapshot_every=0)
+        for keys, times in batches(1_000):
+            store.update_batch(keys, times)
+        live_rng = store.sketch._sample._rng.bit_generator.state
+        store.wal.flush()
+        store.wal.close()
+        result = recover(directory, factory)
+        assert result.sketch._sample._rng.bit_generator.state == live_rng
+
+
+@pytest.mark.crash
+class TestBatchCrashPoints:
+    """Kill-point inside a BATCH WAL record: recovery must reach exactly the
+    pre-crash acknowledged answers."""
+
+    def _run_until_crash(self, directory, fs):
+        acked_updates = 0
+        try:
+            store = DurableSketch.open(
+                factory,
+                directory,
+                fs=fs,
+                fsync_policy="always",
+                snapshot_every=500,
+                segment_bytes=16 * 1024,
+            )
+            for keys, times in batches():
+                store.update_batch(keys, times)
+                acked_updates += len(keys)
+            store.close()
+        except SimulatedCrash:
+            pass
+        return acked_updates
+
+    def _wal_append_indices(self, tmp_path):
+        fs = FaultyFilesystem()
+        self._run_until_crash(tmp_path / "trace", fs)
+        return [
+            op.index
+            for op in fs.ops
+            if op.label.startswith("append:wal-")
+        ]
+
+    @pytest.mark.parametrize("mode", ["before", "torn", "after"])
+    def test_crash_inside_batch_append(self, tmp_path, mode):
+        appends = self._wal_append_indices(tmp_path)
+        crash_at = appends[len(appends) // 2]
+        fs = FaultyFilesystem(FaultPlan(crash_at=crash_at, crash_mode=mode))
+        directory = tmp_path / f"state-{mode}"
+        acked = self._run_until_crash(directory, fs)
+        assert fs.crashed, "kill point was never reached"
+
+        result = recover(directory, factory)
+        recovered = result.sketch.count
+        # No acknowledged batch may be lost; the unacknowledged in-flight
+        # batch may survive whole iff its frame hit the log ('after').
+        assert acked <= recovered <= acked + BATCH
+        assert recovered % BATCH == 0  # batches are atomic in the log
+        reference = factory()
+        for key, timestamp in stream(recovered):
+            reference.update(key, timestamp)
+        assert answers(result.sketch, recovered) == answers(reference, recovered)
+
+    def test_torn_batch_never_partially_applies(self, tmp_path):
+        """The torn record's updates are wholly absent — not a prefix."""
+        appends = self._wal_append_indices(tmp_path)
+        crash_at = appends[2]
+        fs = FaultyFilesystem(FaultPlan(crash_at=crash_at, crash_mode="torn"))
+        directory = tmp_path / "state"
+        self._run_until_crash(directory, fs)
+        assert fs.crashed
+        result = recover(directory, factory)
+        assert result.torn_bytes > 0
+        assert result.sketch.count % BATCH == 0

@@ -1,11 +1,15 @@
-"""Documentation coverage: every public item carries a docstring.
+"""Documentation coverage: every public item carries a docstring, and the
+API reference covers every export.
 
-Deliverable-level check: the public API (everything re-exported through the
+Deliverable-level checks: the public API (everything re-exported through the
 package ``__init__`` modules) must be documented — classes, their public
-methods, and module-level functions.
+methods, and module-level functions — and ``docs/API.md`` must mention every
+public export of ``repro``, ``repro.sketches``, ``repro.core`` and
+``repro.durability`` by name, so a new export cannot ship reference-less.
 """
 
 import inspect
+import pathlib
 
 import pytest
 
@@ -22,6 +26,11 @@ PACKAGES = [
     sketches,
     workloads,
 ]
+
+API_MD = pathlib.Path(__file__).resolve().parents[2] / "docs" / "API.md"
+
+# Modules whose entire __all__ must appear, by name, in docs/API.md.
+REFERENCE_COVERED = [repro, sketches, core, durability]
 
 
 def public_objects():
@@ -72,3 +81,33 @@ class TestDocCoverage:
             exported = getattr(package, "__all__", [])
             for name in exported:
                 assert hasattr(package, name), f"{package.__name__}.{name} missing"
+
+
+class TestApiReferenceCoverage:
+    """docs/API.md must name every public export of the covered modules."""
+
+    def test_api_md_exists(self):
+        assert API_MD.is_file()
+
+    @pytest.mark.parametrize(
+        "package", REFERENCE_COVERED, ids=lambda p: p.__name__
+    )
+    def test_every_export_is_referenced(self, package):
+        text = API_MD.read_text()
+        missing = [
+            name
+            for name in getattr(package, "__all__", [])
+            if name not in text
+        ]
+        assert not missing, (
+            f"exports of {package.__name__} missing from docs/API.md: {missing} "
+            "— add them to the reference (a table row or prose mention)"
+        )
+
+    def test_batch_contract_is_linked(self):
+        """The reference must point at the batching contract and the WAL
+        BATCH frame layout (docs/BATCHING.md satellite)."""
+        text = API_MD.read_text()
+        assert "BATCHING.md" in text
+        assert "update_batch" in text
+        assert "WAL on-disk format" in text

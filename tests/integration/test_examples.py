@@ -14,6 +14,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
     "script",
     [
         "quickstart.py",
+        "batch_ingest_tutorial.py",
         "website_monitoring.py",
         "sliding_window_trends.py",
         "matrix_anomaly.py",

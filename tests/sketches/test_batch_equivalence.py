@@ -1,0 +1,269 @@
+"""Property tests: ``update_batch`` ≡ the scalar ``update`` loop.
+
+Two contracts, per docs/BATCHING.md:
+
+* **Exact equivalence** — deterministic sketches (CountMin, Count sketch,
+  Bloom, HyperLogLog, KLL, dyadic CountMin) and the seeded samplers
+  (reservoir, top-k priority, priority, weighted reservoir) must end in
+  *bit-identical* state: same tables/registers, same heap contents, and —
+  for the samplers — the same PCG64 position, so interleaving scalar and
+  batch ingest stays deterministic.
+* **Guarantee-level equivalence** — Misra-Gries and SpaceSaving pre-aggregate
+  the batch (documented deviation: they are order-dependent summaries), so
+  the test asserts their error guarantees and total weight instead of state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import (
+    BloomFilter,
+    CountMinSketch,
+    CountSketch,
+    DyadicCountMin,
+    HyperLogLog,
+    KllSketch,
+    MisraGries,
+    PrioritySample,
+    ReservoirSample,
+    SpaceSaving,
+    TopKPrioritySample,
+    WeightedReservoirWR,
+)
+
+keys_strategy = st.lists(st.integers(min_value=0, max_value=500), max_size=300)
+weights_strategy = st.integers(min_value=1, max_value=9)
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=300
+)
+
+
+def scalar_loop(sketch, items, weights=None):
+    if weights is None:
+        for item in items:
+            sketch.update(item)
+    else:
+        for item, weight in zip(items, weights):
+            sketch.update(item, weight)
+
+
+def rng_state(sketch):
+    return sketch._rng.bit_generator.state
+
+
+class TestExactDeterministic:
+    @given(keys=keys_strategy, weights=st.lists(weights_strategy, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_countmin(self, keys, weights):
+        n = min(len(keys), len(weights))
+        keys, weights = keys[:n], weights[:n]
+        for conservative in (False, True):
+            scalar = CountMinSketch(width=64, depth=3, seed=5, conservative=conservative)
+            batch = CountMinSketch(width=64, depth=3, seed=5, conservative=conservative)
+            scalar_loop(scalar, keys, weights)
+            batch.update_batch(keys, weights)
+            assert np.array_equal(scalar._table, batch._table)
+            assert scalar.total_weight == batch.total_weight
+
+    @given(keys=keys_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_countmin_unweighted(self, keys):
+        scalar = CountMinSketch(width=64, depth=3, seed=5)
+        batch = CountMinSketch(width=64, depth=3, seed=5)
+        scalar_loop(scalar, keys)
+        batch.update_batch(keys)
+        assert np.array_equal(scalar._table, batch._table)
+
+    @given(keys=keys_strategy, weights=st.lists(weights_strategy, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_countsketch(self, keys, weights):
+        n = min(len(keys), len(weights))
+        scalar = CountSketch(width=64, depth=3, seed=7)
+        batch = CountSketch(width=64, depth=3, seed=7)
+        scalar_loop(scalar, keys[:n], weights[:n])
+        batch.update_batch(keys[:n], weights[:n])
+        assert np.array_equal(scalar.counters(), batch.counters())
+
+    @given(keys=keys_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_bloom(self, keys):
+        scalar = BloomFilter(1024, num_hashes=4, seed=3)
+        batch = BloomFilter(1024, num_hashes=4, seed=3)
+        scalar_loop(scalar, keys)
+        batch.update_batch(keys)
+        assert np.array_equal(scalar._array, batch._array)
+        assert scalar.count == batch.count
+
+    @given(keys=keys_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_hyperloglog(self, keys):
+        scalar = HyperLogLog(p=8, seed=9)
+        batch = HyperLogLog(p=8, seed=9)
+        scalar_loop(scalar, keys)
+        batch.update_batch(keys)
+        assert np.array_equal(scalar._registers, batch._registers)
+        assert scalar.count == batch.count
+        assert scalar.estimate() == batch.estimate()
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_kll(self, values):
+        scalar = KllSketch(k=60, seed=2)
+        batch = KllSketch(k=60, seed=2)
+        scalar_loop(scalar, values)
+        batch.update_batch(values)
+        assert scalar._levels == batch._levels
+        assert rng_state(scalar) == rng_state(batch)
+        if values:
+            for phi in (0.0, 0.25, 0.5, 0.75, 1.0):
+                assert scalar.quantile(phi) == batch.quantile(phi)
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=255), max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_dyadic_countmin(self, keys):
+        scalar = DyadicCountMin(universe_bits=8, width=64, seed=4)
+        batch = DyadicCountMin(universe_bits=8, width=64, seed=4)
+        scalar_loop(scalar, keys)
+        batch.update_batch(keys)
+        for lo, hi in ((0, 255), (10, 20), (100, 101)):
+            assert scalar.range_sum(lo, hi) == batch.range_sum(lo, hi)
+
+
+class TestExactSeededSamplers:
+    """Batch ingest must consume the PCG64 stream exactly as the scalar loop."""
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_reservoir_classic(self, values):
+        scalar = ReservoirSample(8, seed=6)
+        batch = ReservoirSample(8, seed=6)
+        scalar_loop(scalar, values)
+        batch.update_batch(values)
+        assert scalar.sample() == batch.sample()
+        assert rng_state(scalar) == rng_state(batch)
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_reservoir_independent_chains(self, values):
+        scalar = ReservoirSample(8, seed=6, independent_chains=True)
+        batch = ReservoirSample(8, seed=6, independent_chains=True)
+        scalar_loop(scalar, values)
+        batch.update_batch(values)
+        assert scalar.sample() == batch.sample()
+        assert rng_state(scalar) == rng_state(batch)
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_topk_priority(self, values):
+        scalar = TopKPrioritySample(8, seed=1)
+        batch = TopKPrioritySample(8, seed=1)
+        scalar_loop(scalar, values)
+        batch.update_batch(values)
+        assert sorted(scalar._heap) == sorted(batch._heap)
+        assert rng_state(scalar) == rng_state(batch)
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_priority_sample(self, values):
+        weights = [abs(v) + 1.0 for v in values]
+        scalar = PrioritySample(8, seed=1)
+        batch = PrioritySample(8, seed=1)
+        for value, weight in zip(values, weights):
+            scalar.update(value, weight)
+        batch.update_batch(values, weights)
+        assert sorted(scalar.raw_sample()) == sorted(batch.raw_sample())
+        assert scalar.threshold() == batch.threshold()
+        assert rng_state(scalar) == rng_state(batch)
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_reservoir(self, values):
+        weights = [abs(v) + 0.5 for v in values]
+        scalar = WeightedReservoirWR(4, seed=1)
+        batch = WeightedReservoirWR(4, seed=1)
+        for value, weight in zip(values, weights):
+            scalar.update(value, weight)
+        batch.update_batch(values, weights)
+        assert scalar.sample() == batch.sample()
+        assert rng_state(scalar) == rng_state(batch)
+
+    def test_interleaving_scalar_and_batch_is_deterministic(self):
+        """A mixed scalar/batch feed equals the all-scalar feed item by item."""
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=200).tolist()
+        scalar = TopKPrioritySample(16, seed=3)
+        mixed = TopKPrioritySample(16, seed=3)
+        scalar_loop(scalar, values)
+        mixed.update_batch(values[:50])
+        for value in values[50:80]:
+            mixed.update(value)
+        mixed.update_batch(values[80:])
+        assert sorted(scalar._heap) == sorted(mixed._heap)
+        assert rng_state(scalar) == rng_state(mixed)
+
+
+class TestGuaranteeLevelAggregators:
+    """Misra-Gries / SpaceSaving pre-aggregate: guarantees, not bit-identity."""
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=40), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_misra_gries_guarantee(self, keys):
+        batch = MisraGries(8)
+        batch.update_batch(keys)
+        truth = {key: keys.count(key) for key in set(keys)}
+        total = len(keys)
+        assert batch.total_weight == total
+        for key, count in truth.items():
+            estimate = batch.query(key)
+            assert estimate <= count  # never overestimates
+            assert estimate >= count - total / (8 + 1)  # W/(k+1) bound
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=40), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_spacesaving_guarantee(self, keys):
+        batch = SpaceSaving(8)
+        batch.update_batch(keys)
+        truth = {key: keys.count(key) for key in set(keys)}
+        total = len(keys)
+        assert batch.total_weight == total
+        for key, count in truth.items():
+            estimate = batch.query(key)
+            if estimate:
+                assert estimate >= count  # never underestimates (once kept)
+                assert estimate <= count + total / 8  # W/k bound
+
+    @pytest.mark.parametrize("cls", [MisraGries, SpaceSaving])
+    def test_invalid_weight_rejects_batch_atomically(self, cls):
+        sketch = cls(8)
+        sketch.update_batch([1, 2, 3])
+        before = dict(sketch.items()) if hasattr(sketch, "items") else dict(sketch._counters)
+        with pytest.raises(ValueError):
+            sketch.update_batch([4, 5, 6], [1, 0, 2])
+        after = dict(sketch.items()) if hasattr(sketch, "items") else dict(sketch._counters)
+        assert before == after
+
+
+class TestEmptyAndEdgeBatches:
+    def test_empty_batches_are_noops(self):
+        for sketch in (
+            CountMinSketch(width=32, seed=0),
+            BloomFilter(256, seed=0),
+            HyperLogLog(p=6, seed=0),
+            KllSketch(k=40, seed=0),
+            MisraGries(4),
+            SpaceSaving(4),
+            ReservoirSample(4, seed=0),
+            TopKPrioritySample(4, seed=0),
+        ):
+            sketch.update_batch([])
+            assert getattr(sketch, "count", getattr(sketch, "total_weight", 0)) == 0
+
+    def test_numpy_and_list_inputs_agree(self):
+        keys = list(range(100)) * 3
+        a = CountMinSketch(width=64, seed=1)
+        b = CountMinSketch(width=64, seed=1)
+        a.update_batch(keys)
+        b.update_batch(np.asarray(keys))
+        assert np.array_equal(a._table, b._table)
