@@ -6,9 +6,13 @@ directory exists.  Run with::
     pytest benchmarks/ --benchmark-only
 
 Each bench prints the corresponding paper figure's series as a fixed-width
-table and also writes it to ``benchmarks/results/``.
+table and also writes it to ``benchmarks/results/``.  Set
+``REPRO_TELEMETRY=1`` to additionally write a telemetry snapshot
+(``<figure>_telemetry.jsonl``) next to each figure's series — the counters
+and latency histograms that produced the numbers (docs/OBSERVABILITY.md).
 """
 
+import os
 import pathlib
 import sys
 
@@ -18,3 +22,8 @@ if str(BENCH_DIR) not in sys.path:
 
 RESULTS_DIR = BENCH_DIR / "results"
 RESULTS_DIR.mkdir(exist_ok=True)
+
+if os.environ.get("REPRO_TELEMETRY", "") not in ("", "0"):
+    from repro.telemetry.registry import TELEMETRY
+
+    TELEMETRY.enable()

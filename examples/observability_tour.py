@@ -1,0 +1,103 @@
+"""Observability tour: metrics, spans, and memory accounting end to end.
+
+Enables telemetry, runs a realistic mixed workload — durable ATTP ingest
+through a WAL-backed checkpoint chain, a BITP priority sampler, historical
+queries — then shows every way to look at what happened:
+
+* the one-call human summary (``repro.telemetry.report()``),
+* the memory accountant (resident bytes vs the paper's space bounds),
+* the JSONL snapshot and the Prometheus text exposition.
+
+The full metric catalog and conventions are in docs/OBSERVABILITY.md.
+
+Run:  python examples/observability_tour.py
+"""
+
+import tempfile
+
+import repro.telemetry as telemetry
+from repro.core import CheckpointChain, PersistentTopKSample
+from repro.core.bitp_sampling import BitpPrioritySample
+from repro.durability import DurableSketch
+from repro.sketches import CountMinSketch
+from repro.telemetry import account, account_and_publish
+from repro.workloads import object_id_stream
+
+N = 20_000
+
+
+def chain_factory():
+    return CheckpointChain(
+        lambda: CountMinSketch.from_error(0.01, 0.01, seed=7), eps=0.05
+    )
+
+
+def main() -> None:
+    telemetry.enable()
+    stream = object_id_stream(n=N, seed=7)
+
+    # --- ingest: durable ATTP chain + BITP sampler + ATTP sample ----------
+    with tempfile.TemporaryDirectory() as state_dir:
+        store = DurableSketch(
+            chain_factory(), state_dir, fsync_policy="off", snapshot_every=8_000
+        )
+        bitp = BitpPrioritySample(k=256, seed=3)
+        topk = PersistentTopKSample(k=256, seed=3)
+        for key, timestamp in stream:
+            store.update(key, timestamp)
+            bitp.update(key, timestamp)
+            topk.update(key, timestamp)
+
+        # --- historical queries feed the latency histograms ---------------
+        t_now = float(stream.timestamps[-1])
+        for fraction in (0.2, 0.4, 0.6, 0.8, 1.0):
+            t = float(stream.timestamps[int(fraction * N) - 1])
+            store.sketch.sketch_at(t)
+            bitp.sample_since(t_now - (t_now - t))
+            topk.sample_at(t)
+        store.close(final_snapshot=False)
+        chain = store.sketch
+
+    # --- the memory accountant: resident vs the paper's bounds ------------
+    print("memory accounting (resident vs paper space bound)")
+    for name, structure in (
+        ("checkpoint_chain", chain),
+        ("bitp_priority", bitp),
+        ("persistent_topk", topk),
+    ):
+        report = account_and_publish(structure, name=name)
+        bound_kib = report.bound_bytes / 1024
+        print(
+            f"  {name:<18} resident {report.resident_bytes / 1024:8.1f} KiB"
+            f"   bound {bound_kib:8.1f} KiB"
+            f"   utilization {report.utilization:5.1%}"
+        )
+        for component in report.components:
+            print(f"    - {component.name:<16} {component.resident_bytes:>9} B")
+    print()
+
+    # --- the human summary -------------------------------------------------
+    print(telemetry.report())
+    print()
+
+    # --- machine exporters --------------------------------------------------
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".jsonl") as handle:
+        path = telemetry.write_jsonl(handle.name)
+        lines = path.read_text().splitlines()
+    print(f"JSONL snapshot: {len(lines)} metric samples; first line:")
+    print(f"  {lines[0][:120]}...")
+    print()
+
+    prometheus = telemetry.prometheus_text()
+    print("Prometheus exposition (first 10 lines):")
+    for line in prometheus.splitlines()[:10]:
+        print(f"  {line}")
+
+    # Accounting also works un-published, for ad-hoc inspection:
+    assert account(topk).resident_bytes == topk.memory_bytes()
+
+    telemetry.disable()
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,10 @@ Layout
     Crash-safe ingestion: segmented write-ahead log, DurableSketch
     (log-then-apply + snapshots), snapshot/WAL-replay recovery,
     fault-injection harness.
+``repro.telemetry``
+    Observability: metrics registry (counters/gauges/histograms), tracing
+    spans, memory accounting against paper space bounds, JSONL and
+    Prometheus exporters.  Off by default; ``repro.telemetry.enable()``.
 """
 
 __version__ = "1.0.0"
@@ -35,6 +39,7 @@ from repro import (
     evaluation,
     persistent,
     sketches,
+    telemetry,
     workloads,
 )
 
@@ -46,5 +51,6 @@ __all__ = [
     "evaluation",
     "persistent",
     "sketches",
+    "telemetry",
     "workloads",
 ]

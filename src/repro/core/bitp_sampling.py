@@ -24,6 +24,7 @@ suffix available, so priority-sampling subset-sum estimates stay unbiased.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, List
 
@@ -36,8 +37,37 @@ from repro.core.base import (
     first_invalid_weight,
     first_timestamp_violation,
 )
+from repro.evaluation.memory import (
+    COUNTER_BYTES,
+    FLOAT_BYTES,
+    KEY_BYTES,
+    PRIORITY_BYTES,
+    TIMESTAMP_BYTES,
+)
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
 
 _RNG_SALT_BITP = 105
+
+#: BITP entry: id + timestamp + weight + priority + arrival counter.
+_ENTRY_BYTES = (
+    KEY_BYTES + TIMESTAMP_BYTES + FLOAT_BYTES + PRIORITY_BYTES + COUNTER_BYTES
+)  # = 36
+
+_UPDATES = _TEL.counter(
+    "persistent_updates_total",
+    "Stream items applied to a persistent structure, by structure.",
+    structure="bitp_priority",
+)
+_COMPACTIONS = _TEL.counter(
+    "bitp_compaction_scans_total",
+    "New-to-old compaction scans run by the BITP priority sampler.",
+)
+_QUERY_SECONDS = _TEL.histogram(
+    "persistent_query_seconds",
+    "Wall time of historical queries, by structure and operation.",
+    structure="bitp_priority",
+    op="sample_since",
+)
 
 
 @dataclass
@@ -83,6 +113,8 @@ class BitpPrioritySample:
         self._guard.check(timestamp)
         self.count += 1
         self.total_weight += weight
+        if _TEL.enabled:
+            _UPDATES.inc()
         u = float(self._rng.random())
         while u == 0.0:
             u = float(self._rng.random())
@@ -145,6 +177,8 @@ class BitpPrioritySample:
                     self._compact()
             self._guard.last = float(timestamp_array[limit - 1])
             self._track_peak()
+            if _TEL.enabled:
+                _UPDATES.inc(limit)
         if bad >= 0:
             # Reproduce the scalar error, in the scalar check order.
             check_positive_weight(float(weight_array[bad]))
@@ -158,6 +192,8 @@ class BitpPrioritySample:
     def _compact(self) -> None:
         """New-to-old scan keeping items with < k + slack later, larger priorities."""
         self.compaction_scans += 1
+        if _TEL.enabled:
+            _COMPACTIONS.inc()
         self._track_peak()
         merged = self._kept + self._cache  # arrival order
         limit = self.k + self.slack
@@ -185,6 +221,7 @@ class BitpPrioritySample:
         self._compact()
         return [entry for entry in self._kept if entry.timestamp >= timestamp]
 
+    @timed(_QUERY_SECONDS)
     def sample_since(self, timestamp: float) -> list:
         """``(value, adjusted_weight)`` top-k priority sample of ``A[timestamp, now]``.
 
@@ -225,7 +262,26 @@ class BitpPrioritySample:
 
     def memory_bytes(self) -> int:
         """Entry: id(4)+time(8)+weight(8)+priority(8)+arrival(8)."""
-        return self.kept_count() * 36
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        return {
+            "kept_entries": len(self._kept) * _ENTRY_BYTES,
+            "cache_entries": len(self._cache) * _ENTRY_BYTES,
+        }
+
+    def space_bound_bytes(self) -> int:
+        """Corollary 3.1 bound: ``O((k + slack) log n)`` expected survivors,
+        plus the arrival cache that can grow to a ``batch_factor`` multiple
+        of the kept set before the next compaction scan."""
+        base = 2 * self.k
+        if self.count > 1:
+            kept_bound = (self.k + self.slack) * (1 + math.ceil(math.log(self.count)))
+        else:
+            kept_bound = self.k + self.slack
+        cache_bound = max(base, math.ceil(self.batch_factor * kept_bound))
+        return (kept_bound + cache_bound) * _ENTRY_BYTES
 
     def __len__(self) -> int:
         return self.kept_count()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import copy
 import inspect
+import math
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -29,6 +30,25 @@ from repro.core.base import (
     first_timestamp_violation,
 )
 from repro.core.timeindex import History
+from repro.evaluation.memory import CHECKPOINT_ENTRY_BYTES
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
+
+_UPDATES = _TEL.counter(
+    "persistent_updates_total",
+    "Stream items applied to a persistent structure, by structure.",
+    structure="checkpoint_chain",
+)
+_SEALS = _TEL.counter(
+    "checkpoint_seals_total",
+    "Checkpoint snapshots sealed, by structure.",
+    structure="checkpoint_chain",
+)
+_QUERY_SECONDS = _TEL.histogram(
+    "persistent_query_seconds",
+    "Wall time of historical queries, by structure and operation.",
+    structure="checkpoint_chain",
+    op="sketch_at",
+)
 
 
 class CheckpointChain:
@@ -84,14 +104,20 @@ class CheckpointChain:
                 self._previous_timestamp, self._snapshot(self.live)
             )
             self._weight_at_last_checkpoint = self.total_weight
+            if _TEL.enabled:
+                _SEALS.inc()
         self._apply_update(self.live, value, weight)
         self.total_weight += weight
         self.count += 1
         self._previous_timestamp = timestamp
+        if _TEL.enabled:
+            _UPDATES.inc()
         if self._weight_at_last_checkpoint == 0.0:
             # Seed the chain: first checkpoint after the first item.
             self._checkpoints.append(timestamp, self._snapshot(self.live))
             self._weight_at_last_checkpoint = self.total_weight
+            if _TEL.enabled:
+                _SEALS.inc()
 
     def update_batch(self, values, timestamps, weights=None) -> None:
         """Feed one batch through the chain; checkpoint-exact vs the scalar loop.
@@ -148,6 +174,8 @@ class CheckpointChain:
                     self._previous_timestamp, self._snapshot(self.live)
                 )
                 self._weight_at_last_checkpoint = self.total_weight
+                if _TEL.enabled:
+                    _SEALS.inc()
                 continue
             end = min(trigger, n)
             self._guard.last = float(timestamp_array[end - 1])
@@ -160,9 +188,12 @@ class CheckpointChain:
                     self._apply_update(self.live, values[i], float(weight_array[i]))
             self.total_weight = base + float(cumulative[end])
             self.count += end - position
+            if _TEL.enabled:
+                _UPDATES.inc(end - position)
             self._previous_timestamp = float(timestamp_array[end - 1])
             position = end
 
+    @timed(_QUERY_SECONDS)
     def sketch_at(self, timestamp: float) -> Any:
         """The checkpointed sketch state as of ``timestamp`` (or None).
 
@@ -184,11 +215,29 @@ class CheckpointChain:
 
     def memory_bytes(self) -> int:
         """Sum of snapshot sizes (via each snapshot's ``memory_bytes``) plus
-        the live sketch and an 8-byte timestamp per checkpoint."""
-        total = self.live.memory_bytes()
-        for _, snap in self._checkpoints:
-            total += snap.memory_bytes() + 8
-        return total
+        the live sketch and a chain entry (timestamp + snapshot pointer)
+        per checkpoint."""
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        snapshots = sum(snap.memory_bytes() for _, snap in self._checkpoints)
+        return {
+            "live_sketch": self.live.memory_bytes(),
+            "checkpoint_snapshots": snapshots,
+            "chain_entries": len(self._checkpoints) * CHECKPOINT_ENTRY_BYTES,
+        }
+
+    def space_bound_bytes(self) -> int:
+        """Lemma 4.1 bound at the current stream position: the live sketch
+        plus ``O(log_{1+eps} W)`` checkpoints of (modelled) equal size."""
+        live = self.live.memory_bytes()
+        if self.total_weight <= 1.0:
+            return live + (live + CHECKPOINT_ENTRY_BYTES) * min(1, self.count)
+        checkpoints = 1 + math.ceil(
+            math.log(self.total_weight) / math.log(1.0 + self.eps)
+        )
+        return live + checkpoints * (live + CHECKPOINT_ENTRY_BYTES)
 
 
 def apply_weighted(target: Any, value: Any, weight: float) -> None:

@@ -25,6 +25,38 @@ from typing import Dict, Iterable, List
 
 from repro.core.base import TimestampGuard, check_batch_lengths
 from repro.core.timeindex import GeometricHistory, History
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
+
+
+def _chain_metrics(structure: str):
+    """Updates counter, seals counter and estimate_at histogram for one chain.
+
+    The live base sketches (Misra-Gries dict / CountMin / Count sketch) tick
+    their own ``sketch_*`` counters on top of these.
+    """
+    return (
+        _TEL.counter(
+            "persistent_updates_total",
+            "Stream items applied to a persistent structure, by structure.",
+            structure=structure,
+        ),
+        _TEL.counter(
+            "checkpoint_seals_total",
+            "Checkpoint snapshots sealed, by structure.",
+            structure=structure,
+        ),
+        _TEL.histogram(
+            "persistent_query_seconds",
+            "Wall time of historical queries, by structure and operation.",
+            structure=structure,
+            op="estimate_at",
+        ),
+    )
+
+
+_CMG_UPDATES, _CMG_SEALS, _CMG_QUERY = _chain_metrics("chain_misra_gries")
+_CCM_UPDATES, _CCM_SEALS, _CCM_QUERY = _chain_metrics("chain_countmin")
+_CCS_UPDATES, _CCS_SEALS, _CCS_QUERY = _chain_metrics("chain_countsketch")
 
 
 class ChainMisraGries:
@@ -61,6 +93,8 @@ class ChainMisraGries:
         self._guard.check(timestamp)
         self.count += 1
         self.total_weight += weight
+        if _TEL.enabled:
+            _CMG_UPDATES.inc()
         self._weight_history.observe(timestamp, self.total_weight)
         self._mg_update(key, weight, timestamp)
 
@@ -112,11 +146,14 @@ class ChainMisraGries:
                 self._histories[key] = history
             history.append(timestamp, current)
             self._last_recorded[key] = current
+            if _TEL.enabled:
+                _CMG_SEALS.inc()
 
     def total_weight_at(self, timestamp: float) -> float:
         """W(t) from the geometric weight history (slight underestimate)."""
         return self._weight_history.value_at(timestamp)
 
+    @timed(_CMG_QUERY)
     def estimate_at(self, key: int, timestamp: float) -> float:
         """Estimated count of ``key`` in ``A^timestamp``.
 
@@ -160,11 +197,15 @@ class ChainMisraGries:
     def memory_bytes(self) -> int:
         """History entry: key(4, amortised)+time(8)+value(8); plus the live
         MG counters (12 each) and the W(t) history."""
-        return (
-            self.num_checkpoints() * 20
-            + len(self._counters) * 12
-            + self._weight_history.memory_bytes()
-        )
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        return {
+            "counter_histories": self.num_checkpoints() * 20,
+            "live_counters": len(self._counters) * 12,
+            "weight_history": self._weight_history.memory_bytes(),
+        }
 
 
 class ChainCountMin:
@@ -202,6 +243,8 @@ class ChainCountMin:
         self._guard.check(timestamp)
         self.count += 1
         self._cm.update(key, weight)
+        if _TEL.enabled:
+            _CCM_UPDATES.inc()
         self._weight_history.observe(timestamp, float(self._cm.total_weight))
         for row, bucket in enumerate(self._cm._buckets(key)):
             cell = (row, bucket)
@@ -214,6 +257,8 @@ class ChainCountMin:
                     self._histories[cell] = history
                 history.append(timestamp, current)
                 self._last_recorded[cell] = current
+                if _TEL.enabled:
+                    _CCM_SEALS.inc()
 
     def update_batch(self, keys, timestamps, weights=None) -> None:
         """Bulk :meth:`update` (scalar loop; cell histories are inherently
@@ -231,6 +276,7 @@ class ChainCountMin:
         """W(t) from the geometric weight history (slight underestimate)."""
         return self._weight_history.value_at(timestamp)
 
+    @timed(_CCM_QUERY)
     def estimate_at(self, key: int, timestamp: float) -> float:
         """Estimated count of ``key`` in ``A^timestamp``."""
         estimates = []
@@ -278,11 +324,15 @@ class ChainCountMin:
 
     def memory_bytes(self) -> int:
         """History entry: cell id(4)+time(8)+value(8); plus live table."""
-        return (
-            self.num_checkpoints() * 20
-            + self._cm.memory_bytes()
-            + self._weight_history.memory_bytes()
-        )
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        return {
+            "cell_histories": self.num_checkpoints() * 20,
+            "live_table": self._cm.memory_bytes(),
+            "weight_history": self._weight_history.memory_bytes(),
+        }
 
 
 class ChainCountSketch:
@@ -320,6 +370,8 @@ class ChainCountSketch:
         self._guard.check(timestamp)
         self.count += 1
         self._cs.update(key, weight)
+        if _TEL.enabled:
+            _CCS_UPDATES.inc()
         self._absolute_weight += abs(weight)
         self._weight_history.observe(timestamp, self._absolute_weight)
         counters = self._cs.counters()
@@ -335,6 +387,8 @@ class ChainCountSketch:
                     self._histories[cell] = history
                 history.append(timestamp, current)
                 self._last_recorded[cell] = current
+                if _TEL.enabled:
+                    _CCS_SEALS.inc()
 
     def update_batch(self, keys, timestamps, weights=None) -> None:
         """Bulk :meth:`update` (scalar loop; cell histories are inherently
@@ -348,6 +402,7 @@ class ChainCountSketch:
                 1 if weights is None else int(weights[index]),
             )
 
+    @timed(_CCS_QUERY)
     def estimate_at(self, key: int, timestamp: float) -> float:
         """Median-of-rows estimate of ``key``'s signed count in ``A^timestamp``."""
         import numpy as np
@@ -376,8 +431,12 @@ class ChainCountSketch:
 
     def memory_bytes(self) -> int:
         """History entry: cell id(4)+time(8)+value(8); plus live table."""
-        return (
-            self.num_checkpoints() * 20
-            + self._cs.memory_bytes()
-            + self._weight_history.memory_bytes()
-        )
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        return {
+            "cell_histories": self.num_checkpoints() * 20,
+            "live_table": self._cs.memory_bytes(),
+            "weight_history": self._weight_history.memory_bytes(),
+        }

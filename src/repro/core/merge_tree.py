@@ -33,8 +33,39 @@ from repro.core.base import (
     check_batch_lengths,
     first_timestamp_violation,
 )
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
 
 _NODE_OVERHEAD_BYTES = 32  # start, end indices + two timestamps
+
+_UPDATES = _TEL.counter(
+    "persistent_updates_total",
+    "Stream items applied to a persistent structure, by structure.",
+    structure="merge_tree",
+)
+_BLOCK_SEALS = _TEL.counter(
+    "merge_tree_block_seals_total",
+    "Leaf blocks sealed into the merge tree.",
+)
+_CARRY_MERGES = _TEL.counter(
+    "merge_tree_carry_merges_total",
+    "Equal-size spine merges performed by the binary-counter carry.",
+)
+_NODES_PRUNED = _TEL.counter(
+    "merge_tree_nodes_pruned_total",
+    "Retained nodes dropped by the BITP decay rule.",
+)
+_QUERY_AT = _TEL.histogram(
+    "persistent_query_seconds",
+    "Wall time of historical queries, by structure and operation.",
+    structure="merge_tree",
+    op="sketch_at",
+)
+_QUERY_SINCE = _TEL.histogram(
+    "persistent_query_seconds",
+    "Wall time of historical queries, by structure and operation.",
+    structure="merge_tree",
+    op="sketch_since",
+)
 
 
 @dataclass
@@ -111,6 +142,8 @@ class MergeTreePersistence:
         self._block_t_end = timestamp
         self._block_count += 1
         self.count += 1
+        if _TEL.enabled:
+            _UPDATES.inc()
         if self._block_count == self.block_size:
             self._seal_block()
             # Peak tracking at block boundaries: between seals the only
@@ -165,6 +198,8 @@ class MergeTreePersistence:
             self._block_t_end = float(timestamp_array[end - 1])
             self._block_count += end - position
             self.count += end - position
+            if _TEL.enabled:
+                _UPDATES.inc(end - position)
             position = end
             if self._block_count == self.block_size:
                 self._seal_block()
@@ -186,6 +221,8 @@ class MergeTreePersistence:
         self._block_t_end = None
         self._block_count = 0
         self._spine.append(node)
+        if _TEL.enabled:
+            _BLOCK_SEALS.inc()
         self._carry()
 
     def _carry(self) -> None:
@@ -206,6 +243,8 @@ class MergeTreePersistence:
                 if self._retain_rule(child):
                     self._retained.append(child)
             spine.append(parent)
+            if _TEL.enabled:
+                _CARRY_MERGES.inc()
         if self.mode == "bitp":
             self._prune_retained()
 
@@ -215,11 +254,15 @@ class MergeTreePersistence:
         return node.size >= (self.eps / 2.0) * (self.count - node.end)
 
     def _prune_retained(self) -> None:
+        before = len(self._retained)
         self._retained = [node for node in self._retained if self._retain_rule(node)]
+        if _TEL.enabled and before > len(self._retained):
+            _NODES_PRUNED.inc(before - len(self._retained))
 
     def _candidates(self) -> List[_Node]:
         return self._spine + self._retained
 
+    @timed(_QUERY_AT)
     def sketch_at(self, timestamp: float) -> Any:
         """ATTP query: merged sketch covering (almost all of) ``A^timestamp``."""
         if self.mode != "attp":
@@ -254,6 +297,7 @@ class MergeTreePersistence:
             result = self._factory()
         return result
 
+    @timed(_QUERY_SINCE)
     def sketch_since(self, timestamp: float) -> Any:
         """BITP query: merged sketch covering (almost all of) ``A[timestamp, now]``."""
         if self.mode != "bitp":
@@ -306,10 +350,34 @@ class MergeTreePersistence:
 
     def memory_bytes(self) -> int:
         """Sum of node sketch sizes plus per-node overhead and the live block."""
-        total = self._block_sketch.memory_bytes()
-        for node in self._candidates():
-            total += node.sketch.memory_bytes() + _NODE_OVERHEAD_BYTES
-        return total
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        spine = sum(node.sketch.memory_bytes() for node in self._spine)
+        retained = sum(node.sketch.memory_bytes() for node in self._retained)
+        return {
+            "live_block": self._block_sketch.memory_bytes(),
+            "spine_sketches": spine,
+            "retained_sketches": retained,
+            "node_overhead": self.num_nodes() * _NODE_OVERHEAD_BYTES,
+        }
+
+    def space_bound_bytes(self) -> int:
+        """Theorem 5.1 bound at the current stream position:
+        ``O(s * (1/eps) * log n)`` node sketches of modelled size ``s``
+        (the largest sketch currently stored)."""
+        import math
+
+        sketch_size = max(
+            [self._block_sketch.memory_bytes()]
+            + [node.sketch.memory_bytes() for node in self._candidates()]
+        )
+        blocks = max(1, self.count // self.block_size)
+        levels = 1 + math.ceil(math.log2(blocks)) if blocks > 1 else 1
+        # Per level: the spine node plus up to ~2/eps retained children.
+        nodes_bound = levels * (1 + math.ceil(2.0 / self.eps))
+        return (sketch_size + _NODE_OVERHEAD_BYTES) * (nodes_bound + 1)
 
 
 def _resolve_apply(probe: Any) -> Callable:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import bisect
 import heapq
+import math
 from typing import Any, Callable, List
 
 import numpy as np
@@ -32,10 +33,54 @@ from repro.core.base import (
 )
 from repro.core.persistent_sampling import SampleRecord
 from repro.core.timeindex import GeometricHistory, History
+from repro.evaluation.memory import (
+    FLOAT_BYTES,
+    HEAP_ENTRY_BYTES,
+    LOG_ROW_BYTES,
+    PLA_BREAKPOINT_BYTES,
+    WEIGHTED_SAMPLE_RECORD_BYTES,
+)
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
 
 # RNG stream salts (see PersistentTopKSample for rationale).
 _RNG_SALT_PRIORITY = 103
 _RNG_SALT_WEIGHTED_WR = 104
+
+#: Weighted with-replacement chain record: id + birth + weight.
+_WR_RECORD_BYTES = LOG_ROW_BYTES + FLOAT_BYTES  # = 20
+
+_PRIORITY_UPDATES = _TEL.counter(
+    "persistent_updates_total",
+    "Stream items applied to a persistent structure, by structure.",
+    structure="persistent_priority",
+)
+_PRIORITY_RECORDS = _TEL.counter(
+    "sampler_records_total",
+    "Persistent sample records created (live + death-marked), by sampler.",
+    sampler="persistent_priority",
+)
+_PRIORITY_QUERY = _TEL.histogram(
+    "persistent_query_seconds",
+    "Wall time of historical queries, by structure and operation.",
+    structure="persistent_priority",
+    op="sample_at",
+)
+_WWR_UPDATES = _TEL.counter(
+    "persistent_updates_total",
+    "Stream items applied to a persistent structure, by structure.",
+    structure="persistent_weighted_wr",
+)
+_WWR_RECORDS = _TEL.counter(
+    "sampler_records_total",
+    "Persistent sample records created (live + death-marked), by sampler.",
+    sampler="persistent_weighted_wr",
+)
+_WWR_QUERY = _TEL.histogram(
+    "persistent_query_seconds",
+    "Wall time of historical queries, by structure and operation.",
+    structure="persistent_weighted_wr",
+    op="sample_at",
+)
 
 
 class PersistentPrioritySample:
@@ -65,6 +110,8 @@ class PersistentPrioritySample:
         self._guard.check(timestamp)
         self.count += 1
         self.total_weight += weight
+        if _TEL.enabled:
+            _PRIORITY_UPDATES.inc()
         u = float(self._rng.random())
         while u == 0.0:
             u = float(self._rng.random())
@@ -111,6 +158,8 @@ class PersistentPrioritySample:
                     weight / u,
                 )
             self._guard.last = float(timestamp_array[limit - 1])
+            if _TEL.enabled:
+                _PRIORITY_UPDATES.inc(limit)
         if bad >= 0:
             # Reproduce the scalar error, in the scalar check order.
             check_positive_weight(float(weight_array[bad]))
@@ -126,6 +175,8 @@ class PersistentPrioritySample:
         record = SampleRecord(value=value, priority=priority, birth=timestamp)
         index = len(self._records)
         self._records.append(record)
+        if _TEL.enabled:
+            _PRIORITY_RECORDS.inc()
         self._birth_times.append(timestamp)
         self._weights.append(weight)
         if len(heap) < self.k:
@@ -144,6 +195,7 @@ class PersistentPrioritySample:
         """Reweighting threshold: (k+1)-th largest priority of ``A^timestamp``."""
         return self._tau_history.value_at(timestamp, default=0.0)
 
+    @timed(_PRIORITY_QUERY)
     def sample_at(self, timestamp: float) -> list:
         """``(value, adjusted_weight)`` pairs sampled from ``A^timestamp``.
 
@@ -204,8 +256,29 @@ class PersistentPrioritySample:
         return self._records
 
     def memory_bytes(self) -> int:
-        """Record: id(4)+priority(8)+weight(8)+2 times(16); tau entry: 16."""
-        return len(self._records) * 36 + len(self._tau_history) * 16
+        """Record: id(4)+priority(8)+weight(8)+2 times(16); tau entry: 16;
+        live heap entry: priority(8)+index(4)."""
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        return {
+            "records": len(self._records) * WEIGHTED_SAMPLE_RECORD_BYTES,
+            "tau_history": len(self._tau_history) * PLA_BREAKPOINT_BYTES,
+            "live_heap": len(self._heap) * HEAP_ENTRY_BYTES,
+        }
+
+    def space_bound_bytes(self) -> int:
+        """Theorem 3.2 bound: ``O(k (log n + log U))`` records (with the tau
+        history bounded by the evictions) plus the live ``k``-entry heap."""
+        heap = self.k * HEAP_ENTRY_BYTES
+        if self.count == 0:
+            return heap
+        log_n = math.log(self.count) if self.count > 1 else 0.0
+        log_u = max(0.0, math.log(max(self.total_weight, 1.0)))
+        bound_records = self.k * (1 + math.ceil(log_n + log_u))
+        per_record = WEIGHTED_SAMPLE_RECORD_BYTES + PLA_BREAKPOINT_BYTES
+        return bound_records * per_record + heap
 
     def __len__(self) -> int:
         return len(self._records)
@@ -241,6 +314,9 @@ class PersistentWeightedWR:
             hits = range(self.k)
         else:
             hits = np.flatnonzero(self._rng.random(self.k) < p)
+        if _TEL.enabled:
+            _WWR_UPDATES.inc()
+            _WWR_RECORDS.inc(len(hits))
         for chain in hits:
             self._births[chain].append(timestamp)
             self._values[chain].append(value)
@@ -283,6 +359,8 @@ class PersistentWeightedWR:
                 self._births[chain].append(first_timestamp)
                 self._values[chain].append(values[0])
                 self._chain_weights[chain].append(first_weight)
+            if _TEL.enabled:
+                _WWR_RECORDS.inc(self.k)
             start = 1
         remaining = limit - start
         if remaining > 0:
@@ -300,12 +378,16 @@ class PersistentWeightedWR:
             self.count += remaining
             draws = self._rng.random((remaining, self.k))
             rows, chains = np.nonzero(draws < probabilities[:, None])
+            if _TEL.enabled:
+                _WWR_RECORDS.inc(int(rows.size))
             for row, chain in zip(rows.tolist(), chains.tolist()):
                 self._births[chain].append(float(timestamp_array[start + row]))
                 self._values[chain].append(values[start + row])
                 self._chain_weights[chain].append(float(weight_array[start + row]))
         if limit:
             self._guard.last = float(timestamp_array[limit - 1])
+            if _TEL.enabled:
+                _WWR_UPDATES.inc(limit)
         if bad >= 0:
             # Reproduce the scalar error, in the scalar check order.
             check_positive_weight(float(weight_array[bad]))
@@ -316,6 +398,7 @@ class PersistentWeightedWR:
         """W(t): total stream weight at or before ``timestamp``."""
         return self._weight_history.value_at(timestamp)
 
+    @timed(_WWR_QUERY)
     def sample_at(self, timestamp: float) -> list:
         """``(value, weight)`` with-replacement weighted sample of ``A^timestamp``."""
         out = []
@@ -339,7 +422,24 @@ class PersistentWeightedWR:
 
     def memory_bytes(self) -> int:
         """Record: id(4)+birth(8)+weight(8), plus the W(t) checkpoint history."""
-        return self.total_records() * 20 + self._weight_history.memory_bytes()
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        return {
+            "records": self.total_records() * _WR_RECORD_BYTES,
+            "weight_history": self._weight_history.memory_bytes(),
+        }
+
+    def space_bound_bytes(self) -> int:
+        """Lemma 3.2 bound: each chain keeps ``O(log W)`` expected records,
+        plus the geometric W(t) history."""
+        history = self._weight_history.memory_bytes()
+        if self.count == 0:
+            return history
+        log_w = max(0.0, math.log(max(self.total_weight, 1.0)))
+        bound_records = self.k * (1 + math.ceil(log_w))
+        return bound_records * _WR_RECORD_BYTES + history
 
     def __len__(self) -> int:
         return self.total_records()

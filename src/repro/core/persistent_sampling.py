@@ -32,10 +32,49 @@ from repro.core.base import (
     check_batch_lengths,
     first_timestamp_violation,
 )
+from repro.evaluation.memory import (
+    HEAP_ENTRY_BYTES,
+    LOG_ROW_BYTES,
+    SAMPLE_RECORD_BYTES,
+)
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
 
 # RNG stream salts: see PersistentTopKSample.__init__.
 _RNG_SALT_TOPK = 101
 _RNG_SALT_CHAINS = 102
+
+_TOPK_UPDATES = _TEL.counter(
+    "persistent_updates_total",
+    "Stream items applied to a persistent structure, by structure.",
+    structure="persistent_topk",
+)
+_TOPK_RECORDS = _TEL.counter(
+    "sampler_records_total",
+    "Lifetime records created by a persistent sampler, by sampler.",
+    sampler="persistent_topk",
+)
+_TOPK_QUERY = _TEL.histogram(
+    "persistent_query_seconds",
+    "Wall time of historical queries, by structure and operation.",
+    structure="persistent_topk",
+    op="sample_at",
+)
+_CHAINS_UPDATES = _TEL.counter(
+    "persistent_updates_total",
+    "Stream items applied to a persistent structure, by structure.",
+    structure="persistent_chains",
+)
+_CHAINS_RECORDS = _TEL.counter(
+    "sampler_records_total",
+    "Lifetime records created by a persistent sampler, by sampler.",
+    sampler="persistent_chains",
+)
+_CHAINS_QUERY = _TEL.histogram(
+    "persistent_query_seconds",
+    "Wall time of historical queries, by structure and operation.",
+    structure="persistent_chains",
+    op="sample_at",
+)
 
 
 @dataclass
@@ -87,6 +126,8 @@ class PersistentTopKSample:
         """Offer one stream item."""
         self._guard.check(timestamp)
         self.count += 1
+        if _TEL.enabled:
+            _TOPK_UPDATES.inc()
         priority = float(self._rng.random())
         self._offer(value, timestamp, priority)
 
@@ -117,6 +158,8 @@ class PersistentTopKSample:
                     float(priorities[index]),
                 )
             self.count += limit
+            if _TEL.enabled:
+                _TOPK_UPDATES.inc(limit)
             self._guard.last = float(timestamp_array[limit - 1])
         if bad >= 0:
             self._guard.check(float(timestamp_array[bad]))  # raises
@@ -134,12 +177,15 @@ class PersistentTopKSample:
         index = len(self._records)
         self._records.append(record)
         self._birth_times.append(timestamp)
+        if _TEL.enabled:
+            _TOPK_RECORDS.inc()
         if len(heap) < self.k:
             heapq.heappush(heap, (priority, index))
         else:
             _, evicted = heapq.heapreplace(heap, (priority, index))
             self._records[evicted].death = timestamp
 
+    @timed(_TOPK_QUERY)
     def sample_at(self, timestamp: float) -> list:
         """Uniform without-replacement sample of the prefix ``A^timestamp``.
 
@@ -189,8 +235,24 @@ class PersistentTopKSample:
         return self._records
 
     def memory_bytes(self) -> int:
-        """Modelled C-layout size per record: id(4) + priority(8) + 2 times(16)."""
-        return len(self._records) * 28
+        """Modelled C-layout size: a 28-byte record (id + priority + two
+        timestamps) per kept item, plus the live top-k heap (12 bytes per
+        entry: priority + record index)."""
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        return {
+            "records": len(self._records) * SAMPLE_RECORD_BYTES,
+            "live_heap": len(self._heap) * HEAP_ENTRY_BYTES,
+        }
+
+    def space_bound_bytes(self) -> int:
+        """Lemma 3.1 bound at the current stream position:
+        ``k * (1 + ln n)`` expected records plus the live heap."""
+        n = max(self.count, 1)
+        records_bound = self.k * (1 + math.ceil(math.log(n))) if n > 1 else self.k
+        return records_bound * SAMPLE_RECORD_BYTES + self.k * HEAP_ENTRY_BYTES
 
     def __len__(self) -> int:
         return len(self._records)
@@ -222,15 +284,22 @@ class PersistentReservoirChains:
         """Offer one stream item to every chain."""
         self._guard.check(timestamp)
         self.count += 1
+        if _TEL.enabled:
+            _CHAINS_UPDATES.inc()
         if self.count == 1:
             for chain in range(self.k):
                 self._births[chain].append(timestamp)
                 self._values[chain].append(value)
+            if _TEL.enabled:
+                _CHAINS_RECORDS.inc(self.k)
             return
         hits = self._rng.random(self.k) < (1.0 / self.count)
-        for chain in np.flatnonzero(hits):
+        replaced = np.flatnonzero(hits)
+        for chain in replaced:
             self._births[chain].append(timestamp)
             self._values[chain].append(value)
+        if _TEL.enabled and replaced.size:
+            _CHAINS_RECORDS.inc(int(replaced.size))
 
     def update_batch(self, values, timestamps) -> None:
         """Offer a batch; state- and RNG-identical to the scalar loop.
@@ -255,6 +324,8 @@ class PersistentReservoirChains:
                 self._values[chain].append(values[0])
             self.count = 1
             start = 1
+            if _TEL.enabled:
+                _CHAINS_RECORDS.inc(self.k)
         remaining = limit - start
         if remaining > 0:
             draws = self._rng.random((remaining, self.k))
@@ -266,12 +337,17 @@ class PersistentReservoirChains:
                 self._births[chain].append(float(timestamp_array[start + row]))
                 self._values[chain].append(values[start + row])
             self.count += remaining
+            if _TEL.enabled:
+                _CHAINS_RECORDS.inc(int(rows.size))
+        if _TEL.enabled and limit:
+            _CHAINS_UPDATES.inc(limit)
         if limit:
             self._guard.last = float(timestamp_array[limit - 1])
         if bad >= 0:
             self._guard.check(float(timestamp_array[bad]))  # raises
             raise AssertionError("unreachable: batch validation found no violation")
 
+    @timed(_CHAINS_QUERY)
     def sample_at(self, timestamp: float) -> list:
         """With-replacement uniform sample of ``A^timestamp`` (one per chain)."""
         out = []
@@ -287,7 +363,18 @@ class PersistentReservoirChains:
 
     def memory_bytes(self) -> int:
         """Modelled C-layout size per record: id(4) + birth time(8)."""
-        return self.total_records() * 12
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        return {"records": self.total_records() * LOG_ROW_BYTES}
+
+    def space_bound_bytes(self) -> int:
+        """Lemma 3.1 bound at the current stream position:
+        ``k * H_n`` expected records of 12 bytes each."""
+        n = max(self.count, 1)
+        harmonic = 1 + math.ceil(math.log(n)) if n > 1 else 1
+        return self.k * harmonic * LOG_ROW_BYTES
 
     def __len__(self) -> int:
         return self.total_records()

@@ -21,12 +21,37 @@ and total space ``O((d / eps) log(||A||_F / ||a_1||))``.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import List
 
 import numpy as np
 
 from repro.core.base import TimestampGuard, check_finite_row
+from repro.evaluation.memory import FLOAT_BYTES, TIMESTAMP_BYTES
 from repro.sketches.frequent_directions import FrequentDirections, _shrink
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
+
+_UPDATES = _TEL.counter(
+    "persistent_updates_total",
+    "Stream items applied to a persistent structure, by structure.",
+    structure="pfd",
+)
+_PARTIAL_SEALS = _TEL.counter(
+    "checkpoint_seals_total",
+    "Checkpoint snapshots sealed, by structure.",
+    structure="pfd_partial",
+)
+_FULL_SEALS = _TEL.counter(
+    "checkpoint_seals_total",
+    "Checkpoint snapshots sealed, by structure.",
+    structure="pfd_full",
+)
+_QUERY_SECONDS = _TEL.histogram(
+    "persistent_query_seconds",
+    "Wall time of historical queries, by structure and operation.",
+    structure="pfd",
+    op="sketch_at",
+)
 
 
 class PersistentFrequentDirections:
@@ -67,6 +92,8 @@ class PersistentFrequentDirections:
         self._guard.check(timestamp)
         self.count += 1
         self.squared_frobenius += float(row @ row)
+        if _TEL.enabled:
+            _UPDATES.inc()
         self._residual.update(row)
         # Spill while the top residual direction is heavy (lines 5-11).
         while True:
@@ -77,6 +104,8 @@ class PersistentFrequentDirections:
             self._partial_times.append(timestamp)
             self._partial_rows.append(spilled)
             self._partials_since_full += 1
+            if _TEL.enabled:
+                _PARTIAL_SEALS.inc()
             if self._partials_since_full >= self.ell:
                 self._make_full_checkpoint(timestamp)
 
@@ -90,7 +119,10 @@ class PersistentFrequentDirections:
         self._full_times.append(timestamp)
         self._full_matrices.append(_shrink(stacked, self.ell))
         self._partials_since_full = 0
+        if _TEL.enabled:
+            _FULL_SEALS.inc()
 
+    @timed(_QUERY_SECONDS)
     def sketch_at(self, timestamp: float) -> np.ndarray:
         """Matrix ``G`` whose Gram ``G^T G`` approximates ``A(t)^T A(t)``.
 
@@ -139,6 +171,26 @@ class PersistentFrequentDirections:
     def memory_bytes(self) -> int:
         """8 bytes per stored matrix entry, + 8-byte timestamp per checkpoint,
         + the live residual sketch."""
-        partial = len(self._partial_rows) * (self.dim * 8 + 8)
-        full = len(self._full_matrices) * (self.ell * self.dim * 8 + 8)
-        return partial + full + self._residual.memory_bytes()
+        return sum(self.memory_breakdown().values())
+
+    def memory_breakdown(self) -> dict:
+        """Component map for the memory accountant; sums to ``memory_bytes``."""
+        row_bytes = self.dim * FLOAT_BYTES + TIMESTAMP_BYTES
+        return {
+            "partial_checkpoints": len(self._partial_rows) * row_bytes,
+            "full_checkpoints": len(self._full_matrices)
+            * (self.ell * self.dim * FLOAT_BYTES + TIMESTAMP_BYTES),
+            "residual_sketch": self._residual.memory_bytes(),
+        }
+
+    def space_bound_bytes(self) -> int:
+        """Theorem 4.3 bound: ``O((d / eps) log ||A||_F)`` stored entries —
+        modelled as one full checkpoint plus up to ``ell`` pending partials
+        per doubling of the squared Frobenius norm, plus the residual."""
+        residual = self._residual.memory_bytes()
+        if self.count == 0:
+            return residual
+        log_term = 1 + math.ceil(max(0.0, math.log(max(self.squared_frobenius, 1.0))))
+        full_level = self.ell * self.dim * FLOAT_BYTES + TIMESTAMP_BYTES
+        partial_level = self.ell * (self.dim * FLOAT_BYTES + TIMESTAMP_BYTES)
+        return residual + log_term * (full_level + partial_level)

@@ -41,6 +41,25 @@ from repro.durability.wal import (
     scan_segment,
 )
 from repro.io import SketchFileError, load_sketch
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
+from repro.telemetry.spans import span
+
+_RECOVERIES = _TEL.counter(
+    "recovery_runs_total",
+    "recover() invocations over DurableSketch directories.",
+)
+_REPLAYED = _TEL.counter(
+    "recovery_records_replayed_total",
+    "WAL records re-applied to the sketch during recovery.",
+)
+_QUARANTINED = _TEL.counter(
+    "recovery_segments_quarantined_total",
+    "Damaged WAL segments or snapshots moved aside during recovery.",
+)
+_RECOVERY_SECONDS = _TEL.histogram(
+    "recovery_seconds",
+    "Wall time of one recover() call (snapshot load + WAL replay).",
+)
 
 SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{16})\.sketch$")
 
@@ -106,6 +125,8 @@ def _quarantine(fs: OsFilesystem, path: Path, suffix: str) -> Path:
     target = path.with_suffix(path.suffix + suffix)
     fs.replace(path, target)
     fs.fsync_dir(path.parent)
+    if _TEL.enabled:
+        _QUARANTINED.inc()
     return target
 
 
@@ -126,6 +147,7 @@ def _load_newest_snapshot(
     return None, None
 
 
+@timed(_RECOVERY_SECONDS)
 def recover(
     directory,
     factory: Optional[Callable[[], Any]] = None,
@@ -142,6 +164,19 @@ def recover(
     after quarantining the damaged segment; with ``strict=False`` replay
     stops at the damage and the partial state is returned.
     """
+    with span("recovery.recover"):
+        return _recover_inner(directory, factory, strict=strict, fs=fs)
+
+
+def _recover_inner(
+    directory,
+    factory: Optional[Callable[[], Any]] = None,
+    *,
+    strict: bool = True,
+    fs: Optional[OsFilesystem] = None,
+) -> RecoveryResult:
+    if _TEL.enabled:
+        _RECOVERIES.inc()
     directory = Path(directory)
     fs = fs or OsFilesystem()
     if not directory.is_dir():
@@ -219,6 +254,8 @@ def recover(
                         sketch, record.value, record.timestamp, record.weight
                     )
                 result.replayed += 1
+                if _TEL.enabled:
+                    _REPLAYED.inc()
             except ValueError:
                 # The sketch rejected this offer at ingest time too (same
                 # state, same record, deterministic validation): skip it.

@@ -39,6 +39,21 @@ from repro.durability.faults import OsFilesystem
 from repro.durability.recovery import Snapshot, list_snapshots, recover, snapshot_name
 from repro.durability.wal import WriteAheadLog, list_segments
 from repro.io import encode_sketch
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
+from repro.telemetry.spans import span
+
+_SNAPSHOTS = _TEL.counter(
+    "store_snapshots_total",
+    "Durable snapshots written by DurableSketch stores.",
+)
+_REJECTED = _TEL.counter(
+    "store_updates_rejected_total",
+    "Logged updates the wrapped sketch rejected (replayed identically).",
+)
+_SNAPSHOT_SECONDS = _TEL.histogram(
+    "store_snapshot_seconds",
+    "Wall time of one snapshot (WAL flush + encode + atomic write + truncate).",
+)
 
 
 class DurableSketch:
@@ -145,6 +160,8 @@ class DurableSketch:
         except ValueError:
             self.updates_rejected += 1
             self.applied_seqno = seqno
+            if _TEL.enabled:
+                _REJECTED.inc()
             raise
         self.applied_seqno = seqno
         if self.snapshot_every and self._updates_since_snapshot >= self.snapshot_every:
@@ -179,6 +196,8 @@ class DurableSketch:
         except ValueError:
             self.updates_rejected += 1
             self.applied_seqno = seqno
+            if _TEL.enabled:
+                _REJECTED.inc()
             raise
         self.applied_seqno = seqno
         if self.snapshot_every and self._updates_since_snapshot >= self.snapshot_every:
@@ -200,6 +219,7 @@ class DurableSketch:
 
     # -- snapshots ----------------------------------------------------------
 
+    @timed(_SNAPSHOT_SECONDS)
     def snapshot(self) -> Path:
         """Write a durable snapshot, then truncate the WAL it covers.
 
@@ -207,16 +227,19 @@ class DurableSketch:
         → atomic rename → directory fsync → *only then* segment deletion.
         A crash anywhere in between leaves a recoverable directory.
         """
-        self.wal.flush()
-        seqno = self.applied_seqno
-        payload = Snapshot(self._sketch, seqno, wall_time=time.time())
-        path = self.directory / snapshot_name(seqno)
-        self.fs.write_atomic(path, encode_sketch(payload), durable=True)
-        self.last_snapshot_seqno = seqno
-        self._updates_since_snapshot = 0
-        self.snapshots_taken += 1
-        self.wal.truncate_through(seqno)
-        self._prune_snapshots()
+        with span("store.snapshot"):
+            self.wal.flush()
+            seqno = self.applied_seqno
+            payload = Snapshot(self._sketch, seqno, wall_time=time.time())
+            path = self.directory / snapshot_name(seqno)
+            self.fs.write_atomic(path, encode_sketch(payload), durable=True)
+            self.last_snapshot_seqno = seqno
+            self._updates_since_snapshot = 0
+            self.snapshots_taken += 1
+            if _TEL.enabled:
+                _SNAPSHOTS.inc()
+            self.wal.truncate_through(seqno)
+            self._prune_snapshots()
         return path
 
     def _prune_snapshots(self) -> None:

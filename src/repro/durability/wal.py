@@ -50,6 +50,32 @@ from pathlib import Path
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.durability.faults import AppendHandle, OsFilesystem
+from repro.telemetry.registry import TELEMETRY as _TEL, timed
+
+_RECORDS_APPENDED = _TEL.counter(
+    "wal_records_appended_total",
+    "Framed records (scalar or batch) appended to the WAL.",
+)
+_BYTES_APPENDED = _TEL.counter(
+    "wal_bytes_appended_total",
+    "Framed bytes appended to WAL segments (headers excluded).",
+)
+_FSYNCS = _TEL.counter(
+    "wal_fsyncs_total",
+    "fsync calls issued on the active WAL segment.",
+)
+_ROTATIONS = _TEL.counter(
+    "wal_segment_rotations_total",
+    "New WAL segments opened (including the first).",
+)
+_SEGMENTS_REMOVED = _TEL.counter(
+    "wal_segments_removed_total",
+    "Closed WAL segments deleted by truncation.",
+)
+_APPEND_SECONDS = _TEL.histogram(
+    "wal_append_seconds",
+    "Wall time of one framed WAL append (encode + write + any fsync).",
+)
 
 SEGMENT_MAGIC = b"WALSEG01"
 _SEGMENT_HEADER = struct.Struct(">8sQQ")  # magic, segment index, first seqno
@@ -279,19 +305,26 @@ class WriteAheadLog:
             lambda seqno: encode_batch_record(values, timestamps, weights, seqno)
         )
 
+    @timed(_APPEND_SECONDS)
     def _append_framed(self, encode) -> int:
         if self._handle is None or self._handle.size >= self.segment_bytes:
             self._rotate()
         seqno = self.next_seqno
-        self.fs.append(self._handle, encode(seqno))
+        frame = encode(seqno)
+        self.fs.append(self._handle, frame)
         self.next_seqno = seqno + 1
         self.records_appended += 1
         self._unsynced += 1
+        if _TEL.enabled:
+            _RECORDS_APPENDED.inc()
+            _BYTES_APPENDED.inc(len(frame))
         if self.fsync_policy == "always" or (
             self.fsync_policy == "batch" and self._unsynced >= self.batch_every
         ):
             self.fs.fsync(self._handle)
             self._unsynced = 0
+            if _TEL.enabled:
+                _FSYNCS.inc()
         return seqno
 
     def flush(self) -> None:
@@ -299,6 +332,8 @@ class WriteAheadLog:
         if self._handle is not None and self.fsync_policy != "off" and self._unsynced:
             self.fs.fsync(self._handle)
             self._unsynced = 0
+            if _TEL.enabled:
+                _FSYNCS.inc()
 
     def _rotate(self) -> None:
         if self._handle is not None:
@@ -312,6 +347,8 @@ class WriteAheadLog:
             self._handle, _SEGMENT_HEADER.pack(SEGMENT_MAGIC, index, self.next_seqno)
         )
         self._segment_first_seqno[index] = self.next_seqno
+        if _TEL.enabled:
+            _ROTATIONS.inc()
         # Make the new segment's directory entry durable before records go in.
         if self.fsync_policy != "off":
             self.fs.fsync_dir(self.directory)
@@ -339,6 +376,8 @@ class WriteAheadLog:
             del self._segment_first_seqno[index]
             removed.append(path)
             self.segments_removed += 1
+            if _TEL.enabled:
+                _SEGMENTS_REMOVED.inc()
         if removed and self.fsync_policy != "off":
             self.fs.fsync_dir(self.directory)
         return removed

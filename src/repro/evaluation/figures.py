@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.evaluation.harness import (
     average_accuracy,
+    emit_telemetry_snapshot,
     exact_prefix_covariances,
     exact_prefix_heavy_hitters,
     exact_suffix_heavy_hitters,
@@ -91,6 +92,10 @@ def record_figure(
     path.write_text(
         f"# {title}\n" + "\t".join(columns) + "\n" + "\n".join(lines) + "\n"
     )
+    # With telemetry enabled (e.g. REPRO_TELEMETRY=1 under pytest
+    # benchmarks/), each figure's series ships with the counters and
+    # latency histograms that produced it.
+    emit_telemetry_snapshot(_results_dir / f"{name}_telemetry.jsonl")
 
 
 # --- heavy-hitter sweeps ---------------------------------------------------

@@ -15,6 +15,9 @@ import numpy as np
 
 from repro.evaluation.metrics import precision as precision_metric
 from repro.evaluation.metrics import recall as recall_metric
+from repro.telemetry.export import write_jsonl
+from repro.telemetry.registry import TELEMETRY as _TEL
+from repro.telemetry.spans import span
 from repro.workloads.matrix_gen import MatrixStream
 from repro.workloads.worldcup import LogStream
 
@@ -48,28 +51,44 @@ def feed_log_stream(sketch, stream: LogStream) -> float:
     update = sketch.update
     keys = stream.keys.tolist()
     times = stream.timestamps.tolist()
-    start = time.perf_counter()
-    for key, timestamp in zip(keys, times):
-        update(key, timestamp)
-    return time.perf_counter() - start
+    with span("harness.feed_log_stream"):
+        start = time.perf_counter()
+        for key, timestamp in zip(keys, times):
+            update(key, timestamp)
+        return time.perf_counter() - start
 
 
 def feed_matrix_stream(sketch, stream: MatrixStream) -> float:
     """Push every (row, timestamp) of ``stream`` into ``sketch``; return seconds."""
     update = sketch.update
-    start = time.perf_counter()
-    for row, timestamp in stream:
-        update(row, timestamp)
-    return time.perf_counter() - start
+    with span("harness.feed_matrix_stream"):
+        start = time.perf_counter()
+        for row, timestamp in stream:
+            update(row, timestamp)
+        return time.perf_counter() - start
 
 
 def time_calls(fn: Callable, args_list: Sequence) -> tuple:
     """Run ``fn(*args)`` for each args tuple; return (results, total seconds)."""
     results = []
-    start = time.perf_counter()
-    for args in args_list:
-        results.append(fn(*args))
-    return results, time.perf_counter() - start
+    with span("harness.time_calls"):
+        start = time.perf_counter()
+        for args in args_list:
+            results.append(fn(*args))
+        return results, time.perf_counter() - start
+
+
+def emit_telemetry_snapshot(path) -> bool:
+    """Write the current metric state as a JSONL snapshot next to bench output.
+
+    Benches call this after a sweep so each figure's numbers ship with the
+    counters that produced them.  A no-op (returning False) while telemetry
+    is disabled, so existing pipelines are unaffected unless they opt in.
+    """
+    if not _TEL.enabled:
+        return False
+    write_jsonl(path)
+    return True
 
 
 def exact_prefix_heavy_hitters(

@@ -27,6 +27,7 @@ TIMESTAMP_BYTES = 8
 COUNTER_BYTES = 8
 FLOAT_BYTES = 8
 PRIORITY_BYTES = 8
+POINTER_BYTES = 8
 
 #: Persistent sample record: key + priority + birth + death.
 SAMPLE_RECORD_BYTES = KEY_BYTES + PRIORITY_BYTES + 2 * TIMESTAMP_BYTES  # = 28
@@ -40,6 +41,10 @@ MG_COUNTER_BYTES = KEY_BYTES + COUNTER_BYTES  # = 12
 PLA_BREAKPOINT_BYTES = TIMESTAMP_BYTES + FLOAT_BYTES  # = 16
 #: Raw log row: timestamp + key (the 'store everything' unit cost).
 LOG_ROW_BYTES = TIMESTAMP_BYTES + KEY_BYTES  # = 12
+#: Live top-k heap entry: priority + 4-byte index into the record arena.
+HEAP_ENTRY_BYTES = PRIORITY_BYTES + KEY_BYTES  # = 12
+#: Checkpoint-chain entry: timestamp + pointer to the stored snapshot.
+CHECKPOINT_ENTRY_BYTES = TIMESTAMP_BYTES + POINTER_BYTES  # = 16
 
 
 def mib(num_bytes: int) -> float:

@@ -236,12 +236,22 @@ def main(argv=None) -> int:
         default=None,
         help="directory to write the series files into (default: print only)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable telemetry; with --out, each figure also gets a "
+        "<name>_telemetry.jsonl snapshot (docs/OBSERVABILITY.md)",
+    )
     args = parser.parse_args(argv)
 
     if args.names == ["list"]:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    if args.telemetry:
+        from repro.telemetry.registry import TELEMETRY
+
+        TELEMETRY.enable()
     if args.out:
         f.set_results_dir(args.out)
     names = sorted(EXPERIMENTS) if args.names == ["all"] else args.names

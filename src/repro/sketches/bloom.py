@@ -13,6 +13,9 @@ import math
 import numpy as np
 
 from repro.sketches.hashing import HashFamily, next_pow2_bits
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("bloom")
 
 
 class BloomFilter:
@@ -46,6 +49,8 @@ class BloomFilter:
         for h in self._hashes:
             self._array[h(key)] = True
         self.count += 1
+        if _TEL.enabled:
+            _UPDATES.inc()
 
     def update_batch(self, keys) -> None:
         """Vectorised bulk insert; bit-identical to the scalar loop."""
@@ -55,9 +60,14 @@ class BloomFilter:
         for h in self._hashes:
             self._array[h(keys)] = True
         self.count += int(keys.size)
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(int(keys.size))
 
     def query(self, key: int) -> bool:
         """True if the key *may* have been inserted; False is definitive."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         return all(self._array[h(key)] for h in self._hashes)
 
     def merge(self, other: "BloomFilter") -> None:

@@ -14,6 +14,9 @@ import math
 import numpy as np
 
 from repro.sketches.hashing import HashFamily, next_pow2_bits
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("countmin")
 
 
 class CountMinSketch:
@@ -76,6 +79,8 @@ class CountMinSketch:
             for r, b in enumerate(self._buckets(key)):
                 self._table[r, b] += weight
         self.total_weight += weight
+        if _TEL.enabled:
+            _UPDATES.inc()
 
     def update_batch(self, keys, weights=None) -> None:
         """Vectorised bulk :meth:`update`; counter-exact vs the scalar loop.
@@ -95,6 +100,9 @@ class CountMinSketch:
             raise ValueError(
                 f"keys and weights length mismatch: {n} vs {weight_array.size}"
             )
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
         if self.conservative:
             for i in range(n):
                 self.update(int(keys[i]), 1 if weight_array is None else int(weight_array[i]))
@@ -109,6 +117,8 @@ class CountMinSketch:
 
     def query(self, key: int) -> int:
         """Point estimate of ``key``'s total weight (never underestimates)."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         return int(min(self._table[r, b] for r, b in enumerate(self._buckets(key))))
 
     def merge(self, other: "CountMinSketch") -> None:

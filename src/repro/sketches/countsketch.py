@@ -13,6 +13,9 @@ import math
 import numpy as np
 
 from repro.sketches.hashing import HashFamily, next_pow2_bits
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("countsketch")
 
 
 class CountSketch:
@@ -47,6 +50,8 @@ class CountSketch:
         for r in range(self.depth):
             self._table[r, self._hashes[r](key)] += self._signs[r](key) * weight
         self.total_weight += weight
+        if _TEL.enabled:
+            _UPDATES.inc()
 
     def update_batch(self, keys, weights=None) -> None:
         """Vectorised bulk :meth:`update`; counter-exact vs the scalar loop.
@@ -72,9 +77,14 @@ class CountSketch:
             signed = self._signs[r](keys) * weight_array
             np.add.at(self._table[r], buckets, signed)
         self.total_weight += int(weight_array.sum())
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
 
     def query(self, key: int) -> int:
         """Median-of-rows point estimate of ``key``'s total weight."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         estimates = [
             self._signs[r](key) * self._table[r, self._hashes[r](key)]
             for r in range(self.depth)

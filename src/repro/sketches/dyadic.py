@@ -16,6 +16,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sketches.countmin import CountMinSketch
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+# The per-level CountMin sketches tick their own counters too; the dyadic
+# quartet counts operations against the hierarchy as a whole.
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("dyadic")
 
 
 class DyadicCountMin:
@@ -38,6 +43,8 @@ class DyadicCountMin:
         for level, sketch in enumerate(self.levels):
             sketch.update(key >> level, weight)
         self.total_weight += weight
+        if _TEL.enabled:
+            _UPDATES.inc()
 
     def update_batch(self, keys, weights=None) -> None:
         """Vectorised bulk :meth:`update`: one shifted batch per dyadic level.
@@ -59,9 +66,14 @@ class DyadicCountMin:
         for level, sketch in enumerate(self.levels):
             sketch.update_batch(keys >> level, weight_array)
         self.total_weight += n if weight_array is None else int(weight_array.sum())
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
 
     def query(self, key: int) -> int:
         """Point estimate of ``key``'s total weight."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         return self.levels[0].query(key)
 
     def range_sum(self, lo: int, hi: int) -> int:

@@ -17,6 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("frequent_directions")
+_FAST_UPDATES, _FAST_BATCHES, _FAST_BATCH_ITEMS, _FAST_QUERIES = sketch_metrics(
+    "fast_frequent_directions"
+)
+
 
 def _shrink(stacked: np.ndarray, ell: int) -> np.ndarray:
     """One FD shrink step: SVD, subtract the ell-th squared singular value.
@@ -59,6 +66,8 @@ class FrequentDirections:
         if row.shape != (self.dim,):
             raise ValueError(f"expected a row of shape ({self.dim},), got {row.shape}")
         self.squared_frobenius += float(row @ row)
+        if _TEL.enabled:
+            _UPDATES.inc()
         if self._filled < self.ell:
             self._rows[self._filled] = row
             self._filled += 1
@@ -78,6 +87,8 @@ class FrequentDirections:
 
     def covariance(self) -> np.ndarray:
         """``B^T B``, the estimate of ``A^T A``."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         b = self.sketch_matrix()
         return b.T @ b
 
@@ -148,6 +159,8 @@ class FastFrequentDirections:
         if row.shape != (self.dim,):
             raise ValueError(f"expected a row of shape ({self.dim},), got {row.shape}")
         self.squared_frobenius += float(row @ row)
+        if _TEL.enabled:
+            _FAST_UPDATES.inc()
         if self._filled == 2 * self.ell:
             self._compress()
         self._buffer[self._filled] = row
@@ -167,6 +180,8 @@ class FastFrequentDirections:
 
     def covariance(self) -> np.ndarray:
         """``B^T B``, the estimate of ``A^T A``."""
+        if _TEL.enabled:
+            _FAST_QUERIES.inc()
         b = self.sketch_matrix()
         return b.T @ b
 

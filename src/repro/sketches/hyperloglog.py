@@ -15,6 +15,9 @@ import math
 import numpy as np
 
 from repro.sketches.hashing import bit_length_u64, mix64, mix64_array
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("hyperloglog")
 
 
 def _alpha(m: int) -> float:
@@ -58,6 +61,8 @@ class HyperLogLog:
         if rank > self._registers[register]:
             self._registers[register] = rank
         self.count += 1
+        if _TEL.enabled:
+            _UPDATES.inc()
 
     def update_batch(self, keys) -> None:
         """Vectorised bulk observe; register-identical to the scalar loop.
@@ -78,9 +83,14 @@ class HyperLogLog:
         ranks = ((64 - self.p) - bit_length_u64(rest) + 1).astype(np.uint8)
         np.maximum.at(self._registers, registers, ranks)
         self.count += n
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
 
     def estimate(self) -> float:
         """Approximate number of distinct keys observed."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         registers = self._registers.astype(float)
         raw = _alpha(self.m) * self.m**2 / np.sum(2.0**-registers)
         zeros = int(np.count_nonzero(self._registers == 0))

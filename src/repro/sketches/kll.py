@@ -14,6 +14,10 @@ import math
 
 import numpy as np
 
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("kll")
+
 _DECAY = 2.0 / 3.0
 
 
@@ -43,6 +47,8 @@ class KllSketch:
         """Insert one item."""
         self.count += 1
         self._levels[0].append(item)
+        if _TEL.enabled:
+            _UPDATES.inc()
         if len(self._levels[0]) >= self._capacity(0):
             self._compress()
 
@@ -54,6 +60,9 @@ class KllSketch:
         — so the compaction (and coin-flip) sequence is unchanged.
         """
         n = len(items)
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
         position = 0
         while position < n:
             buffer = self._levels[0]
@@ -116,6 +125,8 @@ class KllSketch:
 
     def rank(self, value) -> float:
         """Estimated number of items ``<= value``."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         total = 0
         for level, buf in enumerate(self._levels):
             weight = 1 << level
@@ -134,6 +145,8 @@ class KllSketch:
             raise ValueError(f"phi must be in [0, 1], got {phi}")
         if self.count == 0:
             raise ValueError("cannot query an empty sketch")
+        if _TEL.enabled:
+            _QUERIES.inc()
         pairs = self._weighted_items()
         target = phi * sum(weight for _, weight in pairs)
         cumulative = 0

@@ -14,6 +14,10 @@ import math
 
 import numpy as np
 
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("misra_gries")
+
 
 class MisraGries:
     """Deterministic eps-FE summary using at most ``k`` counters."""
@@ -39,6 +43,8 @@ class MisraGries:
         """Add ``weight`` (must be positive) occurrences of ``key``."""
         if weight <= 0:
             raise ValueError("Misra-Gries is insertion-only; weight must be > 0")
+        if _TEL.enabled:
+            _UPDATES.inc()
         counters = self._counters
         self.total_weight += weight
         if key in counters:
@@ -83,6 +89,9 @@ class MisraGries:
         n = int(keys.size)
         if n == 0:
             return
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
         if weights is None:
             unique, aggregated = np.unique(keys, return_counts=True)
         else:
@@ -101,6 +110,8 @@ class MisraGries:
 
     def query(self, key: int) -> int:
         """Lower-bound estimate of ``key``'s count (never overestimates)."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         return self._counters.get(key, 0)
 
     def heavy_hitters(self, threshold: float) -> list:

@@ -14,6 +14,10 @@ import itertools
 
 import numpy as np
 
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("priority")
+
 
 class PrioritySample:
     """Weighted without-replacement sample of ``k`` items by priority."""
@@ -34,6 +38,8 @@ class PrioritySample:
         """Offer one item with positive weight."""
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
+        if _TEL.enabled:
+            _UPDATES.inc()
         u = float(self._rng.random())
         while u == 0.0:
             u = float(self._rng.random())
@@ -57,6 +63,9 @@ class PrioritySample:
             )
         if n == 0:
             return
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
         weight_array = np.asarray(weights, dtype=float)
         uniforms = self._rng.random(n)
         offer = self.offer
@@ -84,6 +93,8 @@ class PrioritySample:
 
     def sample(self) -> list:
         """``(item, adjusted_weight)`` pairs; adjusted weights sum ~ total weight."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         tau = self._tau
         return [(item, max(weight, tau)) for _, _, item, weight in self._heap]
 

@@ -17,6 +17,13 @@ import itertools
 
 import numpy as np
 
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("reservoir")
+_TOPK_UPDATES, _TOPK_BATCHES, _TOPK_BATCH_ITEMS, _TOPK_QUERIES = sketch_metrics(
+    "topk_priority"
+)
+
 
 class ReservoirSample:
     """Vitter's Algorithm R maintaining ``k`` uniform with-replacement slots.
@@ -38,6 +45,8 @@ class ReservoirSample:
 
     def update(self, item) -> None:
         """Offer one stream item to the reservoir."""
+        if _TEL.enabled:
+            _UPDATES.inc()
         self.count += 1
         i = self.count
         if self.independent_chains:
@@ -69,6 +78,9 @@ class ReservoirSample:
         n = len(items)
         if n == 0:
             return
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
         if not self.independent_chains:
             for i in range(n):
                 self.update(items[i])
@@ -90,6 +102,8 @@ class ReservoirSample:
 
     def sample(self) -> list:
         """The current sample (length ``min(k, count)``)."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         if self.independent_chains:
             return [item for item in self._slots if item is not None]
         return list(self._slots)
@@ -122,6 +136,8 @@ class TopKPrioritySample:
 
     def update(self, item) -> None:
         """Offer one stream item."""
+        if _TEL.enabled:
+            _TOPK_UPDATES.inc()
         self.count += 1
         priority = float(self._rng.random())
         self.offer(item, priority)
@@ -136,6 +152,9 @@ class TopKPrioritySample:
         n = len(items)
         if n == 0:
             return
+        if _TEL.enabled:
+            _TOPK_BATCHES.inc()
+            _TOPK_BATCH_ITEMS.inc(n)
         priorities = self._rng.random(n)
         offer = self.offer
         for i in range(n):
@@ -152,6 +171,8 @@ class TopKPrioritySample:
 
     def sample(self) -> list:
         """The current sample (unordered, length ``min(k, count)``)."""
+        if _TEL.enabled:
+            _TOPK_QUERIES.inc()
         return [item for _, _, item in self._heap]
 
     def threshold(self) -> float:

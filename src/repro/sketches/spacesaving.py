@@ -13,6 +13,10 @@ import math
 
 import numpy as np
 
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("spacesaving")
+
 
 class SpaceSaving:
     """Deterministic eps-FE summary with exactly-at-most ``k`` counters."""
@@ -36,6 +40,8 @@ class SpaceSaving:
         """Add ``weight`` (must be positive) occurrences of ``key``."""
         if weight <= 0:
             raise ValueError("SpaceSaving is insertion-only; weight must be > 0")
+        if _TEL.enabled:
+            _UPDATES.inc()
         self.total_weight += weight
         counts = self._counts
         if key in counts:
@@ -65,6 +71,9 @@ class SpaceSaving:
         n = int(keys.size)
         if n == 0:
             return
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
         if weights is None:
             unique, aggregated = np.unique(keys, return_counts=True)
         else:
@@ -83,6 +92,8 @@ class SpaceSaving:
 
     def query(self, key: int) -> int:
         """Upper-bound estimate of ``key``'s count (never underestimates)."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         return self._counts.get(key, 0)
 
     def guaranteed_count(self, key: int) -> int:

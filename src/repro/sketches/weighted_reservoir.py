@@ -11,6 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.registry import TELEMETRY as _TEL, sketch_metrics
+
+_UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("weighted_reservoir")
+
 
 class WeightedReservoirWR:
     """``k`` independent weighted with-replacement sampling chains."""
@@ -28,6 +32,8 @@ class WeightedReservoirWR:
         """Offer one item with positive weight to every chain."""
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
+        if _TEL.enabled:
+            _UPDATES.inc()
         self.count += 1
         self.total_weight += weight
         p = weight / self.total_weight
@@ -55,6 +61,9 @@ class WeightedReservoirWR:
             )
         if n == 0:
             return
+        if _TEL.enabled:
+            _BATCHES.inc()
+            _BATCH_ITEMS.inc(n)
         weight_array = np.asarray(weights, dtype=float)
         if not np.all(weight_array > 0):
             bad = float(weight_array[np.flatnonzero(~(weight_array > 0))[0]])
@@ -79,6 +88,8 @@ class WeightedReservoirWR:
 
     def sample(self) -> list:
         """The ``k`` chain contents (with replacement; empty before any update)."""
+        if _TEL.enabled:
+            _QUERIES.inc()
         return [item for item in self._slots if item is not None]
 
     def estimate_subset_weight(self, predicate) -> float:

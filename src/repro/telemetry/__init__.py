@@ -1,0 +1,119 @@
+"""repro.telemetry — metrics, tracing, and memory accounting.
+
+The observability layer for the whole sketch substrate (operator's guide:
+docs/OBSERVABILITY.md).  Three pieces, all dependency-free:
+
+* a process-global **metrics registry** (:data:`TELEMETRY`) of monotonic
+  counters, gauges, and fixed-bucket latency histograms with p50/p95/p99 —
+  every ingest, checkpoint, WAL, and query hot path in the package emits
+  into it when :func:`enable` has been called;
+* **tracing spans** (:func:`span`) with nesting and wall/CPU timing;
+* a **memory accountant** (:func:`account`) reporting per-component
+  resident bytes against each sketch's theoretical space bound.
+
+Telemetry is off by default: the disabled hot path costs a single
+attribute check (``TELEMETRY.enabled``), measured at under 5% of
+batch-ingest throughput by ``benchmarks/test_telemetry_overhead.py``.
+
+Typical session::
+
+    import repro.telemetry as telemetry
+
+    telemetry.enable()
+    ...ingest and query...
+    print(telemetry.report())                  # human summary
+    telemetry.write_jsonl("metrics.jsonl")     # machine snapshot
+    text = telemetry.prometheus_text()         # scrape format
+"""
+
+from repro.telemetry.accounting import (
+    ComponentMemory,
+    MemoryReport,
+    account,
+    account_and_publish,
+    publish,
+)
+from repro.telemetry.export import (
+    MetricSample,
+    iter_samples,
+    load_jsonl,
+    prometheus_text,
+    snapshot_lines,
+    write_jsonl,
+)
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    TELEMETRY,
+    TelemetryControl,
+    sketch_metrics,
+    timed,
+)
+from repro.telemetry.report import report
+from repro.telemetry.spans import (
+    DEFAULT_SPAN_CAPACITY,
+    SPANS,
+    SpanCollector,
+    SpanRecord,
+    span,
+)
+
+
+def enable() -> None:
+    """Turn telemetry on process-wide (equivalent to ``TELEMETRY.enable()``)."""
+    TELEMETRY.enable()
+
+
+def disable() -> None:
+    """Turn telemetry off process-wide; recorded values are kept."""
+    TELEMETRY.disable()
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently on."""
+    return TELEMETRY.enabled
+
+
+def reset() -> None:
+    """Zero all metric values and drop collected spans (catalog survives)."""
+    TELEMETRY.registry.reset()
+    SPANS.clear()
+
+
+__all__ = [
+    "ComponentMemory",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SPAN_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MemoryReport",
+    "MetricFamily",
+    "MetricSample",
+    "MetricsRegistry",
+    "SPANS",
+    "SpanCollector",
+    "SpanRecord",
+    "TELEMETRY",
+    "TelemetryControl",
+    "account",
+    "account_and_publish",
+    "disable",
+    "enable",
+    "enabled",
+    "iter_samples",
+    "load_jsonl",
+    "prometheus_text",
+    "publish",
+    "report",
+    "reset",
+    "sketch_metrics",
+    "snapshot_lines",
+    "span",
+    "timed",
+    "write_jsonl",
+]

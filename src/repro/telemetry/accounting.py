@@ -1,0 +1,132 @@
+"""The memory accountant: per-component resident bytes vs theoretical bounds.
+
+Every sketch in this package models its resident footprint with
+``memory_bytes()`` (the C-layout model of :mod:`repro.evaluation.memory`).
+The accountant refines that single number two ways:
+
+* **breakdown** — structures that expose ``memory_breakdown()`` (the
+  persistence machinery in :mod:`repro.core` does) report a dict of
+  component name -> bytes: sample rows, live heaps, checkpoint snapshots,
+  merge-tree spine/retained blocks, live leaf blocks.  The components are
+  defined to sum exactly to ``memory_bytes()`` (asserted by
+  ``tests/telemetry/test_accounting.py``).
+* **bound** — structures that expose ``space_bound_bytes()`` report the
+  paper's theoretical space bound evaluated at the current stream position
+  (e.g. ``O(k log n)`` records for a persistent sample, Lemma 3.1), so the
+  operator can see *how much of the guarantee is actually resident*.
+
+:func:`account` builds a :class:`MemoryReport`; :func:`publish` pushes the
+numbers into the global registry as ``memory_resident_bytes`` /
+``memory_bound_bytes`` gauges so the exporters pick them up alongside the
+event metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.registry import TELEMETRY
+
+_RESIDENT = TELEMETRY.registry.declare(
+    "memory_resident_bytes",
+    "gauge",
+    "Modelled resident bytes per accounted component (C-layout model).",
+)
+_BOUND = TELEMETRY.registry.declare(
+    "memory_bound_bytes",
+    "gauge",
+    "Theoretical space bound per accounted sketch, at the current stream position.",
+)
+
+
+@dataclass(frozen=True)
+class ComponentMemory:
+    """One component's share of a sketch's resident bytes."""
+
+    name: str
+    resident_bytes: int
+
+
+@dataclass
+class MemoryReport:
+    """The accountant's view of one sketch (or a set of sketches)."""
+
+    name: str
+    components: List[ComponentMemory] = field(default_factory=list)
+    bound_bytes: Optional[int] = None
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total resident bytes across components."""
+        return sum(component.resident_bytes for component in self.components)
+
+    @property
+    def utilization(self) -> Optional[float]:
+        """Resident / bound, or None when no bound is known."""
+        if not self.bound_bytes:
+            return None
+        return self.resident_bytes / self.bound_bytes
+
+    def as_dict(self) -> dict:
+        """Flatten for JSON export."""
+        return {
+            "name": self.name,
+            "resident_bytes": self.resident_bytes,
+            "bound_bytes": self.bound_bytes,
+            "utilization": self.utilization,
+            "components": {
+                component.name: component.resident_bytes
+                for component in self.components
+            },
+        }
+
+
+def account(sketch: Any, name: Optional[str] = None) -> MemoryReport:
+    """Build a :class:`MemoryReport` for any sketch-like object.
+
+    Uses ``memory_breakdown()`` when the object has one (falling back to a
+    single ``total`` component from ``memory_bytes()``) and
+    ``space_bound_bytes()`` for the bound when available.  Works on
+    ``DurableSketch`` wrappers too — attribute forwarding reaches the
+    wrapped sketch's methods.
+    """
+    if name is None:
+        name = type(sketch).__name__
+    breakdown_fn = getattr(sketch, "memory_breakdown", None)
+    if breakdown_fn is not None:
+        breakdown: Dict[str, int] = breakdown_fn()
+    else:
+        breakdown = {"total": int(sketch.memory_bytes())}
+    components = [
+        ComponentMemory(component, int(size))
+        for component, size in sorted(breakdown.items())
+    ]
+    bound_fn = getattr(sketch, "space_bound_bytes", None)
+    bound = int(bound_fn()) if bound_fn is not None else None
+    return MemoryReport(name=name, components=components, bound_bytes=bound)
+
+
+def publish(report: MemoryReport) -> None:
+    """Push a report's numbers into the global registry gauges.
+
+    Gauges are labelled ``sketch`` (the report name) and, for residency,
+    ``component``; publishing the same report name again overwrites the
+    previous values, so periodic publication behaves like a scrape.
+    """
+    for component in report.components:
+        _RESIDENT.labels(sketch=report.name, component=component.name).set(
+            component.resident_bytes
+        )
+    _RESIDENT.labels(sketch=report.name, component="total").set(
+        report.resident_bytes
+    )
+    if report.bound_bytes is not None:
+        _BOUND.labels(sketch=report.name).set(report.bound_bytes)
+
+
+def account_and_publish(sketch: Any, name: Optional[str] = None) -> MemoryReport:
+    """:func:`account` then :func:`publish`, returning the report."""
+    report = account(sketch, name)
+    publish(report)
+    return report

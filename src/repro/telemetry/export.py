@@ -1,0 +1,198 @@
+"""Exporters: JSON-lines snapshots and the Prometheus text format.
+
+Two complementary shapes of the same registry state:
+
+* **JSON lines** (:func:`snapshot_lines` / :func:`write_jsonl` /
+  :func:`load_jsonl`) — one JSON object per line, one line per metric
+  sample, self-describing and append-friendly.  This is the format the
+  evaluation harness writes next to its figure outputs, and it round-trips:
+  ``load_jsonl`` returns :class:`MetricSample` objects carrying exactly the
+  name/type/labels/value that were exported.
+* **Prometheus text exposition** (:func:`prometheus_text`) — the
+  ``# HELP`` / ``# TYPE`` / sample-line grammar scraped by a Prometheus
+  server, with histograms expanded into cumulative ``_bucket{le=...}``
+  series plus ``_sum`` and ``_count``.
+
+Both exporters read the registry passed in (defaulting to the global one)
+and never mutate it; exporting with telemetry disabled is allowed and
+simply serialises whatever was recorded while it was on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.telemetry.registry import Histogram, MetricsRegistry, TELEMETRY
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One exported sample: a counter/gauge value or a whole histogram."""
+
+    name: str
+    kind: str  # counter | gauge | histogram
+    labels: Dict[str, str] = field(default_factory=dict)
+    value: Optional[float] = None  # counters and gauges
+    count: Optional[int] = None  # histograms
+    sum: Optional[float] = None
+    buckets: Optional[List[List[float]]] = None  # [upper_bound, count] pairs
+
+    def as_dict(self) -> dict:
+        """The JSON-line payload for this sample."""
+        payload = {"name": self.name, "kind": self.kind, "labels": self.labels}
+        if self.kind == "histogram":
+            payload.update(count=self.count, sum=self.sum, buckets=self.buckets)
+        else:
+            payload["value"] = self.value
+        return payload
+
+
+def iter_samples(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricSample]:
+    """Yield every sample of ``registry`` (default: the global one)."""
+    registry = registry or TELEMETRY.registry
+    for family in registry.families():
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                yield MetricSample(
+                    name=family.name,
+                    kind="histogram",
+                    labels=labels,
+                    count=child.count,
+                    sum=child.sum,
+                    buckets=[
+                        [bound, count]
+                        for bound, count in zip(child.bounds, child.bucket_counts)
+                    ]
+                    + [[math.inf, child.bucket_counts[-1]]],
+                )
+            else:
+                yield MetricSample(
+                    name=family.name,
+                    kind=family.kind,
+                    labels=labels,
+                    value=child.value,
+                )
+
+
+def snapshot_lines(registry: Optional[MetricsRegistry] = None) -> List[str]:
+    """The registry as JSON lines (one serialized sample per line)."""
+    return [
+        json.dumps(_finite(sample.as_dict()), sort_keys=True)
+        for sample in iter_samples(registry)
+    ]
+
+
+def _finite(payload: dict) -> dict:
+    """JSON has no Infinity literal; encode the +inf bucket bound as the
+    string ``"+Inf"`` (the Prometheus spelling)."""
+    buckets = payload.get("buckets")
+    if buckets:
+        payload["buckets"] = [
+            ["+Inf" if math.isinf(bound) else bound, count]
+            for bound, count in buckets
+        ]
+    return payload
+
+
+def write_jsonl(path, registry: Optional[MetricsRegistry] = None) -> Path:
+    """Write the registry snapshot to ``path`` as JSON lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = snapshot_lines(registry)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def load_jsonl(path) -> List[MetricSample]:
+    """Load a JSON-lines snapshot back into :class:`MetricSample` objects."""
+    samples: List[MetricSample] = []
+    for line_number, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{line_number}: not valid JSON: {error}") from error
+        buckets = payload.get("buckets")
+        if buckets is not None:
+            buckets = [
+                [math.inf if bound == "+Inf" else float(bound), int(count)]
+                for bound, count in buckets
+            ]
+        samples.append(
+            MetricSample(
+                name=payload["name"],
+                kind=payload["kind"],
+                labels=dict(payload.get("labels", {})),
+                value=payload.get("value"),
+                count=payload.get("count"),
+                sum=payload.get("sum"),
+                buckets=buckets,
+            )
+        )
+    return samples
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    Histograms are expanded to cumulative ``_bucket`` series (the ``le``
+    label, ending at ``+Inf``) plus ``_sum`` and ``_count``, exactly as a
+    Prometheus client library would expose them.
+    """
+    registry = registry or TELEMETRY.registry
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                cumulative = 0
+                for bound, count in zip(child.bounds, child.bucket_counts):
+                    cumulative += count
+                    bucket_labels = dict(labels, le=_format_value(bound))
+                    lines.append(
+                        f"{family.name}_bucket{_label_text(bucket_labels)} {cumulative}"
+                    )
+                cumulative += child.bucket_counts[-1]
+                bucket_labels = dict(labels, le="+Inf")
+                lines.append(
+                    f"{family.name}_bucket{_label_text(bucket_labels)} {cumulative}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_label_text(labels)} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{_label_text(labels)} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{_label_text(labels)} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,396 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Dependency-free (stdlib only) so every other layer of the package can
+instrument itself without import cycles: ``repro.sketches``, ``repro.core``
+and ``repro.durability`` all import this module at module-load time, create
+their metric children once, and guard each hot-path emission with the
+process-global switch::
+
+    from repro.telemetry.registry import TELEMETRY as _TEL
+    _UPDATES = _TEL.counter("sketch_updates_total", "...", sketch="countmin")
+
+    def update(self, ...):
+        ...
+        if _TEL.enabled:          # one attribute check when disabled
+            _UPDATES.inc()
+
+The disabled path costs exactly one global load plus one attribute check —
+benchmarked in ``benchmarks/test_telemetry_overhead.py`` at under 5% of
+batch-ingest throughput.  Metric *registration* happens at import time
+regardless of the switch, which is what lets the docs-lint test enumerate
+every metric the code can ever emit (see docs/OBSERVABILITY.md).
+
+Naming follows the Prometheus conventions: snake_case, base units, and a
+``_total`` / ``_seconds`` / ``_bytes`` suffix.  Counters only go up; gauges
+go anywhere; histograms have fixed bucket upper bounds (``le`` semantics:
+an observation lands in the first bucket whose bound is >= the value) and
+report estimated p50/p95/p99 by linear interpolation within the bucket.
+
+Counters and gauges are deliberately lock-free: CPython's GIL makes the
+``+=`` on a float attribute safe enough for monitoring, and the hot path
+cannot afford a lock.  Registration takes a lock (it is rare and cold).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+_LABEL_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Default latency buckets (seconds): 1 microsecond to 10 seconds, roughly
+#: geometric, chosen so sub-millisecond sketch queries and multi-second
+#: recovery scans both resolve to a meaningful percentile.
+DEFAULT_LATENCY_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value (events, items, bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (resident bytes, live segments)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with estimated quantiles.
+
+    ``bounds`` are the finite bucket upper bounds, strictly increasing; an
+    implicit ``+inf`` bucket catches the overflow.  ``observe(v)`` lands in
+    the first bucket whose bound is ``>= v`` (Prometheus ``le`` semantics,
+    so an observation exactly on an edge belongs to that edge's bucket).
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) by in-bucket interpolation.
+
+        Returns 0.0 with no observations.  Observations in the ``+inf``
+        bucket clamp to the largest finite bound (the histogram cannot see
+        beyond its edges — pick wider buckets if this matters).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if index >= len(self.bounds):  # overflow bucket
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self.bounds[-1]
+
+    def percentiles(self) -> Dict[str, float]:
+        """The operator's trio: ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def mean(self) -> float:
+        """Mean observed value (0.0 with no observations)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric and its per-labelset children.
+
+    Children are keyed by the sorted ``(label, value)`` tuple; a family with
+    no labels has a single child under the empty key.
+    """
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 buckets: Optional[Tuple[float, ...]] = None):
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"metric name must be snake_case ([a-z][a-z0-9_]*), got {name!r}"
+            )
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {sorted(_KINDS)}, got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.children: Dict[Tuple[Tuple[str, str], ...], object] = {}
+
+    def labels(self, **labels: str):
+        """The child metric for this labelset, created on first use."""
+        key = _label_key(labels)
+        child = self.children.get(key)
+        if child is None:
+            if self.kind == "histogram":
+                child = Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS)
+            else:
+                child = _KINDS[self.kind]()
+            self.children[key] = child
+        return child
+
+    def samples(self) -> Iterator[Tuple[Dict[str, str], object]]:
+        """Iterate ``(labels_dict, child_metric)`` pairs, stable order."""
+        for key in sorted(self.children):
+            yield dict(key), self.children[key]
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    for label in labels:
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"label name must be snake_case, got {label!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """All metric families of one process, keyed by name.
+
+    The convenience methods (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) register the family on first call and return the
+    child for the given labels, so an instrumentation site is one line.
+    Re-registering a name with a different kind is an error — two call
+    sites disagreeing about a metric's type is always a bug.
+    """
+
+    def __init__(self):
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _family(self, name: str, kind: str, help: str,
+                buckets: Optional[Tuple[float, ...]] = None) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"cannot re-register as {kind}"
+                )
+            else:
+                if help and not family.help:
+                    family.help = help
+            return family
+
+    def declare(self, name: str, kind: str, help: str = "",
+                buckets: Optional[Tuple[float, ...]] = None) -> MetricFamily:
+        """Register a family without creating a child (labels bound later).
+
+        Use when the label values are only known at emission time (e.g. one
+        histogram child per span name): declaring at import time keeps the
+        metric discoverable by the docs-lint even before it has samples.
+        """
+        return self._family(name, kind, help, buckets)
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Register (if new) and return the counter child for ``labels``."""
+        return self._family(name, "counter", help).labels(**labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Register (if new) and return the gauge child for ``labels``."""
+        return self._family(name, "gauge", help).labels(**labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels: str) -> Histogram:
+        """Register (if new) and return the histogram child for ``labels``."""
+        return self._family(name, "histogram", help, buckets).labels(**labels)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or None."""
+        return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        """All registered families, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._families)
+
+    def reset(self) -> None:
+        """Zero every child metric, keeping the registered families.
+
+        Used between benchmark repetitions and tests: the *catalog* (which
+        metrics exist) is import-time state and survives; the *values* go
+        back to zero.  Children are zeroed *in place* — instrumentation
+        sites hold direct references bound at import time, so replacing the
+        objects would silently disconnect them.
+        """
+        with self._lock:
+            for family in self._families.values():
+                for child in family.children.values():
+                    if isinstance(child, Histogram):
+                        child.bucket_counts = [0] * (len(child.bounds) + 1)
+                        child.count = 0
+                        child.sum = 0.0
+                    else:
+                        child.value = 0.0
+
+
+class TelemetryControl:
+    """The process-global switch and registry, as one object.
+
+    ``TELEMETRY.enabled`` is a plain bool attribute — the only thing hot
+    paths read.  Everything else (the registry, enable/disable) is cold.
+    """
+
+    __slots__ = ("enabled", "registry")
+
+    def __init__(self):
+        self.enabled = False
+        self.registry = MetricsRegistry()
+
+    def enable(self) -> None:
+        """Turn telemetry on (metrics record, spans collect)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn telemetry off (hot paths cost one attribute check)."""
+        self.enabled = False
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Shorthand for ``TELEMETRY.registry.counter`` (import-time use)."""
+        return self.registry.counter(name, help, **labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Shorthand for ``TELEMETRY.registry.gauge``."""
+        return self.registry.gauge(name, help, **labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels: str) -> Histogram:
+        """Shorthand for ``TELEMETRY.registry.histogram``."""
+        return self.registry.histogram(name, help, buckets, **labels)
+
+
+#: The process-global telemetry control: one switch, one registry.
+TELEMETRY = TelemetryControl()
+
+
+def sketch_metrics(sketch: str) -> Tuple[Counter, Counter, Counter, Counter]:
+    """The standard per-sketch instrumentation quartet, bound at import time.
+
+    Returns ``(updates, batches, batch_items, queries)`` counters labelled
+    ``sketch=<name>``.  Semantics (see docs/OBSERVABILITY.md):
+
+    * ``sketch_updates_total`` — scalar ``update()`` invocations;
+    * ``sketch_batches_total`` — ``update_batch()`` invocations;
+    * ``sketch_batch_items_total`` — items offered through the batch API;
+    * ``sketch_queries_total`` — point/aggregate query calls.
+
+    The scalar and batch counters overlap only when ``update_batch`` falls
+    back to a scalar loop (e.g. conservative CountMin), which is the honest
+    reading: those items really did take the scalar path.
+    """
+    return (
+        TELEMETRY.counter(
+            "sketch_updates_total",
+            "Scalar update() calls, by sketch.",
+            sketch=sketch,
+        ),
+        TELEMETRY.counter(
+            "sketch_batches_total",
+            "update_batch() calls, by sketch.",
+            sketch=sketch,
+        ),
+        TELEMETRY.counter(
+            "sketch_batch_items_total",
+            "Items ingested through the batch API, by sketch.",
+            sketch=sketch,
+        ),
+        TELEMETRY.counter(
+            "sketch_queries_total",
+            "Point/aggregate queries answered, by sketch.",
+            sketch=sketch,
+        ),
+    )
+
+
+def timed(histogram: Histogram):
+    """Decorator: observe the wrapped call's wall time when telemetry is on.
+
+    When disabled the wrapped function runs with no timer — the wrapper adds
+    one attribute check and one extra frame.  Used on *query* paths (cold
+    relative to ingest); per-item ingest paths inline the check instead.
+    """
+    import functools
+    import time
+
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            if not TELEMETRY.enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                histogram.observe(time.perf_counter() - start)
+        return inner
+    return wrap

@@ -1,0 +1,113 @@
+"""The one-call operator summary: ``repro.telemetry.report()``.
+
+Formats the current registry (and span collector) as a fixed-width text
+report — counters and gauges grouped by family, histograms with count /
+mean / p50 / p95 / p99, span aggregates by name, and any published memory
+accounting with residency-vs-bound utilisation.  This is what
+``examples/observability_tour.py`` prints and what an operator pastes into
+an incident channel; machine consumers should use the exporters in
+:mod:`repro.telemetry.export` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry.registry import Histogram, MetricsRegistry, TELEMETRY
+from repro.telemetry.spans import SPANS, SpanCollector
+
+
+def _label_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def report(
+    registry: Optional[MetricsRegistry] = None,
+    spans: Optional[SpanCollector] = None,
+) -> str:
+    """Render the registry and span state as a human-readable summary.
+
+    Families with no recorded activity (all-zero counters, empty
+    histograms) are listed compactly at the end rather than omitted, so the
+    report doubles as the live metric catalog.
+    """
+    registry = registry or TELEMETRY.registry
+    spans = spans if spans is not None else SPANS
+    lines: List[str] = []
+    lines.append("repro telemetry report")
+    lines.append(
+        f"telemetry enabled: {TELEMETRY.enabled}   metric families: "
+        f"{len(registry.families())}   spans recorded: {len(spans.records)}"
+    )
+    quiet: List[str] = []
+
+    counter_lines: List[str] = []
+    histogram_lines: List[str] = []
+    for family in registry.families():
+        active = False
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                if child.count == 0:
+                    continue
+                active = True
+                p = child.percentiles()
+                histogram_lines.append(
+                    f"  {family.name}{_label_suffix(labels)}  "
+                    f"count={child.count}  mean={_format_seconds(child.mean())}  "
+                    f"p50={_format_seconds(p['p50'])}  "
+                    f"p95={_format_seconds(p['p95'])}  "
+                    f"p99={_format_seconds(p['p99'])}"
+                )
+            else:
+                if child.value == 0:
+                    continue
+                active = True
+                value = child.value
+                rendered = str(int(value)) if float(value).is_integer() else f"{value:.4g}"
+                counter_lines.append(
+                    f"  {family.name}{_label_suffix(labels)} = {rendered}"
+                )
+        if not active:
+            quiet.append(family.name)
+
+    if counter_lines:
+        lines.append("")
+        lines.append("counters / gauges")
+        lines.extend(counter_lines)
+    if histogram_lines:
+        lines.append("")
+        lines.append("latency histograms")
+        lines.extend(histogram_lines)
+
+    if spans.records:
+        lines.append("")
+        lines.append("spans (aggregated by name)")
+        by_name: Dict[str, List] = {}
+        for record in spans.records:
+            by_name.setdefault(record.name, []).append(record)
+        for name in sorted(by_name):
+            records = by_name[name]
+            wall = sum(r.wall_seconds for r in records)
+            cpu = sum(r.cpu_seconds for r in records)
+            lines.append(
+                f"  {name}  n={len(records)}  wall={_format_seconds(wall)}  "
+                f"cpu={_format_seconds(cpu)}  "
+                f"max={_format_seconds(max(r.wall_seconds for r in records))}"
+            )
+        if spans.dropped:
+            lines.append(f"  ({spans.dropped} eviction(s) from the span ring buffer)")
+
+    if quiet:
+        lines.append("")
+        lines.append(f"registered but quiet: {', '.join(sorted(quiet))}")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Lightweight tracing spans: nesting, wall time, CPU time.
+
+A span brackets one operation::
+
+    from repro.telemetry.spans import span
+
+    with span("store.snapshot"):
+        ...
+
+When telemetry is disabled, :func:`span` returns a shared no-op context
+manager — one attribute check plus one function call, no allocation.  When
+enabled, finished spans land in the process-global :data:`SPANS` collector
+(a bounded ring buffer) carrying their name, nesting depth, parent name,
+wall seconds (``time.perf_counter``) and CPU seconds (``time.process_time``),
+and every span additionally feeds the ``span_wall_seconds`` histogram so
+per-operation p50/p95/p99 are available from the registry alone.
+
+Span naming convention (enforced only by review, documented in
+docs/OBSERVABILITY.md): ``<component>.<operation>``, lowercase, dot-
+separated — e.g. ``wal.rotate``, ``merge_tree.seal_block``,
+``harness.feed_log_stream``.
+
+Nesting is tracked per thread (a ``threading.local`` stack), so concurrent
+readers do not corrupt each other's parent chains.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.telemetry.registry import TELEMETRY
+
+#: Retain at most this many finished spans (oldest evicted first).
+DEFAULT_SPAN_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    depth: int  # 0 = top level
+    parent: Optional[str]  # enclosing span's name, None at top level
+    start: float  # perf_counter() at __enter__ (monotonic, not wall-clock)
+    wall_seconds: float
+    cpu_seconds: float
+
+
+class SpanCollector:
+    """Bounded buffer of finished spans plus per-thread nesting state."""
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.records: List[SpanRecord] = []
+        self.dropped = 0
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def record(self, record: SpanRecord) -> None:
+        """Append one finished span, evicting the oldest beyond capacity."""
+        self.records.append(record)
+        if len(self.records) > self.capacity:
+            del self.records[0 : len(self.records) - self.capacity]
+            self.dropped += 1
+
+    def clear(self) -> None:
+        """Drop all finished spans (nesting state is untouched)."""
+        self.records.clear()
+        self.dropped = 0
+
+
+#: The process-global span collector.
+SPANS = SpanCollector()
+
+_SPAN_WALL = TELEMETRY.registry.declare(
+    "span_wall_seconds",
+    "histogram",
+    "Wall-clock duration of traced spans, by span name.",
+)
+
+
+class Span:
+    """An active span; use via :func:`span`, not directly."""
+
+    __slots__ = ("name", "_start_wall", "_start_cpu", "_depth", "_parent")
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __enter__(self) -> "Span":
+        stack = SPANS._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start_cpu = time.process_time()
+        self._start_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._start_wall
+        cpu = time.process_time() - self._start_cpu
+        stack = SPANS._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        SPANS.record(
+            SpanRecord(
+                name=self.name,
+                depth=self._depth,
+                parent=self._parent,
+                start=self._start_wall,
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+            )
+        )
+        _SPAN_WALL.labels(span=self.name).observe(wall)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str):
+    """A context manager tracing ``name`` — no-op when telemetry is off."""
+    if not TELEMETRY.enabled:
+        return _NULL_SPAN
+    return Span(name)

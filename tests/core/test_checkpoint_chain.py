@@ -108,5 +108,9 @@ class TestCheckpointChain:
             chain.update(index % 3, float(index))
         manual = chain.live.memory_bytes()
         for _, snapshot in chain.checkpoints():
-            manual += snapshot.memory_bytes() + 8
+            # snapshot body + chain entry (8-byte timestamp + 8-byte pointer)
+            manual += snapshot.memory_bytes() + 16
         assert chain.memory_bytes() == manual
+        breakdown = chain.memory_breakdown()
+        assert sum(breakdown.values()) == chain.memory_bytes()
+        assert breakdown["chain_entries"] == chain.num_checkpoints() * 16

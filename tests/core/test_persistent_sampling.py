@@ -101,7 +101,13 @@ class TestPersistentTopKSample:
         sampler = PersistentTopKSample(k=2, seed=0)
         for index in range(50):
             sampler.update(index, float(index))
-        assert sampler.memory_bytes() == len(sampler.records()) * 28
+        # Records at 28 bytes each, plus the live top-k heap at 12 bytes
+        # per (priority, index) entry.
+        expected = len(sampler.records()) * 28 + min(2, 50) * 12
+        assert sampler.memory_bytes() == expected
+        breakdown = sampler.memory_breakdown()
+        assert sum(breakdown.values()) == sampler.memory_bytes()
+        assert breakdown["live_heap"] == 2 * 12
 
     @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=60))
     @settings(max_examples=30, deadline=None)

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.evaluation.memory import (
+    CHECKPOINT_ENTRY_BYTES,
     COUNTER_CHECKPOINT_BYTES,
+    HEAP_ENTRY_BYTES,
     LOG_ROW_BYTES,
     MG_COUNTER_BYTES,
     PLA_BREAKPOINT_BYTES,
@@ -22,6 +24,8 @@ class TestConstants:
         assert MG_COUNTER_BYTES == 12
         assert PLA_BREAKPOINT_BYTES == 16
         assert LOG_ROW_BYTES == 12
+        assert HEAP_ENTRY_BYTES == 12
+        assert CHECKPOINT_ENTRY_BYTES == 16
 
     def test_sketches_use_the_constants(self):
         from repro.core.persistent_sampling import PersistentTopKSample
@@ -30,7 +34,10 @@ class TestConstants:
         sampler = PersistentTopKSample(k=2, seed=0)
         for index in range(10):
             sampler.update(index, float(index))
-        assert sampler.memory_bytes() == len(sampler) * SAMPLE_RECORD_BYTES
+        # Records plus the live top-k heap (k entries once warm).
+        assert sampler.memory_bytes() == (
+            len(sampler) * SAMPLE_RECORD_BYTES + 2 * HEAP_ENTRY_BYTES
+        )
 
         mg = MisraGries(4)
         for key in range(4):

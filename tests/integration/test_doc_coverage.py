@@ -14,7 +14,16 @@ import pathlib
 import pytest
 
 import repro
-from repro import baselines, core, durability, evaluation, persistent, sketches, workloads
+from repro import (
+    baselines,
+    core,
+    durability,
+    evaluation,
+    persistent,
+    sketches,
+    telemetry,
+    workloads,
+)
 
 PACKAGES = [
     repro,
@@ -24,13 +33,14 @@ PACKAGES = [
     evaluation,
     persistent,
     sketches,
+    telemetry,
     workloads,
 ]
 
 API_MD = pathlib.Path(__file__).resolve().parents[2] / "docs" / "API.md"
 
 # Modules whose entire __all__ must appear, by name, in docs/API.md.
-REFERENCE_COVERED = [repro, sketches, core, durability]
+REFERENCE_COVERED = [repro, sketches, core, durability, telemetry]
 
 
 def public_objects():

@@ -20,6 +20,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
         "matrix_anomaly.py",
         "cardinality_and_membership.py",
         "crash_recovery.py",
+        "observability_tour.py",
     ],
 )
 def test_example_runs(script):

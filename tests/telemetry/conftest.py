@@ -1,0 +1,31 @@
+"""Telemetry test fixtures: a clean, enabled registry per test.
+
+The registry and span collector are process-global, so every test here
+zeroes the values before running and turns the switch back off afterwards —
+the rest of the suite must keep seeing telemetry in its default (disabled,
+zero-cost) state.
+"""
+
+import pytest
+
+import repro.telemetry as telemetry
+
+
+@pytest.fixture()
+def enabled_telemetry():
+    """Telemetry on, values zeroed; restored to off-and-zeroed afterwards."""
+    telemetry.reset()
+    telemetry.enable()
+    yield telemetry
+    telemetry.disable()
+    telemetry.reset()
+
+
+@pytest.fixture()
+def clean_telemetry():
+    """Telemetry left off but zeroed — for testing the disabled path."""
+    telemetry.disable()
+    telemetry.reset()
+    yield telemetry
+    telemetry.disable()
+    telemetry.reset()

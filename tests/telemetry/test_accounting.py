@@ -1,0 +1,122 @@
+"""Memory accountant: breakdowns sum to memory_bytes, bounds are sane."""
+
+import pytest
+
+from repro.core.bitp_sampling import BitpPrioritySample
+from repro.core.checkpoint_chain import CheckpointChain
+from repro.core.merge_tree import MergeTreePersistence
+from repro.core.persistent_priority import (
+    PersistentPrioritySample,
+    PersistentWeightedWR,
+)
+from repro.core.persistent_sampling import (
+    PersistentReservoirChains,
+    PersistentTopKSample,
+)
+from repro.sketches import CountMinSketch, MisraGries
+from repro.telemetry.accounting import account, account_and_publish, publish
+from repro.telemetry.registry import TELEMETRY
+
+
+def _accounted_structures():
+    chain = CheckpointChain(lambda: MisraGries(8), eps=0.2)
+    tree = MergeTreePersistence(
+        lambda: CountMinSketch.from_error(0.05, 0.05, seed=1),
+        block_size=64,
+        eps=0.5,
+    )
+    topk = PersistentTopKSample(k=4, seed=0)
+    chains = PersistentReservoirChains(k=4, seed=0)
+    priority = PersistentPrioritySample(k=4, seed=0)
+    wwr = PersistentWeightedWR(k=4, seed=0)
+    bitp = BitpPrioritySample(k=4, seed=0)
+    structures = [chain, tree, topk, chains, priority, wwr, bitp]
+    for index in range(500):
+        for structure in structures:
+            structure.update(index % 50, float(index))
+    return structures
+
+
+class TestBreakdownInvariant:
+    def test_components_sum_to_memory_bytes(self):
+        for structure in _accounted_structures():
+            breakdown = structure.memory_breakdown()
+            assert sum(breakdown.values()) == structure.memory_bytes(), type(
+                structure
+            ).__name__
+            assert all(size >= 0 for size in breakdown.values())
+
+    def test_resident_within_space_bound(self):
+        # The paper's bounds are worst-case; resident memory must not
+        # exceed them at any stream position we exercise.
+        for structure in _accounted_structures():
+            bound = structure.space_bound_bytes()
+            assert structure.memory_bytes() <= bound, type(structure).__name__
+
+
+class TestAccount:
+    def test_report_components_match_breakdown(self):
+        sampler = PersistentTopKSample(k=4, seed=0)
+        for index in range(100):
+            sampler.update(index, float(index))
+        report = account(sampler)
+        assert report.name == "PersistentTopKSample"
+        assert report.resident_bytes == sampler.memory_bytes()
+        assert report.bound_bytes == sampler.space_bound_bytes()
+        assert report.utilization == pytest.approx(
+            sampler.memory_bytes() / sampler.space_bound_bytes()
+        )
+        names = {component.name for component in report.components}
+        assert names == set(sampler.memory_breakdown())
+
+    def test_falls_back_to_single_total_component(self):
+        sketch = MisraGries(8)
+        sketch.update(1)
+        report = account(sketch, name="mg")
+        assert [component.name for component in report.components] == ["total"]
+        assert report.resident_bytes == sketch.memory_bytes()
+        assert report.bound_bytes is None
+        assert report.utilization is None
+
+    def test_as_dict_flattens(self):
+        sampler = PersistentTopKSample(k=2, seed=0)
+        sampler.update(1, 1.0)
+        payload = account(sampler).as_dict()
+        assert payload["resident_bytes"] == sampler.memory_bytes()
+        assert "records" in payload["components"]
+
+
+class TestPublish:
+    def test_gauges_carry_components_and_bound(self, enabled_telemetry):
+        sampler = PersistentTopKSample(k=4, seed=0)
+        for index in range(100):
+            sampler.update(index, float(index))
+        report = account_and_publish(sampler, name="topk")
+        resident = TELEMETRY.registry.get("memory_resident_bytes")
+        samples = {
+            (labels["sketch"], labels["component"]): child.value
+            for labels, child in resident.samples()
+        }
+        assert samples[("topk", "total")] == report.resident_bytes
+        for component in report.components:
+            assert samples[("topk", component.name)] == component.resident_bytes
+        bound = TELEMETRY.registry.get("memory_bound_bytes")
+        bound_samples = {
+            labels["sketch"]: child.value for labels, child in bound.samples()
+        }
+        assert bound_samples["topk"] == report.bound_bytes
+
+    def test_republish_overwrites(self, enabled_telemetry):
+        sampler = PersistentTopKSample(k=4, seed=0)
+        sampler.update(1, 1.0)
+        publish(account(sampler, name="topk"))
+        before = TELEMETRY.registry.gauge(
+            "memory_resident_bytes", sketch="topk", component="total"
+        ).value
+        for index in range(2, 200):
+            sampler.update(index, float(index))
+        publish(account(sampler, name="topk"))
+        after = TELEMETRY.registry.gauge(
+            "memory_resident_bytes", sketch="topk", component="total"
+        ).value
+        assert after > before

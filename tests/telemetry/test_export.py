@@ -1,0 +1,114 @@
+"""Exporter round-trips: JSON lines and the Prometheus text format."""
+
+import json
+import math
+
+from repro.telemetry.export import (
+    iter_samples,
+    load_jsonl,
+    prometheus_text,
+    snapshot_lines,
+    write_jsonl,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("events_total", "Things that happened.", kind="a").inc(3)
+    registry.gauge("live_bytes", "Resident bytes.").set(128)
+    histogram = registry.histogram(
+        "latency_seconds", "Latency.", buckets=(0.1, 1.0), op="q"
+    )
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)  # overflow bucket
+    return registry
+
+
+class TestJsonl:
+    def test_snapshot_lines_are_valid_json(self):
+        lines = snapshot_lines(_populated_registry())
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+
+    def test_infinity_bound_spelled_plus_inf(self):
+        lines = snapshot_lines(_populated_registry())
+        histogram_line = next(line for line in lines if "latency" in line)
+        payload = json.loads(histogram_line)
+        assert payload["buckets"][-1][0] == "+Inf"
+
+    def test_round_trip(self, tmp_path):
+        registry = _populated_registry()
+        path = write_jsonl(tmp_path / "metrics.jsonl", registry)
+        samples = load_jsonl(path)
+        by_name = {sample.name: sample for sample in samples}
+        assert by_name["events_total"].value == 3
+        assert by_name["events_total"].labels == {"kind": "a"}
+        assert by_name["live_bytes"].value == 128
+        histogram = by_name["latency_seconds"]
+        assert histogram.count == 3
+        assert histogram.sum == 5.55
+        assert histogram.buckets[-1] == [math.inf, 1]
+        # Loaded samples carry the same payload as a re-export would.
+        assert {s.name for s in iter_samples(registry)} == set(by_name)
+
+    def test_empty_registry_writes_empty_file(self, tmp_path):
+        path = write_jsonl(tmp_path / "empty.jsonl", MetricsRegistry())
+        assert path.read_text() == ""
+        assert load_jsonl(path) == []
+
+
+class TestHarnessSnapshot:
+    def test_emit_round_trips_through_loader(self, enabled_telemetry, tmp_path):
+        from repro.evaluation.harness import emit_telemetry_snapshot
+        from repro.sketches import CountMinSketch
+        from repro.telemetry.registry import TELEMETRY
+
+        sketch = CountMinSketch(width=64, depth=2, seed=0)
+        for key in range(50):
+            sketch.update(key)
+        path = tmp_path / "snapshot.jsonl"
+        assert emit_telemetry_snapshot(path) is True
+        by_name = {
+            (s.name, tuple(sorted(s.labels.items()))): s for s in load_jsonl(path)
+        }
+        updates = by_name[("sketch_updates_total", (("sketch", "countmin"),))]
+        assert updates.value == 50
+        # Every exported sample belongs to a registered family (families
+        # declared without label-bound children emit no samples).
+        assert set(s.name for s in by_name.values()) <= set(
+            TELEMETRY.registry.names()
+        )
+
+    def test_emit_is_noop_while_disabled(self, clean_telemetry, tmp_path):
+        from repro.evaluation.harness import emit_telemetry_snapshot
+
+        path = tmp_path / "snapshot.jsonl"
+        assert emit_telemetry_snapshot(path) is False
+        assert not path.exists()
+
+
+class TestPrometheusText:
+    def test_help_type_and_samples(self):
+        text = prometheus_text(_populated_registry())
+        assert "# HELP events_total Things that happened." in text
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{kind="a"} 3' in text
+        assert "# TYPE live_bytes gauge" in text
+        assert "live_bytes 128" in text
+
+    def test_histogram_expansion_is_cumulative(self):
+        text = prometheus_text(_populated_registry())
+        assert 'latency_seconds_bucket{le="0.1",op="q"} 1' in text
+        assert 'latency_seconds_bucket{le="1",op="q"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf",op="q"} 3' in text
+        assert 'latency_seconds_sum{op="q"} 5.55' in text
+        assert 'latency_seconds_count{op="q"} 3' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", path='a"b\\c').inc()
+        text = prometheus_text(registry)
+        assert 'odd_total{path="a\\"b\\\\c"} 1' in text

@@ -1,0 +1,217 @@
+"""Registry semantics: counters, gauges, histogram bucket edges, families."""
+
+import pytest
+
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TELEMETRY,
+    timed,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(3.0)
+        assert gauge.value == 12.0
+
+    def test_may_go_negative(self):
+        gauge = Gauge()
+        gauge.dec(4.0)
+        assert gauge.value == -4.0
+
+
+class TestHistogramBuckets:
+    def test_default_bounds_are_increasing(self):
+        bounds = DEFAULT_LATENCY_BUCKETS
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_observation_on_edge_lands_in_that_bucket(self):
+        # Prometheus `le` semantics: a value exactly equal to a bound
+        # belongs to that bound's bucket.
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        histogram.observe(2.0)
+        assert histogram.bucket_counts == [0, 1, 0, 0]
+
+    def test_observation_between_edges(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        histogram.observe(1.5)
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        assert histogram.bucket_counts == [1, 1, 1, 0]
+
+    def test_overflow_bucket_catches_large_values(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.bucket_counts == [0, 0, 1]
+        # Quantiles clamp to the largest finite bound.
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_count_and_sum(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        assert histogram.count == 2
+        assert histogram.sum == 2.0
+        assert histogram.mean() == 1.0
+
+    def test_quantile_interpolates_within_bucket(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        for _ in range(10):
+            histogram.observe(1.5)  # all land in the (1.0, 2.0] bucket
+        p50 = histogram.quantile(0.5)
+        assert 1.0 <= p50 <= 2.0
+
+    def test_percentiles_trio(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(0.5)
+        trio = histogram.percentiles()
+        assert set(trio) == {"p50", "p95", "p99"}
+
+    def test_empty_quantile_is_zero(self):
+        histogram = Histogram(bounds=(1.0,))
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean() == 0.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).quantile(1.5)
+
+
+class TestRegistry:
+    def test_same_name_same_labels_returns_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events_total", "help", kind="a")
+        b = registry.counter("events_total", kind="a")
+        assert a is b
+
+    def test_different_labels_different_children(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events_total", kind="a")
+        b = registry.counter("events_total", kind="b")
+        assert a is not b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total")
+        with pytest.raises(ValueError):
+            registry.gauge("events_total")
+
+    def test_rejects_bad_names_and_labels(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("Bad-Name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", **{"Bad-Label": "x"})
+
+    def test_declare_registers_without_children(self):
+        registry = MetricsRegistry()
+        family = registry.declare("lazy_seconds", "histogram", "later labels")
+        assert "lazy_seconds" in registry.names()
+        assert family.children == {}
+        child = family.labels(op="x")
+        assert isinstance(child, Histogram)
+
+    def test_reset_zeroes_values_but_keeps_catalog(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", kind="a")
+        histogram = registry.histogram("latency_seconds", op="q")
+        counter.inc(7)
+        histogram.observe(0.5)
+        registry.reset()
+        assert registry.names() == ["events_total", "latency_seconds"]
+        assert registry.counter("events_total", kind="a").value == 0.0
+        assert registry.histogram("latency_seconds", op="q").count == 0
+
+    def test_families_sorted_and_samples_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", x="2")
+        registry.counter("b_total", x="1")
+        registry.counter("a_total")
+        assert [f.name for f in registry.families()] == ["a_total", "b_total"]
+        labelsets = [labels for labels, _ in registry.get("b_total").samples()]
+        assert labelsets == [{"x": "1"}, {"x": "2"}]
+
+
+class TestTimedDecorator:
+    def test_disabled_does_not_observe(self, clean_telemetry):
+        histogram = Histogram(bounds=(1.0,))
+
+        @timed(histogram)
+        def work():
+            """Doc."""
+            return 42
+
+        assert work() == 42
+        assert histogram.count == 0
+        assert work.__doc__ == "Doc."
+
+    def test_enabled_observes_once_per_call(self, enabled_telemetry):
+        histogram = Histogram(bounds=(10.0,))
+
+        @timed(histogram)
+        def work():
+            """Doc."""
+            return 42
+
+        assert work() == 42
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+    def test_observes_even_when_raising(self, enabled_telemetry):
+        histogram = Histogram(bounds=(10.0,))
+
+        @timed(histogram)
+        def boom():
+            """Doc."""
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            boom()
+        assert histogram.count == 1
+
+
+class TestGlobalControl:
+    def test_switch_round_trip(self, clean_telemetry):
+        assert TELEMETRY.enabled is False
+        TELEMETRY.enable()
+        assert TELEMETRY.enabled is True
+        TELEMETRY.disable()
+        assert TELEMETRY.enabled is False
+
+    def test_package_catalog_is_registered_at_import(self, clean_telemetry):
+        # Importing repro registers every metric family the code can emit,
+        # even while telemetry is disabled — that is what lets the docs
+        # lint enumerate the catalog.
+        import repro  # noqa: F401
+
+        names = TELEMETRY.registry.names()
+        assert "sketch_updates_total" in names
+        assert "wal_records_appended_total" in names
+        assert "persistent_query_seconds" in names
+        assert "span_wall_seconds" in names
+        assert "memory_resident_bytes" in names

@@ -1,0 +1,94 @@
+"""Tracing spans: nesting, timing, the disabled no-op, buffer bounds."""
+
+import pytest
+
+from repro.telemetry.registry import TELEMETRY
+from repro.telemetry.spans import (
+    SPANS,
+    SpanCollector,
+    SpanRecord,
+    _NULL_SPAN,
+    span,
+)
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop_when_disabled(self, clean_telemetry):
+        first = span("a.b")
+        second = span("c.d")
+        assert first is _NULL_SPAN
+        assert second is _NULL_SPAN
+        with first:
+            pass
+        assert SPANS.records == []
+
+
+class TestEnabledSpans:
+    def test_records_name_and_wall_time(self, enabled_telemetry):
+        with span("wal.rotate"):
+            pass
+        assert len(SPANS.records) == 1
+        record = SPANS.records[0]
+        assert record.name == "wal.rotate"
+        assert record.depth == 0
+        assert record.parent is None
+        assert record.wall_seconds >= 0.0
+        assert record.cpu_seconds >= 0.0
+
+    def test_nesting_depth_and_parent(self, enabled_telemetry):
+        with span("outer.op"):
+            with span("inner.op"):
+                pass
+        # Inner finishes first.
+        inner, outer = SPANS.records
+        assert inner.name == "inner.op"
+        assert inner.depth == 1
+        assert inner.parent == "outer.op"
+        assert outer.name == "outer.op"
+        assert outer.depth == 0
+        assert outer.parent is None
+
+    def test_feeds_span_wall_seconds_histogram(self, enabled_telemetry):
+        with span("merge_tree.seal_block"):
+            pass
+        family = TELEMETRY.registry.get("span_wall_seconds")
+        children = {
+            labels["span"]: child for labels, child in family.samples()
+        }
+        assert children["merge_tree.seal_block"].count == 1
+
+    def test_exception_still_records_span(self, enabled_telemetry):
+        with pytest.raises(RuntimeError):
+            with span("store.snapshot"):
+                raise RuntimeError("boom")
+        assert SPANS.records[-1].name == "store.snapshot"
+
+
+class TestCollectorBounds:
+    def test_capacity_evicts_oldest(self):
+        collector = SpanCollector(capacity=2)
+        for index in range(4):
+            collector.record(
+                SpanRecord(
+                    name=f"s{index}", depth=0, parent=None,
+                    start=0.0, wall_seconds=0.0, cpu_seconds=0.0,
+                )
+            )
+        assert [record.name for record in collector.records] == ["s2", "s3"]
+        assert collector.dropped == 2
+
+    def test_clear_drops_records(self):
+        collector = SpanCollector(capacity=2)
+        collector.record(
+            SpanRecord(
+                name="s", depth=0, parent=None,
+                start=0.0, wall_seconds=0.0, cpu_seconds=0.0,
+            )
+        )
+        collector.clear()
+        assert collector.records == []
+        assert collector.dropped == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpanCollector(capacity=0)
