@@ -1,0 +1,128 @@
+"""Sharded service tour: concurrent ingest + historical queries at scale.
+
+Stands up two 4-shard :class:`repro.service.ShardedSketchService`
+instances over one zipfian key stream, fed in small arrival batches (the
+workers fuse them into large group-commit applies):
+
+* an ATTP heavy-hitter service (``ChainMisraGries``) answering point
+  estimates and heavy hitters at any past time,
+* a BITP suffix service (``MergeTreePersistence(CountMinSketch)``)
+  answering "what happened since t?" via merged suffix summaries.
+
+Along the way it shows read-your-writes via the ingest watermark
+(``wait_for``/``drain``), querying mid-ingest, per-shard stats, the
+coordinator's answer cache, and the telemetry report.
+
+Architecture and sizing guidance live in docs/SERVICE.md.
+
+Run:  python examples/sharded_service_tour.py
+"""
+
+import numpy as np
+
+import repro.telemetry as telemetry
+from repro.core import ChainMisraGries, MergeTreePersistence
+from repro.service import ShardedSketchService
+from repro.sketches import CountMinSketch
+
+N = 40_000
+ARRIVAL_BATCH = 256
+SHARDS = 4
+
+
+def attp_factory():
+    return ChainMisraGries(eps=0.005)
+
+
+def bitp_factory():
+    return MergeTreePersistence(
+        lambda: CountMinSketch(2048, 4, seed=11),
+        eps=0.05,
+        mode="bitp",
+        block_size=256,
+    )
+
+
+def make_stream():
+    rng = np.random.default_rng(42)
+    keys = (rng.zipf(1.3, size=N) % 5_000).astype(np.int64)
+    timestamps = np.arange(N, dtype=float)
+    return keys, timestamps
+
+
+def main() -> None:
+    telemetry.enable()
+    keys, timestamps = make_stream()
+    half_t = float(timestamps[N // 2])
+
+    attp = ShardedSketchService(
+        attp_factory, num_shards=SHARDS, partition="hash", min_drain_items=4096
+    )
+    bitp = ShardedSketchService(
+        bitp_factory, num_shards=SHARDS, partition="hash", min_drain_items=4096
+    )
+    with attp, bitp:
+        # --- ingest in small arrival batches; workers group-commit --------
+        receipt = None
+        for start in range(0, N, ARRIVAL_BATCH):
+            stop = start + ARRIVAL_BATCH
+            mid = attp.ingest_batch(keys[start:stop], timestamps[start:stop])
+            receipt = bitp.ingest_batch(keys[start:stop], timestamps[start:stop])
+            if start <= N // 2 < stop:
+                # mid-ingest: wait for our own writes, then query history
+                assert attp.wait_for(mid.seqno, timeout=60)
+                hot = int(np.bincount(keys[: N // 2]).argmax())
+                print(
+                    f"mid-ingest  watermark={attp.watermark():>4}  "
+                    f"hot key {hot} so far ~{attp.estimate_at(hot, half_t):.0f}"
+                )
+
+        # --- read-your-writes barrier on the last acked call ---------------
+        assert bitp.wait_for(receipt.seqno, timeout=120)
+        assert attp.drain(timeout=120)
+
+        # --- ATTP: point estimates + heavy hitters at two times ------------
+        hot = int(np.bincount(keys).argmax())
+        true_half = int((keys[: N // 2] == hot).sum())
+        true_full = int((keys == hot).sum())
+        print(f"\nATTP point estimates for hottest key {hot}:")
+        print(
+            f"  at t={half_t:>7.0f}: est {attp.estimate_at(hot, half_t):>7.0f}"
+            f"  (true {true_half})"
+        )
+        print(
+            f"  at t={N - 1:>7}: est {attp.estimate_at(hot, float(N - 1)):>7.0f}"
+            f"  (true {true_full})"
+        )
+        hitters = attp.heavy_hitters_at(float(N - 1), 0.02)
+        print(f"  2% heavy hitters now: {sorted(int(k) for k in hitters)[:8]}")
+
+        # --- BITP: what happened since three-quarters in? -------------------
+        t_recent = float(timestamps[3 * N // 4])
+        suffix = keys[3 * N // 4 :]
+        true_suffix = int((suffix == hot).sum())
+        merged = bitp.merged_sketch_since(t_recent)
+        print(f"\nBITP suffix since t={t_recent:.0f}:")
+        print(
+            f"  key {hot}: est {merged.query(hot):>7.0f}  (true {true_suffix})"
+        )
+        print(f"  merged suffix summary weight: {merged.total_weight:.0f}")
+
+        # --- introspection --------------------------------------------------
+        stats = attp.stats()
+        print(f"\nservice stats (ATTP): watermark={stats['watermark']}")
+        for shard in stats["shards"]:
+            print(
+                f"  shard {shard['shard']}: applied {shard['items_applied']:>6} items"
+                f"  (seqno {shard['applied_seqno']})"
+            )
+        cache = attp.cache_info()
+        print(f"  query cache: {cache['hits']} hits / {cache['misses']} misses")
+
+    print("\n--- telemetry report ---")
+    print(telemetry.report())
+    telemetry.disable()
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,11 @@ Layout
     Crash-safe ingestion: segmented write-ahead log, DurableSketch
     (log-then-apply + snapshots), snapshot/WAL-replay recovery,
     fault-injection harness.
+``repro.service``
+    Sharded concurrent ingest + query: hash/round-robin shard router,
+    per-shard worker threads with bounded queues and backpressure, a
+    fan-out/merge query coordinator with a watermark-keyed answer cache,
+    and durable per-shard recovery.
 ``repro.telemetry``
     Observability: metrics registry (counters/gauges/histograms), tracing
     spans, memory accounting against paper space bounds, JSONL and
@@ -38,6 +43,7 @@ from repro import (
     durability,
     evaluation,
     persistent,
+    service,
     sketches,
     telemetry,
     workloads,
@@ -50,6 +56,7 @@ __all__ = [
     "durability",
     "evaluation",
     "persistent",
+    "service",
     "sketches",
     "telemetry",
     "workloads",

@@ -17,6 +17,13 @@ from repro.core.base import (
     apply_stream_update,
 )
 from repro.core.bitp_sampling import BitpPrioritySample
+from repro.core.combine import (
+    combine_any,
+    combine_heavy_hitters,
+    combine_sum,
+    combine_union,
+    merge_sketches,
+)
 from repro.core.checkpoint_chain import CheckpointChain
 from repro.core.elementwise import ChainCountMin, ChainCountSketch, ChainMisraGries
 from repro.core.interval_index import IntervalIndex
@@ -55,4 +62,9 @@ __all__ = [
     "TimestampGuard",
     "apply_stream_batch",
     "apply_stream_update",
+    "combine_any",
+    "combine_heavy_hitters",
+    "combine_sum",
+    "combine_union",
+    "merge_sketches",
 ]

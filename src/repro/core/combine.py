@@ -1,0 +1,125 @@
+"""Cross-shard combine helpers for persistent-sketch answers.
+
+When a stream is partitioned across ``K`` shards (``repro.service``), each
+shard holds a persistent sketch of its sub-stream and a query must combine
+the ``K`` per-shard answers into one.  Mergeability makes this sound: for a
+timestamp ``t`` the per-shard snapshots ``S_1(t) ... S_K(t)`` summarise
+disjoint sub-streams whose union is the full prefix (ATTP) or suffix (BITP)
+``A``, so ``merge(S_1(t), ..., S_K(t))`` carries the same error guarantee as
+a single sketch over ``A`` (Agarwal et al., 2013).  This module collects the
+combine modes the query coordinator needs:
+
+* :func:`merge_sketches` — fold per-shard snapshots with their ``merge``;
+* :func:`combine_sum` / :func:`combine_any` / :func:`combine_union` —
+  scalar reductions for linear counts, membership, and key sets;
+* :func:`combine_heavy_hitters` — union per-shard candidates and re-apply
+  the ``phi`` threshold against the *global* weight.
+
+All helpers treat their inputs as read-only; :func:`merge_sketches` copies
+before merging so per-shard checkpoint snapshots are never mutated.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterable, Sequence
+
+
+def merge_sketches(sketches: Sequence, *, copy_first: bool = True):
+    """Merge per-shard sketch snapshots into one combined sketch.
+
+    Parameters
+    ----------
+    sketches:
+        Sequence of mergeable sketches (each must expose ``merge``).
+        Typically the per-shard results of ``CheckpointChain.sketch_at`` —
+        which may be *stored* snapshots, so mutating them in place would
+        corrupt shard history.  ``None`` entries (shards with no data at
+        the queried time) are skipped; at least one sketch must remain.
+    copy_first:
+        When ``True`` (default) the fold starts from a ``deepcopy`` of the
+        first sketch, leaving every input untouched.  Pass ``False`` only
+        when the first element is a throwaway.
+
+    Returns
+    -------
+    A single sketch summarising the concatenation of all shards'
+    sub-streams.
+    """
+    present = [sketch for sketch in sketches if sketch is not None]
+    if not present:
+        raise ValueError("merge_sketches needs at least one non-None sketch")
+    merged = copy.deepcopy(present[0]) if copy_first else present[0]
+    for sketch in present[1:]:
+        merged.merge(sketch)
+    return merged
+
+
+def combine_sum(values: Iterable):
+    """Sum per-shard numeric answers (linear queries: counts, range sums)."""
+    total = None
+    for value in values:
+        total = value if total is None else total + value
+    if total is None:
+        raise ValueError("combine_sum needs at least one value")
+    return total
+
+
+def combine_any(flags: Iterable) -> bool:
+    """OR per-shard membership answers (Bloom ``contains_at`` fan-out).
+
+    Sound for hash-partitioned streams: the owning shard saw every
+    occurrence of the key, all other shards report their own (possibly
+    false-positive) answer, so the union keeps the one-sided no-false-
+    negative guarantee.
+    """
+    return any(bool(flag) for flag in flags)
+
+
+def combine_union(key_lists: Iterable[Iterable]) -> list:
+    """Sorted, deduplicated union of per-shard key lists."""
+    merged: set = set()
+    for keys in key_lists:
+        merged.update(keys)
+    return sorted(merged)
+
+
+def combine_heavy_hitters(
+    per_shard_candidates: Sequence[Iterable],
+    estimate: Callable[[int], float],
+    threshold: float,
+    total_weight: float,
+) -> list:
+    """Combine per-shard heavy-hitter candidates into the global answer.
+
+    Recall is preserved by construction: if ``f(x) >= phi * W`` globally
+    then on the shard owning ``x`` (hash partitioning) or on at least one
+    shard (round-robin) ``f_k(x) >= phi * W_k``, since ``W_k <= W`` and the
+    sub-stream frequencies sum to ``f(x)``.  So the union of per-shard
+    candidate sets contains every true global heavy hitter; this helper then
+    re-estimates each candidate *globally* and re-applies the cut
+    ``phi * W`` to discard shard-local noise.
+
+    Parameters
+    ----------
+    per_shard_candidates:
+        One iterable of candidate keys per shard (each shard's local
+        ``heavy_hitters*`` answer at its local threshold).
+    estimate:
+        Global point estimator, e.g. the summed per-shard
+        ``estimate_at(t, key)``.
+    threshold:
+        The global ``phi`` in ``(0, 1]``.
+    total_weight:
+        Global stream weight ``W`` at the queried time.
+
+    Returns
+    -------
+    Sorted keys whose global estimate passes ``threshold * total_weight``.
+    """
+    if not 0 < threshold <= 1:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    cut = threshold * total_weight
+    return sorted(
+        key for key in combine_union(per_shard_candidates) if estimate(key) >= cut
+    )

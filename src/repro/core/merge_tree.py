@@ -311,7 +311,14 @@ class MergeTreePersistence:
         result = None
         position = self._block_start
         # The live partial block is always the newest part of any window.
-        if self._block_count > 0 and self._block_t_start >= timestamp:
+        # Include it whenever it holds *any* window items — also when the
+        # window start falls inside it (then it straddles the old edge and
+        # overcounts by less than one block, like a straddling sealed leaf).
+        if (
+            self._block_count > 0
+            and self._block_t_end is not None
+            and self._block_t_end >= timestamp
+        ):
             result = copy.deepcopy(self._block_sketch)
         while position in by_end:
             node = by_end[position]

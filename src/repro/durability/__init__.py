@@ -41,6 +41,11 @@ from repro.durability.faults import (
     OsFilesystem,
     SimulatedCrash,
 )
+from repro.durability.manifest import (
+    ServiceManifest,
+    read_manifest,
+    write_manifest,
+)
 from repro.durability.recovery import (
     RecoveryResult,
     Snapshot,
@@ -65,6 +70,7 @@ __all__ = [
     "InjectedIOError",
     "OsFilesystem",
     "RecoveryResult",
+    "ServiceManifest",
     "SimulatedCrash",
     "Snapshot",
     "WalBatchRecord",
@@ -74,6 +80,8 @@ __all__ = [
     "iter_records",
     "list_segments",
     "list_snapshots",
+    "read_manifest",
     "recover",
     "scan_segment",
+    "write_manifest",
 ]

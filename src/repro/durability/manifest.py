@@ -1,0 +1,95 @@
+"""Service manifest: the durable description of a sharded deployment.
+
+A durably-configured :class:`repro.service.ShardedSketchService` keeps one
+``DurableSketch`` directory per shard (``shard-00/``, ``shard-01/``, ...).
+Recovery must reassemble the *same* topology — shard count, partitioning
+mode, and router seed — or hash-routed queries would consult the wrong
+shard.  The manifest records that topology as a small JSON file written
+atomically (temp file + rename + directory fsync) through the same
+filesystem shim the WAL uses, so kill-point sweeps exercise it too.
+
+The manifest is written once at service creation and validated on every
+re-open; a mismatch between the caller's configuration and the on-disk
+manifest is a hard error rather than silent data corruption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.durability.faults import OsFilesystem
+
+MANIFEST_NAME = "service.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServiceManifest:
+    """Immutable topology record for a sharded service directory.
+
+    Attributes
+    ----------
+    num_shards:
+        Number of shard subdirectories (``shard-00`` .. ``shard-NN``).
+    partition:
+        Router mode, ``"hash"`` or ``"round_robin"``.
+    seed:
+        Router hash seed; must match across restarts so keys keep routing
+        to the shard that owns their history.
+    version:
+        On-disk format version for forward compatibility.
+    """
+
+    num_shards: int
+    partition: str
+    seed: int
+    version: int = _FORMAT_VERSION
+
+    def shard_directory(self, root, shard: int) -> Path:
+        """Path of ``shard``'s DurableSketch directory under ``root``."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.num_shards})")
+        return Path(root) / f"shard-{shard:02d}"
+
+
+def write_manifest(directory, manifest: ServiceManifest, fs: Optional[OsFilesystem] = None) -> Path:
+    """Atomically persist ``manifest`` as ``directory/service.json``.
+
+    Uses ``write_atomic`` (temp + rename + dir fsync) so a crash leaves
+    either the old manifest or the new one, never a torn file.
+    """
+    fs = fs or OsFilesystem()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / MANIFEST_NAME
+    payload = json.dumps(asdict(manifest), indent=2, sort_keys=True) + "\n"
+    fs.write_atomic(path, payload.encode("utf-8"))
+    return path
+
+
+def read_manifest(directory) -> Optional[ServiceManifest]:
+    """Load the manifest from ``directory``, or ``None`` if absent.
+
+    Raises
+    ------
+    ValueError
+        If the file exists but is not a valid manifest (corrupt JSON,
+        missing fields, or an unknown format version).
+    """
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        raw = json.loads(path.read_text("utf-8"))
+        manifest = ServiceManifest(**raw)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise ValueError(f"corrupt service manifest at {path}: {exc}") from exc
+    if manifest.version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported manifest version {manifest.version} at {path} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    return manifest

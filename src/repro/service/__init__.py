@@ -1,0 +1,47 @@
+"""Sharded concurrent ingest + query service for persistent sketches.
+
+Every structure in :mod:`repro.core` is mergeable, which is exactly the
+property that lets a service fan one logical stream out across ``K`` shards
+and still answer with single-sketch guarantees: per-shard summaries of
+disjoint sub-streams merge into a summary of the whole stream (Agarwal et
+al., 2013 — the same architecture Hokusai uses for time-indexed CountMin).
+This package is that layer:
+
+* :class:`ShardRouter` — deterministic hash partitioning by key, or
+  round-robin for key-agnostic sketches;
+* :class:`ShardWorker` — one thread + bounded queue + private sketch per
+  shard, draining queues into fused ``update_batch`` applies, with
+  block / drop / error backpressure;
+* :class:`QueryCoordinator` — fan-out, cross-shard combining via
+  :mod:`repro.core.combine`, and a watermark-keyed LRU answer cache;
+* :class:`ShardedSketchService` — the facade: lifecycle, global seqnos and
+  the ingest watermark (read-your-writes), typed ATTP/BITP queries, and
+  optional per-shard :class:`~repro.durability.DurableSketch` wrapping with
+  a topology manifest for full-service crash recovery.
+
+See docs/SERVICE.md for architecture, consistency semantics, backpressure
+policies, and sizing guidance.
+"""
+
+from repro.service.coordinator import COMBINERS, QueryCoordinator
+from repro.service.router import PARTITION_MODES, ShardRouter
+from repro.service.service import IngestReceipt, ShardedSketchService
+from repro.service.worker import (
+    BACKPRESSURE_POLICIES,
+    BackpressureError,
+    ShardFailedError,
+    ShardWorker,
+)
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "BackpressureError",
+    "COMBINERS",
+    "IngestReceipt",
+    "PARTITION_MODES",
+    "QueryCoordinator",
+    "ShardFailedError",
+    "ShardRouter",
+    "ShardWorker",
+    "ShardedSketchService",
+]

@@ -1,0 +1,180 @@
+"""Query coordinator: fan-out, combine, and the watermark-keyed answer cache.
+
+Queries against a sharded service fan out to every shard's private sketch
+(or, for hash-partitioned point queries, go straight to the owning shard),
+then combine the per-shard answers with the helpers in
+:mod:`repro.core.combine`.  Each per-shard read holds that shard's apply
+lock, so a query observes each sketch between fused batch applies, never
+mid-apply.
+
+Answers are memoised in a small LRU keyed by ``(method, args, watermark)``:
+because the ingest watermark is part of the key, any watermark advance
+automatically invalidates every cached answer — no explicit invalidation
+hooks, no stale reads.  Cache hits/misses and per-operation fan-out latency
+are exported through :mod:`repro.telemetry`.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import OrderedDict
+from threading import Lock
+from typing import Callable, Sequence
+
+from repro.core.combine import (
+    combine_any,
+    combine_sum,
+    combine_union,
+    merge_sketches,
+)
+from repro.telemetry.registry import TELEMETRY as _TEL
+
+_TEL.registry.declare(
+    "service_query_seconds",
+    "histogram",
+    "Fan-out query latency (fan-out + combine), by operation.",
+)
+_CACHE_HITS = _TEL.counter(
+    "service_query_cache_hits_total",
+    "Coordinator answers served from the watermark-keyed LRU cache.",
+)
+_CACHE_MISSES = _TEL.counter(
+    "service_query_cache_misses_total",
+    "Coordinator answers that required a shard fan-out.",
+)
+
+#: Named combine modes accepted by :meth:`QueryCoordinator.query`.
+COMBINERS = {
+    "sum": combine_sum,
+    "any": combine_any,
+    "union": combine_union,
+    "merge": merge_sketches,
+    "list": list,
+}
+
+
+class QueryCoordinator:
+    """Fans queries across shard workers and combines their answers.
+
+    Parameters
+    ----------
+    workers:
+        The service's :class:`~repro.service.worker.ShardWorker` list; each
+        exposes ``sketch`` and the apply ``lock``.
+    watermark:
+        Zero-argument callable returning the service's current ingest
+        watermark (cache-key component).
+    cache_size:
+        Maximum cached answers; ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence,
+        watermark: Callable[[], int],
+        cache_size: int = 256,
+    ):
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self._workers = list(workers)
+        self._watermark = watermark
+        self._cache_size = cache_size
+        self._cache: OrderedDict = OrderedDict()
+        self._cache_lock = Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- raw fan-out -------------------------------------------------------
+
+    def call_shard(self, shard: int, method: str, *args, post=None, **kwargs):
+        """Invoke ``method`` on one shard's sketch under its apply lock.
+
+        ``post``, when given, transforms the result *while the lock is
+        still held* — used to deep-copy live sketch objects before a
+        concurrent apply can mutate them.
+        """
+        worker = self._workers[shard]
+        worker.raise_if_failed()
+        with worker.lock:
+            result = getattr(worker.sketch, method)(*args, **kwargs)
+            return result if post is None else post(result)
+
+    def fanout(self, method: str, *args, post=None, **kwargs) -> list:
+        """Invoke ``method`` on every shard's sketch; per-shard results."""
+        return [
+            self.call_shard(shard, method, *args, post=post, **kwargs)
+            for shard in range(len(self._workers))
+        ]
+
+    # -- cached combined queries -------------------------------------------
+
+    def query(self, method: str, *args, combine="list", shard=None):
+        """Fan ``method(*args)`` out (or to one ``shard``) and combine.
+
+        ``combine`` is a name from :data:`COMBINERS` or a callable taking
+        the per-shard result list.  Results are cached per
+        ``(method, args, shard, watermark)``; ``combine="merge"`` answers
+        (merged sketch objects) are cached too — callers must treat them as
+        read-only.
+        """
+        combiner = COMBINERS[combine] if isinstance(combine, str) else combine
+        post = None
+        if combiner is merge_sketches:
+            # sketch_at/sketch_since may return the *live* sketch object;
+            # copy it under the shard lock so a concurrent apply cannot
+            # mutate it mid-copy, then merge the private copies in place
+            post = copy.deepcopy
+            combiner = lambda results: merge_sketches(results, copy_first=False)
+        key = (method, args, shard, self._watermark())
+        if self._cache_size:
+            with self._cache_lock:
+                if key in self._cache:
+                    self._cache.move_to_end(key)
+                    self.cache_hits += 1
+                    if _TEL.enabled:
+                        _CACHE_HITS.inc()
+                    return self._cache[key]
+        self.cache_misses += 1
+        if _TEL.enabled:
+            _CACHE_MISSES.inc()
+        start = time.perf_counter()
+        if shard is None:
+            answer = combiner(self.fanout(method, *args, post=post))
+        else:
+            answer = self.call_shard(shard, method, *args, post=post)
+        if _TEL.enabled:
+            _TEL.histogram("service_query_seconds", op=method).observe(
+                time.perf_counter() - start
+            )
+        if self._cache_size:
+            with self._cache_lock:
+                self._cache[key] = answer
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return answer
+
+    def merged_sketch_at(self, timestamp):
+        """Merged cross-shard snapshot at ``timestamp`` (ATTP).
+
+        Each shard's ``sketch_at`` snapshot is combined with
+        :func:`repro.core.merge_sketches` (copy-first, so stored checkpoint
+        snapshots are never mutated).  The result is cached; treat it as
+        read-only.
+        """
+        return self.query("sketch_at", timestamp, combine="merge")
+
+    def merged_sketch_since(self, timestamp):
+        """Merged cross-shard suffix summary since ``timestamp`` (BITP)."""
+        return self.query("sketch_since", timestamp, combine="merge")
+
+    def cache_info(self) -> dict:
+        """Hit/miss/size snapshot of the answer cache."""
+        with self._cache_lock:
+            return {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "size": len(self._cache),
+                "capacity": self._cache_size,
+            }

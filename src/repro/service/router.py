@@ -1,0 +1,165 @@
+"""Shard routing: deterministic placement of stream items onto shards.
+
+Two placement modes, matching the two kinds of substrate sketch:
+
+``"hash"``
+    Key-partitioning for key-addressed sketches (CountMin, Misra-Gries,
+    SpaceSaving, Bloom, dyadic).  Every occurrence of a key lands on the
+    same shard, so the owning shard's estimate *is* the global estimate —
+    point queries need no cross-shard noise summation, and heavy-hitter
+    recall is exact per shard.  The hash is a fixed splitmix64 finalizer
+    (seeded), so placement is reproducible across runs and across the
+    scalar/batch paths — a requirement for durable recovery, where keys
+    must keep routing to the shard that owns their history.
+
+``"round_robin"``
+    Item-count balancing for key-agnostic sketches (HLL, KLL, reservoir
+    and priority samples).  Items cycle through shards in arrival order;
+    every shard sees an arbitrary (not hash-biased) sub-stream, which is
+    exactly what mergeable-summary guarantees require.
+
+Both modes partition batches *stably*: each shard receives its items in
+arrival order, so a timestamp-monotone input stream stays monotone within
+every shard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+PARTITION_MODES = ("hash", "round_robin")
+
+
+def _splitmix64(x: int) -> int:
+    """Scalar splitmix64 finalizer over Python ints (64-bit wrapping)."""
+    x = (x + _GAMMA) & _MASK
+    x = ((x ^ (x >> 30)) * _MIX1) & _MASK
+    x = ((x ^ (x >> 27)) * _MIX2) & _MASK
+    return x ^ (x >> 31)
+
+
+def _splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64, bit-identical to :func:`_splitmix64`."""
+    x = (x + np.uint64(_GAMMA)).astype(np.uint64)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(_MIX1)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(_MIX2)
+    return x ^ (x >> np.uint64(31))
+
+
+class ShardRouter:
+    """Maps stream items to shard indices, scalar or batched.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards ``K >= 1``.
+    mode:
+        ``"hash"`` (key partitioning) or ``"round_robin"``.
+    seed:
+        Hash-mode seed folded into the key before mixing.  Must be stable
+        across restarts of a durable service (persisted in the manifest).
+    """
+
+    def __init__(self, num_shards: int, mode: str = "hash", seed: int = 0):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if mode not in PARTITION_MODES:
+            raise ValueError(f"mode must be one of {PARTITION_MODES}, got {mode!r}")
+        self.num_shards = num_shards
+        self.mode = mode
+        self.seed = seed
+        self._salt = _splitmix64(seed & _MASK)
+        self._next = 0  # round-robin cursor; caller serialises ingest
+
+    def route(self, value) -> int:
+        """Shard index for one item (advances the round-robin cursor)."""
+        if self.mode == "round_robin":
+            shard = self._next
+            self._next = (self._next + 1) % self.num_shards
+            return shard
+        return _splitmix64((int(value) ^ self._salt) & _MASK) % self.num_shards
+
+    def shards_of(self, values) -> np.ndarray:
+        """Vectorised shard index per item (agrees with :meth:`route`)."""
+        values = np.asarray(values)
+        n = int(values.size)
+        if self.mode == "round_robin":
+            shards = (np.arange(self._next, self._next + n) % self.num_shards).astype(
+                np.int64
+            )
+            self._next = (self._next + n) % self.num_shards
+            return shards
+        keys = values.astype(np.int64).view(np.uint64) ^ np.uint64(self._salt)
+        return (_splitmix64_array(keys) % np.uint64(self.num_shards)).astype(np.int64)
+
+    def partition(self, values, timestamps, weights=None) -> list:
+        """Split a batch into per-shard sub-batches, preserving order.
+
+        Returns a list of ``num_shards`` entries, each ``None`` (shard got
+        nothing) or a ``(values, timestamps, weights)`` triple of NumPy
+        arrays holding that shard's items in arrival order.  Weights is
+        ``None`` throughout when the caller passed none.
+        """
+        values = np.asarray(values)
+        timestamps = np.asarray(timestamps)
+        if values.size != timestamps.size:
+            raise ValueError(
+                f"values and timestamps length mismatch: {values.size} vs {timestamps.size}"
+            )
+        weight_array = None if weights is None else np.asarray(weights)
+        if weight_array is not None and weight_array.size != values.size:
+            raise ValueError(
+                f"values and weights length mismatch: {values.size} vs {weight_array.size}"
+            )
+        if values.size == 0:
+            return [None] * self.num_shards
+        if self.num_shards == 1:
+            return [(values, np.asarray(timestamps), weight_array)]
+        if self.mode == "round_robin":
+            # round-robin sub-streams are strided views: shard s gets items
+            # s - cursor (mod K), s - cursor + K, ... in arrival order
+            start = self._next
+            n = int(values.size)
+            self._next = (self._next + n) % self.num_shards
+            parts: list = []
+            for shard in range(self.num_shards):
+                offset = (shard - start) % self.num_shards
+                if offset >= n:
+                    parts.append(None)
+                    continue
+                step = slice(offset, None, self.num_shards)
+                parts.append(
+                    (
+                        values[step],
+                        timestamps[step],
+                        None if weight_array is None else weight_array[step],
+                    )
+                )
+            return parts
+        # hash mode: one stable sort groups each shard's items contiguously
+        # (and in arrival order), so per-shard sub-batches are plain slices
+        shards = self.shards_of(values)
+        order = np.argsort(shards, kind="stable")
+        sorted_values = values[order]
+        sorted_timestamps = np.asarray(timestamps)[order]
+        sorted_weights = None if weight_array is None else weight_array[order]
+        bounds = np.searchsorted(shards[order], np.arange(self.num_shards + 1))
+        parts = []
+        for shard in range(self.num_shards):
+            lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+            if lo == hi:
+                parts.append(None)
+                continue
+            parts.append(
+                (
+                    sorted_values[lo:hi],
+                    sorted_timestamps[lo:hi],
+                    None if sorted_weights is None else sorted_weights[lo:hi],
+                )
+            )
+        return parts

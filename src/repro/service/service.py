@@ -1,0 +1,581 @@
+"""The sharded service facade: lifecycle, ingest, watermarks, typed queries.
+
+:class:`ShardedSketchService` glues the router, the per-shard workers, and
+the query coordinator into one object with the paper's query surface::
+
+    service = ShardedSketchService(
+        lambda: ChainMisraGries(eps=0.001), num_shards=4, partition="hash",
+    )
+    with service:
+        service.ingest_batch(keys, timestamps)
+        service.drain()                      # read-your-writes barrier
+        service.heavy_hitters_at(t, 0.01)    # fan-out + combine
+
+Consistency model
+-----------------
+Every ingest call is assigned a global, monotonically increasing **seqno**.
+The **watermark** is the largest seqno ``s`` such that every shard has
+applied all items it was routed from calls ``<= s``; queries therefore
+reflect at least everything up to the watermark.  ``wait_for(seqno)`` gives
+read-your-writes for a specific call; ``drain()`` waits for everything
+acked so far.  Because workers apply FIFO and the router partitions stably,
+a timestamp-monotone input stream stays monotone per shard.
+
+Durability
+----------
+With ``directory=`` each shard wraps its sketch in a
+:class:`~repro.durability.DurableSketch` under ``shard-NN/`` and the
+topology is recorded in an atomically-written manifest
+(:mod:`repro.durability.manifest`).  :meth:`ShardedSketchService.open`
+validates the manifest and replays every shard's WAL, restoring the full
+service; because routing is deterministic and seeded, recovered keys keep
+living on the shard that holds their history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, NamedTuple, Optional
+
+import numpy as np
+
+from repro.core.combine import combine_heavy_hitters
+from repro.durability.manifest import (
+    ServiceManifest,
+    read_manifest,
+    write_manifest,
+)
+from repro.durability.store import DurableSketch
+from repro.service.coordinator import QueryCoordinator
+from repro.service.router import ShardRouter
+from repro.service.worker import ShardFailedError, ShardWorker
+
+
+class IngestReceipt(NamedTuple):
+    """What happened to one ingest call.
+
+    Attributes
+    ----------
+    seqno:
+        The call's global sequence number (pass to :meth:`wait_for`).
+    accepted:
+        Items enqueued to shard workers.
+    dropped:
+        Items discarded by the ``"drop"`` backpressure policy.
+    """
+
+    seqno: int
+    accepted: int
+    dropped: int
+
+
+class ShardedSketchService:
+    """Sharded, concurrent ingest and query facade over persistent sketches.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building one empty shard sketch.  Must be
+        deterministic (same parameters and seed every call) — shards must
+        be mergeable with each other, and durable recovery replays through
+        a fresh ``factory()`` instance.
+    num_shards:
+        Shard count ``K``.
+    partition:
+        ``"hash"`` (key-addressed sketches) or ``"round_robin"``
+        (key-agnostic sketches); see :class:`~repro.service.ShardRouter`.
+    seed:
+        Router hash seed (persisted in the durable manifest).
+    queue_capacity, backpressure, max_drain_items, min_drain_items, linger:
+        Per-shard queue sizing, policy, and group-commit batching; see
+        :class:`~repro.service.ShardWorker`.
+    ingest_buffer_items:
+        Producer-side accumulator (Kafka-style): arrival batches are staged
+        and only partitioned + submitted once at least this many items have
+        accumulated, amortising the per-call routing cost over many small
+        arrivals.  ``0`` (default) routes every call immediately.  Staged
+        items are not yet visible to shards, so the watermark holds at the
+        last fully-submitted seqno; ``wait_for``/``drain``/``flush``/
+        ``close`` flush the stage first, preserving read-your-writes.  With
+        staging on, receipts report drop-policy losses as ``0`` — drops
+        happen at (deferred) submit time and appear in :meth:`stats`.
+    cache_size:
+        Coordinator answer-cache capacity (``0`` disables).
+    directory:
+        Enable durability: per-shard ``DurableSketch`` directories plus a
+        service manifest live under this root.
+    fs:
+        Filesystem shim for durability (fault injection in tests).
+    durable_options:
+        Extra keyword arguments forwarded to ``DurableSketch.open``
+        (``fsync_policy``, ``snapshot_every``, ...).
+    start:
+        Start worker threads immediately (default).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Any],
+        num_shards: int = 4,
+        *,
+        partition: str = "hash",
+        seed: int = 0,
+        queue_capacity: int = 8192,
+        backpressure: str = "block",
+        max_drain_items: int = 65536,
+        min_drain_items: int = 1,
+        linger: float = 0.0,
+        ingest_buffer_items: int = 0,
+        cache_size: int = 256,
+        directory=None,
+        fs=None,
+        durable_options: Optional[dict] = None,
+        start: bool = True,
+    ):
+        if ingest_buffer_items < 0:
+            raise ValueError(
+                f"ingest_buffer_items must be >= 0, got {ingest_buffer_items}"
+            )
+        self._router = ShardRouter(num_shards, mode=partition, seed=seed)
+        self._progress = threading.Condition()
+        self._ingest_lock = threading.Lock()
+        self._seqno = 0
+        self._acked_seqno = 0
+        self._submitted_seqno = 0
+        self.ingest_buffer_items = ingest_buffer_items
+        self._stage: list = []
+        self._stage_items = 0
+        self._closed = False
+        self._started = False
+        self.directory = directory
+        self.durable = directory is not None
+        if self.durable:
+            manifest = read_manifest(directory)
+            wanted = ServiceManifest(num_shards, partition, seed)
+            if manifest is None:
+                write_manifest(directory, wanted, fs=fs)
+                manifest = wanted
+            elif (manifest.num_shards, manifest.partition, manifest.seed) != (
+                num_shards,
+                partition,
+                seed,
+            ):
+                raise ValueError(
+                    f"service manifest at {directory} records topology "
+                    f"({manifest.num_shards}, {manifest.partition!r}, {manifest.seed}), "
+                    f"got ({num_shards}, {partition!r}, {seed}) — "
+                    "use ShardedSketchService.open to adopt the stored topology"
+                )
+            options = dict(durable_options or {})
+            if fs is not None:
+                options.setdefault("fs", fs)
+            sketches = [
+                DurableSketch.open(
+                    factory, manifest.shard_directory(directory, shard), **options
+                )
+                for shard in range(num_shards)
+            ]
+        else:
+            sketches = [factory() for _ in range(num_shards)]
+        self._workers = [
+            ShardWorker(
+                shard,
+                sketch,
+                capacity=queue_capacity,
+                policy=backpressure,
+                max_drain_items=max_drain_items,
+                min_drain_items=min_drain_items,
+                linger=linger,
+                on_progress=self._notify_progress,
+            )
+            for shard, sketch in enumerate(sketches)
+        ]
+        self._coordinator = QueryCoordinator(
+            self._workers, self.watermark, cache_size=cache_size
+        )
+        if start:
+            self.start()
+
+    @classmethod
+    def open(cls, factory: Callable[[], Any], directory, **options) -> "ShardedSketchService":
+        """Reopen a durable service, adopting the stored topology.
+
+        Reads the manifest (shard count, partition mode, router seed) and
+        recovers every shard's ``DurableSketch`` — snapshot plus WAL-tail
+        replay — so the reassembled service answers exactly as the
+        pre-crash one did at its durable watermark.
+        """
+        manifest = read_manifest(directory)
+        if manifest is None:
+            raise FileNotFoundError(f"no service manifest under {directory}")
+        return cls(
+            factory,
+            manifest.num_shards,
+            partition=manifest.partition,
+            seed=manifest.seed,
+            directory=directory,
+            **options,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return self._router.num_shards
+
+    def start(self) -> None:
+        """Start the shard worker threads (idempotent)."""
+        if self._started:
+            return
+        for worker in self._workers:
+            worker.start()
+        self._started = True
+
+    def _notify_progress(self) -> None:
+        with self._progress:
+            self._progress.notify_all()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if not self._started:
+            raise RuntimeError("service not started — call start()")
+
+    def __enter__(self) -> "ShardedSketchService":
+        """Enter a context: ensure workers are running."""
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close on context exit; force-close if an exception is in flight."""
+        self.close(force=exc_type is not None)
+
+    def close(self, force: bool = False) -> None:
+        """Drain, stop workers, and close durable stores.
+
+        With ``force=True`` shard failures are tolerated (their durable
+        stores are left as-is for recovery); otherwise the first failure is
+        re-raised as :class:`ShardFailedError` after all threads stop.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._started and self._stage_items:
+            try:
+                self._flush_staged()
+            except (ShardFailedError, RuntimeError):
+                if not force:
+                    raise
+        for worker in self._workers:
+            worker.stop()
+        failed = [worker for worker in self._workers if worker.failure is not None]
+        if self.durable:
+            for worker in self._workers:
+                if worker.failure is None:
+                    with worker.lock:
+                        worker.sketch.close()
+        if failed and not force:
+            raise ShardFailedError(failed[0].index, failed[0].failure)
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, value, timestamp, weight: float = 1.0) -> int:
+        """Route and enqueue one item; returns the call's seqno."""
+        weights = None if weight == 1.0 else [weight]
+        return self.ingest_batch([value], [timestamp], weights).seqno
+
+    def ingest_batch(self, values, timestamps, weights=None) -> IngestReceipt:
+        """Partition a batch across shards and enqueue the sub-batches.
+
+        Returns an :class:`IngestReceipt`; the items are *accepted*, not
+        yet necessarily applied — use :meth:`wait_for` (with the receipt's
+        seqno) or :meth:`drain` for read-your-writes.  Producers may call
+        this from multiple threads; calls are serialised internally.
+        """
+        self._ensure_open()
+        values = np.asarray(values)
+        if values.size == 0:
+            return IngestReceipt(self._acked_seqno, 0, 0)
+        with self._ingest_lock:
+            self._seqno += 1
+            seqno = self._seqno
+            if self.ingest_buffer_items > 0:
+                self._stage.append((values, np.asarray(timestamps), weights))
+                self._stage_items += int(values.size)
+                self._acked_seqno = seqno
+                if self._stage_items >= self.ingest_buffer_items:
+                    self._flush_stage_locked()
+                return IngestReceipt(seqno, int(values.size), 0)
+            accepted, dropped = self._route_and_submit(
+                values, timestamps, weights, seqno
+            )
+            self._acked_seqno = seqno
+            self._submitted_seqno = seqno
+        return IngestReceipt(seqno, accepted, dropped)
+
+    def _route_and_submit(self, values, timestamps, weights, seqno) -> tuple:
+        """Partition one fused batch and enqueue the per-shard parts."""
+        parts = self._router.partition(values, timestamps, weights)
+        accepted = dropped = 0
+        for shard, part in enumerate(parts):
+            if part is None:
+                continue
+            got = self._workers[shard].submit(part[0], part[1], part[2], seqno)
+            accepted += got
+            dropped += len(part[0]) - got
+        return accepted, dropped
+
+    def _flush_stage_locked(self) -> None:
+        """Route everything staged (``_ingest_lock`` held)."""
+        if not self._stage:
+            return
+        if len(self._stage) == 1:
+            values, timestamps, weights = self._stage[0]
+        else:
+            values = np.concatenate([part[0] for part in self._stage])
+            timestamps = np.concatenate([part[1] for part in self._stage])
+            if all(part[2] is None for part in self._stage):
+                weights = None
+            else:
+                weights = np.concatenate(
+                    [
+                        np.ones(len(part[0]))
+                        if part[2] is None
+                        else np.asarray(part[2], dtype=float)
+                        for part in self._stage
+                    ]
+                )
+        self._stage.clear()
+        self._stage_items = 0
+        seqno = self._acked_seqno
+        self._route_and_submit(values, timestamps, weights, seqno)
+        self._submitted_seqno = seqno
+
+    def _flush_staged(self) -> None:
+        """Route any staged arrivals (no-op when staging is off or empty)."""
+        if self._stage_items:
+            with self._ingest_lock:
+                self._flush_stage_locked()
+
+    # -- consistency -------------------------------------------------------
+
+    def watermark(self) -> int:
+        """Largest seqno whose items every shard has fully applied.
+
+        Computed from per-shard (acked, applied) pairs: a shard lagging
+        behind its own acked seqno pins the watermark at what it *has*
+        applied; when no shard lags, the watermark is the global acked
+        seqno.  Reads are monotone-conservative under concurrency.
+        """
+        # read _submitted before _stage_items: _submitted only grows, so a
+        # concurrent stage flush can only make this floor conservative
+        submitted = self._submitted_seqno
+        floor = submitted if self._stage_items else self._acked_seqno
+        for worker in self._workers:
+            applied = worker.applied_seqno
+            if applied < worker.acked_seqno:
+                floor = min(floor, applied)
+        return floor
+
+    def wait_for(self, seqno: int, timeout: Optional[float] = None) -> bool:
+        """Block until the watermark reaches ``seqno``; False on timeout.
+
+        Raises :class:`ShardFailedError` immediately if a shard worker
+        died — its items will never apply, so the wait would never end.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self._flush_staged()
+        while True:
+            for worker in self._workers:
+                worker.raise_if_failed()
+            if self.watermark() >= seqno:
+                return True
+            # an explicit consistency point overrides min_drain_items
+            # group-commit; re-request each round in case new sub-batches
+            # arrived below threshold after the last drain
+            for worker in self._workers:
+                worker.request_drain()
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            with self._progress:
+                if self.watermark() >= seqno:
+                    return True
+                self._progress.wait(
+                    0.5 if remaining is None else min(remaining, 0.5)
+                )
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until everything acked so far is applied on every shard."""
+        return self.wait_for(self._acked_seqno, timeout)
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Drain, then force durable shards' WALs to stable storage."""
+        if not self.drain(timeout):
+            return False
+        if self.durable:
+            for worker in self._workers:
+                with worker.lock:
+                    worker.sketch.flush()
+        return True
+
+    # -- queries -----------------------------------------------------------
+
+    def _supports(self, method: str) -> bool:
+        return hasattr(self._workers[0].sketch, method)
+
+    def _owner(self, key) -> Optional[int]:
+        """Owning shard for ``key`` under hash partitioning, else None."""
+        if self._router.mode != "hash":
+            return None
+        return self._router.route(key)
+
+    def query(self, method: str, *args, combine="list", shard=None):
+        """Generic fan-out: ``method(*args)`` on shards, combined.
+
+        ``combine`` is a combiner name (``"sum"``, ``"any"``, ``"union"``,
+        ``"merge"``, ``"list"``) or a callable over the per-shard result
+        list; ``shard`` restricts the call to one shard.  Answers are
+        LRU-cached keyed by the ingest watermark.
+        """
+        return self._coordinator.query(method, *args, combine=combine, shard=shard)
+
+    def estimate_at(self, key, timestamp) -> float:
+        """ATTP point estimate of ``key`` at ``timestamp``.
+
+        Hash partitioning consults only the owning shard (its sub-stream
+        contains every occurrence of ``key``, so no cross-shard noise is
+        added); round-robin sums the per-shard estimates.
+        """
+        owner = self._owner(key)
+        if owner is not None:
+            return self.query("estimate_at", key, timestamp, shard=owner)
+        return self.query("estimate_at", key, timestamp, combine="sum")
+
+    def estimate_since(self, key, timestamp) -> float:
+        """BITP point estimate of ``key`` over the suffix since ``timestamp``."""
+        owner = self._owner(key)
+        if owner is not None:
+            return self.query("estimate_since", key, timestamp, shard=owner)
+        return self.query("estimate_since", key, timestamp, combine="sum")
+
+    def estimate_between(self, key, start, end) -> float:
+        """Back-in-time window estimate of ``key`` over ``[start, end]``."""
+        owner = self._owner(key)
+        if owner is not None:
+            return self.query("estimate_between", key, start, end, shard=owner)
+        return self.query("estimate_between", key, start, end, combine="sum")
+
+    def total_weight_at(self, timestamp) -> float:
+        """Global stream weight at ``timestamp`` (sum across shards)."""
+        return self.query("total_weight_at", timestamp, combine="sum")
+
+    def _combined_heavy_hitters(self, method: str, estimator, timestamp, threshold):
+        candidates = self.query(method, timestamp, threshold, combine="union")
+        if not candidates:
+            return []
+        if self._supports("total_weight_at") and method.endswith("_at"):
+            total = self.total_weight_at(timestamp)
+            if total > 0:
+                return combine_heavy_hitters(
+                    [candidates], estimator, threshold, total
+                )
+        return candidates
+
+    def heavy_hitters_at(self, timestamp, threshold) -> list:
+        """ATTP ``threshold``-heavy hitters at ``timestamp``.
+
+        Per-shard candidates are unioned — recall-preserving for any
+        partition, since a globally heavy key is heavy on at least one
+        shard — then, when the substrate can re-estimate, re-thresholded
+        against the *global* weight to discard shard-local noise.
+        """
+        return self._combined_heavy_hitters(
+            "heavy_hitters_at",
+            lambda key: self.estimate_at(key, timestamp),
+            timestamp,
+            threshold,
+        )
+
+    def heavy_hitters_since(self, timestamp, threshold) -> list:
+        """BITP ``threshold``-heavy hitters over the suffix since ``timestamp``."""
+        return self._combined_heavy_hitters(
+            "heavy_hitters_since",
+            lambda key: self.estimate_since(key, timestamp),
+            timestamp,
+            threshold,
+        )
+
+    def contains_at(self, key, timestamp) -> bool:
+        """ATTP membership: was ``key`` present in the prefix at ``timestamp``?"""
+        owner = self._owner(key)
+        if owner is not None:
+            return self.query("contains_at", key, timestamp, shard=owner)
+        return self.query("contains_at", key, timestamp, combine="any")
+
+    def contains_since(self, key, timestamp) -> bool:
+        """BITP membership over the suffix since ``timestamp``."""
+        owner = self._owner(key)
+        if owner is not None:
+            return self.query("contains_since", key, timestamp, shard=owner)
+        return self.query("contains_since", key, timestamp, combine="any")
+
+    def merged_sketch_at(self, timestamp):
+        """Cross-shard merged snapshot at ``timestamp`` (read-only)."""
+        return self._coordinator.merged_sketch_at(timestamp)
+
+    def merged_sketch_since(self, timestamp):
+        """Cross-shard merged suffix summary since ``timestamp`` (read-only)."""
+        return self._coordinator.merged_sketch_since(timestamp)
+
+    def quantile_at(self, timestamp, phi) -> float:
+        """ATTP ``phi``-quantile at ``timestamp`` via the merged snapshot."""
+        return self.merged_sketch_at(timestamp).quantile(phi)
+
+    def quantile_since(self, timestamp, phi) -> float:
+        """BITP ``phi``-quantile over the suffix since ``timestamp``."""
+        return self.merged_sketch_since(timestamp).quantile(phi)
+
+    def cardinality_at(self, timestamp) -> float:
+        """ATTP distinct-count estimate at ``timestamp`` (merged registers)."""
+        return self.merged_sketch_at(timestamp).estimate()
+
+    def cardinality_since(self, timestamp) -> float:
+        """BITP distinct-count estimate over the suffix since ``timestamp``."""
+        return self.merged_sketch_since(timestamp).estimate()
+
+    # -- introspection -----------------------------------------------------
+
+    def cache_info(self) -> dict:
+        """Coordinator answer-cache statistics."""
+        return self._coordinator.cache_info()
+
+    def stats(self) -> dict:
+        """Service-wide snapshot: seqnos, per-shard progress, cache, drops."""
+        shards = []
+        for worker in self._workers:
+            entry = {
+                "shard": worker.index,
+                "acked_seqno": worker.acked_seqno,
+                "applied_seqno": worker.applied_seqno,
+                "pending_items": worker.pending_items,
+                "items_applied": worker.items_applied,
+                "items_dropped": worker.items_dropped,
+                "failed": worker.failure is not None,
+            }
+            if self.durable and worker.failure is None:
+                with worker.lock:
+                    entry["durable"] = worker.sketch.stats()
+            shards.append(entry)
+        return {
+            "num_shards": self.num_shards,
+            "partition": self._router.mode,
+            "acked_seqno": self._acked_seqno,
+            "watermark": self.watermark(),
+            "staged_items": self._stage_items,
+            "durable": self.durable,
+            "cache": self.cache_info(),
+            "shards": shards,
+        }

@@ -1,0 +1,345 @@
+"""Per-shard ingest workers: bounded queues, batch draining, backpressure.
+
+Each :class:`ShardWorker` owns one sketch instance (plain, persistent, or
+:class:`~repro.durability.DurableSketch`) and one daemon thread.  Producers
+:meth:`submit` routed sub-batches; the worker drains *everything* pending on
+each wakeup, fuses the sub-batches into one array, and applies them through
+:func:`repro.core.apply_stream_batch` — the same replay-identical dispatch
+the WAL uses, so a durable shard logs one ``BATCH`` record per fused apply.
+This queue-coalescing is where the service's throughput comes from: arrival
+batches of a few hundred items fuse into applies of tens of thousands,
+amortising the per-batch fixed costs of the chain/sketch fast paths.
+
+Backpressure when the bounded queue is full is configurable:
+
+* ``"block"`` (default) — the producer waits for the worker to drain;
+* ``"drop"`` — the sub-batch is discarded and counted
+  (``service_backpressure_drops_total``);
+* ``"error"`` — :class:`BackpressureError` is raised to the producer.
+
+A worker that hits an ingest error (monotonicity violation, injected I/O
+fault, simulated crash) is *poisoned*: it stops, keeps the original
+exception, and every later submit/overlapping wait surfaces it as
+:class:`ShardFailedError` — no silent partial ingest.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core.base import apply_stream_batch
+from repro.telemetry.registry import TELEMETRY as _TEL
+
+BACKPRESSURE_POLICIES = ("block", "drop", "error")
+
+# Declared at import time so the docs-catalog lint sees the families even
+# before a service exists; per-shard children bind at worker construction.
+_TEL.registry.declare(
+    "service_ingest_items_total",
+    "counter",
+    "Items applied to shard sketches by ingest workers, by shard.",
+)
+_TEL.registry.declare(
+    "service_ingest_batches_total",
+    "counter",
+    "Fused batch applies performed by ingest workers, by shard.",
+)
+_TEL.registry.declare(
+    "service_queue_depth",
+    "gauge",
+    "Items currently queued ahead of a shard's worker, by shard.",
+)
+_TEL.registry.declare(
+    "service_backpressure_drops_total",
+    "counter",
+    "Items dropped by the drop backpressure policy, by shard.",
+)
+
+
+class BackpressureError(RuntimeError):
+    """Raised by the ``"error"`` policy when a shard queue is full."""
+
+
+class ShardFailedError(RuntimeError):
+    """A shard worker died mid-ingest; the original exception is chained."""
+
+    def __init__(self, shard: int, cause: BaseException):
+        super().__init__(f"shard {shard} failed during ingest: {cause!r}")
+        self.shard = shard
+        self.cause = cause
+
+
+class ShardWorker:
+    """One shard: a private sketch, a bounded queue, and an apply thread.
+
+    Parameters
+    ----------
+    index:
+        Shard number (used for telemetry labels and error messages).
+    sketch:
+        The shard's private sketch — anything :func:`apply_stream_batch`
+        accepts, including a ``DurableSketch`` wrapper.
+    capacity:
+        Maximum queued *items* (not sub-batches) before backpressure.
+    policy:
+        One of ``"block"``, ``"drop"``, ``"error"``.
+    max_drain_items:
+        Cap on items fused into a single apply, bounding both latency and
+        the size of a durable shard's WAL ``BATCH`` record.
+    min_drain_items:
+        Group-commit threshold: the worker sleeps until at least this many
+        items are queued, so each apply fuses a large batch even when
+        arrivals are small — the difference between arrival-sized and
+        storage-optimal applies on a busy service.  ``1`` (default) drains
+        as soon as anything is queued, for minimum latency.  The threshold
+        is never allowed to stall progress: :meth:`request_drain` (called
+        by the service's ``drain``/``wait_for``/``flush``), a blocking
+        producer, and :meth:`stop` all force a sub-threshold drain.
+    linger:
+        Seconds the worker waits after waking before draining (Kafka-style
+        ``linger.ms``); a time-based alternative to ``min_drain_items``.
+        ``0`` (default) drains immediately.
+    on_progress:
+        Optional callback invoked (outside locks) after the applied seqno
+        advances or the worker fails — the service uses it to wake
+        watermark waiters.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        sketch: Any,
+        *,
+        capacity: int = 8192,
+        policy: str = "block",
+        max_drain_items: int = 65536,
+        min_drain_items: int = 1,
+        linger: float = 0.0,
+        on_progress: Optional[Callable[[], None]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"policy must be one of {BACKPRESSURE_POLICIES}, got {policy!r}"
+            )
+        if max_drain_items < 1:
+            raise ValueError(f"max_drain_items must be >= 1, got {max_drain_items}")
+        if not 1 <= min_drain_items <= max_drain_items:
+            raise ValueError(
+                f"min_drain_items must be in [1, max_drain_items], "
+                f"got {min_drain_items}"
+            )
+        if linger < 0:
+            raise ValueError(f"linger must be >= 0, got {linger}")
+        self.index = index
+        self.sketch = sketch
+        self.capacity = capacity
+        self.policy = policy
+        self.max_drain_items = max_drain_items
+        self.min_drain_items = min_drain_items
+        self.linger = linger
+        self._drain_requested = False
+        self._on_progress = on_progress
+        #: Serialises sketch mutation against coordinator reads.
+        self.lock = threading.RLock()
+        self._cond = threading.Condition()
+        self._queue: deque = deque()
+        self._pending_items = 0
+        self._stopping = False
+        self.acked_seqno = 0
+        self.applied_seqno = 0
+        self.failure: Optional[BaseException] = None
+        self.items_applied = 0
+        self.items_dropped = 0
+        shard = str(index)
+        self._items_counter = _TEL.counter("service_ingest_items_total", shard=shard)
+        self._batches_counter = _TEL.counter(
+            "service_ingest_batches_total", shard=shard
+        )
+        self._depth_gauge = _TEL.gauge("service_queue_depth", shard=shard)
+        self._drops_counter = _TEL.counter(
+            "service_backpressure_drops_total", shard=shard
+        )
+        self._thread = threading.Thread(
+            target=self._run, name=f"shard-worker-{index}", daemon=True
+        )
+
+    # -- producer side -----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the apply thread (idempotent once)."""
+        self._thread.start()
+
+    def submit(self, values, timestamps, weights, seqno: int) -> int:
+        """Enqueue one routed sub-batch; returns the number of items accepted.
+
+        Advances this shard's acked seqno on acceptance.  Under the
+        ``"drop"`` policy a full queue returns ``0`` and counts the items;
+        ``"block"`` waits for capacity; ``"error"`` raises
+        :class:`BackpressureError`.  Capacity is a soft bound: a sub-batch
+        is always admitted into an *empty* queue, however large, so an
+        arrival batch bigger than the capacity can never deadlock a
+        blocking producer.
+        """
+        self.raise_if_failed()
+        n = len(values)
+        if n == 0:
+            return 0
+        with self._cond:
+            while (
+                self.policy == "block"
+                and self._pending_items > 0
+                and self._pending_items + n > self.capacity
+                and not self._stopping
+                and self.failure is None
+            ):
+                # a worker sitting below min_drain_items must not leave the
+                # producer stuck on a full queue
+                self._drain_requested = True
+                self._cond.notify_all()
+                self._cond.wait()
+            if self.failure is not None:
+                raise ShardFailedError(self.index, self.failure)
+            if self._stopping:
+                raise RuntimeError(f"shard {self.index} is stopped")
+            if self._pending_items > 0 and self._pending_items + n > self.capacity:
+                if self.policy == "drop":
+                    self.items_dropped += n
+                    if _TEL.enabled:
+                        self._drops_counter.inc(n)
+                    return 0
+                raise BackpressureError(
+                    f"shard {self.index} queue full "
+                    f"({self._pending_items}/{self.capacity} items)"
+                )
+            before = self._pending_items
+            self._queue.append((values, timestamps, weights, seqno))
+            self._pending_items += n
+            if seqno > self.acked_seqno:
+                self.acked_seqno = seqno
+            if _TEL.enabled:
+                self._depth_gauge.set(self._pending_items)
+            if before < self.min_drain_items <= self._pending_items:
+                # the worker only waits while the queue is below the drain
+                # threshold, so only the submit that crosses it needs to
+                # wake anyone — fewer context switches, and the worker
+                # drains larger fused batches
+                self._cond.notify_all()
+        return n
+
+    def raise_if_failed(self) -> None:
+        """Surface a worker-thread failure to the caller, if one happened."""
+        if self.failure is not None:
+            raise ShardFailedError(self.index, self.failure)
+
+    def request_drain(self) -> None:
+        """Ask the worker to apply everything queued, below threshold or not.
+
+        Used by the service's ``drain``/``wait_for``/``flush`` so that the
+        ``min_drain_items`` group-commit threshold never delays an explicit
+        consistency point.  The request clears once the queue is empty.
+        """
+        with self._cond:
+            self._drain_requested = True
+            self._cond.notify_all()
+
+    @property
+    def pending_items(self) -> int:
+        """Items currently queued (snapshot; racy by nature)."""
+        return self._pending_items
+
+    def stop(self) -> None:
+        """Ask the worker to drain its queue and exit, then join it."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._thread.is_alive():
+            self._thread.join()
+
+    # -- worker side -------------------------------------------------------
+
+    def _drain_locked(self):
+        """Pop up to ``max_drain_items`` worth of sub-batches (cond held)."""
+        parts = []
+        taken = 0
+        while self._queue and taken < self.max_drain_items:
+            values, timestamps, weights, seqno = self._queue.popleft()
+            parts.append((values, timestamps, weights, seqno))
+            taken += len(values)
+        self._pending_items -= taken
+        return parts, taken
+
+    @staticmethod
+    def _fuse(parts):
+        """Concatenate queued sub-batches into one (values, ts, weights)."""
+        if len(parts) == 1:
+            values, timestamps, weights, _ = parts[0]
+            return values, timestamps, weights
+        values = np.concatenate([part[0] for part in parts])
+        timestamps = np.concatenate([part[1] for part in parts])
+        if all(part[2] is None for part in parts):
+            weights = None
+        else:
+            weights = np.concatenate(
+                [
+                    np.ones(len(part[0])) if part[2] is None else np.asarray(part[2])
+                    for part in parts
+                ]
+            )
+        return values, timestamps, weights
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while (
+                    self._pending_items < self.min_drain_items
+                    and not self._stopping
+                    and not self._drain_requested
+                ):
+                    self._cond.wait()
+                if not self._queue:
+                    if self._stopping:
+                        return
+                    self._drain_requested = False
+                    continue
+                if self.linger > 0 and not self._stopping and not self._drain_requested:
+                    # group-commit: let producers stack more sub-batches
+                    # before draining (they do not re-notify past the
+                    # threshold, so this wait runs its full course or is
+                    # cut short by stop/request_drain)
+                    self._cond.wait(self.linger)
+                parts, taken = self._drain_locked()
+                if not self._queue:
+                    self._drain_requested = False
+                if _TEL.enabled:
+                    self._depth_gauge.set(self._pending_items)
+                self._cond.notify_all()  # wake blocked producers
+            values, timestamps, weights = self._fuse(parts)
+            last_seqno = parts[-1][3]
+            try:
+                with self.lock:
+                    apply_stream_batch(self.sketch, values, timestamps, weights)
+            except BaseException as exc:  # noqa: BLE001 — includes SimulatedCrash
+                with self._cond:
+                    self.failure = exc
+                    self._queue.clear()
+                    self._pending_items = 0
+                    self._cond.notify_all()
+                if self._on_progress is not None:
+                    self._on_progress()
+                return
+            self.items_applied += taken
+            if _TEL.enabled:
+                self._items_counter.inc(taken)
+                self._batches_counter.inc()
+            # single-writer field; producers wait on capacity (notified at
+            # drain time) and watermark waiters go through on_progress
+            if last_seqno > self.applied_seqno:
+                self.applied_seqno = last_seqno
+            if self._on_progress is not None:
+                self._on_progress()

@@ -70,6 +70,24 @@ class DyadicCountMin:
             _BATCHES.inc()
             _BATCH_ITEMS.inc(n)
 
+    def merge(self, other: "DyadicCountMin") -> None:
+        """Merge another hierarchy into this one, level by level.
+
+        Each level is a linear CountMin, so merging adds the tables cell-wise
+        and the result is counter-identical to having ingested both streams
+        into one hierarchy.  Requires an equal ``universe_bits``; per-level
+        width/depth/seed compatibility is enforced by
+        :meth:`CountMinSketch.merge`.
+        """
+        if self.universe_bits != other.universe_bits:
+            raise ValueError(
+                "cannot merge DyadicCountMin hierarchies over different universes: "
+                f"2**{self.universe_bits} vs 2**{other.universe_bits}"
+            )
+        for mine, theirs in zip(self.levels, other.levels):
+            mine.merge(theirs)
+        self.total_weight += other.total_weight
+
     def query(self, key: int) -> int:
         """Point estimate of ``key``'s total weight."""
         if _TEL.enabled:

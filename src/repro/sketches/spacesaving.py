@@ -96,6 +96,51 @@ class SpaceSaving:
             _QUERIES.inc()
         return self._counts.get(key, 0)
 
+    def merge(self, other: "SpaceSaving") -> None:
+        """Merge another summary into this one, keeping at most ``k`` entries.
+
+        Guarantee-preserving (the SpaceSaving analogue of the Misra-Gries
+        merge in Agarwal et al., 2013, via the MG isomorphism): a key absent
+        from one summary may still have occurred up to that summary's
+        minimum counter ``m`` times, so the merged entry credits ``m`` to
+        both its count and its error term — the overestimate invariant
+        ``f(x) <= f_hat(x)`` survives, and so does the lower bound
+        ``f_hat(x) - err(x) <= f(x)``.  Only the ``k`` largest merged
+        counts are retained; the additive error of any surviving key is at
+        most ``W1/k + W2/k = W/k``, i.e. the single-summary bound over the
+        combined stream.
+        """
+        if self.k != other.k:
+            raise ValueError(
+                f"cannot merge SpaceSaving summaries with k={self.k} and k={other.k}"
+            )
+        floor_self = min(self._counts.values()) if len(self._counts) >= self.k else 0
+        floor_other = min(other._counts.values()) if len(other._counts) >= other.k else 0
+        merged_counts: dict = {}
+        merged_errors: dict = {}
+        for key in set(self._counts) | set(other._counts):
+            count = error = 0
+            if key in self._counts:
+                count += self._counts[key]
+                error += self._errors[key]
+            else:
+                count += floor_self
+                error += floor_self
+            if key in other._counts:
+                count += other._counts[key]
+                error += other._errors[key]
+            else:
+                count += floor_other
+                error += floor_other
+            merged_counts[key] = count
+            merged_errors[key] = error
+        survivors = sorted(
+            merged_counts, key=lambda key: (-merged_counts[key], key)
+        )[: self.k]
+        self._counts = {key: merged_counts[key] for key in survivors}
+        self._errors = {key: merged_errors[key] for key in survivors}
+        self.total_weight += other.total_weight
+
     def guaranteed_count(self, key: int) -> int:
         """Lower bound on ``key``'s true count: estimate minus its error term."""
         if key not in self._counts:

@@ -26,9 +26,14 @@ go anywhere; histograms have fixed bucket upper bounds (``le`` semantics:
 an observation lands in the first bucket whose bound is >= the value) and
 report estimated p50/p95/p99 by linear interpolation within the bucket.
 
-Counters and gauges are deliberately lock-free: CPython's GIL makes the
-``+=`` on a float attribute safe enough for monitoring, and the hot path
-cannot afford a lock.  Registration takes a lock (it is rare and cold).
+Metrics are thread-safe: concurrent shard workers (``repro.service``)
+hammer the same counter children from many threads.  Counters use a
+*sharded-cell* fast path — each thread increments its own cell, so the hot
+``+=`` is a single-writer read-modify-write that cannot race, with no lock
+acquired after a thread's first increment.  Gauges and histograms mutate
+multiple fields per operation and take a per-child lock (their call sites
+are cold relative to per-item ingest).  Registration and child creation
+take locks too (rare and cold).
 """
 
 from __future__ import annotations
@@ -55,27 +60,57 @@ DEFAULT_LATENCY_BUCKETS = (
 
 
 class Counter:
-    """A monotonically increasing value (events, items, bytes)."""
+    """A monotonically increasing value (events, items, bytes).
 
-    __slots__ = ("value",)
+    Thread-safe via sharded cells: each thread increments its own slot in
+    ``_cells``, so the read-modify-write never races (single writer per
+    key, and each dict operation is atomic under the GIL).  A thread's
+    *first* increment, and reads, take the per-counter lock — inserts can
+    resize the dict, which must not happen under a concurrent read scan.
+    """
+
+    __slots__ = ("_cells", "_lock")
 
     def __init__(self):
-        self.value = 0.0
+        self._cells: Dict[int, float] = {}
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise ValueError(f"counters only go up, got inc({amount})")
-        self.value += amount
+        cells = self._cells
+        ident = threading.get_ident()
+        try:
+            cells[ident] += amount
+        except KeyError:
+            with self._lock:
+                cells[ident] = cells.get(ident, 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        """The counter's total across all threads."""
+        with self._lock:
+            return sum(self._cells.values())
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._cells.clear()
 
 
 class Gauge:
-    """A value that can go up and down (resident bytes, live segments)."""
+    """A value that can go up and down (resident bytes, live segments).
 
-    __slots__ = ("value",)
+    ``set`` is a single attribute store (atomic under the GIL);
+    ``inc``/``dec`` are read-modify-writes and take the per-gauge lock so
+    concurrent shard workers cannot lose deltas.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self):
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Set the gauge to ``value``."""
@@ -83,11 +118,16 @@ class Gauge:
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be negative) to the gauge."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         """Subtract ``amount`` from the gauge."""
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
 
 
 class Histogram:
@@ -97,9 +137,13 @@ class Histogram:
     implicit ``+inf`` bucket catches the overflow.  ``observe(v)`` lands in
     the first bucket whose bound is ``>= v`` (Prometheus ``le`` semantics,
     so an observation exactly on an edge belongs to that edge's bucket).
+
+    ``observe`` mutates three fields and takes the per-histogram lock, so
+    concurrent observers (fan-out query latencies from service threads)
+    cannot skew ``count`` against ``bucket_counts``.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "_lock")
 
     def __init__(self, bounds: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS):
         bounds = tuple(float(b) for b in bounds)
@@ -111,12 +155,20 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)  # last = +inf overflow
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.sum = 0.0
 
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile (0 <= q <= 1) by in-bucket interpolation.
@@ -180,17 +232,26 @@ class MetricFamily:
         self.help = help
         self.buckets = buckets
         self.children: Dict[Tuple[Tuple[str, str], ...], object] = {}
+        self._lock = threading.Lock()
 
     def labels(self, **labels: str):
-        """The child metric for this labelset, created on first use."""
+        """The child metric for this labelset, created on first use.
+
+        Creation is double-checked under the family lock so two threads
+        binding the same labelset get the *same* child — a lost child would
+        silently fork the metric.
+        """
         key = _label_key(labels)
         child = self.children.get(key)
         if child is None:
-            if self.kind == "histogram":
-                child = Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS)
-            else:
-                child = _KINDS[self.kind]()
-            self.children[key] = child
+            with self._lock:
+                child = self.children.get(key)
+                if child is None:
+                    if self.kind == "histogram":
+                        child = Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS)
+                    else:
+                        child = _KINDS[self.kind]()
+                    self.children[key] = child
         return child
 
     def samples(self) -> Iterator[Tuple[Dict[str, str], object]]:
@@ -285,12 +346,7 @@ class MetricsRegistry:
         with self._lock:
             for family in self._families.values():
                 for child in family.children.values():
-                    if isinstance(child, Histogram):
-                        child.bucket_counts = [0] * (len(child.bounds) + 1)
-                        child.count = 0
-                        child.sum = 0.0
-                    else:
-                        child.value = 0.0
+                    child._reset()
 
 
 class TelemetryControl:

@@ -20,6 +20,7 @@ from repro import (
     durability,
     evaluation,
     persistent,
+    service,
     sketches,
     telemetry,
     workloads,
@@ -32,6 +33,7 @@ PACKAGES = [
     durability,
     evaluation,
     persistent,
+    service,
     sketches,
     telemetry,
     workloads,
@@ -40,7 +42,7 @@ PACKAGES = [
 API_MD = pathlib.Path(__file__).resolve().parents[2] / "docs" / "API.md"
 
 # Modules whose entire __all__ must appear, by name, in docs/API.md.
-REFERENCE_COVERED = [repro, sketches, core, durability, telemetry]
+REFERENCE_COVERED = [repro, sketches, core, durability, service, telemetry]
 
 
 def public_objects():

@@ -21,6 +21,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
         "cardinality_and_membership.py",
         "crash_recovery.py",
         "observability_tour.py",
+        "sharded_service_tour.py",
     ],
 )
 def test_example_runs(script):

@@ -1,0 +1,127 @@
+"""Concurrent stress: many producers, queries mid-ingest, nothing lost.
+
+The CI ``service-stress`` job runs this module.  Producers hammer one
+service from several threads while a reader issues fan-out queries against
+moving watermarks; afterwards the applied state must account for every
+accepted item exactly (MisraGries totals are exact in ``total_weight``, and
+CountMin tables are linear, so sums are checkable).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointChain
+from repro.service import ShardedSketchService
+from repro.sketches import CountMinSketch
+from repro.telemetry.registry import TELEMETRY
+
+PRODUCERS = 4
+BATCHES_PER_PRODUCER = 40
+BATCH = 200
+
+
+def cm_factory():
+    return CheckpointChain(lambda: CountMinSketch(1024, 4, seed=1), eps=0.05)
+
+
+class TestConcurrentProducers:
+    def test_no_item_lost_under_contention(self):
+        service = ShardedSketchService(
+            cm_factory, num_shards=4, queue_capacity=1024, backpressure="block"
+        )
+        receipts = []
+        clock = {"now": 0.0}
+        clock_lock = threading.Lock()
+        barrier = threading.Barrier(PRODUCERS)
+
+        def produce(index):
+            rng = np.random.default_rng(index)
+            barrier.wait()
+            for _ in range(BATCHES_PER_PRODUCER):
+                keys = rng.integers(0, 500, size=BATCH)
+                with clock_lock:
+                    # per-shard timestamp monotonicity requires a total
+                    # arrival order, so producers share one logical clock
+                    timestamps = clock["now"] + np.arange(BATCH, dtype=float)
+                    clock["now"] += BATCH
+                    receipt = service.ingest_batch(keys, timestamps)
+                receipts.append(receipt)
+
+        threads = [
+            threading.Thread(target=produce, args=(index,))
+            for index in range(PRODUCERS)
+        ]
+        with service:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert service.drain(timeout=60)
+            total_expected = PRODUCERS * BATCHES_PER_PRODUCER * BATCH
+            assert sum(r.accepted for r in receipts) == total_expected
+            assert sum(r.dropped for r in receipts) == 0
+            stats = service.stats()
+            assert (
+                sum(s["items_applied"] for s in stats["shards"]) == total_expected
+            )
+            # CountMin is linear: the merged live table mass equals the
+            # number of applied items times the depth
+            merged = service.merged_sketch_at(float(10**9))
+            assert merged.total_weight == total_expected
+
+    def test_queries_run_against_moving_watermark(self):
+        service = ShardedSketchService(cm_factory, num_shards=4)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    watermark = service.watermark()
+                    merged = service.merged_sketch_at(float(10**9))
+                    # a merged snapshot never claims more weight than acked
+                    assert merged.total_weight <= service._acked_seqno * BATCH
+                    assert service.watermark() >= watermark  # monotone
+                except AssertionError as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+
+        thread = threading.Thread(target=reader)
+        with service:
+            # seed every shard before the reader starts so sketch_at
+            # always has at least one non-empty snapshot to merge
+            service.ingest_batch(np.arange(BATCH) % 200, np.full(BATCH, -1.0))
+            assert service.drain(timeout=30)
+            thread.start()
+            rng = np.random.default_rng(7)
+            for batch in range(60):
+                keys = rng.integers(0, 200, size=BATCH)
+                timestamps = np.full(BATCH, float(batch))
+                service.ingest_batch(keys, timestamps)
+            assert service.drain(timeout=60)
+            stop.set()
+            thread.join(timeout=30)
+        assert not failures
+
+    def test_stress_with_telemetry_enabled(self):
+        TELEMETRY.enable()
+        TELEMETRY.registry.reset()
+        try:
+            service = ShardedSketchService(cm_factory, num_shards=4)
+            with service:
+                rng = np.random.default_rng(3)
+                for batch in range(30):
+                    service.ingest_batch(
+                        rng.integers(0, 100, size=BATCH),
+                        np.full(BATCH, float(batch)),
+                    )
+                assert service.drain(timeout=60)
+                service.merged_sketch_at(1e9)
+            family = TELEMETRY.registry.get("service_ingest_items_total")
+            applied = sum(child.value for _, child in family.samples())
+            assert applied == 30 * BATCH
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.registry.reset()

@@ -1,0 +1,168 @@
+"""Property tests: K-shard service answers vs the single-shard baseline.
+
+The soundness claim behind the whole service layer (ISSUE 4 satellite): for
+a random stream and random query timestamps, a ``K``-shard service answer
+
+* is *identical* to the single-shard answer when the combine step is
+  deterministic (linear CountMin table addition at the live frontier, HLL
+  register-max union), and
+* stays within the *combined* error bound — base-sketch error plus the
+  persistence (checkpoint / merge-tree) slack over the whole stream —
+  otherwise,
+
+for both ATTP (prefix) and BITP (suffix) queries, under both partitioning
+modes.  Streams and timestamps are drawn by hypothesis.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ChainMisraGries, CheckpointChain, MergeTreePersistence
+from repro.sketches import CountMinSketch, HyperLogLog, KllSketch
+from repro.service import ShardedSketchService
+
+EPS_CHAIN = 0.05
+
+stream_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**32 - 1),
+        "n": st.integers(500, 2_000),
+        "universe": st.integers(20, 200),
+        "shards": st.integers(2, 4),
+        "fraction": st.floats(0.1, 0.95),
+    }
+)
+
+
+def make_stream(params):
+    rng = np.random.default_rng(params["seed"])
+    keys = (rng.zipf(1.4, size=params["n"]) % params["universe"]).astype(np.int64)
+    timestamps = np.sort(rng.uniform(0.0, 1000.0, size=params["n"]))
+    t = float(np.quantile(timestamps, params["fraction"]))
+    return keys, timestamps, t
+
+
+def run_service(factory, partition, shards, keys, timestamps):
+    service = ShardedSketchService(factory, shards, partition=partition)
+    with service:
+        for start in range(0, len(keys), 256):
+            service.ingest_batch(keys[start : start + 256], timestamps[start : start + 256])
+        assert service.drain(timeout=60)
+        yield service
+
+
+class TestCountMinAttp:
+    @given(params=stream_params)
+    @settings(max_examples=15, deadline=None)
+    def test_within_combined_bound_and_exact_at_frontier(self, params):
+        factory = lambda: CheckpointChain(
+            lambda: CountMinSketch(512, 4, seed=9), eps=EPS_CHAIN
+        )
+        keys, timestamps, t = make_stream(params)
+        for service in run_service(factory, "hash", params["shards"], keys, timestamps):
+            w_t = int((timestamps <= t).sum())
+            eps_cm = np.e / 512
+            for key in np.unique(keys)[:10]:
+                true = int(((keys == key) & (timestamps <= t)).sum())
+                merged = service.merged_sketch_at(t).query(int(key))
+                # combined bound: CountMin overestimate + checkpoint slack
+                assert true - EPS_CHAIN * w_t - 1e-9 <= merged
+                assert merged <= true + eps_cm * w_t + EPS_CHAIN * w_t + 1e-9
+            # deterministic at the live frontier: linear tables add exactly
+            single = CountMinSketch(512, 4, seed=9)
+            single.update_batch(keys)
+            frontier = service.merged_sketch_at(float(timestamps[-1]))
+            for key in np.unique(keys)[:10]:
+                assert frontier.query(int(key)) == single.query(int(key))
+
+
+class TestCountMinBitp:
+    @given(params=stream_params)
+    @settings(max_examples=10, deadline=None)
+    def test_merge_tree_suffix_within_bound(self, params):
+        factory = lambda: MergeTreePersistence(
+            lambda: CountMinSketch(512, 4, seed=3), eps=EPS_CHAIN, mode="bitp",
+            block_size=32,
+        )
+        keys, timestamps, t = make_stream(params)
+        for service in run_service(factory, "hash", params["shards"], keys, timestamps):
+            suffix = keys[timestamps >= t]
+            merged = service.merged_sketch_since(t)
+            eps_cm = np.e / 512
+            n = len(keys)
+            for key in np.unique(keys)[:10]:
+                true = int((suffix == key).sum())
+                estimate = merged.query(int(key))
+                # suffix summary may cover up to eps*n extra items before t
+                # and carries CountMin overestimate on what it covers
+                assert estimate >= true - 1e-9
+                assert estimate <= true + eps_cm * n + EPS_CHAIN * n + 1e-9
+
+
+class TestMisraGriesAttp:
+    @given(params=stream_params)
+    @settings(max_examples=10, deadline=None)
+    def test_estimates_and_recall_within_combined_bound(self, params):
+        eps_mg = 0.01
+        factory = lambda: ChainMisraGries(eps=eps_mg)
+        keys, timestamps, t = make_stream(params)
+        for service in run_service(factory, "hash", params["shards"], keys, timestamps):
+            prefix = keys[timestamps <= t]
+            w_t = prefix.size
+            counts = np.bincount(prefix, minlength=params["universe"])
+            for key in np.unique(keys)[:10]:
+                estimate = service.estimate_at(int(key), t)
+                # owner shard holds every occurrence of the key; MG error is
+                # eps*W_shard <= eps*W, checkpointing adds another eps*W
+                assert estimate <= counts[key] + 1e-9
+                assert estimate >= counts[key] - 2 * eps_mg * w_t - len(keys) * 1e-12
+            phi = 0.1
+            truth = {
+                int(k)
+                for k in range(params["universe"])
+                if counts[k] >= (phi + 2 * eps_mg) * max(w_t, 1)
+            }
+            reported = {int(k) for k in service.heavy_hitters_at(t, phi)}
+            assert truth <= reported
+
+
+class TestHyperLogLog:
+    @given(params=stream_params)
+    @settings(max_examples=10, deadline=None)
+    def test_register_union_identical_at_frontier(self, params):
+        factory = lambda: CheckpointChain(lambda: HyperLogLog(p=10), eps=EPS_CHAIN)
+        keys, timestamps, t = make_stream(params)
+        for service in run_service(
+            factory, "round_robin", params["shards"], keys, timestamps
+        ):
+            # deterministic merge: register-wise max equals the single-shard
+            # registers exactly, for any partition of the stream
+            single = HyperLogLog(p=10)
+            single.update_batch(keys)
+            frontier = service.merged_sketch_at(float(timestamps[-1]))
+            assert np.array_equal(frontier._registers, single._registers)
+            assert frontier.estimate() == single.estimate()
+            # at a random t the snapshot lags by at most the checkpoint
+            # slack, so the estimate is bounded by the frontier's
+            assert service.cardinality_at(t) <= single.estimate() * 1.3 + 10
+
+
+class TestKllQuantiles:
+    @given(params=stream_params)
+    @settings(max_examples=10, deadline=None)
+    def test_merged_quantile_within_combined_rank_error(self, params):
+        factory = lambda: CheckpointChain(lambda: KllSketch(k=200), eps=EPS_CHAIN)
+        keys, timestamps, t = make_stream(params)
+        for service in run_service(
+            factory, "round_robin", params["shards"], keys, timestamps
+        ):
+            prefix = np.sort(keys[timestamps <= t])
+            if prefix.size < 20:
+                return
+            phi = 0.5
+            answer = service.quantile_at(t, phi)
+            # rank of the answer in the true prefix must be within the
+            # combined (KLL + checkpoint-slack) rank error of phi
+            rank = np.searchsorted(prefix, answer, side="right") / prefix.size
+            assert abs(rank - phi) <= 0.05 + 2 * EPS_CHAIN + 10.0 / prefix.size

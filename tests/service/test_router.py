@@ -1,0 +1,104 @@
+"""Shard router: determinism, scalar/batch agreement, stable partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.service import ShardRouter
+
+
+class TestHashRouting:
+    def test_scalar_and_batch_agree(self):
+        router = ShardRouter(5, mode="hash", seed=7)
+        keys = np.random.default_rng(0).integers(-1000, 1000, size=500)
+        batch = router.shards_of(keys)
+        scalar = [router.route(int(key)) for key in keys]
+        assert batch.tolist() == scalar
+
+    def test_deterministic_across_instances(self):
+        a = ShardRouter(8, mode="hash", seed=3)
+        b = ShardRouter(8, mode="hash", seed=3)
+        keys = np.arange(1000)
+        assert np.array_equal(a.shards_of(keys), b.shards_of(keys))
+
+    def test_seed_changes_placement(self):
+        keys = np.arange(2000)
+        a = ShardRouter(4, mode="hash", seed=0).shards_of(keys)
+        b = ShardRouter(4, mode="hash", seed=1).shards_of(keys)
+        assert not np.array_equal(a, b)
+
+    def test_placement_roughly_balanced(self):
+        router = ShardRouter(4, mode="hash", seed=0)
+        shards = router.shards_of(np.arange(40_000))
+        counts = np.bincount(shards, minlength=4)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_same_key_same_shard(self):
+        router = ShardRouter(4, mode="hash", seed=0)
+        assert len({router.route(42) for _ in range(10)}) == 1
+
+
+class TestRoundRobin:
+    def test_cycles_through_shards(self):
+        router = ShardRouter(3, mode="round_robin")
+        assert [router.route(99) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_batch_continues_cursor(self):
+        router = ShardRouter(3, mode="round_robin")
+        router.route(0)  # cursor -> 1
+        shards = router.shards_of(np.zeros(5))
+        assert shards.tolist() == [1, 2, 0, 1, 2]
+        assert router.route(0) == 0
+
+    def test_counts_balanced_exactly(self):
+        router = ShardRouter(4, mode="round_robin")
+        shards = router.shards_of(np.zeros(4000))
+        assert np.bincount(shards, minlength=4).tolist() == [1000] * 4
+
+
+class TestPartition:
+    def test_partition_preserves_order_and_items(self):
+        router = ShardRouter(4, mode="hash", seed=1)
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 100, size=1000)
+        timestamps = np.sort(rng.uniform(0, 10, size=1000))
+        weights = rng.integers(1, 5, size=1000)
+        parts = router.partition(values, timestamps, weights)
+        total = 0
+        for shard, part in enumerate(parts):
+            if part is None:
+                continue
+            part_values, part_ts, part_weights = part
+            total += part_values.size
+            # every item routed to its shard, in arrival (so monotone) order
+            assert np.all(router.shards_of(part_values) == shard)
+            assert np.all(np.diff(part_ts) >= 0)
+            assert part_weights.size == part_values.size
+        assert total == 1000
+
+    def test_partition_without_weights(self):
+        router = ShardRouter(2, mode="round_robin")
+        parts = router.partition([1, 2, 3], [0.0, 1.0, 2.0])
+        assert parts[0][2] is None and parts[1][2] is None
+        assert parts[0][0].tolist() == [1, 3]
+        assert parts[1][0].tolist() == [2]
+
+    def test_partition_empty(self):
+        router = ShardRouter(3, mode="hash")
+        assert router.partition([], []) == [None, None, None]
+
+    def test_partition_length_mismatch(self):
+        router = ShardRouter(2, mode="hash")
+        with pytest.raises(ValueError):
+            router.partition([1, 2], [0.0])
+        with pytest.raises(ValueError):
+            router.partition([1, 2], [0.0, 1.0], [1])
+
+
+class TestValidation:
+    def test_rejects_bad_num_shards(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, mode="range")

@@ -1,0 +1,253 @@
+"""Kill-point crash tests for the durably-configured sharded service.
+
+The acceptance bar (ISSUE 4): killing a 4-shard durable service mid-ingest
+and recovering it must reproduce the exact pre-crash answers at every acked
+watermark.  The shard sketch here is ``ChainCountMin``, chosen because its
+state is *batching-invariant* (the batch path is a scalar loop) and its ATTP
+answers are *append-stable* (cell histories are append-only, so an answer at
+time ``t`` never changes once recorded) — which makes "exact pre-crash
+answers" directly checkable:
+
+* during ingest, after every durable flush, we record the service's answers
+  at past timestamps; after crash + recovery those answers must match
+  exactly;
+* after recovery, every shard's sketch must be state-identical to a
+  never-crashed replay of the recovered prefix of that shard's sub-stream
+  (the router is deterministic, so sub-streams are reconstructable
+  offline);
+* no durably-acknowledged item may be lost (``fsync_policy="always"``).
+
+Kill points sweep every filesystem-op category of a traced clean run
+(WAL appends/fsyncs, snapshot writes/renames/dirsyncs, manifest writes),
+each in before/after (and torn, for writes) crash modes.  Marked ``crash``
+for the CI service-stress job; also runs in the plain tier-1 suite.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ChainCountMin
+from repro.durability import FaultPlan, FaultyFilesystem, SimulatedCrash, read_manifest
+from repro.service import ShardFailedError, ShardRouter, ShardedSketchService
+
+pytestmark = pytest.mark.crash
+
+N_ITEMS = 4_000
+UNIVERSE = 61
+NUM_SHARDS = 4
+SEED = 13
+ARRIVAL_BATCH = 125
+SNAPSHOT_EVERY = 600
+SEGMENT_BYTES = 32 * 1024
+PROBE_KEYS = tuple(range(0, UNIVERSE, 6))
+
+
+def factory():
+    return ChainCountMin(width=512, depth=3, eps_ckpt=0.002, seed=5)
+
+
+def stream():
+    keys = np.array([(i * i) % UNIVERSE for i in range(N_ITEMS)], dtype=np.int64)
+    timestamps = np.arange(N_ITEMS, dtype=float)
+    return keys, timestamps
+
+
+def durable_options():
+    return {
+        "fsync_policy": "always",
+        "snapshot_every": SNAPSHOT_EVERY,
+        "segment_bytes": SEGMENT_BYTES,
+    }
+
+
+def build_service(directory, fs=None):
+    return ShardedSketchService(
+        factory,
+        NUM_SHARDS,
+        seed=SEED,
+        directory=directory,
+        fs=fs,
+        durable_options=durable_options(),
+    )
+
+
+def shard_substreams():
+    """Offline reconstruction of each shard's sub-stream (router is pure)."""
+    keys, timestamps = stream()
+    router = ShardRouter(NUM_SHARDS, mode="hash", seed=SEED)
+    shards = router.shards_of(keys)
+    return [
+        (keys[shards == shard], timestamps[shards == shard])
+        for shard in range(NUM_SHARDS)
+    ]
+
+
+def probe_answers(service, up_to_time):
+    """Owner-routed estimates at past timestamps (append-stable answers)."""
+    times = [up_to_time * f for f in (0.25, 0.5, 1.0)]
+    return {
+        (key, t): service.estimate_at(key, t) for key in PROBE_KEYS for t in times
+    }
+
+
+def settle_healthy_shards(service, timeout=30.0):
+    """Wait until every non-failed shard has applied everything it acked."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        lagging = [
+            worker
+            for worker in service._workers
+            if worker.failure is None and worker.applied_seqno < worker.acked_seqno
+        ]
+        if not lagging:
+            return
+        time.sleep(0.01)
+    raise AssertionError("healthy shards did not settle")
+
+
+def crashy_ingest(directory, fs):
+    """Ingest under a fault plan.  Returns (constructed, flush_checkpoints,
+    per-shard applied item counts); the SimulatedCrash, if any, has been
+    absorbed into a poisoned shard or caught here."""
+    keys, timestamps = stream()
+    checkpoints = []
+    try:
+        service = build_service(directory, fs=fs)
+    except SimulatedCrash:
+        return False, checkpoints, None
+    try:
+        for start in range(0, N_ITEMS, ARRIVAL_BATCH):
+            service.ingest_batch(
+                keys[start : start + ARRIVAL_BATCH],
+                timestamps[start : start + ARRIVAL_BATCH],
+            )
+            if (start // ARRIVAL_BATCH) % 8 == 7:
+                if not service.flush(timeout=30):
+                    break
+                # everything flushed is durable: record answers at *past*
+                # times, which ChainCountMin never revises
+                checkpoints.append(probe_answers(service, float(start)))
+    except (ShardFailedError, SimulatedCrash):
+        pass
+    settle_healthy_shards(service)
+    applied = [worker.items_applied for worker in service._workers]
+    # hard kill: stop worker threads but never close the stores (no final
+    # snapshot, no WAL release) — recovery must work from WAL + snapshots
+    for worker in service._workers:
+        try:
+            worker.stop()
+        except Exception:
+            pass
+    applied = [worker.items_applied for worker in service._workers]
+    return True, checkpoints, applied
+
+
+def trace_ops(tmp_path):
+    fs = FaultyFilesystem()
+    constructed, _, _ = crashy_ingest(tmp_path / "trace", fs)
+    assert constructed
+    return fs.ops
+
+
+def category(label):
+    kind, _, name = label.partition(":")
+    if name.startswith("wal-"):
+        return f"{kind}:wal"
+    if name.startswith("snapshot-"):
+        return f"{kind}:snapshot"
+    return kind
+
+
+def kill_points(ops):
+    by_category = {}
+    for op in ops:
+        by_category.setdefault(category(op.label), []).append(op.index)
+    points = []
+    for cat, indices in sorted(by_category.items()):
+        chosen = sorted({indices[0], indices[len(indices) // 2], indices[-1]})
+        writes = cat.startswith(("append", "write"))
+        modes = ("before", "after", "torn") if writes else ("before", "after")
+        for index in chosen[:2]:  # two points per category keeps the sweep fast
+            for mode in modes:
+                points.append(pytest.param(index, mode, id=f"{cat}-op{index}-{mode}"))
+    return points
+
+
+_OPS = None
+
+
+def service_kill_points():
+    global _OPS
+    if _OPS is None:
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as scratch:
+            _OPS = trace_ops(Path(scratch))
+    return kill_points(_OPS)
+
+
+def assert_recovered_matches_reference(directory, applied, checkpoints):
+    recovered = ShardedSketchService.open(factory, directory, durable_options=durable_options())
+    try:
+        substreams = shard_substreams()
+        for shard in range(NUM_SHARDS):
+            sketch = recovered._workers[shard].sketch.sketch  # unwrap DurableSketch
+            n_k = sketch.count
+            sub_keys, sub_ts = substreams[shard]
+            if applied is not None:
+                # log-then-apply + fsync always: nothing applied is lost, and
+                # at most what was logged-but-unapplied may additionally show
+                assert applied[shard] <= n_k <= sub_keys.size
+            # state-identical to a never-crashed replay of the same prefix
+            reference = factory()
+            reference.update_batch(sub_keys[:n_k], sub_ts[:n_k])
+            assert np.array_equal(sketch._cm.counters(), reference._cm.counters())
+            assert sketch.num_checkpoints() == reference.num_checkpoints()
+            for key in PROBE_KEYS:
+                for t in (N_ITEMS * 0.25, N_ITEMS * 0.9):
+                    assert sketch.estimate_at(key, t) == reference.estimate_at(key, t)
+        # every durably-acked watermark's recorded answers reproduce exactly
+        for recorded in checkpoints:
+            for (key, t), value in recorded.items():
+                assert recovered.estimate_at(key, t) == value
+    finally:
+        recovered.close(force=True)
+
+
+class TestShardedKillPointSweep:
+    @pytest.mark.parametrize("crash_at,mode", service_kill_points())
+    def test_recovery_reproduces_prefix(self, tmp_path, crash_at, mode):
+        directory = tmp_path / "state"
+        fs = FaultyFilesystem(FaultPlan(crash_at=crash_at, crash_mode=mode))
+        constructed, checkpoints, applied = crashy_ingest(directory, fs)
+        if not constructed or read_manifest(directory) is None:
+            # crashed before the manifest landed: nothing durable exists yet
+            return
+        assert_recovered_matches_reference(directory, applied, checkpoints)
+
+
+class TestRecoverAndContinue:
+    def test_recovered_service_keeps_ingesting(self, tmp_path):
+        directory = tmp_path / "state"
+        # op 40 is early enough to exist in any run (queue fusing makes the
+        # exact op count vary); "after" fires on every op kind
+        fs = FaultyFilesystem(FaultPlan(crash_at=40, crash_mode="after"))
+        constructed, checkpoints, applied = crashy_ingest(directory, fs)
+        assert constructed and fs.crashed
+        assert_recovered_matches_reference(directory, applied, checkpoints)
+        resumed = ShardedSketchService.open(
+            factory, directory, durable_options=durable_options()
+        )
+        with resumed:
+            before = resumed.estimate_at(1, float(2 * N_ITEMS))
+            extra = np.full(400, 1, dtype=np.int64)
+            resumed.ingest_batch(extra, np.arange(N_ITEMS, N_ITEMS + 400, dtype=float))
+            assert resumed.flush(timeout=30)
+            after = resumed.estimate_at(1, float(2 * N_ITEMS))
+            # cell histories record only on eps_ckpt * W growth, so the
+            # estimate may lag the truth by that slack
+            slack = 0.002 * (N_ITEMS + 400) + 1
+            assert after >= before + 400 - slack

@@ -1,0 +1,286 @@
+"""Shard workers: queue draining, backpressure policies, failure poisoning."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.service import BackpressureError, ShardFailedError, ShardWorker
+from repro.sketches import CountMinSketch
+
+
+class RecordingSketch:
+    """Test double: records every fused apply it receives."""
+
+    def __init__(self):
+        self.applies = []
+        self.items = []
+
+    def update(self, value, timestamp, weight=1.0):
+        self.items.append((value, timestamp, weight))
+
+    def update_batch(self, values, timestamps, weights=None):
+        self.applies.append((np.asarray(values).copy(), np.asarray(timestamps).copy()))
+        for index, value in enumerate(np.asarray(values).tolist()):
+            weight = 1.0 if weights is None else float(np.asarray(weights)[index])
+            self.items.append((value, float(np.asarray(timestamps)[index]), weight))
+
+
+class FailingSketch:
+    """Test double: raises after a set number of batch applies."""
+
+    def __init__(self, after):
+        self.after = after
+        self.calls = 0
+
+    def update(self, value, timestamp, weight=1.0):
+        raise AssertionError("scalar path unused")
+
+    def update_batch(self, values, timestamps, weights=None):
+        self.calls += 1
+        if self.calls > self.after:
+            raise RuntimeError("boom")
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+def make_worker(sketch, **kwargs):
+    worker = ShardWorker(0, sketch, **kwargs)
+    worker.start()
+    return worker
+
+
+class TestDrainAndSeqnos:
+    def test_all_items_applied_in_order(self):
+        sketch = RecordingSketch()
+        worker = make_worker(sketch)
+        for seqno in range(1, 21):
+            values = np.arange(seqno * 10, seqno * 10 + 5)
+            worker.submit(values, np.full(5, float(seqno)), None, seqno)
+        assert wait_until(lambda: worker.applied_seqno == 20)
+        worker.stop()
+        applied_values = [item[0] for item in sketch.items]
+        expected = [v for s in range(1, 21) for v in range(s * 10, s * 10 + 5)]
+        assert applied_values == expected
+        assert worker.items_applied == 100
+
+    def test_queued_subbatches_fuse_into_one_apply(self):
+        sketch = RecordingSketch()
+        worker = ShardWorker(0, sketch)  # not started: queue accumulates
+        for seqno in range(1, 11):
+            worker.submit(np.array([seqno]), np.array([float(seqno)]), None, seqno)
+        worker.start()
+        assert wait_until(lambda: worker.applied_seqno == 10)
+        worker.stop()
+        assert len(sketch.applies) == 1
+        assert sketch.applies[0][0].tolist() == list(range(1, 11))
+
+    def test_max_drain_items_caps_fused_batch(self):
+        sketch = RecordingSketch()
+        worker = ShardWorker(0, sketch, max_drain_items=3)
+        for seqno in range(1, 7):
+            worker.submit(np.array([seqno]), np.array([float(seqno)]), None, seqno)
+        worker.start()
+        assert wait_until(lambda: worker.applied_seqno == 6)
+        worker.stop()
+        assert all(len(values) <= 3 for values, _ in sketch.applies)
+
+    def test_stop_drains_pending_items(self):
+        sketch = RecordingSketch()
+        worker = ShardWorker(0, sketch)
+        for seqno in range(1, 6):
+            worker.submit(np.array([seqno]), np.array([float(seqno)]), None, seqno)
+        worker.start()
+        worker.stop()
+        assert worker.applied_seqno == 5
+        assert len(sketch.items) == 5
+
+    def test_weighted_and_unweighted_subbatches_fuse(self):
+        sketch = RecordingSketch()
+        worker = ShardWorker(0, sketch)
+        worker.submit(np.array([1]), np.array([1.0]), None, 1)
+        worker.submit(np.array([2]), np.array([2.0]), np.array([3.0]), 2)
+        worker.start()
+        worker.stop()
+        assert sketch.items == [(1, 1.0, 1.0), (2, 2.0, 3.0)]
+
+
+class TestBackpressure:
+    def test_block_policy_waits_for_capacity(self):
+        sketch = RecordingSketch()
+        worker = ShardWorker(0, sketch, capacity=10, policy="block")
+        worker.submit(np.arange(10), np.zeros(10), None, 1)
+        accepted = []
+
+        def producer():
+            accepted.append(worker.submit(np.arange(5), np.zeros(5), None, 2))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert thread.is_alive()  # blocked: queue is full
+        worker.start()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert accepted == [5]
+        worker.stop()
+        assert worker.items_applied == 15
+
+    def test_drop_policy_counts_dropped_items(self):
+        sketch = RecordingSketch()
+        worker = ShardWorker(0, sketch, capacity=10, policy="drop")
+        assert worker.submit(np.arange(10), np.zeros(10), None, 1) == 10
+        assert worker.submit(np.arange(5), np.zeros(5), None, 2) == 0
+        assert worker.items_dropped == 5
+        assert worker.acked_seqno == 1  # dropped call did not ack
+        worker.start()
+        worker.stop()
+        assert worker.items_applied == 10
+
+    def test_error_policy_raises(self):
+        worker = ShardWorker(0, RecordingSketch(), capacity=10, policy="error")
+        worker.submit(np.arange(10), np.zeros(10), None, 1)
+        with pytest.raises(BackpressureError):
+            worker.submit(np.arange(1), np.zeros(1), None, 2)
+        worker.start()
+        worker.stop()
+
+    def test_oversized_subbatch_admitted_when_queue_empty(self):
+        # capacity is a soft bound: an empty queue accepts any sub-batch,
+        # so an arrival batch larger than capacity cannot deadlock
+        worker = ShardWorker(0, RecordingSketch(), capacity=4, policy="drop")
+        assert worker.submit(np.arange(8), np.zeros(8), None, 1) == 8
+        assert worker.submit(np.arange(2), np.zeros(2), None, 2) == 0  # now full
+        worker.start()
+        worker.stop()
+        assert worker.items_applied == 8
+
+
+class TestFailurePoisoning:
+    def test_failure_captured_and_submit_raises(self):
+        sketch = FailingSketch(after=1)
+        worker = make_worker(sketch)
+        worker.submit(np.array([1]), np.array([1.0]), None, 1)
+        assert wait_until(lambda: worker.applied_seqno == 1)
+        worker.submit(np.array([2]), np.array([2.0]), None, 2)
+        assert wait_until(lambda: worker.failure is not None)
+        with pytest.raises(ShardFailedError) as excinfo:
+            worker.submit(np.array([3]), np.array([3.0]), None, 3)
+        assert excinfo.value.shard == 0
+        assert isinstance(excinfo.value.cause, RuntimeError)
+        worker.stop()
+
+    def test_blocked_producer_released_on_failure(self):
+        sketch = FailingSketch(after=0)
+        worker = ShardWorker(0, sketch, capacity=4, policy="block")
+        worker.submit(np.arange(4), np.zeros(4), None, 1)
+        results = []
+
+        def producer():
+            try:
+                worker.submit(np.arange(2), np.zeros(2), None, 2)
+                results.append("accepted")
+            except ShardFailedError:
+                results.append("failed")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        worker.start()  # first apply fails -> producer must wake with the error
+        thread.join(timeout=10)
+        assert results == ["failed"]
+        worker.stop()
+
+    def test_monotone_violation_poisons_worker(self):
+        from repro.core import CheckpointChain, MonotoneViolation
+        from repro.sketches import CountMinSketch as CMS
+
+        worker = make_worker(CheckpointChain(lambda: CMS(64, 2), eps=0.1))
+        worker.submit(np.array([1]), np.array([5.0]), None, 1)
+        worker.submit(np.array([2]), np.array([1.0]), None, 2)  # goes backwards
+        assert wait_until(lambda: worker.failure is not None)
+        assert isinstance(worker.failure, MonotoneViolation)
+        worker.stop()
+
+
+class TestGroupCommit:
+    def test_min_drain_items_holds_until_threshold(self):
+        sketch = RecordingSketch()
+        worker = make_worker(sketch, min_drain_items=10)
+        for seqno in range(1, 10):  # 9 items: below threshold
+            worker.submit(np.array([seqno]), np.array([float(seqno)]), None, seqno)
+        time.sleep(0.05)
+        assert worker.applied_seqno == 0  # worker still asleep
+        worker.submit(np.array([10]), np.array([10.0]), None, 10)  # crosses
+        assert wait_until(lambda: worker.applied_seqno == 10)
+        worker.stop()
+        assert len(sketch.applies) == 1  # one fused group commit
+        assert sketch.applies[0][0].tolist() == list(range(1, 11))
+
+    def test_request_drain_forces_subthreshold_apply(self):
+        sketch = RecordingSketch()
+        worker = make_worker(sketch, min_drain_items=1000)
+        worker.submit(np.arange(5), np.zeros(5), None, 1)
+        time.sleep(0.05)
+        assert worker.applied_seqno == 0
+        worker.request_drain()
+        assert wait_until(lambda: worker.applied_seqno == 1)
+        worker.stop()
+        assert worker.items_applied == 5
+
+    def test_stop_drains_below_threshold(self):
+        sketch = RecordingSketch()
+        worker = make_worker(sketch, min_drain_items=1000)
+        worker.submit(np.arange(3), np.zeros(3), None, 1)
+        worker.stop()
+        assert worker.items_applied == 3
+
+    def test_blocked_producer_forces_subthreshold_drain(self):
+        # queue full but below min_drain_items: the blocking producer must
+        # not deadlock against a sleeping worker
+        sketch = RecordingSketch()
+        worker = make_worker(
+            sketch, capacity=10, policy="block", min_drain_items=1000
+        )
+        worker.submit(np.arange(10), np.zeros(10), None, 1)
+        worker.submit(np.arange(5), np.zeros(5), None, 2)  # blocks, then drains
+        assert wait_until(lambda: worker.items_applied >= 10)
+        worker.stop()  # stop flushes the still-below-threshold tail
+        assert worker.items_applied == 15
+
+    def test_linger_delays_then_fuses(self):
+        sketch = RecordingSketch()
+        worker = make_worker(sketch, linger=0.2)
+        worker.submit(np.array([1]), np.array([1.0]), None, 1)
+        time.sleep(0.02)  # worker woke, now lingering
+        worker.submit(np.array([2]), np.array([2.0]), None, 2)
+        assert wait_until(lambda: worker.applied_seqno == 2)
+        worker.stop()
+        assert len(sketch.applies) == 1  # both arrivals fused by the linger
+        assert sketch.applies[0][0].tolist() == [1, 2]
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ShardWorker(0, CountMinSketch(16, 2), capacity=0)
+        with pytest.raises(ValueError):
+            ShardWorker(0, CountMinSketch(16, 2), policy="spill")
+        with pytest.raises(ValueError):
+            ShardWorker(0, CountMinSketch(16, 2), max_drain_items=0)
+        with pytest.raises(ValueError):
+            ShardWorker(0, CountMinSketch(16, 2), min_drain_items=0)
+        with pytest.raises(ValueError):
+            ShardWorker(
+                0, CountMinSketch(16, 2), max_drain_items=8, min_drain_items=9
+            )
+        with pytest.raises(ValueError):
+            ShardWorker(0, CountMinSketch(16, 2), linger=-0.1)

@@ -59,3 +59,45 @@ class TestDyadicCountMin:
         dy = DyadicCountMin(universe_bits=4, width=16, depth=2)
         per_level = 16 * 2 * 8
         assert dy.memory_bytes() == per_level * 5  # levels 0..4
+
+
+class TestDyadicMerge:
+    def test_merge_counter_identical_to_single_stream(self):
+        rng = np.random.default_rng(20)
+        keys = rng.integers(0, 256, size=4_000)
+        split = 2_500
+        single = DyadicCountMin(universe_bits=8, width=256, depth=4, seed=7)
+        left = DyadicCountMin(universe_bits=8, width=256, depth=4, seed=7)
+        right = DyadicCountMin(universe_bits=8, width=256, depth=4, seed=7)
+        single.update_batch(keys)
+        left.update_batch(keys[:split])
+        right.update_batch(keys[split:])
+        left.merge(right)
+        assert left.total_weight == single.total_weight
+        for merged_level, single_level in zip(left.levels, single.levels):
+            assert np.array_equal(merged_level._table, single_level._table)
+
+    def test_merge_preserves_range_sums_and_hitters(self):
+        rng = np.random.default_rng(21)
+        keys = np.concatenate([rng.integers(0, 512, size=2_000), np.full(800, 77)])
+        rng.shuffle(keys)
+        left = DyadicCountMin(universe_bits=9, width=1024, depth=4, seed=3)
+        right = DyadicCountMin(universe_bits=9, width=1024, depth=4, seed=3)
+        left.update_batch(keys[:1_400])
+        right.update_batch(keys[1_400:])
+        left.merge(right)
+        counts = np.bincount(keys, minlength=512)
+        assert left.range_sum(50, 100) >= int(counts[50:101].sum())
+        assert 77 in left.heavy_hitters(0.1)
+
+    def test_merge_rejects_mismatched_universe(self):
+        with pytest.raises(ValueError):
+            DyadicCountMin(universe_bits=4, width=16).merge(
+                DyadicCountMin(universe_bits=5, width=16)
+            )
+
+    def test_merge_rejects_mismatched_levels(self):
+        with pytest.raises(ValueError):
+            DyadicCountMin(universe_bits=4, width=16, seed=0).merge(
+                DyadicCountMin(universe_bits=4, width=16, seed=9)
+            )

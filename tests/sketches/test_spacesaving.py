@@ -88,3 +88,98 @@ class TestSpaceSaving:
             true = keys.count(key)
             assert abs(ss.query(key) - true) <= n / k + 1e-9
             assert abs(mg.query(key) - true) <= n / k + 1e-9
+
+
+class TestSpaceSavingMerge:
+    def _exact(self, keys, minlength):
+        return np.bincount(keys, minlength=minlength)
+
+    def test_merge_preserves_combined_error_bound(self):
+        rng = np.random.default_rng(10)
+        left_keys = rng.zipf(1.5, size=6_000) % 80
+        right_keys = rng.zipf(1.5, size=4_000) % 80
+        left = SpaceSaving(k=20)
+        right = SpaceSaving(k=20)
+        for key in left_keys:
+            left.update(int(key))
+        for key in right_keys:
+            right.update(int(key))
+        left.merge(right)
+        counts = self._exact(np.concatenate([left_keys, right_keys]), 80)
+        total = len(left_keys) + len(right_keys)
+        assert left.total_weight == total
+        for key, estimate in left.items().items():
+            assert estimate >= counts[key]
+            assert estimate - counts[key] <= total / left.k + 1e-9
+
+    def test_merge_keeps_guaranteed_count_lower_bound(self):
+        rng = np.random.default_rng(11)
+        left_keys = rng.integers(0, 40, size=3_000)
+        right_keys = rng.integers(0, 40, size=3_000)
+        left = SpaceSaving(k=8)
+        right = SpaceSaving(k=8)
+        for key in left_keys:
+            left.update(int(key))
+        for key in right_keys:
+            right.update(int(key))
+        left.merge(right)
+        counts = self._exact(np.concatenate([left_keys, right_keys]), 40)
+        for key in left.items():
+            assert left.guaranteed_count(key) <= counts[key]
+
+    def test_merge_heavy_hitters_no_false_negatives(self):
+        rng = np.random.default_rng(12)
+        streams = [rng.zipf(1.3, size=8_000) % 150 for _ in range(2)]
+        summaries = [SpaceSaving.from_error(0.01) for _ in streams]
+        for summary, stream in zip(summaries, streams):
+            for key in stream:
+                summary.update(int(key))
+        merged, other = summaries
+        merged.merge(other)
+        all_keys = np.concatenate(streams)
+        counts = self._exact(all_keys, 150)
+        phi = 0.05
+        truth = {key for key in range(150) if counts[key] >= phi * len(all_keys)}
+        assert truth <= set(merged.heavy_hitters(phi))
+
+    def test_merge_respects_capacity(self):
+        left = SpaceSaving(k=5)
+        right = SpaceSaving(k=5)
+        for key in range(100):
+            left.update(key)
+            right.update(key + 100)
+        left.merge(right)
+        assert len(left) <= 5
+
+    def test_merge_with_empty_is_identity(self):
+        left = SpaceSaving(k=4)
+        for key in [1, 1, 2, 3]:
+            left.update(key)
+        before = left.items()
+        left.merge(SpaceSaving(k=4))
+        assert left.items() == before
+        assert left.total_weight == 4
+
+    def test_merge_rejects_mismatched_k(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(k=4).merge(SpaceSaving(k=8))
+
+    @given(
+        left_keys=st.lists(st.integers(0, 30), max_size=300),
+        right_keys=st.lists(st.integers(0, 30), max_size=300),
+        k=st.integers(2, 12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_bound_holds_for_random_splits(self, left_keys, right_keys, k):
+        left = SpaceSaving(k=k)
+        right = SpaceSaving(k=k)
+        for key in left_keys:
+            left.update(key)
+        for key in right_keys:
+            right.update(key)
+        left.merge(right)
+        counts = np.bincount(np.asarray(left_keys + right_keys, dtype=np.int64), minlength=31)
+        total = len(left_keys) + len(right_keys)
+        for key, estimate in left.items().items():
+            assert counts[key] <= estimate <= counts[key] + 2 * total / k + 1e-9
+            assert left.guaranteed_count(key) <= counts[key]

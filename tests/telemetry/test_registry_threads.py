@@ -1,0 +1,145 @@
+"""Thread-safety of the metrics registry under concurrent shard workers.
+
+The service layer (:mod:`repro.service`) increments shared counter children
+from one thread per shard.  A plain ``self.value += amount`` is a
+read-modify-write that CPython may preempt between the load and the store,
+silently losing increments; these tests hammer one child from many threads
+and assert nothing is lost, for every metric kind and for the racy child
+creation and registration paths too.
+"""
+
+import threading
+
+import pytest
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+THREADS = 8
+PER_THREAD = 25_000
+
+
+def hammer(target, threads=THREADS):
+    """Run ``target(thread_index)`` on ``threads`` threads, start-synchronised."""
+    barrier = threading.Barrier(threads)
+
+    def run(index):
+        barrier.wait()
+        target(index)
+
+    workers = [
+        threading.Thread(target=run, args=(index,)) for index in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+class TestCounterUnderContention:
+    def test_no_lost_increments(self):
+        counter = Counter()
+        hammer(lambda _: [counter.inc() for _ in range(PER_THREAD)])
+        assert counter.value == THREADS * PER_THREAD
+
+    def test_weighted_increments_sum_exactly(self):
+        counter = Counter()
+        hammer(lambda i: [counter.inc(i + 1) for _ in range(PER_THREAD)])
+        expected = PER_THREAD * sum(range(1, THREADS + 1))
+        assert counter.value == expected
+
+    def test_reads_during_writes_never_exceed_total(self):
+        counter = Counter()
+        seen = []
+
+        def read(_):
+            for _ in range(2_000):
+                seen.append(counter.value)
+
+        def write(_):
+            for _ in range(PER_THREAD):
+                counter.inc()
+
+        hammer(lambda i: read(i) if i % 2 else write(i))
+        total = (THREADS // 2) * PER_THREAD
+        assert counter.value == total
+        assert all(0 <= value <= total for value in seen)
+
+    def test_negative_inc_still_rejected(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGaugeUnderContention:
+    def test_inc_dec_balance_out(self):
+        gauge = Gauge()
+
+        def churn(_):
+            for _ in range(PER_THREAD):
+                gauge.inc(2.0)
+                gauge.dec(2.0)
+
+        hammer(churn)
+        assert gauge.value == 0.0
+
+    def test_net_delta_is_exact(self):
+        gauge = Gauge()
+        hammer(lambda _: [gauge.inc() for _ in range(PER_THREAD)])
+        assert gauge.value == THREADS * PER_THREAD
+
+
+class TestHistogramUnderContention:
+    def test_count_and_buckets_agree(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 3.0))
+
+        def observe(index):
+            for _ in range(PER_THREAD // 5):
+                histogram.observe(float(index % 4))
+
+        hammer(observe)
+        expected = THREADS * (PER_THREAD // 5)
+        assert histogram.count == expected
+        assert sum(histogram.bucket_counts) == expected
+
+
+class TestRegistryRacyPaths:
+    def test_concurrent_labels_bind_one_shared_child(self):
+        """Two threads binding the same labelset must get the same child —
+        a lost child would fork the metric into disconnected copies."""
+        registry = MetricsRegistry()
+        children = [None] * THREADS
+
+        def bind(index):
+            child = registry.counter("service_items_total", shard="3")
+            children[index] = child
+            for _ in range(PER_THREAD // 25):
+                child.inc()
+
+        hammer(bind)
+        assert all(child is children[0] for child in children)
+        assert children[0].value == THREADS * (PER_THREAD // 25)
+
+    def test_concurrent_registration_is_single_family(self):
+        registry = MetricsRegistry()
+
+        def register(index):
+            registry.counter("races_total", shard=str(index)).inc()
+
+        hammer(register)
+        family = registry.get("races_total")
+        assert len(family.children) == THREADS
+        assert sum(child.value for _, child in family.samples()) == THREADS
+
+    def test_reset_zeroes_in_place_across_threads(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("resettable_total")
+        hammer(lambda _: [counter.inc() for _ in range(100)])
+        registry.reset()
+        assert counter.value == 0.0
+        counter.inc()
+        assert registry.counter("resettable_total").value == 1.0
