@@ -1,10 +1,14 @@
-"""Observability tour: metrics, spans, and memory accounting end to end.
+"""Observability tour: metrics, traces, explain plans, and memory accounting.
 
 Enables telemetry, runs a realistic mixed workload — durable ATTP ingest
 through a WAL-backed checkpoint chain, a BITP priority sampler, historical
-queries — then shows every way to look at what happened:
+queries, and a traced pass through the sharded service — then shows every
+way to look at what happened:
 
 * the one-call human summary (``repro.telemetry.report()``),
+* one connected ingest trace and one query trace, span by span,
+* a query explain plan (``explain=True`` → ``(answer, plan)``),
+* the live introspection server (``/healthz``, ``/metrics``, ``/traces``),
 * the memory accountant (resident bytes vs the paper's space bounds),
 * the JSONL snapshot and the Prometheus text exposition.
 
@@ -13,14 +17,18 @@ The full metric catalog and conventions are in docs/OBSERVABILITY.md.
 Run:  python examples/observability_tour.py
 """
 
+import json
 import tempfile
+import urllib.request
 
 import repro.telemetry as telemetry
 from repro.core import CheckpointChain, PersistentTopKSample
 from repro.core.bitp_sampling import BitpPrioritySample
 from repro.durability import DurableSketch
+from repro.service import ShardedSketchService
 from repro.sketches import CountMinSketch
 from repro.telemetry import account, account_and_publish
+from repro.telemetry.spans import SPANS
 from repro.workloads import object_id_stream
 
 N = 20_000
@@ -57,6 +65,46 @@ def main() -> None:
             topk.sample_at(t)
         store.close(final_snapshot=False)
         chain = store.sketch
+
+    # --- traced service: one ingest trace, one query trace, one plan ------
+    SPANS.clear()
+    with ShardedSketchService(chain_factory, num_shards=2) as service:
+        keys = [int(key) for key in stream.keys[:4096]]
+        timestamps = [float(t) for t in stream.timestamps[:4096]]
+        service.ingest_batch(keys, timestamps)
+        service.drain(timeout=30)
+        t_mid = timestamps[len(timestamps) // 2]
+        merged, plan = service.merged_sketch_at(t_mid, explain=True)
+
+        print("query explain plan (merged_sketch_at, explain=True)")
+        for line in plan.render().splitlines():
+            print(f"  {line}")
+        print()
+
+        ingest_root = next(
+            record for record in SPANS.snapshot()
+            if record.name == "service.ingest_batch"
+        )
+        print(f"one ingest call = one trace ({ingest_root.trace_id}):")
+        for record in SPANS.trace(ingest_root.trace_id):
+            print(
+                f"  {record.name:<22} thread={record.thread:<12}"
+                f" wall={record.wall_seconds * 1e3:7.3f} ms  attrs={record.attrs}"
+            )
+        print()
+
+        # --- the live introspection server over real HTTP ------------------
+        with service.serve_introspection() as server:
+            with urllib.request.urlopen(server.url + "/healthz") as response:
+                health = json.loads(response.read())
+            print(
+                f"introspection server at {server.url}: healthz"
+                f" healthy={health['healthy']} watermark={health['watermark']}"
+            )
+            with urllib.request.urlopen(server.url + "/traces") as response:
+                traces = json.loads(response.read())["traces"]
+            print(f"  /traces currently retains {len(traces)} trace(s)")
+        print()
 
     # --- the memory accountant: resident vs the paper's bounds ------------
     print("memory accounting (resident vs paper space bound)")

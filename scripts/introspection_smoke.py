@@ -1,0 +1,69 @@
+"""CI smoke: the live introspection server answers over real HTTP.
+
+Starts a sharded service with telemetry enabled, ingests a traced workload,
+serves introspection on an ephemeral port, then hits it with ``curl`` from
+a real subprocess: ``/healthz`` must answer 200 with a healthy payload and
+the ``/metrics`` body must be byte-identical to the in-process
+``prometheus_text()`` rendering.  Exits non-zero (with a diff) on any
+mismatch.  Run from the repo root::
+
+    PYTHONPATH=src python scripts/introspection_smoke.py
+"""
+
+import difflib
+import json
+import subprocess
+import sys
+
+from repro.core import ChainMisraGries
+from repro.service import ShardedSketchService
+from repro.telemetry import export
+from repro.telemetry.registry import TELEMETRY
+
+
+def curl(url: str) -> str:
+    """GET ``url`` with curl; raises on network errors and non-2xx codes."""
+    return subprocess.run(
+        ["curl", "-fsS", url], check=True, capture_output=True, text=True
+    ).stdout
+
+
+def main() -> int:
+    TELEMETRY.enable()
+    with ShardedSketchService(
+        lambda: ChainMisraGries(eps=0.01), num_shards=2
+    ) as service:
+        service.ingest_batch(list(range(200)), [float(t) for t in range(200)])
+        if not service.drain(timeout=30):
+            print("FAIL: service did not drain", file=sys.stderr)
+            return 1
+        service.estimate_at(3, 100.0)
+
+        with service.serve_introspection() as server:
+            health = json.loads(curl(server.url + "/healthz"))
+            if health.get("healthy") is not True:
+                print(f"FAIL: /healthz unhealthy: {health}", file=sys.stderr)
+                return 1
+            print(f"PASS /healthz 200 healthy (watermark={health['watermark']})")
+
+            scraped = curl(server.url + "/metrics")
+            expected = export.prometheus_text()
+            if scraped != expected:
+                diff = "\n".join(
+                    difflib.unified_diff(
+                        expected.splitlines(),
+                        scraped.splitlines(),
+                        "prometheus_text()",
+                        "GET /metrics",
+                        lineterm="",
+                    )
+                )
+                print(f"FAIL: /metrics differs:\n{diff}", file=sys.stderr)
+                return 1
+            lines = len(scraped.splitlines())
+            print(f"PASS /metrics identical to prometheus_text() ({lines} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -213,6 +213,53 @@ class CheckpointChain:
         """Iterate ``(timestamp, snapshot)`` pairs (oldest first)."""
         return iter(self._checkpoints)
 
+    def checkpoints_between(self, start: float, end: float) -> list:
+        """Timestamps of stored checkpoints with ``start <= ts <= end``.
+
+        Ground truth for explain-plan fidelity checks: a
+        :meth:`plan_at` answer sourced from a checkpoint must name a
+        timestamp this method returns for the enclosing range.
+        """
+        return [ts for ts, _ in self._checkpoints if start <= ts <= end]
+
+    def plan_at(self, timestamp: float) -> dict:
+        """Explain :meth:`sketch_at`: what *would* answer, without answering.
+
+        Mirrors the ``sketch_at`` resolution rule exactly (shared bisect
+        over the same history) and reports: the ``source`` (``"live"`` for
+        zero-staleness reads at/past the last update, ``"checkpoint"`` for
+        a sealed snapshot, ``"empty"`` before the first checkpoint), the
+        chosen checkpoint's index and timestamp, how many sealed snapshots
+        vs. live partials the read touches, and the chaining error bound
+        contributed (``eps``, relative to ``W(t)``; ``0`` for live reads).
+        """
+        stored = len(self._checkpoints)
+        base = {
+            "structure": "checkpoint_chain",
+            "checkpoints_stored": stored,
+            "checkpoint_index": None,
+            "checkpoint_timestamp": None,
+        }
+        if (
+            self._previous_timestamp is not None
+            and timestamp >= self._previous_timestamp
+        ):
+            base.update(source="live", sealed_read=0, live_partial=1, error_bound=0.0)
+            return base
+        index = self._checkpoints.index_at(timestamp)
+        if index < 0:
+            base.update(source="empty", sealed_read=0, live_partial=0, error_bound=0.0)
+            return base
+        base.update(
+            source="checkpoint",
+            checkpoint_index=index,
+            checkpoint_timestamp=self._checkpoints.times()[index],
+            sealed_read=1,
+            live_partial=0,
+            error_bound=self.eps,
+        )
+        return base
+
     def memory_bytes(self) -> int:
         """Sum of snapshot sizes (via each snapshot's ``memory_bytes``) plus
         the live sketch and a chain entry (timestamp + snapshot pointer)

@@ -262,33 +262,88 @@ class MergeTreePersistence:
     def _candidates(self) -> List[_Node]:
         return self._spine + self._retained
 
-    @timed(_QUERY_AT)
-    def sketch_at(self, timestamp: float) -> Any:
-        """ATTP query: merged sketch covering (almost all of) ``A^timestamp``."""
-        if self.mode != "attp":
-            raise RuntimeError("sketch_at is only available in ATTP mode")
+    def _cover_at(self, timestamp: float):
+        """The ATTP greedy cover: ``(nodes, include_live)``.
+
+        ``nodes`` is the left-to-right largest-available cover of the
+        prefix; ``include_live`` says whether the live partial block sits
+        exactly at the cover's end and is fully inside the prefix.  Both
+        :meth:`sketch_at` (which merges) and :meth:`plan_at` (which only
+        reports) read this one cover, so plans are faithful by
+        construction.
+        """
         usable = [node for node in self._candidates() if node.t_end <= timestamp]
         by_start: dict = {}
         for node in usable:
             best = by_start.get(node.start)
             if best is None or node.size > best.size:
                 by_start[node.start] = node
-        result = None
+        nodes: List[_Node] = []
         position = 0
         while position in by_start:
             node = by_start[position]
-            if result is None:
-                result = copy.deepcopy(node.sketch)
-            else:
-                result.merge(node.sketch)
+            nodes.append(node)
             position = node.end
-        # Include the live partial block when it is fully inside the prefix.
-        if (
+        include_live = (
             position == self._block_start
             and self._block_count > 0
             and self._block_t_end is not None
             and self._block_t_end <= timestamp
+        )
+        return nodes, include_live
+
+    def _cover_since(self, timestamp: float):
+        """The BITP cover: ``(include_live, nodes, boundary)``.
+
+        ``include_live`` — the live partial block holds window items (it is
+        always the newest part of any window, included even when the window
+        start falls inside it); ``nodes`` — the right-to-left
+        largest-available walk back from the sealed edge; ``boundary`` — the
+        straddling leaf at the window's old edge, or None.  Shared by
+        :meth:`sketch_since` and :meth:`plan_since`.
+        """
+        usable = [node for node in self._candidates() if node.t_start >= timestamp]
+        by_end: dict = {}
+        for node in usable:
+            best = by_end.get(node.end)
+            if best is None or node.size > best.size:
+                by_end[node.end] = node
+        include_live = (
+            self._block_count > 0
+            and self._block_t_end is not None
+            and self._block_t_end >= timestamp
+        )
+        nodes: List[_Node] = []
+        position = self._block_start
+        while position in by_end:
+            node = by_end[position]
+            nodes.append(node)
+            position = node.start
+        # Block granularity at the window's old edge: when the cover stops at
+        # a leaf that straddles the window start, include it — this overcounts
+        # by at most one block and keeps sub-block windows answerable.
+        boundary = self._smallest_node_ending_at(position)
+        if boundary is not None and not (
+            boundary.size <= self.block_size
+            and boundary.t_end >= timestamp > boundary.t_start
         ):
+            boundary = None
+        return include_live, nodes, boundary
+
+    @timed(_QUERY_AT)
+    def sketch_at(self, timestamp: float) -> Any:
+        """ATTP query: merged sketch covering (almost all of) ``A^timestamp``."""
+        if self.mode != "attp":
+            raise RuntimeError("sketch_at is only available in ATTP mode")
+        nodes, include_live = self._cover_at(timestamp)
+        result = None
+        for node in nodes:
+            if result is None:
+                result = copy.deepcopy(node.sketch)
+            else:
+                result.merge(node.sketch)
+        # Include the live partial block when it is fully inside the prefix.
+        if include_live:
             if result is None:
                 result = copy.deepcopy(self._block_sketch)
             else:
@@ -302,40 +357,16 @@ class MergeTreePersistence:
         """BITP query: merged sketch covering (almost all of) ``A[timestamp, now]``."""
         if self.mode != "bitp":
             raise RuntimeError("sketch_since is only available in BITP mode")
-        usable = [node for node in self._candidates() if node.t_start >= timestamp]
-        by_end: dict = {}
-        for node in usable:
-            best = by_end.get(node.end)
-            if best is None or node.size > best.size:
-                by_end[node.end] = node
+        include_live, nodes, boundary = self._cover_since(timestamp)
         result = None
-        position = self._block_start
-        # The live partial block is always the newest part of any window.
-        # Include it whenever it holds *any* window items — also when the
-        # window start falls inside it (then it straddles the old edge and
-        # overcounts by less than one block, like a straddling sealed leaf).
-        if (
-            self._block_count > 0
-            and self._block_t_end is not None
-            and self._block_t_end >= timestamp
-        ):
+        if include_live:
             result = copy.deepcopy(self._block_sketch)
-        while position in by_end:
-            node = by_end[position]
+        for node in nodes:
             if result is None:
                 result = copy.deepcopy(node.sketch)
             else:
                 result.merge(node.sketch)
-            position = node.start
-        # Block granularity at the window's old edge: when the cover stops at
-        # a leaf that straddles the window start, include it — this overcounts
-        # by at most one block and keeps sub-block windows answerable.
-        boundary = self._smallest_node_ending_at(position)
-        if (
-            boundary is not None
-            and boundary.size <= self.block_size
-            and boundary.t_end >= timestamp > boundary.t_start
-        ):
+        if boundary is not None:
             if result is None:
                 result = copy.deepcopy(boundary.sketch)
             else:
@@ -343,6 +374,79 @@ class MergeTreePersistence:
         if result is None:
             result = self._factory()
         return result
+
+    @staticmethod
+    def _node_meta(node: _Node) -> dict:
+        return {
+            "start": node.start,
+            "end": node.end,
+            "size": node.size,
+            "t_start": node.t_start,
+            "t_end": node.t_end,
+        }
+
+    def plan_at(self, timestamp: float) -> dict:
+        """Explain :meth:`sketch_at`: the exact blocks it would merge.
+
+        Reads the same greedy cover as the query itself and reports each
+        covering node's index range and timestamps, sealed vs. live-partial
+        counts, the stored-node total, and the coverage error bound
+        (``eps``, the fraction of the prefix the cover may miss).
+        """
+        if self.mode != "attp":
+            raise RuntimeError("plan_at is only available in ATTP mode")
+        nodes, include_live = self._cover_at(timestamp)
+        covered = sum(node.size for node in nodes)
+        if include_live:
+            covered += self._block_count
+        return {
+            "structure": "merge_tree",
+            "mode": self.mode,
+            "blocks": [self._node_meta(node) for node in nodes],
+            "sealed_read": len(nodes),
+            "live_partial": 1 if include_live else 0,
+            "covered_items": covered,
+            "nodes_stored": self.num_nodes(),
+            "block_size": self.block_size,
+            "error_bound": self.eps,
+        }
+
+    def plan_since(self, timestamp: float) -> dict:
+        """Explain :meth:`sketch_since`: the exact blocks it would merge.
+
+        Like :meth:`plan_at` for the BITP suffix cover; ``boundary`` is the
+        straddling leaf included at the window's old edge (None when the
+        cover lands exactly on a block edge).
+        """
+        if self.mode != "bitp":
+            raise RuntimeError("plan_since is only available in BITP mode")
+        include_live, nodes, boundary = self._cover_since(timestamp)
+        covered = sum(node.size for node in nodes)
+        if include_live:
+            covered += self._block_count
+        if boundary is not None:
+            covered += boundary.size
+        return {
+            "structure": "merge_tree",
+            "mode": self.mode,
+            "blocks": [self._node_meta(node) for node in nodes],
+            "boundary": None if boundary is None else self._node_meta(boundary),
+            "sealed_read": len(nodes) + (1 if boundary is not None else 0),
+            "live_partial": 1 if include_live else 0,
+            "covered_items": covered,
+            "nodes_stored": self.num_nodes(),
+            "block_size": self.block_size,
+            "error_bound": self.eps,
+        }
+
+    def node_metadata(self) -> list:
+        """Index/timestamp metadata of every stored node (spine + retained).
+
+        Ground truth for explain-plan fidelity checks: every block a
+        :meth:`plan_at`/:meth:`plan_since` lists must appear here (the live
+        partial block is not a stored node and is reported separately).
+        """
+        return [self._node_meta(node) for node in self._candidates()]
 
     def _smallest_node_ending_at(self, position: int) -> Optional[_Node]:
         best = None

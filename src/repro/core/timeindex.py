@@ -48,6 +48,14 @@ class History:
             return None
         return self._times[idx], self._values[idx]
 
+    def index_at(self, timestamp: float) -> int:
+        """Index of the last entry at or before ``timestamp``, or ``-1``."""
+        return bisect.bisect_right(self._times, timestamp) - 1
+
+    def times(self) -> List[float]:
+        """A copy of the recorded timestamps (non-decreasing order)."""
+        return list(self._times)
+
     def last(self) -> Optional[Tuple[float, Any]]:
         """The most recent entry, or None when empty."""
         if not self._times:

@@ -51,6 +51,7 @@ from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.durability.faults import AppendHandle, OsFilesystem
 from repro.telemetry.registry import TELEMETRY as _TEL, timed
+from repro.telemetry.spans import span
 
 _RECORDS_APPENDED = _TEL.counter(
     "wal_records_appended_total",
@@ -307,30 +308,38 @@ class WriteAheadLog:
 
     @timed(_APPEND_SECONDS)
     def _append_framed(self, encode) -> int:
-        if self._handle is None or self._handle.size >= self.segment_bytes:
-            self._rotate()
-        seqno = self.next_seqno
-        frame = encode(seqno)
-        self.fs.append(self._handle, frame)
-        self.next_seqno = seqno + 1
-        self.records_appended += 1
-        self._unsynced += 1
-        if _TEL.enabled:
-            _RECORDS_APPENDED.inc()
-            _BYTES_APPENDED.inc(len(frame))
-        if self.fsync_policy == "always" or (
-            self.fsync_policy == "batch" and self._unsynced >= self.batch_every
-        ):
-            self.fs.fsync(self._handle)
-            self._unsynced = 0
+        # the span nests (per-thread) under whatever caused the append — on
+        # a durable shard that is the worker's service.apply_batch span, so
+        # an ingest trace extends all the way into the log
+        with span("wal.append") as append_span:
+            if self._handle is None or self._handle.size >= self.segment_bytes:
+                self._rotate()
+            seqno = self.next_seqno
+            frame = encode(seqno)
+            self.fs.append(self._handle, frame)
+            self.next_seqno = seqno + 1
+            self.records_appended += 1
+            self._unsynced += 1
             if _TEL.enabled:
-                _FSYNCS.inc()
-        return seqno
+                _RECORDS_APPENDED.inc()
+                _BYTES_APPENDED.inc(len(frame))
+                append_span.set_attr("seqno", seqno)
+                append_span.set_attr("bytes", len(frame))
+            if self.fsync_policy == "always" or (
+                self.fsync_policy == "batch" and self._unsynced >= self.batch_every
+            ):
+                with span("wal.fsync"):
+                    self.fs.fsync(self._handle)
+                self._unsynced = 0
+                if _TEL.enabled:
+                    _FSYNCS.inc()
+            return seqno
 
     def flush(self) -> None:
         """Durability barrier: fsync pending appends (unless policy 'off')."""
         if self._handle is not None and self.fsync_policy != "off" and self._unsynced:
-            self.fs.fsync(self._handle)
+            with span("wal.fsync"):
+                self.fs.fsync(self._handle)
             self._unsynced = 0
             if _TEL.enabled:
                 _FSYNCS.inc()

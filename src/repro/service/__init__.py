@@ -24,6 +24,7 @@ policies, and sizing guidance.
 """
 
 from repro.service.coordinator import COMBINERS, QueryCoordinator
+from repro.service.explain import PLAN_HOOKS, QueryPlan, ShardPlan, shard_plan_details
 from repro.service.router import PARTITION_MODES, ShardRouter
 from repro.service.service import IngestReceipt, ShardedSketchService
 from repro.service.worker import (
@@ -39,9 +40,13 @@ __all__ = [
     "COMBINERS",
     "IngestReceipt",
     "PARTITION_MODES",
+    "PLAN_HOOKS",
     "QueryCoordinator",
+    "QueryPlan",
     "ShardFailedError",
+    "ShardPlan",
     "ShardRouter",
     "ShardWorker",
     "ShardedSketchService",
+    "shard_plan_details",
 ]

@@ -28,7 +28,9 @@ from repro.core.combine import (
     combine_union,
     merge_sketches,
 )
+from repro.service.explain import QueryPlan, ShardPlan, shard_plan_details
 from repro.telemetry.registry import TELEMETRY as _TEL
+from repro.telemetry.spans import span
 
 _TEL.registry.declare(
     "service_query_seconds",
@@ -87,29 +89,54 @@ class QueryCoordinator:
 
     # -- raw fan-out -------------------------------------------------------
 
-    def call_shard(self, shard: int, method: str, *args, post=None, **kwargs):
+    def call_shard(
+        self, shard: int, method: str, *args, post=None, plan_sink=None, **kwargs
+    ):
         """Invoke ``method`` on one shard's sketch under its apply lock.
 
         ``post``, when given, transforms the result *while the lock is
         still held* — used to deep-copy live sketch objects before a
-        concurrent apply can mutate them.
+        concurrent apply can mutate them.  ``plan_sink``, when given,
+        receives one :class:`~repro.service.explain.ShardPlan` describing
+        what this shard read (plan hook consulted under the same lock, so
+        it reports exactly the structure state the answer saw).
         """
         worker = self._workers[shard]
         worker.raise_if_failed()
-        with worker.lock:
-            result = getattr(worker.sketch, method)(*args, **kwargs)
-            return result if post is None else post(result)
+        with span("service.shard_call", shard=shard, op=method):
+            begin = time.perf_counter()
+            with worker.lock:
+                details = (
+                    shard_plan_details(worker.sketch, method, args)
+                    if plan_sink is not None
+                    else None
+                )
+                result = getattr(worker.sketch, method)(*args, **kwargs)
+                if post is not None:
+                    result = post(result)
+            if plan_sink is not None:
+                plan_sink.append(
+                    ShardPlan(
+                        shard=shard,
+                        wall_seconds=time.perf_counter() - begin,
+                        structure=None if details is None else details.get("structure"),
+                        details=details,
+                    )
+                )
+            return result
 
-    def fanout(self, method: str, *args, post=None, **kwargs) -> list:
+    def fanout(self, method: str, *args, post=None, plan_sink=None, **kwargs) -> list:
         """Invoke ``method`` on every shard's sketch; per-shard results."""
         return [
-            self.call_shard(shard, method, *args, post=post, **kwargs)
+            self.call_shard(
+                shard, method, *args, post=post, plan_sink=plan_sink, **kwargs
+            )
             for shard in range(len(self._workers))
         ]
 
     # -- cached combined queries -------------------------------------------
 
-    def query(self, method: str, *args, combine="list", shard=None):
+    def query(self, method: str, *args, combine="list", shard=None, explain=False):
         """Fan ``method(*args)`` out (or to one ``shard``) and combine.
 
         ``combine`` is a name from :data:`COMBINERS` or a callable taking
@@ -117,8 +144,21 @@ class QueryCoordinator:
         ``(method, args, shard, watermark)``; ``combine="merge"`` answers
         (merged sketch objects) are cached too — callers must treat them as
         read-only.
+
+        With ``explain=True`` the return value is ``(answer, plan)`` where
+        ``plan`` is a :class:`~repro.service.explain.QueryPlan`: per-shard
+        checkpoints/blocks read, sealed vs. live-partial counts, error
+        bounds, cache status and wall times.  The answer (and its cache
+        behaviour) is identical either way — a cache hit returns a plan
+        with ``cache_hit=True`` and no shard entries, since nothing was
+        re-read.
         """
         combiner = COMBINERS[combine] if isinstance(combine, str) else combine
+        combine_name = (
+            combine
+            if isinstance(combine, str)
+            else getattr(combine, "__name__", "custom")
+        )
         post = None
         if combiner is merge_sketches:
             # sketch_at/sketch_since may return the *live* sketch object;
@@ -126,48 +166,89 @@ class QueryCoordinator:
             # mutate it mid-copy, then merge the private copies in place
             post = copy.deepcopy
             combiner = lambda results: merge_sketches(results, copy_first=False)
-        key = (method, args, shard, self._watermark())
-        if self._cache_size:
+        watermark = self._watermark()
+        key = (method, args, shard, watermark)
+        start = time.perf_counter()
+        with span(
+            "service.query", op=method, combine=combine_name, watermark=watermark
+        ) as query_span:
             with self._cache_lock:
-                if key in self._cache:
+                # hit *and* miss accounting both live under the lock — the
+                # plain-int counters are read back by cache_info() and lose
+                # updates under concurrent queries otherwise
+                if self._cache_size and key in self._cache:
                     self._cache.move_to_end(key)
                     self.cache_hits += 1
                     if _TEL.enabled:
                         _CACHE_HITS.inc()
-                    return self._cache[key]
-        self.cache_misses += 1
-        if _TEL.enabled:
-            _CACHE_MISSES.inc()
-        start = time.perf_counter()
-        if shard is None:
-            answer = combiner(self.fanout(method, *args, post=post))
-        else:
-            answer = self.call_shard(shard, method, *args, post=post)
-        if _TEL.enabled:
-            _TEL.histogram("service_query_seconds", op=method).observe(
-                time.perf_counter() - start
-            )
-        if self._cache_size:
-            with self._cache_lock:
-                self._cache[key] = answer
-                self._cache.move_to_end(key)
-                while len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
-        return answer
+                    query_span.set_attr("cache", "hit")
+                    answer = self._cache[key]
+                    if explain:
+                        plan = QueryPlan(
+                            method=method,
+                            args=args,
+                            combine=combine_name,
+                            shard=shard,
+                            watermark=watermark,
+                            cache_hit=True,
+                            wall_seconds=time.perf_counter() - start,
+                        )
+                        return answer, plan
+                    return answer
+                self.cache_misses += 1
+                if _TEL.enabled:
+                    _CACHE_MISSES.inc()
+            query_span.set_attr("cache", "miss")
+            plan_sink = [] if explain else None
+            if shard is None:
+                results = self.fanout(method, *args, post=post, plan_sink=plan_sink)
+                with span("service.combine", op=method, shards=len(results)):
+                    answer = combiner(results)
+            else:
+                answer = self.call_shard(
+                    shard, method, *args, post=post, plan_sink=plan_sink
+                )
+            wall = time.perf_counter() - start
+            if _TEL.enabled:
+                _TEL.histogram("service_query_seconds", op=method).observe(wall)
+            if self._cache_size:
+                with self._cache_lock:
+                    self._cache[key] = answer
+                    self._cache.move_to_end(key)
+                    while len(self._cache) > self._cache_size:
+                        self._cache.popitem(last=False)
+            if explain:
+                plan = QueryPlan(
+                    method=method,
+                    args=args,
+                    combine=combine_name,
+                    shard=shard,
+                    watermark=watermark,
+                    cache_hit=False,
+                    wall_seconds=wall,
+                    shards=tuple(plan_sink),
+                )
+                return answer, plan
+            return answer
 
-    def merged_sketch_at(self, timestamp):
+    def merged_sketch_at(self, timestamp, explain=False):
         """Merged cross-shard snapshot at ``timestamp`` (ATTP).
 
         Each shard's ``sketch_at`` snapshot is combined with
         :func:`repro.core.merge_sketches` (copy-first, so stored checkpoint
         snapshots are never mutated).  The result is cached; treat it as
-        read-only.
+        read-only.  ``explain=True`` returns ``(sketch, plan)``.
         """
-        return self.query("sketch_at", timestamp, combine="merge")
+        return self.query("sketch_at", timestamp, combine="merge", explain=explain)
 
-    def merged_sketch_since(self, timestamp):
-        """Merged cross-shard suffix summary since ``timestamp`` (BITP)."""
-        return self.query("sketch_since", timestamp, combine="merge")
+    def merged_sketch_since(self, timestamp, explain=False):
+        """Merged cross-shard suffix summary since ``timestamp`` (BITP).
+
+        ``explain=True`` returns ``(sketch, plan)``.
+        """
+        return self.query(
+            "sketch_since", timestamp, combine="merge", explain=explain
+        )
 
     def cache_info(self) -> dict:
         """Hit/miss/size snapshot of the answer cache."""

@@ -1,0 +1,202 @@
+"""Structured explain plans for sharded historical queries.
+
+``explain=True`` on :meth:`repro.service.QueryCoordinator.query` (and the
+typed query methods of :class:`~repro.service.ShardedSketchService`) returns
+the answer *plus* a :class:`QueryPlan` describing how it was produced: per
+shard, which checkpoints or merge-tree blocks were read (via the plan hooks
+``plan_at``/``plan_since`` on :class:`~repro.core.CheckpointChain` and
+:class:`~repro.core.MergeTreePersistence`), how many sealed snapshots vs.
+live partials the read touched, the error bound each shard contributed,
+whether the answer came from the coordinator cache, and wall times.
+
+Plan hooks compute the *same* cover the query itself reads (they share the
+resolution code paths), so a plan is a faithful account, not a guess —
+``tests/service/test_explain.py`` property-checks this against the
+structures' actual contents.  Structures without a hook (plain streaming
+sketches, samplers) still get per-shard wall times; their ``details`` is
+None.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+#: Query method -> (plan hook, index of the time argument in ``args``).
+#: ``*_at`` methods resolve against the ATTP prefix cover, ``*_since``
+#: against the BITP suffix cover; the time index says which positional
+#: argument of the query is the time bound the hook explains.
+PLAN_HOOKS = {
+    "sketch_at": ("plan_at", 0),
+    "sketch_since": ("plan_since", 0),
+    "estimate_at": ("plan_at", 1),
+    "estimate_since": ("plan_since", 1),
+    "estimate_between": ("plan_since", 1),
+    "heavy_hitters_at": ("plan_at", 0),
+    "heavy_hitters_since": ("plan_since", 0),
+    "contains_at": ("plan_at", 1),
+    "contains_since": ("plan_since", 1),
+    "total_weight_at": ("plan_at", 0),
+}
+
+
+def shard_plan_details(sketch: Any, method: str, args: tuple) -> Optional[dict]:
+    """The plan-hook report for ``method(*args)`` on one shard's sketch.
+
+    Returns None when the method has no hook mapping, the time argument is
+    missing, or the sketch (or the sketch a ``DurableSketch`` wraps —
+    attribute delegation makes this transparent) does not implement the
+    hook.  Call under the shard's apply lock, like the query itself.
+    """
+    mapping = PLAN_HOOKS.get(method)
+    if mapping is None:
+        return None
+    hook_name, time_index = mapping
+    if time_index >= len(args):
+        return None
+    hook = getattr(sketch, hook_name, None)
+    if hook is None:
+        return None
+    return hook(args[time_index])
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's contribution to a fan-out query.
+
+    Attributes
+    ----------
+    shard:
+        Shard index.
+    wall_seconds:
+        Time spent in this shard's call (plan hook + query, under the
+        shard's apply lock).
+    structure:
+        The persistent structure kind (``"checkpoint_chain"``,
+        ``"merge_tree"``) when a plan hook reported one, else None.
+    details:
+        The raw plan-hook report — checkpoints/blocks read, sealed vs.
+        live-partial counts, ``error_bound`` — or None when the shard's
+        sketch has no hook for the method.
+    """
+
+    shard: int
+    wall_seconds: float
+    structure: Optional[str] = None
+    details: Optional[dict] = None
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form of this shard plan."""
+        return {
+            "shard": self.shard,
+            "wall_seconds": self.wall_seconds,
+            "structure": self.structure,
+            "details": self.details,
+        }
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """How one coordinator query was answered.
+
+    Attributes
+    ----------
+    method, args:
+        The sketch method fanned out and its positional arguments.
+    combine:
+        Combiner name (``"sum"``, ``"merge"``, ...; a custom callable's
+        ``__name__``).
+    shard:
+        The single shard targeted (hash-routed point queries), or None for
+        a full fan-out.
+    watermark:
+        The ingest watermark the answer reflects (also the cache key
+        component).
+    cache_hit:
+        True when the answer came from the coordinator's watermark-keyed
+        cache — then ``shards`` is empty, since nothing was re-read.
+    wall_seconds:
+        End-to-end coordinator time (fan-out + combine, or cache lookup).
+    shards:
+        One :class:`ShardPlan` per shard consulted.
+    """
+
+    method: str
+    args: Tuple[Any, ...]
+    combine: str
+    shard: Optional[int]
+    watermark: int
+    cache_hit: bool
+    wall_seconds: float
+    shards: Tuple[ShardPlan, ...] = ()
+
+    def sealed_reads(self) -> int:
+        """Total sealed checkpoints/blocks read across all shards."""
+        return sum(
+            plan.details.get("sealed_read", 0)
+            for plan in self.shards
+            if plan.details is not None
+        )
+
+    def live_partials(self) -> int:
+        """Total live (unsealed) structures consulted across all shards."""
+        return sum(
+            plan.details.get("live_partial", 0)
+            for plan in self.shards
+            if plan.details is not None
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form of the whole plan."""
+        return {
+            "method": self.method,
+            "args": list(self.args),
+            "combine": self.combine,
+            "shard": self.shard,
+            "watermark": self.watermark,
+            "cache_hit": self.cache_hit,
+            "wall_seconds": self.wall_seconds,
+            "shards": [plan.as_dict() for plan in self.shards],
+        }
+
+    def render(self) -> str:
+        """A compact multi-line text rendering (EXPLAIN-style output)."""
+        arglist = ", ".join(repr(a) for a in self.args)
+        target = "all shards" if self.shard is None else f"shard {self.shard}"
+        lines = [
+            f"{self.method}({arglist}) -> {target}, combine={self.combine}, "
+            f"watermark={self.watermark}, "
+            f"cache={'hit' if self.cache_hit else 'miss'}, "
+            f"wall={self.wall_seconds * 1e3:.3f}ms"
+        ]
+        for plan in self.shards:
+            if plan.details is None:
+                lines.append(
+                    f"  shard {plan.shard}: (no plan hook) "
+                    f"wall={plan.wall_seconds * 1e3:.3f}ms"
+                )
+                continue
+            d = plan.details
+            extra = ""
+            if d.get("source") is not None:
+                extra = f" source={d['source']}"
+                if d.get("checkpoint_timestamp") is not None:
+                    extra += f"@t={d['checkpoint_timestamp']}"
+            if d.get("blocks") is not None:
+                spans_text = ", ".join(
+                    f"[{b['start']},{b['end']})" for b in d["blocks"]
+                )
+                extra = f" blocks=[{spans_text}]"
+                if d.get("boundary"):
+                    extra += (
+                        f" boundary=[{d['boundary']['start']},"
+                        f"{d['boundary']['end']})"
+                    )
+            lines.append(
+                f"  shard {plan.shard}: {plan.structure or '?'} "
+                f"sealed={d.get('sealed_read', 0)} "
+                f"live_partial={d.get('live_partial', 0)} "
+                f"error_bound={d.get('error_bound', 0)}"
+                f"{extra} wall={plan.wall_seconds * 1e3:.3f}ms"
+            )
+        return "\n".join(lines)

@@ -50,6 +50,8 @@ from repro.durability.store import DurableSketch
 from repro.service.coordinator import QueryCoordinator
 from repro.service.router import ShardRouter
 from repro.service.worker import ShardFailedError, ShardWorker
+from repro.telemetry.server import IntrospectionServer
+from repro.telemetry.spans import span
 
 
 class IngestReceipt(NamedTuple):
@@ -298,22 +300,29 @@ class ShardedSketchService:
         values = np.asarray(values)
         if values.size == 0:
             return IngestReceipt(self._acked_seqno, 0, 0)
-        with self._ingest_lock:
-            self._seqno += 1
-            seqno = self._seqno
-            if self.ingest_buffer_items > 0:
-                self._stage.append((values, np.asarray(timestamps), weights))
-                self._stage_items += int(values.size)
+        # root span of the ingest trace: staging, routing, and each shard's
+        # enqueue nest under it on this thread; the queue-wait and fused
+        # apply recorded later on the worker threads link back via the
+        # TraceContext each enqueued sub-batch carries
+        with span("service.ingest_batch", items=int(values.size)) as ingest_span:
+            with self._ingest_lock:
+                self._seqno += 1
+                seqno = self._seqno
+                ingest_span.set_attr("seqno", seqno)
+                if self.ingest_buffer_items > 0:
+                    self._stage.append((values, np.asarray(timestamps), weights))
+                    self._stage_items += int(values.size)
+                    self._acked_seqno = seqno
+                    ingest_span.set_attr("staged", True)
+                    if self._stage_items >= self.ingest_buffer_items:
+                        self._flush_stage_locked()
+                    return IngestReceipt(seqno, int(values.size), 0)
+                accepted, dropped = self._route_and_submit(
+                    values, timestamps, weights, seqno
+                )
                 self._acked_seqno = seqno
-                if self._stage_items >= self.ingest_buffer_items:
-                    self._flush_stage_locked()
-                return IngestReceipt(seqno, int(values.size), 0)
-            accepted, dropped = self._route_and_submit(
-                values, timestamps, weights, seqno
-            )
-            self._acked_seqno = seqno
-            self._submitted_seqno = seqno
-        return IngestReceipt(seqno, accepted, dropped)
+                self._submitted_seqno = seqno
+            return IngestReceipt(seqno, accepted, dropped)
 
     def _route_and_submit(self, values, timestamps, weights, seqno) -> tuple:
         """Partition one fused batch and enqueue the per-shard parts."""
@@ -350,7 +359,8 @@ class ShardedSketchService:
         self._stage.clear()
         self._stage_items = 0
         seqno = self._acked_seqno
-        self._route_and_submit(values, timestamps, weights, seqno)
+        with span("service.stage_flush", items=int(values.size), seqno=seqno):
+            self._route_and_submit(values, timestamps, weights, seqno)
         self._submitted_seqno = seqno
 
     def _flush_staged(self) -> None:
@@ -432,45 +442,73 @@ class ShardedSketchService:
             return None
         return self._router.route(key)
 
-    def query(self, method: str, *args, combine="list", shard=None):
+    def query(self, method: str, *args, combine="list", shard=None, explain=False):
         """Generic fan-out: ``method(*args)`` on shards, combined.
 
         ``combine`` is a combiner name (``"sum"``, ``"any"``, ``"union"``,
         ``"merge"``, ``"list"``) or a callable over the per-shard result
         list; ``shard`` restricts the call to one shard.  Answers are
-        LRU-cached keyed by the ingest watermark.
+        LRU-cached keyed by the ingest watermark.  ``explain=True`` returns
+        ``(answer, plan)`` with a structured
+        :class:`~repro.service.QueryPlan` of what each shard read.
         """
-        return self._coordinator.query(method, *args, combine=combine, shard=shard)
+        return self._coordinator.query(
+            method, *args, combine=combine, shard=shard, explain=explain
+        )
 
-    def estimate_at(self, key, timestamp) -> float:
+    def estimate_at(self, key, timestamp, explain=False) -> float:
         """ATTP point estimate of ``key`` at ``timestamp``.
 
         Hash partitioning consults only the owning shard (its sub-stream
         contains every occurrence of ``key``, so no cross-shard noise is
-        added); round-robin sums the per-shard estimates.
+        added); round-robin sums the per-shard estimates.  ``explain=True``
+        returns ``(estimate, plan)``.
         """
         owner = self._owner(key)
         if owner is not None:
-            return self.query("estimate_at", key, timestamp, shard=owner)
-        return self.query("estimate_at", key, timestamp, combine="sum")
+            return self.query(
+                "estimate_at", key, timestamp, shard=owner, explain=explain
+            )
+        return self.query(
+            "estimate_at", key, timestamp, combine="sum", explain=explain
+        )
 
-    def estimate_since(self, key, timestamp) -> float:
-        """BITP point estimate of ``key`` over the suffix since ``timestamp``."""
+    def estimate_since(self, key, timestamp, explain=False) -> float:
+        """BITP point estimate of ``key`` over the suffix since ``timestamp``.
+
+        ``explain=True`` returns ``(estimate, plan)``.
+        """
         owner = self._owner(key)
         if owner is not None:
-            return self.query("estimate_since", key, timestamp, shard=owner)
-        return self.query("estimate_since", key, timestamp, combine="sum")
+            return self.query(
+                "estimate_since", key, timestamp, shard=owner, explain=explain
+            )
+        return self.query(
+            "estimate_since", key, timestamp, combine="sum", explain=explain
+        )
 
-    def estimate_between(self, key, start, end) -> float:
-        """Back-in-time window estimate of ``key`` over ``[start, end]``."""
+    def estimate_between(self, key, start, end, explain=False) -> float:
+        """Back-in-time window estimate of ``key`` over ``[start, end]``.
+
+        ``explain=True`` returns ``(estimate, plan)``.
+        """
         owner = self._owner(key)
         if owner is not None:
-            return self.query("estimate_between", key, start, end, shard=owner)
-        return self.query("estimate_between", key, start, end, combine="sum")
+            return self.query(
+                "estimate_between", key, start, end, shard=owner, explain=explain
+            )
+        return self.query(
+            "estimate_between", key, start, end, combine="sum", explain=explain
+        )
 
-    def total_weight_at(self, timestamp) -> float:
-        """Global stream weight at ``timestamp`` (sum across shards)."""
-        return self.query("total_weight_at", timestamp, combine="sum")
+    def total_weight_at(self, timestamp, explain=False) -> float:
+        """Global stream weight at ``timestamp`` (sum across shards).
+
+        ``explain=True`` returns ``(weight, plan)``.
+        """
+        return self.query(
+            "total_weight_at", timestamp, combine="sum", explain=explain
+        )
 
     def _combined_heavy_hitters(self, method: str, estimator, timestamp, threshold):
         candidates = self.query(method, timestamp, threshold, combine="union")
@@ -508,27 +546,47 @@ class ShardedSketchService:
             threshold,
         )
 
-    def contains_at(self, key, timestamp) -> bool:
-        """ATTP membership: was ``key`` present in the prefix at ``timestamp``?"""
+    def contains_at(self, key, timestamp, explain=False) -> bool:
+        """ATTP membership: was ``key`` present in the prefix at ``timestamp``?
+
+        ``explain=True`` returns ``(answer, plan)``.
+        """
         owner = self._owner(key)
         if owner is not None:
-            return self.query("contains_at", key, timestamp, shard=owner)
-        return self.query("contains_at", key, timestamp, combine="any")
+            return self.query(
+                "contains_at", key, timestamp, shard=owner, explain=explain
+            )
+        return self.query(
+            "contains_at", key, timestamp, combine="any", explain=explain
+        )
 
-    def contains_since(self, key, timestamp) -> bool:
-        """BITP membership over the suffix since ``timestamp``."""
+    def contains_since(self, key, timestamp, explain=False) -> bool:
+        """BITP membership over the suffix since ``timestamp``.
+
+        ``explain=True`` returns ``(answer, plan)``.
+        """
         owner = self._owner(key)
         if owner is not None:
-            return self.query("contains_since", key, timestamp, shard=owner)
-        return self.query("contains_since", key, timestamp, combine="any")
+            return self.query(
+                "contains_since", key, timestamp, shard=owner, explain=explain
+            )
+        return self.query(
+            "contains_since", key, timestamp, combine="any", explain=explain
+        )
 
-    def merged_sketch_at(self, timestamp):
-        """Cross-shard merged snapshot at ``timestamp`` (read-only)."""
-        return self._coordinator.merged_sketch_at(timestamp)
+    def merged_sketch_at(self, timestamp, explain=False):
+        """Cross-shard merged snapshot at ``timestamp`` (read-only).
 
-    def merged_sketch_since(self, timestamp):
-        """Cross-shard merged suffix summary since ``timestamp`` (read-only)."""
-        return self._coordinator.merged_sketch_since(timestamp)
+        ``explain=True`` returns ``(sketch, plan)``.
+        """
+        return self._coordinator.merged_sketch_at(timestamp, explain=explain)
+
+    def merged_sketch_since(self, timestamp, explain=False):
+        """Cross-shard merged suffix summary since ``timestamp`` (read-only).
+
+        ``explain=True`` returns ``(sketch, plan)``.
+        """
+        return self._coordinator.merged_sketch_since(timestamp, explain=explain)
 
     def quantile_at(self, timestamp, phi) -> float:
         """ATTP ``phi``-quantile at ``timestamp`` via the merged snapshot."""
@@ -547,6 +605,45 @@ class ShardedSketchService:
         return self.merged_sketch_since(timestamp).estimate()
 
     # -- introspection -----------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness summary: shard poisoning, queue depths, watermark lag.
+
+        The payload the introspection server's ``/healthz`` endpoint
+        serves; ``healthy`` is False — and the endpoint returns 503 — when
+        any shard worker is poisoned or the service is closed.
+        """
+        failed = [
+            worker.index for worker in self._workers if worker.failure is not None
+        ]
+        acked = self._acked_seqno
+        watermark = self.watermark()
+        return {
+            "healthy": not failed and not self._closed,
+            "closed": self._closed,
+            "failed_shards": failed,
+            "queue_depths": {
+                str(worker.index): worker.pending_items for worker in self._workers
+            },
+            "acked_seqno": acked,
+            "watermark": watermark,
+            "watermark_lag": acked - watermark,
+            "staged_items": self._stage_items,
+        }
+
+    def serve_introspection(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> IntrospectionServer:
+        """Start an introspection HTTP server bound to this service.
+
+        Serves ``/metrics``, ``/report``, ``/spans`` and ``/traces/<id>``
+        from the process-global telemetry state and ``/healthz`` from
+        :meth:`health` (503 while a shard is poisoned).  Returns the
+        started :class:`~repro.telemetry.IntrospectionServer` — the caller
+        owns its lifetime (``stop()`` it, or use it as a context manager);
+        ``port=0`` binds an ephemeral port exposed as ``.port``.
+        """
+        return IntrospectionServer(host=host, port=port, health=self.health).start()
 
     def cache_info(self) -> dict:
         """Coordinator answer-cache statistics."""

@@ -26,6 +26,7 @@ exception, and every later submit/overlapping wait surfaces it as
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Optional
 
@@ -33,6 +34,7 @@ import numpy as np
 
 from repro.core.base import apply_stream_batch
 from repro.telemetry.registry import TELEMETRY as _TEL
+from repro.telemetry.spans import current_trace, record_span, span
 
 BACKPRESSURE_POLICIES = ("block", "drop", "error")
 
@@ -57,6 +59,11 @@ _TEL.registry.declare(
     "service_backpressure_drops_total",
     "counter",
     "Items dropped by the drop backpressure policy, by shard.",
+)
+_TEL.registry.declare(
+    "service_queue_wait_seconds",
+    "histogram",
+    "Enqueue-to-drain latency of queued ingest sub-batches, by shard.",
 )
 
 
@@ -165,6 +172,9 @@ class ShardWorker:
         self._drops_counter = _TEL.counter(
             "service_backpressure_drops_total", shard=shard
         )
+        self._queue_wait_hist = _TEL.histogram(
+            "service_queue_wait_seconds", shard=shard
+        )
         self._thread = threading.Thread(
             target=self._run, name=f"shard-worker-{index}", daemon=True
         )
@@ -185,11 +195,33 @@ class ShardWorker:
         is always admitted into an *empty* queue, however large, so an
         arrival batch bigger than the capacity can never deadlock a
         blocking producer.
+
+        With telemetry on, the enqueue is traced (``service.enqueue``,
+        nesting under the producer's active span) and the entry carries the
+        enqueue span's :class:`~repro.telemetry.spans.TraceContext` plus its
+        enqueue timestamp, so the worker thread can link its queue-wait and
+        apply spans back into the producer's trace.
         """
         self.raise_if_failed()
         n = len(values)
         if n == 0:
             return 0
+        if not _TEL.enabled:
+            return self._submit_locked(values, timestamps, weights, seqno, None, None)
+        with span("service.enqueue", shard=self.index, items=n) as enq_span:
+            accepted = self._submit_locked(
+                values,
+                timestamps,
+                weights,
+                seqno,
+                enq_span.context,
+                time.perf_counter(),
+            )
+            enq_span.set_attr("accepted", accepted)
+            return accepted
+
+    def _submit_locked(self, values, timestamps, weights, seqno, ctx, enqueued_at):
+        n = len(values)
         with self._cond:
             while (
                 self.policy == "block"
@@ -218,7 +250,7 @@ class ShardWorker:
                     f"({self._pending_items}/{self.capacity} items)"
                 )
             before = self._pending_items
-            self._queue.append((values, timestamps, weights, seqno))
+            self._queue.append((values, timestamps, weights, seqno, ctx, enqueued_at))
             self._pending_items += n
             if seqno > self.acked_seqno:
                 self.acked_seqno = seqno
@@ -268,9 +300,9 @@ class ShardWorker:
         parts = []
         taken = 0
         while self._queue and taken < self.max_drain_items:
-            values, timestamps, weights, seqno = self._queue.popleft()
-            parts.append((values, timestamps, weights, seqno))
-            taken += len(values)
+            entry = self._queue.popleft()
+            parts.append(entry)
+            taken += len(entry[0])
         self._pending_items -= taken
         return parts, taken
 
@@ -278,8 +310,7 @@ class ShardWorker:
     def _fuse(parts):
         """Concatenate queued sub-batches into one (values, ts, weights)."""
         if len(parts) == 1:
-            values, timestamps, weights, _ = parts[0]
-            return values, timestamps, weights
+            return parts[0][0], parts[0][1], parts[0][2]
         values = np.concatenate([part[0] for part in parts])
         timestamps = np.concatenate([part[1] for part in parts])
         if all(part[2] is None for part in parts):
@@ -321,9 +352,43 @@ class ShardWorker:
                 self._cond.notify_all()  # wake blocked producers
             values, timestamps, weights = self._fuse(parts)
             last_seqno = parts[-1][3]
+            apply_parent = None
+            if _TEL.enabled:
+                # queue-wait is only known now, at drain time: synthesise one
+                # finished span per sub-batch, parented into the trace its
+                # producer captured at enqueue, and feed the per-shard
+                # enqueue→drain latency histogram
+                drained_at = time.perf_counter()
+                for part in parts:
+                    ctx, enqueued_at = part[4], part[5]
+                    if apply_parent is None and ctx is not None:
+                        apply_parent = ctx
+                    if enqueued_at is None:
+                        continue
+                    wait = drained_at - enqueued_at
+                    self._queue_wait_hist.observe(wait)
+                    record_span(
+                        "service.queue_wait",
+                        start=enqueued_at,
+                        wall_seconds=wait,
+                        parent=ctx,
+                        shard=self.index,
+                        items=len(part[0]),
+                        seqno=part[3],
+                    )
             try:
-                with self.lock:
-                    apply_stream_batch(self.sketch, values, timestamps, weights)
+                # the apply joins the first traced sub-batch's trace; the
+                # other fused sub-batches still link to it via their shared
+                # queue_wait/enqueue ancestry being drained together
+                with span(
+                    "service.apply_batch",
+                    parent=apply_parent,
+                    shard=self.index,
+                    items=taken,
+                    fused=len(parts),
+                ):
+                    with self.lock:
+                        apply_stream_batch(self.sketch, values, timestamps, weights)
             except BaseException as exc:  # noqa: BLE001 — includes SimulatedCrash
                 with self._cond:
                     self.failure = exc

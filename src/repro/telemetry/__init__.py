@@ -37,9 +37,11 @@ from repro.telemetry.export import (
     MetricSample,
     iter_samples,
     load_jsonl,
+    load_traces_jsonl,
     prometheus_text,
     snapshot_lines,
     write_jsonl,
+    write_traces_jsonl,
 )
 from repro.telemetry.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -54,11 +56,16 @@ from repro.telemetry.registry import (
     timed,
 )
 from repro.telemetry.report import report
+from repro.telemetry.server import IntrospectionServer
 from repro.telemetry.spans import (
     DEFAULT_SPAN_CAPACITY,
     SPANS,
     SpanCollector,
     SpanRecord,
+    TraceContext,
+    current_trace,
+    new_span_id,
+    record_span,
     span,
 )
 
@@ -91,6 +98,7 @@ __all__ = [
     "DEFAULT_SPAN_CAPACITY",
     "Gauge",
     "Histogram",
+    "IntrospectionServer",
     "MemoryReport",
     "MetricFamily",
     "MetricSample",
@@ -100,15 +108,20 @@ __all__ = [
     "SpanRecord",
     "TELEMETRY",
     "TelemetryControl",
+    "TraceContext",
     "account",
     "account_and_publish",
+    "current_trace",
     "disable",
     "enable",
     "enabled",
     "iter_samples",
     "load_jsonl",
+    "load_traces_jsonl",
+    "new_span_id",
     "prometheus_text",
     "publish",
+    "record_span",
     "report",
     "reset",
     "sketch_metrics",
@@ -116,4 +129,5 @@ __all__ = [
     "span",
     "timed",
     "write_jsonl",
+    "write_traces_jsonl",
 ]

@@ -1,4 +1,4 @@
-"""Exporters: JSON-lines snapshots and the Prometheus text format.
+"""Exporters: JSON-lines snapshots, trace dumps, and Prometheus text.
 
 Two complementary shapes of the same registry state:
 
@@ -16,6 +16,12 @@ Two complementary shapes of the same registry state:
 Both exporters read the registry passed in (defaulting to the global one)
 and never mutate it; exporting with telemetry disabled is allowed and
 simply serialises whatever was recorded while it was on.
+
+Traces export the same way: :func:`write_traces_jsonl` dumps the span
+collector (one JSON object per finished span, trace/span/parent ids and
+attributes included) and :func:`load_traces_jsonl` round-trips the lines
+back into :class:`~repro.telemetry.spans.SpanRecord` objects, so a trace
+captured on a server can be reassembled and inspected offline.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
 from repro.telemetry.registry import Histogram, MetricsRegistry, TELEMETRY
+from repro.telemetry.spans import SPANS, SpanCollector, SpanRecord
 
 
 @dataclass(frozen=True)
@@ -136,6 +143,61 @@ def load_jsonl(path) -> List[MetricSample]:
             )
         )
     return samples
+
+
+def write_traces_jsonl(path, spans: Optional[SpanCollector] = None) -> Path:
+    """Write every retained span (default: the global collector) to ``path``.
+
+    One JSON object per line, one line per finished span, in recording
+    order — ``name``, nesting ``depth``/``parent``, monotonic ``start``,
+    wall/CPU seconds, ``trace_id``/``span_id``/``parent_id``, ``attrs``
+    and the recording ``thread``.  Round-trips through
+    :func:`load_traces_jsonl`.
+    """
+    spans = spans if spans is not None else SPANS
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(record.as_dict(), sort_keys=True)
+        for record in spans.snapshot()
+    ]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def load_traces_jsonl(path) -> List[SpanRecord]:
+    """Load a trace dump back into :class:`SpanRecord` objects.
+
+    The loaded records compare equal to the exported ones field-for-field;
+    group them by ``trace_id`` (or feed a fresh
+    :class:`~repro.telemetry.spans.SpanCollector` via ``record``) to
+    reassemble per-request trace trees offline.
+    """
+    records: List[SpanRecord] = []
+    for line_number, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{line_number}: not valid JSON: {error}") from error
+        records.append(
+            SpanRecord(
+                name=payload["name"],
+                depth=int(payload["depth"]),
+                parent=payload.get("parent"),
+                start=float(payload["start"]),
+                wall_seconds=float(payload["wall_seconds"]),
+                cpu_seconds=float(payload["cpu_seconds"]),
+                trace_id=payload.get("trace_id", ""),
+                span_id=payload.get("span_id", ""),
+                parent_id=payload.get("parent_id"),
+                attrs=dict(payload.get("attrs", {})),
+                thread=payload.get("thread", ""),
+            )
+        )
+    return records
 
 
 def _escape_label_value(value: str) -> str:

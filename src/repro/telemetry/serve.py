@@ -1,0 +1,74 @@
+"""``python -m repro.telemetry.serve`` — run the introspection server.
+
+Starts an :class:`~repro.telemetry.server.IntrospectionServer` on the
+process-global telemetry state and blocks until interrupted.  On its own
+this serves whatever the current process has recorded (nothing, for a
+fresh interpreter) — the flag ``--demo`` ingests a small traced workload
+first so every endpoint has something to show::
+
+    PYTHONPATH=src python -m repro.telemetry.serve --port 9464 --demo
+
+For a real deployment, prefer embedding: call
+``ShardedSketchService.serve_introspection()`` from the serving process so
+``/healthz`` reflects actual shard health.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.telemetry.registry import TELEMETRY
+from repro.telemetry.server import IntrospectionServer
+
+
+def _demo_workload() -> None:
+    """Ingest a tiny traced workload so the endpoints are non-empty."""
+    from repro.core import ChainMisraGries
+    from repro.service import ShardedSketchService
+
+    service = ShardedSketchService(
+        lambda: ChainMisraGries(eps=0.01), num_shards=2
+    )
+    try:
+        for t in range(1, 51):
+            service.ingest_batch([t % 7, (t * 3) % 7], [t, t])
+        service.drain()
+        service.estimate_at(3, 25)
+    finally:
+        service.close()
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.serve",
+        description="Serve /metrics, /healthz, /report, /spans and "
+        "/traces/<id> from this process's telemetry state.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=9464, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="ingest a small traced workload first so endpoints are non-empty",
+    )
+    args = parser.parse_args(argv)
+
+    TELEMETRY.enable()
+    if args.demo:
+        _demo_workload()
+    with IntrospectionServer(host=args.host, port=args.port) as server:
+        print(f"introspection server listening on {server.url}")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,202 @@
+"""The live introspection server: metrics, health, report, spans, traces.
+
+A dependency-free (stdlib ``http.server``) HTTP endpoint serving the
+process-global telemetry state, so an operator can look *inside* a running
+ingest/query process — the sharded service, a bench, a recovery run —
+without stopping it:
+
+========================  ====================================================
+Endpoint                  Serves
+========================  ====================================================
+``/metrics``              Prometheus text exposition of the metrics registry.
+``/healthz``              JSON health summary; **503** when unhealthy (e.g. a
+                          poisoned shard), 200 otherwise — point your load
+                          balancer or liveness probe here.
+``/report``               The human-readable ``telemetry.report()`` text.
+``/spans``                All retained finished spans as JSON.
+``/traces``               The distinct trace ids currently retained.
+``/traces/<id>``          Every span of one trace (404 for unknown ids).
+========================  ====================================================
+
+Wire it to a service with
+:meth:`repro.service.ShardedSketchService.serve_introspection`, run it
+standalone with ``python -m repro.telemetry.serve``, or embed it::
+
+    from repro.telemetry import IntrospectionServer
+
+    with IntrospectionServer(port=0) as server:      # port=0: ephemeral
+        print(server.url)                            # http://127.0.0.1:NNNNN
+        ...
+
+The server runs on a daemon thread (``ThreadingHTTPServer``, one handler
+thread per request) and only ever *reads* telemetry state — scraping never
+mutates a metric or drops a span.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.registry import MetricsRegistry, TELEMETRY
+from repro.telemetry.report import report
+from repro.telemetry.spans import SPANS, SpanCollector
+
+
+def _default_health() -> dict:
+    """Health payload when no service is attached: the process is up."""
+    return {"healthy": True, "status": "ok"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one GET to the telemetry state held by the bound server."""
+
+    # BaseHTTPRequestHandler logs every request to stderr by default; an
+    # introspection endpoint scraped every few seconds must stay silent.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send(
+            status,
+            "application/json; charset=utf-8",
+            json.dumps(payload, sort_keys=True, default=str) + "\n",
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        """Serve one introspection route (see the module table)."""
+        registry = self.server.registry  # type: ignore[attr-defined]
+        spans: SpanCollector = self.server.spans  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            self._send(200, "text/plain; version=0.0.4; charset=utf-8",
+                       prometheus_text(registry))
+        elif path == "/healthz":
+            payload = self.server.health()  # type: ignore[attr-defined]
+            healthy = bool(payload.get("healthy", True))
+            self._send_json(200 if healthy else 503, payload)
+        elif path == "/report":
+            self._send(200, "text/plain; charset=utf-8",
+                       report(registry, spans) + "\n")
+        elif path == "/spans":
+            snapshot = spans.snapshot()
+            self._send_json(200, {
+                "spans": [record.as_dict() for record in snapshot],
+                "count": len(snapshot),
+                "dropped": spans.dropped,
+                "capacity": spans.capacity,
+            })
+        elif path == "/traces":
+            self._send_json(200, {"traces": spans.trace_ids()})
+        elif path.startswith("/traces/"):
+            trace_id = path[len("/traces/"):]
+            records = spans.trace(trace_id)
+            if not records:
+                self._send_json(404, {"error": f"unknown trace {trace_id!r}"})
+            else:
+                self._send_json(200, {
+                    "trace_id": trace_id,
+                    "spans": [record.as_dict() for record in records],
+                })
+        elif path == "/":
+            self._send_json(200, {
+                "endpoints": ["/metrics", "/healthz", "/report", "/spans",
+                              "/traces", "/traces/<id>"],
+            })
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
+
+class IntrospectionServer:
+    """A background HTTP server exposing the process's telemetry state.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` (default) picks an ephemeral port, exposed
+        as :attr:`port` / :attr:`url` after :meth:`start`.
+    health:
+        Zero-argument callable returning the ``/healthz`` JSON payload; a
+        falsy ``"healthy"`` key turns the response into a 503.  Defaults to
+        an always-healthy process-up payload; the sharded service passes
+        its own :meth:`~repro.service.ShardedSketchService.health`.
+    registry, spans:
+        The metric registry and span collector to serve (default: the
+        process-global ones).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health: Optional[Callable[[], dict]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanCollector] = None,
+    ):
+        self._host = host
+        self._requested_port = port
+        self._health = health or _default_health
+        self._registry = registry or TELEMETRY.registry
+        self._spans = spans if spans is not None else SPANS
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "IntrospectionServer":
+        """Bind and serve on a daemon thread (idempotent); returns self."""
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        httpd.daemon_threads = True
+        httpd.registry = self._registry  # type: ignore[attr-defined]
+        httpd.spans = self._spans  # type: ignore[attr-defined]
+        httpd.health = self._health  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name=f"introspection-{httpd.server_address[1]}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("server not started — call start()")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server, e.g. ``http://127.0.0.1:43217``."""
+        return f"http://{self._host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "IntrospectionServer":
+        """Start on context entry."""
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Stop on context exit."""
+        self.stop()

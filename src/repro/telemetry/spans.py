@@ -1,4 +1,4 @@
-"""Lightweight tracing spans: nesting, wall time, CPU time.
+"""Request-scoped tracing spans: trace ids, attributes, cross-thread links.
 
 A span brackets one operation::
 
@@ -10,36 +10,97 @@ A span brackets one operation::
 When telemetry is disabled, :func:`span` returns a shared no-op context
 manager — one attribute check plus one function call, no allocation.  When
 enabled, finished spans land in the process-global :data:`SPANS` collector
-(a bounded ring buffer) carrying their name, nesting depth, parent name,
-wall seconds (``time.perf_counter``) and CPU seconds (``time.process_time``),
-and every span additionally feeds the ``span_wall_seconds`` histogram so
-per-operation p50/p95/p99 are available from the registry alone.
+(a bounded, thread-safe ring buffer) carrying their name, nesting depth,
+parent name, wall seconds (``time.perf_counter``) and CPU seconds
+(``time.process_time``), and every span additionally feeds the
+``span_wall_seconds`` histogram so per-operation p50/p95/p99 are available
+from the registry alone.
+
+Distributed tracing
+-------------------
+Every finished span carries a **trace identity**: a ``trace_id`` naming the
+request it belongs to, its own ``span_id``, and a ``parent_id`` linking it
+to the span that caused it.  Within one thread the parent chain follows the
+nesting stack automatically; a span with no enclosing span starts a fresh
+trace.  To continue a trace *across threads* (the sharded service's
+producer → shard-worker hop), capture the active context and hand it to the
+other side explicitly::
+
+    ctx = current_trace()                 # producer thread
+    queue.put((payload, ctx))
+
+    payload, ctx = queue.get()            # worker thread
+    with span("service.apply_batch", parent=ctx, shard=3):
+        ...
+
+Spans also carry key-value **attributes** — pass them as keyword arguments
+to :func:`span` or add them mid-flight with :meth:`Span.set_attr`.  Keep
+values JSON-serialisable scalars; the trace exporter
+(:func:`repro.telemetry.export.write_traces_jsonl`) round-trips them.
+
+Already-finished work (e.g. the time a sub-batch spent queued, measured at
+dequeue) is recorded with :func:`record_span`, which synthesises a finished
+span without a context manager.
 
 Span naming convention (enforced only by review, documented in
 docs/OBSERVABILITY.md): ``<component>.<operation>``, lowercase, dot-
-separated — e.g. ``wal.rotate``, ``merge_tree.seal_block``,
-``harness.feed_log_stream``.
+separated — e.g. ``wal.append``, ``merge_tree.seal_block``,
+``service.ingest_batch``.
 
 Nesting is tracked per thread (a ``threading.local`` stack), so concurrent
-readers do not corrupt each other's parent chains.
+readers do not corrupt each other's parent chains; the collector's record
+buffer is guarded by a lock, so concurrent shard workers cannot corrupt the
+ring buffer or lose ``dropped`` counts.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.telemetry.registry import TELEMETRY
 
 #: Retain at most this many finished spans (oldest evicted first).
 DEFAULT_SPAN_CAPACITY = 4096
 
+_IDS = itertools.count(1)
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit identifier, unique within this process.
+
+    ``itertools.count.__next__`` is atomic under the GIL, so concurrent
+    threads never draw the same id.  Used for both trace and span ids.
+    """
+    return f"{next(_IDS):016x}"
+
 
 @dataclass(frozen=True)
+class TraceContext:
+    """The portable identity of an active span: hand it across threads.
+
+    ``trace_id`` names the request; ``span_id`` names the span that will be
+    the parent of whatever the receiving side starts; ``name`` is that
+    parent's span name (carried for readable trace trees, not identity).
+    """
+
+    trace_id: str
+    span_id: str
+    name: Optional[str] = None
+
+
+@dataclass
 class SpanRecord:
-    """One finished span."""
+    """One finished span.
+
+    A plain (non-frozen) dataclass: records are produced on every traced
+    operation, and the frozen-dataclass ``__init__`` costs ~5x the plain
+    one — measurable against a sub-millisecond service batch.  Treat
+    records as immutable by convention.
+    """
 
     name: str
     depth: int  # 0 = top level
@@ -47,10 +108,37 @@ class SpanRecord:
     start: float  # perf_counter() at __enter__ (monotonic, not wall-clock)
     wall_seconds: float
     cpu_seconds: float
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: Optional[str] = None  # parent span's id, None at a trace root
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    thread: str = ""
+
+    def as_dict(self) -> dict:
+        """The JSON payload for this record (trace exporter line format)."""
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "parent": self.parent,
+            "start": self.start,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "attrs": self.attrs,
+            "thread": self.thread,
+        }
 
 
 class SpanCollector:
-    """Bounded buffer of finished spans plus per-thread nesting state."""
+    """Bounded, thread-safe buffer of finished spans plus nesting state.
+
+    Appends, eviction accounting, and snapshot reads are serialised by an
+    internal lock — the multi-threaded service records spans from every
+    shard worker concurrently.  The per-thread nesting stacks live in a
+    ``threading.local`` and need no lock.
+    """
 
     def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY):
         if capacity < 1:
@@ -58,6 +146,7 @@ class SpanCollector:
         self.capacity = capacity
         self.records: List[SpanRecord] = []
         self.dropped = 0
+        self._lock = threading.Lock()
         self._local = threading.local()
 
     def _stack(self) -> list:
@@ -69,15 +158,37 @@ class SpanCollector:
 
     def record(self, record: SpanRecord) -> None:
         """Append one finished span, evicting the oldest beyond capacity."""
-        self.records.append(record)
-        if len(self.records) > self.capacity:
-            del self.records[0 : len(self.records) - self.capacity]
-            self.dropped += 1
+        with self._lock:
+            self.records.append(record)
+            if len(self.records) > self.capacity:
+                evicted = len(self.records) - self.capacity
+                del self.records[0:evicted]
+                self.dropped += evicted
+
+    def snapshot(self) -> List[SpanRecord]:
+        """A consistent copy of the current records (oldest first)."""
+        with self._lock:
+            return list(self.records)
+
+    def trace(self, trace_id: str) -> List[SpanRecord]:
+        """All retained spans of one trace, oldest first."""
+        with self._lock:
+            return [r for r in self.records if r.trace_id == trace_id]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids currently retained, in first-seen order."""
+        with self._lock:
+            seen: Dict[str, None] = {}
+            for record in self.records:
+                if record.trace_id:
+                    seen.setdefault(record.trace_id, None)
+            return list(seen)
 
     def clear(self) -> None:
         """Drop all finished spans (nesting state is untouched)."""
-        self.records.clear()
-        self.dropped = 0
+        with self._lock:
+            self.records.clear()
+            self.dropped = 0
 
 
 #: The process-global span collector.
@@ -89,20 +200,73 @@ _SPAN_WALL = TELEMETRY.registry.declare(
     "Wall-clock duration of traced spans, by span name.",
 )
 
+#: Per-name histogram children, bound once: ``labels()`` re-derives the
+#: child key on every call (~2.3us), which would dominate a span's cost.
+#: Children are zeroed in place by ``registry.reset()``, so cached
+#: references never go stale; a racing first-bind is harmless because
+#: ``labels()`` returns the same child for the same labelset.
+_WALL_CHILDREN: Dict[str, Any] = {}
+
+
+def _observe_wall(name: str, wall: float) -> None:
+    child = _WALL_CHILDREN.get(name)
+    if child is None:
+        child = _WALL_CHILDREN[name] = _SPAN_WALL.labels(span=name)
+    child.observe(wall)
+
 
 class Span:
     """An active span; use via :func:`span`, not directly."""
 
-    __slots__ = ("name", "_start_wall", "_start_cpu", "_depth", "_parent")
+    __slots__ = (
+        "name",
+        "attrs",
+        "trace_id",
+        "span_id",
+        "_explicit_parent",
+        "_parent_name",
+        "_parent_id",
+        "_start_wall",
+        "_start_cpu",
+        "_depth",
+        "_stack_ref",
+    )
 
-    def __init__(self, name: str):
+    def __init__(
+        self, name: str, parent: Optional[TraceContext] = None, **attrs: Any
+    ):
         self.name = name
+        self.attrs: Dict[str, Any] = attrs  # **kwargs: already a fresh dict
+        self._explicit_parent = parent
+
+    def set_attr(self, key: str, value: Any) -> "Span":
+        """Attach (or overwrite) one key-value attribute; returns self."""
+        self.attrs[key] = value
+        return self
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's :class:`TraceContext` (valid after ``__enter__``)."""
+        return TraceContext(self.trace_id, self.span_id, self.name)
 
     def __enter__(self) -> "Span":
-        stack = SPANS._stack()
+        stack = self._stack_ref = SPANS._stack()
         self._depth = len(stack)
-        self._parent = stack[-1] if stack else None
-        stack.append(self.name)
+        enclosing = stack[-1] if stack else None
+        if self._explicit_parent is not None:
+            self.trace_id = self._explicit_parent.trace_id
+            self._parent_id = self._explicit_parent.span_id
+            self._parent_name = self._explicit_parent.name
+        elif enclosing is not None:
+            self.trace_id = enclosing.trace_id
+            self._parent_id = enclosing.span_id
+            self._parent_name = enclosing.name
+        else:
+            self.trace_id = new_span_id()
+            self._parent_id = None
+            self._parent_name = None
+        self.span_id = new_span_id()
+        stack.append(self)
         self._start_cpu = time.process_time()
         self._start_wall = time.perf_counter()
         return self
@@ -110,20 +274,27 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         wall = time.perf_counter() - self._start_wall
         cpu = time.process_time() - self._start_cpu
-        stack = SPANS._stack()
-        if stack and stack[-1] == self.name:
+        stack = self._stack_ref
+        if stack and stack[-1] is self:
             stack.pop()
+        # The span is finished: the record adopts self.attrs without a
+        # defensive copy (set_attr after __exit__ is not supported).
         SPANS.record(
             SpanRecord(
-                name=self.name,
-                depth=self._depth,
-                parent=self._parent,
-                start=self._start_wall,
-                wall_seconds=wall,
-                cpu_seconds=cpu,
+                self.name,
+                self._depth,
+                self._parent_name,
+                self._start_wall,
+                wall,
+                cpu,
+                self.trace_id,
+                self.span_id,
+                self._parent_id,
+                self.attrs,
+                threading.current_thread().name,
             )
         )
-        _SPAN_WALL.labels(span=self.name).observe(wall)
+        _observe_wall(self.name, wall)
         return False
 
 
@@ -138,12 +309,85 @@ class _NullSpan:
     def __exit__(self, exc_type, exc, tb) -> bool:
         return False
 
+    def set_attr(self, key: str, value: Any) -> "_NullSpan":
+        """No-op attribute setter; returns self."""
+        return self
+
+    @property
+    def context(self) -> None:
+        """The null span has no trace identity."""
+        return None
+
 
 _NULL_SPAN = _NullSpan()
 
 
-def span(name: str):
-    """A context manager tracing ``name`` — no-op when telemetry is off."""
+def span(name: str, parent: Optional[TraceContext] = None, **attrs: Any):
+    """A context manager tracing ``name`` — no-op when telemetry is off.
+
+    ``parent`` explicitly adopts a :class:`TraceContext` captured on
+    another thread (cross-thread propagation); without it the span nests
+    under the thread's enclosing span, or starts a new trace at top level.
+    Extra keyword arguments become span attributes.
+    """
     if not TELEMETRY.enabled:
         return _NULL_SPAN
-    return Span(name)
+    return Span(name, parent=parent, **attrs)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The active span's :class:`TraceContext` on this thread, or None.
+
+    This is the producer half of cross-thread propagation: capture it where
+    the work is *caused* (e.g. at enqueue) and pass it to wherever the work
+    is *performed* (``span(..., parent=ctx)`` or :func:`record_span`).
+    Returns None when telemetry is disabled or no span is active.
+    """
+    if not TELEMETRY.enabled:
+        return None
+    stack = SPANS._stack()
+    if not stack:
+        return None
+    return stack[-1].context
+
+
+def record_span(
+    name: str,
+    start: float,
+    wall_seconds: float,
+    parent: Optional[TraceContext] = None,
+    cpu_seconds: float = 0.0,
+    **attrs: Any,
+) -> Optional[SpanRecord]:
+    """Synthesise one already-finished span (no context manager).
+
+    For phases whose duration is only known after the fact — e.g. the
+    queue-wait of a shard sub-batch, measured when the worker dequeues it:
+    ``start`` is the ``perf_counter`` value at the phase's beginning and
+    ``wall_seconds`` its measured duration.  The record joins ``parent``'s
+    trace when given, otherwise it starts a trace of its own.  Feeds the
+    ``span_wall_seconds`` histogram like a context-managed span.  No-op
+    returning None when telemetry is disabled.
+    """
+    if not TELEMETRY.enabled:
+        return None
+    if parent is not None:
+        trace_id, parent_id, parent_name = parent.trace_id, parent.span_id, parent.name
+    else:
+        trace_id, parent_id, parent_name = new_span_id(), None, None
+    record = SpanRecord(
+        name,
+        0 if parent is None else 1,
+        parent_name,
+        start,
+        wall_seconds,
+        cpu_seconds,
+        trace_id,
+        new_span_id(),
+        parent_id,
+        attrs,
+        threading.current_thread().name,
+    )
+    SPANS.record(record)
+    _observe_wall(name, wall_seconds)
+    return record

@@ -1,0 +1,324 @@
+"""Explain-plan fidelity: plans list exactly what the structures hold.
+
+The plan hooks (``plan_at``/``plan_since``) must be a faithful account of
+the read, not a guess: hypothesis drives random monotone streams and query
+times and cross-checks every plan against the structure's actual contents —
+``checkpoints_between`` for the chain, ``node_metadata`` plus an
+independent re-computation of the greedy cover for the merge tree, and a
+transparent counting sketch whose merged total must equal the plan's
+``covered_items`` exactly.  Coordinator- and service-level ``explain=True``
+behaviour (answer equivalence, cache-hit plans, per-shard entries) is
+covered at the bottom.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ChainMisraGries, CheckpointChain, MergeTreePersistence
+from repro.service import QueryPlan, ShardedSketchService, ShardPlan
+from repro.sketches.misra_gries import MisraGries
+
+
+class CountingSketch:
+    """A transparent mergeable sketch: its state is the exact item count."""
+
+    def __init__(self):
+        self.total = 0
+
+    def update(self, value, weight=1.0):
+        self.total += 1
+
+    def merge(self, other):
+        self.total += other.total
+
+    def memory_bytes(self):
+        return 8
+
+
+def monotone_stream():
+    """Lists of positive time gaps; cumsum gives a non-decreasing stream."""
+    return st.lists(
+        st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+        min_size=1,
+        max_size=120,
+    )
+
+
+query_offset = st.floats(min_value=-2.0, max_value=8.0, allow_nan=False)
+
+
+class TestCheckpointChainPlanFidelity:
+    @given(gaps=monotone_stream(), offset=query_offset, eps=st.sampled_from([0.05, 0.3]))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_names_exactly_the_answering_checkpoint(self, gaps, offset, eps):
+        chain = CheckpointChain(lambda: MisraGries(k=8), eps=eps)
+        times = np.cumsum(gaps)
+        for step, t in enumerate(times):
+            chain.update(step % 5, float(t))
+        t_query = float(times[0] + offset)
+        plan = chain.plan_at(t_query)
+        stored = list(chain.checkpoints())
+        assert plan["structure"] == "checkpoint_chain"
+        assert plan["checkpoints_stored"] == len(stored) == chain.num_checkpoints()
+        answer = chain.sketch_at(t_query)
+        if plan["source"] == "live":
+            assert answer is chain.live
+            assert plan["sealed_read"] == 0 and plan["live_partial"] == 1
+            assert plan["error_bound"] == 0.0
+        elif plan["source"] == "checkpoint":
+            index = plan["checkpoint_index"]
+            ts, snapshot = stored[index]
+            # the named checkpoint is the one the query returns...
+            assert answer is snapshot
+            assert plan["checkpoint_timestamp"] == ts <= t_query
+            # ...and it is the *last* one at or before the query time
+            later = [s for s, _ in stored[index + 1:] if s <= t_query]
+            assert later == []
+            assert ts in chain.checkpoints_between(ts, t_query)
+            assert plan["sealed_read"] == 1 and plan["live_partial"] == 0
+            assert plan["error_bound"] == eps
+        else:
+            assert plan["source"] == "empty"
+            assert answer is None
+            assert chain.checkpoints_between(float("-inf"), t_query) == []
+
+    def test_checkpoints_between_is_inclusive_range(self):
+        chain = CheckpointChain(lambda: MisraGries(k=4), eps=0.5)
+        for step in range(20):
+            chain.update(step % 3, float(step))
+        all_ts = [ts for ts, _ in chain.checkpoints()]
+        assert chain.checkpoints_between(all_ts[0], all_ts[-1]) == all_ts
+        assert chain.checkpoints_between(all_ts[-1] + 1, all_ts[-1] + 2) == []
+
+
+def reference_cover_at(metadata, block, timestamp):
+    """Independent greedy ATTP cover over node metadata (largest-first)."""
+    usable = [node for node in metadata if node["t_end"] <= timestamp]
+    by_start = {}
+    for node in usable:
+        best = by_start.get(node["start"])
+        if best is None or node["size"] > best["size"]:
+            by_start[node["start"]] = node
+    cover, position = [], 0
+    while position in by_start:
+        node = by_start[position]
+        cover.append(node)
+        position = node["end"]
+    return cover
+
+
+def reference_cover_since(metadata, sealed_edge, timestamp, block_size):
+    """Independent BITP walk (largest-first back from the sealed edge)."""
+    usable = [node for node in metadata if node["t_start"] >= timestamp]
+    by_end = {}
+    for node in usable:
+        best = by_end.get(node["end"])
+        if best is None or node["size"] > best["size"]:
+            by_end[node["end"]] = node
+    cover, position = [], sealed_edge
+    while position in by_end:
+        node = by_end[position]
+        cover.append(node)
+        position = node["start"]
+    boundary = None
+    for node in metadata:
+        if node["end"] == position and (
+            boundary is None or node["size"] < boundary["size"]
+        ):
+            boundary = node
+    if boundary is not None and not (
+        boundary["size"] <= block_size
+        and boundary["t_end"] >= timestamp > boundary["t_start"]
+    ):
+        boundary = None
+    return cover, boundary
+
+
+class TestMergeTreePlanFidelity:
+    @given(gaps=monotone_stream(), offset=query_offset)
+    @settings(max_examples=60, deadline=None)
+    def test_attp_plan_blocks_are_exactly_the_greedy_cover(self, gaps, offset):
+        tree = MergeTreePersistence(CountingSketch, eps=0.2, mode="attp", block_size=4)
+        times = np.cumsum(gaps)
+        for step, t in enumerate(times):
+            tree.update(step, float(t))
+        t_query = float(times[0] + offset)
+        plan = tree.plan_at(t_query)
+        metadata = tree.node_metadata()
+        # every listed block is a stored node, and the list *is* the cover
+        expected = reference_cover_at(metadata, tree.block_size, t_query)
+        assert plan["blocks"] == expected
+        for block in plan["blocks"]:
+            assert block in metadata
+            assert block["t_end"] <= t_query
+        # blocks tile [0, position) left to right without gaps or overlap
+        position = 0
+        for block in plan["blocks"]:
+            assert block["start"] == position
+            position = block["end"]
+        assert plan["sealed_read"] == len(plan["blocks"])
+        assert plan["nodes_stored"] == tree.num_nodes() == len(metadata)
+        # the counting sketch makes coverage exact: what the query merges
+        # is precisely the items the plan claims were covered
+        assert tree.sketch_at(t_query).total == plan["covered_items"]
+
+    @given(gaps=monotone_stream(), offset=query_offset)
+    @settings(max_examples=60, deadline=None)
+    def test_bitp_plan_blocks_are_exactly_the_suffix_cover(self, gaps, offset):
+        tree = MergeTreePersistence(CountingSketch, eps=0.2, mode="bitp", block_size=4)
+        times = np.cumsum(gaps)
+        for step, t in enumerate(times):
+            tree.update(step, float(t))
+        t_query = float(times[0] + offset)
+        plan = tree.plan_since(t_query)
+        metadata = tree.node_metadata()
+        expected, boundary = reference_cover_since(
+            metadata, tree._block_start, t_query, tree.block_size
+        )
+        assert plan["blocks"] == expected
+        assert plan["boundary"] == boundary
+        for block in plan["blocks"]:
+            assert block in metadata
+            assert block["t_start"] >= t_query
+        if plan["boundary"] is not None:
+            assert plan["boundary"] in metadata
+            assert plan["boundary"]["t_end"] >= t_query > plan["boundary"]["t_start"]
+        assert plan["sealed_read"] == len(plan["blocks"]) + (
+            1 if plan["boundary"] is not None else 0
+        )
+        assert tree.sketch_since(t_query).total == plan["covered_items"]
+
+    def test_plan_mode_guards(self):
+        attp = MergeTreePersistence(CountingSketch, eps=0.5, mode="attp")
+        bitp = MergeTreePersistence(CountingSketch, eps=0.5, mode="bitp")
+        with pytest.raises(RuntimeError):
+            attp.plan_since(0.0)
+        with pytest.raises(RuntimeError):
+            bitp.plan_at(0.0)
+
+
+def mg_factory():
+    return ChainMisraGries(eps=0.01)
+
+
+def chain_factory():
+    return CheckpointChain(lambda: MisraGries(k=16), eps=0.2)
+
+
+class TestServiceExplain:
+    def test_explain_returns_answer_and_plan(self):
+        with ShardedSketchService(mg_factory, num_shards=3, cache_size=0) as service:
+            service.ingest_batch(list(range(30)), list(range(30)))
+            service.drain()
+            plain = service.estimate_at(5, 20.0)
+            answer, plan = service.estimate_at(5, 20.0, explain=True)
+            assert answer == plain
+            assert isinstance(plan, QueryPlan)
+            assert plan.method == "estimate_at"
+            assert plan.cache_hit is False
+            assert plan.wall_seconds > 0
+            assert plan.watermark == service.watermark()
+
+    def test_single_shard_query_has_one_shard_plan(self):
+        with ShardedSketchService(mg_factory, num_shards=4) as service:
+            service.ingest_batch(list(range(40)), list(range(40)))
+            service.drain()
+            _, plan = service.estimate_at(7, 30.0, explain=True)
+            assert plan.shard is not None
+            assert len(plan.shards) == 1
+            (shard_plan,) = plan.shards
+            assert isinstance(shard_plan, ShardPlan)
+            assert shard_plan.shard == plan.shard
+            assert shard_plan.wall_seconds >= 0
+
+    def test_fanout_explain_covers_every_shard(self):
+        with ShardedSketchService(
+            mg_factory, num_shards=3, partition="round_robin"
+        ) as service:
+            service.ingest_batch(list(range(30)), list(range(30)))
+            service.drain()
+            _, plan = service.estimate_at(5, 20.0, explain=True)
+            assert plan.shard is None
+            assert [shard_plan.shard for shard_plan in plan.shards] == [0, 1, 2]
+
+    def test_chain_shard_plans_carry_checkpoint_details(self):
+        with ShardedSketchService(
+            chain_factory, num_shards=2, partition="round_robin"
+        ) as service:
+            service.ingest_batch(list(range(40)), list(range(40)))
+            service.drain()
+            sketches, plan = service.query(
+                "sketch_at", 20.0, combine="list", explain=True
+            )
+            assert len(sketches) == len(plan.shards) == 2
+            for shard_plan in plan.shards:
+                assert shard_plan.structure == "checkpoint_chain"
+                details = shard_plan.details
+                assert details["source"] in ("live", "checkpoint", "empty")
+                assert (
+                    details["sealed_read"] + details["live_partial"] >= 1
+                )
+            assert plan.sealed_reads() + plan.live_partials() >= 2
+
+    def test_cache_hit_plan_has_no_shard_entries(self):
+        with ShardedSketchService(mg_factory, num_shards=2) as service:
+            service.ingest_batch(list(range(20)), list(range(20)))
+            service.drain()
+            _, first = service.estimate_at(3, 10.0, explain=True)
+            _, second = service.estimate_at(3, 10.0, explain=True)
+            assert first.cache_hit is False
+            assert second.cache_hit is True
+            assert second.shards == ()
+
+    def test_explain_does_not_change_cached_answer_shape(self):
+        with ShardedSketchService(mg_factory, num_shards=2) as service:
+            service.ingest_batch(list(range(20)), list(range(20)))
+            service.drain()
+            answer, _ = service.estimate_at(4, 15.0, explain=True)
+            assert service.estimate_at(4, 15.0) == answer
+
+    def test_plan_without_hook_reports_wall_time_only(self):
+        # elementwise chains keep per-key histories, not checkpoint/block
+        # structures, so they have no plan hook — wall time only
+        with ShardedSketchService(
+            mg_factory, num_shards=2, partition="round_robin"
+        ) as service:
+            service.ingest_batch([1, 2, 3, 4], [1, 2, 3, 4])
+            service.drain()
+            _, plan = service.estimate_at(2, 3.0, explain=True)
+            assert plan.shards
+            for shard_plan in plan.shards:
+                assert shard_plan.details is None
+                assert shard_plan.structure is None
+                assert shard_plan.wall_seconds >= 0
+            assert "(no plan hook)" in plan.render()
+
+    def test_plan_render_and_as_dict(self):
+        with ShardedSketchService(mg_factory, num_shards=2) as service:
+            service.ingest_batch(list(range(20)), list(range(20)))
+            service.drain()
+            _, plan = service.estimate_at(3, 10.0, explain=True)
+            text = plan.render()
+            assert "estimate_at" in text and "cache=miss" in text
+            payload = plan.as_dict()
+            assert payload["method"] == "estimate_at"
+            assert len(payload["shards"]) == len(plan.shards)
+
+    def test_merged_sketch_explain(self):
+        with ShardedSketchService(
+            lambda: MergeTreePersistence(CountingSketch, eps=0.2, block_size=4),
+            num_shards=2,
+            partition="round_robin",
+        ) as service:
+            service.ingest_batch(list(range(32)), list(range(32)))
+            service.drain()
+            merged, plan = service.merged_sketch_at(31.0, explain=True)
+            assert plan.method == "sketch_at"
+            assert plan.combine == "merge"
+            assert len(plan.shards) == 2
+            covered = sum(
+                shard_plan.details["covered_items"] for shard_plan in plan.shards
+            )
+            assert merged.total == covered

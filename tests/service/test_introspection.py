@@ -1,0 +1,161 @@
+"""Live introspection server: endpoints, health flips, metrics parity.
+
+Exercises :meth:`ShardedSketchService.serve_introspection` over real HTTP
+(stdlib ``urllib`` against the ephemeral port): ``/healthz`` answers 200
+while the shards are healthy and 503 the moment one is poisoned, ``/metrics``
+is byte-identical to :func:`repro.telemetry.export.prometheus_text`, and
+``/spans`` / ``/traces/<id>`` serve whatever the span collector holds.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import ChainMisraGries
+from repro.service import ShardedSketchService, ShardFailedError
+from repro.telemetry import export
+from repro.telemetry.registry import TELEMETRY
+from repro.telemetry.server import IntrospectionServer
+from repro.telemetry.spans import SPANS, span
+
+
+def mg_factory():
+    return ChainMisraGries(eps=0.01)
+
+
+@pytest.fixture()
+def enabled_telemetry():
+    TELEMETRY.registry.reset()
+    SPANS.clear()
+    TELEMETRY.enable()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.registry.reset()
+    SPANS.clear()
+
+
+def get(url, timeout=10):
+    """GET ``url``; returns ``(status, headers, body_bytes)`` even on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+class TestEndpoints:
+    def test_healthz_200_then_503_after_poisoning(self, enabled_telemetry):
+        with ShardedSketchService(mg_factory, num_shards=2) as service:
+            with service.serve_introspection() as server:
+                service.ingest_batch([1, 2], [5.0, 6.0])
+                assert service.drain(timeout=10)
+                status, _, body = get(server.url + "/healthz")
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["healthy"] is True
+                assert payload["failed_shards"] == []
+                assert payload["watermark"] == payload["acked_seqno"]
+
+                # timestamps go backwards: monotone guard poisons a shard
+                service.ingest_batch([3, 4], [1.0, 1.0])
+                with pytest.raises(ShardFailedError):
+                    service.drain(timeout=10)
+                status, _, body = get(server.url + "/healthz")
+                assert status == 503
+                payload = json.loads(body)
+                assert payload["healthy"] is False
+                assert payload["failed_shards"]
+            service.close(force=True)
+
+    def test_metrics_matches_prometheus_text(self, enabled_telemetry):
+        with ShardedSketchService(mg_factory, num_shards=2) as service:
+            service.ingest_batch(list(range(20)), list(range(20)))
+            assert service.drain(timeout=10)
+            service.estimate_at(3, 10.0)
+            with service.serve_introspection() as server:
+                status, headers, body = get(server.url + "/metrics")
+                assert status == 200
+                assert headers["Content-Type"].startswith("text/plain")
+                assert body.decode() == export.prometheus_text()
+                assert "service_queue_wait_seconds" in body.decode()
+
+    def test_report_endpoint_serves_text_report(self, enabled_telemetry):
+        with ShardedSketchService(mg_factory, num_shards=2) as service:
+            service.ingest_batch([1, 2, 3], [1.0, 2.0, 3.0])
+            assert service.drain(timeout=10)
+            with IntrospectionServer() as server:
+                status, headers, body = get(server.url + "/report")
+                assert status == 200
+                assert headers["Content-Type"].startswith("text/plain")
+                assert body.decode().strip()
+
+    def test_spans_endpoint_counts_and_capacity(self, enabled_telemetry):
+        with span("introspected", shard=1):
+            pass
+        with IntrospectionServer() as server:
+            status, _, body = get(server.url + "/spans")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["count"] == 1
+            assert payload["dropped"] == 0
+            assert payload["spans"][0]["name"] == "introspected"
+            assert payload["spans"][0]["attrs"] == {"shard": 1}
+
+    def test_traces_index_and_single_trace(self, enabled_telemetry):
+        with span("request.a"):
+            with span("request.a.child"):
+                pass
+        trace_id = SPANS.snapshot()[0].trace_id
+        with IntrospectionServer() as server:
+            status, _, body = get(server.url + "/traces")
+            assert status == 200
+            assert json.loads(body)["traces"] == [trace_id]
+            status, _, body = get(server.url + f"/traces/{trace_id}")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["trace_id"] == trace_id
+            assert [record["name"] for record in payload["spans"]] == [
+                "request.a.child",
+                "request.a",
+            ]
+
+    def test_unknown_trace_is_404(self, enabled_telemetry):
+        with IntrospectionServer() as server:
+            status, _, _ = get(server.url + "/traces/deadbeef")
+            assert status == 404
+
+    def test_unknown_route_is_404_and_index_lists_endpoints(self):
+        with IntrospectionServer() as server:
+            status, _, _ = get(server.url + "/nope")
+            assert status == 404
+            status, _, body = get(server.url + "/")
+            assert status == 200
+            listed = json.loads(body)["endpoints"]
+            for endpoint in ("/metrics", "/healthz", "/report", "/spans"):
+                assert endpoint in listed
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_and_stop_idempotent(self):
+        server = IntrospectionServer()
+        server.start()
+        assert server.port > 0
+        assert server.url.endswith(str(server.port))
+        server.start()  # second start is a no-op
+        server.stop()
+        server.stop()
+
+    def test_custom_health_callable(self):
+        state = {"ok": True}
+        with IntrospectionServer(health=lambda: {"healthy": state["ok"]}) as server:
+            assert get(server.url + "/healthz")[0] == 200
+            state["ok"] = False
+            assert get(server.url + "/healthz")[0] == 503
+
+    def test_default_health_is_always_200(self):
+        with IntrospectionServer() as server:
+            status, _, body = get(server.url + "/healthz")
+            assert status == 200
+            assert json.loads(body)["healthy"] is True

@@ -1,0 +1,218 @@
+"""End-to-end request traces through the live sharded service.
+
+One ingest call must yield ONE connected trace — producer staging, the
+per-shard enqueues, the measured queue waits, and the worker-thread batch
+applies all share a ``trace_id`` and resolve their parent links inside it,
+even though the applies happen on different threads.  Queries likewise trace
+fan-out, per-shard calls, combine, and cache status.  Also covers the
+``service_queue_wait_seconds`` histogram fed from queued-entry timestamps
+and the cache hit/miss counters under concurrent queries (the miss counter
+used to be bumped outside the cache lock and lost updates).
+"""
+
+import threading
+
+import pytest
+
+from repro.core import ChainMisraGries
+from repro.service import QueryCoordinator, ShardedSketchService
+from repro.telemetry.export import load_traces_jsonl, write_traces_jsonl
+from repro.telemetry.registry import TELEMETRY
+from repro.telemetry.spans import SPANS
+
+
+def mg_factory():
+    return ChainMisraGries(eps=0.01)
+
+
+@pytest.fixture()
+def enabled_telemetry():
+    TELEMETRY.registry.reset()
+    SPANS.clear()
+    TELEMETRY.enable()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.registry.reset()
+    SPANS.clear()
+
+
+def spans_named(name):
+    return [record for record in SPANS.snapshot() if record.name == name]
+
+
+class TestIngestTrace:
+    def test_one_ingest_is_one_connected_trace(self, enabled_telemetry):
+        with ShardedSketchService(
+            mg_factory, num_shards=2, partition="round_robin"
+        ) as service:
+            service.ingest_batch(list(range(8)), list(range(8)))
+            assert service.drain(timeout=10)
+        (root,) = spans_named("service.ingest_batch")
+        trace = SPANS.trace(root.trace_id)
+        names = sorted(record.name for record in trace)
+        # both shards enqueue, wait, and apply inside the same trace
+        assert names.count("service.enqueue") == 2
+        assert names.count("service.queue_wait") == 2
+        assert names.count("service.apply_batch") == 2
+        # every parent link resolves within the trace
+        ids = {record.span_id for record in trace}
+        for record in trace:
+            if record.parent_id is not None:
+                assert record.parent_id in ids
+        assert root.parent_id is None
+        assert root.attrs["items"] == 8
+
+    def test_queue_wait_links_enqueue_to_apply(self, enabled_telemetry):
+        with ShardedSketchService(mg_factory, num_shards=1) as service:
+            service.ingest_batch([1, 2, 3], [1.0, 2.0, 3.0])
+            assert service.drain(timeout=10)
+        (enqueue,) = spans_named("service.enqueue")
+        (wait,) = spans_named("service.queue_wait")
+        (apply_span,) = spans_named("service.apply_batch")
+        assert wait.trace_id == enqueue.trace_id == apply_span.trace_id
+        assert wait.parent_id == enqueue.span_id
+        assert apply_span.parent_id == enqueue.span_id
+        assert wait.wall_seconds >= 0
+        assert wait.attrs["shard"] == 0 and wait.attrs["items"] == 3
+
+    def test_queue_wait_histogram_is_fed_per_shard(self, enabled_telemetry):
+        with ShardedSketchService(
+            mg_factory, num_shards=2, partition="round_robin"
+        ) as service:
+            service.ingest_batch(list(range(10)), list(range(10)))
+            assert service.drain(timeout=10)
+        for shard in ("0", "1"):
+            child = TELEMETRY.histogram("service_queue_wait_seconds", shard=shard)
+            assert child.count >= 1
+            assert child.sum >= 0
+
+    def test_staged_ingest_still_traces_the_flush(self, enabled_telemetry):
+        with ShardedSketchService(
+            mg_factory, num_shards=2, partition="round_robin",
+            ingest_buffer_items=64
+        ) as service:
+            for t in range(4):
+                service.ingest_batch([t], [float(t)])
+            service.drain(timeout=10)
+        roots = spans_named("service.ingest_batch")
+        assert len(roots) == 4
+        assert all(record.attrs.get("staged") for record in roots[:-1])
+        assert spans_named("service.stage_flush")
+
+
+class TestQueryTrace:
+    def test_query_trace_spans_fanout_and_combine(self, enabled_telemetry):
+        with ShardedSketchService(
+            mg_factory, num_shards=3, partition="round_robin"
+        ) as service:
+            service.ingest_batch(list(range(9)), list(range(9)))
+            assert service.drain(timeout=10)
+            SPANS.clear()
+            service.estimate_at(4, 8.0)
+        (query,) = spans_named("service.query")
+        calls = spans_named("service.shard_call")
+        (combine,) = spans_named("service.combine")
+        assert query.attrs["op"] == "estimate_at"
+        assert query.attrs["cache"] == "miss"
+        assert len(calls) == 3
+        for call in calls:
+            assert call.trace_id == query.trace_id
+            assert call.parent_id == query.span_id
+        assert combine.trace_id == query.trace_id
+        assert combine.attrs["shards"] == 3
+
+    def test_cache_hit_trace_has_no_shard_calls(self, enabled_telemetry):
+        with ShardedSketchService(mg_factory, num_shards=2) as service:
+            service.ingest_batch([1, 2], [1.0, 2.0])
+            assert service.drain(timeout=10)
+            service.estimate_at(1, 2.0)
+            SPANS.clear()
+            service.estimate_at(1, 2.0)
+        (query,) = spans_named("service.query")
+        assert query.attrs["cache"] == "hit"
+        assert spans_named("service.shard_call") == []
+
+    def test_wal_spans_join_the_ingest_trace(self, enabled_telemetry, tmp_path):
+        with ShardedSketchService(
+            mg_factory, num_shards=1, directory=tmp_path
+        ) as service:
+            service.ingest_batch([1, 2], [1.0, 2.0])
+            assert service.flush(timeout=10)
+        appends = spans_named("wal.append")
+        assert appends
+        (root,) = spans_named("service.ingest_batch")
+        assert all(record.trace_id == root.trace_id for record in appends)
+
+
+class TestTraceExportRoundTrip:
+    def test_live_service_traces_survive_jsonl(self, enabled_telemetry, tmp_path):
+        with ShardedSketchService(
+            mg_factory, num_shards=2, partition="round_robin"
+        ) as service:
+            service.ingest_batch(list(range(6)), list(range(6)))
+            assert service.drain(timeout=10)
+            service.estimate_at(2, 5.0)
+        path = write_traces_jsonl(tmp_path / "traces.jsonl")
+        loaded = load_traces_jsonl(path)
+        assert loaded == SPANS.snapshot()
+        ingest_roots = [r for r in loaded if r.name == "service.ingest_batch"]
+        query_roots = [r for r in loaded if r.name == "service.query"]
+        assert len(ingest_roots) == 1 and len(query_roots) == 1
+        # the two requests are distinct traces, each internally connected
+        assert ingest_roots[0].trace_id != query_roots[0].trace_id
+        for root in ingest_roots + query_roots:
+            trace = [r for r in loaded if r.trace_id == root.trace_id]
+            ids = {r.span_id for r in trace}
+            assert all(
+                r.parent_id is None or r.parent_id in ids for r in trace
+            )
+
+
+class _SlowSketch:
+    """Query answers take long enough that misses overlap across threads."""
+
+    def update_batch(self, values, timestamps, weights=None):
+        pass
+
+    def probe(self, token):
+        import time
+
+        time.sleep(0.002)
+        return token
+
+
+class TestCacheCountingUnderConcurrency:
+    def test_hits_plus_misses_equals_queries(self):
+        """The miss counter is bumped under the cache lock (it used to race)."""
+
+        class _Worker:
+            def __init__(self):
+                self.sketch = _SlowSketch()
+                self.lock = threading.RLock()
+
+            def raise_if_failed(self):
+                pass
+
+        coordinator = QueryCoordinator([_Worker()], watermark=lambda: 0,
+                                       cache_size=256)
+        threads, per_thread, distinct = 8, 200, 16
+        barrier = threading.Barrier(threads)
+
+        def run(index):
+            barrier.wait()
+            for step in range(per_thread):
+                coordinator.query("probe", step % distinct, combine="list")
+
+        workers = [
+            threading.Thread(target=run, args=(index,)) for index in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        total = threads * per_thread
+        assert coordinator.cache_hits + coordinator.cache_misses == total
+        assert coordinator.cache_misses >= distinct
+        info = coordinator.cache_info()
+        assert info["hits"] == coordinator.cache_hits
+        assert info["misses"] == coordinator.cache_misses

@@ -25,6 +25,16 @@ KNOWN_SPANS = (
     "harness.feed_log_stream",
     "harness.feed_matrix_stream",
     "harness.time_calls",
+    "service.ingest_batch",
+    "service.stage_flush",
+    "service.enqueue",
+    "service.queue_wait",
+    "service.apply_batch",
+    "service.query",
+    "service.shard_call",
+    "service.combine",
+    "wal.append",
+    "wal.fsync",
 )
 
 
@@ -62,6 +72,7 @@ class TestOverheadTableMatchesBench:
             "countmin_batch",
             "checkpoint_chain_scalar",
             "bitp_sampler_scalar",
+            "service_ingest_traced",
         }
 
     def test_guide_table_names_every_workload(self):

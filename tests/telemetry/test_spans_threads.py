@@ -1,0 +1,105 @@
+"""Thread-safety of the span collector under concurrent shard workers.
+
+The multi-threaded service records finished spans from one thread per shard
+plus every producer thread.  A plain ``list.append`` + slice-delete ring
+buffer and an unguarded ``dropped`` counter race exactly like the pre-PR 4
+metric counters did; these tests hammer one collector from many threads and
+assert no record or eviction count is lost (mirroring
+``tests/telemetry/test_registry_threads.py``).
+"""
+
+import threading
+
+from repro.telemetry.spans import SpanCollector, SpanRecord, span
+
+THREADS = 8
+PER_THREAD = 25_000
+
+
+def hammer(target, threads=THREADS):
+    """Run ``target(thread_index)`` on ``threads`` threads, start-synchronised."""
+    barrier = threading.Barrier(threads)
+
+    def run(index):
+        barrier.wait()
+        target(index)
+
+    workers = [
+        threading.Thread(target=run, args=(index,)) for index in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+def make_record(name: str) -> SpanRecord:
+    return SpanRecord(
+        name=name, depth=0, parent=None, start=0.0, wall_seconds=0.0, cpu_seconds=0.0
+    )
+
+
+class TestCollectorUnderContention:
+    def test_no_lost_records_within_capacity(self):
+        collector = SpanCollector(capacity=THREADS * PER_THREAD)
+        hammer(
+            lambda i: [
+                collector.record(make_record(f"t{i}")) for _ in range(PER_THREAD)
+            ]
+        )
+        assert len(collector.snapshot()) == THREADS * PER_THREAD
+        assert collector.dropped == 0
+
+    def test_retained_plus_dropped_accounts_for_every_record(self):
+        collector = SpanCollector(capacity=512)
+        hammer(
+            lambda i: [
+                collector.record(make_record(f"t{i}")) for _ in range(PER_THREAD)
+            ]
+        )
+        assert len(collector.snapshot()) == 512
+        assert collector.dropped == THREADS * PER_THREAD - 512
+
+    def test_snapshots_during_writes_are_consistent(self):
+        collector = SpanCollector(capacity=1024)
+        sizes = []
+
+        def read(_):
+            for _ in range(2_000):
+                sizes.append(len(collector.snapshot()))
+
+        def write(index):
+            for _ in range(PER_THREAD // 5):
+                collector.record(make_record(f"t{index}"))
+
+        hammer(lambda i: read(i) if i % 2 else write(i))
+        assert all(0 <= size <= 1024 for size in sizes)
+        total = (THREADS // 2) * (PER_THREAD // 5)
+        assert len(collector.snapshot()) + collector.dropped == total
+
+    def test_concurrent_clear_never_corrupts(self):
+        collector = SpanCollector(capacity=256)
+
+        def churn(index):
+            for _ in range(PER_THREAD // 25):
+                collector.record(make_record(f"t{index}"))
+                if index == 0:
+                    collector.clear()
+
+        hammer(churn)
+        # No structural invariant beyond "didn't crash and stayed bounded".
+        assert len(collector.snapshot()) <= 256
+
+    def test_context_manager_spans_from_many_threads(self, enabled_telemetry):
+        from repro.telemetry.spans import SPANS
+
+        def trace(index):
+            for _ in range(2_000):
+                with span(f"thread.{index}"):
+                    pass
+
+        hammer(trace)
+        retained = len(SPANS.snapshot())
+        assert retained + SPANS.dropped == THREADS * 2_000
+        # per-thread nesting stacks must be back to empty everywhere
+        assert SPANS._stack() == []

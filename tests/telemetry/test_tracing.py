@@ -1,0 +1,243 @@
+"""Trace identities: ids, parent links, attributes, cross-thread propagation.
+
+PR 3 spans only knew their *name* and per-thread nesting depth; these tests
+cover the request-scoped upgrade — every finished span carries a
+``trace_id``/``span_id``/``parent_id`` triple and key-value attributes, an
+explicit :class:`TraceContext` crosses threads, :func:`record_span`
+synthesises after-the-fact phases into a trace, and the JSONL trace
+exporter round-trips it all.
+"""
+
+import threading
+
+import pytest
+
+from repro.telemetry.export import load_traces_jsonl, write_traces_jsonl
+from repro.telemetry.spans import (
+    SPANS,
+    SpanCollector,
+    SpanRecord,
+    TraceContext,
+    current_trace,
+    new_span_id,
+    record_span,
+    span,
+)
+
+
+class TestTraceIdentity:
+    def test_top_level_span_starts_a_fresh_trace(self, enabled_telemetry):
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        a, b = SPANS.snapshot()
+        assert a.trace_id and b.trace_id and a.trace_id != b.trace_id
+        assert a.parent_id is None and b.parent_id is None
+
+    def test_nested_spans_share_the_trace_and_link_parents(self, enabled_telemetry):
+        with span("outer"):
+            with span("middle"):
+                with span("inner"):
+                    pass
+        inner, middle, outer = SPANS.snapshot()
+        assert inner.trace_id == middle.trace_id == outer.trace_id
+        assert inner.parent_id == middle.span_id
+        assert middle.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_span_ids_are_unique(self, enabled_telemetry):
+        for _ in range(50):
+            with span("x"):
+                pass
+        ids = [record.span_id for record in SPANS.snapshot()]
+        assert len(set(ids)) == len(ids)
+
+    def test_new_span_id_is_16_hex_and_distinct(self):
+        first, second = new_span_id(), new_span_id()
+        assert first != second
+        for value in (first, second):
+            assert len(value) == 16
+            int(value, 16)
+
+    def test_records_carry_thread_name(self, enabled_telemetry):
+        with span("threaded"):
+            pass
+        (record,) = SPANS.snapshot()
+        assert record.thread == threading.current_thread().name
+
+
+class TestAttributes:
+    def test_kwargs_become_attrs(self, enabled_telemetry):
+        with span("op", shard=3, items=100):
+            pass
+        (record,) = SPANS.snapshot()
+        assert record.attrs == {"shard": 3, "items": 100}
+
+    def test_set_attr_mid_flight(self, enabled_telemetry):
+        with span("op") as active:
+            active.set_attr("seqno", 7).set_attr("cache", "miss")
+        (record,) = SPANS.snapshot()
+        assert record.attrs == {"seqno": 7, "cache": "miss"}
+
+    def test_disabled_span_accepts_attrs_and_set_attr(self, clean_telemetry):
+        with span("op", shard=1) as inactive:
+            assert inactive.set_attr("k", "v") is inactive
+            assert inactive.context is None
+        assert SPANS.snapshot() == []
+
+
+class TestCrossThreadPropagation:
+    def test_context_property_matches_record(self, enabled_telemetry):
+        with span("parent") as parent:
+            ctx = parent.context
+        (record,) = SPANS.snapshot()
+        assert isinstance(ctx, TraceContext)
+        assert ctx.trace_id == record.trace_id
+        assert ctx.span_id == record.span_id
+        assert ctx.name == "parent"
+
+    def test_explicit_parent_joins_trace_across_threads(self, enabled_telemetry):
+        handoff = {}
+
+        def worker():
+            with span("child", parent=handoff["ctx"]):
+                pass
+
+        with span("producer") as producer:
+            handoff["ctx"] = producer.context
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        child, parent = SPANS.snapshot()
+        assert child.name == "child" and parent.name == "producer"
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.parent == "producer"
+
+    def test_explicit_parent_beats_enclosing_stack(self, enabled_telemetry):
+        foreign = TraceContext(trace_id="t-foreign", span_id="s-foreign", name="far")
+        with span("enclosing"):
+            with span("adopted", parent=foreign):
+                pass
+        adopted = SPANS.snapshot()[0]
+        assert adopted.trace_id == "t-foreign"
+        assert adopted.parent_id == "s-foreign"
+
+    def test_current_trace_reflects_stack_top(self, enabled_telemetry):
+        assert current_trace() is None
+        with span("outer"):
+            outer_ctx = current_trace()
+            with span("inner") as inner:
+                assert current_trace() == inner.context
+            assert current_trace() == outer_ctx
+        assert current_trace() is None
+
+    def test_current_trace_is_none_when_disabled(self, clean_telemetry):
+        assert current_trace() is None
+
+
+class TestRecordSpan:
+    def test_synthesises_finished_span_into_parent_trace(self, enabled_telemetry):
+        with span("enqueue") as enq:
+            ctx = enq.context
+        record = record_span(
+            "queue_wait", start=1.0, wall_seconds=0.25, parent=ctx, shard=2
+        )
+        assert record is not None
+        assert record.trace_id == ctx.trace_id
+        assert record.parent_id == ctx.span_id
+        assert record.attrs == {"shard": 2}
+        assert record.wall_seconds == 0.25
+        assert record in SPANS.snapshot()
+
+    def test_without_parent_starts_own_trace(self, enabled_telemetry):
+        record = record_span("orphan", start=0.0, wall_seconds=0.1)
+        assert record.parent_id is None
+        assert record.trace_id
+
+    def test_feeds_span_wall_histogram(self, enabled_telemetry):
+        record_span("fed", start=0.0, wall_seconds=0.5)
+        child = enabled_telemetry.TELEMETRY.histogram("span_wall_seconds", span="fed")
+        assert child.count == 1
+
+    def test_noop_when_disabled(self, clean_telemetry):
+        assert record_span("off", start=0.0, wall_seconds=0.1) is None
+        assert SPANS.snapshot() == []
+
+
+class TestCollectorTraceViews:
+    def test_trace_filters_by_id(self, enabled_telemetry):
+        with span("a"):
+            with span("a.child"):
+                pass
+        with span("b"):
+            pass
+        a_trace = SPANS.trace(SPANS.snapshot()[1].trace_id)
+        assert [record.name for record in a_trace] == ["a.child", "a"]
+
+    def test_trace_ids_first_seen_order(self, enabled_telemetry):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        first, second = SPANS.snapshot()
+        assert SPANS.trace_ids() == [first.trace_id, second.trace_id]
+
+    def test_unknown_trace_is_empty(self, enabled_telemetry):
+        assert SPANS.trace("no-such-trace") == []
+
+
+class TestTraceExporter:
+    def test_round_trip_preserves_every_field(self, enabled_telemetry, tmp_path):
+        with span("outer", shard=1):
+            with span("inner", items=3):
+                pass
+        record_span("late", start=5.0, wall_seconds=0.125, phase="wait")
+        path = write_traces_jsonl(tmp_path / "traces.jsonl")
+        loaded = load_traces_jsonl(path)
+        assert loaded == SPANS.snapshot()
+
+    def test_exports_explicit_collector(self, tmp_path):
+        collector = SpanCollector(capacity=4)
+        collector.record(
+            SpanRecord(
+                name="manual",
+                depth=0,
+                parent=None,
+                start=0.0,
+                wall_seconds=1.0,
+                cpu_seconds=0.5,
+                trace_id="t1",
+                span_id="s1",
+                attrs={"k": "v"},
+                thread="main",
+            )
+        )
+        path = write_traces_jsonl(tmp_path / "t.jsonl", spans=collector)
+        (loaded,) = load_traces_jsonl(path)
+        assert loaded == collector.snapshot()[0]
+
+    def test_empty_collector_writes_empty_file(self, tmp_path):
+        collector = SpanCollector()
+        path = write_traces_jsonl(tmp_path / "empty.jsonl", spans=collector)
+        assert path.read_text() == ""
+        assert load_traces_jsonl(path) == []
+
+    def test_bad_json_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_traces_jsonl(path)
+
+    def test_loader_defaults_legacy_records_without_trace_fields(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            '{"name": "old", "depth": 0, "parent": null, "start": 1.0, '
+            '"wall_seconds": 0.1, "cpu_seconds": 0.05}\n'
+        )
+        (record,) = load_traces_jsonl(path)
+        assert record.name == "old"
+        assert record.trace_id == "" and record.span_id == ""
+        assert record.parent_id is None
+        assert record.attrs == {} and record.thread == ""
