@@ -11,22 +11,54 @@ This package is that layer:
   round-robin for key-agnostic sketches;
 * :class:`ShardWorker` — one thread + bounded queue + private sketch per
   shard, draining queues into fused ``update_batch`` applies, with
-  block / drop / error backpressure;
+  block / drop / error backpressure (deadline-bounded via
+  ``block_timeout``);
 * :class:`QueryCoordinator` — fan-out, cross-shard combining via
-  :mod:`repro.core.combine`, and a watermark-keyed LRU answer cache;
+  :mod:`repro.core.combine`, a watermark-keyed LRU answer cache, per-shard
+  call timeouts, and ``partial="allow"`` degraded answers carrying an
+  :class:`ErrorCertificate`;
+* :class:`ShardSupervisor` — self-healing: watches workers, rebuilds a
+  poisoned shard in place from its snapshot+WAL while parking its traffic
+  in a redirect buffer, with backoff, a circuit breaker, and a per-shard
+  ``HEALTHY → REBUILDING → DEGRADED → FAILED`` state machine;
+* :class:`ChaosController` / :class:`ChaosFilesystem` /
+  :func:`run_chaos_soak` — the service-level chaos harness: kill / slow /
+  wedge injectors plus rate-based WAL faults, driving soak runs that
+  assert exact recovery;
 * :class:`ShardedSketchService` — the facade: lifecycle, global seqnos and
   the ingest watermark (read-your-writes), typed ATTP/BITP queries, and
   optional per-shard :class:`~repro.durability.DurableSketch` wrapping with
   a topology manifest for full-service crash recovery.
 
 See docs/SERVICE.md for architecture, consistency semantics, backpressure
-policies, and sizing guidance.
+policies, failure handling / degraded mode, and sizing guidance.
 """
 
-from repro.service.coordinator import COMBINERS, QueryCoordinator
-from repro.service.explain import PLAN_HOOKS, QueryPlan, ShardPlan, shard_plan_details
+from repro.service.chaos import (
+    CHAOS_KINDS,
+    ChaosController,
+    ChaosEvent,
+    ChaosFilesystem,
+    ChaosSketch,
+    random_schedule as random_chaos_schedule,
+    run_soak as run_chaos_soak,
+)
+from repro.service.coordinator import (
+    COMBINERS,
+    PARTIAL_POLICIES,
+    QueryCoordinator,
+    ShardTimeoutError,
+)
+from repro.service.explain import (
+    ErrorCertificate,
+    PLAN_HOOKS,
+    QueryPlan,
+    ShardPlan,
+    shard_plan_details,
+)
 from repro.service.router import PARTITION_MODES, ShardRouter
 from repro.service.service import IngestReceipt, ShardedSketchService
+from repro.service.supervisor import SHARD_STATES, ShardSupervisor
 from repro.service.worker import (
     BACKPRESSURE_POLICIES,
     BackpressureError,
@@ -37,16 +69,28 @@ from repro.service.worker import (
 __all__ = [
     "BACKPRESSURE_POLICIES",
     "BackpressureError",
+    "CHAOS_KINDS",
     "COMBINERS",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosFilesystem",
+    "ChaosSketch",
+    "ErrorCertificate",
     "IngestReceipt",
+    "PARTIAL_POLICIES",
     "PARTITION_MODES",
     "PLAN_HOOKS",
     "QueryCoordinator",
     "QueryPlan",
+    "SHARD_STATES",
     "ShardFailedError",
     "ShardPlan",
     "ShardRouter",
+    "ShardSupervisor",
+    "ShardTimeoutError",
     "ShardWorker",
     "ShardedSketchService",
+    "random_chaos_schedule",
+    "run_chaos_soak",
     "shard_plan_details",
 ]

@@ -12,6 +12,23 @@ because the ingest watermark is part of the key, any watermark advance
 automatically invalidates every cached answer — no explicit invalidation
 hooks, no stale reads.  Cache hits/misses and per-operation fan-out latency
 are exported through :mod:`repro.telemetry`.
+
+Degraded mode
+-------------
+Two knobs keep queries answering while shards are down:
+
+* ``call_timeout`` bounds each per-shard read: the coordinator acquires
+  the shard's apply lock with a deadline, so a wedged apply turns into a
+  :class:`ShardTimeoutError` instead of hanging the query forever;
+* ``partial="allow"`` turns unavailable shards (poisoned, circuit-open, or
+  timed out) into an **error certificate** instead of an exception: the
+  answer combines the shards that responded, and the attached
+  :class:`~repro.service.explain.ErrorCertificate` states exactly which
+  shards are covered, what fraction of acknowledged ingest the answer
+  represents, and an honestly widened error bound.  Partial answers are
+  never cached (the cache only ever holds complete answers), and
+  ``partial="reject"`` — the default — preserves strict fail-fast
+  semantics unchanged.
 """
 
 from __future__ import annotations
@@ -20,7 +37,7 @@ import copy
 import time
 from collections import OrderedDict
 from threading import Lock
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.combine import (
     combine_any,
@@ -28,7 +45,13 @@ from repro.core.combine import (
     combine_union,
     merge_sketches,
 )
-from repro.service.explain import QueryPlan, ShardPlan, shard_plan_details
+from repro.service.explain import (
+    ErrorCertificate,
+    QueryPlan,
+    ShardPlan,
+    shard_plan_details,
+)
+from repro.service.worker import ShardFailedError
 from repro.telemetry.registry import TELEMETRY as _TEL
 from repro.telemetry.spans import span
 
@@ -45,8 +68,40 @@ _CACHE_MISSES = _TEL.counter(
     "service_query_cache_misses_total",
     "Coordinator answers that required a shard fan-out.",
 )
+_PARTIAL_ANSWERS = _TEL.counter(
+    "service_partial_answers_total",
+    "Degraded-mode answers returned with an error certificate.",
+)
+_TEL.registry.declare(
+    "service_shard_call_timeouts_total",
+    "counter",
+    "Per-shard query reads abandoned at the call timeout, by shard.",
+)
+
+#: Accepted degraded-mode policies for :meth:`QueryCoordinator.query`.
+PARTIAL_POLICIES = ("reject", "allow")
+
+
+class ShardTimeoutError(RuntimeError):
+    """A per-shard query read did not acquire the apply lock in time."""
+
+    def __init__(self, shard: int, timeout: float):
+        super().__init__(
+            f"shard {shard} query lock not acquired within {timeout:g}s"
+        )
+        self.shard = shard
+        self.timeout = timeout
 
 #: Named combine modes accepted by :meth:`QueryCoordinator.query`.
+#: Identity answers for degraded queries that covered zero shards —
+#: what each named combiner would return over an empty shard set if it
+#: accepted one ("merge" has no identity and answers ``None``).
+_EMPTY_ANSWERS = {
+    "sum": lambda: 0.0,
+    "any": lambda: False,
+    "union": lambda: [],
+}
+
 COMBINERS = {
     "sum": combine_sum,
     "any": combine_any,
@@ -69,6 +124,25 @@ class QueryCoordinator:
         watermark (cache-key component).
     cache_size:
         Maximum cached answers; ``0`` disables caching.
+    call_timeout:
+        Default deadline (seconds) for acquiring a shard's apply lock per
+        read; ``None`` (default) waits indefinitely.  On expiry the read
+        raises :class:`ShardTimeoutError` — under ``partial="allow"`` the
+        shard is instead excluded and certified missing.
+    partial:
+        Default degraded-mode policy, ``"reject"`` (strict, today's
+        behavior) or ``"allow"`` (answer what is reachable, attach an
+        :class:`~repro.service.explain.ErrorCertificate`); per-query
+        ``partial=`` overrides it.
+    parked_items:
+        Optional ``shard -> int`` callable reporting items parked in a
+        supervisor redirect buffer — counted into a certificate's
+        ``missing_items`` so degraded answers account for acknowledged
+        items awaiting replay.
+
+    The coordinator keeps a live reference to ``workers`` (no copy): a
+    supervisor that swaps a rebuilt worker into the list in place is
+    immediately visible to subsequent queries.
     """
 
     def __init__(
@@ -76,12 +150,25 @@ class QueryCoordinator:
         workers: Sequence,
         watermark: Callable[[], int],
         cache_size: int = 256,
+        *,
+        call_timeout: Optional[float] = None,
+        partial: str = "reject",
+        parked_items: Optional[Callable[[int], int]] = None,
     ):
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
-        self._workers = list(workers)
+        if call_timeout is not None and call_timeout <= 0:
+            raise ValueError(f"call_timeout must be > 0, got {call_timeout}")
+        if partial not in PARTIAL_POLICIES:
+            raise ValueError(
+                f"partial must be one of {PARTIAL_POLICIES}, got {partial!r}"
+            )
+        self._workers = workers
         self._watermark = watermark
         self._cache_size = cache_size
+        self.call_timeout = call_timeout
+        self.partial = partial
+        self._parked_items = parked_items
         self._cache: OrderedDict = OrderedDict()
         self._cache_lock = Lock()
         self.cache_hits = 0
@@ -90,7 +177,14 @@ class QueryCoordinator:
     # -- raw fan-out -------------------------------------------------------
 
     def call_shard(
-        self, shard: int, method: str, *args, post=None, plan_sink=None, **kwargs
+        self,
+        shard: int,
+        method: str,
+        *args,
+        post=None,
+        plan_sink=None,
+        timeout=None,
+        **kwargs,
     ):
         """Invoke ``method`` on one shard's sketch under its apply lock.
 
@@ -100,12 +194,24 @@ class QueryCoordinator:
         receives one :class:`~repro.service.explain.ShardPlan` describing
         what this shard read (plan hook consulted under the same lock, so
         it reports exactly the structure state the answer saw).
+        ``timeout`` (default the coordinator's ``call_timeout``) bounds the
+        lock acquisition; on expiry — a wedged or very slow apply is
+        holding the lock — the read raises :class:`ShardTimeoutError`
+        instead of blocking the query indefinitely.
         """
         worker = self._workers[shard]
         worker.raise_if_failed()
+        if timeout is None:
+            timeout = self.call_timeout
         with span("service.shard_call", shard=shard, op=method):
             begin = time.perf_counter()
-            with worker.lock:
+            if not worker.lock.acquire(timeout=-1 if timeout is None else timeout):
+                if _TEL.enabled:
+                    _TEL.counter(
+                        "service_shard_call_timeouts_total", shard=str(shard)
+                    ).inc()
+                raise ShardTimeoutError(shard, timeout)
+            try:
                 details = (
                     shard_plan_details(worker.sketch, method, args)
                     if plan_sink is not None
@@ -114,6 +220,8 @@ class QueryCoordinator:
                 result = getattr(worker.sketch, method)(*args, **kwargs)
                 if post is not None:
                     result = post(result)
+            finally:
+                worker.lock.release()
             if plan_sink is not None:
                 plan_sink.append(
                     ShardPlan(
@@ -136,7 +244,15 @@ class QueryCoordinator:
 
     # -- cached combined queries -------------------------------------------
 
-    def query(self, method: str, *args, combine="list", shard=None, explain=False):
+    def query(
+        self,
+        method: str,
+        *args,
+        combine="list",
+        shard=None,
+        explain=False,
+        partial=None,
+    ):
         """Fan ``method(*args)`` out (or to one ``shard``) and combine.
 
         ``combine`` is a name from :data:`COMBINERS` or a callable taking
@@ -152,7 +268,21 @@ class QueryCoordinator:
         behaviour) is identical either way — a cache hit returns a plan
         with ``cache_hit=True`` and no shard entries, since nothing was
         re-read.
+
+        ``partial`` (default the coordinator's policy) selects degraded
+        mode: ``"reject"`` propagates the first shard failure or timeout;
+        ``"allow"`` combines the shards that answered and attaches an
+        :class:`~repro.service.explain.ErrorCertificate` to the plan (the
+        combiner then runs over the covered subset — a shard-targeted
+        query whose owner is down answers the combiner's identity, e.g.
+        ``0.0`` for ``"sum"``).  Partial answers are never cached.
         """
+        if partial is None:
+            partial = self.partial
+        if partial not in PARTIAL_POLICIES:
+            raise ValueError(
+                f"partial must be one of {PARTIAL_POLICIES}, got {partial!r}"
+            )
         combiner = COMBINERS[combine] if isinstance(combine, str) else combine
         combine_name = (
             combine
@@ -199,19 +329,56 @@ class QueryCoordinator:
                 if _TEL.enabled:
                     _CACHE_MISSES.inc()
             query_span.set_attr("cache", "miss")
-            plan_sink = [] if explain else None
-            if shard is None:
-                results = self.fanout(method, *args, post=post, plan_sink=plan_sink)
-                with span("service.combine", op=method, shards=len(results)):
-                    answer = combiner(results)
+            # a certificate needs per-shard error bounds, so degraded mode
+            # collects shard plans even when the caller did not ask to
+            # explain
+            plan_sink = [] if (explain or partial == "allow") else None
+            shard_ids = (
+                range(len(self._workers)) if shard is None else (shard,)
+            )
+            results = []
+            covered = []
+            missing = []
+            reasons = []
+            for target in shard_ids:
+                try:
+                    results.append(
+                        self.call_shard(
+                            target, method, *args, post=post, plan_sink=plan_sink
+                        )
+                    )
+                    covered.append(target)
+                except (ShardFailedError, ShardTimeoutError) as exc:
+                    if partial == "reject":
+                        raise
+                    missing.append(target)
+                    reasons.append(
+                        "timeout" if isinstance(exc, ShardTimeoutError) else "failed"
+                    )
+            certificate = None
+            if missing:
+                certificate = self._certify(covered, missing, reasons, plan_sink)
+                query_span.set_attr("partial", True)
+                if _TEL.enabled:
+                    _PARTIAL_ANSWERS.inc()
+            if shard is None or missing:
+                if results:
+                    with span("service.combine", op=method, shards=len(results)):
+                        answer = combiner(results)
+                else:
+                    # degraded answer covering zero shards: the combiner's
+                    # identity (certificate reports covered_fraction 0.0);
+                    # "merge" has none — a zero-shard merged sketch is None
+                    answer = _EMPTY_ANSWERS.get(combine_name, lambda: None)()
             else:
-                answer = self.call_shard(
-                    shard, method, *args, post=post, plan_sink=plan_sink
-                )
+                # shard-targeted and fully covered: the raw per-shard result
+                answer = results[0]
             wall = time.perf_counter() - start
             if _TEL.enabled:
                 _TEL.histogram("service_query_seconds", op=method).observe(wall)
-            if self._cache_size:
+            if self._cache_size and certificate is None:
+                # partial answers are never cached: the cache only ever
+                # holds answers that covered every shard
                 with self._cache_lock:
                     self._cache[key] = answer
                     self._cache.move_to_end(key)
@@ -226,10 +393,50 @@ class QueryCoordinator:
                     watermark=watermark,
                     cache_hit=False,
                     wall_seconds=wall,
-                    shards=tuple(plan_sink),
+                    shards=() if plan_sink is None else tuple(plan_sink),
+                    certificate=certificate,
                 )
                 return answer, plan
             return answer
+
+    def _certify(self, covered, missing, reasons, plans) -> ErrorCertificate:
+        """Build the error certificate for a degraded-mode answer.
+
+        ``covered_items`` counts what the covered shards have applied;
+        ``missing_items`` attributes to each missing shard everything it is
+        known to hold — items applied before it went down, sub-batches
+        still queued on the poisoned worker, and items parked in a
+        supervisor redirect buffer.  The widened bound adds one unit per
+        missing item to the covered shards' structural error bounds (exact
+        for unit-weight streams; scale by max weight otherwise).
+        """
+        covered_items = sum(self._workers[s].items_applied for s in covered)
+        missing_items = 0
+        for s in missing:
+            worker = self._workers[s]
+            missing_items += worker.items_applied + worker.pending_items
+            if self._parked_items is not None:
+                missing_items += self._parked_items(s)
+        total = covered_items + missing_items
+        error_bound = 0.0
+        if plans:
+            error_bound = float(
+                sum(
+                    plan.details.get("error_bound", 0) or 0
+                    for plan in plans
+                    if plan.details is not None
+                )
+            )
+        return ErrorCertificate(
+            covered_shards=tuple(covered),
+            missing_shards=tuple(missing),
+            reasons=tuple(reasons),
+            covered_items=covered_items,
+            missing_items=missing_items,
+            covered_fraction=1.0 if total == 0 else covered_items / total,
+            error_bound=error_bound,
+            widened_error_bound=error_bound + missing_items,
+        )
 
     def merged_sketch_at(self, timestamp, explain=False):
         """Merged cross-shard snapshot at ``timestamp`` (ATTP).

@@ -15,6 +15,12 @@ resolution code paths), so a plan is a faithful account, not a guess —
 structures' actual contents.  Structures without a hook (plain streaming
 sketches, samplers) still get per-shard wall times; their ``details`` is
 None.
+
+Degraded-mode answers (``partial="allow"`` with one or more shards
+unavailable) additionally carry an :class:`ErrorCertificate` on the plan:
+which shards the answer covers, the fraction of acknowledged ingest it
+represents, and an honestly widened error bound.  ``render()`` prints the
+certificate after the per-shard lines.
 """
 
 from __future__ import annotations
@@ -96,6 +102,82 @@ class ShardPlan:
 
 
 @dataclass(frozen=True)
+class ErrorCertificate:
+    """An honest account of what a degraded-mode (partial) answer covers.
+
+    Attached to :class:`QueryPlan` when a ``partial="allow"`` query could
+    not consult every shard.  The certificate makes the degradation
+    quantitative instead of silent:
+
+    Attributes
+    ----------
+    covered_shards, missing_shards:
+        The shards whose sketches the answer reflects, and the shards that
+        were unavailable (poisoned, circuit-open, or past the per-shard
+        call timeout).
+    reasons:
+        One reason string per missing shard, aligned with
+        ``missing_shards`` — ``"failed"`` (poisoned or circuit-open) or
+        ``"timeout"`` (apply lock not acquired within the call timeout).
+    covered_items:
+        Items applied by covered shards at read time.
+    missing_items:
+        Items attributable to missing shards — applied before they went
+        down, still queued on the poisoned worker, or parked in a redirect
+        buffer awaiting replay.  These are acknowledged items the answer
+        does *not* represent.
+    covered_fraction:
+        ``covered_items / (covered_items + missing_items)`` — the fraction
+        of acknowledged ingest the answer represents (1.0 when nothing has
+        been ingested at all).
+    error_bound:
+        Sum of the covered shards' plan-hook error bounds (0.0 when the
+        structures expose none).
+    widened_error_bound:
+        ``error_bound + missing_items`` — for unit-weight frequency
+        estimates every missing item can shift a count by at most one, so
+        the true answer lies within the covered answer plus this bound.
+        For weighted streams scale by the maximum weight.
+    """
+
+    covered_shards: Tuple[int, ...]
+    missing_shards: Tuple[int, ...]
+    reasons: Tuple[str, ...]
+    covered_items: int
+    missing_items: int
+    covered_fraction: float
+    error_bound: float
+    widened_error_bound: float
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form of this certificate."""
+        return {
+            "covered_shards": list(self.covered_shards),
+            "missing_shards": list(self.missing_shards),
+            "reasons": list(self.reasons),
+            "covered_items": self.covered_items,
+            "missing_items": self.missing_items,
+            "covered_fraction": self.covered_fraction,
+            "error_bound": self.error_bound,
+            "widened_error_bound": self.widened_error_bound,
+        }
+
+    def render(self) -> str:
+        """One-line text rendering (appended by ``QueryPlan.render``)."""
+        missing = ", ".join(
+            f"{shard}({reason})"
+            for shard, reason in zip(self.missing_shards, self.reasons)
+        )
+        return (
+            f"  certificate: covered={list(self.covered_shards)} "
+            f"missing=[{missing}] "
+            f"fraction={self.covered_fraction:.4f} "
+            f"missing_items={self.missing_items} "
+            f"widened_error_bound={self.widened_error_bound:g}"
+        )
+
+
+@dataclass(frozen=True)
 class QueryPlan:
     """How one coordinator query was answered.
 
@@ -119,6 +201,9 @@ class QueryPlan:
         End-to-end coordinator time (fan-out + combine, or cache lookup).
     shards:
         One :class:`ShardPlan` per shard consulted.
+    certificate:
+        The :class:`ErrorCertificate` of a degraded-mode answer, or None
+        when the answer covers every shard (or came from the cache).
     """
 
     method: str
@@ -129,6 +214,7 @@ class QueryPlan:
     cache_hit: bool
     wall_seconds: float
     shards: Tuple[ShardPlan, ...] = ()
+    certificate: Optional[ErrorCertificate] = None
 
     def sealed_reads(self) -> int:
         """Total sealed checkpoints/blocks read across all shards."""
@@ -157,6 +243,9 @@ class QueryPlan:
             "cache_hit": self.cache_hit,
             "wall_seconds": self.wall_seconds,
             "shards": [plan.as_dict() for plan in self.shards],
+            "certificate": (
+                None if self.certificate is None else self.certificate.as_dict()
+            ),
         }
 
     def render(self) -> str:
@@ -199,4 +288,6 @@ class QueryPlan:
                 f"error_bound={d.get('error_bound', 0)}"
                 f"{extra} wall={plan.wall_seconds * 1e3:.3f}ms"
             )
+        if self.certificate is not None:
+            lines.append(self.certificate.render())
         return "\n".join(lines)

@@ -30,6 +30,18 @@ topology is recorded in an atomically-written manifest
 validates the manifest and replays every shard's WAL, restoring the full
 service; because routing is deterministic and seeded, recovered keys keep
 living on the shard that holds their history.
+
+Self-healing
+------------
+With ``supervise=True`` (durable services) a
+:class:`~repro.service.ShardSupervisor` watches the workers: a poisoned
+shard is rebuilt in place from its snapshot+WAL while its traffic parks in
+a bounded redirect buffer, then replays in seqno order — producers and the
+watermark ride through the failure instead of seeing
+:class:`ShardFailedError`.  Pair it with ``partial="allow"`` and
+``call_timeout=`` so queries keep answering (with error certificates)
+while a shard is down; see ``docs/SERVICE.md`` for the full failure-
+handling model.
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ from repro.durability.manifest import (
 from repro.durability.store import DurableSketch
 from repro.service.coordinator import QueryCoordinator
 from repro.service.router import ShardRouter
+from repro.service.supervisor import FAILED, HEALTHY, ShardSupervisor
 from repro.service.worker import ShardFailedError, ShardWorker
 from repro.telemetry.server import IntrospectionServer
 from repro.telemetry.spans import span
@@ -92,6 +105,11 @@ class ShardedSketchService:
     queue_capacity, backpressure, max_drain_items, min_drain_items, linger:
         Per-shard queue sizing, policy, and group-commit batching; see
         :class:`~repro.service.ShardWorker`.
+    block_timeout:
+        Deadline (seconds) for the ``"block"`` backpressure policy's
+        capacity wait — on expiry producers get
+        :class:`~repro.service.BackpressureError` instead of hanging on a
+        wedged or dead shard.  ``None`` (default) blocks indefinitely.
     ingest_buffer_items:
         Producer-side accumulator (Kafka-style): arrival batches are staged
         and only partitioned + submitted once at least this many items have
@@ -112,6 +130,32 @@ class ShardedSketchService:
     durable_options:
         Extra keyword arguments forwarded to ``DurableSketch.open``
         (``fsync_policy``, ``snapshot_every``, ...).
+    call_timeout:
+        Per-shard query read deadline; see
+        :class:`~repro.service.QueryCoordinator`.
+    partial:
+        Default degraded-mode query policy, ``"reject"`` (strict,
+        default) or ``"allow"`` (answer covered shards, attach an
+        :class:`~repro.service.ErrorCertificate` to explain plans).
+    supervise:
+        Enable the :class:`~repro.service.ShardSupervisor`: poisoned
+        shards are rebuilt in place from snapshot+WAL (durable services)
+        with their traffic parked and replayed, instead of staying
+        poisoned until restart.  Requires no restart, but changes failure
+        semantics — producers no longer see :class:`ShardFailedError` for
+        a recoverable fault — so it is opt-in.
+    supervisor_options:
+        Extra keyword arguments for the supervisor (``max_rebuilds``,
+        ``backoff_base``, ``redirect_capacity``, ...).
+    sketch_wrapper:
+        Optional ``(shard, sketch) -> sketch`` hook applied to every shard
+        sketch at construction *and* after each rebuild — the chaos
+        harness uses it to interpose fault injectors outside the durable
+        store.
+    snapshot_on_rebuild:
+        Take a fresh snapshot right after a shard rebuild recovers
+        (default True): compacts the replayed WAL so repeated rebuilds do
+        not re-replay ever-longer tails.
     start:
         Start worker threads immediately (default).
     """
@@ -128,11 +172,18 @@ class ShardedSketchService:
         max_drain_items: int = 65536,
         min_drain_items: int = 1,
         linger: float = 0.0,
+        block_timeout: Optional[float] = None,
         ingest_buffer_items: int = 0,
         cache_size: int = 256,
         directory=None,
         fs=None,
         durable_options: Optional[dict] = None,
+        call_timeout: Optional[float] = None,
+        partial: str = "reject",
+        supervise: bool = False,
+        supervisor_options: Optional[dict] = None,
+        sketch_wrapper: Optional[Callable[[int, Any], Any]] = None,
+        snapshot_on_rebuild: bool = True,
         start: bool = True,
     ):
         if ingest_buffer_items < 0:
@@ -152,6 +203,20 @@ class ShardedSketchService:
         self._started = False
         self.directory = directory
         self.durable = directory is not None
+        self._factory = factory
+        self._sketch_wrapper = sketch_wrapper
+        self._snapshot_on_rebuild = snapshot_on_rebuild
+        self._manifest: Optional[ServiceManifest] = None
+        self._durable_options: dict = {}
+        self._worker_options = dict(
+            capacity=queue_capacity,
+            policy=backpressure,
+            max_drain_items=max_drain_items,
+            min_drain_items=min_drain_items,
+            linger=linger,
+            block_timeout=block_timeout,
+            on_progress=self._notify_progress,
+        )
         if self.durable:
             manifest = read_manifest(directory)
             wanted = ServiceManifest(num_shards, partition, seed)
@@ -169,9 +234,11 @@ class ShardedSketchService:
                     f"got ({num_shards}, {partition!r}, {seed}) — "
                     "use ShardedSketchService.open to adopt the stored topology"
                 )
+            self._manifest = manifest
             options = dict(durable_options or {})
             if fs is not None:
                 options.setdefault("fs", fs)
+            self._durable_options = options
             sketches = [
                 DurableSketch.open(
                     factory, manifest.shard_directory(directory, shard), **options
@@ -180,21 +247,34 @@ class ShardedSketchService:
             ]
         else:
             sketches = [factory() for _ in range(num_shards)]
+        if sketch_wrapper is not None:
+            sketches = [
+                sketch_wrapper(shard, sketch)
+                for shard, sketch in enumerate(sketches)
+            ]
         self._workers = [
-            ShardWorker(
-                shard,
-                sketch,
-                capacity=queue_capacity,
-                policy=backpressure,
-                max_drain_items=max_drain_items,
-                min_drain_items=min_drain_items,
-                linger=linger,
-                on_progress=self._notify_progress,
-            )
+            ShardWorker(shard, sketch, **self._worker_options)
             for shard, sketch in enumerate(sketches)
         ]
+        self._supervisor: Optional[ShardSupervisor] = None
+        if supervise:
+            self._supervisor = ShardSupervisor(
+                self._workers,
+                self._rebuild_worker,
+                can_rebuild=self.durable,
+                policy=backpressure,
+                on_progress=self._notify_progress,
+                **(supervisor_options or {}),
+            )
         self._coordinator = QueryCoordinator(
-            self._workers, self.watermark, cache_size=cache_size
+            self._workers,
+            self.watermark,
+            cache_size=cache_size,
+            call_timeout=call_timeout,
+            partial=partial,
+            parked_items=(
+                None if self._supervisor is None else self._supervisor.parked_items
+            ),
         )
         if start:
             self.start()
@@ -233,11 +313,43 @@ class ShardedSketchService:
             return
         for worker in self._workers:
             worker.start()
+        if self._supervisor is not None:
+            self._supervisor.start()
         self._started = True
 
     def _notify_progress(self) -> None:
         with self._progress:
             self._progress.notify_all()
+
+    def _rebuild_worker(self, shard: int, old: ShardWorker) -> ShardWorker:
+        """Recover one shard from disk and return a fresh, unstarted worker.
+
+        The supervisor's rebuild hook: closes the poisoned store's WAL
+        handle best-effort, recovers the shard's ``DurableSketch``
+        (snapshot + WAL-tail replay — exactly the restart path), optionally
+        compacts with a fresh snapshot, re-applies the ``sketch_wrapper``,
+        and rebuilds the worker with the service's standard options.  The
+        supervisor installs watermark-correct seqnos and starts it.
+        """
+        if not self.durable or self._manifest is None:
+            raise RuntimeError(
+                f"shard {shard} is not durable — nothing to rebuild from"
+            )
+        wal = getattr(old.sketch, "wal", None)
+        if wal is not None:
+            try:
+                wal.close()
+            except Exception:  # poisoned mid-append; the handle may be torn
+                pass
+        directory = self._manifest.shard_directory(self.directory, shard)
+        sketch = DurableSketch.open(
+            self._factory, directory, **self._durable_options
+        )
+        if self._snapshot_on_rebuild:
+            sketch.snapshot()
+        if self._sketch_wrapper is not None:
+            sketch = self._sketch_wrapper(shard, sketch)
+        return ShardWorker(shard, sketch, **self._worker_options)
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -267,9 +379,18 @@ class ShardedSketchService:
         if self._started and self._stage_items:
             try:
                 self._flush_staged()
-            except (ShardFailedError, RuntimeError):
+            except ShardFailedError:
                 if not force:
                     raise
+            except RuntimeError as exc:
+                # tolerate only the submit-vs-stop shutdown race under
+                # force; any other RuntimeError (bad input, backpressure
+                # deadline, closed store) is a real failure and must
+                # surface even on a forced close
+                if not force or "stopped" not in str(exc):
+                    raise
+        if self._supervisor is not None:
+            self._supervisor.stop()
         for worker in self._workers:
             worker.stop()
         failed = [worker for worker in self._workers if worker.failure is not None]
@@ -328,10 +449,14 @@ class ShardedSketchService:
         """Partition one fused batch and enqueue the per-shard parts."""
         parts = self._router.partition(values, timestamps, weights)
         accepted = dropped = 0
+        supervisor = self._supervisor
         for shard, part in enumerate(parts):
             if part is None:
                 continue
-            got = self._workers[shard].submit(part[0], part[1], part[2], seqno)
+            if supervisor is not None:
+                got = supervisor.submit(shard, part[0], part[1], part[2], seqno)
+            else:
+                got = self._workers[shard].submit(part[0], part[1], part[2], seqno)
             accepted += got
             dropped += len(part[0]) - got
         return accepted, dropped
@@ -383,23 +508,56 @@ class ShardedSketchService:
         # concurrent stage flush can only make this floor conservative
         submitted = self._submitted_seqno
         floor = submitted if self._stage_items else self._acked_seqno
-        for worker in self._workers:
+        supervisor = self._supervisor
+        for shard, worker in enumerate(self._workers):
             applied = worker.applied_seqno
-            if applied < worker.acked_seqno:
+            acked = worker.acked_seqno
+            if supervisor is not None:
+                # items parked in a redirect buffer are acknowledged but
+                # not yet applied: they pin the watermark exactly like a
+                # lagging worker queue until the replay lands them
+                parked = supervisor.parked_acked(shard)
+                if parked > acked:
+                    acked = parked
+            if applied < acked:
                 floor = min(floor, applied)
         return floor
+
+    def _raise_if_unrecoverable(self) -> None:
+        """Raise :class:`ShardFailedError` for a shard that cannot heal.
+
+        Unsupervised, any poisoned worker is terminal.  Supervised, a
+        poisoned worker is merely ``REBUILDING``/``DEGRADED`` — its items
+        will still apply after the rebuild — so only a shard whose circuit
+        breaker opened (``FAILED``) aborts a consistency wait.
+        """
+        supervisor = self._supervisor
+        if supervisor is None:
+            for worker in self._workers:
+                worker.raise_if_failed()
+            return
+        for shard, state in supervisor.states().items():
+            if state == FAILED:
+                worker = self._workers[shard]
+                raise ShardFailedError(
+                    shard,
+                    worker.failure
+                    or RuntimeError("circuit breaker open (max rebuilds exhausted)"),
+                )
 
     def wait_for(self, seqno: int, timeout: Optional[float] = None) -> bool:
         """Block until the watermark reaches ``seqno``; False on timeout.
 
         Raises :class:`ShardFailedError` immediately if a shard worker
-        died — its items will never apply, so the wait would never end.
+        died unrecoverably — its items will never apply, so the wait would
+        never end.  Under supervision a rebuilding shard does *not* abort
+        the wait: the rebuild + redirect replay will land its items, and
+        the wait simply spans the failover.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         self._flush_staged()
         while True:
-            for worker in self._workers:
-                worker.raise_if_failed()
+            self._raise_if_unrecoverable()
             if self.watermark() >= seqno:
                 return True
             # an explicit consistency point overrides min_drain_items
@@ -442,7 +600,15 @@ class ShardedSketchService:
             return None
         return self._router.route(key)
 
-    def query(self, method: str, *args, combine="list", shard=None, explain=False):
+    def query(
+        self,
+        method: str,
+        *args,
+        combine="list",
+        shard=None,
+        explain=False,
+        partial=None,
+    ):
         """Generic fan-out: ``method(*args)`` on shards, combined.
 
         ``combine`` is a combiner name (``"sum"``, ``"any"``, ``"union"``,
@@ -451,9 +617,18 @@ class ShardedSketchService:
         LRU-cached keyed by the ingest watermark.  ``explain=True`` returns
         ``(answer, plan)`` with a structured
         :class:`~repro.service.QueryPlan` of what each shard read.
+        ``partial`` overrides the service's degraded-mode policy for this
+        query (``"reject"`` or ``"allow"``); under ``"allow"`` the plan
+        carries an :class:`~repro.service.ErrorCertificate` whenever a
+        shard could not be consulted.
         """
         return self._coordinator.query(
-            method, *args, combine=combine, shard=shard, explain=explain
+            method,
+            *args,
+            combine=combine,
+            shard=shard,
+            explain=explain,
+            partial=partial,
         )
 
     def estimate_at(self, key, timestamp, explain=False) -> float:
@@ -467,7 +642,7 @@ class ShardedSketchService:
         owner = self._owner(key)
         if owner is not None:
             return self.query(
-                "estimate_at", key, timestamp, shard=owner, explain=explain
+                "estimate_at", key, timestamp, shard=owner, combine="sum", explain=explain
             )
         return self.query(
             "estimate_at", key, timestamp, combine="sum", explain=explain
@@ -481,7 +656,7 @@ class ShardedSketchService:
         owner = self._owner(key)
         if owner is not None:
             return self.query(
-                "estimate_since", key, timestamp, shard=owner, explain=explain
+                "estimate_since", key, timestamp, shard=owner, combine="sum", explain=explain
             )
         return self.query(
             "estimate_since", key, timestamp, combine="sum", explain=explain
@@ -495,7 +670,7 @@ class ShardedSketchService:
         owner = self._owner(key)
         if owner is not None:
             return self.query(
-                "estimate_between", key, start, end, shard=owner, explain=explain
+                "estimate_between", key, start, end, shard=owner, combine="sum", explain=explain
             )
         return self.query(
             "estimate_between", key, start, end, combine="sum", explain=explain
@@ -554,7 +729,7 @@ class ShardedSketchService:
         owner = self._owner(key)
         if owner is not None:
             return self.query(
-                "contains_at", key, timestamp, shard=owner, explain=explain
+                "contains_at", key, timestamp, shard=owner, combine="any", explain=explain
             )
         return self.query(
             "contains_at", key, timestamp, combine="any", explain=explain
@@ -568,7 +743,7 @@ class ShardedSketchService:
         owner = self._owner(key)
         if owner is not None:
             return self.query(
-                "contains_since", key, timestamp, shard=owner, explain=explain
+                "contains_since", key, timestamp, shard=owner, combine="any", explain=explain
             )
         return self.query(
             "contains_since", key, timestamp, combine="any", explain=explain
@@ -607,21 +782,40 @@ class ShardedSketchService:
     # -- introspection -----------------------------------------------------
 
     def health(self) -> dict:
-        """Liveness summary: shard poisoning, queue depths, watermark lag.
+        """Liveness summary: shard states, queue depths, watermark lag.
 
         The payload the introspection server's ``/healthz`` endpoint
         serves; ``healthy`` is False — and the endpoint returns 503 — when
-        any shard worker is poisoned or the service is closed.
+        any shard is not ``HEALTHY`` (poisoned, rebuilding, degraded, or
+        circuit-open) or the service is closed.  ``shard_states`` reports
+        the supervisor's per-shard state machine; without supervision a
+        poisoned worker reports ``FAILED`` directly (poisoning is terminal
+        there).
         """
         failed = [
             worker.index for worker in self._workers if worker.failure is not None
         ]
+        if self._supervisor is not None:
+            states = {
+                str(shard): state
+                for shard, state in self._supervisor.states().items()
+            }
+        else:
+            states = {
+                str(worker.index): FAILED if worker.failure is not None else HEALTHY
+                for worker in self._workers
+            }
         acked = self._acked_seqno
         watermark = self.watermark()
-        return {
-            "healthy": not failed and not self._closed,
+        payload = {
+            "healthy": (
+                not self._closed
+                and not failed
+                and all(state == HEALTHY for state in states.values())
+            ),
             "closed": self._closed,
             "failed_shards": failed,
+            "shard_states": states,
             "queue_depths": {
                 str(worker.index): worker.pending_items for worker in self._workers
             },
@@ -630,6 +824,9 @@ class ShardedSketchService:
             "watermark_lag": acked - watermark,
             "staged_items": self._stage_items,
         }
+        if self._supervisor is not None:
+            payload["supervisor"] = self._supervisor.stats()
+        return payload
 
     def serve_introspection(
         self, host: str = "127.0.0.1", port: int = 0
@@ -666,7 +863,7 @@ class ShardedSketchService:
                 with worker.lock:
                     entry["durable"] = worker.sketch.stats()
             shards.append(entry)
-        return {
+        payload = {
             "num_shards": self.num_shards,
             "partition": self._router.mode,
             "acked_seqno": self._acked_seqno,
@@ -676,3 +873,6 @@ class ShardedSketchService:
             "cache": self.cache_info(),
             "shards": shards,
         }
+        if self._supervisor is not None:
+            payload["supervisor"] = self._supervisor.stats()
+        return payload

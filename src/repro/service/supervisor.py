@@ -1,0 +1,530 @@
+"""Shard supervision: health states, live rebuilds, redirect buffers.
+
+A sharded service without supervision treats any shard fault as terminal:
+the worker is poisoned, every producer sees :class:`ShardFailedError`, and
+the only remedy is tearing the whole service down.  The
+:class:`ShardSupervisor` turns that into a *self-healing* loop built on the
+durability layer's proof that a shard is exactly rebuildable from its
+snapshot + WAL:
+
+* a monitor thread watches every worker; a poisoned worker moves its shard
+  through an explicit health state machine —
+
+  ``HEALTHY → REBUILDING → (HEALTHY | DEGRADED → REBUILDING | FAILED)``
+
+  where ``REBUILDING`` means a rebuild attempt is running right now,
+  ``DEGRADED`` means the last attempt failed and the shard is waiting out
+  an exponential backoff (with jitter) before retrying, and ``FAILED``
+  means the circuit breaker opened after ``max_rebuilds`` attempts and the
+  shard is parked as permanently failed;
+* while a shard is down, routed sub-batches are **parked** in a bounded
+  per-shard redirect buffer instead of failing the producer; on recovery
+  they replay into the rebuilt worker in seqno order, so the service's
+  read-your-writes watermark semantics survive failover unchanged;
+* a rebuild salvages the poisoned worker's queue first (including a failed
+  fused batch the worker pushed back because it verifiably never reached
+  the WAL), recovers the shard's :class:`~repro.durability.DurableSketch`
+  from disk, swaps the fresh worker into the service's worker table, and
+  only flips the shard back to ``HEALTHY`` once the redirect buffer has
+  fully drained.
+
+The supervisor exports ``service_shard_state`` (gauge, one child per
+shard, coded 0=HEALTHY 1=REBUILDING 2=DEGRADED 3=FAILED),
+``service_rebuilds_total`` and ``service_redirected_items_total``, and
+traces each attempt as ``service.rebuild`` / ``service.redirect_replay``
+spans.  Shard states surface through
+:meth:`repro.service.ShardedSketchService.health` and therefore through
+the introspection server's ``/healthz`` (503 while any shard is not
+``HEALTHY``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from typing import Callable, List, Optional, Sequence
+
+from repro.service.worker import BackpressureError, ShardFailedError, ShardWorker
+from repro.telemetry.registry import TELEMETRY as _TEL
+from repro.telemetry.spans import span
+
+#: Shard health states, in escalation order (the gauge codes them 0..3).
+SHARD_STATES = ("HEALTHY", "REBUILDING", "DEGRADED", "FAILED")
+HEALTHY, REBUILDING, DEGRADED, FAILED = SHARD_STATES
+STATE_CODES = {name: code for code, name in enumerate(SHARD_STATES)}
+
+_TEL.registry.declare(
+    "service_shard_state",
+    "gauge",
+    "Per-shard health state code (0=HEALTHY 1=REBUILDING 2=DEGRADED 3=FAILED).",
+)
+_TEL.registry.declare(
+    "service_rebuilds_total",
+    "counter",
+    "Completed in-place shard rebuilds (snapshot+WAL recovery + replay), by shard.",
+)
+_TEL.registry.declare(
+    "service_redirected_items_total",
+    "counter",
+    "Items parked in a redirect buffer while their shard was down, by shard.",
+)
+
+
+class _ShardHealth:
+    """Mutable supervision record for one shard (guarded by the park lock)."""
+
+    __slots__ = (
+        "state",
+        "attempts",
+        "rebuilds",
+        "last_error",
+        "next_retry_at",
+        "abandoned_items",
+        "dropped_items",
+    )
+
+    def __init__(self):
+        self.state = HEALTHY
+        self.attempts = 0  # rebuild attempts, lifetime (circuit-breaker input)
+        self.rebuilds = 0  # attempts that completed and drained their replay
+        self.last_error: Optional[BaseException] = None
+        self.next_retry_at = 0.0
+        self.abandoned_items = 0  # parked items lost to a FAILED circuit
+        self.dropped_items = 0  # parked items shed by the drop policy
+
+
+class ShardSupervisor:
+    """Watches shard workers and rebuilds poisoned shards in place.
+
+    Parameters
+    ----------
+    workers:
+        The service's *live* worker list.  The supervisor swaps rebuilt
+        workers into this list in place, so everything holding the list —
+        the query coordinator, the watermark computation — observes the
+        replacement without re-wiring.
+    rebuild:
+        ``rebuild(shard, old_worker) -> ShardWorker`` — recovers the
+        shard's durable state from disk and returns a fresh, *unstarted*
+        worker (the service supplies this; see
+        ``ShardedSketchService._rebuild_worker``).  May raise anything —
+        including :class:`~repro.durability.SimulatedCrash` under fault
+        injection — and the supervisor treats the attempt as failed.
+    can_rebuild:
+        False for non-durable services: there is no snapshot+WAL to rebuild
+        from, so a poisoned shard moves straight to ``FAILED`` (preserving
+        the strict pre-supervision semantics).
+    policy:
+        Backpressure policy for a *full* redirect buffer, mirroring the
+        worker queue policies: ``"block"`` waits up to ``redirect_timeout``
+        then raises :class:`BackpressureError`; ``"drop"`` sheds and
+        counts; ``"error"`` raises immediately.
+    redirect_capacity:
+        Maximum parked items per shard before the policy applies.
+    redirect_timeout:
+        Deadline (seconds) both for blocking park waits and for replay
+        submissions into the rebuilt worker — a producer can never hang
+        forever on a dead shard.
+    max_rebuilds:
+        Circuit breaker: after this many rebuild *attempts* the shard is
+        parked as ``FAILED`` and its parked items are counted abandoned.
+    backoff_base, backoff_factor, backoff_cap, jitter:
+        Retry pacing between failed attempts: attempt ``k`` waits
+        ``min(cap, base * factor**(k-1)) * (1 + jitter * U[0,1))`` seconds.
+    poll_interval:
+        Monitor wakeup period (failures also wake it immediately via
+        :meth:`notify`).
+    on_progress:
+        Called (outside locks) after any state change or replay progress —
+        the service wires its watermark condition here.
+    seed:
+        Seeds the jitter RNG (deterministic tests).
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[ShardWorker],
+        rebuild: Callable[[int, ShardWorker], ShardWorker],
+        *,
+        can_rebuild: bool = True,
+        policy: str = "block",
+        redirect_capacity: int = 1 << 16,
+        redirect_timeout: Optional[float] = 10.0,
+        max_rebuilds: int = 5,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_cap: float = 2.0,
+        jitter: float = 0.5,
+        poll_interval: float = 0.05,
+        on_progress: Optional[Callable[[], None]] = None,
+        seed: int = 0,
+    ):
+        if redirect_capacity < 1:
+            raise ValueError(
+                f"redirect_capacity must be >= 1, got {redirect_capacity}"
+            )
+        if max_rebuilds < 1:
+            raise ValueError(f"max_rebuilds must be >= 1, got {max_rebuilds}")
+        self._workers = workers  # shared, swapped in place
+        self._rebuild = rebuild
+        self.can_rebuild = can_rebuild
+        self.policy = policy
+        self.redirect_capacity = redirect_capacity
+        self.redirect_timeout = redirect_timeout
+        self.max_rebuilds = max_rebuilds
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.poll_interval = poll_interval
+        self._on_progress = on_progress
+        self._rng = random.Random(seed)
+        num_shards = len(workers)
+        self._health = [_ShardHealth() for _ in range(num_shards)]
+        self._buffers: List[deque] = [deque() for _ in range(num_shards)]
+        self._buffered_items = [0] * num_shards
+        self._parked_acked = [0] * num_shards
+        self._park_conds = [threading.Condition() for _ in range(num_shards)]
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._state_gauges = [
+            _TEL.gauge("service_shard_state", shard=str(shard))
+            for shard in range(num_shards)
+        ]
+        self._rebuild_counters = [
+            _TEL.counter("service_rebuilds_total", shard=str(shard))
+            for shard in range(num_shards)
+        ]
+        self._redirect_counters = [
+            _TEL.counter("service_redirected_items_total", shard=str(shard))
+            for shard in range(num_shards)
+        ]
+        self._thread = threading.Thread(
+            target=self._run, name="shard-supervisor", daemon=True
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the monitor thread (idempotent once)."""
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the monitor thread and join it (parked items stay parked)."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._thread.is_alive():
+            self._thread.join()
+
+    def notify(self) -> None:
+        """Wake the monitor now (a producer just observed a shard failure)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- state inspection --------------------------------------------------
+
+    def state(self, shard: int) -> str:
+        """Current health state of ``shard`` (one of :data:`SHARD_STATES`)."""
+        return self._health[shard].state
+
+    def states(self) -> dict:
+        """``{shard: state}`` snapshot across all shards."""
+        return {shard: h.state for shard, h in enumerate(self._health)}
+
+    def parked_acked(self, shard: int) -> int:
+        """Highest seqno acknowledged into ``shard``'s redirect buffer.
+
+        A watermark floor input: parked items are acknowledged but not yet
+        applied, so the service watermark must not advance past them.
+        """
+        return self._parked_acked[shard]
+
+    def parked_items(self, shard: int) -> int:
+        """Items currently parked for ``shard`` (snapshot; racy by nature)."""
+        return self._buffered_items[shard]
+
+    def stats(self) -> dict:
+        """Per-shard supervision snapshot (for ``health()``/``stats()``)."""
+        now = time.monotonic()
+        payload = {}
+        for shard, h in enumerate(self._health):
+            payload[str(shard)] = {
+                "state": h.state,
+                "attempts": h.attempts,
+                "rebuilds": h.rebuilds,
+                "parked_items": self._buffered_items[shard],
+                "abandoned_items": h.abandoned_items,
+                "dropped_items": h.dropped_items,
+                "last_error": None if h.last_error is None else repr(h.last_error),
+                "retry_in": (
+                    max(0.0, h.next_retry_at - now) if h.state == DEGRADED else 0.0
+                ),
+            }
+        return payload
+
+    # -- producer side: submit-or-park ------------------------------------
+
+    def submit(self, shard: int, values, timestamps, weights, seqno: int) -> int:
+        """Route one sub-batch to ``shard``: direct when healthy, else park.
+
+        Mirrors :meth:`ShardWorker.submit`'s contract (returns accepted
+        items, honours the backpressure policy) but absorbs shard failure:
+        a poisoned worker parks the sub-batch for replay instead of
+        surfacing :class:`ShardFailedError` — unless the shard's circuit
+        breaker is open (``FAILED``), which stays a hard error.
+        """
+        health = self._health[shard]
+        while True:
+            state = health.state
+            if state == FAILED:
+                raise ShardFailedError(
+                    shard,
+                    health.last_error
+                    or RuntimeError("circuit breaker open (max rebuilds exhausted)"),
+                )
+            if state == HEALTHY:
+                worker = self._workers[shard]
+                try:
+                    return worker.submit(values, timestamps, weights, seqno)
+                except ShardFailedError:
+                    # poisoned between our state read and the submit: park
+                    # and wake the monitor to begin the rebuild
+                    self.notify()
+            accepted = self._park(shard, values, timestamps, weights, seqno)
+            if accepted is not None:
+                return accepted
+            # the shard recovered while we waited to park: resubmit directly
+
+    def _park(self, shard, values, timestamps, weights, seqno) -> Optional[int]:
+        """Park one sub-batch for later replay; None if the shard healed."""
+        health = self._health[shard]
+        n = len(values)
+        timeout = self.redirect_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cond = self._park_conds[shard]
+        with cond:
+            while True:
+                if health.state == FAILED:
+                    raise ShardFailedError(
+                        shard, health.last_error or RuntimeError("shard failed")
+                    )
+                if health.state == HEALTHY and self._workers[shard].failure is None:
+                    return None  # healed: caller resubmits directly
+                if (
+                    self._buffered_items[shard] == 0
+                    or self._buffered_items[shard] + n <= self.redirect_capacity
+                ):
+                    break
+                if self.policy == "drop":
+                    health.dropped_items += n
+                    return 0
+                if self.policy == "error":
+                    raise BackpressureError(
+                        f"shard {shard} redirect buffer full "
+                        f"({self._buffered_items[shard]}/{self.redirect_capacity} "
+                        f"items)"
+                    )
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise BackpressureError(
+                        f"shard {shard} redirect buffer still full after "
+                        f"{timeout:g}s — blocking deadline expired"
+                    )
+                cond.wait(0.05 if remaining is None else min(remaining, 0.05))
+            self._buffers[shard].append((values, timestamps, weights, seqno))
+            self._buffered_items[shard] += n
+            if seqno > self._parked_acked[shard]:
+                self._parked_acked[shard] = seqno
+            if _TEL.enabled:
+                self._redirect_counters[shard].inc(n)
+        return n
+
+    # -- monitor side ------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                if self._stopping:
+                    return
+                self._cond.wait(self.poll_interval)
+                if self._stopping:
+                    return
+            now = time.monotonic()
+            for shard in range(len(self._workers)):
+                try:
+                    self._check(shard, now)
+                except Exception as exc:  # supervision must outlive bugs
+                    self._health[shard].last_error = exc
+                    self._set_state(shard, FAILED)
+
+    def _check(self, shard: int, now: float) -> None:
+        health = self._health[shard]
+        if health.state == HEALTHY:
+            worker = self._workers[shard]
+            if worker.failure is None:
+                return
+            health.last_error = worker.failure
+            if not self.can_rebuild:
+                # nothing durable to rebuild from: strict semantics apply
+                self._abandon(shard)
+                return
+            if health.attempts >= self.max_rebuilds:
+                # lifetime cap: a shard that keeps dying after successful
+                # rebuilds trips the breaker just like failed attempts do
+                self._abandon(shard)
+                return
+            self._set_state(shard, REBUILDING)
+            self._attempt(shard)
+        elif health.state == DEGRADED and now >= health.next_retry_at:
+            self._set_state(shard, REBUILDING)
+            self._attempt(shard)
+
+    def _attempt(self, shard: int) -> None:
+        """One rebuild attempt: salvage, recover, swap, replay, flip."""
+        health = self._health[shard]
+        old = self._workers[shard]
+        salvaged = old.take_pending()
+        if salvaged:
+            cond = self._park_conds[shard]
+            with cond:
+                # the salvaged queue precedes everything parked later, in
+                # seqno order (producers are serialised by the ingest lock)
+                self._buffers[shard].extendleft(
+                    (v, t, w, s) for v, t, w, s, _, _ in reversed(salvaged)
+                )
+                taken = sum(len(entry[0]) for entry in salvaged)
+                self._buffered_items[shard] += taken
+                top = max(entry[3] for entry in salvaged)
+                if top > self._parked_acked[shard]:
+                    self._parked_acked[shard] = top
+        health.attempts += 1
+        try:
+            with span(
+                "service.rebuild", shard=shard, attempt=health.attempts
+            ) as rebuild_span:
+                worker = self._rebuild(shard, old)
+                self._install(shard, old, worker)
+                with span("service.redirect_replay", shard=shard):
+                    replayed = self._replay(shard)
+                rebuild_span.set_attr("replayed_items", replayed)
+        except (ShardFailedError, BackpressureError) as exc:
+            health.last_error = exc
+            self._after_failed_attempt(shard)
+            return
+        except BaseException as exc:  # noqa: BLE001 — includes SimulatedCrash
+            # a crash/IO fault *inside* the rebuild: the directory is still
+            # recoverable (that is the durability invariant), so this is a
+            # retryable attempt failure, not corruption
+            health.last_error = exc
+            self._after_failed_attempt(shard)
+            return
+        health.rebuilds += 1
+        if _TEL.enabled:
+            self._rebuild_counters[shard].inc()
+        self._progress()
+
+    def _install(self, shard: int, old: ShardWorker, worker: ShardWorker) -> None:
+        """Swap the rebuilt worker in with watermark-correct seqnos.
+
+        Everything the old worker dequeued before failing was WAL-logged
+        (log-then-apply) and is therefore part of the recovered state; what
+        it had *not* dequeued — plus the pushed-back never-logged batch —
+        now sits at the front of the redirect buffer.  So the rebuilt
+        worker has applied exactly up to just before the first parked
+        seqno (or everything acked, when nothing is parked).
+        """
+        with self._park_conds[shard]:
+            buffer = self._buffers[shard]
+            first_parked = buffer[0][3] if buffer else None
+        worker.acked_seqno = old.acked_seqno
+        worker.applied_seqno = (
+            old.acked_seqno if first_parked is None else first_parked - 1
+        )
+        worker.items_applied = old.items_applied
+        self._workers[shard] = worker
+        worker.start()
+
+    def _replay(self, shard: int) -> int:
+        """Drain the redirect buffer into the rebuilt worker, then heal.
+
+        The ``HEALTHY`` flip happens under the park lock with the buffer
+        observed empty, and producers park under the same lock while the
+        state is not ``HEALTHY`` — so no sub-batch can slip between the
+        final drain and the flip, and seqno order is preserved end to end.
+        """
+        worker = self._workers[shard]
+        cond = self._park_conds[shard]
+        replayed = 0
+        while True:
+            with cond:
+                if not self._buffers[shard]:
+                    self._set_state_locked(shard, HEALTHY)
+                    cond.notify_all()
+                    return replayed
+                entries = list(self._buffers[shard])
+                self._buffers[shard].clear()
+                self._buffered_items[shard] = 0
+                cond.notify_all()  # room for blocked parkers
+            for position, (values, timestamps, weights, seqno) in enumerate(entries):
+                try:
+                    worker.submit(
+                        values,
+                        timestamps,
+                        weights,
+                        seqno,
+                        timeout=self.redirect_timeout,
+                    )
+                    replayed += len(values)
+                except (ShardFailedError, BackpressureError):
+                    with cond:
+                        rest = entries[position:]
+                        self._buffers[shard].extendleft(reversed(rest))
+                        self._buffered_items[shard] += sum(
+                            len(entry[0]) for entry in rest
+                        )
+                    raise
+            self._progress()
+
+    def _after_failed_attempt(self, shard: int) -> None:
+        health = self._health[shard]
+        if health.attempts >= self.max_rebuilds:
+            self._abandon(shard)
+            return
+        delay = min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (health.attempts - 1),
+        )
+        delay *= 1.0 + self.jitter * self._rng.random()
+        health.next_retry_at = time.monotonic() + delay
+        self._set_state(shard, DEGRADED)
+
+    def _abandon(self, shard: int) -> None:
+        """Open the circuit: park the shard as permanently failed."""
+        health = self._health[shard]
+        with self._park_conds[shard]:
+            health.abandoned_items += self._buffered_items[shard]
+            self._buffers[shard].clear()
+            self._buffered_items[shard] = 0
+            self._set_state_locked(shard, FAILED)
+            self._park_conds[shard].notify_all()
+        self._progress()
+
+    def _set_state(self, shard: int, state: str) -> None:
+        with self._park_conds[shard]:
+            self._set_state_locked(shard, state)
+            self._park_conds[shard].notify_all()
+        self._progress()
+
+    def _set_state_locked(self, shard: int, state: str) -> None:
+        self._health[shard].state = state
+        if _TEL.enabled:
+            self._state_gauges[shard].set(STATE_CODES[state])
+
+    def _progress(self) -> None:
+        if self._on_progress is not None:
+            self._on_progress()

@@ -12,7 +12,10 @@ amortising the per-batch fixed costs of the chain/sketch fast paths.
 
 Backpressure when the bounded queue is full is configurable:
 
-* ``"block"`` (default) — the producer waits for the worker to drain;
+* ``"block"`` (default) — the producer waits for the worker to drain; with
+  ``block_timeout`` (constructor) or ``timeout=`` (per submit) the wait has
+  a deadline and raises :class:`BackpressureError` on expiry, so a producer
+  can never hang forever on a wedged or dead shard;
 * ``"drop"`` — the sub-batch is discarded and counted
   (``service_backpressure_drops_total``);
 * ``"error"`` — :class:`BackpressureError` is raised to the producer.
@@ -20,7 +23,12 @@ Backpressure when the bounded queue is full is configurable:
 A worker that hits an ingest error (monotonicity violation, injected I/O
 fault, simulated crash) is *poisoned*: it stops, keeps the original
 exception, and every later submit/overlapping wait surfaces it as
-:class:`ShardFailedError` — no silent partial ingest.
+:class:`ShardFailedError` — no silent partial ingest.  Poisoning preserves
+evidence for failover: queued-but-unapplied sub-batches stay on the queue
+(:meth:`ShardWorker.take_pending` hands them to a supervisor), and the
+fused batch that failed is pushed back onto the queue front whenever it
+verifiably never reached a durable shard's WAL — a rebuilt shard can then
+replay everything that was acknowledged but not yet made durable.
 """
 
 from __future__ import annotations
@@ -110,6 +118,12 @@ class ShardWorker:
         Seconds the worker waits after waking before draining (Kafka-style
         ``linger.ms``); a time-based alternative to ``min_drain_items``.
         ``0`` (default) drains immediately.
+    block_timeout:
+        Deadline (seconds) for the ``"block"`` policy's capacity wait;
+        ``None`` (default) blocks indefinitely.  On expiry the producer
+        gets :class:`BackpressureError` instead of hanging on a shard that
+        stopped draining (wedged apply, dead worker).  A per-call
+        ``timeout=`` on :meth:`submit` overrides it.
     on_progress:
         Optional callback invoked (outside locks) after the applied seqno
         advances or the worker fails — the service uses it to wake
@@ -126,6 +140,7 @@ class ShardWorker:
         max_drain_items: int = 65536,
         min_drain_items: int = 1,
         linger: float = 0.0,
+        block_timeout: Optional[float] = None,
         on_progress: Optional[Callable[[], None]] = None,
     ):
         if capacity < 1:
@@ -143,6 +158,8 @@ class ShardWorker:
             )
         if linger < 0:
             raise ValueError(f"linger must be >= 0, got {linger}")
+        if block_timeout is not None and block_timeout <= 0:
+            raise ValueError(f"block_timeout must be > 0, got {block_timeout}")
         self.index = index
         self.sketch = sketch
         self.capacity = capacity
@@ -150,6 +167,7 @@ class ShardWorker:
         self.max_drain_items = max_drain_items
         self.min_drain_items = min_drain_items
         self.linger = linger
+        self.block_timeout = block_timeout
         self._drain_requested = False
         self._on_progress = on_progress
         #: Serialises sketch mutation against coordinator reads.
@@ -185,16 +203,17 @@ class ShardWorker:
         """Start the apply thread (idempotent once)."""
         self._thread.start()
 
-    def submit(self, values, timestamps, weights, seqno: int) -> int:
+    def submit(self, values, timestamps, weights, seqno: int, timeout=None) -> int:
         """Enqueue one routed sub-batch; returns the number of items accepted.
 
         Advances this shard's acked seqno on acceptance.  Under the
         ``"drop"`` policy a full queue returns ``0`` and counts the items;
-        ``"block"`` waits for capacity; ``"error"`` raises
-        :class:`BackpressureError`.  Capacity is a soft bound: a sub-batch
-        is always admitted into an *empty* queue, however large, so an
-        arrival batch bigger than the capacity can never deadlock a
-        blocking producer.
+        ``"block"`` waits for capacity — up to ``timeout`` seconds (default
+        the worker's ``block_timeout``), raising :class:`BackpressureError`
+        on expiry; ``"error"`` raises :class:`BackpressureError`
+        immediately.  Capacity is a soft bound: a sub-batch is always
+        admitted into an *empty* queue, however large, so an arrival batch
+        bigger than the capacity can never deadlock a blocking producer.
 
         With telemetry on, the enqueue is traced (``service.enqueue``,
         nesting under the producer's active span) and the entry carries the
@@ -206,8 +225,12 @@ class ShardWorker:
         n = len(values)
         if n == 0:
             return 0
+        if timeout is None:
+            timeout = self.block_timeout
         if not _TEL.enabled:
-            return self._submit_locked(values, timestamps, weights, seqno, None, None)
+            return self._submit_locked(
+                values, timestamps, weights, seqno, None, None, timeout
+            )
         with span("service.enqueue", shard=self.index, items=n) as enq_span:
             accepted = self._submit_locked(
                 values,
@@ -216,12 +239,16 @@ class ShardWorker:
                 seqno,
                 enq_span.context,
                 time.perf_counter(),
+                timeout,
             )
             enq_span.set_attr("accepted", accepted)
             return accepted
 
-    def _submit_locked(self, values, timestamps, weights, seqno, ctx, enqueued_at):
+    def _submit_locked(
+        self, values, timestamps, weights, seqno, ctx, enqueued_at, timeout=None
+    ):
         n = len(values)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while (
                 self.policy == "block"
@@ -234,7 +261,17 @@ class ShardWorker:
                 # producer stuck on a full queue
                 self._drain_requested = True
                 self._cond.notify_all()
-                self._cond.wait()
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise BackpressureError(
+                        f"shard {self.index} queue still full after "
+                        f"{timeout:g}s ({self._pending_items}/{self.capacity} "
+                        f"items) — blocking deadline expired"
+                    )
+                self._cond.wait(remaining)
             if self.failure is not None:
                 raise ShardFailedError(self.index, self.failure)
             if self._stopping:
@@ -292,6 +329,25 @@ class ShardWorker:
             self._cond.notify_all()
         if self._thread.is_alive():
             self._thread.join()
+
+    def take_pending(self) -> list:
+        """Remove and return every queued sub-batch (failover salvage).
+
+        Entries are ``(values, timestamps, weights, seqno, ctx,
+        enqueued_at)`` tuples in seqno order.  A supervisor calls this on a
+        poisoned worker to move acknowledged-but-unapplied sub-batches —
+        including a failed fused batch the worker pushed back because it
+        never reached the WAL — into its redirect buffer for replay on the
+        rebuilt shard.
+        """
+        with self._cond:
+            entries = list(self._queue)
+            self._queue.clear()
+            self._pending_items = 0
+            if _TEL.enabled:
+                self._depth_gauge.set(0)
+            self._cond.notify_all()
+        return entries
 
     # -- worker side -------------------------------------------------------
 
@@ -376,6 +432,8 @@ class ShardWorker:
                         items=len(part[0]),
                         seqno=part[3],
                     )
+            wal = getattr(self.sketch, "wal", None)
+            records_before = None if wal is None else wal.records_appended
             try:
                 # the apply joins the first traced sub-batch's trace; the
                 # other fused sub-batches still link to it via their shared
@@ -392,8 +450,26 @@ class ShardWorker:
             except BaseException as exc:  # noqa: BLE001 — includes SimulatedCrash
                 with self._cond:
                     self.failure = exc
-                    self._queue.clear()
-                    self._pending_items = 0
+                    if wal is not None and wal.records_appended == records_before:
+                        # the fused batch verifiably never reached the WAL
+                        # (the failure hit before the append completed): the
+                        # sketch is untouched, so push the sub-batches back
+                        # onto the queue front where a supervisor's salvage
+                        # will find them.  Once the append landed, recovery
+                        # replays the record from disk instead — re-parking
+                        # it here would double-apply.
+                        self._queue.extendleft(reversed(parts))
+                        self._pending_items += taken
+                    elif wal is not None:
+                        # the BATCH record landed before the failure: a
+                        # rebuild replays it from disk, so these items are
+                        # durably part of the shard — account them now or
+                        # the rebuilt shard's bookkeeping undercounts.
+                        self.items_applied += taken
+                        if last_seqno > self.applied_seqno:
+                            self.applied_seqno = last_seqno
+                        if _TEL.enabled:
+                            self._items_counter.inc(taken)
                     self._cond.notify_all()
                 if self._on_progress is not None:
                     self._on_progress()

@@ -35,6 +35,7 @@ mutates a metric or drops a span.
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -125,7 +126,12 @@ class IntrospectionServer:
     ----------
     host, port:
         Bind address; ``port=0`` (default) picks an ephemeral port, exposed
-        as :attr:`port` / :attr:`url` after :meth:`start`.
+        as :attr:`port` / :attr:`url` after :meth:`start`.  When a specific
+        requested port is already in use, :meth:`start` falls back to an
+        ephemeral port instead of failing — check :attr:`port` (and
+        :attr:`requested_port`) for the one actually bound — so a service
+        restart racing the old process's lingering socket still comes up
+        observable.
     health:
         Zero-argument callable returning the ``/healthz`` JSON payload; a
         falsy ``"healthy"`` key turns the response into a 503.  Defaults to
@@ -152,11 +158,32 @@ class IntrospectionServer:
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
+    @property
+    def requested_port(self) -> int:
+        """The port requested at construction (0 = ephemeral)."""
+        return self._requested_port
+
     def start(self) -> "IntrospectionServer":
-        """Bind and serve on a daemon thread (idempotent); returns self."""
+        """Bind and serve on a daemon thread (idempotent); returns self.
+
+        A requested (non-zero) port that is already bound falls back to an
+        ephemeral port rather than raising — observability should survive
+        a port collision; other bind errors (bad host, privileges) still
+        raise.
+        """
         if self._httpd is not None:
             return self
-        httpd = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        try:
+            httpd = ThreadingHTTPServer(
+                (self._host, self._requested_port), _Handler
+            )
+        except OSError as exc:
+            if self._requested_port == 0 or exc.errno not in (
+                errno.EADDRINUSE,
+                errno.EACCES,
+            ):
+                raise
+            httpd = ThreadingHTTPServer((self._host, 0), _Handler)
         httpd.daemon_threads = True
         httpd.registry = self._registry  # type: ignore[attr-defined]
         httpd.spans = self._spans  # type: ignore[attr-defined]

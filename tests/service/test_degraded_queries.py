@@ -1,0 +1,228 @@
+"""Degraded-mode queries: error certificates, policies, timeouts, caching.
+
+The certificate property test pins the acceptance criterion: for a known
+fault (shard ``k`` poisoned after applying its whole sub-stream plus ``j``
+in-flight items), the certificate's covered-shard set and covered fraction
+are *exactly* computable offline from the router — and must match.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ChainCountMin
+from repro.service import (
+    ChaosController,
+    ChaosEvent,
+    ErrorCertificate,
+    ShardFailedError,
+    ShardRouter,
+    ShardTimeoutError,
+    ShardedSketchService,
+)
+
+NUM_SHARDS = 4
+SEED = 13
+N_ITEMS = 2000
+EXTRA = 40  # in-flight items parked on the poisoned worker's queue
+
+
+def factory():
+    return ChainCountMin(width=512, depth=3, eps_ckpt=0.002, seed=5)
+
+
+def stream(n=N_ITEMS):
+    keys = np.array([(i * i) % 61 for i in range(n)], dtype=np.int64)
+    timestamps = np.arange(n, dtype=np.float64)
+    return keys, timestamps
+
+
+def wait_until(predicate, timeout=20.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture(params=[0, 1, 2, 3])
+def poisoned(request, tmp_path):
+    """A durable, unsupervised, ``partial="allow"`` service with shard
+    ``request.param`` poisoned after a fully drained base stream plus
+    ``EXTRA`` re-parked in-flight items; yields the offline-computable
+    expectation alongside the live service."""
+    kill_shard = request.param
+    keys, timestamps = stream()
+    router = ShardRouter(NUM_SHARDS, mode="hash", seed=SEED)
+    shard_of = router.shards_of(keys)
+    applied = {s: int((shard_of == s).sum()) for s in range(NUM_SHARDS)}
+    # the kill fires on the first batch beyond the drained base stream
+    controller = ChaosController(
+        [ChaosEvent("kill", shard=kill_shard, at_items=applied[kill_shard] + 1)]
+    )
+    service = ShardedSketchService(
+        factory,
+        NUM_SHARDS,
+        seed=SEED,
+        directory=tmp_path / "state",
+        durable_options={"fsync_policy": "always"},
+        partial="allow",
+        call_timeout=5.0,
+        backpressure="error",
+        sketch_wrapper=controller.wrap,
+    )
+    try:
+        service.ingest_batch(keys, timestamps)
+        assert service.drain(timeout=30)
+        owned = keys[shard_of == kill_shard]
+        extra_keys = np.repeat(owned[:1], EXTRA)
+        extra_ts = np.full(EXTRA, float(N_ITEMS), dtype=np.float64)
+        service.ingest_batch(extra_keys, extra_ts)
+        # the poisoned worker re-parks the never-logged batch on its queue
+        assert wait_until(
+            lambda: service._workers[kill_shard].failure is not None
+        )
+        assert service._workers[kill_shard].pending_items == EXTRA
+        yield {
+            "service": service,
+            "kill_shard": kill_shard,
+            "applied": applied,
+            "keys": keys,
+            "owned_key": int(owned[0]),
+        }
+    finally:
+        service.close(force=True)
+
+
+class TestCertificateProperties:
+    def test_fanout_certificate_matches_fault_schedule(self, poisoned):
+        service = poisoned["service"]
+        k = poisoned["kill_shard"]
+        applied = poisoned["applied"]
+        answer, plan = service.query(
+            "estimate_at", 7, float(N_ITEMS), combine="sum", explain=True
+        )
+        certificate = plan.certificate
+        assert isinstance(certificate, ErrorCertificate)
+        assert certificate.covered_shards == tuple(
+            s for s in range(NUM_SHARDS) if s != k
+        )
+        assert certificate.missing_shards == (k,)
+        assert certificate.reasons == ("failed",)
+        covered_items = sum(applied[s] for s in range(NUM_SHARDS) if s != k)
+        missing_items = applied[k] + EXTRA
+        assert certificate.covered_items == covered_items
+        assert certificate.missing_items == missing_items
+        assert certificate.covered_fraction == covered_items / (
+            covered_items + missing_items
+        )
+        assert certificate.widened_error_bound == pytest.approx(
+            certificate.error_bound + missing_items
+        )
+        assert "certificate:" in plan.render()
+        payload = plan.as_dict()
+        assert payload["certificate"]["missing_shards"] == [k]
+
+    def test_owner_down_answers_combiner_identity(self, poisoned):
+        service = poisoned["service"]
+        key = poisoned["owned_key"]
+        answer, plan = service.estimate_at(key, float(N_ITEMS), explain=True)
+        assert answer == 0.0
+        certificate = plan.certificate
+        assert certificate.covered_shards == ()
+        assert certificate.covered_fraction == 0.0
+        # the "any" combiner's identity over a dead shard is False (the
+        # method is never invoked — the shard cannot be consulted at all)
+        k = poisoned["kill_shard"]
+        contained, plan = service.query(
+            "estimate_at", key, float(N_ITEMS), shard=k, combine="any", explain=True
+        )
+        assert contained is False
+        assert plan.certificate is not None
+
+    def test_reject_policy_stays_strict(self, poisoned):
+        service = poisoned["service"]
+        with pytest.raises(ShardFailedError):
+            service.query(
+                "estimate_at",
+                7,
+                float(N_ITEMS),
+                combine="sum",
+                partial="reject",
+            )
+
+    def test_partial_answers_are_never_cached(self, poisoned):
+        service = poisoned["service"]
+        coordinator = service._coordinator
+        hits_before = coordinator.cache_hits
+        for _ in range(2):
+            service.query("estimate_at", 7, float(N_ITEMS), combine="sum")
+        # identical degraded queries never hit the cache
+        assert coordinator.cache_hits == hits_before
+
+    def test_covered_owner_queries_still_cache(self, poisoned):
+        service = poisoned["service"]
+        k = poisoned["kill_shard"]
+        keys = poisoned["keys"]
+        router = ShardRouter(NUM_SHARDS, mode="hash", seed=SEED)
+        healthy_key = next(
+            int(key) for key in keys if router.route(key) != k
+        )
+        coordinator = service._coordinator
+        hits_before = coordinator.cache_hits
+        first = service.estimate_at(healthy_key, float(N_ITEMS))
+        second = service.estimate_at(healthy_key, float(N_ITEMS))
+        assert first == second
+        assert coordinator.cache_hits == hits_before + 1
+
+
+class TestTimeouts:
+    def _hold_lock(self, worker, held, release):
+        with worker.lock:
+            held.set()
+            release.wait(timeout=30)
+
+    def test_wedged_shard_times_out_with_certificate(self):
+        keys, timestamps = stream(800)
+        service = ShardedSketchService(
+            factory,
+            NUM_SHARDS,
+            seed=SEED,
+            partial="allow",
+            call_timeout=0.05,
+            backpressure="error",
+        )
+        try:
+            service.ingest_batch(keys, timestamps)
+            assert service.drain(timeout=30)
+            worker = service._workers[2]
+            held, release = threading.Event(), threading.Event()
+            holder = threading.Thread(
+                target=self._hold_lock, args=(worker, held, release)
+            )
+            holder.start()
+            try:
+                assert held.wait(timeout=10)
+                answer, plan = service.query(
+                    "estimate_at", 7, 800.0, combine="sum", explain=True
+                )
+                certificate = plan.certificate
+                assert certificate.missing_shards == (2,)
+                assert certificate.reasons == ("timeout",)
+                with pytest.raises(ShardTimeoutError):
+                    service.query(
+                        "estimate_at", 7, 800.0, combine="sum", partial="reject"
+                    )
+            finally:
+                release.set()
+                holder.join()
+            # wedge cleared: the same fan-out now covers every shard
+            answer, plan = service.query(
+                "estimate_at", 7, 800.0, combine="sum", explain=True
+            )
+            assert plan.certificate is None
+        finally:
+            service.close(force=True)

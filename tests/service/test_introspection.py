@@ -8,6 +8,7 @@ is byte-identical to :func:`repro.telemetry.export.prometheus_text`, and
 """
 
 import json
+import threading
 import urllib.error
 import urllib.request
 
@@ -159,3 +160,72 @@ class TestServerLifecycle:
             status, _, body = get(server.url + "/healthz")
             assert status == 200
             assert json.loads(body)["healthy"] is True
+
+
+class TestBindRetry:
+    def test_occupied_port_falls_back_to_ephemeral(self):
+        with IntrospectionServer() as first:
+            taken = first.port
+            with IntrospectionServer(port=taken) as second:
+                assert second.requested_port == taken
+                assert second.port != taken
+                assert get(second.url + "/healthz")[0] == 200
+
+    def test_other_bind_errors_still_raise(self):
+        server = IntrospectionServer(host="198.51.100.255")  # unroutable
+        with pytest.raises(OSError):
+            server.start()
+
+
+class GatedRebuildWrap:
+    """Holds the supervisor's rebuild open so REBUILDING is observable."""
+
+    def __init__(self):
+        self.rebuilding = threading.Event()
+        self.release = threading.Event()
+        self._seen = set()
+
+    def __call__(self, shard, sketch):
+        if shard in self._seen:
+            self.rebuilding.set()
+            assert self.release.wait(timeout=30), "gate never released"
+        self._seen.add(shard)
+        return sketch
+
+
+class TestRebuildingHealth:
+    def test_healthz_503_while_shard_rebuilding(self, tmp_path):
+        from repro.service import ChaosController, ChaosEvent
+
+        gate = GatedRebuildWrap()
+        controller = ChaosController(
+            [
+                ChaosEvent("kill", shard=0, at_items=1),
+                ChaosEvent("kill", shard=1, at_items=1),
+            ]
+        )
+        service = ShardedSketchService(
+            mg_factory,
+            num_shards=2,
+            directory=tmp_path / "state",
+            durable_options={"fsync_policy": "always"},
+            supervise=True,
+            supervisor_options={"backoff_base": 0.01, "poll_interval": 0.02},
+            sketch_wrapper=lambda s, sk: gate(s, controller.wrap(s, sk)),
+            block_timeout=10.0,
+        )
+        try:
+            with service.serve_introspection() as server:
+                service.ingest_batch([1, 2, 3, 4], [1.0, 2.0, 3.0, 4.0])
+                assert gate.rebuilding.wait(timeout=20)
+                status, _, body = get(server.url + "/healthz")
+                assert status == 503
+                payload = json.loads(body)
+                assert "REBUILDING" in payload["shard_states"].values()
+                gate.release.set()
+                assert service.drain(timeout=30)
+                status, _, body = get(server.url + "/healthz")
+                assert status == 200
+                assert json.loads(body)["healthy"] is True
+        finally:
+            service.close(force=True)

@@ -251,3 +251,160 @@ class TestRecoverAndContinue:
             # estimate may lag the truth by that slack
             slack = 0.002 * (N_ITEMS + 400) + 1
             assert after >= before + 400 - slack
+
+
+# -- crash *during* a supervisor rebuild (ISSUE 6) ---------------------------
+
+REBUILD_KILL_AT = 500  # poison shard 1 (the largest sub-stream) mid-stream
+
+
+def supervised_crashy_ingest(directory, fs):
+    """Supervised ingest with a chaos kill on shard 1, under a fault plan.
+
+    Hard-stops — supervisor joined, workers stopped, stores never closed —
+    as soon as the plan's crash fires, so plan indices inside the rebuild
+    window leave the directory exactly as a process kill mid-rebuild
+    would.  Returns ``(constructed, applied)``.
+    """
+    from repro.service import ChaosController, ChaosEvent
+
+    keys, timestamps = stream()
+    controller = ChaosController(
+        [ChaosEvent("kill", shard=1, at_items=REBUILD_KILL_AT)]
+    )
+    try:
+        service = ShardedSketchService(
+            factory,
+            NUM_SHARDS,
+            seed=SEED,
+            directory=directory,
+            fs=fs,
+            durable_options=durable_options(),
+            supervise=True,
+            supervisor_options={
+                "backoff_base": 0.01,
+                "backoff_cap": 0.05,
+                "poll_interval": 0.005,
+            },
+            sketch_wrapper=controller.wrap,
+            block_timeout=10.0,
+        )
+    except SimulatedCrash:
+        return False, None
+    try:
+        for start in range(0, N_ITEMS, ARRIVAL_BATCH):
+            service.ingest_batch(
+                keys[start : start + ARRIVAL_BATCH],
+                timestamps[start : start + ARRIVAL_BATCH],
+            )
+            if fs.crashed:
+                break
+        if not fs.crashed:
+            # let the apply/rebuild pipeline run into the crash point (or
+            # finish cleanly when the point lies beyond this run's ops)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not fs.crashed:
+                if service.health()["watermark"] == service.health()["acked_seqno"]:
+                    break
+                time.sleep(0.005)
+    except (ShardFailedError, SimulatedCrash):
+        pass
+    # hard kill: join the monitor (its in-flight attempt is deadline-bounded),
+    # stop worker threads, never close the stores — no final snapshots
+    try:
+        service._supervisor.stop()
+    except Exception:
+        pass
+    for worker in service._workers:
+        try:
+            worker.stop()
+        except Exception:
+            pass
+    applied = [worker.items_applied for worker in service._workers]
+    return True, applied
+
+
+def supervised_rebuild_window():
+    """Trace a fault-free supervised run; return op indices spanning the
+    shard-1 rebuild (kill observed -> shard HEALTHY again)."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.service import ChaosController, ChaosEvent
+
+    keys, timestamps = stream()
+    with tempfile.TemporaryDirectory() as scratch:
+        fs = FaultyFilesystem()
+        controller = ChaosController(
+            [ChaosEvent("kill", shard=1, at_items=REBUILD_KILL_AT)]
+        )
+        service = ShardedSketchService(
+            factory,
+            NUM_SHARDS,
+            seed=SEED,
+            directory=Path(scratch) / "state",
+            fs=fs,
+            durable_options=durable_options(),
+            supervise=True,
+            supervisor_options={
+                "backoff_base": 0.01,
+                "backoff_cap": 0.05,
+                "poll_interval": 0.005,
+            },
+            sketch_wrapper=controller.wrap,
+            block_timeout=10.0,
+        )
+        try:
+            for start in range(0, N_ITEMS, ARRIVAL_BATCH):
+                service.ingest_batch(
+                    keys[start : start + ARRIVAL_BATCH],
+                    timestamps[start : start + ARRIVAL_BATCH],
+                )
+            deadline = time.monotonic() + 30.0
+            lo = None
+            while time.monotonic() < deadline:
+                if lo is None and controller.events[0].fired:
+                    lo = len(fs.ops)
+                if (
+                    lo is not None
+                    and service.health()["shard_states"]["1"] == "HEALTHY"
+                ):
+                    break
+                time.sleep(0.002)
+            assert lo is not None, "chaos kill never fired in the trace run"
+            hi = len(fs.ops)
+            assert service.drain(timeout=30)
+        finally:
+            service.close(force=True)
+    return lo, max(hi, lo + 4)
+
+
+_REBUILD_WINDOW = None
+
+
+def rebuild_kill_points():
+    global _REBUILD_WINDOW
+    if _REBUILD_WINDOW is None:
+        _REBUILD_WINDOW = supervised_rebuild_window()
+    lo, hi = _REBUILD_WINDOW
+    span = hi - lo
+    chosen = sorted({lo + 1 + (span * k) // 4 for k in range(4)})
+    return [
+        pytest.param(index, mode, id=f"rebuild-op{index}-{mode}")
+        for index in chosen
+        for mode in ("before", "after")
+    ]
+
+
+class TestCrashDuringRebuildSweep:
+    """Process kills landing inside a supervisor rebuild window recover
+    exactly through the ``ServiceManifest`` + snapshot + WAL path."""
+
+    @pytest.mark.parametrize("crash_at,mode", rebuild_kill_points())
+    def test_rebuild_crash_recovers_prefix(self, tmp_path, crash_at, mode):
+        directory = tmp_path / "state"
+        fs = FaultyFilesystem(FaultPlan(crash_at=crash_at, crash_mode=mode))
+        constructed, applied = supervised_crashy_ingest(directory, fs)
+        if not constructed or read_manifest(directory) is None:
+            return
+        assert_recovered_matches_reference(directory, applied, [])

@@ -284,3 +284,46 @@ class TestValidation:
             )
         with pytest.raises(ValueError):
             ShardWorker(0, CountMinSketch(16, 2), linger=-0.1)
+
+
+class StallingSketch:
+    """Test double: the first apply blocks until released."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def update_batch(self, values, timestamps, weights=None):
+        self.started.set()
+        assert self.release.wait(timeout=30)
+
+
+class TestBlockTimeout:
+    def test_block_timeout_bounds_producer_wait(self):
+        sketch = StallingSketch()
+        worker = make_worker(sketch, capacity=4, policy="block", block_timeout=0.2)
+        worker.submit(np.array([1]), np.array([1.0]), None, 1)
+        assert sketch.started.wait(timeout=10)  # apply thread is now stalled
+        worker.submit(np.arange(4), np.arange(4.0), None, 2)  # fills the queue
+        start = time.monotonic()
+        with pytest.raises(BackpressureError):
+            worker.submit(np.array([9]), np.array([9.0]), None, 3)
+        elapsed = time.monotonic() - start
+        assert 0.1 <= elapsed < 5.0  # expired at the deadline, not never
+        sketch.release.set()
+        worker.stop()
+
+    def test_per_call_timeout_overrides_default(self):
+        sketch = StallingSketch()
+        worker = make_worker(sketch, capacity=4, policy="block")  # no default
+        worker.submit(np.array([1]), np.array([1.0]), None, 1)
+        assert sketch.started.wait(timeout=10)
+        worker.submit(np.arange(4), np.arange(4.0), None, 2)
+        with pytest.raises(BackpressureError):
+            worker.submit(np.array([9]), np.array([9.0]), None, 3, timeout=0.1)
+        sketch.release.set()
+        worker.stop()
+
+    def test_rejects_nonpositive_block_timeout(self):
+        with pytest.raises(ValueError):
+            ShardWorker(0, CountMinSketch(16, 2), block_timeout=0.0)

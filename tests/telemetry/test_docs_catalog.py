@@ -33,6 +33,8 @@ KNOWN_SPANS = (
     "service.query",
     "service.shard_call",
     "service.combine",
+    "service.rebuild",
+    "service.redirect_replay",
     "wal.append",
     "wal.fsync",
 )
