@@ -14,6 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core import StreamBatch
 from repro.durability import (
     DurableSketch,
     FaultPlan,
@@ -88,8 +89,10 @@ def main() -> None:
                 fsync_policy="always", snapshot_every=10_000,
             )
             for key_chunk, time_chunk in batches(keys, times):
-                store.update_batch(key_chunk, time_chunk)  # ONE WAL record each
-                acknowledged += len(key_chunk)
+                # the columnar spine form: one StreamBatch, one WAL record
+                batch = StreamBatch.from_arrays(key_chunk, time_chunk)
+                store.update_batch(batch)
+                acknowledged += len(batch)
             store.close()
         except SimulatedCrash:
             pass

@@ -16,6 +16,7 @@ from repro.core.base import (
     apply_stream_batch,
     apply_stream_update,
 )
+from repro.core.batch import StreamBatch
 from repro.core.bitp_sampling import BitpPrioritySample
 from repro.core.combine import (
     combine_any,
@@ -58,6 +59,7 @@ __all__ = [
     "PersistentWeightedWR",
     "SampleRecord",
     "Sketch",
+    "StreamBatch",
     "StreamItem",
     "TimestampGuard",
     "apply_stream_batch",

@@ -206,7 +206,7 @@ def _batch_dispatch(cls: type):
     return (True, accepts)
 
 
-def apply_stream_batch(sketch: Any, values, timestamps, weights=None) -> None:
+def apply_stream_batch(sketch: Any, values, timestamps=None, weights=None) -> None:
     """Apply one batch of stream items to any sketch, replay-identically.
 
     The batch analogue of :func:`apply_stream_update`, and the single
@@ -219,10 +219,18 @@ def apply_stream_batch(sketch: Any, values, timestamps, weights=None) -> None:
     class reproduces the same state (including RNG consumption for seeded
     samplers) bit-for-bit.
 
+    Accepts either the legacy triple form ``(values, timestamps, weights)``
+    or a single :class:`~repro.core.StreamBatch` (its columnar arrays are
+    handed to the sketch without copies).
+
     Like the scalar loop it emulates, a mid-batch rejection (monotonicity or
     weight violation) leaves the prefix before the offending item applied
     and re-raises the same exception.
     """
+    if timestamps is None and weights is None:
+        # single-argument StreamBatch form (duck-typed: anything columnar
+        # with .values/.timestamps/.weights works, avoiding an import cycle)
+        values, timestamps, weights = values.values, values.timestamps, values.weights
     has_batch, accepts_weights = _batch_dispatch(type(sketch))
     if has_batch:
         if accepts_weights:

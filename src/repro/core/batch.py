@@ -1,0 +1,130 @@
+"""Columnar stream batches: the zero-copy unit of the ingest spine.
+
+A :class:`StreamBatch` is one batch of timestamped stream items held as
+parallel NumPy arrays — ``values``, ``timestamps``, and optional
+``weights`` (``None`` means every item has unit weight, and stays ``None``
+through every hop so the common unweighted case never materialises a ones
+array).  It is the object that travels the whole ingest spine unchanged:
+
+    service.ingest_batch → staging accumulator → ShardRouter.split
+        → worker queue → fused apply → WAL ``BATCH`` record → update_batch
+
+The contract (see ``docs/INGEST.md``):
+
+* the three arrays agree on ``len()`` (axis 0 — values may be 2-D for
+  matrix streams);
+* ``timestamps`` and ``weights`` are float arrays; ``values`` keeps
+  whatever dtype the producer supplied (integer keys, float samples,
+  object arrays for arbitrary picklables, 2-D rows);
+* a batch never copies on the way down: :meth:`take` with a slice and the
+  router's strided round-robin selections are NumPy *views* of the parent
+  arrays (``np.shares_memory`` holds), and :meth:`concat` of a single
+  part returns that part itself;
+* copies happen in exactly two places — a hash-mode router split (one
+  stable sort groups each shard's items contiguously) and a multi-part
+  fuse/flush concatenation.
+
+Construction via ``StreamBatch(values, timestamps, weights)`` is trusting
+(hot-path internal use: arguments must already be validated arrays);
+:meth:`from_arrays` is the validating boundary constructor used at the
+service edge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import check_batch_lengths
+
+__all__ = ["StreamBatch"]
+
+
+class StreamBatch:
+    """One columnar batch of ``(value, timestamp, weight)`` stream items.
+
+    Attributes
+    ----------
+    values:
+        Item payloads, any dtype, ``len(batch)`` along axis 0.
+    timestamps:
+        Arrival times, same length.
+    weights:
+        Per-item weights, same length — or ``None`` for all-unit weights
+        (the representation every spine hop preserves).
+    """
+
+    __slots__ = ("values", "timestamps", "weights")
+
+    def __init__(self, values, timestamps, weights=None):
+        self.values = values
+        self.timestamps = timestamps
+        self.weights = weights
+
+    @classmethod
+    def from_arrays(cls, values, timestamps, weights=None) -> "StreamBatch":
+        """Validating constructor: coerce to arrays, check lengths.
+
+        The boundary where producer input (lists, tuples, arrays) becomes
+        the columnar form; everything downstream trusts the result.  When
+        the inputs are already NumPy arrays no copy is made.
+        """
+        values = np.asarray(values)
+        timestamps = np.asarray(timestamps)
+        weights = None if weights is None else np.asarray(weights)
+        check_batch_lengths(values, timestamps, weights)
+        return cls(values, timestamps, weights)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        weighted = "weighted" if self.weights is not None else "unit-weight"
+        return f"StreamBatch(len={len(self)}, {weighted})"
+
+    def take(self, indexer) -> "StreamBatch":
+        """Sub-batch selected by ``indexer`` (slice, stride, or index array).
+
+        Zero-copy when ``indexer`` is a basic slice (contiguous or
+        strided): the arrays of the result are views of this batch's
+        arrays.  Fancy (integer-array) indexing copies, as NumPy does.
+        """
+        return StreamBatch(
+            self.values[indexer],
+            self.timestamps[indexer],
+            None if self.weights is None else self.weights[indexer],
+        )
+
+    def weights_or_ones(self) -> np.ndarray:
+        """The weights array, materialising ones for the all-unit case."""
+        if self.weights is not None:
+            return self.weights
+        return np.ones(len(self))
+
+    def astuple(self) -> tuple:
+        """``(values, timestamps, weights)`` — the legacy triple form."""
+        return (self.values, self.timestamps, self.weights)
+
+    @staticmethod
+    def concat(parts: Sequence["StreamBatch"]) -> Optional["StreamBatch"]:
+        """Fuse batches, preserving order; a single part is returned as-is.
+
+        ``weights`` stays ``None`` when every part is unit-weight;
+        otherwise unit-weight parts are filled with ones so the fused
+        batch has one weight per item.  Returns ``None`` for an empty
+        part list.
+        """
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        values = np.concatenate([part.values for part in parts])
+        timestamps = np.concatenate([part.timestamps for part in parts])
+        if all(part.weights is None for part in parts):
+            weights = None
+        else:
+            weights = np.concatenate(
+                [part.weights_or_ones() for part in parts]
+            )
+        return StreamBatch(values, timestamps, weights)

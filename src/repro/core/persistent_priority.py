@@ -143,19 +143,37 @@ class PersistentPrioritySample:
         limit = n if bad < 0 else bad
         if limit:
             uniforms = self._rng.random(limit)
-            offer = self._offer
-            for index in range(limit):
-                weight = float(weight_array[index])
-                u = float(uniforms[index])
-                while u == 0.0:
-                    u = float(self._rng.random())
-                self.count += 1
-                self.total_weight += weight
-                offer(
-                    values[index],
-                    float(timestamp_array[index]),
-                    weight,
-                    weight / u,
+            if uniforms.min() == 0.0:
+                # Astronomically rare: scalar loop so the per-zero redraws
+                # consume the RNG exactly as update() would.
+                offer = self._offer
+                for index in range(limit):
+                    weight = float(weight_array[index])
+                    u = float(uniforms[index])
+                    while u == 0.0:
+                        u = float(self._rng.random())
+                    self.count += 1
+                    self.total_weight += weight
+                    offer(
+                        values[index],
+                        float(timestamp_array[index]),
+                        weight,
+                        weight / u,
+                    )
+            else:
+                self._apply_offers(
+                    values,
+                    timestamp_array,
+                    weight_array,
+                    weight_array[:limit] / uniforms,
+                    limit,
+                )
+                self.count += limit
+                # Same sequential left fold (and rounding) as `total += w`.
+                self.total_weight = float(
+                    np.add.accumulate(
+                        np.concatenate(((self.total_weight,), weight_array[:limit]))
+                    )[-1]
                 )
             self._guard.last = float(timestamp_array[limit - 1])
             if _TEL.enabled:
@@ -165,6 +183,70 @@ class PersistentPrioritySample:
             check_positive_weight(float(weight_array[bad]))
             self._guard.check(float(timestamp_array[bad]))
             raise AssertionError("unreachable: batch validation found no violation")
+
+    def _apply_offers(
+        self, values, timestamp_array, weight_array, priorities, limit
+    ) -> None:
+        """Offer ``limit`` items with precomputed priorities, in order.
+
+        While the heap is full the acceptance threshold ``heap[0][0]`` only
+        rises, so the indices above the *window-start* threshold are a
+        superset of the true accepts; each is re-checked against the live
+        threshold.  Everything between accepts is a rejected run whose only
+        side effect is the tau note, applied span-wise (and exactly) by
+        :meth:`_note_tau_span`.
+        """
+        heap = self._heap
+        offer = self._offer
+        position = 0
+        # cold start: per-item offers until the heap holds k records
+        while position < limit and len(heap) < self.k:
+            offer(
+                values[position],
+                float(timestamp_array[position]),
+                float(weight_array[position]),
+                float(priorities[position]),
+            )
+            position += 1
+        while position < limit:
+            window_end = min(position + 4096, limit)
+            candidates = np.nonzero(priorities[position:window_end] > heap[0][0])[0]
+            span_start = position
+            for relative in candidates.tolist():
+                index = position + relative
+                priority = float(priorities[index])
+                if priority > heap[0][0]:
+                    self._note_tau_span(timestamp_array, priorities, span_start, index)
+                    offer(
+                        values[index],
+                        float(timestamp_array[index]),
+                        float(weight_array[index]),
+                        priority,
+                    )
+                    span_start = index + 1
+                # else: the threshold rose past it — a rejection, covered
+                # by the span flushed at the next accept (or window end).
+            self._note_tau_span(timestamp_array, priorities, span_start, window_end)
+            position = window_end
+
+    def _note_tau_span(self, timestamp_array, priorities, start, stop) -> None:
+        """Tau side effects of a contiguous run of rejected offers.
+
+        Matches the per-item :meth:`_note_tau` calls exactly: each rejected
+        priority above the running threshold becomes the new tau and is
+        recorded in the history, in stream order.
+        """
+        if start >= stop:
+            return
+        segment = priorities[start:stop]
+        tau = self._tau
+        if float(segment.max()) <= tau:
+            return
+        running = np.maximum.accumulate(np.concatenate(((tau,), segment)))[:-1]
+        for relative in np.nonzero(segment > running)[0].tolist():
+            priority = float(segment[relative])
+            self._tau = priority
+            self._tau_history.append(float(timestamp_array[start + relative]), priority)
 
     def _offer(self, value: Any, timestamp: float, weight: float, priority: float) -> None:
         heap = self._heap

@@ -151,12 +151,33 @@ class PersistentTopKSample:
         if limit:
             priorities = self._rng.random(limit)
             offer = self._offer
-            for index in range(limit):
+            heap = self._heap
+            position = 0
+            # cold start: per-item offers until the heap holds k records
+            while position < limit and len(heap) < self.k:
                 offer(
-                    values[index],
-                    float(timestamp_array[index]),
-                    float(priorities[index]),
+                    values[position],
+                    float(timestamp_array[position]),
+                    float(priorities[position]),
                 )
+                position += 1
+            # Warm path: rejection is a pure comparison with no side
+            # effects, so scan windows vectorised for the rare candidates
+            # above the window-start threshold (a superset of the true
+            # accepts — the threshold only rises) and re-check each against
+            # the live threshold.  Skipped items are exactly the scalar
+            # loop's rejections.
+            while position < limit:
+                window_end = min(position + 4096, limit)
+                candidates = np.nonzero(
+                    priorities[position:window_end] > heap[0][0]
+                )[0]
+                for relative in candidates.tolist():
+                    index = position + relative
+                    priority = float(priorities[index])
+                    if priority > heap[0][0]:
+                        offer(values[index], float(timestamp_array[index]), priority)
+                position = window_end
             self.count += limit
             if _TEL.enabled:
                 _TOPK_UPDATES.inc(limit)

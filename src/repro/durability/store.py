@@ -34,7 +34,10 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+import numpy as np
+
 from repro.core.base import apply_stream_batch, apply_stream_update, check_batch_lengths
+from repro.core.batch import StreamBatch
 from repro.durability.faults import OsFilesystem
 from repro.durability.recovery import Snapshot, list_snapshots, recover, snapshot_name
 from repro.durability.wal import WriteAheadLog, list_segments
@@ -168,27 +171,39 @@ class DurableSketch:
             self.snapshot()
         return seqno
 
-    def update_batch(self, values, timestamps, weights=None) -> int:
+    def update_batch(self, values, timestamps=None, weights=None) -> int:
         """Log one BATCH record, then apply the batch; returns its seqno.
 
-        The whole batch is one WAL record under a single sequence number,
-        so durability costs one frame (and at most one fsync) regardless of
-        the batch size, and replay re-applies it through the same
+        Accepts the triple form or a single
+        :class:`~repro.core.StreamBatch`.  The whole batch is one WAL
+        record under a single sequence number, so durability costs one
+        frame (and at most one fsync) regardless of the batch size, and
+        replay re-applies it through the same
         :func:`repro.core.apply_stream_batch` dispatch — vectorized when
         the sketch has ``update_batch``, a scalar loop otherwise.
+
+        The logged payload is *columnar*: the NumPy arrays themselves are
+        pickled into the ``BATCH`` record, and the very same arrays are
+        then applied to the in-memory sketch — no per-item Python list
+        copies on the durable hot path.  Replay decodes the arrays back
+        (a NumPy pickle round-trip is exact: dtype + buffer) and applies
+        them through the same dispatch, so recovered state is
+        bit-identical, RNG position included.
 
         Mirrors :meth:`update` on rejection: a batch whose item ``i`` is
         rejected mid-way has items ``[0, i)`` applied (prefix-apply), the
         exception propagates, and replay re-rejects it at the same item.
         """
+        if timestamps is None and weights is None and isinstance(values, StreamBatch):
+            values, timestamps, weights = values.astuple()
         n = check_batch_lengths(values, timestamps, weights)
         if n == 0:
             return self.applied_seqno
-        # Normalise to plain lists so the applied batch and the logged
-        # payload are the *same* objects — replay is then bit-identical.
-        values = _plain_list(values)
-        timestamps = _plain_list(timestamps)
-        weights = None if weights is None else _plain_list(weights)
+        # Coerce once at the boundary: the applied batch and the logged
+        # payload are then the *same* arrays — replay is bit-identical.
+        values = np.asarray(values)
+        timestamps = np.asarray(timestamps)
+        weights = None if weights is None else np.asarray(weights)
         seqno = self.wal.append_batch(values, timestamps, weights)
         self._updates_since_snapshot += n
         try:
@@ -295,10 +310,3 @@ class DurableSketch:
         if name.startswith("_"):
             raise AttributeError(name)
         return getattr(self._sketch, name)
-
-
-def _plain_list(items) -> list:
-    """Arrays/sequences as plain Python lists (stable pickle payloads)."""
-    if hasattr(items, "tolist"):
-        return items.tolist()
-    return list(items)

@@ -18,8 +18,12 @@ pickles inside the same frame:
   arbitrary picklable objects (integers, floats, numpy rows);
 * batch — ``('BATCH', values, timestamps, weights)``: one *vectorised*
   update of many items under a single sequence number (``weights`` may be
-  ``None`` for all-unit weights).  A batch is atomic in the log: it is
-  either fully framed (CRC-clean) or a torn tail, never partially visible.
+  ``None`` for all-unit weights).  The columns are pickled as the NumPy
+  arrays the ingest spine carries (a columnar payload: one dtype header
+  plus the raw buffer per column, not per-item object pickles; decoding
+  older list-shaped payloads still works).  A batch is atomic in the log:
+  it is either fully framed (CRC-clean) or a torn tail, never partially
+  visible.
 
 Durability knobs:
 
@@ -122,7 +126,12 @@ def encode_record(value: Any, timestamp: float, weight: float, seqno: int) -> by
 
 
 def encode_batch_record(values, timestamps, weights, seqno: int) -> bytes:
-    """Frame one BATCH record: many items, one seqno, one CRC."""
+    """Frame one BATCH record: many items, one seqno, one CRC.
+
+    The columns go into the pickle as handed in — NumPy arrays stay
+    arrays, so the payload is columnar (dtype + contiguous buffer) and
+    round-trips bit-exactly at replay.
+    """
     payload = pickle.dumps(
         (BATCH_TAG, values, timestamps, weights), protocol=pickle.HIGHEST_PROTOCOL
     )

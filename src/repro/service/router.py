@@ -25,7 +25,11 @@ every shard.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 import numpy as np
+
+from repro.core.batch import StreamBatch
 
 _MASK = (1 << 64) - 1
 _GAMMA = 0x9E3779B97F4A7C15
@@ -97,69 +101,56 @@ class ShardRouter:
         keys = values.astype(np.int64).view(np.uint64) ^ np.uint64(self._salt)
         return (_splitmix64_array(keys) % np.uint64(self.num_shards)).astype(np.int64)
 
-    def partition(self, values, timestamps, weights=None) -> list:
-        """Split a batch into per-shard sub-batches, preserving order.
+    def split(self, batch: StreamBatch) -> List[Optional[StreamBatch]]:
+        """Split one :class:`~repro.core.StreamBatch` across the shards.
 
         Returns a list of ``num_shards`` entries, each ``None`` (shard got
-        nothing) or a ``(values, timestamps, weights)`` triple of NumPy
-        arrays holding that shard's items in arrival order.  Weights is
-        ``None`` throughout when the caller passed none.
+        nothing) or a sub-``StreamBatch`` holding that shard's items in
+        arrival order.  Splits are array *index slices*, not list copies:
+
+        * a single shard gets the batch object back unchanged;
+        * round-robin sub-streams are strided views of the parent arrays
+          (``np.shares_memory`` holds — zero copies);
+        * hash mode pays exactly one stable sort per array, after which
+          every shard's sub-batch is a contiguous slice of (and shares
+          memory with) the sorted copy.
         """
-        values = np.asarray(values)
-        timestamps = np.asarray(timestamps)
-        if values.size != timestamps.size:
-            raise ValueError(
-                f"values and timestamps length mismatch: {values.size} vs {timestamps.size}"
-            )
-        weight_array = None if weights is None else np.asarray(weights)
-        if weight_array is not None and weight_array.size != values.size:
-            raise ValueError(
-                f"values and weights length mismatch: {values.size} vs {weight_array.size}"
-            )
-        if values.size == 0:
+        n = len(batch)
+        if n == 0:
             return [None] * self.num_shards
         if self.num_shards == 1:
-            return [(values, np.asarray(timestamps), weight_array)]
+            return [batch]
         if self.mode == "round_robin":
             # round-robin sub-streams are strided views: shard s gets items
             # s - cursor (mod K), s - cursor + K, ... in arrival order
             start = self._next
-            n = int(values.size)
             self._next = (self._next + n) % self.num_shards
-            parts: list = []
-            for shard in range(self.num_shards):
-                offset = (shard - start) % self.num_shards
-                if offset >= n:
-                    parts.append(None)
-                    continue
-                step = slice(offset, None, self.num_shards)
-                parts.append(
-                    (
-                        values[step],
-                        timestamps[step],
-                        None if weight_array is None else weight_array[step],
-                    )
-                )
-            return parts
+            return [
+                batch.take(slice(offset, None, self.num_shards))
+                if (offset := (shard - start) % self.num_shards) < n
+                else None
+                for shard in range(self.num_shards)
+            ]
         # hash mode: one stable sort groups each shard's items contiguously
         # (and in arrival order), so per-shard sub-batches are plain slices
-        shards = self.shards_of(values)
+        shards = self.shards_of(batch.values)
         order = np.argsort(shards, kind="stable")
-        sorted_values = values[order]
-        sorted_timestamps = np.asarray(timestamps)[order]
-        sorted_weights = None if weight_array is None else weight_array[order]
+        grouped = batch.take(order)
         bounds = np.searchsorted(shards[order], np.arange(self.num_shards + 1))
-        parts = []
-        for shard in range(self.num_shards):
-            lo, hi = int(bounds[shard]), int(bounds[shard + 1])
-            if lo == hi:
-                parts.append(None)
-                continue
-            parts.append(
-                (
-                    sorted_values[lo:hi],
-                    sorted_timestamps[lo:hi],
-                    None if sorted_weights is None else sorted_weights[lo:hi],
-                )
-            )
-        return parts
+        return [
+            grouped.take(slice(lo, hi)) if lo < hi else None
+            for lo, hi in zip(bounds[:-1].tolist(), bounds[1:].tolist())
+        ]
+
+    def partition(self, values, timestamps, weights=None) -> list:
+        """Split a batch into per-shard ``(values, timestamps, weights)``.
+
+        The legacy triple-form wrapper around :meth:`split` (validating
+        via :meth:`StreamBatch.from_arrays`): returns a list of
+        ``num_shards`` entries, each ``None`` (shard got nothing) or a
+        triple of NumPy arrays holding that shard's items in arrival
+        order.  Weights is ``None`` throughout when the caller passed
+        none.
+        """
+        parts = self.split(StreamBatch.from_arrays(values, timestamps, weights))
+        return [None if part is None else part.astuple() for part in parts]

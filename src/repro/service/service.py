@@ -50,8 +50,7 @@ import threading
 import time
 from typing import Any, Callable, NamedTuple, Optional
 
-import numpy as np
-
+from repro.core.batch import StreamBatch
 from repro.core.combine import combine_heavy_hitters
 from repro.durability.manifest import (
     ServiceManifest,
@@ -418,74 +417,68 @@ class ShardedSketchService:
         this from multiple threads; calls are serialised internally.
         """
         self._ensure_open()
-        values = np.asarray(values)
-        if values.size == 0:
+        batch = StreamBatch.from_arrays(values, timestamps, weights)
+        n = len(batch)
+        if n == 0:
             return IngestReceipt(self._acked_seqno, 0, 0)
         # root span of the ingest trace: staging, routing, and each shard's
         # enqueue nest under it on this thread; the queue-wait and fused
         # apply recorded later on the worker threads link back via the
         # TraceContext each enqueued sub-batch carries
-        with span("service.ingest_batch", items=int(values.size)) as ingest_span:
+        with span("service.ingest_batch", items=n) as ingest_span:
             with self._ingest_lock:
                 self._seqno += 1
                 seqno = self._seqno
                 ingest_span.set_attr("seqno", seqno)
                 if self.ingest_buffer_items > 0:
-                    self._stage.append((values, np.asarray(timestamps), weights))
-                    self._stage_items += int(values.size)
+                    self._stage.append(batch)
+                    self._stage_items += n
                     self._acked_seqno = seqno
                     ingest_span.set_attr("staged", True)
                     if self._stage_items >= self.ingest_buffer_items:
                         self._flush_stage_locked()
-                    return IngestReceipt(seqno, int(values.size), 0)
-                accepted, dropped = self._route_and_submit(
-                    values, timestamps, weights, seqno
-                )
+                    return IngestReceipt(seqno, n, 0)
+                accepted, dropped = self._route_and_submit(batch, seqno)
                 self._acked_seqno = seqno
                 self._submitted_seqno = seqno
             return IngestReceipt(seqno, accepted, dropped)
 
-    def _route_and_submit(self, values, timestamps, weights, seqno) -> tuple:
-        """Partition one fused batch and enqueue the per-shard parts."""
-        parts = self._router.partition(values, timestamps, weights)
+    def _route_and_submit(self, batch: StreamBatch, seqno) -> tuple:
+        """Split one fused batch and enqueue the per-shard sub-batches.
+
+        The split is zero-copy (array views of ``batch``; see
+        :meth:`~repro.service.ShardRouter.split`), and each sub-batch
+        object is handed to its worker queue as-is.
+        """
+        parts = self._router.split(batch)
         accepted = dropped = 0
         supervisor = self._supervisor
         for shard, part in enumerate(parts):
             if part is None:
                 continue
             if supervisor is not None:
-                got = supervisor.submit(shard, part[0], part[1], part[2], seqno)
+                got = supervisor.submit(shard, part, seqno)
             else:
-                got = self._workers[shard].submit(part[0], part[1], part[2], seqno)
+                got = self._workers[shard].submit(part, seqno)
             accepted += got
-            dropped += len(part[0]) - got
+            dropped += len(part) - got
         return accepted, dropped
 
     def _flush_stage_locked(self) -> None:
-        """Route everything staged (``_ingest_lock`` held)."""
+        """Route everything staged (``_ingest_lock`` held).
+
+        Staged arrival batches are fused once, columnarly
+        (:meth:`StreamBatch.concat` — a single staged batch is routed
+        as-is, without copies), then split across the shards.
+        """
         if not self._stage:
             return
-        if len(self._stage) == 1:
-            values, timestamps, weights = self._stage[0]
-        else:
-            values = np.concatenate([part[0] for part in self._stage])
-            timestamps = np.concatenate([part[1] for part in self._stage])
-            if all(part[2] is None for part in self._stage):
-                weights = None
-            else:
-                weights = np.concatenate(
-                    [
-                        np.ones(len(part[0]))
-                        if part[2] is None
-                        else np.asarray(part[2], dtype=float)
-                        for part in self._stage
-                    ]
-                )
+        batch = StreamBatch.concat(self._stage)
         self._stage.clear()
         self._stage_items = 0
         seqno = self._acked_seqno
-        with span("service.stage_flush", items=int(values.size), seqno=seqno):
-            self._route_and_submit(values, timestamps, weights, seqno)
+        with span("service.stage_flush", items=len(batch), seqno=seqno):
+            self._route_and_submit(batch, seqno)
         self._submitted_seqno = seqno
 
     def _flush_staged(self) -> None:

@@ -267,9 +267,11 @@ class ShardSupervisor:
 
     # -- producer side: submit-or-park ------------------------------------
 
-    def submit(self, shard: int, values, timestamps, weights, seqno: int) -> int:
+    def submit(self, shard: int, batch, seqno: int) -> int:
         """Route one sub-batch to ``shard``: direct when healthy, else park.
 
+        ``batch`` is a :class:`~repro.core.StreamBatch` (parked and
+        replayed as the same object — no copies on the failover path).
         Mirrors :meth:`ShardWorker.submit`'s contract (returns accepted
         items, honours the backpressure policy) but absorbs shard failure:
         a poisoned worker parks the sub-batch for replay instead of
@@ -288,20 +290,20 @@ class ShardSupervisor:
             if state == HEALTHY:
                 worker = self._workers[shard]
                 try:
-                    return worker.submit(values, timestamps, weights, seqno)
+                    return worker.submit(batch, seqno)
                 except ShardFailedError:
                     # poisoned between our state read and the submit: park
                     # and wake the monitor to begin the rebuild
                     self.notify()
-            accepted = self._park(shard, values, timestamps, weights, seqno)
+            accepted = self._park(shard, batch, seqno)
             if accepted is not None:
                 return accepted
             # the shard recovered while we waited to park: resubmit directly
 
-    def _park(self, shard, values, timestamps, weights, seqno) -> Optional[int]:
+    def _park(self, shard, batch, seqno) -> Optional[int]:
         """Park one sub-batch for later replay; None if the shard healed."""
         health = self._health[shard]
-        n = len(values)
+        n = len(batch)
         timeout = self.redirect_timeout
         deadline = None if timeout is None else time.monotonic() + timeout
         cond = self._park_conds[shard]
@@ -336,7 +338,7 @@ class ShardSupervisor:
                         f"{timeout:g}s — blocking deadline expired"
                     )
                 cond.wait(0.05 if remaining is None else min(remaining, 0.05))
-            self._buffers[shard].append((values, timestamps, weights, seqno))
+            self._buffers[shard].append((batch, seqno))
             self._buffered_items[shard] += n
             if seqno > self._parked_acked[shard]:
                 self._parked_acked[shard] = seqno
@@ -395,11 +397,11 @@ class ShardSupervisor:
                 # the salvaged queue precedes everything parked later, in
                 # seqno order (producers are serialised by the ingest lock)
                 self._buffers[shard].extendleft(
-                    (v, t, w, s) for v, t, w, s, _, _ in reversed(salvaged)
+                    (batch, seqno) for batch, seqno, _, _ in reversed(salvaged)
                 )
                 taken = sum(len(entry[0]) for entry in salvaged)
                 self._buffered_items[shard] += taken
-                top = max(entry[3] for entry in salvaged)
+                top = max(entry[1] for entry in salvaged)
                 if top > self._parked_acked[shard]:
                     self._parked_acked[shard] = top
         health.attempts += 1
@@ -440,7 +442,7 @@ class ShardSupervisor:
         """
         with self._park_conds[shard]:
             buffer = self._buffers[shard]
-            first_parked = buffer[0][3] if buffer else None
+            first_parked = buffer[0][1] if buffer else None
         worker.acked_seqno = old.acked_seqno
         worker.applied_seqno = (
             old.acked_seqno if first_parked is None else first_parked - 1
@@ -470,16 +472,10 @@ class ShardSupervisor:
                 self._buffers[shard].clear()
                 self._buffered_items[shard] = 0
                 cond.notify_all()  # room for blocked parkers
-            for position, (values, timestamps, weights, seqno) in enumerate(entries):
+            for position, (batch, seqno) in enumerate(entries):
                 try:
-                    worker.submit(
-                        values,
-                        timestamps,
-                        weights,
-                        seqno,
-                        timeout=self.redirect_timeout,
-                    )
-                    replayed += len(values)
+                    worker.submit(batch, seqno, timeout=self.redirect_timeout)
+                    replayed += len(batch)
                 except (ShardFailedError, BackpressureError):
                     with cond:
                         rest = entries[position:]

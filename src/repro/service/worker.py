@@ -38,9 +38,8 @@ import time
 from collections import deque
 from typing import Any, Callable, Optional
 
-import numpy as np
-
 from repro.core.base import apply_stream_batch
+from repro.core.batch import StreamBatch
 from repro.telemetry.registry import TELEMETRY as _TEL
 from repro.telemetry.spans import current_trace, record_span, span
 
@@ -203,8 +202,14 @@ class ShardWorker:
         """Start the apply thread (idempotent once)."""
         self._thread.start()
 
-    def submit(self, values, timestamps, weights, seqno: int, timeout=None) -> int:
+    def submit(self, batch, *args, timeout=None) -> int:
         """Enqueue one routed sub-batch; returns the number of items accepted.
+
+        Two call forms: ``submit(batch, seqno)`` with a
+        :class:`~repro.core.StreamBatch` (the ingest spine's columnar
+        form — the batch object is queued as-is, no copies), or the
+        legacy ``submit(values, timestamps, weights, seqno)`` triple,
+        which is wrapped into a ``StreamBatch`` at the door.
 
         Advances this shard's acked seqno on acceptance.  Under the
         ``"drop"`` policy a full queue returns ``0`` and counts the items;
@@ -221,33 +226,28 @@ class ShardWorker:
         enqueue timestamp, so the worker thread can link its queue-wait and
         apply spans back into the producer's trace.
         """
+        if isinstance(batch, StreamBatch):
+            (seqno,) = args
+        else:
+            timestamps, weights, seqno = args
+            batch = StreamBatch.from_arrays(batch, timestamps, weights)
         self.raise_if_failed()
-        n = len(values)
+        n = len(batch)
         if n == 0:
             return 0
         if timeout is None:
             timeout = self.block_timeout
         if not _TEL.enabled:
-            return self._submit_locked(
-                values, timestamps, weights, seqno, None, None, timeout
-            )
+            return self._submit_locked(batch, seqno, None, None, timeout)
         with span("service.enqueue", shard=self.index, items=n) as enq_span:
             accepted = self._submit_locked(
-                values,
-                timestamps,
-                weights,
-                seqno,
-                enq_span.context,
-                time.perf_counter(),
-                timeout,
+                batch, seqno, enq_span.context, time.perf_counter(), timeout
             )
             enq_span.set_attr("accepted", accepted)
             return accepted
 
-    def _submit_locked(
-        self, values, timestamps, weights, seqno, ctx, enqueued_at, timeout=None
-    ):
-        n = len(values)
+    def _submit_locked(self, batch, seqno, ctx, enqueued_at, timeout=None):
+        n = len(batch)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while (
@@ -287,7 +287,7 @@ class ShardWorker:
                     f"({self._pending_items}/{self.capacity} items)"
                 )
             before = self._pending_items
-            self._queue.append((values, timestamps, weights, seqno, ctx, enqueued_at))
+            self._queue.append((batch, seqno, ctx, enqueued_at))
             self._pending_items += n
             if seqno > self.acked_seqno:
                 self.acked_seqno = seqno
@@ -333,8 +333,9 @@ class ShardWorker:
     def take_pending(self) -> list:
         """Remove and return every queued sub-batch (failover salvage).
 
-        Entries are ``(values, timestamps, weights, seqno, ctx,
-        enqueued_at)`` tuples in seqno order.  A supervisor calls this on a
+        Entries are ``(batch, seqno, ctx, enqueued_at)`` tuples in seqno
+        order, ``batch`` a :class:`~repro.core.StreamBatch`.  A supervisor
+        calls this on a
         poisoned worker to move acknowledged-but-unapplied sub-batches —
         including a failed fused batch the worker pushed back because it
         never reached the WAL — into its redirect buffer for replay on the
@@ -363,22 +364,14 @@ class ShardWorker:
         return parts, taken
 
     @staticmethod
-    def _fuse(parts):
-        """Concatenate queued sub-batches into one (values, ts, weights)."""
-        if len(parts) == 1:
-            return parts[0][0], parts[0][1], parts[0][2]
-        values = np.concatenate([part[0] for part in parts])
-        timestamps = np.concatenate([part[1] for part in parts])
-        if all(part[2] is None for part in parts):
-            weights = None
-        else:
-            weights = np.concatenate(
-                [
-                    np.ones(len(part[0])) if part[2] is None else np.asarray(part[2])
-                    for part in parts
-                ]
-            )
-        return values, timestamps, weights
+    def _fuse(parts) -> StreamBatch:
+        """Fuse queued sub-batches into one :class:`StreamBatch`.
+
+        A single queued entry's batch is applied as-is (zero-copy all the
+        way from the router split); multiple entries pay one columnar
+        concatenation (:meth:`StreamBatch.concat`).
+        """
+        return StreamBatch.concat([part[0] for part in parts])
 
     def _run(self) -> None:
         while True:
@@ -406,8 +399,8 @@ class ShardWorker:
                 if _TEL.enabled:
                     self._depth_gauge.set(self._pending_items)
                 self._cond.notify_all()  # wake blocked producers
-            values, timestamps, weights = self._fuse(parts)
-            last_seqno = parts[-1][3]
+            fused = self._fuse(parts)
+            last_seqno = parts[-1][1]
             apply_parent = None
             if _TEL.enabled:
                 # queue-wait is only known now, at drain time: synthesise one
@@ -416,7 +409,7 @@ class ShardWorker:
                 # enqueue→drain latency histogram
                 drained_at = time.perf_counter()
                 for part in parts:
-                    ctx, enqueued_at = part[4], part[5]
+                    ctx, enqueued_at = part[2], part[3]
                     if apply_parent is None and ctx is not None:
                         apply_parent = ctx
                     if enqueued_at is None:
@@ -430,7 +423,7 @@ class ShardWorker:
                         parent=ctx,
                         shard=self.index,
                         items=len(part[0]),
-                        seqno=part[3],
+                        seqno=part[1],
                     )
             wal = getattr(self.sketch, "wal", None)
             records_before = None if wal is None else wal.records_appended
@@ -446,7 +439,7 @@ class ShardWorker:
                     fused=len(parts),
                 ):
                     with self.lock:
-                        apply_stream_batch(self.sketch, values, timestamps, weights)
+                        apply_stream_batch(self.sketch, fused)
             except BaseException as exc:  # noqa: BLE001 — includes SimulatedCrash
                 with self._cond:
                     self.failure = exc

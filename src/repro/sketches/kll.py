@@ -10,6 +10,7 @@ concatenating levels and re-compacting.
 
 from __future__ import annotations
 
+import functools
 import math
 
 import numpy as np
@@ -20,9 +21,153 @@ _UPDATES, _BATCHES, _BATCH_ITEMS, _QUERIES = sketch_metrics("kll")
 
 _DECAY = 2.0 / 3.0
 
+#: Largest integer magnitude float64 represents exactly; numeric batches
+#: beyond it take the scalar-equivalent fallback instead of losing bits.
+_EXACT_FLOAT = 2**53
+
+
+@functools.lru_cache(maxsize=None)
+def _caps(k: int, height: int) -> tuple:
+    """Per-level capacities for a ``height``-level hierarchy (top-anchored)."""
+    return tuple(
+        max(2, math.ceil(k * _DECAY ** (height - 1 - level)))
+        for level in range(height)
+    )
+
+
+def _exact_numeric(arr: np.ndarray) -> bool:
+    """True when float64 holds every value of ``arr`` exactly (no NaN).
+
+    Checked on the *original* dtype: integer magnitudes must fit in the
+    53-bit mantissa (the float64 conversion would round silently), floats
+    only need to be NaN-free (NaN does not sort deterministically; +/-inf
+    sort fine and convert exactly).
+    """
+    kind = arr.dtype.kind
+    if kind == "b":
+        return True
+    if kind in "iu":
+        return arr.size == 0 or (
+            int(arr.max()) <= _EXACT_FLOAT and int(arr.min()) >= -_EXACT_FLOAT
+        )
+    if kind != "f" or arr.dtype.itemsize > 8:
+        return False
+    return arr.size == 0 or not bool(np.isnan(arr).any())
+
+
+def _execute_level(stream: np.ndarray, sizes_list: list, coins_list: list):
+    """Run one level's scheduled compactions over its incoming ``stream``.
+
+    ``sizes_list``/``coins_list`` are the time-ordered per-compaction
+    buffer sizes and coins from phase 1; compaction ``i`` consumes the
+    next ``sizes_list[i]`` items of ``stream``.  All segments are laid out
+    as rows of one matrix — padded with ``+inf`` to a common even width
+    when sizes are odd or mixed — then a single axis-1 sort plus one
+    coin-steered even/odd column select does every compaction at once.
+    The pad is sound because ``+inf`` sorts to the tail of each row
+    (ties with real ``inf`` pick equal values either way; NaN never
+    reaches this path) and the per-row output length ``(size-coin+1)//2``
+    masks any selected pad entries off.  Returns ``(promoted, leftover)``:
+    every compaction's output concatenated *in time order*, and the items
+    left in the buffer afterwards.  Never mutates ``stream``.
+    """
+    m = len(sizes_list)
+    if m == 0:
+        return None, stream
+    if m <= 4:
+        # few segments: per-segment sorts beat the matrix set-up cost
+        outs = []
+        start = 0
+        for size, coin in zip(sizes_list, coins_list):
+            seg = np.sort(stream[start : start + size])
+            outs.append(seg[coin::2])
+            start += size
+        promoted = outs[0] if m == 1 else np.concatenate(outs)
+        return promoted, stream[start:]
+    seg_coins = np.asarray(coins_list, dtype=np.intp)
+    size = sizes_list[0]
+    if sizes_list.count(size) == m:
+        total = m * size
+        if size % 2 == 0:
+            # uniform even: reshape + sort + select, no pad, no mask
+            mat = np.sort(np.reshape(stream[:total], (m, size)), axis=1)
+            chosen = np.where(
+                (seg_coins == 0)[:, None], mat[:, 0::2], mat[:, 1::2]
+            )
+            return chosen.ravel(), stream[total:]
+        width = size + 1
+        mat = np.empty((m, width), dtype=stream.dtype)
+        mat[:, :size] = np.reshape(stream[:total], (m, size))
+        mat[:, size] = np.inf
+        out_lens = (size + 1 - seg_coins) >> 1
+    else:
+        seg_sizes = np.asarray(sizes_list, dtype=np.intp)
+        total = int(seg_sizes.sum())
+        width = max(sizes_list)
+        width += width & 1
+        if m * width > 2 * total:
+            # size-skewed schedule (giant batches span hierarchy growths,
+            # so early segments dwarf late ones): padding everything to
+            # the max would cost O(m * max); group by size instead
+            return _execute_level_grouped(stream, seg_sizes, seg_coins, total)
+        mat = np.full((m, width), np.inf, dtype=stream.dtype)
+        mat[np.arange(width) < seg_sizes[:, None]] = stream[:total]
+        out_lens = (seg_sizes + 1 - seg_coins) >> 1
+    mat.sort(axis=1)
+    chosen = np.where((seg_coins == 0)[:, None], mat[:, 0::2], mat[:, 1::2])
+    promoted = chosen[np.arange(width >> 1) < out_lens[:, None]]
+    return promoted, stream[total:]
+
+
+def _execute_level_grouped(
+    stream: np.ndarray, seg_sizes: np.ndarray, seg_coins: np.ndarray, total: int
+):
+    """Pad-and-sort each equal-size segment group on its own matrix.
+
+    Used when segment sizes are too skewed for one shared pad width.
+    Each group is gathered, sorted, and selected exactly like the uniform
+    paths; outputs are scattered back into their time-order positions in
+    the shared ``promoted`` array.
+    """
+    bounds = np.cumsum(seg_sizes)
+    starts = bounds - seg_sizes
+    out_lens = (seg_sizes + 1 - seg_coins) >> 1
+    out_bounds = np.cumsum(out_lens)
+    out_starts = out_bounds - out_lens
+    promoted = np.empty(int(out_bounds[-1]), dtype=stream.dtype)
+    for size in np.unique(seg_sizes):
+        size = int(size)
+        sel = np.nonzero(seg_sizes == size)[0]
+        mat = stream[starts[sel, None] + np.arange(size)]
+        coins = seg_coins[sel]
+        if size % 2 == 0:
+            mat.sort(axis=1)
+            chosen = np.where((coins == 0)[:, None], mat[:, 0::2], mat[:, 1::2])
+            promoted[out_starts[sel, None] + np.arange(size >> 1)] = chosen
+            continue
+        padded = np.empty((len(sel), size + 1), dtype=stream.dtype)
+        padded[:, :size] = mat
+        padded[:, size] = np.inf
+        padded.sort(axis=1)
+        chosen = np.where((coins == 0)[:, None], padded[:, 0::2], padded[:, 1::2])
+        lens = out_lens[sel]
+        vals = chosen[np.arange((size + 1) >> 1) < lens[:, None]]
+        cum = np.cumsum(lens)
+        flat = (
+            np.arange(int(cum[-1]))
+            - np.repeat(cum - lens, lens)
+            + np.repeat(out_starts[sel], lens)
+        )
+        promoted[flat] = vals
+    return promoted, stream[total:]
+
 
 class KllSketch:
     """Mergeable eps-quantile sketch over items with a total order."""
+
+    #: Class-level default so instances restored from older pickles (which
+    #: lack the attribute) conservatively revalidate their levels.
+    _float_safe = False
 
     def __init__(self, k: int = 200, seed: int = 0):
         if k < 4:
@@ -31,6 +176,9 @@ class KllSketch:
         self._rng = np.random.default_rng(seed)
         self._levels: list = [[]]
         self.count = 0
+        # Levels are known float64-exact (empty); scalar update/merge
+        # clear this, and the vectorized batch path revalidates lazily.
+        self._float_safe = True
 
     @classmethod
     def from_error(cls, eps: float, seed: int = 0) -> "KllSketch":
@@ -46,6 +194,7 @@ class KllSketch:
     def update(self, item) -> None:
         """Insert one item."""
         self.count += 1
+        self._float_safe = False
         self._levels[0].append(item)
         if _TEL.enabled:
             _UPDATES.inc()
@@ -55,14 +204,64 @@ class KllSketch:
     def update_batch(self, items) -> None:
         """Bulk insert, state- and RNG-identical to the scalar loop.
 
-        Appends in chunks that fill level 0 exactly to its capacity before
-        each compaction — the same points at which the scalar path compacts
-        — so the compaction (and coin-flip) sequence is unchanged.
+        Numeric batches take a fully vectorized two-phase path (see
+        :meth:`_update_batch_vectorized`): the compaction *schedule* is
+        simulated on buffer sizes alone with one bulk coin draw, then the
+        data movement executes level by level as whole-matrix sorts.  The
+        resulting levels, count, and RNG position are bit-identical to the
+        scalar loop's.  Non-numeric items (or numerics float64 cannot hold
+        exactly) fall back to the chunked scalar-order path.
         """
         n = len(items)
         if _TEL.enabled:
             _BATCHES.inc()
             _BATCH_ITEMS.inc(n)
+        if n == 0:
+            return
+        batch = self._as_exact_floats(items)
+        if batch is None:
+            self._update_batch_chunked(items)
+            return
+        self._update_batch_vectorized(batch)
+
+    def _as_exact_floats(self, items):
+        """``items`` (and the retained levels) as exact float64, or None.
+
+        The vectorized path works in float64 throughout; it is only taken
+        when that conversion is value-exact — see :func:`_exact_numeric`.
+        Level revalidation is cached in ``_float_safe``: the vectorized
+        path only ever leaves exact floats behind, so the scan is repeated
+        only after a scalar :meth:`update`, :meth:`merge`, or fallback
+        batch let arbitrary items in.
+        """
+        try:
+            arr = np.asarray(items)
+        except (TypeError, ValueError):
+            return None
+        if arr.ndim != 1 or not _exact_numeric(arr):
+            return None
+        if not self._float_safe:
+            for buf in self._levels:
+                if buf:
+                    try:
+                        level = np.asarray(buf)
+                    except (TypeError, ValueError):
+                        return None
+                    if level.ndim != 1 or not _exact_numeric(level):
+                        return None
+            self._float_safe = True
+        return arr.astype(np.float64, copy=False)
+
+    def _update_batch_chunked(self, items) -> None:
+        """Scalar-order batch insert (the pre-vectorization path).
+
+        Appends in chunks that fill level 0 exactly to its capacity before
+        each compaction — the same points at which the scalar path compacts
+        — so the compaction (and coin-flip) sequence is unchanged.  Used
+        for item dtypes the vectorized path cannot represent exactly.
+        """
+        self._float_safe = False
+        n = len(items)
         position = 0
         while position < n:
             buffer = self._levels[0]
@@ -76,6 +275,245 @@ class KllSketch:
             position += take
             if len(buffer) >= self._capacity(0):
                 self._compress()
+
+    def _update_batch_vectorized(self, batch: np.ndarray) -> None:
+        """Two-phase vectorized insert, bit-identical to the scalar loop.
+
+        Phase 1 — *schedule*: replay the scalar fill/compact loop on
+        buffer **sizes** only (pure integer arithmetic; no data moves),
+        consuming coins from one bulk RNG draw in the exact order the
+        scalar cascade would, and recording ``(buffer_size, coin)`` per
+        compaction per level.  Compaction triggers depend only on sizes —
+        a coin affects sizes only through the promoted count
+        ``(size - coin + 1) // 2`` — so the schedule is exact.  The bulk
+        draw is repaired afterwards (state restore + one draw of exactly
+        the consumed length), leaving the generator at the same position
+        as the scalar loop's per-compaction draws.
+
+        Phase 2 — *execute*: process levels bottom-up.  Each level's
+        incoming stream is its old buffer plus, in arrival order, the
+        promotions emitted by the level below (level 0: plus the batch);
+        each scheduled compaction consumes the next ``buffer_size`` items
+        of that stream.  Same-sized segments are gathered into one
+        ``(segments, size)`` matrix, sorted along axis 1, and the
+        even/odd-offset columns selected per coin — whole levels of
+        compactions become three NumPy ops.  Out-of-(time-)order
+        execution is sound because every compaction's input segment and
+        coin are already fixed by phase 1.
+        """
+        n = len(batch)
+        k = self.k
+        rng = self._rng
+        sizes = [len(buf) for buf in self._levels]
+        height = len(sizes)
+        caps = _caps(k, height)
+        sched_sizes: list = [[] for _ in range(height)]
+        sched_coins: list = [[] for _ in range(height)]
+
+        # Bulk coin prefetch, repaired to the exact consumed length below.
+        # Expected consumption is well under n/2 coins (one per compaction,
+        # each compaction eats >= 2 items); the hot loops double on overrun.
+        saved_state = rng.bit_generator.state
+        coins = rng.integers(0, 2, size=(n >> 1) + 64).tolist()
+        ncoins = len(coins)
+        ci = 0
+        # Sizes are anonymous, so the partial level-0 buffer folds into the
+        # item pool: the first compaction still lands after exactly
+        # ``caps[0] - len(levels[0])`` new items, and the final ``pool %
+        # caps[0]`` leftover is the retained partial buffer.
+        pool = n
+
+        # Only *compactions* are observable (coins + schedule); the scalar
+        # fixpoint scans cost nothing to skip.  Entry invariant: only
+        # level 0 reaches capacity between compactions, and compacting
+        # level L can push only L+1 over — so one upward cascade IS the
+        # scalar pass, and the fixpoint re-scan is free unless the
+        # hierarchy grows (which shrinks lower caps; rare, handled by
+        # _sim_grow_fixpoint).  The outer loop restarts after each growth
+        # with the new capacities.
+        while True:
+            if height == 1:
+                # the only level is the top: its first compaction grows
+                take = caps[0] - sizes[0]
+                if pool < take:
+                    sizes[0] += pool
+                    break
+                pool -= take
+                if ci == ncoins:
+                    coins.extend(rng.integers(0, 2, size=ncoins).tolist())
+                    ncoins += ncoins
+                coin = coins[ci]
+                ci += 1
+                sched_sizes[0].append(caps[0])
+                sched_coins[0].append(coin)
+                sizes[0] = 0
+                sizes.append((caps[0] - coin + 1) >> 1)
+                sched_sizes.append([])
+                sched_coins.append([])
+                height = 2
+                caps = _caps(k, 2)
+                height, caps, ci, ncoins = self._sim_grow_fixpoint(
+                    1, sizes, sched_sizes, sched_coins, height, caps, coins, ci, ncoins
+                )
+                continue
+            c0 = caps[0]
+            cap1 = caps[1]
+            half = ((c0 + 1) >> 1, c0 >> 1)
+            sc0s = sched_sizes[0]
+            sc0c = sched_coins[0]
+            sc1s = sched_sizes[1]
+            sc1c = sched_coins[1]
+            s1 = sizes[1]
+            pool += sizes[0]
+            sizes[0] = 0
+            grew = False
+            while pool >= c0:
+                pool -= c0
+                if ci == ncoins:
+                    coins.extend(rng.integers(0, 2, size=ncoins).tolist())
+                    ncoins += ncoins
+                coin = coins[ci]
+                ci += 1
+                sc0c.append(coin)
+                s1 += half[coin]
+                if s1 < cap1:
+                    continue
+                # level 1 filled: compact it, cascading as far as needed
+                if ci == ncoins:
+                    coins.extend(rng.integers(0, 2, size=ncoins).tolist())
+                    ncoins += ncoins
+                coin = coins[ci]
+                ci += 1
+                sc1s.append(s1)
+                sc1c.append(coin)
+                promo = (s1 - coin + 1) >> 1
+                s1 = 0
+                sizes[1] = 0
+                if height == 2:
+                    sizes.append(promo)
+                    sched_sizes.append([])
+                    sched_coins.append([])
+                    height = 3
+                    caps = _caps(k, 3)
+                    height, caps, ci, ncoins = self._sim_grow_fixpoint(
+                        2, sizes, sched_sizes, sched_coins,
+                        height, caps, coins, ci, ncoins,
+                    )
+                    grew = True
+                    break
+                s2 = sizes[2] + promo
+                sizes[2] = s2
+                if s2 < caps[2]:
+                    continue
+                level = 2
+                while True:
+                    if ci == ncoins:
+                        coins.extend(rng.integers(0, 2, size=ncoins).tolist())
+                        ncoins += ncoins
+                    coin = coins[ci]
+                    ci += 1
+                    size = sizes[level]
+                    sched_sizes[level].append(size)
+                    sched_coins[level].append(coin)
+                    sizes[level] = 0
+                    promo = (size - coin + 1) >> 1
+                    if level + 1 == height:
+                        sizes.append(promo)
+                        sched_sizes.append([])
+                        sched_coins.append([])
+                        height += 1
+                        caps = _caps(k, height)
+                        height, caps, ci, ncoins = self._sim_grow_fixpoint(
+                            level + 2, sizes, sched_sizes, sched_coins,
+                            height, caps, coins, ci, ncoins,
+                        )
+                        grew = True
+                        break
+                    sizes[level + 1] += promo
+                    level += 1
+                    if sizes[level] < caps[level]:
+                        break
+                if grew:
+                    break
+            # level-0 sizes are the (constant) capacity all segment long;
+            # backfill them in one C-level extend instead of per append
+            sc0s.extend([c0] * (len(sc0c) - len(sc0s)))
+            if grew:
+                continue
+            sizes[0] = pool
+            sizes[1] = s1
+            break
+
+        # repair the RNG: restore and draw exactly what the scalar loop
+        # would have — position and values both match the scalar path
+        rng.bit_generator.state = saved_state
+        if ci:
+            rng.integers(0, 2, size=ci)
+
+        # phase 2: execute the schedule level by level, bottom-up
+        new_levels: list = []
+        promoted = batch
+        for level in range(height):
+            old_list = self._levels[level] if level < len(self._levels) else []
+            incoming = promoted is not None and len(promoted) > 0
+            if not sched_sizes[level] and not incoming:
+                # untouched level: keep the original buffer object as-is
+                new_levels.append(old_list)
+                promoted = None
+                continue
+            if old_list:
+                old = np.asarray(old_list, dtype=np.float64)
+                stream = np.concatenate([old, promoted]) if incoming else old
+            else:
+                stream = promoted if incoming else np.empty(0, dtype=np.float64)
+            promoted, leftover = _execute_level(
+                stream, sched_sizes[level], sched_coins[level]
+            )
+            new_levels.append(leftover.tolist())
+        self._levels = new_levels
+        self.count += n
+
+    def _sim_grow_fixpoint(
+        self, level, sizes, sched_sizes, sched_coins, height, caps, coins, ci, ncoins
+    ):
+        """Rare continuation of the phase-1 simulation after hierarchy growth.
+
+        Growing the hierarchy shrinks lower-level capacities (the decay is
+        top-anchored), so the scalar loop finishes its current scan pass
+        from ``level`` and then runs full passes to a fixpoint.  This
+        transcribes that exactly — same compaction order, same coin order
+        — on sizes alone.  Mutates ``sizes``/``sched_*``/``coins`` in
+        place and returns the updated ``(height, caps, ci, ncoins)``.
+        """
+        rng = self._rng
+        k = self.k
+        first_pass = True
+        while True:
+            compacted = False
+            while level < height:
+                if sizes[level] >= caps[level]:
+                    if ci == ncoins:
+                        coins.extend(rng.integers(0, 2, size=ncoins).tolist())
+                        ncoins += ncoins
+                    coin = coins[ci]
+                    ci += 1
+                    size = sizes[level]
+                    sched_sizes[level].append(size)
+                    sched_coins[level].append(coin)
+                    sizes[level] = 0
+                    if level + 1 == height:
+                        sizes.append(0)
+                        sched_sizes.append([])
+                        sched_coins.append([])
+                        height += 1
+                        caps = _caps(k, height)
+                    sizes[level + 1] += (size - coin + 1) >> 1
+                    compacted = True
+                level += 1
+            if not first_pass and not compacted:
+                return height, caps, ci, ncoins
+            first_pass = False
+            level = 0
 
     def _compress(self) -> None:
         # Runs to a fixpoint: growing the hierarchy shrinks lower-level
@@ -107,6 +545,7 @@ class KllSketch:
         """Merge another KLL sketch (same ``k``) into this one."""
         if self.k != other.k:
             raise ValueError(f"cannot merge KLL sketches with k={self.k} and k={other.k}")
+        self._float_safe = False
         while len(self._levels) < len(other._levels):
             self._levels.append([])
         for level, buf in enumerate(other._levels):

@@ -1,0 +1,105 @@
+"""StreamBatch: the columnar zero-copy unit of the ingest spine.
+
+Covers the contract documented in docs/INGEST.md — length agreement,
+``weights=None`` preservation, and (the regression the spine depends on)
+that slicing and single-part concat never copy: ``np.shares_memory``
+must hold between a sub-batch and its parent arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamBatch
+
+
+def make_batch(n=100, weighted=True):
+    rng = np.random.default_rng(0)
+    return StreamBatch.from_arrays(
+        rng.integers(0, 50, size=n),
+        np.arange(n, dtype=float),
+        rng.random(n) if weighted else None,
+    )
+
+
+class TestConstruction:
+    def test_from_arrays_coerces_lists(self):
+        batch = StreamBatch.from_arrays([1, 2, 3], [0.0, 1.0, 2.0])
+        assert isinstance(batch.values, np.ndarray)
+        assert isinstance(batch.timestamps, np.ndarray)
+        assert batch.weights is None
+        assert len(batch) == 3
+
+    def test_from_arrays_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            StreamBatch.from_arrays([1, 2, 3], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            StreamBatch.from_arrays([1, 2], [0.0, 1.0], [1.0])
+
+    def test_from_arrays_is_zero_copy_for_arrays(self):
+        values = np.arange(10)
+        timestamps = np.arange(10, dtype=float)
+        weights = np.ones(10)
+        batch = StreamBatch.from_arrays(values, timestamps, weights)
+        assert batch.values is values
+        assert batch.timestamps is timestamps
+        assert batch.weights is weights
+
+    def test_repr_names_weighting(self):
+        assert "unit-weight" in repr(make_batch(weighted=False))
+        assert "weighted" in repr(make_batch(weighted=True))
+
+
+class TestTake:
+    def test_contiguous_slice_shares_memory(self):
+        batch = make_batch()
+        part = batch.take(slice(10, 60))
+        assert len(part) == 50
+        assert np.shares_memory(part.values, batch.values)
+        assert np.shares_memory(part.timestamps, batch.timestamps)
+        assert np.shares_memory(part.weights, batch.weights)
+
+    def test_strided_slice_shares_memory(self):
+        batch = make_batch()
+        part = batch.take(slice(3, None, 4))
+        assert np.shares_memory(part.values, batch.values)
+        assert np.shares_memory(part.timestamps, batch.timestamps)
+        assert np.shares_memory(part.weights, batch.weights)
+        np.testing.assert_array_equal(part.values, batch.values[3::4])
+
+    def test_take_preserves_weights_none(self):
+        part = make_batch(weighted=False).take(slice(0, 5))
+        assert part.weights is None
+
+    def test_weights_or_ones(self):
+        assert np.all(make_batch(weighted=False).weights_or_ones() == 1.0)
+        batch = make_batch(weighted=True)
+        assert batch.weights_or_ones() is batch.weights
+
+
+class TestConcat:
+    def test_empty_returns_none(self):
+        assert StreamBatch.concat([]) is None
+
+    def test_single_part_returned_as_is(self):
+        batch = make_batch()
+        assert StreamBatch.concat([batch]) is batch
+
+    def test_multi_part_preserves_order(self):
+        batch = make_batch()
+        fused = StreamBatch.concat([batch.take(slice(0, 40)), batch.take(slice(40, None))])
+        np.testing.assert_array_equal(fused.values, batch.values)
+        np.testing.assert_array_equal(fused.timestamps, batch.timestamps)
+        np.testing.assert_array_equal(fused.weights, batch.weights)
+
+    def test_all_unit_weight_parts_stay_none(self):
+        a = make_batch(weighted=False)
+        fused = StreamBatch.concat([a.take(slice(0, 10)), a.take(slice(10, 20))])
+        assert fused.weights is None
+
+    def test_mixed_weight_parts_fill_ones(self):
+        weighted = make_batch(n=10, weighted=True)
+        unit = make_batch(n=10, weighted=False)
+        fused = StreamBatch.concat([unit, weighted])
+        assert fused.weights is not None
+        np.testing.assert_array_equal(fused.weights[:10], np.ones(10))
+        np.testing.assert_array_equal(fused.weights[10:], weighted.weights)

@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core import StreamBatch
 from repro.service import ShardRouter
 
 
@@ -102,3 +105,90 @@ class TestValidation:
     def test_rejects_unknown_mode(self):
         with pytest.raises(ValueError):
             ShardRouter(2, mode="range")
+
+
+def reference_partition(mode, num_shards, seed, values, timestamps, weights):
+    """The pre-columnar list-building split: route each item scalar-wise."""
+    router = ShardRouter(num_shards, mode=mode, seed=seed)
+    parts = [([], [], []) for _ in range(num_shards)]
+    for index, value in enumerate(values):
+        shard = router.route(value if mode == "hash" else None)
+        parts[shard][0].append(value)
+        parts[shard][1].append(timestamps[index])
+        parts[shard][2].append(1.0 if weights is None else weights[index])
+    return parts
+
+
+class TestSplitStreamBatch:
+    """Array-slice splits agree with the old per-item list splits."""
+
+    @given(
+        keys=st.lists(st.integers(min_value=-10**6, max_value=10**6), max_size=200),
+        num_shards=st.integers(min_value=1, max_value=7),
+        mode=st.sampled_from(["hash", "round_robin"]),
+        weighted=st.booleans(),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_matches_reference(self, keys, num_shards, mode, weighted, seed):
+        n = len(keys)
+        timestamps = np.arange(n, dtype=float)
+        weights = np.linspace(0.5, 2.0, n) if weighted else None
+        reference = reference_partition(mode, num_shards, seed, keys, timestamps, weights)
+        router = ShardRouter(num_shards, mode=mode, seed=seed)
+        parts = router.split(StreamBatch.from_arrays(np.asarray(keys), timestamps, weights))
+        assert len(parts) == num_shards
+        for shard, part in enumerate(parts):
+            ref_values, ref_times, ref_weights = reference[shard]
+            if part is None:
+                assert ref_values == []
+                continue
+            assert part.values.tolist() == ref_values
+            assert part.timestamps.tolist() == ref_times
+            if weighted:
+                assert part.weights.tolist() == ref_weights
+            else:
+                assert part.weights is None
+
+    def test_round_robin_split_is_zero_copy(self):
+        router = ShardRouter(4, mode="round_robin")
+        values = np.arange(1000)
+        timestamps = np.arange(1000, dtype=float)
+        weights = np.ones(1000)
+        batch = StreamBatch(values, timestamps, weights)
+        for part in router.split(batch):
+            assert np.shares_memory(part.values, values)
+            assert np.shares_memory(part.timestamps, timestamps)
+            assert np.shares_memory(part.weights, weights)
+
+    def test_single_shard_split_returns_batch_unchanged(self):
+        router = ShardRouter(1, mode="hash")
+        batch = StreamBatch(np.arange(10), np.arange(10, dtype=float))
+        assert router.split(batch)[0] is batch
+
+    def test_hash_split_shares_one_sorted_copy(self):
+        # hash mode pays exactly one copy (the stable sort); every shard's
+        # sub-batch must be a view into that grouped copy, not fresh copies
+        router = ShardRouter(4, mode="hash", seed=3)
+        values = np.random.default_rng(1).integers(0, 10**6, size=1000)
+        batch = StreamBatch(values, np.arange(1000, dtype=float))
+        parts = [part for part in router.split(batch) if part is not None]
+        assert len(parts) > 1
+        base = parts[0].values.base
+        assert base is not None
+        for part in parts:
+            assert part.values.base is base
+
+    def test_split_empty_batch(self):
+        router = ShardRouter(3, mode="hash")
+        empty = StreamBatch.from_arrays([], [])
+        assert router.split(empty) == [None, None, None]
+
+    def test_round_robin_cursor_continuity_scalar_then_split(self):
+        router = ShardRouter(3, mode="round_robin")
+        assert router.route(None) == 0
+        parts = router.split(StreamBatch(np.arange(5), np.arange(5, dtype=float)))
+        # next item after the scalar route lands on shard 1
+        assert parts[1].values.tolist() == [0, 3]
+        assert parts[2].values.tolist() == [1, 4]
+        assert parts[0].values.tolist() == [2]

@@ -1,0 +1,145 @@
+"""Vectorised KLL batch path ≡ scalar loop, bit for bit.
+
+The two-phase batch compactor (size-only schedule simulation, then
+level-matrix execution — see ``KllSketch._update_batch_vectorized``)
+must leave the sketch in *exactly* the state the per-item loop would:
+identical level buffers (same floats, same order) **and** identical
+PCG64 position, so scalar and batch ingest interleave deterministically.
+Hypothesis drives stream shapes deep enough to force hierarchy growth,
+odd-capacity compactions, and the chunked fallback dtypes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import KllSketch
+
+
+def scalar_twin(sketch, items):
+    for item in items:
+        sketch.update(item)
+
+
+def assert_identical(a, b):
+    assert a._levels == b._levels
+    assert a.count == b.count
+    assert a._rng.bit_generator.state == b._rng.bit_generator.state
+
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False), max_size=400
+)
+
+
+class TestBitIdentity:
+    @given(values=values_strategy, k=st.sampled_from([4, 8, 37, 128]))
+    @settings(max_examples=40, deadline=None)
+    def test_one_shot_batch(self, values, k):
+        batch = KllSketch(k=k, seed=5)
+        scalar = KllSketch(k=k, seed=5)
+        batch.update_batch(values)
+        scalar_twin(scalar, values)
+        assert_identical(batch, scalar)
+
+    @given(
+        values=values_strategy,
+        k=st.sampled_from([4, 16, 64]),
+        cuts=st.lists(st.integers(min_value=1, max_value=150), max_size=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_batches(self, values, k, cuts):
+        batch = KllSketch(k=k, seed=9)
+        scalar = KllSketch(k=k, seed=9)
+        position = 0
+        for cut in cuts:
+            chunk = values[position : position + cut]
+            batch.update_batch(chunk)
+            scalar_twin(scalar, chunk)
+            position += cut
+        rest = values[position:]
+        batch.update_batch(rest)
+        scalar_twin(scalar, rest)
+        assert_identical(batch, scalar)
+
+    @given(values=values_strategy, k=st.sampled_from([4, 32]))
+    @settings(max_examples=25, deadline=None)
+    def test_interleaved_scalar_and_batch(self, values, k):
+        # exercises the _float_safe invalidation: scalar updates between
+        # batches force the vectorized path to re-validate level buffers
+        a = KllSketch(k=k, seed=3)
+        b = KllSketch(k=k, seed=3)
+        half = len(values) // 2
+        a.update_batch(values[:half])
+        scalar_twin(b, values[:half])
+        for value in values[half:]:
+            a.update(value)
+            b.update(value)
+        a.update_batch(values)
+        scalar_twin(b, values)
+        assert_identical(a, b)
+
+    def test_deep_hierarchy(self):
+        # 200k items through k=32 builds a tall compactor hierarchy; the
+        # schedule simulation must track every growth fixpoint exactly
+        stream = np.random.default_rng(11).normal(size=200_000)
+        batch = KllSketch(k=32, seed=1)
+        scalar = KllSketch(k=32, seed=1)
+        for start in range(0, len(stream), 4096):
+            batch.update_batch(stream[start : start + 4096])
+        scalar_twin(scalar, stream.tolist())
+        assert_identical(batch, scalar)
+
+    def test_infinities_survive_the_pad(self):
+        # the matrix compactor pads ragged rows with +inf; real ±inf values
+        # in the stream must still compact identically to the scalar path
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=3000)
+        values[::97] = np.inf
+        values[::101] = -np.inf
+        batch = KllSketch(k=16, seed=4)
+        scalar = KllSketch(k=16, seed=4)
+        batch.update_batch(values)
+        scalar_twin(scalar, values.tolist())
+        assert_identical(batch, scalar)
+
+
+class TestFallbackDtypes:
+    """Dtypes the float64 matrix cannot represent exactly take the chunked
+    scalar-order path — still bit-identical to the per-item loop."""
+
+    def test_strings(self):
+        words = [f"w{i % 37:03d}" for i in range(500)]
+        batch = KllSketch(k=16, seed=7)
+        scalar = KllSketch(k=16, seed=7)
+        batch.update_batch(words)
+        scalar_twin(scalar, words)
+        assert_identical(batch, scalar)
+
+    def test_integers_beyond_float64_exactness(self):
+        big = [2**53 + delta for delta in range(300)]
+        batch = KllSketch(k=16, seed=7)
+        scalar = KllSketch(k=16, seed=7)
+        batch.update_batch(big)
+        scalar_twin(scalar, big)
+        assert_identical(batch, scalar)
+        # and the retained items kept integer exactness
+        assert all(
+            isinstance(item, int) for level in batch._levels for item in level
+        )
+
+    def test_nan_rejected_like_scalar(self):
+        values = [1.0, float("nan"), 2.0]
+        batch = KllSketch(k=16, seed=7)
+        scalar = KllSketch(k=16, seed=7)
+        batch.update_batch(values)
+        scalar_twin(scalar, values)
+        assert_identical(batch, scalar)
+
+    def test_small_ints_take_the_exact_path(self):
+        keys = np.random.default_rng(0).integers(0, 1000, size=2000)
+        batch = KllSketch(k=24, seed=7)
+        scalar = KllSketch(k=24, seed=7)
+        batch.update_batch(keys)
+        scalar_twin(scalar, [int(key) for key in keys])
+        assert_identical(batch, scalar)

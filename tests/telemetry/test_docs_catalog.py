@@ -1,10 +1,18 @@
-"""Docs lint: the operator's guide must document the live metric catalog.
+"""Docs lint: catalogs stay live, cross-links stay unbroken.
 
 docs/OBSERVABILITY.md claims to be complete; this test makes that claim
 executable.  Every metric family registered after ``import repro`` must be
 named in the guide, every span name emitted by the instrumentation must be
 listed, and the overhead table must be generated from the committed bench
 JSON (same workloads, same stream size).
+
+The same module lints the docs pages as a *graph*: every relative
+markdown link on every page (docs/*.md, README.md, DESIGN.md) must point
+at a file that exists, and anchored links must name a real heading of the
+target page — a renamed page or section fails CI instead of silently
+stranding readers.  docs/INGEST.md additionally gets the catalog checks:
+any span or metric name it mentions must be one the instrumentation
+actually emits.
 """
 
 import json
@@ -81,3 +89,91 @@ class TestOverheadTableMatchesBench:
         text = GUIDE.read_text()
         for workload in json.loads(BENCH_JSON.read_text())["results"]:
             assert workload in text, workload
+
+
+DOCS_DIR = REPO_ROOT / "docs"
+#: Pages whose outgoing links are linted: every docs page plus the two
+#: root pages that link into docs/.
+LINTED_PAGES = sorted(DOCS_DIR.glob("*.md")) + [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "DESIGN.md",
+]
+
+_MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _heading_anchors(path):
+    """GitHub-style anchor slugs for every heading of a markdown page."""
+    anchors = set()
+    for line in path.read_text().splitlines():
+        if not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip().replace("`", "")
+        slug = re.sub(r"[^a-z0-9 _-]", "", title.lower())
+        anchors.add(slug.replace(" ", "-"))
+    return anchors
+
+
+def _local_links(page):
+    for target in _MARKDOWN_LINK.findall(page.read_text()):
+        if not target.startswith(_EXTERNAL):
+            yield target
+
+
+class TestCrossLinks:
+    def test_pages_exist(self):
+        assert len(LINTED_PAGES) > 2
+
+    def test_no_dangling_links(self):
+        """Every relative link on every docs page resolves to a file."""
+        dangling = []
+        for page in LINTED_PAGES:
+            for target in _local_links(page):
+                relative = target.split("#", 1)[0]
+                if not relative:  # same-page #anchor
+                    continue
+                if not (page.parent / relative).is_file():
+                    dangling.append(f"{page.relative_to(REPO_ROOT)} -> {target}")
+        assert not dangling, f"dangling cross-links: {dangling}"
+
+    def test_anchored_links_name_real_headings(self):
+        """`page.md#section` links must match a heading of the target."""
+        broken = []
+        for page in LINTED_PAGES:
+            for target in _local_links(page):
+                if "#" not in target:
+                    continue
+                relative, anchor = target.split("#", 1)
+                destination = page.parent / relative if relative else page
+                if not destination.is_file() or destination.suffix != ".md":
+                    continue
+                if anchor not in _heading_anchors(destination):
+                    broken.append(f"{page.relative_to(REPO_ROOT)} -> {target}")
+        assert not broken, f"links to missing headings: {broken}"
+
+
+class TestIngestPageCatalog:
+    """docs/INGEST.md names only spans and metrics that really exist."""
+
+    INGEST = DOCS_DIR / "INGEST.md"
+
+    def test_page_exists(self):
+        assert self.INGEST.is_file()
+
+    def test_span_names_are_emitted(self):
+        text = self.INGEST.read_text()
+        mentioned = set(
+            re.findall(r"`((?:service|wal|store|recovery|harness)\.[a-z_]+)`", text)
+        )
+        unknown = mentioned - set(KNOWN_SPANS)
+        assert not unknown, f"docs/INGEST.md names unknown spans: {unknown}"
+
+    def test_metric_names_are_registered(self):
+        text = self.INGEST.read_text()
+        documented = set(
+            re.findall(r"`([a-z_]+(?:_total|_seconds|_bytes))`", text)
+        )
+        registered = set(TELEMETRY.registry.names())
+        stale = documented - registered
+        assert not stale, f"docs/INGEST.md documents unknown metrics: {stale}"
