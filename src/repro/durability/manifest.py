@@ -39,6 +39,13 @@ class ServiceManifest:
     seed:
         Router hash seed; must match across restarts so keys keep routing
         to the shard that owns their history.
+    backend:
+        Shard execution backend the service last ran with (``"thread"``
+        or ``"process"``).  Informational, not validated: either backend
+        reads the same shard directories (the WAL/snapshot format is
+        backend-neutral), so re-opening under a different backend is
+        legal and simply rewrites this field.  Manifests written before
+        the field existed read as ``"thread"``.
     version:
         On-disk format version for forward compatibility.
     """
@@ -46,6 +53,7 @@ class ServiceManifest:
     num_shards: int
     partition: str
     seed: int
+    backend: str = "thread"
     version: int = _FORMAT_VERSION
 
     def shard_directory(self, root, shard: int) -> Path:

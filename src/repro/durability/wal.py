@@ -325,7 +325,24 @@ class WriteAheadLog:
                 self._rotate()
             seqno = self.next_seqno
             frame = encode(seqno)
-            self.fs.append(self._handle, frame)
+            pre_size = self._handle.size
+            try:
+                self.fs.append(self._handle, frame)
+            except BaseException:
+                # The write can fail *after* the frame landed (an error
+                # surfaced post-write; a simulated crash in "after" mode).
+                # Recovery will replay any complete on-disk frame, so the
+                # accounting must agree with the disk: a fully-landed frame
+                # counts as appended even though the caller sees the error —
+                # otherwise the caller re-submits a record that recovery
+                # also replays, and the same items apply twice.  A partial
+                # frame is a torn tail recovery truncates; leave it
+                # unaccounted.
+                if self._handle.size >= pre_size + len(frame):
+                    self.next_seqno = seqno + 1
+                    self.records_appended += 1
+                    self._unsynced += 1
+                raise
             self.next_seqno = seqno + 1
             self.records_appended += 1
             self._unsynced += 1

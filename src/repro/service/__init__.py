@@ -13,6 +13,11 @@ This package is that layer:
   shard, draining queues into fused ``update_batch`` applies, with
   block / drop / error backpressure (deadline-bounded via
   ``block_timeout``);
+* :class:`ProcessShardWorker` — the ``backend="process"`` worker: same
+  queueing contract, but the shard's sketch lives in a dedicated forked
+  worker process, fused batches ship through pooled shared memory, and
+  reads travel over a framed pickle RPC — shards run truly in parallel
+  (see :data:`SHARD_BACKENDS` and docs/SCALING.md);
 * :class:`QueryCoordinator` — fan-out, cross-shard combining via
   :mod:`repro.core.combine`, a watermark-keyed LRU answer cache, per-shard
   call timeouts, and ``partial="allow"`` degraded answers carrying an
@@ -34,6 +39,7 @@ See docs/SERVICE.md for architecture, consistency semantics, backpressure
 policies, failure handling / degraded mode, and sizing guidance.
 """
 
+from repro.service.backend import SHARD_BACKENDS
 from repro.service.chaos import (
     CHAOS_KINDS,
     ChaosController,
@@ -56,6 +62,7 @@ from repro.service.explain import (
     ShardPlan,
     shard_plan_details,
 )
+from repro.service.proc_worker import ProcessShardWorker
 from repro.service.router import PARTITION_MODES, ShardRouter
 from repro.service.service import IngestReceipt, ShardedSketchService
 from repro.service.supervisor import SHARD_STATES, ShardSupervisor
@@ -80,8 +87,10 @@ __all__ = [
     "PARTIAL_POLICIES",
     "PARTITION_MODES",
     "PLAN_HOOKS",
+    "ProcessShardWorker",
     "QueryCoordinator",
     "QueryPlan",
+    "SHARD_BACKENDS",
     "SHARD_STATES",
     "ShardFailedError",
     "ShardPlan",

@@ -1,0 +1,79 @@
+"""Shard execution backends: who runs a shard's sketch, and where.
+
+The sharded service executes each shard through a *worker* object; the
+``backend=`` knob on :class:`~repro.service.ShardedSketchService` selects
+which implementation:
+
+``"thread"`` (default)
+    :class:`~repro.service.worker.ShardWorker` — the sketch lives in the
+    service process, one daemon apply thread per shard.  Zero IPC cost,
+    full GIL contention: concurrent shards *interleave* rather than run
+    in parallel, so this backend is for modest throughput, tests, and
+    platforms without ``fork``.
+
+``"process"``
+    :class:`~repro.service.proc_worker.ProcessShardWorker` — the sketch
+    (and, for durable services, its WAL + snapshots) lives in a dedicated
+    forked worker process.  Fused batches ship through shared memory,
+    queries/health/stats travel over a framed pickle RPC, and the shards
+    genuinely run in parallel — this is the backend that escapes the GIL
+    (see ``docs/SCALING.md`` for the selection matrix and measured
+    scaling).
+
+Both backends implement one worker protocol — ``submit`` / ``query`` /
+``supports`` / ``store_stats`` / ``flush_store`` / ``close_store`` plus
+the seqno bookkeeping the supervisor and watermark read — so everything
+above the worker (router, coordinator, supervisor, facade) is
+backend-neutral.
+
+The module also owns the ``service_shard_backend`` info metric: one gauge
+child per shard labelled with the backend name, whose value is the worker
+process id (``0`` for the in-process thread backend) — ``/metrics`` and
+``/healthz`` both expose which process owns each shard, so a wedged child
+is diagnosable from outside.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.registry import TELEMETRY as _TEL
+
+#: Accepted values for ``ShardedSketchService(backend=...)``.
+SHARD_BACKENDS = ("thread", "process")
+
+_TEL.registry.declare(
+    "service_shard_backend",
+    "gauge",
+    "Shard execution backend info: value is the worker process id "
+    "(0 = in-process thread backend), labelled by shard and backend.",
+)
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if it is a known backend name, else raise."""
+    if backend not in SHARD_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {SHARD_BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+def worker_class(backend: str):
+    """The worker class implementing ``backend`` (imported lazily)."""
+    validate_backend(backend)
+    if backend == "process":
+        from repro.service.proc_worker import ProcessShardWorker
+
+        return ProcessShardWorker
+    from repro.service.worker import ShardWorker
+
+    return ShardWorker
+
+
+def mark_shard_backend(shard: int, backend: str, pid: Optional[int]) -> None:
+    """Publish one shard's backend (and owning pid) as an info gauge."""
+    if _TEL.enabled:
+        _TEL.gauge(
+            "service_shard_backend", shard=str(shard), backend=backend
+        ).set(0 if pid is None else pid)

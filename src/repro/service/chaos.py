@@ -37,7 +37,9 @@ is replayable from its trace alone.
 from __future__ import annotations
 
 import json
+import os
 import random
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -200,6 +202,97 @@ class ChaosSketch:
         return getattr(self._inner, name)
 
 
+class _ProcessChaosMonitor:
+    """Fires chaos events against process-backend shards, from the parent.
+
+    The in-apply-path :class:`ChaosSketch` injector does not survive the
+    process backend: each worker child would inherit its *own copy* of
+    the controller at fork time, so ``fired`` flags would not be shared
+    and a rebuilt child would re-fire consumed events.  Instead the
+    parent watches each shard's (parent-side) applied-item count and
+    fires due events from outside:
+
+    * ``kill`` — ``SIGKILL`` the worker child.  Harsher than the thread
+      backend's pre-WAL :class:`~repro.durability.SimulatedCrash`: the
+      signal can land mid-WAL-append, so the soak also exercises the
+      parent's on-disk landed-or-not verification and torn-tail
+      recovery.
+    * ``slow`` / ``wedge`` — a blocking ``sleep`` RPC occupies the
+      child's command loop, stretching applies (backpressure) and
+      stalling queries into their call timeout (degraded mode) — the
+      same observable effects as sleeping under the thread backend's
+      apply lock.
+
+    Events are consumed from the shared :class:`ChaosController`
+    schedule (same ``fired``-once semantics, same trace log, same
+    ``service_chaos_events_total`` counter) and :meth:`ChaosController.
+    disarm` stops the monitor's firing exactly like the thread path.
+    """
+
+    def __init__(self, service, controller: ChaosController,
+                 poll_interval: float = 0.02):
+        self._service = service
+        self._controller = controller
+        self._poll = poll_interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="chaos-process-monitor", daemon=True
+        )
+
+    def start(self) -> None:
+        """Start the monitor thread."""
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the monitor thread."""
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+
+    def _take_due(self, shard: int, total: int) -> Optional[ChaosEvent]:
+        controller = self._controller
+        with controller._lock:  # noqa: SLF001 — shared schedule handshake
+            for event in controller.events:
+                if event.fired or event.shard != shard or event.at_items > total:
+                    continue
+                event.fired = True
+                return event
+        return None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            if self._controller.enabled:
+                for shard, worker in enumerate(self._service._workers):
+                    total = worker.items_applied + worker.pending_items
+                    event = self._take_due(shard, total)
+                    if event is None:
+                        continue
+                    self._controller.record(
+                        "event",
+                        event=event.kind,
+                        shard=shard,
+                        at_items=event.at_items,
+                        duration=event.duration,
+                        pid=worker.pid,
+                    )
+                    if _TEL.enabled:
+                        _TEL.counter(
+                            "service_chaos_events_total", kind=event.kind
+                        ).inc()
+                    if event.kind == "kill":
+                        try:
+                            os.kill(worker.pid, signal.SIGKILL)
+                        except (ProcessLookupError, TypeError):
+                            pass  # already dead or mid-rebuild
+                    else:
+                        rpc = getattr(worker, "_rpc", None)
+                        if rpc is not None:
+                            try:
+                                rpc.call("sleep", {"seconds": event.duration})
+                            except Exception:
+                                pass  # dead or rebuilding child: event lost
+            self._stop.wait(self._poll)
+
+
 class ChaosFilesystem(FaultyFilesystem):
     """Rate-based WAL I/O errors on top of the kill-point fault plan.
 
@@ -297,6 +390,7 @@ def run_soak(
     *,
     num_shards: int = 4,
     seed: int = 13,
+    backend: str = "thread",
     arrival_batch: int = 100,
     schedule: Optional[Sequence[ChaosEvent]] = None,
     chaos_seed: int = 0,
@@ -320,6 +414,17 @@ def run_soak(
     degraded-tolerant point queries over ``probe_keys`` and sanity-checks
     any attached certificate.  After the stream, chaos is disarmed, the
     service drains, and the run verifies
+
+    With ``backend="process"`` the same schedule is driven by a
+    parent-side :class:`_ProcessChaosMonitor` instead of in-apply-path
+    injectors: kills become real ``SIGKILL``\\ s of the worker children
+    (which may land mid-WAL-append — a strictly harsher crash than the
+    thread backend's pre-WAL abort), slow/wedge become blocking ``sleep``
+    RPCs occupying the child's command loop, and per-shard verification
+    fetches recovered state over the ``get_state`` RPC.  Rate-based WAL
+    errors then fire inside each child (every child forks its own copy of
+    the seeded filesystem), so the report's ``wal_errors_injected`` stays
+    0 even though faults were injected and recovered from.
 
     * **no lost acks** — every acknowledged item is applied: each shard's
       item count equals its (offline-reconstructed) sub-stream length;
@@ -360,16 +465,21 @@ def run_soak(
         factory,
         num_shards,
         seed=seed,
+        backend=backend,
         directory=directory,
         fs=fs,
         durable_options=dict(durable_options or {"fsync_policy": "always"}),
         supervise=True,
         supervisor_options=sup_options,
-        sketch_wrapper=controller.wrap,
+        sketch_wrapper=controller.wrap if backend == "thread" else None,
         block_timeout=block_timeout,
         call_timeout=call_timeout,
         partial="allow",
     )
+    monitor = None
+    if backend == "process":
+        monitor = _ProcessChaosMonitor(service, controller)
+        monitor.start()
     try:
         for batch_index, start in enumerate(range(0, keys.size, arrival_batch)):
             part_keys = keys[start : start + arrival_batch]
@@ -448,8 +558,15 @@ def run_soak(
         # ... then recovery phase: no new faults, supervisor finishes healing
         controller.disarm()
         fs.disarm()
-        if not service.drain(timeout=drain_timeout):
-            anomalies.append(f"drain did not complete within {drain_timeout:g}s")
+        try:
+            if not service.drain(timeout=drain_timeout):
+                anomalies.append(
+                    f"drain did not complete within {drain_timeout:g}s"
+                )
+        except ShardFailedError:
+            # a fault on the last batches can surface here; the healthy
+            # wait below gives the supervisor its bounded window to heal
+            pass
         # healing is asynchronous: a fault on the final batch can leave the
         # supervisor mid-rebuild even though every item is durable and
         # applied — give it a bounded window to flip back to HEALTHY
@@ -460,16 +577,35 @@ def run_soak(
             health = service.health()
         if not health["healthy"]:
             anomalies.append(f"service not healthy after recovery: {health}")
+        else:
+            # healed mid-drain: one more settle so redirect replay and any
+            # salvaged sub-batches are fully applied before verification
+            try:
+                if not service.drain(timeout=drain_timeout):
+                    anomalies.append(
+                        f"drain did not complete within {drain_timeout:g}s"
+                    )
+            except ShardFailedError as exc:
+                anomalies.append(f"shard failed after recovery: {exc}")
         router = ShardRouter(num_shards, mode="hash", seed=seed)
         shard_of = router.shards_of(keys)
         for shard in range(num_shards):
             worker = service._workers[shard]
             sub_keys = keys[shard_of == shard]
             sub_ts = timestamps[shard_of == shard]
-            recovered = worker.sketch
-            if isinstance(recovered, ChaosSketch):
-                recovered = recovered._inner
-            recovered = getattr(recovered, "sketch", recovered)  # DurableSketch
+            if worker.backend == "process":
+                try:
+                    recovered = worker.sketch_state()
+                except Exception as exc:
+                    anomalies.append(
+                        f"shard {shard} state fetch failed: {exc}"
+                    )
+                    continue
+            else:
+                recovered = worker.sketch
+                if isinstance(recovered, ChaosSketch):
+                    recovered = recovered._inner
+                recovered = getattr(recovered, "sketch", recovered)  # DurableSketch
             applied = worker.items_applied
             if applied != sub_keys.size:
                 anomalies.append(
@@ -488,6 +624,8 @@ def run_soak(
         supervisor_stats = service._supervisor.stats()
         rebuilds = sum(entry["rebuilds"] for entry in supervisor_stats.values())
     finally:
+        if monitor is not None:
+            monitor.stop()
         service.close(force=True)
     for anomaly in anomalies:
         controller.record("anomaly", detail=anomaly)

@@ -3,8 +3,10 @@
 Queries against a sharded service fan out to every shard's private sketch
 (or, for hash-partitioned point queries, go straight to the owning shard),
 then combine the per-shard answers with the helpers in
-:mod:`repro.core.combine`.  Each per-shard read holds that shard's apply
-lock, so a query observes each sketch between fused batch applies, never
+:mod:`repro.core.combine`.  Each per-shard read is serialised against that
+shard's applies — the thread backend runs it under the shard's apply lock,
+the process backend's worker child serves commands strictly sequentially —
+so a query observes each sketch between fused batch applies, never
 mid-apply.
 
 Answers are memoised in a small LRU keyed by ``(method, args, watermark)``:
@@ -49,9 +51,8 @@ from repro.service.explain import (
     ErrorCertificate,
     QueryPlan,
     ShardPlan,
-    shard_plan_details,
 )
-from repro.service.worker import ShardFailedError
+from repro.service.worker import ShardFailedError, ShardTimeoutError
 from repro.telemetry.registry import TELEMETRY as _TEL
 from repro.telemetry.spans import span
 
@@ -80,17 +81,6 @@ _TEL.registry.declare(
 
 #: Accepted degraded-mode policies for :meth:`QueryCoordinator.query`.
 PARTIAL_POLICIES = ("reject", "allow")
-
-
-class ShardTimeoutError(RuntimeError):
-    """A per-shard query read did not acquire the apply lock in time."""
-
-    def __init__(self, shard: int, timeout: float):
-        super().__init__(
-            f"shard {shard} query lock not acquired within {timeout:g}s"
-        )
-        self.shard = shard
-        self.timeout = timeout
 
 #: Named combine modes accepted by :meth:`QueryCoordinator.query`.
 #: Identity answers for degraded queries that covered zero shards —
@@ -125,8 +115,10 @@ class QueryCoordinator:
     cache_size:
         Maximum cached answers; ``0`` disables caching.
     call_timeout:
-        Default deadline (seconds) for acquiring a shard's apply lock per
-        read; ``None`` (default) waits indefinitely.  On expiry the read
+        Default per-shard read deadline (seconds): time to acquire the
+        apply lock (thread backend) or for the RPC round-trip to complete
+        (process backend); ``None`` (default) waits indefinitely.  On
+        expiry the read
         raises :class:`ShardTimeoutError` — under ``partial="allow"`` the
         shard is instead excluded and certified missing.
     partial:
@@ -186,42 +178,44 @@ class QueryCoordinator:
         timeout=None,
         **kwargs,
     ):
-        """Invoke ``method`` on one shard's sketch under its apply lock.
+        """Invoke ``method`` on one shard's sketch, serialised with applies.
 
-        ``post``, when given, transforms the result *while the lock is
-        still held* — used to deep-copy live sketch objects before a
-        concurrent apply can mutate them.  ``plan_sink``, when given,
-        receives one :class:`~repro.service.explain.ShardPlan` describing
-        what this shard read (plan hook consulted under the same lock, so
+        Delegates to the worker's backend-neutral ``query`` method: the
+        thread backend runs the read under the shard's apply lock, the
+        process backend runs it over RPC in the worker child (whose
+        command loop serialises reads against applies the same way).
+        ``post``, when given, transforms the result *while still
+        serialised* (thread) or after the RPC copy (process) — used to
+        deep-copy live sketch objects before a concurrent apply can
+        mutate them.  ``plan_sink``, when given, receives one
+        :class:`~repro.service.explain.ShardPlan` describing what this
+        shard read (plan hook consulted under the same serialisation, so
         it reports exactly the structure state the answer saw).
-        ``timeout`` (default the coordinator's ``call_timeout``) bounds the
-        lock acquisition; on expiry — a wedged or very slow apply is
-        holding the lock — the read raises :class:`ShardTimeoutError`
+        ``timeout`` (default the coordinator's ``call_timeout``) bounds
+        the wait; on expiry — a wedged or very slow apply is in the way —
+        the read raises :class:`~repro.service.worker.ShardTimeoutError`
         instead of blocking the query indefinitely.
         """
         worker = self._workers[shard]
-        worker.raise_if_failed()
         if timeout is None:
             timeout = self.call_timeout
         with span("service.shard_call", shard=shard, op=method):
             begin = time.perf_counter()
-            if not worker.lock.acquire(timeout=-1 if timeout is None else timeout):
+            try:
+                result, details = worker.query(
+                    method,
+                    args,
+                    kwargs,
+                    want_details=plan_sink is not None,
+                    post=post,
+                    timeout=timeout,
+                )
+            except ShardTimeoutError:
                 if _TEL.enabled:
                     _TEL.counter(
                         "service_shard_call_timeouts_total", shard=str(shard)
                     ).inc()
-                raise ShardTimeoutError(shard, timeout)
-            try:
-                details = (
-                    shard_plan_details(worker.sketch, method, args)
-                    if plan_sink is not None
-                    else None
-                )
-                result = getattr(worker.sketch, method)(*args, **kwargs)
-                if post is not None:
-                    result = post(result)
-            finally:
-                worker.lock.release()
+                raise
             if plan_sink is not None:
                 plan_sink.append(
                     ShardPlan(

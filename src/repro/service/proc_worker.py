@@ -1,0 +1,782 @@
+"""Process-backed shard workers: the backend that escapes the GIL.
+
+A :class:`ProcessShardWorker` keeps the whole parent-side contract of
+:class:`~repro.service.worker.ShardWorker` — bounded queue, backpressure
+policies, group-commit draining, poisoning with WAL-verified push-back,
+salvage via ``take_pending`` — but the shard's sketch lives in a dedicated
+**forked worker process**.  The parent-side apply thread becomes a
+*shipper*: each fused :class:`~repro.core.StreamBatch` is written once
+into a pooled shared-memory segment and announced to the child over the
+framed-pickle RPC (:mod:`repro.service.rpc`); the child maps the columns
+back as zero-copy views, applies them through the very same
+:func:`repro.core.apply_stream_batch` dispatch (WAL-first for durable
+shards), and acks with its durable seqno plus any telemetry deltas.
+
+Division of state:
+
+* **parent** — queue, seqno bookkeeping, backpressure, failure flag,
+  supervisor integration.  ``worker.sketch`` is ``None``; every read goes
+  through :meth:`ProcessShardWorker.query` and friends.
+* **child** — the sketch, and for durable services the shard's
+  ``DurableSketch`` (WAL + snapshots).  The child is single-threaded:
+  applies and queries serialise on its command loop, which is exactly the
+  apply-lock serialisation the thread backend provides.
+
+Failure semantics mirror the thread backend:
+
+* an apply the child *reports* as failed poisons the parent worker with
+  the child's exception; the child says whether the WAL record landed,
+  and the parent pushes the fused sub-batches back (never reached the
+  WAL) or accounts them as durably applied (landed; recovery replays
+  them) — same decision, same evidence.
+* a child that *dies* (SIGKILL, crash) closes the RPC pipe; the parent
+  joins the corpse and then reads the shard directory itself — last WAL
+  record seqno and last snapshot seqno versus the last acked durable
+  seqno — to make the same landed-or-not call from disk.  Rebuild-in-
+  place then works unchanged: the supervisor salvages the parent-side
+  queue, the service's rebuild hook forks a fresh child that recovers
+  from snapshot+WAL, and the redirect buffer replays.
+
+Telemetry stays whole: the child's metric increments and finished spans
+ship back piggybacked on every apply ack (and on demand via
+:meth:`ProcessShardWorker.pull_telemetry`) and merge into the parent's
+process-global registry and span collector, so ``/metrics``, ``/report``
+and trace trees look the same under either backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import re
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.core.base import apply_stream_batch
+from repro.durability.recovery import list_snapshots
+from repro.durability.store import DurableSketch
+from repro.durability.wal import list_segments, scan_segment
+from repro.service.rpc import (
+    ChannelClosed,
+    ChildSegmentCache,
+    FramedPipe,
+    RpcClient,
+    RpcTimeout,
+    SegmentPool,
+    close_inherited_parent_fds,
+    decode_batch,
+    encode_batch,
+    register_parent_fds,
+)
+from repro.service.worker import (
+    ShardFailedError,
+    ShardTimeoutError,
+    ShardWorker,
+)
+from repro.telemetry.registry import TELEMETRY as _TEL
+from repro.telemetry.spans import SPANS, SpanRecord, span
+
+
+class WorkerProcessDied(RuntimeError):
+    """A shard's worker process exited without acking (crash or kill)."""
+
+    def __init__(self, shard: int, pid: Optional[int], exitcode: Optional[int]):
+        super().__init__(
+            f"shard {shard} worker process (pid {pid}) died, exitcode {exitcode}"
+        )
+        self.shard = shard
+        self.pid = pid
+        self.exitcode = exitcode
+
+
+def _describe_exc(exc: BaseException) -> dict:
+    """Wire form of an exception: type + repr, plus pickle when possible."""
+    import pickle
+
+    payload = {"type": type(exc).__name__, "repr": repr(exc)}
+    try:
+        blob = pickle.dumps(exc)
+        pickle.loads(blob)  # some exceptions pickle but cannot rebuild
+        payload["pickled"] = blob
+    except Exception:
+        pass
+    return payload
+
+
+def _rebuild_exc(described: dict) -> BaseException:
+    """Parent-side inverse of :func:`_describe_exc` (best-effort)."""
+    import pickle
+
+    blob = described.get("pickled")
+    if blob is not None:
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            pass
+    return RuntimeError(f"{described['type']}: {described['repr']}")
+
+
+_SNAPSHOT_SEQNO = re.compile(r"(\d+)")
+
+
+def _durable_frontier(directory) -> int:
+    """Highest update seqno evidenced on disk in a shard directory.
+
+    The max of the last WAL record's seqno and the newest snapshot's
+    seqno: after a child died mid-apply this is what recovery will
+    restore through, so comparing it against the last *acked* durable
+    seqno decides push-back versus already-landed — the same verification
+    the thread backend does in memory with ``wal.records_appended``.
+    """
+    directory = Path(directory)
+    frontier = 0
+    for path in list_snapshots(directory)[:1]:
+        match = _SNAPSHOT_SEQNO.search(path.stem)
+        if match:
+            frontier = max(frontier, int(match.group(1)))
+    for path in reversed(list_segments(directory)):
+        scan = scan_segment(path)
+        if scan.records:
+            frontier = max(frontier, scan.records[-1].seqno)
+            break
+    return frontier
+
+
+# -- child-side telemetry shipping ------------------------------------------
+
+
+class _TelemetryShip:
+    """Child-side delta tracker: what changed since the last shipment.
+
+    The constructor primes the baseline with every child metric's
+    *current* value, so only movement after construction ships — in
+    particular, gauges the child inherited from the parent (other
+    shards' backend-info gauges, say) never ship their reset-to-zero
+    state back and clobber the parent's live values.
+    """
+
+    def __init__(self):
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._hists: dict = {}
+        for family in _TEL.registry.families():
+            for labels, child in family.samples():
+                key = (family.name, tuple(sorted(labels.items())))
+                if family.kind == "counter":
+                    self._counters[key] = child.value
+                elif family.kind == "gauge":
+                    self._gauges[key] = child.value
+                else:
+                    with child._lock:  # noqa: SLF001
+                        self._hists[key] = (
+                            list(child.bucket_counts),
+                            child.count,
+                            child.sum,
+                        )
+
+    def collect(self) -> Optional[dict]:
+        """Metric deltas + finished spans since the last call, or None."""
+        if not _TEL.enabled:
+            return None
+        metrics = []
+        for family in _TEL.registry.families():
+            for labels, child in family.samples():
+                key = (family.name, tuple(sorted(labels.items())))
+                entry = {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labels": labels,
+                }
+                if family.kind == "counter":
+                    value = child.value
+                    delta = value - self._counters.get(key, 0.0)
+                    if delta <= 0:
+                        continue
+                    self._counters[key] = value
+                    entry["delta"] = delta
+                elif family.kind == "gauge":
+                    value = child.value
+                    if self._gauges.get(key) == value:
+                        continue
+                    self._gauges[key] = value
+                    entry["value"] = value
+                else:
+                    with child._lock:  # noqa: SLF001 — consistent triple read
+                        counts = list(child.bucket_counts)
+                        count = child.count
+                        total = child.sum
+                    prev = self._hists.get(key, ([0] * len(counts), 0, 0.0))
+                    if count == prev[1]:
+                        continue
+                    self._hists[key] = (counts, count, total)
+                    entry["bucket_deltas"] = [
+                        now - before for now, before in zip(counts, prev[0])
+                    ]
+                    entry["count"] = count - prev[1]
+                    entry["sum"] = total - prev[2]
+                    entry["bounds"] = child.bounds
+                metrics.append(entry)
+        records = SPANS.snapshot()
+        SPANS.clear()
+        return {
+            "metrics": metrics,
+            "spans": [record.as_dict() for record in records],
+        }
+
+
+def merge_child_telemetry(payload: Optional[dict]) -> None:
+    """Merge a child's shipped deltas into this process's telemetry.
+
+    Counters add their delta, gauges adopt the child's last value,
+    histograms add bucket/count/sum deltas under the target's lock, and
+    shipped span records are re-recorded with their original trace ids —
+    so a trace that hops parent → child renders as one tree.
+    """
+    if not payload:
+        return
+    registry = _TEL.registry
+    for entry in payload.get("metrics", ()):
+        labels = dict(entry["labels"])
+        name, help_text = entry["name"], entry.get("help", "")
+        if entry["kind"] == "counter":
+            registry.counter(name, help_text, **labels).inc(entry["delta"])
+        elif entry["kind"] == "gauge":
+            registry.gauge(name, help_text, **labels).set(entry["value"])
+        else:
+            child = registry.histogram(
+                name, help_text, buckets=tuple(entry["bounds"]), **labels
+            )
+            deltas = entry["bucket_deltas"]
+            with child._lock:  # noqa: SLF001 — cross-process histogram merge
+                if len(child.bucket_counts) == len(deltas):
+                    for index, delta in enumerate(deltas):
+                        child.bucket_counts[index] += delta
+                    child.count += entry["count"]
+                    child.sum += entry["sum"]
+    for record in payload.get("spans", ()):
+        SPANS.record(SpanRecord(**record))
+
+
+# -- the child process -------------------------------------------------------
+
+
+def _unwrap_sketch(sketch: Any) -> Any:
+    """Peel chaos/durability wrappers down to the bare sketch object."""
+    while True:
+        if isinstance(sketch, DurableSketch):
+            sketch = sketch.sketch
+            continue
+        inner = getattr(sketch, "_inner", None)
+        if inner is not None:
+            sketch = inner
+            continue
+        return sketch
+
+
+def _find_store(sketch: Any) -> Optional[DurableSketch]:
+    while sketch is not None:
+        if isinstance(sketch, DurableSketch):
+            return sketch
+        sketch = getattr(sketch, "_inner", None)
+    return None
+
+
+def _child_main(
+    index: int,
+    build: Callable[[], Any],
+    cmd_fd: int,
+    resp_fd: int,
+    snapshot_on_open: bool,
+    telemetry_enabled: bool,
+) -> None:
+    """Serve one shard from a forked worker process (never returns)."""
+    pipe = FramedPipe(cmd_fd, resp_fd)
+    close_inherited_parent_fds()
+    if telemetry_enabled:
+        _TEL.enable()
+    else:
+        _TEL.disable()
+    # inherited pre-fork values belong to the parent's registry; this
+    # process ships *deltas*, so its own accounting starts from zero
+    _TEL.registry.reset()
+    SPANS.clear()
+    cache = ChildSegmentCache()
+    ship = _TelemetryShip()
+    build_error = None
+    sketch = None
+    store = None
+    try:
+        sketch = build()
+        store = _find_store(sketch)
+        if store is not None and snapshot_on_open:
+            store.snapshot()
+    except BaseException as exc:  # noqa: BLE001 — report, then exit
+        build_error = _describe_exc(exc)
+    poisoned = False
+
+    def handle(op: str, payload: Any) -> dict:
+        nonlocal poisoned
+        if op == "hello":
+            if build_error is not None:
+                return {"error": build_error}
+            return {
+                "pid": os.getpid(),
+                "store_seqno": 0 if store is None else store.applied_seqno,
+            }
+        if build_error is not None:
+            return {"error": build_error}
+        if op == "apply":
+            if payload.get("telemetry"):
+                _TEL.enable()
+            batch = decode_batch(payload["descriptor"], cache)
+            wal = None if store is None else store.wal
+            before = None if wal is None else wal.records_appended
+            try:
+                with span(
+                    "service.apply_batch",
+                    parent=payload.get("ctx"),
+                    shard=index,
+                    items=payload["items"],
+                    fused=payload["fused"],
+                ):
+                    apply_stream_batch(sketch, batch)
+            except BaseException as exc:  # noqa: BLE001 — SimulatedCrash too
+                poisoned = True
+                return {
+                    "error": _describe_exc(exc),
+                    "wal_advanced": (
+                        wal is not None and wal.records_appended != before
+                    ),
+                    "store_seqno": None if store is None else store.applied_seqno,
+                    "telemetry": ship.collect(),
+                }
+            return {
+                "ok": True,
+                "store_seqno": None if store is None else store.applied_seqno,
+                "telemetry": ship.collect(),
+            }
+        if op == "query":
+            try:
+                details = None
+                if payload.get("want_details"):
+                    from repro.service.explain import shard_plan_details
+
+                    details = shard_plan_details(
+                        sketch, payload["method"], payload["args"]
+                    )
+                result = getattr(sketch, payload["method"])(
+                    *payload["args"], **(payload.get("kwargs") or {})
+                )
+            except Exception as exc:
+                return {"error": _describe_exc(exc)}
+            return {"result": result, "details": details}
+        if op == "supports":
+            return {"result": hasattr(sketch, payload["method"])}
+        if op == "store_stats":
+            return {"result": None if store is None else store.stats()}
+        if op == "flush":
+            if store is not None:
+                store.flush()
+            return {"ok": True}
+        if op == "telemetry":
+            return {"telemetry": ship.collect()}
+        if op == "get_state":
+            return {"result": _unwrap_sketch(sketch)}
+        if op == "sleep":
+            time.sleep(payload["seconds"])
+            return {"ok": True}
+        if op == "ping":
+            return {"pid": os.getpid()}
+        if op == "stop":
+            try:
+                if store is not None:
+                    if poisoned:
+                        store.wal.close()
+                    else:
+                        store.close(
+                            final_snapshot=bool(payload.get("final", True))
+                        )
+            except Exception:
+                pass  # a torn store is recovery's job, not shutdown's
+            return {"ok": True, "stopping": True}
+        return {"error": {"type": "ValueError", "repr": f"unknown op {op!r}"}}
+
+    while True:
+        try:
+            req_id, op, payload = pipe.recv()
+        except ChannelClosed:
+            break  # parent is gone; nothing to serve, nothing to tell
+        try:
+            reply = handle(op, payload)
+        except BaseException as exc:  # noqa: BLE001 — keep serving
+            reply = {"error": _describe_exc(exc)}
+        try:
+            pipe.send((req_id, op, reply))
+        except ChannelClosed:
+            break
+        except Exception as exc:  # unpicklable result object
+            try:
+                pipe.send((req_id, op, {"error": _describe_exc(exc)}))
+            except Exception:
+                break
+        if reply.get("stopping"):
+            break
+    cache.close()
+    pipe.close()
+
+
+# -- the parent-side worker --------------------------------------------------
+
+
+class ProcessShardWorker(ShardWorker):
+    """A shard worker whose sketch lives in a dedicated forked process.
+
+    Drop-in replacement for :class:`~repro.service.worker.ShardWorker`
+    behind ``ShardedSketchService(backend="process")``: same queueing,
+    backpressure, seqno bookkeeping, poisoning and salvage contract, but
+    the fused applies ship to a worker child through shared memory and
+    all reads go over the framed RPC.  Construct with ``build`` — a
+    zero-argument callable, run *in the child after the fork*, returning
+    the shard's (possibly wrapped, possibly durable) sketch; pass
+    ``wal_directory`` for durable shards so a dead child's WAL frontier
+    can be verified from disk.
+
+    Requires a platform with the ``fork`` start method (the build
+    closures that make sketch factories convenient do not pickle, and
+    fork also lets the child inherit pre-opened pipe ends for free).
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        index: int,
+        build: Callable[[], Any],
+        *,
+        wal_directory=None,
+        snapshot_on_open: bool = False,
+        hello_timeout: float = 120.0,
+        **options,
+    ):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "backend='process' requires the fork start method "
+                "(POSIX); use backend='thread' on this platform"
+            )
+        super().__init__(index, None, **options)
+        self._build = build
+        self._wal_directory = wal_directory
+        self._durable = wal_directory is not None
+        self._snapshot_on_open = snapshot_on_open
+        self._hello_timeout = hello_timeout
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+        self._rpc: Optional[RpcClient] = None
+        self._pool = SegmentPool()
+        self._supports_cache: dict = {}
+        self._store_seqno = 0
+        self._child_stopping = False
+        self._child_ready = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Fork the worker child, complete its hello, start the shipper.
+
+        The hello handshake surfaces child-side construction errors
+        (recovery failures, bad factories) here, synchronously — the
+        parent raises instead of poisoning later.
+        """
+        ctx = multiprocessing.get_context("fork")
+        self._child_stopping = False
+        self._child_ready = False
+        cmd_read, cmd_write = os.pipe()
+        resp_read, resp_write = os.pipe()
+        register_parent_fds(cmd_write, resp_read)
+        self._process = ctx.Process(
+            target=_child_main,
+            args=(
+                self.index,
+                self._build,
+                cmd_read,
+                resp_write,
+                self._snapshot_on_open,
+                _TEL.enabled,
+            ),
+            name=f"shard-proc-{self.index}",
+            daemon=True,
+        )
+        self._process.start()
+        os.close(cmd_read)
+        os.close(resp_write)
+        self._rpc = RpcClient(
+            FramedPipe(resp_read, cmd_write),
+            name=f"shard-{self.index}",
+            on_dead=self._on_channel_dead,
+        )
+        try:
+            hello = self._rpc.call("hello", timeout=self._hello_timeout)
+        except (RpcTimeout, ChannelClosed) as exc:
+            self.ensure_child_dead()
+            raise RuntimeError(
+                f"shard {self.index} worker process failed to start"
+            ) from exc
+        if "error" in hello:
+            self.ensure_child_dead()
+            raise _rebuild_exc(hello["error"])
+        self.pid = hello["pid"]
+        self._store_seqno = hello.get("store_seqno") or 0
+        self._child_ready = True
+        super().start()
+
+    def stop(self) -> None:
+        """Drain and stop the shipper, then shut the child down cleanly.
+
+        A healthy child closes its durable store (final snapshot + WAL
+        release) before exiting; a poisoned or dead child leaves the
+        directory as-is for recovery — exactly the thread backend's close
+        semantics.
+        """
+        super().stop()
+        self._shutdown_child(final=self.failure is None)
+
+    def ensure_child_dead(self) -> None:
+        """Make sure the worker process is gone (rebuild prerequisite).
+
+        Two processes must never hold one shard's WAL: the service's
+        rebuild hook calls this on the old worker before forking a
+        replacement child over the same directory.
+        """
+        self._shutdown_child(final=False)
+
+    def _shutdown_child(self, final: bool) -> None:
+        process = self._process
+        if process is None:
+            return
+        self._process = None
+        self._child_stopping = True
+        if self._rpc is not None and self._rpc.dead is None:
+            try:
+                self._rpc.call(
+                    "stop", {"final": final}, timeout=30.0 if final else 2.0
+                )
+            except Exception:
+                pass
+        process.join(timeout=10.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+        if self._rpc is not None:
+            self._rpc.close()
+        self._pool.close()
+
+    # -- write side: ship fused batches ------------------------------------
+
+    def _apply_fused(self, parts, fused, taken, last_seqno, apply_parent) -> bool:
+        """Ship one fused batch to the child and wait for its ack."""
+        descriptor = encode_batch(fused, self._pool)
+        segment = descriptor.get("segment")
+        payload = {
+            "descriptor": descriptor,
+            "seqno": last_seqno,
+            "items": taken,
+            "fused": len(parts),
+            "ctx": apply_parent,
+            "telemetry": _TEL.enabled,
+        }
+        try:
+            with span(
+                "service.shard_ship",
+                parent=apply_parent,
+                shard=self.index,
+                items=taken,
+                fused=len(parts),
+            ):
+                reply = self._rpc.call("apply", payload)
+        except ChannelClosed:
+            self._handle_child_death(parts, taken, last_seqno)
+            return False
+        finally:
+            if segment is not None:
+                self._pool.release(segment)
+        merge_child_telemetry(reply.get("telemetry"))
+        if "error" in reply:
+            self._record_failure(
+                _rebuild_exc(reply["error"]),
+                parts,
+                taken,
+                last_seqno,
+                durable=self._durable,
+                wal_advanced=bool(reply.get("wal_advanced")),
+            )
+            return False
+        if reply.get("store_seqno") is not None:
+            self._store_seqno = reply["store_seqno"]
+        return True
+
+    def _handle_child_death(self, parts, taken, last_seqno) -> None:
+        """Poison after a mid-apply child death, verifying the WAL on disk.
+
+        The child cannot tell us whether the in-flight BATCH record
+        landed, so the parent reads the evidence itself: if the shard
+        directory's durable frontier moved past the last acked seqno, the
+        record (or a snapshot covering it) is on disk and recovery will
+        replay it — account the items; otherwise the batch verifiably
+        never became durable — push the sub-batches back for salvage.
+        """
+        process = self._process
+        if process is not None:
+            process.join(timeout=10.0)
+        exitcode = None if process is None else process.exitcode
+        cause = WorkerProcessDied(self.index, self.pid, exitcode)
+        landed = False
+        if self._durable:
+            landed = _durable_frontier(self._wal_directory) > self._store_seqno
+        self._record_failure(
+            cause,
+            parts,
+            taken,
+            last_seqno,
+            durable=self._durable,
+            wal_advanced=landed,
+        )
+
+    def _on_channel_dead(self, exc) -> None:
+        """Receiver-thread hook: the reply pipe hit EOF.
+
+        Without this, an *idle* child's death (SIGKILL, OOM — nothing in
+        flight, no query coming) would go unnoticed until the next call
+        touched the pipe, while the supervisor keeps polling a stale
+        ``failure is None``.  Record the death here so detection is
+        prompt.  An in-flight apply still runs its own WAL-frontier
+        accounting through :meth:`_handle_child_death` (recording twice
+        is harmless: this path parks nothing); intentional shutdown sets
+        ``_child_stopping`` first and is not a failure.
+        """
+        if (
+            not self._child_ready
+            or self._child_stopping
+            or self.failure is not None
+        ):
+            return
+        rpc = self._rpc
+        if rpc is None or rpc.dead is None:  # stale client from before a rebuild
+            return
+        process = self._process
+        exitcode = None
+        if process is not None:
+            process.join(timeout=5.0)
+            exitcode = process.exitcode
+        cause = WorkerProcessDied(self.index, self.pid, exitcode)
+        cause.__cause__ = exc
+        self._record_failure(
+            cause, (), 0, self.applied_seqno,
+            durable=self._durable, wal_advanced=True,
+        )
+
+    # -- read side: RPC ----------------------------------------------------
+
+    def _call(self, op: str, payload=None, timeout: Optional[float] = None):
+        self.raise_if_failed()
+        if self._rpc is None:
+            raise RuntimeError(f"shard {self.index} not started")
+        try:
+            return self._rpc.call(op, payload, timeout=timeout)
+        except RpcTimeout as exc:
+            raise ShardTimeoutError(self.index, timeout) from exc
+        except ChannelClosed as exc:
+            self.raise_if_failed()
+            raise ShardFailedError(self.index, exc) from exc
+
+    def query(
+        self,
+        method: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        *,
+        want_details: bool = False,
+        post: Optional[Callable] = None,
+        timeout: Optional[float] = None,
+    ) -> tuple:
+        """Run one read in the worker child; returns ``(result, details)``.
+
+        The child serves commands sequentially, so the read observes the
+        sketch between fused applies — the process-backend equivalent of
+        taking the apply lock.  ``timeout`` bounds the RPC wait and maps
+        to :class:`~repro.service.worker.ShardTimeoutError` (a wedged or
+        busy child); a dead child raises
+        :class:`~repro.service.worker.ShardFailedError`.  The result
+        crosses the process boundary by pickle, so it is already a
+        private copy; ``post`` (the coordinator's defensive deep-copy)
+        is applied parent-side for interface compatibility.
+        """
+        reply = self._call(
+            "query",
+            {
+                "method": method,
+                "args": args,
+                "kwargs": kwargs,
+                "want_details": want_details,
+            },
+            timeout=timeout,
+        )
+        if "error" in reply:
+            raise _rebuild_exc(reply["error"])
+        result = reply["result"]
+        if post is not None:
+            result = post(result)
+        return result, reply.get("details")
+
+    def supports(self, method: str) -> bool:
+        """Whether the child's sketch answers ``method`` (cached)."""
+        cached = self._supports_cache.get(method)
+        if cached is None:
+            cached = bool(self._call("supports", {"method": method})["result"])
+            self._supports_cache[method] = cached
+        return cached
+
+    def store_stats(self) -> Optional[dict]:
+        """The child's durable-store counters, or None when not durable."""
+        return self._call("store_stats")["result"]
+
+    def flush_store(self) -> None:
+        """Ask the child to force its WAL to stable storage."""
+        self._call("flush")
+
+    def close_store(self) -> None:
+        """No-op: the child closes its own store during :meth:`stop`."""
+
+    def sketch_state(self, timeout: Optional[float] = None):
+        """The shard's bare sketch object, copied out of the child.
+
+        Peels durability/chaos wrappers in the child and ships the
+        underlying sketch back by pickle — the chaos harness uses this
+        for state fingerprinting.  Expensive (full state copy); not a
+        query-path API.
+        """
+        reply = self._call("get_state", timeout=timeout)
+        if "error" in reply:
+            raise _rebuild_exc(reply["error"])
+        return reply["result"]
+
+    def pull_telemetry(self) -> None:
+        """Fetch and merge the child's telemetry deltas (best-effort).
+
+        Piggybacked shipping covers the ingest path; this pull exists for
+        scrape time, so ``/metrics`` reflects child-side activity (like
+        snapshot counters) that happened since the last apply ack.  Any
+        RPC problem is swallowed — scraping must never fail a service.
+        """
+        if self._rpc is None or self._rpc.dead is not None or self.failure is not None:
+            return
+        try:
+            reply = self._rpc.call(
+                "telemetry", {"telemetry": _TEL.enabled}, timeout=5.0
+            )
+        except Exception:
+            return
+        merge_child_telemetry(reply.get("telemetry"))

@@ -1,0 +1,476 @@
+"""Process-backend plumbing: framed pipe RPC and shared-memory shipping.
+
+Two transports, one per payload shape:
+
+* **Control plane** — a length-prefixed pickle protocol over plain
+  ``os.pipe`` file descriptors.  Every frame is ``4-byte big-endian
+  length`` + ``pickle((request_id, op, payload))``; the parent tags each
+  request with a fresh id and a receiver thread matches replies back to
+  the waiting caller, so queries can overlap an in-flight batch apply on
+  the same channel pair.  The child end is strictly sequential: one
+  command in, one reply out, which is what gives the process backend the
+  same apply-vs-read serialisation the thread backend gets from the shard
+  apply lock.
+
+* **Data plane** — fused :class:`~repro.core.StreamBatch` payloads cross
+  the boundary as ``multiprocessing.shared_memory`` blocks.  The parent
+  copies the batch's columns once into a pooled segment (the same single
+  copy the thread backend pays to fuse), the control frame carries only a
+  small descriptor (segment name, per-column dtype/shape/offset), and the
+  child maps the columns back as **zero-copy NumPy views** of the shared
+  pages.  Segments are ref-counted and recycled: released back to the
+  pool at apply-ack time and reused for the next fused batch, so a
+  steady-state shard ships arbitrarily many batches through one or two
+  segments.  Object-dtype columns (arbitrary picklables) cannot be
+  expressed as a flat buffer and fall back to travelling inline in the
+  control frame.
+
+Fork hygiene: parent-side fds are tracked in a registry snapshot so each
+freshly forked child can close every descriptor that belongs to the
+parent (or to sibling shards) before serving; segments attached by name
+in the child skip stdlib resource-tracker registration (the parent, as
+creator, is the sole owner of the tracker entry and of the unlink).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batch import StreamBatch
+
+_LENGTH = struct.Struct(">I")
+
+#: Byte alignment of each column inside a shared segment (cache line).
+_ALIGN = 64
+
+
+class ChannelClosed(RuntimeError):
+    """The peer end of an RPC channel is gone (dead or exited child)."""
+
+
+class RpcTimeout(RuntimeError):
+    """An RPC reply did not arrive within the caller's deadline."""
+
+
+def _read_exact(fd: int, n: int) -> bytes:
+    chunks = []
+    while n:
+        try:
+            chunk = os.read(fd, n)
+        except OSError as exc:
+            raise ChannelClosed(f"pipe read failed: {exc}") from exc
+        if not chunk:
+            raise ChannelClosed("pipe closed by peer")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+class FramedPipe:
+    """One direction of a length-prefixed pickle stream over a pipe fd pair.
+
+    ``send`` is serialised by a lock (the parent writes from shipper,
+    query, and lifecycle threads concurrently); ``recv`` has a single
+    consumer by construction (the parent's receiver thread, or the
+    child's serve loop).
+    """
+
+    def __init__(self, read_fd: Optional[int], write_fd: Optional[int]):
+        self._read_fd = read_fd
+        self._write_fd = write_fd
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, frame: Any) -> None:
+        """Pickle ``frame`` and write it as one length-prefixed message."""
+        payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _LENGTH.pack(len(payload))
+        with self._send_lock:
+            if self._closed or self._write_fd is None:
+                raise ChannelClosed("channel closed locally")
+            try:
+                os.write(self._write_fd, header + payload)
+            except (OSError, BrokenPipeError) as exc:
+                raise ChannelClosed(f"pipe write failed: {exc}") from exc
+
+    def recv(self) -> Any:
+        """Read one frame; raises :class:`ChannelClosed` on EOF."""
+        if self._read_fd is None:
+            raise ChannelClosed("channel has no read end")
+        header = _read_exact(self._read_fd, _LENGTH.size)
+        (length,) = _LENGTH.unpack(header)
+        return pickle.loads(_read_exact(self._read_fd, length))
+
+    def close(self) -> None:
+        """Close both fds (idempotent)."""
+        with self._send_lock:
+            self._closed = True
+        for fd in (self._read_fd, self._write_fd):
+            if fd is not None:
+                discard_parent_fd(fd)
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self._read_fd = self._write_fd = None
+
+
+#: Parent-side fds a forked child must close before serving (fd numbers;
+#: mutated only in the parent, snapshotted by fork).
+_PARENT_FDS: set = set()
+_PARENT_FDS_LOCK = threading.Lock()
+
+
+def register_parent_fds(*fds: int) -> None:
+    """Record parent-side fds so later-forked children can close them."""
+    with _PARENT_FDS_LOCK:
+        _PARENT_FDS.update(fds)
+
+
+def discard_parent_fd(fd: int) -> None:
+    """Forget a parent-side fd (call before closing it in the parent)."""
+    with _PARENT_FDS_LOCK:
+        _PARENT_FDS.discard(fd)
+
+
+def close_inherited_parent_fds(keep: Tuple[int, ...] = ()) -> None:
+    """In a fresh child: close every inherited parent-side fd.
+
+    The forked child's fd table contains the parent ends of its own
+    channel pair plus those of every sibling shard forked earlier; holding
+    them open would keep dead siblings' pipes from ever reporting EOF.
+    """
+    for fd in list(_PARENT_FDS):
+        if fd in keep:
+            continue
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _PARENT_FDS.clear()
+
+
+class _Future:
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error: Optional[BaseException] = None
+
+
+class RpcClient:
+    """Parent-side RPC endpoint: tagged requests, threaded reply dispatch.
+
+    A daemon receiver thread reads reply frames and resolves the pending
+    future with the matching request id; EOF fails every outstanding and
+    future call with :class:`ChannelClosed` — the parent's signal that the
+    child process died.  ``on_dead`` (optional) is invoked once, from the
+    receiver thread, when that EOF arrives: it is how an *idle* child's
+    death (nothing in flight, nothing about to call) gets noticed at all.
+    """
+
+    def __init__(self, pipe: FramedPipe, name: str = "rpc", on_dead=None):
+        self._pipe = pipe
+        self._pending: Dict[int, _Future] = {}
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._dead: Optional[ChannelClosed] = None
+        self._on_dead = on_dead
+        self._receiver = threading.Thread(
+            target=self._recv_loop, name=f"{name}-recv", daemon=True
+        )
+        self._receiver.start()
+
+    def _recv_loop(self) -> None:
+        while True:
+            try:
+                req_id, _op, payload = self._pipe.recv()
+            except (ChannelClosed, EOFError, pickle.UnpicklingError) as exc:
+                dead = (
+                    exc
+                    if isinstance(exc, ChannelClosed)
+                    else ChannelClosed(f"reply stream corrupt: {exc}")
+                )
+                with self._lock:
+                    self._dead = dead
+                    pending, self._pending = self._pending, {}
+                for future in pending.values():
+                    future.error = dead
+                    future.event.set()
+                if self._on_dead is not None:
+                    try:
+                        self._on_dead(dead)
+                    except Exception:  # noqa: BLE001 — detection best-effort
+                        pass
+                return
+            with self._lock:
+                future = self._pending.pop(req_id, None)
+            if future is not None:  # None: caller timed out and moved on
+                future.value = payload
+                future.event.set()
+
+    @property
+    def dead(self) -> Optional[ChannelClosed]:
+        """The channel-death error, once the peer is gone (else None)."""
+        return self._dead
+
+    def call(self, op: str, payload: Any = None, timeout: Optional[float] = None):
+        """Send one request and wait for its reply.
+
+        Raises :class:`RpcTimeout` when ``timeout`` (seconds) expires
+        first — the request stays with the child, only the wait is
+        abandoned — and :class:`ChannelClosed` when the peer is gone.
+        """
+        future = _Future()
+        with self._lock:
+            if self._dead is not None:
+                raise self._dead
+            req_id = self._next_id
+            self._next_id += 1
+            self._pending[req_id] = future
+        try:
+            self._pipe.send((req_id, op, payload))
+        except ChannelClosed:
+            with self._lock:
+                self._pending.pop(req_id, None)
+            raise
+        if not future.event.wait(timeout):
+            with self._lock:
+                self._pending.pop(req_id, None)
+            raise RpcTimeout(f"no reply to {op!r} within {timeout:g}s")
+        if future.error is not None:
+            raise future.error
+        return future.value
+
+    def close(self) -> None:
+        """Close the underlying pipe and join the receiver thread."""
+        self._pipe.close()
+        if self._receiver.is_alive() and self._receiver is not threading.current_thread():
+            self._receiver.join(timeout=5.0)
+
+
+# -- shared-memory segments -------------------------------------------------
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    # Attach-by-name without resource-tracker registration.  Forked
+    # children share the parent's tracker process; letting the attach
+    # register (as 3.11's SharedMemory unconditionally does) and then
+    # unregistering would *remove* the creator's entry from the shared
+    # tracker — the parent's later unlink then trips a KeyError in the
+    # tracker.  Suppressing the registration (the 3.13 ``track=False``
+    # semantics) leaves the creator as sole owner of the accounting.
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class _Segment:
+    __slots__ = ("shm", "size", "refs")
+
+    def __init__(self, shm: shared_memory.SharedMemory):
+        self.shm = shm
+        self.size = shm.size
+        self.refs = 0
+
+
+def _round_size(nbytes: int) -> int:
+    size = 1 << 16
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+class SegmentPool:
+    """Parent-side pool of reusable, ref-counted shared-memory segments.
+
+    ``acquire(nbytes)`` hands back a free segment at least that large
+    (creating one, sized to the next power of two, when none fits) with
+    its refcount at 1; ``release`` returns it to the free list at zero.
+    The pool owns the unlink: :meth:`close` unmaps and removes every
+    segment it ever created, so a clean service shutdown leaves nothing
+    in ``/dev/shm``.
+    """
+
+    def __init__(self):
+        self._segments: Dict[str, _Segment] = {}
+        self._free: list = []
+        self._lock = threading.Lock()
+        self.created = 0
+        self.recycled = 0
+
+    def acquire(self, nbytes: int) -> _Segment:
+        """A segment with ``size >= nbytes`` and refcount 1."""
+        with self._lock:
+            for index, segment in enumerate(self._free):
+                if segment.size >= nbytes:
+                    del self._free[index]
+                    segment.refs = 1
+                    self.recycled += 1
+                    return segment
+            shm = shared_memory.SharedMemory(create=True, size=_round_size(nbytes))
+            segment = _Segment(shm)
+            segment.refs = 1
+            self._segments[shm.name] = segment
+            self.created += 1
+            return segment
+
+    def addref(self, name: str) -> None:
+        """Take one extra reference on a held segment."""
+        with self._lock:
+            self._segments[name].refs += 1
+
+    def release(self, name: str) -> None:
+        """Drop one reference; at zero the segment rejoins the free list."""
+        with self._lock:
+            segment = self._segments.get(name)
+            if segment is None:
+                return
+            segment.refs -= 1
+            if segment.refs <= 0:
+                segment.refs = 0
+                self._free.append(segment)
+
+    def stats(self) -> dict:
+        """Pool occupancy counters (segments live/free, created/recycled)."""
+        with self._lock:
+            return {
+                "segments": len(self._segments),
+                "free": len(self._free),
+                "created": self.created,
+                "recycled": self.recycled,
+                "bytes": sum(s.size for s in self._segments.values()),
+            }
+
+    def close(self) -> None:
+        """Unmap and unlink every segment this pool created (idempotent)."""
+        with self._lock:
+            segments, self._segments = self._segments, {}
+            self._free = []
+        for segment in segments.values():
+            try:
+                segment.shm.close()
+            except Exception:
+                pass
+            try:
+                segment.shm.unlink()
+            except Exception:
+                pass
+
+
+class ChildSegmentCache:
+    """Child-side map of segment name → attached ``SharedMemory``.
+
+    Attach-by-name happens once per segment; because the parent recycles
+    a small pool, a long-lived child touches the attach path only a
+    handful of times, then serves every later batch from the cached
+    mapping — keeping the consumer side zero-copy and syscall-free.
+    """
+
+    def __init__(self):
+        self._attached: Dict[str, shared_memory.SharedMemory] = {}
+
+    def get(self, name: str) -> shared_memory.SharedMemory:
+        """The attached segment for ``name``, attaching on first use."""
+        shm = self._attached.get(name)
+        if shm is None:
+            shm = _attach_untracked(name)
+            self._attached[name] = shm
+        return shm
+
+    def close(self) -> None:
+        """Unmap every attached segment (the parent owns the unlink)."""
+        for shm in self._attached.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._attached.clear()
+
+
+# -- StreamBatch <-> shared memory ------------------------------------------
+
+
+def _shippable(array: Optional[np.ndarray]) -> bool:
+    return array is None or array.dtype != object
+
+
+def encode_batch(batch: StreamBatch, pool: SegmentPool) -> dict:
+    """Write ``batch`` into a pooled segment; returns its wire descriptor.
+
+    The descriptor is small (names, dtypes, shapes, offsets) and travels
+    in the control frame; the column payloads travel through the shared
+    segment.  Object-dtype columns cannot be flattened into a buffer, so
+    such a batch ships inline (``kind="inline"``) — correct, just not
+    zero-copy.  The caller owns the returned segment reference and must
+    :meth:`SegmentPool.release` it once the consumer acked.
+    """
+    columns = [("values", batch.values), ("timestamps", batch.timestamps)]
+    if batch.weights is not None:
+        columns.append(("weights", batch.weights))
+    if not all(_shippable(array) for _, array in columns):
+        return {"kind": "inline", "batch": batch}
+    layout = []
+    offset = 0
+    for name, array in columns:
+        array = np.ascontiguousarray(array)
+        offset = (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+        layout.append((name, array, offset))
+        offset += array.nbytes
+    segment = pool.acquire(max(offset, 1))
+    fields = []
+    for name, array, start in layout:
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.shm.buf, offset=start
+        )
+        np.copyto(view, array)
+        fields.append(
+            {
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": array.shape,
+                "offset": start,
+            }
+        )
+    return {
+        "kind": "shm",
+        "segment": segment.shm.name,
+        "fields": fields,
+        "items": len(batch),
+    }
+
+
+def decode_batch(descriptor: dict, cache: ChildSegmentCache) -> StreamBatch:
+    """Rebuild a :class:`StreamBatch` from a wire descriptor (child side).
+
+    ``shm`` descriptors map each column as a read-only NumPy view of the
+    shared segment — no bytes are copied; the batch borrows the parent's
+    pages until the apply finishes and the ack releases the segment.
+    """
+    if descriptor["kind"] == "inline":
+        return descriptor["batch"]
+    shm = cache.get(descriptor["segment"])
+    arrays = {}
+    for field in descriptor["fields"]:
+        view = np.ndarray(
+            field["shape"],
+            dtype=np.dtype(field["dtype"]),
+            buffer=shm.buf,
+            offset=field["offset"],
+        )
+        view.flags.writeable = False
+        arrays[field["name"]] = view
+    return StreamBatch(
+        arrays["values"], arrays["timestamps"], arrays.get("weights")
+    )

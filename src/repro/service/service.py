@@ -58,7 +58,9 @@ from repro.durability.manifest import (
     write_manifest,
 )
 from repro.durability.store import DurableSketch
+from repro.service.backend import validate_backend
 from repro.service.coordinator import QueryCoordinator
+from repro.service.proc_worker import ProcessShardWorker
 from repro.service.router import ShardRouter
 from repro.service.supervisor import FAILED, HEALTHY, ShardSupervisor
 from repro.service.worker import ShardFailedError, ShardWorker
@@ -101,6 +103,14 @@ class ShardedSketchService:
         (key-agnostic sketches); see :class:`~repro.service.ShardRouter`.
     seed:
         Router hash seed (persisted in the durable manifest).
+    backend:
+        Shard execution backend: ``"thread"`` (default — sketches live in
+        this process, one apply thread per shard, GIL-bound) or
+        ``"process"`` — each shard's sketch (and durable store) lives in
+        a dedicated forked worker process, fused batches ship through
+        shared memory, and shards run truly in parallel.  Identical
+        results either way; see ``docs/SCALING.md`` for the selection
+        matrix.  Recorded in the durable manifest (informational).
     queue_capacity, backpressure, max_drain_items, min_drain_items, linger:
         Per-shard queue sizing, policy, and group-commit batching; see
         :class:`~repro.service.ShardWorker`.
@@ -166,6 +176,7 @@ class ShardedSketchService:
         *,
         partition: str = "hash",
         seed: int = 0,
+        backend: str = "thread",
         queue_capacity: int = 8192,
         backpressure: str = "block",
         max_drain_items: int = 65536,
@@ -189,6 +200,7 @@ class ShardedSketchService:
             raise ValueError(
                 f"ingest_buffer_items must be >= 0, got {ingest_buffer_items}"
             )
+        self.backend = validate_backend(backend)
         self._router = ShardRouter(num_shards, mode=partition, seed=seed)
         self._progress = threading.Condition()
         self._ingest_lock = threading.Lock()
@@ -218,7 +230,7 @@ class ShardedSketchService:
         )
         if self.durable:
             manifest = read_manifest(directory)
-            wanted = ServiceManifest(num_shards, partition, seed)
+            wanted = ServiceManifest(num_shards, partition, seed, self.backend)
             if manifest is None:
                 write_manifest(directory, wanted, fs=fs)
                 manifest = wanted
@@ -233,28 +245,51 @@ class ShardedSketchService:
                     f"got ({num_shards}, {partition!r}, {seed}) — "
                     "use ShardedSketchService.open to adopt the stored topology"
                 )
+            elif manifest.backend != self.backend:
+                # the backend is informational (the shard directories are
+                # backend-neutral): adopt the caller's choice on disk
+                write_manifest(directory, wanted, fs=fs)
+                manifest = wanted
             self._manifest = manifest
             options = dict(durable_options or {})
             if fs is not None:
                 options.setdefault("fs", fs)
             self._durable_options = options
-            sketches = [
-                DurableSketch.open(
-                    factory, manifest.shard_directory(directory, shard), **options
+        if self.backend == "process":
+            self._workers = [
+                ProcessShardWorker(
+                    shard,
+                    self._shard_build(shard),
+                    wal_directory=(
+                        self._manifest.shard_directory(directory, shard)
+                        if self.durable
+                        else None
+                    ),
+                    **self._worker_options,
                 )
                 for shard in range(num_shards)
             ]
         else:
-            sketches = [factory() for _ in range(num_shards)]
-        if sketch_wrapper is not None:
-            sketches = [
-                sketch_wrapper(shard, sketch)
+            if self.durable:
+                sketches = [
+                    DurableSketch.open(
+                        factory,
+                        self._manifest.shard_directory(directory, shard),
+                        **self._durable_options,
+                    )
+                    for shard in range(num_shards)
+                ]
+            else:
+                sketches = [factory() for _ in range(num_shards)]
+            if sketch_wrapper is not None:
+                sketches = [
+                    sketch_wrapper(shard, sketch)
+                    for shard, sketch in enumerate(sketches)
+                ]
+            self._workers = [
+                ShardWorker(shard, sketch, **self._worker_options)
                 for shard, sketch in enumerate(sketches)
             ]
-        self._workers = [
-            ShardWorker(shard, sketch, **self._worker_options)
-            for shard, sketch in enumerate(sketches)
-        ]
         self._supervisor: Optional[ShardSupervisor] = None
         if supervise:
             self._supervisor = ShardSupervisor(
@@ -285,11 +320,14 @@ class ShardedSketchService:
         Reads the manifest (shard count, partition mode, router seed) and
         recovers every shard's ``DurableSketch`` — snapshot plus WAL-tail
         replay — so the reassembled service answers exactly as the
-        pre-crash one did at its durable watermark.
+        pre-crash one did at its durable watermark.  The stored shard
+        backend is adopted too; pass ``backend=`` to override it (the
+        shard directories are backend-neutral).
         """
         manifest = read_manifest(directory)
         if manifest is None:
             raise FileNotFoundError(f"no service manifest under {directory}")
+        options.setdefault("backend", manifest.backend)
         return cls(
             factory,
             manifest.num_shards,
@@ -320,19 +358,65 @@ class ShardedSketchService:
         with self._progress:
             self._progress.notify_all()
 
+    def _shard_build(self, shard: int) -> Callable[[], Any]:
+        """The build closure for one shard (runs in the worker child).
+
+        Process-backend shards construct their sketch *after* the fork:
+        the closure opens the shard's ``DurableSketch`` (or calls the
+        plain factory) and applies the ``sketch_wrapper`` inside the
+        worker process, so the WAL handle, snapshots, and any injected
+        wrappers are owned by the child.
+        """
+        factory = self._factory
+        wrapper = self._sketch_wrapper
+        durable = self.durable
+        directory = (
+            self._manifest.shard_directory(self.directory, shard)
+            if durable
+            else None
+        )
+        options = self._durable_options
+
+        def build():
+            if durable:
+                sketch = DurableSketch.open(factory, directory, **options)
+            else:
+                sketch = factory()
+            if wrapper is not None:
+                sketch = wrapper(shard, sketch)
+            return sketch
+
+        return build
+
     def _rebuild_worker(self, shard: int, old: ShardWorker) -> ShardWorker:
         """Recover one shard from disk and return a fresh, unstarted worker.
 
-        The supervisor's rebuild hook: closes the poisoned store's WAL
-        handle best-effort, recovers the shard's ``DurableSketch``
-        (snapshot + WAL-tail replay — exactly the restart path), optionally
-        compacts with a fresh snapshot, re-applies the ``sketch_wrapper``,
-        and rebuilds the worker with the service's standard options.  The
-        supervisor installs watermark-correct seqnos and starts it.
+        The supervisor's rebuild hook.  Thread backend: closes the
+        poisoned store's WAL handle best-effort, recovers the shard's
+        ``DurableSketch`` (snapshot + WAL-tail replay — exactly the
+        restart path), optionally compacts with a fresh snapshot,
+        re-applies the ``sketch_wrapper``, and rebuilds the worker with
+        the service's standard options.  Process backend: makes sure the
+        old worker child is dead (two processes must never share a WAL),
+        then returns a fresh :class:`ProcessShardWorker` whose child will
+        run the same recovery when the supervisor starts it.  Either way
+        the supervisor installs watermark-correct seqnos and starts the
+        replacement.
         """
         if not self.durable or self._manifest is None:
             raise RuntimeError(
                 f"shard {shard} is not durable — nothing to rebuild from"
+            )
+        directory = self._manifest.shard_directory(self.directory, shard)
+        if self.backend == "process":
+            if isinstance(old, ProcessShardWorker):
+                old.ensure_child_dead()
+            return ProcessShardWorker(
+                shard,
+                self._shard_build(shard),
+                wal_directory=directory,
+                snapshot_on_open=self._snapshot_on_rebuild,
+                **self._worker_options,
             )
         wal = getattr(old.sketch, "wal", None)
         if wal is not None:
@@ -340,7 +424,6 @@ class ShardedSketchService:
                 wal.close()
             except Exception:  # poisoned mid-append; the handle may be torn
                 pass
-        directory = self._manifest.shard_directory(self.directory, shard)
         sketch = DurableSketch.open(
             self._factory, directory, **self._durable_options
         )
@@ -396,8 +479,7 @@ class ShardedSketchService:
         if self.durable:
             for worker in self._workers:
                 if worker.failure is None:
-                    with worker.lock:
-                        worker.sketch.close()
+                    worker.close_store()
         if failed and not force:
             raise ShardFailedError(failed[0].index, failed[0].failure)
 
@@ -578,14 +660,13 @@ class ShardedSketchService:
             return False
         if self.durable:
             for worker in self._workers:
-                with worker.lock:
-                    worker.sketch.flush()
+                worker.flush_store()
         return True
 
     # -- queries -----------------------------------------------------------
 
     def _supports(self, method: str) -> bool:
-        return hasattr(self._workers[0].sketch, method)
+        return self._workers[0].supports(method)
 
     def _owner(self, key) -> Optional[int]:
         """Owning shard for ``key`` under hash partitioning, else None."""
@@ -783,7 +864,10 @@ class ShardedSketchService:
         circuit-open) or the service is closed.  ``shard_states`` reports
         the supervisor's per-shard state machine; without supervision a
         poisoned worker reports ``FAILED`` directly (poisoning is terminal
-        there).
+        there).  ``shard_backends`` names each shard's execution backend
+        and, for the process backend, the worker child's PID (``null``
+        for in-process thread shards) — a wedged or killed child is
+        diagnosable from the endpoint alone.
         """
         failed = [
             worker.index for worker in self._workers if worker.failure is not None
@@ -809,6 +893,13 @@ class ShardedSketchService:
             "closed": self._closed,
             "failed_shards": failed,
             "shard_states": states,
+            "shard_backends": {
+                str(worker.index): {
+                    "backend": worker.backend,
+                    "pid": worker.pid,
+                }
+                for worker in self._workers
+            },
             "queue_depths": {
                 str(worker.index): worker.pending_items for worker in self._workers
             },
@@ -832,8 +923,19 @@ class ShardedSketchService:
         started :class:`~repro.telemetry.IntrospectionServer` — the caller
         owns its lifetime (``stop()`` it, or use it as a context manager);
         ``port=0`` binds an ephemeral port exposed as ``.port``.
+
+        Under ``backend="process"`` each scrape first pulls the worker
+        children's telemetry deltas (best-effort), so ``/metrics`` and
+        ``/spans`` include child-side activity up to the scrape.
         """
-        return IntrospectionServer(host=host, port=port, health=self.health).start()
+
+        def pull_children() -> None:
+            for worker in self._workers:
+                worker.pull_telemetry()
+
+        return IntrospectionServer(
+            host=host, port=port, health=self.health, on_scrape=pull_children
+        ).start()
 
     def cache_info(self) -> dict:
         """Coordinator answer-cache statistics."""
@@ -852,9 +954,9 @@ class ShardedSketchService:
                 "items_dropped": worker.items_dropped,
                 "failed": worker.failure is not None,
             }
+            entry["backend"] = worker.backend
             if self.durable and worker.failure is None:
-                with worker.lock:
-                    entry["durable"] = worker.sketch.stats()
+                entry["durable"] = worker.store_stats()
             shards.append(entry)
         payload = {
             "num_shards": self.num_shards,

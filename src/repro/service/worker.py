@@ -40,6 +40,8 @@ from typing import Any, Callable, Optional
 
 from repro.core.base import apply_stream_batch
 from repro.core.batch import StreamBatch
+from repro.service.backend import mark_shard_backend
+from repro.service.explain import shard_plan_details
 from repro.telemetry.registry import TELEMETRY as _TEL
 from repro.telemetry.spans import current_trace, record_span, span
 
@@ -87,6 +89,24 @@ class ShardFailedError(RuntimeError):
         self.cause = cause
 
 
+class ShardTimeoutError(RuntimeError):
+    """A per-shard query read did not complete within its deadline.
+
+    Thread backend: the shard's apply lock was not acquired in time (a
+    wedged or very slow fused apply holds it).  Process backend: the
+    worker child did not answer the query RPC in time.  Either way the
+    shard is *slow*, not known-dead — under ``partial="allow"`` the
+    coordinator certifies it missing with reason ``"timeout"``.
+    """
+
+    def __init__(self, shard: int, timeout: float):
+        super().__init__(
+            f"shard {shard} query did not complete within {timeout:g}s"
+        )
+        self.shard = shard
+        self.timeout = timeout
+
+
 class ShardWorker:
     """One shard: a private sketch, a bounded queue, and an apply thread.
 
@@ -127,7 +147,24 @@ class ShardWorker:
         Optional callback invoked (outside locks) after the applied seqno
         advances or the worker fails — the service uses it to wake
         watermark waiters.
+
+    Backend protocol
+    ----------------
+    ``ShardWorker`` is also the reference implementation of the shard
+    *backend* protocol (see :mod:`repro.service.backend`): everything
+    above it — coordinator, supervisor, facade — talks only through
+    ``submit`` / ``take_pending`` / ``request_drain`` / ``stop`` on the
+    write side and :meth:`query` / :meth:`supports` / :meth:`store_stats`
+    / :meth:`flush_store` / :meth:`close_store` on the read side, plus
+    the public seqno/counter attributes.
+    :class:`~repro.service.proc_worker.ProcessShardWorker` subclasses
+    this, overriding the apply hand-off and the read side with RPC.
     """
+
+    #: Backend name this worker class implements (``"thread"`` here).
+    backend = "thread"
+    #: Worker process id; ``None`` for the in-process thread backend.
+    pid: Optional[int] = None
 
     def __init__(
         self,
@@ -201,6 +238,7 @@ class ShardWorker:
     def start(self) -> None:
         """Start the apply thread (idempotent once)."""
         self._thread.start()
+        mark_shard_backend(self.index, self.backend, self.pid)
 
     def submit(self, batch, *args, timeout=None) -> int:
         """Enqueue one routed sub-batch; returns the number of items accepted.
@@ -350,6 +388,76 @@ class ShardWorker:
             self._cond.notify_all()
         return entries
 
+    # -- read side (backend protocol) --------------------------------------
+
+    def query(
+        self,
+        method: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        *,
+        want_details: bool = False,
+        post: Optional[Callable] = None,
+        timeout: Optional[float] = None,
+    ) -> tuple:
+        """Run one read on this shard's sketch; returns ``(result, details)``.
+
+        The read holds the shard's apply lock, so it observes the sketch
+        between fused applies, never mid-apply.  ``want_details`` consults
+        the explain plan hook (:func:`~repro.service.explain
+        .shard_plan_details`) under the same lock; ``post`` transforms the
+        result while the lock is still held (the coordinator deep-copies
+        live sketch objects here); ``timeout`` bounds the lock
+        acquisition and raises :class:`ShardTimeoutError` on expiry.
+        """
+        self.raise_if_failed()
+        if not self.lock.acquire(timeout=-1 if timeout is None else timeout):
+            raise ShardTimeoutError(self.index, timeout)
+        try:
+            details = (
+                shard_plan_details(self.sketch, method, args)
+                if want_details
+                else None
+            )
+            result = getattr(self.sketch, method)(*args, **(kwargs or {}))
+            if post is not None:
+                result = post(result)
+        finally:
+            self.lock.release()
+        return result, details
+
+    def supports(self, method: str) -> bool:
+        """Whether this shard's sketch answers ``method``."""
+        return hasattr(self.sketch, method)
+
+    def store_stats(self) -> Optional[dict]:
+        """The shard's durable-store counters, or None when not durable."""
+        with self.lock:
+            stats = getattr(self.sketch, "stats", None)
+            return None if stats is None else stats()
+
+    def flush_store(self) -> None:
+        """Force the shard's WAL to stable storage (durable shards only)."""
+        with self.lock:
+            flush = getattr(self.sketch, "flush", None)
+            if flush is not None:
+                flush()
+
+    def close_store(self) -> None:
+        """Close the shard's durable store (final snapshot + WAL release)."""
+        with self.lock:
+            close = getattr(self.sketch, "close", None)
+            if close is not None:
+                close()
+
+    def pull_telemetry(self) -> None:
+        """Sync child-process telemetry into this process (no-op here).
+
+        The thread backend records metrics and spans directly into the
+        process-global registry; only the process backend has anything to
+        pull.  Exists so scrape hooks can treat workers uniformly.
+        """
+
     # -- worker side -------------------------------------------------------
 
     def _drain_locked(self):
@@ -425,47 +533,7 @@ class ShardWorker:
                         items=len(part[0]),
                         seqno=part[1],
                     )
-            wal = getattr(self.sketch, "wal", None)
-            records_before = None if wal is None else wal.records_appended
-            try:
-                # the apply joins the first traced sub-batch's trace; the
-                # other fused sub-batches still link to it via their shared
-                # queue_wait/enqueue ancestry being drained together
-                with span(
-                    "service.apply_batch",
-                    parent=apply_parent,
-                    shard=self.index,
-                    items=taken,
-                    fused=len(parts),
-                ):
-                    with self.lock:
-                        apply_stream_batch(self.sketch, fused)
-            except BaseException as exc:  # noqa: BLE001 — includes SimulatedCrash
-                with self._cond:
-                    self.failure = exc
-                    if wal is not None and wal.records_appended == records_before:
-                        # the fused batch verifiably never reached the WAL
-                        # (the failure hit before the append completed): the
-                        # sketch is untouched, so push the sub-batches back
-                        # onto the queue front where a supervisor's salvage
-                        # will find them.  Once the append landed, recovery
-                        # replays the record from disk instead — re-parking
-                        # it here would double-apply.
-                        self._queue.extendleft(reversed(parts))
-                        self._pending_items += taken
-                    elif wal is not None:
-                        # the BATCH record landed before the failure: a
-                        # rebuild replays it from disk, so these items are
-                        # durably part of the shard — account them now or
-                        # the rebuilt shard's bookkeeping undercounts.
-                        self.items_applied += taken
-                        if last_seqno > self.applied_seqno:
-                            self.applied_seqno = last_seqno
-                        if _TEL.enabled:
-                            self._items_counter.inc(taken)
-                    self._cond.notify_all()
-                if self._on_progress is not None:
-                    self._on_progress()
+            if not self._apply_fused(parts, fused, taken, last_seqno, apply_parent):
                 return
             self.items_applied += taken
             if _TEL.enabled:
@@ -477,3 +545,63 @@ class ShardWorker:
                 self.applied_seqno = last_seqno
             if self._on_progress is not None:
                 self._on_progress()
+
+    def _apply_fused(self, parts, fused, taken, last_seqno, apply_parent) -> bool:
+        """Apply one fused batch; the backend-specific half of the loop.
+
+        Returns True on success (the caller accounts the items and
+        advances the applied seqno); on failure this method records the
+        poisoning — including the WAL-verified push-back-or-account
+        decision — and returns False, ending the apply loop.  The process
+        backend overrides this to ship the batch to its worker child.
+        """
+        wal = getattr(self.sketch, "wal", None)
+        records_before = None if wal is None else wal.records_appended
+        try:
+            # the apply joins the first traced sub-batch's trace; the
+            # other fused sub-batches still link to it via their shared
+            # queue_wait/enqueue ancestry being drained together
+            with span(
+                "service.apply_batch",
+                parent=apply_parent,
+                shard=self.index,
+                items=taken,
+                fused=len(parts),
+            ):
+                with self.lock:
+                    apply_stream_batch(self.sketch, fused)
+        except BaseException as exc:  # noqa: BLE001 — includes SimulatedCrash
+            wal_advanced = wal is not None and wal.records_appended != records_before
+            self._record_failure(
+                exc, parts, taken, last_seqno, durable=wal is not None,
+                wal_advanced=wal_advanced,
+            )
+            return False
+        return True
+
+    def _record_failure(
+        self, exc, parts, taken, last_seqno, *, durable, wal_advanced
+    ) -> None:
+        """Poison the worker, deciding push-back vs. durably-applied.
+
+        When the fused batch verifiably never reached a durable shard's
+        WAL, the sketch is untouched: the sub-batches go back onto the
+        queue front where a supervisor's salvage will find them.  Once the
+        append landed, recovery replays the record from disk instead —
+        re-parking it here would double-apply — so the items are
+        accounted as applied.
+        """
+        with self._cond:
+            self.failure = exc
+            if durable and not wal_advanced:
+                self._queue.extendleft(reversed(parts))
+                self._pending_items += taken
+            elif durable:
+                self.items_applied += taken
+                if last_seqno > self.applied_seqno:
+                    self.applied_seqno = last_seqno
+                if _TEL.enabled:
+                    self._items_counter.inc(taken)
+            self._cond.notify_all()
+        if self._on_progress is not None:
+            self._on_progress()

@@ -39,6 +39,7 @@ take locks too (rare and cold).
 from __future__ import annotations
 
 import bisect
+import os
 import re
 import threading
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -387,6 +388,30 @@ class TelemetryControl:
 
 #: The process-global telemetry control: one switch, one registry.
 TELEMETRY = TelemetryControl()
+
+
+def _reinit_locks_after_fork() -> None:
+    """Replace every metric lock in the child of a fork.
+
+    ``fork()`` copies lock *state*: a lock some other thread happened to
+    hold at fork time is permanently stuck in the child, where that
+    thread does not exist.  The process shard backend
+    (``repro.service.proc_worker``) forks workers while the parent's
+    telemetry is live, so the child swaps in fresh locks — replacing,
+    never acquiring, because acquiring a stuck lock is the deadlock this
+    exists to avoid.  Values may be mid-update garbage; the child resets
+    its registry before shipping deltas anyway.
+    """
+    registry = TELEMETRY.registry
+    registry._lock = threading.Lock()
+    for family in registry._families.values():
+        family._lock = threading.Lock()
+        for child in family.children.values():
+            child._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_reinit_locks_after_fork)
 
 
 def sketch_metrics(sketch: str) -> Tuple[Counter, Counter, Counter, Counter]:

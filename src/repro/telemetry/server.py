@@ -80,6 +80,15 @@ class _Handler(BaseHTTPRequestHandler):
         registry = self.server.registry  # type: ignore[attr-defined]
         spans: SpanCollector = self.server.spans  # type: ignore[attr-defined]
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        on_scrape = self.server.on_scrape  # type: ignore[attr-defined]
+        telemetry_route = path in ("/metrics", "/report", "/spans") or (
+            path.startswith("/traces")
+        )
+        if on_scrape is not None and telemetry_route:
+            try:
+                on_scrape()
+            except Exception:  # scraping must never fail on a sync hiccup
+                pass
         if path == "/metrics":
             self._send(200, "text/plain; version=0.0.4; charset=utf-8",
                        prometheus_text(registry))
@@ -140,6 +149,13 @@ class IntrospectionServer:
     registry, spans:
         The metric registry and span collector to serve (default: the
         process-global ones).
+    on_scrape:
+        Optional zero-argument callable invoked (exception-tolerant)
+        before serving any telemetry route (``/metrics``, ``/report``,
+        ``/spans``, ``/traces``...) — a freshness hook.  The sharded
+        service's process backend uses it to pull worker children's
+        metric/span deltas so a scrape reflects child-side activity.
+        ``/healthz`` skips the hook: liveness checks should stay cheap.
     """
 
     def __init__(
@@ -149,12 +165,14 @@ class IntrospectionServer:
         health: Optional[Callable[[], dict]] = None,
         registry: Optional[MetricsRegistry] = None,
         spans: Optional[SpanCollector] = None,
+        on_scrape: Optional[Callable[[], None]] = None,
     ):
         self._host = host
         self._requested_port = port
         self._health = health or _default_health
         self._registry = registry or TELEMETRY.registry
         self._spans = spans if spans is not None else SPANS
+        self._on_scrape = on_scrape
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -188,6 +206,7 @@ class IntrospectionServer:
         httpd.registry = self._registry  # type: ignore[attr-defined]
         httpd.spans = self._spans  # type: ignore[attr-defined]
         httpd.health = self._health  # type: ignore[attr-defined]
+        httpd.on_scrape = self._on_scrape  # type: ignore[attr-defined]
         self._httpd = httpd
         self._thread = threading.Thread(
             target=httpd.serve_forever,

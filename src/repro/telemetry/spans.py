@@ -56,6 +56,7 @@ ring buffer or lose ``dropped`` counts.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -193,6 +194,28 @@ class SpanCollector:
 
 #: The process-global span collector.
 SPANS = SpanCollector()
+
+
+def _reinit_after_fork() -> None:
+    """Make the span machinery safe in the child of a fork.
+
+    Three pieces of parent state are wrong in the child: the collector's
+    lock may have been held at fork time by a thread that no longer
+    exists (replaced, never acquired); the per-thread nesting stacks
+    belong to parent threads (fresh ``threading.local``); and the id
+    counter would hand out the same ids the parent hands out, colliding
+    when child spans ship back and merge into the parent's traces —
+    restart it from a pid-salted offset so the two sequences are
+    disjoint in practice.
+    """
+    global _IDS
+    SPANS._lock = threading.Lock()
+    SPANS._local = threading.local()
+    _IDS = itertools.count(((os.getpid() & 0xFFFFF) << 40) + 1)
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 _SPAN_WALL = TELEMETRY.registry.declare(
     "span_wall_seconds",

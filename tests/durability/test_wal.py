@@ -142,6 +142,43 @@ class TestIOErrors:
             assert appended < 100
         assert len(list(iter_records(tmp_path))) == appended
 
+    def test_crash_after_landed_write_counts_the_record(self, tmp_path):
+        """An append that raises *after* its frame fully landed must still
+        count: recovery will replay the on-disk record, so a caller that
+        re-submits the "failed" item would double-apply it."""
+        from repro.durability import SimulatedCrash
+
+        trace = FaultyFilesystem()
+        with WriteAheadLog(tmp_path / "trace", fs=trace, fsync_policy="always") as wal:
+            fill(wal, 3)
+        append_ops = [op.index for op in trace.ops if op.label.startswith("append:")]
+        # append_ops[0] is the segment-header append; [2] = second record
+        fs = FaultyFilesystem(FaultPlan(crash_at=append_ops[2], crash_mode="after"))
+        wal = WriteAheadLog(tmp_path / "state", fs=fs, fsync_policy="always")
+        with pytest.raises(SimulatedCrash):
+            fill(wal, 3)
+        # the second record's frame is complete on disk: accounted
+        assert wal.records_appended == 2
+        assert wal.next_seqno == 3
+        assert len(list(iter_records(tmp_path / "state"))) == wal.records_appended
+
+    def test_torn_crash_leaves_the_record_unaccounted(self, tmp_path):
+        """A torn write (partial frame) is recovery residue, not a record."""
+        from repro.durability import SimulatedCrash
+
+        trace = FaultyFilesystem()
+        with WriteAheadLog(tmp_path / "trace", fs=trace, fsync_policy="always") as wal:
+            fill(wal, 3)
+        append_ops = [op.index for op in trace.ops if op.label.startswith("append:")]
+        fs = FaultyFilesystem(FaultPlan(crash_at=append_ops[2], crash_mode="torn"))
+        wal = WriteAheadLog(tmp_path / "state", fs=fs, fsync_policy="always")
+        with pytest.raises(SimulatedCrash):
+            fill(wal, 3)
+        assert wal.records_appended == 1
+        assert wal.next_seqno == 2
+        scan = scan_segment(list_segments(tmp_path / "state")[-1])
+        assert scan.status == "torn" and len(scan.records) == 1
+
     def test_fsync_error_propagates_under_always(self, tmp_path):
         fs = FaultyFilesystem(FaultPlan(error_at=4))  # hits the first fsync
         wal = WriteAheadLog(tmp_path, fs=fs, fsync_policy="always")

@@ -22,6 +22,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
         "crash_recovery.py",
         "observability_tour.py",
         "sharded_service_tour.py",
+        "process_backend_tour.py",
     ],
 )
 def test_example_runs(script):

@@ -115,6 +115,33 @@ class TestSoak:
         entries = [json.loads(line) for line in trace.read_text().splitlines()]
         assert any(entry["kind"] == "event" for entry in entries)
 
+    def test_soak_recovers_exactly_with_process_backend(self, tmp_path):
+        """The same chaos bar holds when shards are worker processes.
+
+        Kills become real SIGKILLs of the children (which may land
+        mid-WAL-append), slow/wedge become blocking RPCs in the child's
+        command loop — recovery must still be exact.
+        """
+        keys, timestamps = stream(3000)
+        report = run_chaos_soak(
+            tmp_path / "state",
+            factory,
+            keys,
+            timestamps,
+            num_shards=2,
+            seed=SEED,
+            backend="process",
+            arrival_batch=150,
+            chaos_seed=5,
+            probe_keys=(1, 7, 30),
+            query_every=4,
+            fingerprint=fingerprint,
+            trace_path=tmp_path / "chaos-trace-process.jsonl",
+        )
+        assert report["ok"], report["anomalies"]
+        assert report["events_fired"] >= 1
+        assert report["rebuilds"] >= 1
+
     def test_soak_under_explicit_kill_storm(self, tmp_path):
         """A dense all-kill schedule still converges to exact recovery."""
         keys, timestamps = stream()

@@ -1,0 +1,345 @@
+"""Process shard backend: shm plumbing, equivalence, crash recovery.
+
+The ``backend="process"`` contract (ISSUE 8): same queueing, consistency,
+and failure semantics as the default thread backend, with the shard sketch
+living in a forked worker process.  Covered here:
+
+* the transport units — framed pickle pipes, the ref-counted
+  :class:`SegmentPool`, and the ``StreamBatch`` <-> shared-memory codec
+  (zero-copy read-only views, object-dtype inline fallback);
+* **bit-identical equivalence** (hypothesis): for random streams, the
+  process-backend service's frontier answers equal the thread-backend
+  service's and the single unsharded sketch's, exactly;
+* the operational surface — backend validation, ``stats()`` /
+  ``health()`` reporting per-shard backend + child PID, manifest
+  adoption on ``open()``, query timeouts while a child is busy;
+* telemetry wholeness — child-side spans and counters merge into the
+  parent registry so one ingest is still one connected trace;
+* crash tests (``-m crash``) — ``SIGKILL`` of a worker child mid-stream:
+  supervised durable services rebuild to a state bit-identical to a
+  fault-free replay; unsupervised workers report the death as a poisoned
+  shard rather than hanging.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import ChainCountMin, CheckpointChain, StreamBatch
+from repro.service import (
+    ProcessShardWorker,
+    SHARD_BACKENDS,
+    ShardFailedError,
+    ShardRouter,
+    ShardTimeoutError,
+    ShardedSketchService,
+)
+from repro.service.rpc import (
+    ChannelClosed,
+    ChildSegmentCache,
+    FramedPipe,
+    SegmentPool,
+    decode_batch,
+    encode_batch,
+)
+from repro.sketches import CountMinSketch
+from repro.telemetry.registry import TELEMETRY
+from repro.telemetry.spans import SPANS
+
+from tests.service.test_query_equivalence import make_stream, stream_params
+
+
+def cm_factory():
+    return CheckpointChain(lambda: CountMinSketch(256, 3, seed=9), eps=0.05)
+
+
+def chain_factory():
+    return ChainCountMin(width=256, depth=3, eps_ckpt=0.002, seed=5)
+
+
+class TestFramedPipe:
+    def test_round_trip_and_eof(self):
+        read_fd, write_fd = os.pipe()
+        pipe = FramedPipe(read_fd, write_fd)
+        pipe.send((1, "ping", {"payload": list(range(10))}))
+        assert pipe.recv() == (1, "ping", {"payload": list(range(10))})
+        pipe.close()
+        with pytest.raises(ChannelClosed):
+            pipe.send((2, "ping", None))
+
+    def test_recv_raises_when_peer_closes(self):
+        read_fd, write_fd = os.pipe()
+        pipe = FramedPipe(read_fd, None)
+        os.close(write_fd)
+        with pytest.raises(ChannelClosed):
+            pipe.recv()
+        pipe.close()
+
+
+class TestSegmentCodec:
+    def test_encode_decode_is_zero_copy_and_read_only(self):
+        pool = SegmentPool()
+        cache = ChildSegmentCache()
+        try:
+            batch = StreamBatch(
+                np.arange(1000, dtype=np.int64),
+                np.arange(1000, dtype=np.float64),
+                np.ones(1000, dtype=np.float64),
+            )
+            descriptor = encode_batch(batch, pool)
+            assert descriptor["kind"] == "shm"
+            decoded = decode_batch(descriptor, cache)
+            assert np.array_equal(decoded.values, batch.values)
+            assert np.array_equal(decoded.timestamps, batch.timestamps)
+            assert np.array_equal(decoded.weights, batch.weights)
+            for column in (decoded.values, decoded.timestamps, decoded.weights):
+                assert not column.flags.writeable
+            pool.release(descriptor["segment"])
+        finally:
+            cache.close()
+            pool.close()
+
+    def test_pool_recycles_released_segments(self):
+        pool = SegmentPool()
+        try:
+            first = pool.acquire(100)
+            name = first.shm.name
+            pool.release(name)
+            second = pool.acquire(200)
+            assert second.shm.name == name
+            assert pool.stats()["created"] == 1
+            assert pool.stats()["recycled"] == 1
+            # segment sizes are powers of two with a 64 KiB floor
+            assert second.size >= 1 << 16
+            assert second.size & (second.size - 1) == 0
+        finally:
+            pool.close()
+
+    def test_object_dtype_ships_inline(self):
+        pool = SegmentPool()
+        try:
+            batch = StreamBatch(
+                np.array([("a", 1), "b", None], dtype=object),
+                np.arange(3, dtype=np.float64),
+                None,
+            )
+            descriptor = encode_batch(batch, pool)
+            assert descriptor["kind"] == "inline"
+            assert decode_batch(descriptor, ChildSegmentCache()) is batch
+            assert pool.stats()["created"] == 0
+        finally:
+            pool.close()
+
+
+class TestBackendSelection:
+    def test_known_backends(self):
+        assert SHARD_BACKENDS == ("thread", "process")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ShardedSketchService(cm_factory, 2, backend="green-threads")
+
+    def test_child_build_error_surfaces_at_construction(self):
+        def broken():
+            raise ZeroDivisionError("no sketch for you")
+
+        with pytest.raises(ZeroDivisionError, match="no sketch for you"):
+            ShardedSketchService(broken, 1, backend="process")
+
+    def test_stats_and_health_report_backend_and_pid(self):
+        with ShardedSketchService(cm_factory, 2, backend="process") as service:
+            stats = service.stats()
+            health = service.health()
+            for shard in (0, 1):
+                assert stats["shards"][shard]["backend"] == "process"
+                entry = health["shard_backends"][str(shard)]
+                assert entry["backend"] == "process"
+                assert entry["pid"] not in (None, os.getpid())
+                assert entry["pid"] > 0
+        with ShardedSketchService(cm_factory, 1) as service:
+            entry = service.health()["shard_backends"]["0"]
+            assert entry == {"backend": "thread", "pid": None}
+
+    def test_busy_child_query_times_out(self):
+        with ShardedSketchService(
+            chain_factory, 1, backend="process", call_timeout=0.1
+        ) as service:
+            service.ingest_batch([1, 2, 3], [1.0, 2.0, 3.0])
+            assert service.drain(timeout=30)
+            service.estimate_at(1, 3.0)  # prime the supports cache
+            worker = service._workers[0]
+            sleeper = threading.Thread(
+                target=lambda: worker._rpc.call("sleep", {"seconds": 0.8}),
+                daemon=True,
+            )
+            sleeper.start()
+            time.sleep(0.05)  # let the sleep command reach the child
+            with pytest.raises(ShardTimeoutError, match="did not complete"):
+                service.estimate_at(2, 3.0)
+            sleeper.join(timeout=10)
+
+
+class TestProcessEquivalence:
+    @given(params=stream_params)
+    @settings(max_examples=5, deadline=None)
+    def test_frontier_identical_to_thread_and_single(self, params):
+        keys, timestamps, t = make_stream(params)
+        probes = [int(k) for k in np.unique(keys)[:8]]
+        tables, answers = {}, {}
+        for backend in SHARD_BACKENDS:
+            with ShardedSketchService(
+                cm_factory, params["shards"], backend=backend
+            ) as service:
+                for start in range(0, len(keys), 256):
+                    service.ingest_batch(
+                        keys[start : start + 256],
+                        timestamps[start : start + 256],
+                    )
+                assert service.drain(timeout=60)
+                frontier = service.merged_sketch_at(float(timestamps[-1]))
+                tables[backend] = frontier._table.copy()
+                answers[backend] = [frontier.query(key) for key in probes]
+        # process == thread, bit for bit, and both == the unsharded sketch
+        assert np.array_equal(tables["process"], tables["thread"])
+        assert answers["process"] == answers["thread"]
+        single = CountMinSketch(256, 3, seed=9)
+        single.update_batch(keys)
+        assert answers["process"] == [single.query(key) for key in probes]
+
+
+class TestManifestAdoption:
+    def test_open_adopts_process_backend(self, tmp_path):
+        with ShardedSketchService(
+            chain_factory, 2, backend="process", directory=tmp_path
+        ) as service:
+            service.ingest_batch(np.arange(50) % 7, np.arange(50, dtype=float))
+            assert service.flush(timeout=30)
+            expected = service.estimate_at(3, 49.0)
+        with ShardedSketchService.open(chain_factory, tmp_path) as reopened:
+            assert reopened.backend == "process"
+            assert reopened.estimate_at(3, 49.0) == expected
+
+
+@pytest.fixture()
+def enabled_telemetry():
+    TELEMETRY.registry.reset()
+    SPANS.clear()
+    TELEMETRY.enable()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.registry.reset()
+    SPANS.clear()
+
+
+class TestTelemetryAcrossTheForkBoundary:
+    def test_one_ingest_is_one_connected_trace(self, enabled_telemetry):
+        with ShardedSketchService(
+            cm_factory, 2, backend="process", partition="round_robin"
+        ) as service:
+            service.ingest_batch(list(range(8)), [float(i) for i in range(8)])
+            assert service.drain(timeout=30)
+            pids = {
+                entry["pid"]
+                for entry in service.health()["shard_backends"].values()
+            }
+        records = SPANS.snapshot()
+        (root,) = [r for r in records if r.name == "service.ingest_batch"]
+        trace = SPANS.trace(root.trace_id)
+        names = [r.name for r in trace]
+        # child-side applies and parent-side ships joined the same trace
+        assert names.count("service.apply_batch") == 2
+        assert names.count("service.shard_ship") == 2
+        ids = {r.span_id for r in trace}
+        for record in trace:
+            assert record.parent_id is None or record.parent_id in ids
+        # the backend info gauge carries each child's PID
+        for shard, worker in enumerate(service._workers):
+            gauge = TELEMETRY.gauge(
+                "service_shard_backend", shard=str(shard), backend="process"
+            )
+            assert gauge.value in pids
+
+
+@pytest.mark.crash
+class TestChildCrash:
+    N_ITEMS = 2_000
+    NUM_SHARDS = 2
+    SEED = 13
+
+    def stream(self):
+        keys = np.array(
+            [(i * i) % 41 for i in range(self.N_ITEMS)], dtype=np.int64
+        )
+        return keys, np.arange(self.N_ITEMS, dtype=float)
+
+    def test_sigkill_mid_stream_rebuilds_exactly(self, tmp_path):
+        """A SIGKILLed child is rebuilt from WAL+snapshot with no loss.
+
+        Unlike the thread backend's SimulatedCrash (which always aborts
+        before the WAL append), the signal can land anywhere — including
+        mid-append — so this also exercises the parent's on-disk
+        landed-or-not accounting and torn-tail recovery.
+        """
+        keys, timestamps = self.stream()
+        with ShardedSketchService(
+            chain_factory,
+            self.NUM_SHARDS,
+            seed=self.SEED,
+            backend="process",
+            directory=tmp_path,
+            durable_options={"fsync_policy": "always"},
+            supervise=True,
+            supervisor_options={"backoff_base": 0.01, "poll_interval": 0.02},
+        ) as service:
+            victim = service._workers[0].pid
+            for start in range(0, self.N_ITEMS, 125):
+                service.ingest_batch(
+                    keys[start : start + 125], timestamps[start : start + 125]
+                )
+                if start == 500:
+                    os.kill(victim, signal.SIGKILL)
+            assert service.drain(timeout=60)
+            deadline = time.monotonic() + 30
+            while not service.health()["healthy"]:
+                assert time.monotonic() < deadline, service.health()
+                time.sleep(0.02)
+            assert service._workers[0].pid != victim
+            # every shard's recovered state equals a fault-free replay
+            router = ShardRouter(self.NUM_SHARDS, mode="hash", seed=self.SEED)
+            shard_of = router.shards_of(keys)
+            for shard, worker in enumerate(service._workers):
+                reference = chain_factory()
+                reference.update_batch(
+                    keys[shard_of == shard], timestamps[shard_of == shard]
+                )
+                recovered = worker.sketch_state()
+                assert np.array_equal(
+                    recovered._cm.counters(), reference._cm.counters()
+                )
+                assert recovered.num_checkpoints() == reference.num_checkpoints()
+
+    def test_unsupervised_death_poisons_the_shard(self):
+        keys, timestamps = self.stream()
+        service = ShardedSketchService(
+            chain_factory, 1, seed=self.SEED, backend="process"
+        )
+        try:
+            service.ingest_batch(keys[:100], timestamps[:100])
+            assert service.drain(timeout=30)
+            os.kill(service._workers[0].pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            with pytest.raises(ShardFailedError):
+                while time.monotonic() < deadline:
+                    service.ingest_batch(
+                        keys[100:200], timestamps[100:200]
+                    )
+                    time.sleep(0.02)
+                raise AssertionError("dead child never surfaced as a failure")
+            assert service._workers[0].failure is not None
+        finally:
+            service.close(force=True)

@@ -193,6 +193,14 @@ class TestCacheCountingUnderConcurrency:
             def raise_if_failed(self):
                 pass
 
+            def query(self, method, args=(), kwargs=None, *,
+                      want_details=False, post=None, timeout=None):
+                with self.lock:
+                    result = getattr(self.sketch, method)(*args, **(kwargs or {}))
+                if post is not None:
+                    result = post(result)
+                return result, None
+
         coordinator = QueryCoordinator([_Worker()], watermark=lambda: 0,
                                        cache_size=256)
         threads, per_thread, distinct = 8, 200, 16

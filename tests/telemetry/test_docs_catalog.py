@@ -38,6 +38,7 @@ KNOWN_SPANS = (
     "service.enqueue",
     "service.queue_wait",
     "service.apply_batch",
+    "service.shard_ship",
     "service.query",
     "service.shard_call",
     "service.combine",
@@ -177,3 +178,33 @@ class TestIngestPageCatalog:
         registered = set(TELEMETRY.registry.names())
         stale = documented - registered
         assert not stale, f"docs/INGEST.md documents unknown metrics: {stale}"
+
+
+class TestScalingPageCatalog:
+    """docs/SCALING.md names only spans and metrics that really exist."""
+
+    SCALING = DOCS_DIR / "SCALING.md"
+
+    def test_page_exists(self):
+        assert self.SCALING.is_file()
+
+    def test_span_names_are_emitted(self):
+        text = self.SCALING.read_text()
+        mentioned = set(
+            re.findall(r"`((?:service|wal|store|recovery|harness)\.[a-z_]+)`", text)
+        )
+        unknown = mentioned - set(KNOWN_SPANS)
+        assert not unknown, f"docs/SCALING.md names unknown spans: {unknown}"
+
+    def test_metric_names_are_registered(self):
+        text = self.SCALING.read_text()
+        documented = set(
+            re.findall(r"`([a-z_]+(?:_total|_seconds|_bytes))`", text)
+        )
+        registered = set(TELEMETRY.registry.names())
+        stale = documented - registered
+        assert not stale, f"docs/SCALING.md documents unknown metrics: {stale}"
+
+    def test_backend_gauge_documented(self):
+        """The per-shard backend info gauge must stay on the page."""
+        assert "service_shard_backend" in self.SCALING.read_text()
