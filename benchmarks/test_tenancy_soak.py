@@ -1,0 +1,266 @@
+"""Multi-tenant Zipf soak: ceiling-held-via-spill, exact accounting, p99.
+
+The workload models a real multi-tenant ingest plane: a fleet of
+``N_TENANTS`` registered tenants (10k quick / 100k full) receives
+batches whose tenant is drawn from a Zipf distribution — a few hot
+tenants dominate, a long tail is touched once or twice — under a
+resident-bytes ceiling far below the fleet's total footprint, so the
+facade must continuously spill cold tenants and transparently reload
+them when the tail comes back.
+
+Acceptance, asserted here and recorded in
+``benchmarks/results/BENCH_tenancy.json``:
+
+* the resident-bytes ceiling holds throughout the soak, and held *via
+  spill* (spills observed, not just a fleet that happened to fit);
+* answers are **bit-identical** to a never-spilled offline replay of
+  each probed tenant's sub-stream (hot, churned, and tail tenants —
+  the probe itself reloads cold ones);
+* quota-rejected batches are *exactly* accounted: dropped receipts ==
+  the tenant record's reject counter == ``service_tenant_rejects_total``;
+* metric label cardinality stays within the top-K guard bound.
+
+Quick mode (``REPRO_TENANCY_QUICK=1``) is the CI ``tenant-soak`` job;
+the full soak is the same loop at 100k tenants.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.telemetry as telemetry
+from common import RESULTS_DIR
+from repro.core import ChainCountMin
+from repro.service import MultiTenantService, TenantQuota
+from repro.telemetry import TELEMETRY
+
+QUICK = os.environ.get("REPRO_TENANCY_QUICK", "") not in ("", "0")
+N_TENANTS = 10_000 if QUICK else 100_000
+N_EVENTS = 5_000 if QUICK else 50_000
+BATCH = 32
+UNIVERSE = 64
+ZIPF_ALPHA = 1.3
+LABEL_TENANTS = 8
+CEILING_BYTES = 256_000
+HEAVY_TENANT = "tenant-0"
+HEAVY_QUOTA = TenantQuota(rate=300.0, burst=600.0, policy="drop")
+N_PROBES = 15
+RESULT_PATH = RESULTS_DIR / "BENCH_tenancy.json"
+
+TENANT_FAMILIES = (
+    "service_tenant_ingest_items_total",
+    "service_tenant_rejects_total",
+    "service_tenant_queries_total",
+    "service_tenant_spills_total",
+    "service_tenant_reloads_total",
+)
+
+
+def factory():
+    return ChainCountMin(width=64, depth=2, eps_ckpt=0.02, seed=1)
+
+
+def probe_tenants(traffic):
+    """Hot heads, churned middle, and single-touch tail — N_PROBES ids."""
+    ranked = sorted(traffic, key=traffic.get, reverse=True)
+    head = ranked[:3]
+    middle = ranked[len(ranked) // 2 : len(ranked) // 2 + 7]
+    tail = ranked[-5:]
+    chosen = list(dict.fromkeys(head + middle + tail))
+    return chosen[:N_PROBES]
+
+
+@pytest.fixture(scope="module")
+def report():
+    telemetry.reset()
+    telemetry.enable()
+    rng = np.random.default_rng(29)
+    tenants = (rng.zipf(ZIPF_ALPHA, size=N_EVENTS) - 1) % N_TENANTS
+    tenants[0] = 0  # the heavy tenant is touched first: it owns its label
+    scratch = tempfile.TemporaryDirectory()
+    svc = MultiTenantService(
+        factory,
+        directory=Path(scratch.name),
+        num_shards=1,
+        max_resident_bytes=CEILING_BYTES,
+        label_tenants=LABEL_TENANTS,
+        accounting_interval=256,
+        durable_options={"fsync_policy": "off"},
+    )
+    t0 = time.perf_counter()
+    registered = svc.register_tenants(
+        (f"tenant-{i}" for i in range(N_TENANTS))
+    )
+    register_s = time.perf_counter() - t0
+    svc.set_quota(HEAVY_TENANT, HEAVY_QUOTA)
+
+    streams = {}  # tenant -> list of (keys, ts): the never-spilled truth
+    latencies = np.empty(N_EVENTS, dtype=float)
+    traffic = {}
+    dropped_receipts = 0
+    max_observed = 0
+    t0 = time.perf_counter()
+    for event, tenant_idx in enumerate(tenants):
+        tenant = f"tenant-{tenant_idx}"
+        keys = rng.integers(0, UNIVERSE, size=BATCH).astype(np.int64)
+        ts = np.arange(event * BATCH, event * BATCH + BATCH, dtype=float)
+        started = time.perf_counter()
+        receipt = svc.ingest_batch(tenant, keys, ts)
+        latencies[event] = time.perf_counter() - started
+        if receipt.dropped:
+            dropped_receipts += 1
+        else:
+            streams.setdefault(tenant, []).append((keys, ts))
+            traffic[tenant] = traffic.get(tenant, 0) + 1
+        if event % 500 == 499:
+            # refresh re-measures the fleet and re-applies the ceiling:
+            # the returned total is the enforced resident footprint
+            max_observed = max(
+                max_observed, svc.resident_bytes(refresh=True)
+            )
+    soak_s = time.perf_counter() - t0
+    max_observed = max(max_observed, svc.resident_bytes(refresh=True))
+    assert svc.drain(timeout=120)
+
+    fleet = svc.tenants()
+    spills_total = sum(
+        svc.registry.get(t).spills for t in traffic
+    )
+    reloads_total = sum(svc.registry.get(t).reloads for t in traffic)
+
+    # bit-identity: service answers vs a never-spilled offline replay
+    horizon = float(N_EVENTS * BATCH)
+    identity_checked = 0
+    probes = probe_tenants(traffic)
+    for tenant in probes:
+        parts = streams[tenant]
+        all_keys = np.concatenate([k for k, _ in parts])
+        all_ts = np.concatenate([t for _, t in parts])
+        reference = factory()
+        reference.update_batch(all_keys, all_ts)
+        for key in range(0, UNIVERSE, 9):
+            assert svc.estimate_at(tenant, key, horizon) == (
+                reference.estimate_at(key, horizon)
+            ), f"tenant {tenant} diverged from its never-spilled replay"
+            identity_checked += 1
+
+    # exact reject accounting, three independent ledgers
+    heavy_record = svc.registry.get(HEAVY_TENANT)
+    family = TELEMETRY.registry.get("service_tenant_rejects_total")
+    metric_rejects = sum(
+        child.value
+        for labels, child in family.samples()
+        if labels.get("tenant") == HEAVY_TENANT
+        and labels.get("reason") == "rate"
+    )
+    cardinalities = {}
+    for name in TENANT_FAMILIES:
+        fam = TELEMETRY.registry.get(name)
+        if fam is None:
+            continue
+        cardinalities[name] = len(
+            {labels["tenant"] for labels, _ in fam.samples()}
+        )
+
+    latencies_ms = np.sort(latencies) * 1e3
+    result = {
+        "quick_mode": QUICK,
+        "cpu_count": os.cpu_count(),
+        "n_tenants": N_TENANTS,
+        "n_events": N_EVENTS,
+        "batch": BATCH,
+        "zipf_alpha": ZIPF_ALPHA,
+        "distinct_touched": len(traffic),
+        "register_seconds": round(register_s, 3),
+        "registered": registered,
+        "soak_seconds": round(soak_s, 3),
+        "events_per_s": round(N_EVENTS / soak_s),
+        "ingest_latency_ms": {
+            "p50": round(float(latencies_ms[N_EVENTS // 2]), 4),
+            "p99": round(float(latencies_ms[(N_EVENTS * 99) // 100]), 4),
+            "max": round(float(latencies_ms[-1]), 4),
+        },
+        "resident_bytes_ceiling": CEILING_BYTES,
+        "max_observed_resident_bytes": int(max_observed),
+        "resident_at_end": fleet["resident"],
+        "spills_total": spills_total,
+        "reloads_total": reloads_total,
+        "bit_identity": {
+            "probed_tenants": len(probes),
+            "answers_checked": identity_checked,
+        },
+        "heavy_tenant": {
+            "id": HEAVY_TENANT,
+            "quota": {"rate": HEAVY_QUOTA.rate, "burst": HEAVY_QUOTA.burst},
+            "dropped_receipts": dropped_receipts,
+            "record_rejects": heavy_record.rejects["rate"],
+            "metric_rejects": int(metric_rejects),
+        },
+        "label_top_k": LABEL_TENANTS,
+        "tenant_label_cardinality": cardinalities,
+    }
+    svc.close()
+    scratch.cleanup()
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    telemetry.disable()
+    telemetry.reset()
+    return result
+
+
+class TestTenancySoak:
+    def test_resident_bytes_ceiling_held(self, report):
+        assert report["max_observed_resident_bytes"] <= (
+            report["resident_bytes_ceiling"]
+        )
+
+    def test_ceiling_held_via_spill_not_by_luck(self, report):
+        assert report["spills_total"] > 0
+        assert report["reloads_total"] > 0
+
+    def test_rejects_exactly_accounted(self, report):
+        heavy = report["heavy_tenant"]
+        assert heavy["dropped_receipts"] > 0, (
+            "the soak never tripped the heavy tenant's rate quota — "
+            "tighten HEAVY_QUOTA"
+        )
+        assert (
+            heavy["dropped_receipts"]
+            == heavy["record_rejects"]
+            == heavy["metric_rejects"]
+        )
+
+    def test_label_cardinality_bounded(self, report):
+        for family, cardinality in report["tenant_label_cardinality"].items():
+            assert cardinality <= report["label_top_k"] + 1, (
+                f"{family} leaked {cardinality} tenant label values"
+            )
+
+    def test_report_written(self, report):
+        assert RESULT_PATH.is_file()
+        on_disk = json.loads(RESULT_PATH.read_text())
+        assert on_disk["bit_identity"]["answers_checked"] > 0
+
+    def test_print_summary(self, report, capsys):
+        with capsys.disabled():
+            lat = report["ingest_latency_ms"]
+            print(
+                f"\ntenants={report['n_tenants']:,}  "
+                f"touched={report['distinct_touched']:,}  "
+                f"events={report['n_events']:,}x{report['batch']}"
+            )
+            print(
+                f"resident bytes max {report['max_observed_resident_bytes']:,}"
+                f" / ceiling {report['resident_bytes_ceiling']:,}  "
+                f"spills={report['spills_total']:,} "
+                f"reloads={report['reloads_total']:,}"
+            )
+            print(
+                f"ingest p50={lat['p50']}ms p99={lat['p99']}ms "
+                f"max={lat['max']}ms  "
+                f"rejects={report['heavy_tenant']['dropped_receipts']}"
+            )

@@ -1,0 +1,140 @@
+"""Multi-tenant tour: many isolated sketch families in one process.
+
+Stands up a durable :class:`repro.service.MultiTenantService` hosting a
+small fleet of tenants over one sketch factory, and walks the whole
+tenancy surface:
+
+* lazy registration and per-tenant isolation (same keys, different
+  tenants, different answers — and a shared answer cache that never
+  crosses tenants),
+* per-tenant quotas: a rate-limited tenant under the ``drop`` policy
+  and a strict tenant that raises ``TenantQuotaError``,
+* cold-tenant spill under a residency ceiling, with transparent
+  bit-identical reload on the next touch,
+* the fleet views: ``tenants()``, per-tenant memory via
+  ``breakdown(prefix="tenant/")``, guarded per-tenant metrics, and the
+  ``/tenants`` introspection route,
+* closing and reopening the whole root with
+  ``MultiTenantService.open``.
+
+The operator's guide is docs/TENANCY.md.
+
+Run:  python examples/multi_tenant_tour.py
+"""
+
+import json
+import tempfile
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+import repro.telemetry as telemetry
+from repro.core import ChainMisraGries
+from repro.service import MultiTenantService, TenantQuota, TenantQuotaError
+from repro.telemetry import breakdown
+
+EVENTS_PER_TENANT = 4_000
+UNIVERSE = 500
+
+
+def factory():
+    return ChainMisraGries(eps=0.005)
+
+
+def tenant_stream(seed, hot_key):
+    """A zipf stream with one tenant-specific hot key planted."""
+    rng = np.random.default_rng(seed)
+    keys = (rng.zipf(1.4, size=EVENTS_PER_TENANT) % UNIVERSE).astype(np.int64)
+    keys[:: 10] = hot_key  # every 10th event hits this tenant's hot key
+    timestamps = np.arange(EVENTS_PER_TENANT, dtype=float)
+    return keys, timestamps
+
+
+def main() -> None:
+    telemetry.enable()
+    root = Path(tempfile.mkdtemp(prefix="tenancy-tour-"))
+    horizon = float(EVENTS_PER_TENANT - 1)
+
+    svc = MultiTenantService(
+        factory,
+        directory=root,
+        num_shards=2,
+        max_resident_tenants=2,          # a tight ceiling, to show spill
+        label_tenants=3,                 # top-3 tenants keep their metric label
+        default_quota=TenantQuota(rate=500_000.0),
+    )
+    print(f"durable multi-tenant root: {root}")
+
+    # --- isolation: same keys, per-tenant answers --------------------------
+    hot = {"acme": 7, "globex": 11, "initech": 13}
+    with svc:
+        for seed, (tenant, hot_key) in enumerate(hot.items()):
+            keys, timestamps = tenant_stream(seed, hot_key)
+            receipt = svc.ingest_batch(tenant, keys, timestamps)
+            svc.wait_for(receipt)
+        print("\nper-tenant hot-key estimates at the same timestamp:")
+        for tenant, hot_key in hot.items():
+            mine = svc.estimate_at(tenant, hot_key, horizon)
+            other = svc.estimate_at(tenant, hot["acme" if tenant != "acme" else "globex"], horizon)
+            print(f"  {tenant:8s} own hot key {hot_key:3d} -> {mine:7.0f}   "
+                  f"another tenant's hot key -> {other:5.0f}")
+
+        # --- residency: the ceiling already spilled someone ----------------
+        print(f"\nresident (ceiling=2): {svc.resident_tenants()}")
+        spilled = [t for t in hot if svc.registry.get(t).spills]
+        print(f"spilled so far:       {spilled}")
+        before = svc.estimate_at("acme", hot["acme"], horizon)
+        print(f"touching 'acme' reloads it transparently: "
+              f"estimate {before:.0f} "
+              f"(reloads={svc.registry.get('acme').reloads})")
+
+        # --- quotas --------------------------------------------------------
+        svc.register_tenant("freeloader", quota=TenantQuota(rate=100.0, burst=200.0, policy="drop"))
+        svc.register_tenant("strict", quota=TenantQuota(rate=100.0, burst=200.0, policy="error"))
+        keys = np.arange(200, dtype=np.int64) % UNIVERSE
+        timestamps = np.arange(200, dtype=float)
+        print("\nquota admission (rate=100/s, burst=200):")
+        first = svc.ingest_batch("freeloader", keys, timestamps)
+        second = svc.ingest_batch("freeloader", keys, timestamps + 200)
+        print(f"  freeloader batch 1: accepted={first.accepted}")
+        print(f"  freeloader batch 2: dropped={second.dropped} (seqno={second.seqno})")
+        svc.ingest_batch("strict", keys, timestamps)
+        try:
+            svc.ingest_batch("strict", keys, timestamps + 200)
+        except TenantQuotaError as exc:
+            print(f"  strict batch 2: {type(exc).__name__} reason={exc.reason} "
+                  f"retry_after={exc.retry_after:.2f}s")
+
+        # --- fleet observability -------------------------------------------
+        fleet = svc.tenants()
+        print(f"\nfleet: known={fleet['known']} resident={fleet['resident']} "
+              f"(label guard top_k={fleet['label_guard']['top_k']}, "
+              f"cardinality={fleet['label_guard']['cardinality']})")
+        svc.publish_memory()
+        print("per-tenant resident bytes (breakdown(prefix='tenant/')):")
+        for owner, components in sorted(breakdown(prefix="tenant/").items()):
+            print(f"  {owner:12s} total={components.get('total', 0):6d}  "
+                  f"({len(components) - 1} shard components)")
+
+        with svc.serve_introspection(port=0) as server:
+            payload = json.loads(
+                urllib.request.urlopen(server.url + "/tenants").read()
+            )
+            print(f"GET /tenants -> known={payload['known']} "
+                  f"resident_order={payload['resident_order']}")
+
+    # --- durable reopen: everything comes back cold ------------------------
+    reopened = MultiTenantService.open(root, factory=factory)
+    with reopened:
+        print(f"\nreopened: tenants={reopened.known_tenants()} "
+              f"resident={reopened.resident_tenants()}")
+        after = reopened.estimate_at("acme", hot["acme"], horizon)
+        print(f"acme hot key after reopen: {after:.0f} "
+              f"({'bit-identical' if after == before else 'MISMATCH'})")
+
+    telemetry.disable()
+
+
+if __name__ == "__main__":
+    main()

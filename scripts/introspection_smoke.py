@@ -4,8 +4,10 @@ Starts a sharded service with telemetry enabled, ingests a traced workload,
 serves introspection on an ephemeral port, then hits it with ``curl`` from
 a real subprocess: ``/healthz`` must answer 200 with a healthy payload and
 the ``/metrics`` body must be byte-identical to the in-process
-``prometheus_text()`` rendering.  Exits non-zero (with a diff) on any
-mismatch.  Run from the repo root::
+``prometheus_text()`` rendering.  Then stands up a ``MultiTenantService``
+and curls ``/tenants``, which must agree with the in-process ``tenants()``
+fleet summary.  Exits non-zero (with a diff) on any mismatch.  Run from
+the repo root::
 
     PYTHONPATH=src python scripts/introspection_smoke.py
 """
@@ -15,8 +17,10 @@ import json
 import subprocess
 import sys
 
+import numpy as np
+
 from repro.core import ChainMisraGries
-from repro.service import ShardedSketchService
+from repro.service import MultiTenantService, ShardedSketchService
 from repro.telemetry import export
 from repro.telemetry.registry import TELEMETRY
 
@@ -62,6 +66,34 @@ def main() -> int:
                 return 1
             lines = len(scraped.splitlines())
             print(f"PASS /metrics identical to prometheus_text() ({lines} lines)")
+
+    with MultiTenantService(
+        lambda: ChainMisraGries(eps=0.01), num_shards=1
+    ) as tenancy:
+        for tenant in ("acme", "globex"):
+            keys = np.arange(50, dtype=np.int64)
+            receipt = tenancy.ingest_batch(tenant, keys, keys.astype(float))
+            tenancy.wait_for(receipt)
+        with tenancy.serve_introspection() as server:
+            scraped = json.loads(curl(server.url + "/tenants"))
+            expected = tenancy.tenants()
+            if scraped != expected:
+                print(
+                    f"FAIL: /tenants differs:\nscraped:  {scraped}\n"
+                    f"expected: {expected}",
+                    file=sys.stderr,
+                )
+                return 1
+            if scraped["known"] != 2 or set(scraped["resident_order"]) != {
+                "acme",
+                "globex",
+            }:
+                print(f"FAIL: /tenants fleet wrong: {scraped}", file=sys.stderr)
+                return 1
+            print(
+                f"PASS /tenants matches tenants() "
+                f"(known={scraped['known']}, resident={scraped['resident']})"
+            )
     return 0
 
 

@@ -33,7 +33,15 @@ This package is that layer:
 * :class:`ShardedSketchService` — the facade: lifecycle, global seqnos and
   the ingest watermark (read-your-writes), typed ATTP/BITP queries, and
   optional per-shard :class:`~repro.durability.DurableSketch` wrapping with
-  a topology manifest for full-service crash recovery.
+  a topology manifest for full-service crash recovery;
+* :class:`MultiTenantService` / :class:`TenantRegistry` — the tenancy
+  layer: many independently-budgeted sketch families under one memory
+  envelope, with per-tenant :class:`TenantQuota` enforcement
+  (:class:`TokenBucket` rates, resident-byte ceilings,
+  :class:`TenantQuotaError` rejects), LRU cold-tenant spill/reload
+  through the durability path, a shared tenant-partitioned
+  :class:`AnswerCache`, and :class:`TenantLabelGuard`-bounded per-tenant
+  metrics (see docs/TENANCY.md).
 
 See docs/SERVICE.md for architecture, consistency semantics, backpressure
 policies, failure handling / degraded mode, and sizing guidance.
@@ -50,6 +58,7 @@ from repro.service.chaos import (
     run_soak as run_chaos_soak,
 )
 from repro.service.coordinator import (
+    AnswerCache,
     COMBINERS,
     PARTIAL_POLICIES,
     QueryCoordinator,
@@ -63,9 +72,25 @@ from repro.service.explain import (
     shard_plan_details,
 )
 from repro.service.proc_worker import ProcessShardWorker
+from repro.service.quotas import (
+    QUOTA_REASONS,
+    TenantQuota,
+    TenantQuotaError,
+    TokenBucket,
+    UNLIMITED_QUOTA,
+)
 from repro.service.router import PARTITION_MODES, ShardRouter
 from repro.service.service import IngestReceipt, ShardedSketchService
 from repro.service.supervisor import SHARD_STATES, ShardSupervisor
+from repro.service.tenancy import (
+    MultiTenantService,
+    OTHER_LABEL,
+    TENANT_MEMORY_PREFIX,
+    TenantLabelGuard,
+    TenantReceipt,
+    TenantRegistry,
+    UnknownTenantError,
+)
 from repro.service.worker import (
     BACKPRESSURE_POLICIES,
     BackpressureError,
@@ -74,6 +99,7 @@ from repro.service.worker import (
 )
 
 __all__ = [
+    "AnswerCache",
     "BACKPRESSURE_POLICIES",
     "BackpressureError",
     "CHAOS_KINDS",
@@ -84,10 +110,13 @@ __all__ = [
     "ChaosSketch",
     "ErrorCertificate",
     "IngestReceipt",
+    "MultiTenantService",
+    "OTHER_LABEL",
     "PARTIAL_POLICIES",
     "PARTITION_MODES",
     "PLAN_HOOKS",
     "ProcessShardWorker",
+    "QUOTA_REASONS",
     "QueryCoordinator",
     "QueryPlan",
     "SHARD_BACKENDS",
@@ -99,6 +128,15 @@ __all__ = [
     "ShardTimeoutError",
     "ShardWorker",
     "ShardedSketchService",
+    "TENANT_MEMORY_PREFIX",
+    "TenantLabelGuard",
+    "TenantQuota",
+    "TenantQuotaError",
+    "TenantReceipt",
+    "TenantRegistry",
+    "TokenBucket",
+    "UNLIMITED_QUOTA",
+    "UnknownTenantError",
     "random_chaos_schedule",
     "run_chaos_soak",
     "shard_plan_details",

@@ -9,11 +9,15 @@ the process backend's worker child serves commands strictly sequentially —
 so a query observes each sketch between fused batch applies, never
 mid-apply.
 
-Answers are memoised in a small LRU keyed by ``(method, args, watermark)``:
+Answers are memoised in an LRU keyed by ``(method, args, watermark)``:
 because the ingest watermark is part of the key, any watermark advance
 automatically invalidates every cached answer — no explicit invalidation
-hooks, no stale reads.  Cache hits/misses and per-operation fan-out latency
-are exported through :mod:`repro.telemetry`.
+hooks, no stale reads.  The store is an :class:`AnswerCache`: every key is
+additionally scoped by the coordinator's *namespace* (process-unique by
+default, the tenant id under multi-tenancy), so several services can share
+one bounded cache without ever serving each other's answers, with fair
+eviction across the namespaces.  Cache hits/misses and per-operation
+fan-out latency are exported through :mod:`repro.telemetry`.
 
 Degraded mode
 -------------
@@ -36,6 +40,7 @@ Two knobs keep queries answering while shards are down:
 from __future__ import annotations
 
 import copy
+import itertools
 import time
 from collections import OrderedDict
 from threading import Lock
@@ -100,6 +105,112 @@ COMBINERS = {
     "list": list,
 }
 
+#: Distinguishes "no cached answer" from a cached ``None`` answer.
+_MISS = object()
+
+#: Default-namespace allocator: every coordinator that is not given an
+#: explicit namespace gets a process-unique one, so two services can never
+#: collide in a shared cache by accident.
+_NAMESPACE_COUNTER = itertools.count()
+
+
+class AnswerCache:
+    """A namespaced LRU answer cache, shareable across query coordinators.
+
+    Entries live in per-namespace partitions; a cache key never leaves its
+    namespace, so two services (or two tenants) sharing one cache can never
+    serve each other's answers even when their ``(method, args, watermark)``
+    tuples collide — the bug class multi-tenancy makes fatal.
+
+    Eviction is *fair*: when the global ``capacity`` is exceeded, the
+    oldest entry of the **largest** partition is evicted.  A hot namespace
+    therefore cannibalises its own answers first and can only displace
+    another namespace's entries once it holds fewer than that namespace —
+    a cold tenant's freshly warmed answers survive a busy neighbour.
+
+    All operations are thread-safe (one internal lock).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._parts: "OrderedDict[str, OrderedDict]" = OrderedDict()
+        self._size = 0
+        self._lock = Lock()
+
+    def __len__(self) -> int:
+        """Entries currently cached, across every namespace."""
+        return self._size
+
+    def get(self, namespace: str, key):
+        """The cached answer for ``(namespace, key)``, or the miss marker.
+
+        Returns :data:`_MISS` (a private sentinel, compared by identity by
+        the coordinator) on a miss so that a legitimately cached ``None``
+        answer still counts as a hit.  A hit refreshes the entry's recency
+        within its partition.
+        """
+        with self._lock:
+            part = self._parts.get(namespace)
+            if part is None or key not in part:
+                return _MISS
+            part.move_to_end(key)
+            return part[key]
+
+    def put(self, namespace: str, key, answer) -> None:
+        """Insert (or refresh) one answer, evicting fairly past capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            part = self._parts.get(namespace)
+            if part is None:
+                part = self._parts[namespace] = OrderedDict()
+            if key in part:
+                part.move_to_end(key)
+                part[key] = answer
+                return
+            part[key] = answer
+            self._size += 1
+            while self._size > self.capacity:
+                victim_ns, victim = max(
+                    self._parts.items(), key=lambda item: len(item[1])
+                )
+                victim.popitem(last=False)
+                self._size -= 1
+                if not victim:
+                    del self._parts[victim_ns]
+
+    def drop_namespace(self, namespace: str) -> int:
+        """Invalidate every entry of one namespace; returns entries dropped.
+
+        The tenancy layer calls this when a tenant is spilled or reloaded:
+        a reloaded service restarts its watermark from zero, so pre-spill
+        entries keyed by old watermarks must not survive into the new
+        sequence numbering.
+        """
+        with self._lock:
+            part = self._parts.pop(namespace, None)
+            if part is None:
+                return 0
+            self._size -= len(part)
+            return len(part)
+
+    def namespace_size(self, namespace: str) -> int:
+        """Entries currently cached under ``namespace``."""
+        with self._lock:
+            part = self._parts.get(namespace)
+            return 0 if part is None else len(part)
+
+    def info(self) -> dict:
+        """Size/capacity snapshot, with the per-namespace entry counts."""
+        with self._lock:
+            return {
+                "size": self._size,
+                "capacity": self.capacity,
+                "namespaces": {ns: len(part) for ns, part in self._parts.items()},
+            }
+
 
 class QueryCoordinator:
     """Fans queries across shard workers and combines their answers.
@@ -131,6 +242,18 @@ class QueryCoordinator:
         supervisor redirect buffer — counted into a certificate's
         ``missing_items`` so degraded answers account for acknowledged
         items awaiting replay.
+    cache:
+        Optional shared :class:`AnswerCache`.  By default the coordinator
+        builds a private cache of ``cache_size`` entries; passing one in
+        lets many coordinators (the multi-tenant service's per-tenant
+        services) share a single bounded, fairly-evicted cache — entries
+        stay partitioned by ``namespace``.
+    namespace:
+        This coordinator's cache namespace.  Defaults to a process-unique
+        id, so distinct services can never collide even in a shared cache;
+        the tenancy layer passes the tenant's stable namespace instead (a
+        spilled-and-reloaded tenant must be able to invalidate exactly its
+        own entries).
 
     The coordinator keeps a live reference to ``workers`` (no copy): a
     supervisor that swaps a rebuilt worker into the list in place is
@@ -146,6 +269,8 @@ class QueryCoordinator:
         call_timeout: Optional[float] = None,
         partial: str = "reject",
         parked_items: Optional[Callable[[int], int]] = None,
+        cache: Optional[AnswerCache] = None,
+        namespace: Optional[str] = None,
     ):
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
@@ -157,12 +282,19 @@ class QueryCoordinator:
             )
         self._workers = workers
         self._watermark = watermark
-        self._cache_size = cache_size
         self.call_timeout = call_timeout
         self.partial = partial
         self._parked_items = parked_items
-        self._cache: OrderedDict = OrderedDict()
-        self._cache_lock = Lock()
+        if cache is not None:
+            self._cache: Optional[AnswerCache] = cache
+        elif cache_size > 0:
+            self._cache = AnswerCache(cache_size)
+        else:
+            self._cache = None
+        self.namespace = (
+            f"svc-{next(_NAMESPACE_COUNTER)}" if namespace is None else namespace
+        )
+        self._stats_lock = Lock()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -296,32 +428,36 @@ class QueryCoordinator:
         with span(
             "service.query", op=method, combine=combine_name, watermark=watermark
         ) as query_span:
-            with self._cache_lock:
-                # hit *and* miss accounting both live under the lock — the
-                # plain-int counters are read back by cache_info() and lose
-                # updates under concurrent queries otherwise
-                if self._cache_size and key in self._cache:
-                    self._cache.move_to_end(key)
+            cached = (
+                _MISS
+                if self._cache is None
+                else self._cache.get(self.namespace, key)
+            )
+            if cached is not _MISS:
+                # counter updates live under the stats lock — the plain-int
+                # counters are read back by cache_info() and lose updates
+                # under concurrent queries otherwise
+                with self._stats_lock:
                     self.cache_hits += 1
-                    if _TEL.enabled:
-                        _CACHE_HITS.inc()
-                    query_span.set_attr("cache", "hit")
-                    answer = self._cache[key]
-                    if explain:
-                        plan = QueryPlan(
-                            method=method,
-                            args=args,
-                            combine=combine_name,
-                            shard=shard,
-                            watermark=watermark,
-                            cache_hit=True,
-                            wall_seconds=time.perf_counter() - start,
-                        )
-                        return answer, plan
-                    return answer
-                self.cache_misses += 1
                 if _TEL.enabled:
-                    _CACHE_MISSES.inc()
+                    _CACHE_HITS.inc()
+                query_span.set_attr("cache", "hit")
+                if explain:
+                    plan = QueryPlan(
+                        method=method,
+                        args=args,
+                        combine=combine_name,
+                        shard=shard,
+                        watermark=watermark,
+                        cache_hit=True,
+                        wall_seconds=time.perf_counter() - start,
+                    )
+                    return cached, plan
+                return cached
+            with self._stats_lock:
+                self.cache_misses += 1
+            if _TEL.enabled:
+                _CACHE_MISSES.inc()
             query_span.set_attr("cache", "miss")
             # a certificate needs per-shard error bounds, so degraded mode
             # collects shard plans even when the caller did not ask to
@@ -370,14 +506,10 @@ class QueryCoordinator:
             wall = time.perf_counter() - start
             if _TEL.enabled:
                 _TEL.histogram("service_query_seconds", op=method).observe(wall)
-            if self._cache_size and certificate is None:
+            if self._cache is not None and certificate is None:
                 # partial answers are never cached: the cache only ever
                 # holds answers that covered every shard
-                with self._cache_lock:
-                    self._cache[key] = answer
-                    self._cache.move_to_end(key)
-                    while len(self._cache) > self._cache_size:
-                        self._cache.popitem(last=False)
+                self._cache.put(self.namespace, key, answer)
             if explain:
                 plan = QueryPlan(
                     method=method,
@@ -452,11 +584,29 @@ class QueryCoordinator:
         )
 
     def cache_info(self) -> dict:
-        """Hit/miss/size snapshot of the answer cache."""
-        with self._cache_lock:
+        """Hit/miss/size snapshot of this coordinator's answer-cache view.
+
+        ``hits``/``misses`` are this coordinator's own; ``size``/
+        ``capacity`` describe the (possibly shared) underlying
+        :class:`AnswerCache`, and ``namespace_size`` is the slice of it
+        holding this coordinator's entries.
+        """
+        with self._stats_lock:
+            hits, misses = self.cache_hits, self.cache_misses
+        if self._cache is None:
             return {
-                "hits": self.cache_hits,
-                "misses": self.cache_misses,
-                "size": len(self._cache),
-                "capacity": self._cache_size,
+                "hits": hits,
+                "misses": misses,
+                "size": 0,
+                "capacity": 0,
+                "namespace": self.namespace,
+                "namespace_size": 0,
             }
+        return {
+            "hits": hits,
+            "misses": misses,
+            "size": len(self._cache),
+            "capacity": self._cache.capacity,
+            "namespace": self.namespace,
+            "namespace_size": self._cache.namespace_size(self.namespace),
+        }

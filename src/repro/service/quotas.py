@@ -1,0 +1,203 @@
+"""Per-tenant quotas: token-bucket update rates and resident-byte budgets.
+
+A multi-tenant sketch platform admits traffic it never fully trusts: one
+tenant's burst must not starve the shard workers, and one tenant's sketch
+family must not eat the whole memory envelope.  This module is the policy
+half of that story — :mod:`repro.service.tenancy` is the mechanism half:
+
+* :class:`TokenBucket` — the classic refill-at-``rate`` bucket bounding a
+  tenant's sustained update rate while allowing bursts up to ``burst``
+  items; injectable clock for deterministic tests;
+* :class:`TenantQuota` — one tenant's limits (update rate, resident
+  bytes) plus the enforcement ``policy``, reusing the shard backpressure
+  vocabulary (:data:`~repro.service.BACKPRESSURE_POLICIES`): ``"block"``
+  waits for budget, ``"drop"`` discards and counts, ``"error"`` raises
+  :class:`TenantQuotaError` (the HTTP-429 shape);
+* :class:`TenantQuotaError` — a :class:`~repro.service.BackpressureError`
+  subclass carrying the tenant and the exhausted resource, so callers can
+  distinguish "your quota" from "the shard queue".
+
+Every quota rejection — dropped or raised — is accounted per tenant in
+``service_tenant_rejects_total`` (label-guarded; see docs/TENANCY.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.service.worker import BACKPRESSURE_POLICIES, BackpressureError
+
+#: Reasons a quota can reject ingest, as ``service_tenant_rejects_total``
+#: ``reason`` label values.
+QUOTA_REASONS = ("rate", "bytes")
+
+
+class TenantQuotaError(BackpressureError):
+    """A tenant's quota rejected an ingest call (the 429 of this service).
+
+    ``tenant`` names the offender, ``reason`` the exhausted resource
+    (``"rate"`` or ``"bytes"``), and ``retry_after`` — for rate
+    rejections — the seconds until the token bucket could admit the batch.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        reason: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """Token bucket: sustained ``rate`` tokens/second, bursts to ``burst``.
+
+    The bucket starts full.  :meth:`try_take` is non-blocking — it either
+    debits ``n`` tokens and returns ``0.0``, or leaves the bucket untouched
+    and returns the seconds until ``n`` tokens will have accumulated
+    (callers implement block/drop/error on top).  Thread-safe; ``clock``
+    is injectable (monotonic seconds) so tests can drive time by hand.
+
+    Requests larger than ``burst`` are admissible once the bucket is full —
+    the bucket then goes negative, borrowing against future refill — so a
+    single oversized batch cannot be rejected forever.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/s, got {rate}")
+        burst = rate if burst is None else burst
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0 tokens, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def try_take(self, n: float) -> float:
+        """Debit ``n`` tokens if possible; else the seconds until possible.
+
+        Returns ``0.0`` on success.  A positive return is the wait until
+        the bucket will hold the needed tokens at the current rate (the
+        ``retry_after`` of a 429); nothing is debited on failure.
+        """
+        if n < 0:
+            raise ValueError(f"token request must be >= 0, got {n}")
+        with self._lock:
+            self._refill_locked(self._clock())
+            # an oversized request is granted from a full bucket (the
+            # balance goes negative, borrowing against future refill);
+            # otherwise it could never be admitted at all
+            needed = min(n, self.burst)
+            if self._tokens >= needed:
+                self._tokens -= n
+                return 0.0
+            return (needed - self._tokens) / self.rate
+
+    def take(self, n: float, timeout: Optional[float] = None) -> bool:
+        """Blocking :meth:`try_take`: sleep until admitted or deadline.
+
+        Returns True once the tokens are debited; False when ``timeout``
+        seconds elapse first (nothing debited).  ``timeout=None`` waits as
+        long as the bucket says it must.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            wait = self.try_take(n)
+            if wait == 0.0:
+                return True
+            if deadline is not None:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                wait = min(wait, remaining)
+            time.sleep(min(wait, 0.05))
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (after refilling to now); for tests and stats."""
+        with self._lock:
+            self._refill_locked(self._clock())
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission limits and the policy when they are hit.
+
+    Attributes
+    ----------
+    rate:
+        Sustained update budget, items/second (``None`` = unlimited).
+    burst:
+        Token-bucket burst capacity, items (default: one second's worth).
+    max_resident_bytes:
+        Ceiling on the tenant's modelled resident bytes
+        (:meth:`~repro.service.ShardedSketchService.resident_bytes`);
+        ``None`` = unlimited.  Checked against the tenancy layer's cached
+        measurement, so enforcement lags by at most the accounting
+        interval.
+    policy:
+        What an over-quota ingest gets — the shard backpressure
+        vocabulary: ``"block"`` (rate only: wait for tokens, up to
+        ``block_timeout``), ``"drop"`` (discard the batch, count it), or
+        ``"error"`` (raise :class:`TenantQuotaError`).  Byte-quota
+        violations under ``"block"`` degrade to ``"error"``: blocking
+        cannot shrink a sketch.
+    block_timeout:
+        Deadline (seconds) for the ``"block"`` policy's token wait;
+        ``None`` waits indefinitely.
+    """
+
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    max_resident_bytes: Optional[int] = None
+    policy: str = "block"
+    block_timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"policy must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.policy!r}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be > 0 items/s, got {self.rate}")
+        if self.burst is not None and self.rate is None:
+            raise ValueError("burst without rate makes no bucket")
+        if self.max_resident_bytes is not None and self.max_resident_bytes <= 0:
+            raise ValueError(
+                f"max_resident_bytes must be > 0, got {self.max_resident_bytes}"
+            )
+
+    def make_bucket(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> Optional[TokenBucket]:
+        """The tenant's :class:`TokenBucket`, or None when rate-unlimited."""
+        if self.rate is None:
+            return None
+        return TokenBucket(self.rate, self.burst, clock=clock)
+
+
+#: The wide-open default: no rate, no byte ceiling, blocking policy.
+UNLIMITED_QUOTA = TenantQuota()

@@ -131,6 +131,14 @@ class ShardedSketchService:
         happen at (deferred) submit time and appear in :meth:`stats`.
     cache_size:
         Coordinator answer-cache capacity (``0`` disables).
+    cache:
+        Optional shared :class:`~repro.service.AnswerCache` — the
+        multi-tenant service passes one cache to every tenant's service so
+        the global answer-cache footprint stays bounded; entries remain
+        partitioned by namespace.  Overrides ``cache_size``.
+    cache_namespace:
+        This service's namespace in the (possibly shared) answer cache;
+        defaults to a process-unique id.
     directory:
         Enable durability: per-shard ``DurableSketch`` directories plus a
         service manifest live under this root.
@@ -185,6 +193,8 @@ class ShardedSketchService:
         block_timeout: Optional[float] = None,
         ingest_buffer_items: int = 0,
         cache_size: int = 256,
+        cache=None,
+        cache_namespace: Optional[str] = None,
         directory=None,
         fs=None,
         durable_options: Optional[dict] = None,
@@ -304,6 +314,8 @@ class ShardedSketchService:
             self._workers,
             self.watermark,
             cache_size=cache_size,
+            cache=cache,
+            namespace=cache_namespace,
             call_timeout=call_timeout,
             partial=partial,
             parked_items=(
@@ -940,6 +952,21 @@ class ShardedSketchService:
     def cache_info(self) -> dict:
         """Coordinator answer-cache statistics."""
         return self._coordinator.cache_info()
+
+    def resident_bytes(self, per_shard: bool = False):
+        """Modelled resident bytes of the shard sketches (C-layout model).
+
+        Fans ``memory_bytes()`` out to every shard *without* touching the
+        answer cache (residency is not an answer: it changes between
+        watermarks).  With ``per_shard=True`` returns the per-shard list
+        instead of the sum.  The multi-tenant service's memory accounting
+        and quota enforcement are built on this call.
+        """
+        sizes = [
+            int(size)
+            for size in self._coordinator.fanout("memory_bytes")
+        ]
+        return sizes if per_shard else sum(sizes)
 
     def stats(self) -> dict:
         """Service-wide snapshot: seqnos, per-shard progress, cache, drops."""

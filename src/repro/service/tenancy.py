@@ -1,0 +1,1346 @@
+"""Multi-tenant serving: a namespaced sketch registry with quotas and spill.
+
+"Millions of users" means millions of *keyspaces*, not one big sketch.
+This module turns the single-family :class:`~repro.service
+.ShardedSketchService` into a platform: a :class:`TenantRegistry` maps
+``tenant_id -> sketch family`` (lazily instantiated from registered
+factories), and a :class:`MultiTenantService` facade routes
+``ingest_batch(tenant_id, ...)`` / ``query(tenant_id, ...)`` to the
+tenant's own sharded service — its own shard workers, watermark, and
+durable WAL/snapshot directory — while enforcing the things one memory
+envelope demands:
+
+* **quotas** (:mod:`repro.service.quotas`): per-tenant token-bucket update
+  rates and resident-byte ceilings, with block / drop / error
+  backpressure and exact per-tenant reject accounting
+  (``service_tenant_rejects_total``);
+* **cold-tenant spill**: tenants are kept resident in an LRU by last
+  activity; past ``max_resident_tenants`` or the global
+  ``max_resident_bytes`` ceiling the coldest tenants are *spilled* —
+  drained, final-snapshotted through the existing durability path, and
+  released — then transparently reloaded (snapshot + WAL replay) on the
+  next touch, bit-identical;
+* **a shared answer cache**: one bounded
+  :class:`~repro.service.AnswerCache` spans every tenant, partitioned by
+  tenant namespace with fair eviction, and a tenant's partition is
+  invalidated on spill/reload (a reloaded service restarts its watermark,
+  so stale keys would otherwise collide);
+* **per-tenant observability** behind a label-cardinality guard
+  (:class:`TenantLabelGuard`): the first ``label_tenants`` tenants get
+  their own metric label, the rest roll up into ``__other__`` — a
+  100k-tenant fleet cannot blow up the metric registry — plus a
+  ``/tenants`` introspection endpoint.
+
+Durability: the root directory holds one ``tenants.json`` registry
+manifest (atomic writes through the same filesystem shim the WAL uses)
+and a ``tenants/<slug>/`` sharded-service directory per tenant;
+:meth:`MultiTenantService.open` restores the registry and recovers each
+tenant's shards lazily on first touch.  See docs/TENANCY.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Callable, Dict, NamedTuple, Optional
+
+from repro.core.batch import StreamBatch
+from repro.durability.faults import OsFilesystem
+from repro.durability.manifest import read_manifest
+from repro.service.coordinator import AnswerCache
+from repro.telemetry.server import IntrospectionServer
+from repro.service.quotas import (
+    QUOTA_REASONS,
+    TenantQuota,
+    TenantQuotaError,
+    UNLIMITED_QUOTA,
+)
+from repro.service.service import ShardedSketchService
+from repro.telemetry.accounting import (
+    ComponentMemory,
+    MemoryReport,
+    publish,
+    unpublish,
+)
+from repro.telemetry.registry import TELEMETRY as _TEL
+
+#: File name of the registry manifest under the service root.
+TENANTS_MANIFEST_NAME = "tenants.json"
+_FORMAT_VERSION = 1
+
+#: Label value that absorbs every tenant beyond the guard's top-K.
+OTHER_LABEL = "__other__"
+
+#: Accountant report-name prefix for per-tenant residency
+#: (``memory_resident_bytes{sketch="tenant/<id>"}``).
+TENANT_MEMORY_PREFIX = "tenant/"
+
+# Declared at import time so the docs-catalog lint sees the families even
+# before any tenant exists; children bind lazily through the label guard.
+_INGEST_ITEMS = _TEL.registry.declare(
+    "service_tenant_ingest_items_total",
+    "counter",
+    "Items accepted into tenant sketch families, by tenant (label-guarded).",
+)
+_REJECTS = _TEL.registry.declare(
+    "service_tenant_rejects_total",
+    "counter",
+    "Quota-rejected ingest batches, by tenant (label-guarded) and reason.",
+)
+_QUERIES = _TEL.registry.declare(
+    "service_tenant_queries_total",
+    "counter",
+    "Queries answered for tenant sketch families, by tenant (label-guarded).",
+)
+_SPILLS = _TEL.registry.declare(
+    "service_tenant_spills_total",
+    "counter",
+    "Cold-tenant spills to disk, by tenant (label-guarded).",
+)
+_RELOADS = _TEL.registry.declare(
+    "service_tenant_reloads_total",
+    "counter",
+    "Cold-tenant reloads from disk, by tenant (label-guarded).",
+)
+_KNOWN_GAUGE = _TEL.registry.declare(
+    "service_tenants_known",
+    "gauge",
+    "Tenants registered in the tenant registry.",
+).labels()
+_RESIDENT_GAUGE = _TEL.registry.declare(
+    "service_tenants_resident",
+    "gauge",
+    "Tenants currently resident (live shard workers).",
+).labels()
+_RESIDENT_BYTES_GAUGE = _TEL.registry.declare(
+    "service_tenants_resident_bytes",
+    "gauge",
+    "Total modelled resident bytes across resident tenants (last measures).",
+).labels()
+
+
+class UnknownTenantError(KeyError):
+    """A query or consistency call named a tenant the registry never saw."""
+
+    def __init__(self, tenant_id: str):
+        super().__init__(tenant_id)
+        self.tenant_id = tenant_id
+
+    def __str__(self) -> str:
+        return f"unknown tenant {self.tenant_id!r} (not registered, no data)"
+
+
+class TenantReceipt(NamedTuple):
+    """What happened to one tenant ingest call.
+
+    ``epoch`` is the tenant's residency epoch (bumped on every reload):
+    pass the whole receipt to :meth:`MultiTenantService.wait_for` — a
+    receipt from an earlier epoch is already fully applied, because spill
+    drains everything before releasing the tenant.
+    """
+
+    tenant: str
+    epoch: int
+    seqno: int
+    accepted: int
+    dropped: int
+
+
+class TenantLabelGuard:
+    """Caps per-tenant metric label cardinality at top-K + ``__other__``.
+
+    The first ``top_k`` distinct tenants that emit a metric get their own
+    label value; every later tenant maps to :data:`OTHER_LABEL`.  The
+    assignment is first-come-first-served and stable for the guard's
+    lifetime — under Zipf traffic the heavy tenants touch first, so "first
+    K" and "top K" coincide in practice while staying deterministic.
+    Thread-safe.
+    """
+
+    def __init__(self, top_k: int = 8):
+        if top_k < 0:
+            raise ValueError(f"top_k must be >= 0, got {top_k}")
+        self.top_k = top_k
+        self._assigned: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def label(self, tenant_id: str) -> str:
+        """The metric label value for ``tenant_id`` (assigning if room)."""
+        assigned = self._assigned.get(tenant_id)
+        if assigned is not None:
+            return assigned
+        with self._lock:
+            assigned = self._assigned.get(tenant_id)
+            if assigned is None:
+                assigned = (
+                    tenant_id if len(self._assigned) < self.top_k else OTHER_LABEL
+                )
+                self._assigned[tenant_id] = assigned
+            return assigned
+
+    def owns_label(self, tenant_id: str) -> bool:
+        """Whether this tenant has its own label (vs the rollup)."""
+        return self.label(tenant_id) != OTHER_LABEL
+
+    def labels(self) -> Dict[str, str]:
+        """Snapshot of the tenant -> label assignment."""
+        with self._lock:
+            return dict(self._assigned)
+
+    @property
+    def cardinality(self) -> int:
+        """Distinct label values handed out so far (<= top_k + 1)."""
+        with self._lock:
+            return len(set(self._assigned.values()))
+
+
+def _slugify(tenant_id: str) -> str:
+    """A filesystem-safe, collision-free directory name for a tenant id."""
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", tenant_id)[:40] or "t"
+    digest = hashlib.blake2b(
+        tenant_id.encode("utf-8"), digest_size=4
+    ).hexdigest()
+    return f"{safe}-{digest}"
+
+
+class TenantRecord:
+    """One tenant's registry entry: identity, quota state, residency.
+
+    ``lock`` serialises every operation touching this tenant (ingest,
+    query, spill, reload); the registry/facade map locks are never held
+    while waiting on it, so one tenant blocking on backpressure cannot
+    stall the others.
+    """
+
+    __slots__ = (
+        "tenant_id",
+        "slug",
+        "factory_name",
+        "quota",
+        "bucket",
+        "lock",
+        "service",
+        "epoch",
+        "items_ingested",
+        "rejects",
+        "items_since_measure",
+        "measured_bytes",
+        "measured_shards",
+        "spills",
+        "reloads",
+    )
+
+    def __init__(
+        self,
+        tenant_id: str,
+        factory_name: str,
+        quota: TenantQuota,
+        clock: Callable[[], float],
+    ):
+        self.tenant_id = tenant_id
+        self.slug = _slugify(tenant_id)
+        self.factory_name = factory_name
+        self.quota = quota
+        self.bucket = quota.make_bucket(clock)
+        self.lock = threading.RLock()
+        self.service: Optional[ShardedSketchService] = None
+        self.epoch = 0
+        self.items_ingested = 0
+        self.rejects = {reason: 0 for reason in QUOTA_REASONS}
+        self.items_since_measure = 0
+        self.measured_bytes = 0
+        self.measured_shards: list = []
+        self.spills = 0
+        self.reloads = 0
+
+    @property
+    def namespace(self) -> str:
+        """The tenant's partition in the shared answer cache."""
+        return f"tenant:{self.tenant_id}"
+
+    def describe(self) -> dict:
+        """JSON-able summary for ``/tenants`` and :meth:`stats`."""
+        return {
+            "resident": self.service is not None,
+            "factory": self.factory_name,
+            "epoch": self.epoch,
+            "items_ingested": self.items_ingested,
+            "rejects": dict(self.rejects),
+            "measured_bytes": self.measured_bytes,
+            "spills": self.spills,
+            "reloads": self.reloads,
+            "quota": {
+                "rate": self.quota.rate,
+                "burst": self.quota.burst,
+                "max_resident_bytes": self.quota.max_resident_bytes,
+                "policy": self.quota.policy,
+            },
+        }
+
+
+class TenantRegistry:
+    """The namespaced sketch registry: tenant ids, factories, persistence.
+
+    Maps ``tenant_id -> `` :class:`TenantRecord`, each carrying the name
+    of the *registered factory* that builds (and rebuilds, at recovery)
+    the tenant's sketch family — factories are registered by name because
+    callables cannot be persisted.  With a ``directory`` the registry is
+    durable: every registration atomically rewrites ``tenants.json``
+    (registration-before-ingest, so a crash can never leave tenant data
+    on disk that the registry does not know about), and
+    :meth:`TenantRegistry.load` restores the same records — services are
+    then re-instantiated lazily by the facade on first touch.
+    """
+
+    def __init__(
+        self,
+        directory=None,
+        *,
+        fs: Optional[OsFilesystem] = None,
+        quota_clock: Callable[[], float] = time.monotonic,
+    ):
+        self.directory = None if directory is None else Path(directory)
+        self.fs = fs or OsFilesystem()
+        self._quota_clock = quota_clock
+        self._factories: Dict[str, Callable[[], Any]] = {}
+        self._records: "OrderedDict[str, TenantRecord]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- factories ---------------------------------------------------------
+
+    def register_factory(self, name: str, factory: Callable[[], Any]) -> None:
+        """Register (or replace) a named sketch-family factory.
+
+        The factory must be deterministic — same parameters and seed every
+        call — because durable recovery replays a tenant's WAL through a
+        fresh instance.
+        """
+        if not name:
+            raise ValueError("factory name must be non-empty")
+        with self._lock:
+            self._factories[name] = factory
+
+    def factory(self, name: str) -> Callable[[], Any]:
+        """The factory registered under ``name`` (KeyError if missing)."""
+        with self._lock:
+            if name not in self._factories:
+                raise KeyError(
+                    f"no factory {name!r} registered "
+                    f"(have {sorted(self._factories)})"
+                )
+            return self._factories[name]
+
+    def factory_names(self) -> list:
+        """Registered factory names, sorted."""
+        with self._lock:
+            return sorted(self._factories)
+
+    # -- records -----------------------------------------------------------
+
+    def get(self, tenant_id: str) -> Optional[TenantRecord]:
+        """The record for ``tenant_id``, or None if never registered."""
+        with self._lock:
+            return self._records.get(tenant_id)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        """Whether ``tenant_id`` is registered."""
+        with self._lock:
+            return tenant_id in self._records
+
+    def __len__(self) -> int:
+        """Registered tenant count."""
+        with self._lock:
+            return len(self._records)
+
+    def tenant_ids(self) -> list:
+        """Registered tenant ids, in registration order."""
+        with self._lock:
+            return list(self._records)
+
+    def register(
+        self,
+        tenant_id: str,
+        factory: str = "default",
+        quota: Optional[TenantQuota] = None,
+    ) -> TenantRecord:
+        """Register a tenant under a factory name; idempotent.
+
+        Re-registering an existing tenant with the *same* factory returns
+        its record unchanged (the quota is not silently replaced — use
+        :meth:`set_quota`); a different factory raises, because the
+        on-disk WAL/snapshot state would not replay through it.  Durable
+        registries persist the updated ``tenants.json`` before returning.
+        """
+        if not tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        with self._lock:
+            if factory not in self._factories:
+                raise KeyError(
+                    f"no factory {factory!r} registered "
+                    f"(have {sorted(self._factories)})"
+                )
+            record = self._records.get(tenant_id)
+            if record is not None:
+                if record.factory_name != factory:
+                    raise ValueError(
+                        f"tenant {tenant_id!r} is registered with factory "
+                        f"{record.factory_name!r}, cannot re-register with "
+                        f"{factory!r}"
+                    )
+                return record
+            record = TenantRecord(
+                tenant_id,
+                factory,
+                quota or UNLIMITED_QUOTA,
+                self._quota_clock,
+            )
+            self._records[tenant_id] = record
+        if self.directory is not None:
+            self.save()
+        return record
+
+    def register_many(
+        self,
+        tenant_ids,
+        factory: str = "default",
+        quota: Optional[TenantQuota] = None,
+    ) -> int:
+        """Bulk-register tenants with a *single* manifest save.
+
+        Per-id semantics match :meth:`register` (idempotent, sticky
+        factory); returns the number of newly registered tenants.  Use
+        this for large fleets — per-id :meth:`register` rewrites
+        ``tenants.json`` every call, which is quadratic in fleet size.
+        """
+        added = 0
+        with self._lock:
+            if factory not in self._factories:
+                raise KeyError(
+                    f"no factory {factory!r} registered "
+                    f"(have {sorted(self._factories)})"
+                )
+            for tenant_id in tenant_ids:
+                if not tenant_id:
+                    raise ValueError("tenant_id must be non-empty")
+                record = self._records.get(tenant_id)
+                if record is not None:
+                    if record.factory_name != factory:
+                        raise ValueError(
+                            f"tenant {tenant_id!r} is registered with factory "
+                            f"{record.factory_name!r}, cannot re-register "
+                            f"with {factory!r}"
+                        )
+                    continue
+                self._records[tenant_id] = TenantRecord(
+                    tenant_id,
+                    factory,
+                    quota or UNLIMITED_QUOTA,
+                    self._quota_clock,
+                )
+                added += 1
+        if added and self.directory is not None:
+            self.save()
+        return added
+
+    def set_quota(self, tenant_id: str, quota: TenantQuota) -> None:
+        """Replace a tenant's quota (rebuilding its token bucket)."""
+        record = self.get(tenant_id)
+        if record is None:
+            raise UnknownTenantError(tenant_id)
+        with record.lock:
+            record.quota = quota
+            record.bucket = quota.make_bucket(self._quota_clock)
+        if self.directory is not None:
+            self.save()
+
+    def tenant_directory(self, record: TenantRecord) -> Path:
+        """The tenant's sharded-service directory under the root."""
+        if self.directory is None:
+            raise RuntimeError("registry is not durable (no directory)")
+        return self.directory / "tenants" / record.slug
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, extra: Optional[dict] = None) -> None:
+        """Atomically persist the registry manifest (``tenants.json``)."""
+        if self.directory is None:
+            raise RuntimeError("registry is not durable (no directory)")
+        with self._lock:
+            payload = {
+                "version": _FORMAT_VERSION,
+                "extra": extra if extra is not None else self._loaded_extra(),
+                "tenants": {
+                    tenant_id: {
+                        "slug": record.slug,
+                        "factory": record.factory_name,
+                        "quota": {
+                            k: v
+                            for k, v in asdict(record.quota).items()
+                            if v is not None
+                        },
+                    }
+                    for tenant_id, record in self._records.items()
+                },
+            }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        self.fs.write_atomic(
+            self.directory / TENANTS_MANIFEST_NAME, text.encode("utf-8")
+        )
+        self._extra = payload["extra"]
+
+    def _loaded_extra(self) -> dict:
+        return getattr(self, "_extra", {}) or {}
+
+    @property
+    def extra(self) -> dict:
+        """Facade-owned settings stored alongside the registry (topology)."""
+        return self._loaded_extra()
+
+    def load(self) -> dict:
+        """Restore records from ``tenants.json``; returns the extra dict.
+
+        Loaded tenants are all cold (``service is None``) — the facade
+        reloads them lazily on first touch.  Records already registered
+        in this process are kept (load merges, disk wins on quota).
+        """
+        if self.directory is None:
+            raise RuntimeError("registry is not durable (no directory)")
+        path = self.directory / TENANTS_MANIFEST_NAME
+        if not path.exists():
+            return {}
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt tenant manifest at {path}: {exc}") from exc
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported tenant manifest version "
+                f"{payload.get('version')!r} at {path}"
+            )
+        with self._lock:
+            for tenant_id, entry in payload.get("tenants", {}).items():
+                quota = TenantQuota(**entry.get("quota", {}))
+                record = self._records.get(tenant_id)
+                if record is None:
+                    record = TenantRecord(
+                        tenant_id,
+                        entry["factory"],
+                        quota,
+                        self._quota_clock,
+                    )
+                    record.slug = entry["slug"]
+                    self._records[tenant_id] = record
+        self._extra = payload.get("extra", {}) or {}
+        return self._extra
+
+
+class MultiTenantService:
+    """One service, many tenants: the facade in front of the registry.
+
+    Each tenant gets its own :class:`~repro.service.ShardedSketchService`
+    (shard workers, watermark, durable WAL/snapshot directory), built
+    lazily from the tenant's registered factory on first touch.  The
+    facade adds the platform concerns:
+
+    * **quotas** — every :meth:`ingest_batch` passes the tenant's
+      :class:`~repro.service.TenantQuota` (token-bucket rate, resident
+      bytes) with block/drop/error backpressure and exact per-tenant
+      reject accounting;
+    * **bounded residency** — at most ``max_resident_tenants`` live
+      services and ``max_resident_bytes`` total modelled bytes; colder
+      tenants (LRU by last activity) are spilled to disk through the
+      normal close path and transparently reloaded on next touch;
+    * **a shared, partitioned answer cache** — one
+      :class:`~repro.service.AnswerCache` of ``cache_capacity`` entries
+      across all tenants, keyed by tenant namespace so answers can never
+      cross tenants, evicting from the largest partition first;
+    * **guarded observability** — per-tenant counters behind a
+      :class:`TenantLabelGuard` (``label_tenants`` own labels, the rest
+      ``__other__``), per-tenant memory-accountant reports, and a
+      ``/tenants`` endpoint on :meth:`serve_introspection`.
+
+    With a ``directory`` the whole platform is durable: ``tenants.json``
+    plus one service directory per tenant, restored by :meth:`open` with
+    every tenant cold until touched.  Thread-safe; per-tenant operations
+    serialise on the tenant's record lock only, so tenants make progress
+    independently.
+    """
+
+    def __init__(
+        self,
+        factory: Optional[Callable[[], Any]] = None,
+        *,
+        factories: Optional[Dict[str, Callable[[], Any]]] = None,
+        directory=None,
+        num_shards: int = 1,
+        partition: str = "hash",
+        seed: int = 0,
+        backend: str = "thread",
+        default_quota: Optional[TenantQuota] = None,
+        auto_register: bool = True,
+        max_resident_tenants: Optional[int] = None,
+        max_resident_bytes: Optional[int] = None,
+        cache_capacity: int = 1024,
+        label_tenants: int = 8,
+        accounting_interval: int = 4096,
+        fs: Optional[OsFilesystem] = None,
+        durable_options: Optional[dict] = None,
+        service_options: Optional[dict] = None,
+        quota_clock: Callable[[], float] = time.monotonic,
+    ):
+        if factory is None and not factories:
+            raise ValueError(
+                "register at least one factory (factory= or factories=)"
+            )
+        if directory is None and (
+            max_resident_tenants is not None or max_resident_bytes is not None
+        ):
+            raise ValueError(
+                "resident ceilings need a directory to spill cold tenants to"
+            )
+        if max_resident_tenants is not None and max_resident_tenants < 1:
+            raise ValueError(
+                f"max_resident_tenants must be >= 1, got {max_resident_tenants}"
+            )
+        if max_resident_bytes is not None and max_resident_bytes <= 0:
+            raise ValueError(
+                f"max_resident_bytes must be > 0, got {max_resident_bytes}"
+            )
+        if accounting_interval < 1:
+            raise ValueError(
+                f"accounting_interval must be >= 1, got {accounting_interval}"
+            )
+        self._registry = TenantRegistry(
+            directory, fs=fs, quota_clock=quota_clock
+        )
+        if factory is not None:
+            self._registry.register_factory("default", factory)
+        for name, fn in (factories or {}).items():
+            self._registry.register_factory(name, fn)
+        self.default_factory_name = (
+            "default" if factory is not None else sorted(factories)[0]
+        )
+        self.num_shards = num_shards
+        self.partition = partition
+        self.seed = seed
+        self.backend = backend
+        self.durable = directory is not None
+        self.auto_register = auto_register
+        self.max_resident_tenants = max_resident_tenants
+        self.max_resident_bytes = max_resident_bytes
+        self.accounting_interval = accounting_interval
+        self._default_quota = default_quota
+        self._fs = fs
+        self._durable_options = durable_options
+        self._service_options = dict(service_options or {})
+        self._cache = AnswerCache(cache_capacity)
+        self._guard = TenantLabelGuard(label_tenants)
+        self._resident: "OrderedDict[str, TenantRecord]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._closed = False
+        topology = {
+            "num_shards": num_shards,
+            "partition": partition,
+            "seed": seed,
+            "backend": backend,
+        }
+        if self.durable:
+            stored = self._registry.load()
+            if stored and (
+                stored.get("num_shards"),
+                stored.get("partition"),
+                stored.get("seed"),
+            ) != (num_shards, partition, seed):
+                raise ValueError(
+                    f"tenant manifest at {directory} records topology "
+                    f"({stored.get('num_shards')}, {stored.get('partition')!r}, "
+                    f"{stored.get('seed')}), got ({num_shards}, {partition!r}, "
+                    f"{seed}) — use MultiTenantService.open to adopt it"
+                )
+            self._registry._extra = topology
+            # persist immediately so a zero-tenant root still records its
+            # topology and later constructions are validated against it
+            self._registry.save()
+        if _TEL.enabled:
+            _KNOWN_GAUGE.set(len(self._registry))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory, **options) -> "MultiTenantService":
+        """Reopen a durable multi-tenant root, adopting the stored topology.
+
+        Reads ``tenants.json`` for the per-tenant shard topology and the
+        registered tenants; every tenant starts cold and recovers
+        (snapshot + WAL-tail replay) on its first touch.  Factories must
+        be re-registered — pass ``factory=`` / ``factories=`` exactly as
+        at first construction (callables are not persisted).
+        """
+        path = Path(directory) / TENANTS_MANIFEST_NAME
+        if not path.exists():
+            raise FileNotFoundError(f"no tenant manifest under {directory}")
+        payload = json.loads(path.read_text("utf-8"))
+        stored = payload.get("extra", {}) or {}
+        for key in ("num_shards", "partition", "seed", "backend"):
+            if key in stored:
+                options.setdefault(key, stored[key])
+        return cls(directory=directory, **options)
+
+    def close(self, force: bool = False) -> None:
+        """Close every resident tenant service (drain + final snapshot).
+
+        Durable state stays on disk for :meth:`open`.  With
+        ``force=True`` per-tenant close failures are tolerated; otherwise
+        the first failure is re-raised after the remaining tenants close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            records = list(self._resident.values())
+            self._resident.clear()
+        first_error: Optional[BaseException] = None
+        for record in records:
+            with record.lock:
+                service = record.service
+                if service is None:
+                    continue
+                record.service = None
+                try:
+                    service.close(force=force)
+                except BaseException as exc:  # noqa: BLE001 - close all first
+                    if first_error is None:
+                        first_error = exc
+                self._cache.drop_namespace(record.namespace)
+        if _TEL.enabled:
+            _RESIDENT_GAUGE.set(0)
+            _RESIDENT_BYTES_GAUGE.set(0)
+        if first_error is not None and not force:
+            raise first_error
+
+    def __enter__(self) -> "MultiTenantService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(force=exc_type is not None)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("MultiTenantService is closed")
+
+    # -- registry passthrough ----------------------------------------------
+
+    @property
+    def registry(self) -> TenantRegistry:
+        """The underlying :class:`TenantRegistry`."""
+        return self._registry
+
+    @property
+    def cache(self) -> AnswerCache:
+        """The shared, tenant-partitioned :class:`AnswerCache`."""
+        return self._cache
+
+    @property
+    def label_guard(self) -> TenantLabelGuard:
+        """The metric label-cardinality guard."""
+        return self._guard
+
+    def register_factory(self, name: str, factory: Callable[[], Any]) -> None:
+        """Register a named sketch-family factory (see the registry)."""
+        self._registry.register_factory(name, factory)
+
+    def register_tenant(
+        self,
+        tenant_id: str,
+        factory: Optional[str] = None,
+        quota: Optional[TenantQuota] = None,
+    ) -> None:
+        """Register a tenant explicitly (idempotent; durable if rooted).
+
+        ``factory`` defaults to the facade's default factory; ``quota``
+        to the facade's ``default_quota``.  Registration is cheap — no
+        service is built until the tenant's first ingest or query.
+        """
+        self._ensure_open()
+        self._registry.register(
+            tenant_id,
+            factory or self.default_factory_name,
+            quota if quota is not None else self._default_quota,
+        )
+        if _TEL.enabled:
+            _KNOWN_GAUGE.set(len(self._registry))
+
+    def register_tenants(
+        self,
+        tenant_ids,
+        factory: Optional[str] = None,
+        quota: Optional[TenantQuota] = None,
+    ) -> int:
+        """Bulk-register a fleet with one manifest save; returns new count.
+
+        The per-tenant semantics match :meth:`register_tenant`; prefer
+        this when seeding thousands of tenants — the per-id path
+        persists ``tenants.json`` on every call.
+        """
+        self._ensure_open()
+        added = self._registry.register_many(
+            tenant_ids,
+            factory or self.default_factory_name,
+            quota if quota is not None else self._default_quota,
+        )
+        if _TEL.enabled:
+            _KNOWN_GAUGE.set(len(self._registry))
+        return added
+
+    def set_quota(self, tenant_id: str, quota: TenantQuota) -> None:
+        """Replace a tenant's quota (takes effect on the next ingest)."""
+        self._registry.set_quota(tenant_id, quota)
+
+    def known_tenants(self) -> list:
+        """Every registered tenant id, in registration order."""
+        return self._registry.tenant_ids()
+
+    def resident_tenants(self) -> list:
+        """Resident tenant ids, coldest (next to spill) first."""
+        with self._lock:
+            return list(self._resident)
+
+    # -- residency ---------------------------------------------------------
+
+    def _resolve(self, tenant_id: str, create: bool) -> TenantRecord:
+        record = self._registry.get(tenant_id)
+        if record is None:
+            if not create:
+                raise UnknownTenantError(tenant_id)
+            record = self._registry.register(
+                tenant_id, self.default_factory_name, self._default_quota
+            )
+            if _TEL.enabled:
+                _KNOWN_GAUGE.set(len(self._registry))
+        return record
+
+    def _build_service(self, record: TenantRecord) -> ShardedSketchService:
+        factory = self._registry.factory(record.factory_name)
+        kwargs = dict(self._service_options)
+        kwargs.update(
+            partition=self.partition,
+            seed=self.seed,
+            backend=self.backend,
+            cache=self._cache,
+            cache_namespace=record.namespace,
+        )
+        if self.durable:
+            tenant_dir = self._registry.tenant_directory(record)
+            kwargs.update(directory=tenant_dir, fs=self._fs)
+            if self._durable_options is not None:
+                kwargs.update(durable_options=dict(self._durable_options))
+        return ShardedSketchService(factory, self.num_shards, **kwargs)
+
+    def _ensure_resident(self, record: TenantRecord) -> ShardedSketchService:
+        # caller holds record.lock
+        if record.service is None:
+            reloading = False
+            if self.durable:
+                tenant_dir = self._registry.tenant_directory(record)
+                reloading = read_manifest(tenant_dir) is not None
+            record.service = self._build_service(record)
+            record.epoch += 1
+            if reloading:
+                record.reloads += 1
+                # a reloaded service restarts its watermark at 0: cached
+                # answers from the previous residency would collide with
+                # the new watermark keys and serve stale data
+                self._cache.drop_namespace(record.namespace)
+                if _TEL.enabled:
+                    _RELOADS.labels(
+                        tenant=self._guard.label(record.tenant_id)
+                    ).inc()
+            self._measure_locked(record)
+        with self._lock:
+            self._resident[record.tenant_id] = record
+            self._resident.move_to_end(record.tenant_id)
+            if _TEL.enabled:
+                _RESIDENT_GAUGE.set(len(self._resident))
+        return record.service
+
+    def _measure_locked(self, record: TenantRecord) -> None:
+        # caller holds record.lock; service is resident
+        sizes = record.service.resident_bytes(per_shard=True)
+        record.measured_shards = sizes
+        record.measured_bytes = sum(sizes)
+        record.items_since_measure = 0
+
+    def _spill_locked(self, record: TenantRecord) -> bool:
+        # caller holds record.lock
+        service = record.service
+        if service is None:
+            return False
+        # close() flushes any staged ingest buffer, drains the shard
+        # queues, snapshots, and closes the WALs — the tenant's state is
+        # fully durable before we let go of it
+        service.close()
+        record.service = None
+        record.spills += 1
+        self._cache.drop_namespace(record.namespace)
+        unpublish(TENANT_MEMORY_PREFIX + record.tenant_id)
+        if _TEL.enabled:
+            _SPILLS.labels(tenant=self._guard.label(record.tenant_id)).inc()
+        with self._lock:
+            self._resident.pop(record.tenant_id, None)
+            if _TEL.enabled:
+                _RESIDENT_GAUGE.set(len(self._resident))
+        return True
+
+    def spill(self, tenant_id: str) -> bool:
+        """Spill one tenant to disk now; False if it was already cold.
+
+        The tenant reloads transparently — snapshot plus WAL-tail replay,
+        bit-identical answers — on its next ingest or query.
+        """
+        self._ensure_open()
+        if not self.durable:
+            raise RuntimeError("spill requires a durable service (directory=)")
+        record = self._resolve(tenant_id, create=False)
+        with record.lock:
+            return self._spill_locked(record)
+
+    def _enforce_ceilings(self) -> None:
+        if not self.durable:
+            return
+        while True:
+            with self._lock:
+                resident = list(self._resident.values())
+            total = sum(r.measured_bytes for r in resident)
+            if _TEL.enabled:
+                _RESIDENT_BYTES_GAUGE.set(total)
+            over_count = (
+                self.max_resident_tenants is not None
+                and len(resident) > self.max_resident_tenants
+            )
+            over_bytes = (
+                self.max_resident_bytes is not None
+                and total > self.max_resident_bytes
+            )
+            if not (over_count or over_bytes):
+                return
+            spilled = False
+            for record in resident:  # LRU order: coldest first
+                # non-blocking: a tenant busy ingesting is by definition
+                # not cold; skip it rather than deadlock on its lock
+                if not record.lock.acquire(blocking=False):
+                    continue
+                try:
+                    spilled = self._spill_locked(record)
+                finally:
+                    record.lock.release()
+                if spilled:
+                    break
+            if not spilled:
+                return  # every resident tenant is mid-operation; retry later
+
+    # -- ingest ------------------------------------------------------------
+
+    def _reject(
+        self,
+        record: TenantRecord,
+        reason: str,
+        n: int,
+        retry_after: Optional[float],
+        raise_: bool,
+    ) -> TenantReceipt:
+        record.rejects[reason] += 1
+        if _TEL.enabled:
+            _REJECTS.labels(
+                tenant=self._guard.label(record.tenant_id), reason=reason
+            ).inc()
+        if raise_:
+            detail = (
+                f"rate quota exhausted (retry in {retry_after:.3f}s)"
+                if reason == "rate"
+                else (
+                    f"resident bytes {record.measured_bytes} over quota "
+                    f"{record.quota.max_resident_bytes}"
+                )
+            )
+            raise TenantQuotaError(
+                record.tenant_id,
+                reason,
+                f"tenant {record.tenant_id!r}: {detail}",
+                retry_after,
+            )
+        return TenantReceipt(record.tenant_id, record.epoch, -1, 0, n)
+
+    def ingest(
+        self, tenant_id: str, value, timestamp, weight: float = 1.0
+    ) -> TenantReceipt:
+        """Ingest one item for one tenant (see :meth:`ingest_batch`)."""
+        weights = None if weight == 1.0 else [weight]
+        return self.ingest_batch(tenant_id, [value], [timestamp], weights)
+
+    def ingest_batch(
+        self, tenant_id: str, values, timestamps=None, weights=None
+    ) -> TenantReceipt:
+        """Quota-check and route one batch into a tenant's sketch family.
+
+        ``values`` may be a ready :class:`~repro.core.StreamBatch`
+        (``timestamps``/``weights`` then ignored) or arrays as for
+        :meth:`ShardedSketchService.ingest_batch`.  Unknown tenants are
+        auto-registered under the default factory when ``auto_register``
+        is on.  Admission order: token-bucket rate first (a rate-limited
+        tenant is shed *without* reloading it), then residency
+        (reload/instantiate), then the resident-bytes quota.  Returns a
+        :class:`TenantReceipt` — ``seqno`` is ``-1`` and ``dropped`` is
+        the batch size when the quota dropped the batch.  Raises
+        :class:`~repro.service.TenantQuotaError` under the ``error``
+        policy (and for byte-quota violations under ``block``: blocking
+        cannot shrink a sketch).
+        """
+        self._ensure_open()
+        if isinstance(values, StreamBatch):
+            batch = values
+        else:
+            batch = StreamBatch.from_arrays(values, timestamps, weights)
+        n = len(batch)
+        record = self._resolve(tenant_id, create=self.auto_register)
+        with record.lock:
+            quota = record.quota
+            bucket = record.bucket
+            if bucket is not None and n:
+                wait = bucket.try_take(n)
+                if wait > 0.0:
+                    if quota.policy == "block":
+                        if not bucket.take(n, timeout=quota.block_timeout):
+                            return self._reject(
+                                record, "rate", n, wait, raise_=True
+                            )
+                    elif quota.policy == "drop":
+                        return self._reject(record, "rate", n, wait, raise_=False)
+                    else:
+                        return self._reject(record, "rate", n, wait, raise_=True)
+            service = self._ensure_resident(record)
+            if (
+                quota.max_resident_bytes is not None
+                and record.measured_bytes > quota.max_resident_bytes
+            ):
+                drop = quota.policy == "drop"
+                return self._reject(record, "bytes", n, None, raise_=not drop)
+            receipt = service.ingest_batch(
+                batch.values, batch.timestamps, batch.weights
+            )
+            record.items_ingested += receipt.accepted
+            record.items_since_measure += receipt.accepted
+            if _TEL.enabled and receipt.accepted:
+                _INGEST_ITEMS.labels(
+                    tenant=self._guard.label(record.tenant_id)
+                ).inc(receipt.accepted)
+            if record.items_since_measure >= self.accounting_interval:
+                self._measure_locked(record)
+            result = TenantReceipt(
+                record.tenant_id,
+                record.epoch,
+                receipt.seqno,
+                receipt.accepted,
+                receipt.dropped,
+            )
+        self._enforce_ceilings()
+        return result
+
+    # -- queries -----------------------------------------------------------
+
+    def _delegate(self, tenant_id: str, name: str, args, kwargs):
+        self._ensure_open()
+        record = self._resolve(tenant_id, create=False)
+        with record.lock:
+            service = self._ensure_resident(record)
+            result = getattr(service, name)(*args, **kwargs)
+            if _TEL.enabled:
+                _QUERIES.labels(
+                    tenant=self._guard.label(record.tenant_id)
+                ).inc()
+        self._enforce_ceilings()
+        return result
+
+    def query(self, tenant_id: str, method: str, *args, **kwargs):
+        """Generic fan-out query against one tenant's sketch family.
+
+        Same contract as :meth:`ShardedSketchService.query` (``combine``,
+        ``shard``, ``explain``, ``partial``).  Queries never auto-register:
+        an unknown tenant raises :class:`UnknownTenantError`.  Touching a
+        cold tenant reloads it transparently.
+        """
+        return self._delegate(tenant_id, "query", (method,) + args, kwargs)
+
+    def estimate_at(self, tenant_id: str, key, timestamp, explain=False):
+        """ATTP point estimate for one tenant (see the sharded service)."""
+        return self._delegate(
+            tenant_id, "estimate_at", (key, timestamp), {"explain": explain}
+        )
+
+    def estimate_since(self, tenant_id: str, key, timestamp, explain=False):
+        """BITP suffix estimate for one tenant."""
+        return self._delegate(
+            tenant_id, "estimate_since", (key, timestamp), {"explain": explain}
+        )
+
+    def estimate_between(self, tenant_id: str, key, start, end, explain=False):
+        """Back-in-time window estimate for one tenant."""
+        return self._delegate(
+            tenant_id,
+            "estimate_between",
+            (key, start, end),
+            {"explain": explain},
+        )
+
+    def heavy_hitters_at(self, tenant_id: str, timestamp, threshold) -> list:
+        """ATTP heavy hitters for one tenant."""
+        return self._delegate(
+            tenant_id, "heavy_hitters_at", (timestamp, threshold), {}
+        )
+
+    def heavy_hitters_since(self, tenant_id: str, timestamp, threshold) -> list:
+        """BITP suffix heavy hitters for one tenant."""
+        return self._delegate(
+            tenant_id, "heavy_hitters_since", (timestamp, threshold), {}
+        )
+
+    def contains_at(self, tenant_id: str, key, timestamp, explain=False):
+        """ATTP membership for one tenant."""
+        return self._delegate(
+            tenant_id, "contains_at", (key, timestamp), {"explain": explain}
+        )
+
+    def total_weight_at(self, tenant_id: str, timestamp, explain=False):
+        """Stream weight at ``timestamp`` for one tenant."""
+        return self._delegate(
+            tenant_id, "total_weight_at", (timestamp,), {"explain": explain}
+        )
+
+    # -- consistency -------------------------------------------------------
+
+    def wait_for(
+        self, receipt: TenantReceipt, timeout: Optional[float] = None
+    ) -> bool:
+        """Read-your-writes: block until a receipt's items are applied.
+
+        A receipt from an earlier residency epoch — or from a tenant that
+        has since spilled — returns True immediately: spilling drains and
+        snapshots everything before releasing the tenant, so those items
+        are already applied (and durable).
+        """
+        record = self._resolve(receipt.tenant, create=False)
+        with record.lock:
+            if record.service is None or record.epoch > receipt.epoch:
+                return True
+            return record.service.wait_for(receipt.seqno, timeout)
+
+    def drain(
+        self, tenant_id: Optional[str] = None, timeout: Optional[float] = None
+    ) -> bool:
+        """Drain one tenant (or every resident tenant) to its watermark."""
+        return self._sweep("drain", tenant_id, timeout)
+
+    def flush(
+        self, tenant_id: Optional[str] = None, timeout: Optional[float] = None
+    ) -> bool:
+        """Drain, then force durable WALs to stable storage."""
+        return self._sweep("flush", tenant_id, timeout)
+
+    def _sweep(
+        self, op: str, tenant_id: Optional[str], timeout: Optional[float]
+    ) -> bool:
+        self._ensure_open()
+        if tenant_id is not None:
+            records = [self._resolve(tenant_id, create=False)]
+        else:
+            with self._lock:
+                records = list(self._resident.values())
+        ok = True
+        for record in records:
+            with record.lock:
+                if record.service is None:
+                    continue  # cold tenants are drained by definition
+                ok = getattr(record.service, op)(timeout) and ok
+        return ok
+
+    # -- accounting & observability ----------------------------------------
+
+    def resident_bytes(
+        self, tenant_id: Optional[str] = None, refresh: bool = False
+    ):
+        """Modelled resident bytes: one tenant's, or the resident total.
+
+        Uses the cached per-tenant measurements (refreshed every
+        ``accounting_interval`` accepted items); ``refresh=True`` forces a
+        fresh fan-out measure first (and, for the fleet total, re-applies
+        the resident ceilings against the fresh numbers).  A cold tenant
+        reports its last measured size (named tenant) or contributes
+        nothing (total).
+        """
+        if tenant_id is None:
+            with self._lock:
+                records = list(self._resident.values())
+            if refresh:
+                for record in records:
+                    with record.lock:
+                        if record.service is not None:
+                            self._measure_locked(record)
+                self._enforce_ceilings()
+                with self._lock:
+                    records = list(self._resident.values())
+            return sum(record.measured_bytes for record in records)
+        record = self._resolve(tenant_id, create=False)
+        with record.lock:
+            if refresh and record.service is not None:
+                self._measure_locked(record)
+            return record.measured_bytes
+
+    def publish_memory(self) -> dict:
+        """Publish per-tenant residency to the memory accountant.
+
+        Own-label tenants (the guard's top-K) publish as
+        ``tenant/<tenant_id>`` with per-shard components; everyone else
+        aggregates into ``tenant/__other__`` — the accountant's gauge
+        cardinality is bounded by the guard plus the resident cap.  Use
+        :func:`repro.telemetry.breakdown` with
+        ``prefix=`` :data:`TENANT_MEMORY_PREFIX` for the grouped view.
+        Returns ``{report_name: resident_bytes}`` as published.
+        """
+        with self._lock:
+            records = list(self._resident.values())
+        published: Dict[str, int] = {}
+        other = 0
+        for record in records:
+            if record.lock.acquire(blocking=False):
+                try:
+                    if record.service is None:
+                        continue
+                    self._measure_locked(record)
+                    sizes = record.measured_shards
+                finally:
+                    record.lock.release()
+            else:
+                sizes = record.measured_shards  # busy: last measure stands
+            if self._guard.label(record.tenant_id) != OTHER_LABEL:
+                name = TENANT_MEMORY_PREFIX + record.tenant_id
+                report = MemoryReport(
+                    name=name,
+                    components=[
+                        ComponentMemory(f"shard-{index}", size)
+                        for index, size in enumerate(sizes)
+                    ],
+                )
+                publish(report)
+                published[name] = report.resident_bytes
+            else:
+                other += sum(sizes)
+        rollup = TENANT_MEMORY_PREFIX + OTHER_LABEL
+        publish(
+            MemoryReport(
+                name=rollup, components=[ComponentMemory("all", other)]
+            )
+        )
+        published[rollup] = other
+        if _TEL.enabled:
+            _RESIDENT_BYTES_GAUGE.set(sum(published.values()))
+        return published
+
+    def tenants(self) -> dict:
+        """The ``/tenants`` payload: fleet summary plus resident detail.
+
+        Per-tenant detail covers only *resident* tenants (a 100k-tenant
+        registry must not produce a 100k-entry payload); the cold fleet
+        is summarised by ``known``.
+        """
+        with self._lock:
+            resident = list(self._resident.items())
+        return {
+            "known": len(self._registry),
+            "resident": len(resident),
+            "resident_order": [tenant_id for tenant_id, _ in resident],
+            "resident_bytes": sum(
+                record.measured_bytes for _, record in resident
+            ),
+            "max_resident_tenants": self.max_resident_tenants,
+            "max_resident_bytes": self.max_resident_bytes,
+            "durable": self.durable,
+            "factories": self._registry.factory_names(),
+            "label_guard": {
+                "top_k": self._guard.top_k,
+                "cardinality": self._guard.cardinality,
+            },
+            "tenants": {
+                tenant_id: record.describe() for tenant_id, record in resident
+            },
+        }
+
+    def stats(self) -> dict:
+        """:meth:`tenants` plus shared answer-cache statistics."""
+        payload = self.tenants()
+        payload["cache"] = self._cache.info()
+        return payload
+
+    def health(self) -> dict:
+        """Aggregate liveness: unhealthy when any resident tenant is.
+
+        Busy tenants (mid-ingest) are skipped rather than blocked on —
+        health is a liveness probe, not a barrier.
+        """
+        with self._lock:
+            records = list(self._resident.values())
+        unhealthy: Dict[str, dict] = {}
+        for record in records:
+            if not record.lock.acquire(blocking=False):
+                continue
+            try:
+                if record.service is None:
+                    continue
+                report = record.service.health()
+                if not report.get("healthy", False):
+                    unhealthy[record.tenant_id] = report
+            finally:
+                record.lock.release()
+        return {
+            "healthy": not self._closed and not unhealthy,
+            "closed": self._closed,
+            "known": len(self._registry),
+            "resident": len(records),
+            "unhealthy_tenants": unhealthy,
+        }
+
+    def serve_introspection(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> IntrospectionServer:
+        """Introspection HTTP server with the tenancy ``/tenants`` route.
+
+        Serves ``/metrics``, ``/report``, ``/spans``, ``/traces/<id>``
+        from process-global telemetry, ``/healthz`` from :meth:`health`,
+        and ``/tenants`` from :meth:`tenants`.  Each scrape refreshes the
+        per-tenant memory-accountant gauges (and pulls process-backend
+        worker telemetry) first.  The caller owns the returned server.
+        """
+
+        def on_scrape() -> None:
+            with self._lock:
+                records = list(self._resident.values())
+            for record in records:
+                service = record.service
+                if service is None:
+                    continue
+                for worker in service._workers:
+                    worker.pull_telemetry()
+            self.publish_memory()
+
+        return IntrospectionServer(
+            host=host,
+            port=port,
+            health=self.health,
+            tenants=self.tenants,
+            on_scrape=on_scrape,
+        ).start()

@@ -31,7 +31,9 @@ from repro.telemetry.accounting import (
     MemoryReport,
     account,
     account_and_publish,
+    breakdown,
     publish,
+    unpublish,
 )
 from repro.telemetry.export import (
     MetricSample,
@@ -111,6 +113,7 @@ __all__ = [
     "TraceContext",
     "account",
     "account_and_publish",
+    "breakdown",
     "current_trace",
     "disable",
     "enable",
@@ -128,6 +131,7 @@ __all__ = [
     "snapshot_lines",
     "span",
     "timed",
+    "unpublish",
     "write_jsonl",
     "write_traces_jsonl",
 ]

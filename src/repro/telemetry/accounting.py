@@ -92,7 +92,13 @@ def account(sketch: Any, name: Optional[str] = None) -> MemoryReport:
     wrapped sketch's methods.
     """
     if name is None:
-        name = type(sketch).__name__
+        # unwrap durability wrappers for the default owner name: every
+        # DurableSketch reporting as "DurableSketch" would collide all
+        # owners into one gauge; the wrapped sketch's type is the owner
+        owner = sketch
+        while getattr(owner, "_sketch", None) is not None:
+            owner = owner._sketch
+        name = type(owner).__name__
     breakdown_fn = getattr(sketch, "memory_breakdown", None)
     if breakdown_fn is not None:
         breakdown: Dict[str, int] = breakdown_fn()
@@ -130,3 +136,39 @@ def account_and_publish(sketch: Any, name: Optional[str] = None) -> MemoryReport
     report = account(sketch, name)
     publish(report)
     return report
+
+
+def unpublish(name: str) -> int:
+    """Remove a report's gauges from the registry; returns children removed.
+
+    The inverse of :func:`publish`, for accounted things that *go away* —
+    the tenancy layer unpublishes a tenant's ``tenant/<id>`` report when
+    the tenant spills to disk, so ``memory_resident_bytes`` tracks what is
+    actually resident.  Unknown names are a no-op (returns 0).
+    """
+    removed = _RESIDENT.remove(sketch=name)
+    removed += _BOUND.remove(sketch=name)
+    return removed
+
+
+def breakdown(prefix: str = "") -> Dict[str, Dict[str, int]]:
+    """Grouped view of every published residency gauge, one call.
+
+    Returns ``{owner: {component: resident_bytes}}`` for each published
+    report whose name starts with ``prefix`` (empty prefix: everything).
+    ``owner`` is the report name with the prefix stripped, so
+    ``breakdown(prefix="tenant/")`` maps tenant ids straight to their
+    per-component resident bytes.  Reads the live gauges — call after the
+    owner has published (the tenancy layer's ``publish_memory()`` or any
+    :func:`publish`).
+    """
+    grouped: Dict[str, Dict[str, int]] = {}
+    for labels, gauge in _RESIDENT.samples():
+        sketch = labels.get("sketch", "")
+        if not sketch.startswith(prefix):
+            continue
+        owner = sketch[len(prefix):]
+        grouped.setdefault(owner, {})[labels.get("component", "total")] = int(
+            gauge.value
+        )
+    return grouped

@@ -260,6 +260,25 @@ class MetricFamily:
         for key in sorted(self.children):
             yield dict(key), self.children[key]
 
+    def remove(self, **labels: str) -> int:
+        """Drop every child whose labelset contains all given pairs.
+
+        Returns the number of children removed.  This is how a bounded
+        label space stays bounded when the labelled thing *goes away* —
+        e.g. the tenancy layer removes a spilled tenant's
+        ``memory_resident_bytes`` children so gauges track residency, not
+        history.  Counters should normally never be removed (their value
+        is the history); removing one resets it to zero on next use.
+        """
+        wanted = set(_label_key(labels))
+        with self._lock:
+            victims = [
+                key for key in self.children if wanted.issubset(set(key))
+            ]
+            for key in victims:
+                del self.children[key]
+        return len(victims)
+
 
 def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
     for label in labels:

@@ -16,6 +16,8 @@ Endpoint                  Serves
 ``/spans``                All retained finished spans as JSON.
 ``/traces``               The distinct trace ids currently retained.
 ``/traces/<id>``          Every span of one trace (404 for unknown ids).
+``/tenants``              The attached multi-tenant registry's fleet summary
+                          (404 when no tenant registry is attached).
 ========================  ====================================================
 
 Wire it to a service with
@@ -107,6 +109,14 @@ class _Handler(BaseHTTPRequestHandler):
                 "dropped": spans.dropped,
                 "capacity": spans.capacity,
             })
+        elif path == "/tenants":
+            tenants = self.server.tenants  # type: ignore[attr-defined]
+            if tenants is None:
+                self._send_json(
+                    404, {"error": "no tenant registry attached"}
+                )
+            else:
+                self._send_json(200, tenants())
         elif path == "/traces":
             self._send_json(200, {"traces": spans.trace_ids()})
         elif path.startswith("/traces/"):
@@ -122,7 +132,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/":
             self._send_json(200, {
                 "endpoints": ["/metrics", "/healthz", "/report", "/spans",
-                              "/traces", "/traces/<id>"],
+                              "/traces", "/traces/<id>", "/tenants"],
             })
         else:
             self._send_json(404, {"error": f"no route {path!r}"})
@@ -156,6 +166,11 @@ class IntrospectionServer:
         service's process backend uses it to pull worker children's
         metric/span deltas so a scrape reflects child-side activity.
         ``/healthz`` skips the hook: liveness checks should stay cheap.
+    tenants:
+        Optional zero-argument callable returning the ``/tenants`` JSON
+        payload (the multi-tenant service passes its
+        :meth:`~repro.service.MultiTenantService.tenants`).  Without it
+        the route answers 404.
     """
 
     def __init__(
@@ -166,6 +181,7 @@ class IntrospectionServer:
         registry: Optional[MetricsRegistry] = None,
         spans: Optional[SpanCollector] = None,
         on_scrape: Optional[Callable[[], None]] = None,
+        tenants: Optional[Callable[[], dict]] = None,
     ):
         self._host = host
         self._requested_port = port
@@ -173,6 +189,7 @@ class IntrospectionServer:
         self._registry = registry or TELEMETRY.registry
         self._spans = spans if spans is not None else SPANS
         self._on_scrape = on_scrape
+        self._tenants = tenants
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -207,6 +224,7 @@ class IntrospectionServer:
         httpd.spans = self._spans  # type: ignore[attr-defined]
         httpd.health = self._health  # type: ignore[attr-defined]
         httpd.on_scrape = self._on_scrape  # type: ignore[attr-defined]
+        httpd.tenants = self._tenants  # type: ignore[attr-defined]
         self._httpd = httpd
         self._thread = threading.Thread(
             target=httpd.serve_forever,

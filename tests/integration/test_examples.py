@@ -23,6 +23,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
         "observability_tour.py",
         "sharded_service_tour.py",
         "process_backend_tour.py",
+        "multi_tenant_tour.py",
     ],
 )
 def test_example_runs(script):

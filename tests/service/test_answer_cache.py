@@ -1,0 +1,152 @@
+"""AnswerCache: namespacing, fair eviction, and cross-service isolation.
+
+The regression that matters (the bug class tenancy makes fatal): two
+services sharing one cache and a coordinator-shaped workload — identical
+methods, arguments, and watermarks — must never serve each other's
+answers.  Before namespacing, ``(method, args, watermark)`` was the whole
+key, so two same-shaped services *would* collide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChainMisraGries
+from repro.service import AnswerCache, ShardedSketchService
+from repro.service.coordinator import _MISS
+
+
+def mg_factory():
+    return ChainMisraGries(eps=0.01)
+
+
+class TestAnswerCacheUnit:
+    def test_get_miss_is_sentinel_not_none(self):
+        cache = AnswerCache(4)
+        assert cache.get("ns", "k") is _MISS
+        cache.put("ns", "k", None)
+        assert cache.get("ns", "k") is None  # cached None is a hit
+
+    def test_keys_never_cross_namespaces(self):
+        cache = AnswerCache(8)
+        cache.put("a", ("q", 1), "answer-a")
+        cache.put("b", ("q", 1), "answer-b")
+        assert cache.get("a", ("q", 1)) == "answer-a"
+        assert cache.get("b", ("q", 1)) == "answer-b"
+        assert len(cache) == 2
+
+    def test_capacity_is_global_across_namespaces(self):
+        cache = AnswerCache(4)
+        for i in range(3):
+            cache.put("a", i, i)
+        for i in range(3):
+            cache.put("b", i, i)
+        assert len(cache) == 4
+
+    def test_eviction_hits_largest_partition_first(self):
+        cache = AnswerCache(4)
+        for i in range(4):
+            cache.put("hog", i, i)
+        cache.put("small", 0, "kept")
+        # the hog loses its oldest entry; the small namespace survives
+        assert cache.get("small", 0) == "kept"
+        assert cache.get("hog", 0) is _MISS
+        assert cache.namespace_size("hog") == 3
+
+    def test_lru_within_partition(self):
+        cache = AnswerCache(2)
+        cache.put("ns", "old", 1)
+        cache.put("ns", "new", 2)
+        cache.get("ns", "old")  # refresh
+        cache.put("ns", "newer", 3)
+        assert cache.get("ns", "old") == 1
+        assert cache.get("ns", "new") is _MISS
+
+    def test_drop_namespace(self):
+        cache = AnswerCache(8)
+        cache.put("a", 1, 1)
+        cache.put("a", 2, 2)
+        cache.put("b", 1, 1)
+        assert cache.drop_namespace("a") == 2
+        assert cache.drop_namespace("a") == 0
+        assert len(cache) == 1
+        assert cache.get("b", 1) == 1
+
+    def test_info_and_zero_capacity(self):
+        cache = AnswerCache(0)
+        cache.put("ns", 1, 1)
+        assert len(cache) == 0
+        info = AnswerCache(4).info()
+        assert info == {"size": 0, "capacity": 4, "namespaces": {}}
+        with pytest.raises(ValueError):
+            AnswerCache(-1)
+
+
+class TestSharedCacheIsolation:
+    """Two services, one cache, identical workload shape — no bleed."""
+
+    def _twin_services(self, cache):
+        a = ShardedSketchService(mg_factory, num_shards=2, cache=cache)
+        b = ShardedSketchService(mg_factory, num_shards=2, cache=cache)
+        return a, b
+
+    def test_identical_workload_shape_cannot_cross_services(self):
+        cache = AnswerCache(64)
+        a, b = self._twin_services(cache)
+        try:
+            timestamps = np.arange(100, dtype=float)
+            # same keys, same watermark progression — the cache keys are
+            # identical in everything but the namespace
+            a.ingest_batch(np.full(100, 7, dtype=np.int64), timestamps)
+            b.ingest_batch(np.full(100, 9, dtype=np.int64), timestamps)
+            assert a.drain(timeout=30) and b.drain(timeout=30)
+            ans_a = a.estimate_at(7, 99.0)
+            ans_b = b.estimate_at(7, 99.0)  # same question, other service
+            assert ans_a == pytest.approx(100.0, abs=2.0)
+            assert ans_b == pytest.approx(0.0, abs=2.0)
+            # and the cached second reads stay isolated too
+            assert a.estimate_at(7, 99.0) == ans_a
+            assert b.estimate_at(7, 99.0) == ans_b
+        finally:
+            a.close()
+            b.close()
+
+    def test_namespaces_are_unique_by_default(self):
+        cache = AnswerCache(64)
+        a, b = self._twin_services(cache)
+        try:
+            assert a.cache_info()["namespace"] != b.cache_info()["namespace"]
+        finally:
+            a.close()
+            b.close()
+
+    def test_explicit_namespace_collision_is_callers_choice(self):
+        # sharing a namespace deliberately (e.g. replicas of one logical
+        # service) is allowed — the isolation default is what changed
+        cache = AnswerCache(64)
+        a = ShardedSketchService(
+            mg_factory, num_shards=2, cache=cache, cache_namespace="same"
+        )
+        b = ShardedSketchService(
+            mg_factory, num_shards=2, cache=cache, cache_namespace="same"
+        )
+        try:
+            assert a.cache_info()["namespace"] == "same"
+            assert b.cache_info()["namespace"] == "same"
+        finally:
+            a.close()
+            b.close()
+
+    def test_cache_info_reports_shared_cache(self):
+        cache = AnswerCache(64)
+        a, b = self._twin_services(cache)
+        try:
+            a.ingest_batch(np.array([1], dtype=np.int64), np.array([0.0]))
+            a.drain(timeout=30)
+            a.estimate_at(1, 0.0)
+            info = a.cache_info()
+            assert info["capacity"] == 64
+            assert info["namespace_size"] >= 1
+            assert cache.namespace_size(info["namespace"]) == info["namespace_size"]
+        finally:
+            a.close()
+            b.close()

@@ -1,0 +1,126 @@
+"""TokenBucket and TenantQuota: admission math under a hand-driven clock."""
+
+import pytest
+
+from repro.service import (
+    BACKPRESSURE_POLICIES,
+    BackpressureError,
+    QUOTA_REASONS,
+    TenantQuota,
+    TenantQuotaError,
+    TokenBucket,
+    UNLIMITED_QUOTA,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_admits_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        assert bucket.try_take(5) == 0.0
+        assert bucket.tokens == 0.0
+
+    def test_rejection_returns_wait_and_debits_nothing(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket.try_take(5)
+        wait = bucket.try_take(2)
+        assert wait == pytest.approx(0.2)
+        assert bucket.tokens == 0.0  # failed take leaves the balance alone
+
+    def test_refills_at_rate_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket.try_take(5)
+        clock.advance(0.3)
+        assert bucket.tokens == pytest.approx(3.0)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(5.0)  # capped
+
+    def test_sustained_rate_is_enforced(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=10.0, clock=clock)
+        admitted = 0
+        for _ in range(50):
+            if bucket.try_take(10) == 0.0:
+                admitted += 10
+            clock.advance(0.02)
+        # 1s elapsed at 100/s plus the initial 10-token burst
+        assert admitted <= 110
+        assert admitted >= 100
+
+    def test_oversized_request_admits_from_full_bucket(self):
+        # n > burst must not be rejected forever: a full bucket grants it
+        # and goes negative, borrowing against future refill
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        assert bucket.try_take(50) == 0.0
+        assert bucket.tokens == pytest.approx(-45.0)
+        wait = bucket.try_take(1)
+        assert wait == pytest.approx(4.6)  # pay off the 45-token debt first
+
+    def test_oversized_request_waits_for_full_bucket(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket.try_take(5)
+        wait = bucket.try_take(50)
+        assert wait == pytest.approx(0.5)  # time to a *full* bucket, not 50
+        clock.advance(0.5)
+        assert bucket.take(50, timeout=0.0)
+
+    def test_take_times_out_without_debit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket.try_take(5)
+        assert not bucket.take(3, timeout=0.0)
+        assert bucket.tokens == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+        bucket = TokenBucket(rate=1.0)
+        with pytest.raises(ValueError):
+            bucket.try_take(-1)
+
+
+class TestTenantQuota:
+    def test_policies_reuse_backpressure_vocabulary(self):
+        for policy in BACKPRESSURE_POLICIES:
+            TenantQuota(policy=policy)
+        with pytest.raises(ValueError):
+            TenantQuota(policy="shrug")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(rate=0)
+        with pytest.raises(ValueError):
+            TenantQuota(burst=5)  # burst without rate
+        with pytest.raises(ValueError):
+            TenantQuota(max_resident_bytes=0)
+
+    def test_unlimited_quota_makes_no_bucket(self):
+        assert UNLIMITED_QUOTA.make_bucket() is None
+
+    def test_make_bucket_defaults_burst_to_one_second(self):
+        bucket = TenantQuota(rate=7.0).make_bucket(FakeClock())
+        assert bucket.burst == 7.0
+
+    def test_quota_error_is_backpressure(self):
+        err = TenantQuotaError("t1", "rate", "too fast", retry_after=0.25)
+        assert isinstance(err, BackpressureError)
+        assert err.tenant == "t1"
+        assert err.reason in QUOTA_REASONS
+        assert err.retry_after == 0.25

@@ -1,0 +1,510 @@
+"""MultiTenantService / TenantRegistry: registry, quotas, spill, metrics."""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro.telemetry as telemetry
+from repro.core import ChainMisraGries
+from repro.service import (
+    MultiTenantService,
+    OTHER_LABEL,
+    TENANT_MEMORY_PREFIX,
+    TenantLabelGuard,
+    TenantQuota,
+    TenantQuotaError,
+    TenantReceipt,
+    TenantRegistry,
+    UnknownTenantError,
+)
+from repro.service.tenancy import TENANTS_MANIFEST_NAME, _slugify
+from repro.telemetry import TELEMETRY, breakdown
+
+
+def mg_factory():
+    return ChainMisraGries(eps=0.01)
+
+
+@pytest.fixture()
+def enabled_telemetry():
+    telemetry.reset()
+    telemetry.enable()
+    yield telemetry
+    telemetry.disable()
+    telemetry.reset()
+
+
+def batch(keys, t0=0.0):
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys, np.arange(t0, t0 + keys.size, dtype=float)
+
+
+class TestTenantRegistry:
+    def test_register_and_lookup(self, tmp_path):
+        registry = TenantRegistry(tmp_path)
+        registry.register_factory("mg", mg_factory)
+        record = registry.register("alice", "mg")
+        assert "alice" in registry
+        assert len(registry) == 1
+        assert registry.get("alice") is record
+        assert registry.tenant_ids() == ["alice"]
+
+    def test_register_is_idempotent_but_factory_is_sticky(self, tmp_path):
+        registry = TenantRegistry(tmp_path)
+        registry.register_factory("mg", mg_factory)
+        registry.register_factory("mg2", mg_factory)
+        first = registry.register("alice", "mg")
+        assert registry.register("alice", "mg") is first
+        with pytest.raises(ValueError, match="registered with factory"):
+            registry.register("alice", "mg2")
+
+    def test_unknown_factory_rejected(self, tmp_path):
+        registry = TenantRegistry(tmp_path)
+        with pytest.raises(KeyError, match="no factory"):
+            registry.register("alice", "ghost")
+        with pytest.raises(KeyError, match="no factory"):
+            registry.factory("ghost")
+
+    def test_manifest_round_trip_restores_tenants_and_quotas(self, tmp_path):
+        registry = TenantRegistry(tmp_path)
+        registry.register_factory("mg", mg_factory)
+        registry.register("alice", "mg", TenantQuota(rate=5.0, policy="drop"))
+        registry.register("bob", "mg")
+        assert (tmp_path / TENANTS_MANIFEST_NAME).exists()
+
+        restored = TenantRegistry(tmp_path)
+        restored.load()
+        assert set(restored.tenant_ids()) == {"alice", "bob"}
+        alice = restored.get("alice")
+        assert alice.quota.rate == 5.0
+        assert alice.quota.policy == "drop"
+        assert alice.service is None  # everyone restores cold
+        assert alice.slug == registry.get("alice").slug
+
+    def test_slugs_are_fs_safe_and_collision_free(self):
+        nasty = "we/ird tenant:№1"
+        slug = _slugify(nasty)
+        assert "/" not in slug and " " not in slug and ":" not in slug
+        # two ids that sanitise identically still get distinct slugs
+        assert _slugify("a/b") != _slugify("a_b")
+        assert _slugify(nasty) == slug  # deterministic
+
+    def test_set_quota_rebuilds_bucket(self, tmp_path):
+        registry = TenantRegistry(tmp_path)
+        registry.register_factory("mg", mg_factory)
+        registry.register("alice", "mg")
+        assert registry.get("alice").bucket is None
+        registry.set_quota("alice", TenantQuota(rate=2.0))
+        assert registry.get("alice").bucket is not None
+        with pytest.raises(UnknownTenantError):
+            registry.set_quota("ghost", TenantQuota())
+
+
+class TestLabelGuard:
+    def test_first_k_tenants_keep_their_names(self):
+        guard = TenantLabelGuard(top_k=2)
+        assert guard.label("a") == "a"
+        assert guard.label("b") == "b"
+        assert guard.label("c") == OTHER_LABEL
+        assert guard.label("a") == "a"  # stable
+        assert guard.owns_label("a") and not guard.owns_label("c")
+
+    def test_cardinality_is_bounded(self):
+        guard = TenantLabelGuard(top_k=3)
+        for i in range(100):
+            guard.label(f"t{i}")
+        assert guard.cardinality <= 4  # top-K + __other__
+        assert len(set(guard.labels().values())) <= 4
+
+    def test_zero_k_rolls_everyone_up(self):
+        guard = TenantLabelGuard(top_k=0)
+        assert guard.label("a") == OTHER_LABEL
+        assert guard.cardinality == 1
+
+
+class TestFacadeBasics:
+    def test_tenants_are_isolated(self, tmp_path):
+        with MultiTenantService(mg_factory, directory=tmp_path, num_shards=2) as svc:
+            keys_a, ts = batch([7] * 60)
+            keys_b, _ = batch([9] * 60)
+            svc.ingest_batch("a", keys_a, ts)
+            svc.ingest_batch("b", keys_b, ts)
+            assert svc.drain()
+            assert svc.estimate_at("a", 7, 59.0) == pytest.approx(60.0, abs=2)
+            assert svc.estimate_at("b", 7, 59.0) == pytest.approx(0.0, abs=2)
+            assert svc.total_weight_at("a", 59.0) == pytest.approx(60.0)
+
+    def test_auto_register_on_ingest_only(self, tmp_path):
+        with MultiTenantService(mg_factory, directory=tmp_path) as svc:
+            keys, ts = batch([1, 2, 3])
+            svc.ingest_batch("new-tenant", keys, ts)
+            assert "new-tenant" in svc.registry
+            with pytest.raises(UnknownTenantError):
+                svc.estimate_at("never-seen", 1, 0.0)
+            with pytest.raises(UnknownTenantError):
+                svc.query("never-seen", "memory_bytes", combine="sum")
+
+    def test_auto_register_off_rejects_unknown_ingest(self, tmp_path):
+        with MultiTenantService(
+            mg_factory, directory=tmp_path, auto_register=False
+        ) as svc:
+            keys, ts = batch([1])
+            with pytest.raises(UnknownTenantError):
+                svc.ingest_batch("stranger", keys, ts)
+
+    def test_receipt_and_wait_for(self, tmp_path):
+        with MultiTenantService(mg_factory, directory=tmp_path) as svc:
+            keys, ts = batch([1, 2, 3, 4])
+            receipt = svc.ingest_batch("a", keys, ts)
+            assert isinstance(receipt, TenantReceipt)
+            assert receipt.tenant == "a"
+            assert receipt.accepted == 4
+            assert svc.wait_for(receipt, timeout=30)
+
+    def test_wait_for_past_epoch_is_immediate(self, tmp_path):
+        with MultiTenantService(mg_factory, directory=tmp_path) as svc:
+            keys, ts = batch([1, 2, 3])
+            receipt = svc.ingest_batch("a", keys, ts)
+            svc.spill("a")
+            # spill drained everything: old-epoch receipts are applied
+            assert svc.wait_for(receipt, timeout=0.001)
+
+    def test_close_then_use_raises(self, tmp_path):
+        svc = MultiTenantService(mg_factory, directory=tmp_path)
+        svc.close()
+        keys, ts = batch([1])
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.ingest_batch("a", keys, ts)
+
+    def test_constructor_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="factory"):
+            MultiTenantService()
+        with pytest.raises(ValueError, match="directory"):
+            MultiTenantService(mg_factory, max_resident_tenants=2)
+        with pytest.raises(ValueError, match="max_resident_tenants"):
+            MultiTenantService(
+                mg_factory, directory=tmp_path, max_resident_tenants=0
+            )
+
+
+class TestSpillAndReload:
+    def test_lru_cap_spills_coldest(self, tmp_path):
+        svc = MultiTenantService(
+            mg_factory, directory=tmp_path, max_resident_tenants=2
+        )
+        with svc:
+            for tenant in ("a", "b", "c"):
+                keys, ts = batch([1, 2, 3])
+                svc.ingest_batch(tenant, keys, ts)
+            resident = svc.resident_tenants()
+            assert len(resident) == 2
+            assert "a" not in resident  # coldest went first
+            assert svc.registry.get("a").spills == 1
+
+    def test_touch_reloads_transparently_with_identical_answers(self, tmp_path):
+        svc = MultiTenantService(
+            mg_factory, directory=tmp_path, max_resident_tenants=4, num_shards=2
+        )
+        with svc:
+            keys, ts = batch(list(range(8)) * 10)
+            svc.ingest_batch("a", keys, ts)
+            assert svc.drain("a")
+            before = {
+                key: svc.estimate_at("a", key, float(keys.size - 1))
+                for key in range(8)
+            }
+            assert svc.spill("a")
+            assert "a" not in svc.resident_tenants()
+            after = {
+                key: svc.estimate_at("a", key, float(keys.size - 1))
+                for key in range(8)
+            }
+            assert after == before  # bit-identical, not approximately
+            assert svc.registry.get("a").reloads == 1
+            assert "a" in svc.resident_tenants()
+
+    def test_spill_of_cold_tenant_is_noop(self, tmp_path):
+        with MultiTenantService(mg_factory, directory=tmp_path) as svc:
+            svc.register_tenant("a")
+            assert not svc.spill("a")
+
+    def test_spill_without_directory_raises(self):
+        with MultiTenantService(mg_factory) as svc:
+            keys, ts = batch([1])
+            svc.ingest_batch("a", keys, ts)
+            with pytest.raises(RuntimeError, match="durable"):
+                svc.spill("a")
+
+    def test_resident_bytes_ceiling_is_enforced(self, tmp_path):
+        ceiling = 6_000
+        svc = MultiTenantService(
+            mg_factory,
+            directory=tmp_path,
+            max_resident_bytes=ceiling,
+            accounting_interval=32,
+        )
+        with svc:
+            rng = np.random.default_rng(7)
+            for round_ in range(12):
+                for tenant in ("a", "b", "c", "d"):
+                    keys = rng.integers(0, 500, size=64).astype(np.int64)
+                    ts = np.arange(round_ * 64, round_ * 64 + 64, dtype=float)
+                    svc.ingest_batch(tenant, keys, ts)
+                assert svc.resident_bytes(refresh=True) <= ceiling
+            assert sum(
+                svc.registry.get(t).spills for t in ("a", "b", "c", "d")
+            ) > 0
+
+    def test_stale_cache_cannot_survive_spill_reload(self, tmp_path):
+        """The fatal bug class: a reloaded tenant restarts its watermark,
+        so a pre-spill cached answer keyed by the same (method, args,
+        watermark) tuple would be served for the *new* state."""
+        svc = MultiTenantService(mg_factory, directory=tmp_path)
+        with svc:
+            keys, ts = batch([5] * 40)
+            svc.ingest_batch("a", keys, ts)
+            assert svc.drain("a")
+            first = svc.estimate_at("a", 5, 100.0)
+            assert first == pytest.approx(40.0, abs=2)
+            svc.spill("a")
+            # same item count again -> same watermark as when the answer
+            # above was cached; only the namespace drop prevents a stale hit
+            keys2, ts2 = batch([5] * 40, t0=40.0)
+            svc.ingest_batch("a", keys2, ts2)
+            assert svc.drain("a")
+            second = svc.estimate_at("a", 5, 100.0)
+            assert second == pytest.approx(80.0, abs=3)
+
+
+class TestQuotas:
+    def test_drop_policy_counts_exactly(self, tmp_path, enabled_telemetry):
+        svc = MultiTenantService(
+            mg_factory,
+            directory=tmp_path,
+            default_quota=TenantQuota(rate=1.0, burst=10.0, policy="drop"),
+        )
+        with svc:
+            keys, ts = batch(list(range(10)))
+            assert svc.ingest_batch("a", keys, ts).accepted == 10
+            rejected = 0
+            for _ in range(5):
+                receipt = svc.ingest_batch("a", keys, ts)
+                if receipt.dropped:
+                    rejected += 1
+                    assert receipt.seqno == -1 and receipt.accepted == 0
+            assert rejected >= 4  # refill may admit at most one more batch
+            record = svc.registry.get("a")
+            assert record.rejects["rate"] == rejected
+            family = TELEMETRY.registry.get("service_tenant_rejects_total")
+            counted = sum(
+                child.value
+                for labels, child in family.samples()
+                if labels.get("tenant") == "a" and labels.get("reason") == "rate"
+            )
+            assert counted == rejected
+
+    def test_error_policy_raises_with_retry_after(self, tmp_path):
+        svc = MultiTenantService(
+            mg_factory,
+            directory=tmp_path,
+            default_quota=TenantQuota(rate=1.0, burst=2.0, policy="error"),
+        )
+        with svc:
+            keys, ts = batch([1, 2])
+            svc.ingest_batch("a", keys, ts)
+            with pytest.raises(TenantQuotaError) as excinfo:
+                svc.ingest_batch("a", keys, ts)
+            assert excinfo.value.tenant == "a"
+            assert excinfo.value.reason == "rate"
+            assert excinfo.value.retry_after > 0
+
+    def test_block_policy_waits_for_tokens(self, tmp_path):
+        svc = MultiTenantService(
+            mg_factory,
+            directory=tmp_path,
+            default_quota=TenantQuota(rate=200.0, burst=5.0, policy="block"),
+        )
+        with svc:
+            keys, ts = batch([1, 2, 3, 4, 5])
+            svc.ingest_batch("a", keys, ts)
+            keys2, ts2 = batch([1, 2, 3, 4, 5], t0=5.0)
+            # blocks ~25ms for refill instead of rejecting
+            receipt = svc.ingest_batch("a", keys2, ts2)
+            assert receipt.accepted == 5
+            assert svc.registry.get("a").rejects["rate"] == 0
+
+    def test_block_policy_timeout_raises(self, tmp_path):
+        svc = MultiTenantService(
+            mg_factory,
+            directory=tmp_path,
+            default_quota=TenantQuota(
+                rate=0.001, burst=1.0, policy="block", block_timeout=0.01
+            ),
+        )
+        with svc:
+            keys, ts = batch([1])
+            svc.ingest_batch("a", keys, ts)
+            with pytest.raises(TenantQuotaError):
+                svc.ingest_batch("a", keys, ts)
+            assert svc.registry.get("a").rejects["rate"] == 1
+
+    def test_byte_quota_rejects_and_block_degrades_to_error(self, tmp_path):
+        svc = MultiTenantService(
+            mg_factory,
+            directory=tmp_path,
+            default_quota=TenantQuota(max_resident_bytes=1, policy="block"),
+            accounting_interval=8,
+        )
+        with svc:
+            rng = np.random.default_rng(3)
+            keys = rng.integers(0, 200, size=64).astype(np.int64)
+            ts = np.arange(64, dtype=float)
+            svc.ingest_batch("a", keys, ts)  # admitted: not measured yet
+            assert svc.drain("a")
+            assert svc.resident_bytes("a", refresh=True) > 1
+            with pytest.raises(TenantQuotaError) as excinfo:
+                svc.ingest_batch("a", keys, ts + 64.0)
+            assert excinfo.value.reason == "bytes"
+            assert svc.registry.get("a").rejects["bytes"] == 1
+
+    def test_per_tenant_quota_overrides_default(self, tmp_path):
+        svc = MultiTenantService(
+            mg_factory,
+            directory=tmp_path,
+            default_quota=TenantQuota(rate=1.0, burst=1.0, policy="error"),
+        )
+        with svc:
+            svc.register_tenant("vip", quota=TenantQuota())
+            keys, ts = batch(list(range(50)))
+            assert svc.ingest_batch("vip", keys, ts).accepted == 50
+
+
+class TestObservability:
+    def test_label_cardinality_stays_bounded(self, tmp_path, enabled_telemetry):
+        svc = MultiTenantService(
+            mg_factory,
+            directory=tmp_path,
+            label_tenants=3,
+            max_resident_tenants=4,
+        )
+        with svc:
+            for i in range(20):
+                keys, ts = batch([i])
+                svc.ingest_batch(f"tenant-{i}", keys, ts)
+            family = TELEMETRY.registry.get("service_tenant_ingest_items_total")
+            # reset() zeroes but keeps children from earlier tests; only
+            # live series count against the cardinality budget
+            tenants_seen = {
+                labels["tenant"]
+                for labels, child in family.samples()
+                if child.value > 0
+            }
+            assert len(tenants_seen) <= 4  # 3 own labels + __other__
+            assert OTHER_LABEL in tenants_seen
+            assert svc.label_guard.cardinality <= 4
+
+    def test_tenants_payload_and_endpoint(self, tmp_path, enabled_telemetry):
+        svc = MultiTenantService(
+            mg_factory, directory=tmp_path, max_resident_tenants=4
+        )
+        with svc:
+            for tenant in ("a", "b"):
+                keys, ts = batch([1, 2, 3])
+                svc.ingest_batch(tenant, keys, ts)
+            payload = svc.tenants()
+            assert payload["known"] == 2
+            assert payload["resident"] == 2
+            assert set(payload["tenants"]) == {"a", "b"}
+            assert payload["tenants"]["a"]["resident"]
+            server = svc.serve_introspection()
+            try:
+                served = json.loads(
+                    urllib.request.urlopen(server.url + "/tenants").read()
+                )
+                assert served["known"] == 2
+                assert set(served["tenants"]) == {"a", "b"}
+                metrics = (
+                    urllib.request.urlopen(server.url + "/metrics")
+                    .read()
+                    .decode()
+                )
+                assert "service_tenants_resident 2" in metrics
+            finally:
+                server.stop()
+
+    def test_memory_breakdown_by_tenant(self, tmp_path, enabled_telemetry):
+        svc = MultiTenantService(
+            mg_factory, directory=tmp_path, num_shards=2, label_tenants=1
+        )
+        with svc:
+            for tenant in ("big", "small"):
+                keys, ts = batch(list(range(30)))
+                svc.ingest_batch(tenant, keys, ts)
+            svc.drain()
+            svc.publish_memory()
+            grouped = breakdown(prefix=TENANT_MEMORY_PREFIX)
+            assert "big" in grouped  # first tenant owns its label
+            assert OTHER_LABEL in grouped  # "small" rolled up
+            assert "small" not in grouped
+            assert grouped["big"]["total"] == sum(
+                size
+                for component, size in grouped["big"].items()
+                if component.startswith("shard-")
+            )
+            # spill removes the gauges: residency, not history
+            svc.spill("big")
+            svc.publish_memory()
+            assert "big" not in breakdown(prefix=TENANT_MEMORY_PREFIX)
+
+    def test_health_aggregates_resident_tenants(self, tmp_path):
+        with MultiTenantService(mg_factory, directory=tmp_path) as svc:
+            keys, ts = batch([1])
+            svc.ingest_batch("a", keys, ts)
+            report = svc.health()
+            assert report["healthy"]
+            assert report["resident"] == 1
+            assert report["unhealthy_tenants"] == {}
+
+    def test_stats_include_shared_cache(self, tmp_path):
+        with MultiTenantService(mg_factory, directory=tmp_path) as svc:
+            keys, ts = batch([1])
+            svc.ingest_batch("a", keys, ts)
+            svc.drain("a")
+            svc.estimate_at("a", 1, 0.0)
+            stats = svc.stats()
+            assert stats["cache"]["size"] >= 1
+            assert "tenant:a" in stats["cache"]["namespaces"]
+
+
+class TestDurableReopen:
+    def test_open_adopts_topology_and_restores_fleet(self, tmp_path):
+        svc = MultiTenantService(
+            mg_factory, directory=tmp_path, num_shards=2, seed=11
+        )
+        with svc:
+            keys, ts = batch(list(range(6)) * 20)
+            svc.ingest_batch("a", keys, ts)
+            svc.ingest_batch("b", keys, ts)
+            svc.drain()
+            expected = svc.estimate_at("a", 3, float(keys.size))
+
+        reopened = MultiTenantService.open(tmp_path, factory=mg_factory)
+        with reopened:
+            assert reopened.num_shards == 2
+            assert reopened.seed == 11
+            assert set(reopened.known_tenants()) == {"a", "b"}
+            assert reopened.resident_tenants() == []  # all cold
+            assert reopened.estimate_at("a", 3, float(keys.size)) == expected
+
+    def test_mismatched_topology_is_rejected(self, tmp_path):
+        MultiTenantService(
+            mg_factory, directory=tmp_path, num_shards=2
+        ).close()
+        with pytest.raises(ValueError, match="topology"):
+            MultiTenantService(mg_factory, directory=tmp_path, num_shards=3)
+
+    def test_open_without_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MultiTenantService.open(tmp_path / "nothing", factory=mg_factory)

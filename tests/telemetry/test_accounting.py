@@ -14,7 +14,13 @@ from repro.core.persistent_sampling import (
     PersistentTopKSample,
 )
 from repro.sketches import CountMinSketch, MisraGries
-from repro.telemetry.accounting import account, account_and_publish, publish
+from repro.telemetry.accounting import (
+    account,
+    account_and_publish,
+    breakdown,
+    publish,
+    unpublish,
+)
 from repro.telemetry.registry import TELEMETRY
 
 
@@ -120,3 +126,75 @@ class TestPublish:
             "memory_resident_bytes", sketch="topk", component="total"
         ).value
         assert after > before
+
+
+class _Wrapper:
+    """Stand-in for DurableSketch-style wrappers: delegates, holds _sketch."""
+
+    def __init__(self, sketch):
+        self._sketch = sketch
+
+    def memory_bytes(self):
+        return self._sketch.memory_bytes()
+
+
+class TestOwnerUnwrap:
+    def test_wrapped_sketch_reports_under_inner_type(self):
+        sampler = PersistentTopKSample(k=4, seed=0)
+        sampler.update(1, 1.0)
+        report = account(_Wrapper(sampler))
+        assert report.name == "PersistentTopKSample"
+
+    def test_unwrap_follows_nested_wrappers(self):
+        sampler = PersistentTopKSample(k=4, seed=0)
+        sampler.update(1, 1.0)
+        report = account(_Wrapper(_Wrapper(sampler)))
+        assert report.name == "PersistentTopKSample"
+
+    def test_explicit_name_still_wins(self):
+        sampler = PersistentTopKSample(k=4, seed=0)
+        sampler.update(1, 1.0)
+        assert account(_Wrapper(sampler), name="mine").name == "mine"
+
+
+class TestBreakdownAndUnpublish:
+    def _publish_two(self):
+        for name in ("tenant/a", "tenant/b"):
+            sampler = PersistentTopKSample(k=4, seed=0)
+            for index in range(50):
+                sampler.update(index, float(index))
+            publish(account(sampler, name=name))
+
+    def test_breakdown_groups_components_by_owner(self, enabled_telemetry):
+        self._publish_two()
+        grouped = breakdown()
+        assert set(grouped) >= {"tenant/a", "tenant/b"}
+        components = grouped["tenant/a"]
+        assert "total" in components
+        assert components["total"] == sum(
+            size for key, size in components.items() if key != "total"
+        )
+
+    def test_breakdown_prefix_filters_and_strips(self, enabled_telemetry):
+        self._publish_two()
+        sampler = PersistentTopKSample(k=4, seed=0)
+        sampler.update(1, 1.0)
+        publish(account(sampler, name="unrelated"))
+        grouped = breakdown(prefix="tenant/")
+        # telemetry.reset() zeroes but keeps children, so earlier tests in
+        # the same process may leave zero-valued owners behind — only the
+        # live ones are this test's concern.
+        live = {
+            owner
+            for owner, components in grouped.items()
+            if any(components.values())
+        }
+        assert live == {"a", "b"}
+        assert "unrelated" not in grouped
+
+    def test_unpublish_removes_both_gauge_families(self, enabled_telemetry):
+        self._publish_two()
+        assert unpublish("tenant/a") > 0
+        assert "tenant/a" not in breakdown()
+        assert "tenant/b" in breakdown()
+        assert unpublish("tenant/a") == 0  # idempotent

@@ -157,6 +157,32 @@ class TestRegistry:
         assert labelsets == [{"x": "1"}, {"x": "2"}]
 
 
+class TestFamilyRemove:
+    def test_remove_drops_matching_children(self):
+        registry = MetricsRegistry()
+        registry.gauge("bytes", sketch="a", component="x").set(1)
+        registry.gauge("bytes", sketch="a", component="y").set(2)
+        registry.gauge("bytes", sketch="b", component="x").set(3)
+        family = registry.get("bytes")
+        assert family.remove(sketch="a") == 2
+        remaining = [labels for labels, _ in family.samples()]
+        assert remaining == [{"sketch": "b", "component": "x"}]
+
+    def test_remove_matches_on_a_label_subset(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", op="read", shard="0").inc()
+        registry.counter("ops_total", op="write", shard="0").inc()
+        family = registry.get("ops_total")
+        assert family.remove(shard="0", op="read") == 1
+        assert family.remove(op="nope") == 0
+
+    def test_removed_series_can_be_recreated_at_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", op="a").inc(5)
+        registry.get("ops_total").remove(op="a")
+        assert registry.counter("ops_total", op="a").value == 0.0
+
+
 class TestTimedDecorator:
     def test_disabled_does_not_observe(self, clean_telemetry):
         histogram = Histogram(bounds=(1.0,))
