@@ -4,12 +4,18 @@ Starts a sharded service with telemetry enabled, ingests a traced workload,
 serves introspection on an ephemeral port, then hits it with ``curl`` from
 a real subprocess: ``/healthz`` must answer 200 with a healthy payload and
 the ``/metrics`` body must be byte-identical to the in-process
-``prometheus_text()`` rendering.  Then stands up a ``MultiTenantService``
-and curls ``/tenants``, which must agree with the in-process ``tenants()``
-fleet summary.  Exits non-zero (with a diff) on any mismatch.  Run from
-the repo root::
+``prometheus_text()`` rendering; with a poller and alert engine attached,
+``/timeseries`` and ``/alerts`` must answer well-formed non-empty JSON and
+``/dashboard`` a self-contained HTML page.  Then stands up a
+``MultiTenantService`` and curls ``/tenants``, which must agree with the
+in-process ``tenants()`` fleet summary.  Exits non-zero (with a diff) on
+any mismatch.  Run from the repo root::
 
     PYTHONPATH=src python scripts/introspection_smoke.py
+
+The poller is ticked *manually* (never started): a background tick landing
+between the ``/metrics`` scrape and the ``prometheus_text()`` render would
+break the byte-identity check.
 """
 
 import difflib
@@ -21,7 +27,13 @@ import numpy as np
 
 from repro.core import ChainMisraGries
 from repro.service import MultiTenantService, ShardedSketchService
-from repro.telemetry import export
+from repro.telemetry import (
+    ALERT_STATES,
+    AlertEngine,
+    MetricPoller,
+    default_service_rules,
+    export,
+)
 from repro.telemetry.registry import TELEMETRY
 
 
@@ -43,7 +55,12 @@ def main() -> int:
             return 1
         service.estimate_at(3, 100.0)
 
-        with service.serve_introspection() as server:
+        poller = MetricPoller(interval=1.0, capacity=16)
+        engine = AlertEngine(default_service_rules(), poller=poller)
+        poller.tick()  # manual ticks only — see the module docstring
+        poller.tick()
+
+        with service.serve_introspection(poller=poller, alerts=engine) as server:
             health = json.loads(curl(server.url + "/healthz"))
             if health.get("healthy") is not True:
                 print(f"FAIL: /healthz unhealthy: {health}", file=sys.stderr)
@@ -66,6 +83,59 @@ def main() -> int:
                 return 1
             lines = len(scraped.splitlines())
             print(f"PASS /metrics identical to prometheus_text() ({lines} lines)")
+
+            timeseries = json.loads(curl(server.url + "/timeseries"))
+            if timeseries["series_count"] < 1 or not timeseries["series"]:
+                print(f"FAIL: /timeseries empty: {timeseries}", file=sys.stderr)
+                return 1
+            names = {entry["name"] for entry in timeseries["series"]}
+            if "service_ingest_items_total" not in names:
+                print(
+                    f"FAIL: /timeseries missing ingest series: {sorted(names)}",
+                    file=sys.stderr,
+                )
+                return 1
+            if timeseries["ticks"] != poller.ticks:
+                print(f"FAIL: /timeseries tick drift: {timeseries['ticks']}",
+                      file=sys.stderr)
+                return 1
+            print(
+                f"PASS /timeseries well-formed "
+                f"({timeseries['series_count']} series, "
+                f"{timeseries['ticks']} ticks)"
+            )
+
+            alerts = json.loads(curl(server.url + "/alerts"))
+            if not alerts["rules"]:
+                print(f"FAIL: /alerts has no rules: {alerts}", file=sys.stderr)
+                return 1
+            bad_states = [
+                rule["name"] for rule in alerts["rules"]
+                if rule["state"] not in ALERT_STATES
+            ]
+            if bad_states:
+                print(f"FAIL: /alerts bad states: {bad_states}", file=sys.stderr)
+                return 1
+            health = json.loads(curl(server.url + "/healthz"))
+            if health.get("alerts", {}).get("rules") != len(alerts["rules"]):
+                print(f"FAIL: /healthz missing alert fold: {health}",
+                      file=sys.stderr)
+                return 1
+            print(
+                f"PASS /alerts well-formed ({len(alerts['rules'])} rules, "
+                f"{alerts['firing']} firing) and folded into /healthz"
+            )
+
+            dashboard = curl(server.url + "/dashboard")
+            if (not dashboard.startswith("<!doctype html>")
+                    or "<svg" not in dashboard
+                    or "service_ingest_items_total" not in dashboard):
+                print("FAIL: /dashboard malformed", file=sys.stderr)
+                return 1
+            if "<script" in dashboard or "src=" in dashboard:
+                print("FAIL: /dashboard not self-contained", file=sys.stderr)
+                return 1
+            print(f"PASS /dashboard self-contained HTML ({len(dashboard)} bytes)")
 
     with MultiTenantService(
         lambda: ChainMisraGries(eps=0.01), num_shards=1

@@ -404,6 +404,9 @@ def run_soak(
     fingerprint: Optional[Callable[[Any], Any]] = None,
     trace_path=None,
     drain_timeout: float = 60.0,
+    poller=None,
+    alert_engine=None,
+    auditor=None,
 ) -> dict:
     """Hammer a supervised durable service through a chaos schedule.
 
@@ -437,6 +440,17 @@ def run_soak(
     Returns a report dict (``ok``, ``anomalies``, timings, event/rebuild
     counts); when ``trace_path`` is given the full event trace (plus
     anomalies) is written there as JSONL regardless of outcome.
+
+    The watcher layer rides along when attached: ``poller`` (a
+    :class:`~repro.telemetry.MetricPoller`) is ticked after every
+    arrival batch and once after healing — each tick also drives
+    ``alert_engine`` (a :class:`~repro.telemetry.AlertEngine`), whose
+    per-rule peak states and final states land in the report's
+    ``"alerts"`` entry; ``auditor`` (an
+    :class:`~repro.telemetry.AccuracyAuditor`) shadow-records the whole
+    stream and replays an audit round after recovery (report key
+    ``"audit"``).  A kill schedule thus demonstrably drives the
+    ``shard_unhealthy`` rule ``ok -> firing -> ok`` across one soak.
     """
     from repro.service.router import ShardRouter
     from repro.service.service import ShardedSketchService
@@ -476,6 +490,24 @@ def run_soak(
         call_timeout=call_timeout,
         partial="allow",
     )
+    if auditor is not None:
+        service.attach_auditor(auditor)
+    alert_peaks: dict = {}
+    audit_report = alert_report = None
+
+    def watch_tick() -> None:
+        if poller is not None:
+            poller.tick()
+        elif alert_engine is not None:
+            alert_engine.evaluate()
+        if alert_engine is not None:
+            status = alert_engine.status()
+            rank = {"ok": 0, "pending": 1, "firing": 2}
+            for entry in status["rules"]:
+                seen = alert_peaks.get(entry["name"], "ok")
+                if rank[entry["state"]] > rank[seen]:
+                    alert_peaks[entry["name"]] = entry["state"]
+
     monitor = None
     if backend == "process":
         monitor = _ProcessChaosMonitor(service, controller)
@@ -515,6 +547,7 @@ def run_soak(
                     f"ingest batch {batch_index} blocked {elapsed:.2f}s "
                     f"(deadline {block_timeout:g}s x {num_shards} shards)"
                 )
+            watch_tick()
             if probe_keys and batch_index % query_every == query_every - 1:
                 now = float(part_ts[-1])
                 for key in probe_keys:
@@ -623,6 +656,23 @@ def run_soak(
                     )
         supervisor_stats = service._supervisor.stats()
         rebuilds = sum(entry["rebuilds"] for entry in supervisor_stats.values())
+        # the healed tick: rules tripped by kills should come back to ok
+        watch_tick()
+        if auditor is not None:
+            audit_report = auditor.run_audit(queries=32)
+        if alert_engine is not None:
+            final = {
+                entry["name"]: entry["state"]
+                for entry in alert_engine.status()["rules"]
+            }
+            alert_report = {
+                "peak_states": dict(alert_peaks),
+                "final_states": final,
+                "fired": sorted(
+                    name for name, peak in alert_peaks.items()
+                    if peak == "firing"
+                ),
+            }
     finally:
         if monitor is not None:
             monitor.stop()
@@ -631,7 +681,7 @@ def run_soak(
         controller.record("anomaly", detail=anomaly)
     if trace_path is not None:
         controller.write_trace(trace_path)
-    return {
+    report = {
         "ok": not anomalies,
         "anomalies": anomalies,
         "events_fired": sum(1 for event in controller.events if event.fired),
@@ -642,6 +692,11 @@ def run_soak(
         "max_ingest_seconds": max_ingest_seconds,
         "supervisor": supervisor_stats,
     }
+    if alert_engine is not None:
+        report["alerts"] = alert_report
+    if auditor is not None:
+        report["audit"] = audit_report
+    return report
 
 
 def _fingerprints_equal(got, want) -> bool:

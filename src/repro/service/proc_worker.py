@@ -41,7 +41,11 @@ Telemetry stays whole: the child's metric increments and finished spans
 ship back piggybacked on every apply ack (and on demand via
 :meth:`ProcessShardWorker.pull_telemetry`) and merge into the parent's
 process-global registry and span collector, so ``/metrics``, ``/report``
-and trace trees look the same under either backend.
+and trace trees look the same under either backend.  Deltas a killed
+child accumulated since its last shipment are unrecoverable; the parent
+counts that loss — estimated from the operations it observed since the
+last shipped snapshot — in ``service_telemetry_delta_lost_total``, so a
+metrics gap after a crash is visible instead of silent.
 """
 
 from __future__ import annotations
@@ -76,6 +80,15 @@ from repro.service.worker import (
 )
 from repro.telemetry.registry import TELEMETRY as _TEL
 from repro.telemetry.spans import SPANS, SpanRecord, span
+
+# Declared at import time so the docs-catalog lint sees the family even
+# before a process worker exists; per-shard children bind at construction.
+_TEL.registry.declare(
+    "service_telemetry_delta_lost_total",
+    "counter",
+    "Child-side telemetry operations whose deltas died with the child "
+    "before shipping (estimated from the last shipped snapshot), by shard.",
+)
 
 
 class WorkerProcessDied(RuntimeError):
@@ -478,6 +491,13 @@ class ProcessShardWorker(ShardWorker):
         self._store_seqno = 0
         self._child_stopping = False
         self._child_ready = False
+        # child-touching operations (queries, reads, in-flight items)
+        # whose telemetry deltas have not come back on an ack or pull yet
+        # — the honest estimate of what a SIGKILL loses
+        self._unshipped_ops = 0
+        self._lost_deltas = _TEL.counter(
+            "service_telemetry_delta_lost_total", shard=index
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -603,7 +623,9 @@ class ProcessShardWorker(ShardWorker):
         finally:
             if segment is not None:
                 self._pool.release(segment)
-        merge_child_telemetry(reply.get("telemetry"))
+        if reply.get("telemetry") is not None:
+            merge_child_telemetry(reply["telemetry"])
+            self._unshipped_ops = 0  # the ack shipped everything pending
         if "error" in reply:
             self._record_failure(
                 _rebuild_exc(reply["error"]),
@@ -633,6 +655,7 @@ class ProcessShardWorker(ShardWorker):
             process.join(timeout=10.0)
         exitcode = None if process is None else process.exitcode
         cause = WorkerProcessDied(self.index, self.pid, exitcode)
+        self._account_lost_deltas(taken)
         landed = False
         if self._durable:
             landed = _durable_frontier(self._wal_directory) > self._store_seqno
@@ -673,10 +696,28 @@ class ProcessShardWorker(ShardWorker):
             exitcode = process.exitcode
         cause = WorkerProcessDied(self.index, self.pid, exitcode)
         cause.__cause__ = exc
+        self._account_lost_deltas(0)
         self._record_failure(
             cause, (), 0, self.applied_seqno,
             durable=self._durable, wal_advanced=True,
         )
+
+    def _account_lost_deltas(self, in_flight_items: int) -> None:
+        """Count telemetry deltas that died with the child, unshipped.
+
+        Child-side metric movement ships only on apply acks and explicit
+        pulls; query replies carry none.  Whatever the child accumulated
+        since the last shipped snapshot — one delta per parent-observed
+        child operation, plus any items in the apply that was in flight
+        when it died — vanished with the process.  The exact child-side
+        count is unknowable (the child is dead), so this is the honest
+        lower-bound estimate.  Zeroed after counting: both death paths
+        may run for one corpse, and the loss must count once.
+        """
+        lost = self._unshipped_ops + in_flight_items
+        self._unshipped_ops = 0
+        if lost and _TEL.enabled:
+            self._lost_deltas.inc(lost)
 
     # -- read side: RPC ----------------------------------------------------
 
@@ -685,12 +726,17 @@ class ProcessShardWorker(ShardWorker):
         if self._rpc is None:
             raise RuntimeError(f"shard {self.index} not started")
         try:
-            return self._rpc.call(op, payload, timeout=timeout)
+            reply = self._rpc.call(op, payload, timeout=timeout)
         except RpcTimeout as exc:
             raise ShardTimeoutError(self.index, timeout) from exc
         except ChannelClosed as exc:
             self.raise_if_failed()
             raise ShardFailedError(self.index, exc) from exc
+        # replies to reads carry no telemetry payload: whatever counters
+        # the child bumped serving this stay unshipped until the next
+        # apply ack or pull — track them for loss accounting
+        self._unshipped_ops += 1
+        return reply
 
     def query(
         self,
@@ -779,4 +825,6 @@ class ProcessShardWorker(ShardWorker):
             )
         except Exception:
             return
-        merge_child_telemetry(reply.get("telemetry"))
+        if reply.get("telemetry") is not None:
+            merge_child_telemetry(reply["telemetry"])
+            self._unshipped_ops = 0  # the pull shipped everything pending

@@ -322,6 +322,7 @@ class ShardedSketchService:
                 None if self._supervisor is None else self._supervisor.parked_items
             ),
         )
+        self._auditor = None
         if start:
             self.start()
 
@@ -519,6 +520,13 @@ class ShardedSketchService:
         # enqueue nest under it on this thread; the queue-wait and fused
         # apply recorded later on the worker threads link back via the
         # TraceContext each enqueued sub-batch carries
+        if self._auditor is not None:
+            # shadow-record before staging: ground truth reflects exactly
+            # the accepted arrays, parent-side, so shard rebuilds (WAL
+            # replay in a worker) can never corrupt or double-count it
+            self._auditor.observe_batch(
+                batch.values, batch.timestamps, batch.weights
+            )
         with span("service.ingest_batch", items=n) as ingest_span:
             with self._ingest_lock:
                 self._seqno += 1
@@ -924,8 +932,25 @@ class ShardedSketchService:
             payload["supervisor"] = self._supervisor.stats()
         return payload
 
+    def attach_auditor(self, auditor) -> None:
+        """Shadow-record every accepted ingest batch into ``auditor``.
+
+        The :class:`~repro.telemetry.AccuracyAuditor` sees the exact
+        arrays :meth:`ingest_batch` accepted, before routing — its
+        ground truth is parent-side state, untouched by shard rebuilds.
+        Also binds this service as the auditor's replay target.  Pass
+        ``None`` to detach.
+        """
+        self._auditor = auditor
+        if auditor is not None:
+            auditor.bind(self)
+
     def serve_introspection(
-        self, host: str = "127.0.0.1", port: int = 0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poller=None,
+        alerts=None,
     ) -> IntrospectionServer:
         """Start an introspection HTTP server bound to this service.
 
@@ -939,14 +964,39 @@ class ShardedSketchService:
         Under ``backend="process"`` each scrape first pulls the worker
         children's telemetry deltas (best-effort), so ``/metrics`` and
         ``/spans`` include child-side activity up to the scrape.
+
+        ``poller`` (a started :class:`~repro.telemetry.MetricPoller`)
+        adds ``/timeseries`` and ``/dashboard``; ``alerts`` (an
+        :class:`~repro.telemetry.AlertEngine`) adds ``/alerts`` *and
+        folds into* ``/healthz``: the payload gains an ``"alerts"``
+        summary and turns 503 while any critical rule is firing — the
+        same probe that catches a poisoned shard catches a blown SLO.
+        The caller owns both objects' lifetimes.
         """
 
         def pull_children() -> None:
             for worker in self._workers:
                 worker.pull_telemetry()
 
+        health = self.health
+        if alerts is not None:
+            def health_with_alerts() -> dict:
+                payload = self.health()
+                summary = alerts.summary()
+                payload["alerts"] = summary
+                if summary["critical_firing"]:
+                    payload["healthy"] = False
+                return payload
+            health = health_with_alerts
+
         return IntrospectionServer(
-            host=host, port=port, health=self.health, on_scrape=pull_children
+            host=host,
+            port=port,
+            health=health,
+            on_scrape=pull_children,
+            timeseries=poller.series if poller is not None else None,
+            alerts=alerts.status if alerts is not None else None,
+            dashboard=poller.dashboard_html if poller is not None else None,
         ).start()
 
     def cache_info(self) -> dict:

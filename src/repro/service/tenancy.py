@@ -645,6 +645,7 @@ class MultiTenantService:
         self._resident: "OrderedDict[str, TenantRecord]" = OrderedDict()
         self._lock = threading.Lock()
         self._closed = False
+        self._auditor = None
         topology = {
             "num_shards": num_shards,
             "partition": partition,
@@ -1031,6 +1032,15 @@ class MultiTenantService:
             ):
                 drop = quota.policy == "drop"
                 return self._reject(record, "bytes", n, None, raise_=not drop)
+            if self._auditor is not None:
+                # parent-side, pre-routing, keyed by tenant: spills and
+                # shard rebuilds never touch the audit ground truth
+                self._auditor.observe_batch(
+                    batch.values,
+                    batch.timestamps,
+                    batch.weights,
+                    tenant=record.tenant_id,
+                )
             receipt = service.ingest_batch(
                 batch.values, batch.timestamps, batch.weights
             )
@@ -1314,8 +1324,24 @@ class MultiTenantService:
             "unhealthy_tenants": unhealthy,
         }
 
+    def attach_auditor(self, auditor) -> None:
+        """Shadow-record every tenant's accepted batches into ``auditor``.
+
+        Ground truth is keyed by tenant id parent-side (see
+        :meth:`~repro.service.ShardedSketchService.attach_auditor`);
+        the auditor replays through this service's tenant-scoped query
+        API.  Pass ``None`` to detach.
+        """
+        self._auditor = auditor
+        if auditor is not None:
+            auditor.bind_tenancy(self)
+
     def serve_introspection(
-        self, host: str = "127.0.0.1", port: int = 0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poller=None,
+        alerts=None,
     ) -> IntrospectionServer:
         """Introspection HTTP server with the tenancy ``/tenants`` route.
 
@@ -1324,6 +1350,12 @@ class MultiTenantService:
         and ``/tenants`` from :meth:`tenants`.  Each scrape refreshes the
         per-tenant memory-accountant gauges (and pulls process-backend
         worker telemetry) first.  The caller owns the returned server.
+
+        ``poller`` / ``alerts`` add ``/timeseries``, ``/dashboard`` and
+        ``/alerts`` exactly as on
+        :meth:`~repro.service.ShardedSketchService.serve_introspection`,
+        including the ``/healthz`` fold (503 while a critical rule
+        fires).
         """
 
         def on_scrape() -> None:
@@ -1337,10 +1369,24 @@ class MultiTenantService:
                     worker.pull_telemetry()
             self.publish_memory()
 
+        health = self.health
+        if alerts is not None:
+            def health_with_alerts() -> dict:
+                payload = self.health()
+                summary = alerts.summary()
+                payload["alerts"] = summary
+                if summary["critical_firing"]:
+                    payload["healthy"] = False
+                return payload
+            health = health_with_alerts
+
         return IntrospectionServer(
             host=host,
             port=port,
-            health=self.health,
+            health=health,
             tenants=self.tenants,
             on_scrape=on_scrape,
+            timeseries=poller.series if poller is not None else None,
+            alerts=alerts.status if alerts is not None else None,
+            dashboard=poller.dashboard_html if poller is not None else None,
         ).start()

@@ -57,8 +57,24 @@ from repro.telemetry.registry import (
     sketch_metrics,
     timed,
 )
+from repro.telemetry.alerts import (
+    ALERT_STATES,
+    AlertEngine,
+    AlertRule,
+    default_service_rules,
+)
+from repro.telemetry.audit import (
+    OBSERVED_ERROR_BUCKETS,
+    AccuracyAuditor,
+)
 from repro.telemetry.report import report
 from repro.telemetry.server import IntrospectionServer
+from repro.telemetry.timeseries import (
+    DEFAULT_QUANTILES,
+    MetricPoller,
+    TimeSeries,
+    delta_quantile,
+)
 from repro.telemetry.spans import (
     DEFAULT_SPAN_CAPACITY,
     SPANS,
@@ -94,27 +110,37 @@ def reset() -> None:
 
 
 __all__ = [
+    "ALERT_STATES",
+    "AccuracyAuditor",
+    "AlertEngine",
+    "AlertRule",
     "ComponentMemory",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QUANTILES",
     "DEFAULT_SPAN_CAPACITY",
     "Gauge",
     "Histogram",
     "IntrospectionServer",
     "MemoryReport",
     "MetricFamily",
+    "MetricPoller",
     "MetricSample",
     "MetricsRegistry",
+    "OBSERVED_ERROR_BUCKETS",
     "SPANS",
     "SpanCollector",
     "SpanRecord",
     "TELEMETRY",
     "TelemetryControl",
+    "TimeSeries",
     "TraceContext",
     "account",
     "account_and_publish",
     "breakdown",
     "current_trace",
+    "default_service_rules",
+    "delta_quantile",
     "disable",
     "enable",
     "enabled",

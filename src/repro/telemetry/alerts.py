@@ -1,0 +1,467 @@
+"""A declarative SLO rule engine over the metric time series.
+
+Rules (:class:`AlertRule`) are plain data — metric name, comparison,
+threshold, hold-down — and the engine (:class:`AlertEngine`) evaluates
+every rule on each poller tick, driving a three-state machine per rule::
+
+    ok ──condition true──▶ pending ──held for_seconds──▶ firing
+     ▲                        │                             │
+     └────condition false─────┴─────────────────────────────┘
+
+``pending`` is the hold-down: a condition must stay true for
+``for_seconds`` before the alert fires, so a one-tick blip (a single slow
+query, a shard mid-rebuild for 100 ms) does not page anyone.  Three rule
+kinds cover the SLO vocabulary:
+
+``threshold``
+    Compare the metric's *current* registry value (aggregated over the
+    matching label children) against the threshold.  For histograms the
+    rule compares a windowed delta quantile from the poller (set
+    ``quantile="p99"``).
+``rate``
+    Compare the poller's windowed per-second counter rate.
+``absence``
+    Fire when the metric has no series at all — a heartbeat that
+    *stopped* (for "stopped increasing", use a ``rate`` rule with
+    ``op="<"``).
+
+The engine's :meth:`~AlertEngine.status` payload is served at ``/alerts``
+and its :meth:`~AlertEngine.firing` summary is folded into ``/healthz``
+by the services — a firing ``critical`` rule turns the health endpoint
+503, so the same load-balancer probe that catches a poisoned shard
+catches a blown error budget.  See docs/OBSERVABILITY.md ("Watching the
+watcher") for the rule grammar and worked examples.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.registry import TELEMETRY as _TEL
+from repro.telemetry.timeseries import MetricPoller
+
+#: Rule evaluation states, in escalation order.
+ALERT_STATES = ("ok", "pending", "firing")
+OK, PENDING, FIRING = ALERT_STATES
+
+_KINDS = ("threshold", "rate", "absence")
+_OPS = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+_AGGREGATES = ("max", "min", "sum", "avg")
+_SEVERITIES = ("info", "warning", "critical")
+
+# Declared at import time for the docs-catalog lint (docs/OBSERVABILITY.md).
+_TEL.registry.declare(
+    "alerts_evaluations_total",
+    "counter",
+    "Rule evaluations performed by alert engines.",
+)
+_TEL.registry.declare(
+    "alerts_transitions_total",
+    "counter",
+    "Alert state-machine transitions, by target state.",
+)
+_TEL.registry.declare(
+    "alerts_firing",
+    "gauge",
+    "Alert rules currently in the firing state.",
+)
+
+_EVALUATIONS = _TEL.registry.get("alerts_evaluations_total").labels()
+_FIRING_GAUGE = _TEL.registry.get("alerts_firing").labels()
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative SLO rule (see the module docstring for semantics).
+
+    Attributes
+    ----------
+    name:
+        Unique rule name (shown in ``/alerts`` and ``/healthz``).
+    metric:
+        The metric family the rule watches.
+    kind:
+        ``"threshold"``, ``"rate"`` or ``"absence"``.
+    op, threshold:
+        The comparison (ignored by ``absence`` rules).
+    for_seconds:
+        Hold-down: the condition must stay true this long before the
+        rule leaves ``pending`` for ``firing`` (0 = fire immediately).
+    severity:
+        ``"info"``, ``"warning"`` or ``"critical"`` — only firing
+        critical rules flip ``/healthz`` to 503.
+    labels:
+        Optional label subset filter; only children carrying all these
+        pairs are aggregated.
+    aggregate:
+        How multiple matching children combine: ``"max"`` (default),
+        ``"min"``, ``"sum"`` or ``"avg"``.
+    quantile:
+        For ``threshold`` rules over histograms: the poller-derived
+        windowed quantile to compare (``"p50"``/``"p95"``/``"p99"``).
+    description:
+        Free-text operator note, echoed in ``/alerts``.
+    """
+
+    name: str
+    metric: str
+    kind: str = "threshold"
+    op: str = ">"
+    threshold: float = 0.0
+    for_seconds: float = 0.0
+    severity: str = "warning"
+    labels: Optional[Dict[str, str]] = None
+    aggregate: str = "max"
+    quantile: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}, got {self.op!r}")
+        if self.aggregate not in _AGGREGATES:
+            raise ValueError(
+                f"aggregate must be one of {_AGGREGATES}, got {self.aggregate!r}"
+            )
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {_SEVERITIES}, got {self.severity!r}"
+            )
+        if self.for_seconds < 0:
+            raise ValueError(f"for_seconds must be >= 0, got {self.for_seconds}")
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form of the rule definition."""
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "kind": self.kind,
+            "op": self.op,
+            "threshold": self.threshold,
+            "for_seconds": self.for_seconds,
+            "severity": self.severity,
+            "labels": dict(self.labels) if self.labels else {},
+            "aggregate": self.aggregate,
+            "quantile": self.quantile,
+            "description": self.description,
+        }
+
+
+@dataclass
+class _RuleState:
+    state: str = OK
+    since: Optional[float] = None        # entered current state at
+    pending_since: Optional[float] = None
+    value: Optional[float] = None        # last evaluated value
+    transitions: int = 0
+    last_fired: Optional[float] = None
+
+
+class AlertEngine:
+    """Evaluate a set of :class:`AlertRule` on each poller tick.
+
+    Construct with the rules and the :class:`MetricPoller` whose series
+    feed ``rate``/``quantile`` evaluations; the engine registers itself
+    as a tick listener, so a started poller drives evaluation with no
+    extra thread.  :meth:`evaluate` may also be called directly (the
+    tests and the chaos harness do).
+
+    Thread-safe: evaluation and the ``/alerts`` snapshot serialise on one
+    lock; the registry reads use the same lock-discipline as the
+    exporter.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule],
+        poller: Optional[MetricPoller] = None,
+        history: int = 256,
+        clock=time.time,
+    ):
+        names = [rule.name for rule in rules]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate rule names: {sorted(duplicates)}")
+        self.rules: Tuple[AlertRule, ...] = tuple(rules)
+        self._poller = poller
+        self._registry = poller._registry if poller is not None else _TEL.registry
+        self._clock = clock
+        self._states: Dict[str, _RuleState] = {
+            rule.name: _RuleState() for rule in self.rules
+        }
+        self._history: deque = deque(maxlen=history)
+        self._lock = threading.Lock()
+        if poller is not None:
+            poller.add_listener(self.evaluate)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, now: Optional[float] = None) -> List[str]:
+        """Evaluate every rule once; returns the names of firing rules."""
+        if now is None:
+            now = self._clock()
+        firing: List[str] = []
+        with self._lock:
+            for rule in self.rules:
+                value = self._value_of(rule)
+                condition = self._condition(rule, value)
+                self._advance(rule, value, condition, now)
+                if self._states[rule.name].state == FIRING:
+                    firing.append(rule.name)
+            if _TEL.enabled:
+                _EVALUATIONS.inc(len(self.rules))
+                _FIRING_GAUGE.set(len(firing))
+        return firing
+
+    def _value_of(self, rule: AlertRule) -> Optional[float]:
+        """The rule's current input value, or None when there is no data."""
+        if rule.kind == "rate":
+            return self._from_poller(rule, "rate")
+        if rule.kind == "absence":
+            family = self._registry.get(rule.metric)
+            if family is None:
+                return None
+            matched = self._matching_children(rule, family)
+            return float(len(matched)) if matched else None
+        # threshold
+        family = self._registry.get(rule.metric)
+        if family is None:
+            return None
+        if family.kind == "histogram" or rule.quantile is not None:
+            labels = dict(rule.labels or {})
+            if rule.quantile is not None:
+                labels["quantile"] = rule.quantile
+            return self._from_poller(rule, "quantile", labels)
+        values = [child.value
+                  for child in self._matching_children(rule, family)]
+        return self._combine(rule, values)
+
+    def _matching_children(self, rule: AlertRule, family) -> list:
+        wanted = set((rule.labels or {}).items())
+        return [
+            child
+            for labels, child in family.samples()
+            if not wanted or wanted.issubset(set(labels.items()))
+        ]
+
+    def _from_poller(self, rule: AlertRule, kind: str,
+                     labels: Optional[dict] = None) -> Optional[float]:
+        if self._poller is None:
+            return None
+        latest = self._poller.latest(
+            rule.metric, kind=kind,
+            labels=labels if labels is not None else rule.labels,
+        )
+        return self._combine(rule, [value for _, _, value in latest])
+
+    @staticmethod
+    def _combine_values(aggregate: str, values: List[float]) -> float:
+        if aggregate == "sum":
+            return sum(values)
+        if aggregate == "min":
+            return min(values)
+        if aggregate == "avg":
+            return sum(values) / len(values)
+        return max(values)
+
+    def _combine(self, rule: AlertRule,
+                 values: List[float]) -> Optional[float]:
+        if not values:
+            return None
+        return self._combine_values(rule.aggregate, values)
+
+    @staticmethod
+    def _condition(rule: AlertRule, value: Optional[float]) -> bool:
+        if rule.kind == "absence":
+            return value is None
+        if value is None:
+            return False
+        return _OPS[rule.op](value, rule.threshold)
+
+    def _advance(self, rule: AlertRule, value: Optional[float],
+                 condition: bool, now: float) -> None:
+        state = self._states[rule.name]
+        state.value = value
+        if not condition:
+            if state.state != OK:
+                self._transition(rule, state, OK, now)
+            state.pending_since = None
+            return
+        if state.state == OK:
+            state.pending_since = now
+            if rule.for_seconds <= 0:
+                self._transition(rule, state, FIRING, now)
+            else:
+                self._transition(rule, state, PENDING, now)
+        elif state.state == PENDING:
+            held = now - (state.pending_since
+                          if state.pending_since is not None else now)
+            if held >= rule.for_seconds:
+                self._transition(rule, state, FIRING, now)
+
+    def _transition(self, rule: AlertRule, state: _RuleState,
+                    to: str, now: float) -> None:
+        event = {
+            "rule": rule.name,
+            "severity": rule.severity,
+            "from": state.state,
+            "to": to,
+            "at": now,
+            "value": state.value,
+        }
+        state.state = to
+        state.since = now
+        state.transitions += 1
+        if to == FIRING:
+            state.last_fired = now
+        self._history.append(event)
+        if _TEL.enabled:
+            _TEL.registry.counter(
+                "alerts_transitions_total",
+                "Alert state-machine transitions, by target state.",
+                to=to,
+            ).inc()
+
+    # -- introspection -------------------------------------------------------
+
+    def firing(self, severity: Optional[str] = None) -> List[str]:
+        """Names of currently firing rules (optionally one severity)."""
+        with self._lock:
+            return [
+                rule.name
+                for rule in self.rules
+                if self._states[rule.name].state == FIRING
+                and (severity is None or rule.severity == severity)
+            ]
+
+    def state(self, name: str) -> str:
+        """Current state of one rule (``"ok"``/``"pending"``/``"firing"``)."""
+        with self._lock:
+            return self._states[name].state
+
+    def summary(self) -> dict:
+        """Compact health-payload fold: counts and firing rule names."""
+        with self._lock:
+            states = [self._states[rule.name].state for rule in self.rules]
+            return {
+                "rules": len(self.rules),
+                "firing": states.count(FIRING),
+                "pending": states.count(PENDING),
+                "critical_firing": [
+                    rule.name
+                    for rule in self.rules
+                    if rule.severity == "critical"
+                    and self._states[rule.name].state == FIRING
+                ],
+            }
+
+    def status(self) -> dict:
+        """Full ``/alerts`` payload: per-rule state plus recent history."""
+        with self._lock:
+            rules = []
+            for rule in self.rules:
+                state = self._states[rule.name]
+                entry = rule.as_dict()
+                entry.update({
+                    "state": state.state,
+                    "since": state.since,
+                    "value": state.value,
+                    "transitions": state.transitions,
+                    "last_fired": state.last_fired,
+                })
+                rules.append(entry)
+            states = [entry["state"] for entry in rules]
+            return {
+                "rules": rules,
+                "firing": states.count(FIRING),
+                "pending": states.count(PENDING),
+                "ok": states.count(OK),
+                "history": list(self._history),
+            }
+
+
+def default_service_rules(
+    *,
+    error_p99: float = 0.02,
+    queue_depth: float = 10_000.0,
+    query_p99_seconds: float = 0.5,
+    for_seconds: float = 0.0,
+) -> Tuple[AlertRule, ...]:
+    """A starter SLO pack for a sharded service (tune per deployment).
+
+    * ``shard_unhealthy`` (critical) — any supervised shard left
+      ``HEALTHY`` (``service_shard_state`` > 0: rebuilding, degraded or
+      failed);
+    * ``audit_error_budget`` (critical) — the accuracy auditor's windowed
+      p99 observed error exceeded ``error_p99``;
+    * ``audit_bound_violation`` (critical) — any audited answer landed
+      outside its (possibly widened) paper bound;
+    * ``queue_backlog`` (warning) — a shard queue deeper than
+      ``queue_depth`` items;
+    * ``query_latency`` (warning) — windowed p99 service query latency
+      above ``query_p99_seconds``.
+    """
+    return (
+        AlertRule(
+            name="shard_unhealthy",
+            metric="service_shard_state",
+            kind="threshold",
+            op=">",
+            threshold=0.0,
+            for_seconds=for_seconds,
+            severity="critical",
+            description="a supervised shard is rebuilding, degraded or failed",
+        ),
+        AlertRule(
+            name="audit_error_budget",
+            metric="audit_observed_error",
+            kind="threshold",
+            quantile="p99",
+            op=">",
+            threshold=error_p99,
+            for_seconds=for_seconds,
+            severity="critical",
+            description="windowed p99 audited answer error above budget",
+        ),
+        AlertRule(
+            name="audit_bound_violation",
+            metric="audit_bound_violations_total",
+            kind="rate",
+            op=">",
+            threshold=0.0,
+            for_seconds=for_seconds,
+            severity="critical",
+            description="an audited answer fell outside its (eps, delta) bound",
+        ),
+        AlertRule(
+            name="queue_backlog",
+            metric="service_queue_depth",
+            kind="threshold",
+            op=">",
+            threshold=queue_depth,
+            for_seconds=for_seconds,
+            severity="warning",
+            description="a shard ingest queue is backing up",
+        ),
+        AlertRule(
+            name="query_latency",
+            metric="service_query_seconds",
+            kind="threshold",
+            quantile="p99",
+            op=">",
+            threshold=query_p99_seconds,
+            for_seconds=for_seconds,
+            severity="warning",
+            description="windowed p99 query latency above budget",
+        ),
+    )

@@ -18,6 +18,12 @@ Endpoint                  Serves
 ``/traces/<id>``          Every span of one trace (404 for unknown ids).
 ``/tenants``              The attached multi-tenant registry's fleet summary
                           (404 when no tenant registry is attached).
+``/timeseries``           The attached metric poller's ring-buffer series as
+                          JSON (404 when no poller is attached).
+``/alerts``               The attached alert engine's rule states and recent
+                          transitions (404 when no engine is attached).
+``/dashboard``            The poller's self-contained HTML sparkline view
+                          (404 when no poller is attached).
 ========================  ====================================================
 
 Wire it to a service with
@@ -117,6 +123,24 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_json(200, tenants())
+        elif path == "/timeseries":
+            timeseries = self.server.timeseries  # type: ignore[attr-defined]
+            if timeseries is None:
+                self._send_json(404, {"error": "no metric poller attached"})
+            else:
+                self._send_json(200, timeseries())
+        elif path == "/alerts":
+            alerts = self.server.alerts  # type: ignore[attr-defined]
+            if alerts is None:
+                self._send_json(404, {"error": "no alert engine attached"})
+            else:
+                self._send_json(200, alerts())
+        elif path == "/dashboard":
+            dashboard = self.server.dashboard  # type: ignore[attr-defined]
+            if dashboard is None:
+                self._send_json(404, {"error": "no metric poller attached"})
+            else:
+                self._send(200, "text/html; charset=utf-8", dashboard())
         elif path == "/traces":
             self._send_json(200, {"traces": spans.trace_ids()})
         elif path.startswith("/traces/"):
@@ -132,7 +156,8 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/":
             self._send_json(200, {
                 "endpoints": ["/metrics", "/healthz", "/report", "/spans",
-                              "/traces", "/traces/<id>", "/tenants"],
+                              "/traces", "/traces/<id>", "/tenants",
+                              "/timeseries", "/alerts", "/dashboard"],
             })
         else:
             self._send_json(404, {"error": f"no route {path!r}"})
@@ -171,6 +196,13 @@ class IntrospectionServer:
         payload (the multi-tenant service passes its
         :meth:`~repro.service.MultiTenantService.tenants`).  Without it
         the route answers 404.
+    timeseries, alerts, dashboard:
+        Optional zero-argument callables backing the ``/timeseries``
+        (JSON), ``/alerts`` (JSON) and ``/dashboard`` (HTML) routes —
+        typically a :class:`~repro.telemetry.MetricPoller`'s ``series``
+        and ``dashboard_html`` and an
+        :class:`~repro.telemetry.AlertEngine`'s ``status``.  Unattached
+        routes answer 404.
     """
 
     def __init__(
@@ -182,6 +214,9 @@ class IntrospectionServer:
         spans: Optional[SpanCollector] = None,
         on_scrape: Optional[Callable[[], None]] = None,
         tenants: Optional[Callable[[], dict]] = None,
+        timeseries: Optional[Callable[[], dict]] = None,
+        alerts: Optional[Callable[[], dict]] = None,
+        dashboard: Optional[Callable[[], str]] = None,
     ):
         self._host = host
         self._requested_port = port
@@ -190,6 +225,9 @@ class IntrospectionServer:
         self._spans = spans if spans is not None else SPANS
         self._on_scrape = on_scrape
         self._tenants = tenants
+        self._timeseries = timeseries
+        self._alerts = alerts
+        self._dashboard = dashboard
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -225,6 +263,9 @@ class IntrospectionServer:
         httpd.health = self._health  # type: ignore[attr-defined]
         httpd.on_scrape = self._on_scrape  # type: ignore[attr-defined]
         httpd.tenants = self._tenants  # type: ignore[attr-defined]
+        httpd.timeseries = self._timeseries  # type: ignore[attr-defined]
+        httpd.alerts = self._alerts  # type: ignore[attr-defined]
+        httpd.dashboard = self._dashboard  # type: ignore[attr-defined]
         self._httpd = httpd
         self._thread = threading.Thread(
             target=httpd.serve_forever,

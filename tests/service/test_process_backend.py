@@ -343,3 +343,46 @@ class TestChildCrash:
             assert service._workers[0].failure is not None
         finally:
             service.close(force=True)
+
+    def test_idle_death_counts_unshipped_telemetry_deltas(
+        self, enabled_telemetry
+    ):
+        """A killed child's unshipped metric deltas are counted, not lost.
+
+        Query replies carry no telemetry piggyback, so child-side counters
+        bumped while *serving queries* stay unshipped until the next apply
+        ack or pull.  When the child dies idle (the ``_on_channel_dead``
+        path — nothing in flight, detection comes from the receiver thread
+        hitting EOF), that window of deltas is gone; the parent must
+        estimate and expose the loss in
+        ``service_telemetry_delta_lost_total`` instead of silently
+        under-reporting.
+        """
+        keys, timestamps = self.stream()
+        service = ShardedSketchService(
+            chain_factory, 1, seed=self.SEED, backend="process"
+        )
+        try:
+            service.ingest_batch(keys[:100], timestamps[:100])
+            assert service.drain(timeout=30)
+            # queries bump child counters but ship nothing back (distinct
+            # keys — identical queries would be answered from the LRU cache
+            # without ever touching the child)
+            for key in (0, 1, 4):
+                service.estimate_at(key, 50.0)
+            worker = service._workers[0]
+            assert worker._unshipped_ops >= 3
+            os.kill(worker.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while worker.failure is None:
+                assert (
+                    time.monotonic() < deadline
+                ), "idle child death never detected"
+                time.sleep(0.02)
+            lost = TELEMETRY.counter(
+                "service_telemetry_delta_lost_total", shard=0
+            )
+            assert lost.value >= 3
+            assert worker._unshipped_ops == 0  # tallied exactly once
+        finally:
+            service.close(force=True)

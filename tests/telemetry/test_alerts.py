@@ -1,0 +1,229 @@
+"""AlertRule validation and the AlertEngine state machine.
+
+Evaluation is driven manually with injected clocks — no poll thread, no
+sleeping — so hold-down timing (``for_seconds``) is tested to the second.
+"""
+
+import pytest
+
+from repro.telemetry import (
+    ALERT_STATES,
+    AlertEngine,
+    AlertRule,
+    MetricPoller,
+    default_service_rules,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+        return self.now
+
+
+def make_stack(rules, **poller_kwargs):
+    """(registry, poller, engine, clock) wired together on a fake clock."""
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    poller_kwargs.setdefault("interval", 1.0)
+    poller = MetricPoller(registry=registry, clock=clock, **poller_kwargs)
+    engine = AlertEngine(rules, poller=poller, clock=clock)
+    return registry, poller, engine, clock
+
+
+class TestAlertRule:
+    def test_defaults_round_trip(self):
+        rule = AlertRule(name="r", metric="m")
+        assert rule.kind == "threshold" and rule.severity == "warning"
+        assert rule.as_dict()["name"] == "r"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"kind": "window"},
+            {"op": "=="},
+            {"aggregate": "median"},
+            {"severity": "page"},
+            {"for_seconds": -1.0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            AlertRule(name="r", metric="m", **bad)
+
+    def test_duplicate_rule_names_rejected(self):
+        rules = [AlertRule(name="r", metric="m"),
+                 AlertRule(name="r", metric="n")]
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine(rules)
+
+    def test_states_constant(self):
+        assert ALERT_STATES == ("ok", "pending", "firing")
+
+
+class TestThresholdRules:
+    def test_fires_immediately_without_holddown(self):
+        rule = AlertRule(name="depth", metric="queue_depth",
+                         op=">", threshold=10.0)
+        registry, poller, engine, clock = make_stack([rule])
+        gauge = registry.gauge("queue_depth")
+        gauge.set(5)
+        poller.tick()  # listener evaluates on every tick
+        assert engine.state("depth") == "ok"
+        gauge.set(50)
+        poller.tick(now=clock.advance(1.0))
+        assert engine.state("depth") == "firing"
+        gauge.set(3)
+        poller.tick(now=clock.advance(1.0))
+        assert engine.state("depth") == "ok"
+
+    def test_holddown_passes_through_pending(self):
+        rule = AlertRule(name="depth", metric="queue_depth",
+                         op=">", threshold=10.0, for_seconds=5.0)
+        registry, poller, engine, clock = make_stack([rule])
+        gauge = registry.gauge("queue_depth")
+        gauge.set(50)
+        engine.evaluate(now=clock.now)
+        assert engine.state("depth") == "pending"
+        engine.evaluate(now=clock.advance(3.0))
+        assert engine.state("depth") == "pending"  # held 3s < 5s
+        engine.evaluate(now=clock.advance(3.0))
+        assert engine.state("depth") == "firing"   # held 6s >= 5s
+
+    def test_blip_shorter_than_holddown_never_fires(self):
+        rule = AlertRule(name="depth", metric="queue_depth",
+                         op=">", threshold=10.0, for_seconds=5.0)
+        registry, poller, engine, clock = make_stack([rule])
+        gauge = registry.gauge("queue_depth")
+        gauge.set(50)
+        engine.evaluate(now=clock.now)
+        gauge.set(1)
+        engine.evaluate(now=clock.advance(2.0))
+        assert engine.state("depth") == "ok"
+        gauge.set(50)  # a fresh breach restarts the hold-down
+        engine.evaluate(now=clock.advance(1.0))
+        engine.evaluate(now=clock.advance(4.0))
+        assert engine.state("depth") == "pending"
+
+    def test_label_filter_and_aggregate(self):
+        rule = AlertRule(name="depth", metric="queue_depth", op=">",
+                         threshold=10.0, labels={"shard": "1"},
+                         aggregate="sum")
+        registry, poller, engine, clock = make_stack([rule])
+        registry.gauge("queue_depth", shard="0").set(100)
+        registry.gauge("queue_depth", shard="1").set(4)
+        engine.evaluate(now=clock.now)
+        assert engine.state("depth") == "ok"  # shard 0's spike filtered out
+
+    def test_histogram_threshold_uses_windowed_quantile(self):
+        rule = AlertRule(name="lat", metric="lat_seconds", quantile="p99",
+                         op=">", threshold=1.0)
+        registry, poller, engine, clock = make_stack([rule])
+        hist = registry.histogram("lat_seconds", buckets=(0.5, 1.0, 4.0))
+        poller.tick()  # baseline
+        hist.observe(0.2)
+        poller.tick(now=clock.advance(1.0))
+        assert engine.state("lat") == "ok"
+        for _ in range(10):
+            hist.observe(3.0)
+        poller.tick(now=clock.advance(1.0))
+        assert engine.state("lat") == "firing"
+
+
+class TestRateAndAbsenceRules:
+    def test_rate_rule_fires_on_counter_movement(self):
+        rule = AlertRule(name="errs", metric="errors_total", kind="rate",
+                         op=">", threshold=0.0)
+        registry, poller, engine, clock = make_stack([rule])
+        errors = registry.counter("errors_total")
+        poller.tick()
+        poller.tick(now=clock.advance(1.0))
+        assert engine.state("errs") == "ok"  # zero rate
+        errors.inc(3)
+        poller.tick(now=clock.advance(1.0))
+        assert engine.state("errs") == "firing"
+        poller.tick(now=clock.advance(1.0))
+        assert engine.state("errs") == "ok"  # movement stopped
+
+    def test_absence_rule(self):
+        rule = AlertRule(name="heartbeat", metric="ticks_total",
+                         kind="absence")
+        registry, poller, engine, clock = make_stack([rule])
+        engine.evaluate(now=clock.now)
+        assert engine.state("heartbeat") == "firing"  # never registered
+        registry.counter("ticks_total").inc()
+        engine.evaluate(now=clock.advance(1.0))
+        assert engine.state("heartbeat") == "ok"
+
+
+class TestIntrospectionPayloads:
+    def test_summary_and_status(self):
+        rules = [
+            AlertRule(name="a", metric="queue_depth", op=">", threshold=1.0,
+                      severity="critical"),
+            AlertRule(name="b", metric="queue_depth", op=">",
+                      threshold=1e9),
+        ]
+        registry, poller, engine, clock = make_stack(rules)
+        registry.gauge("queue_depth").set(10)
+        engine.evaluate(now=clock.now)
+        summary = engine.summary()
+        assert summary == {
+            "rules": 2, "firing": 1, "pending": 0,
+            "critical_firing": ["a"],
+        }
+        assert engine.firing() == ["a"]
+        assert engine.firing(severity="warning") == []
+        status = engine.status()
+        assert status["firing"] == 1 and status["ok"] == 1
+        (event,) = status["history"]
+        assert (event["rule"], event["to"]) == ("a", "firing")
+
+    def test_transition_metrics(self, enabled_telemetry):
+        rule = AlertRule(name="a", metric="queue_depth", op=">",
+                         threshold=1.0)
+        registry, poller, engine, clock = make_stack([rule])
+        registry.gauge("queue_depth").set(10)
+        engine.evaluate(now=clock.now)
+        tel = enabled_telemetry.TELEMETRY
+        fired = tel.registry.get("alerts_transitions_total").labels(
+            to="firing"
+        )
+        assert fired.value == 1
+        assert tel.registry.get("alerts_firing").labels().value == 1
+
+
+class TestDefaultServiceRules:
+    def test_pack_shape(self):
+        rules = default_service_rules(error_p99=0.05, for_seconds=2.0)
+        names = {rule.name for rule in rules}
+        assert names == {
+            "shard_unhealthy", "audit_error_budget",
+            "audit_bound_violation", "queue_backlog", "query_latency",
+        }
+        by_name = {rule.name: rule for rule in rules}
+        assert by_name["shard_unhealthy"].severity == "critical"
+        assert by_name["audit_error_budget"].threshold == 0.05
+        assert all(rule.for_seconds == 2.0 for rule in rules)
+
+    def test_shard_unhealthy_tracks_supervisor_state_codes(self):
+        (rule,) = [r for r in default_service_rules()
+                   if r.name == "shard_unhealthy"]
+        registry, poller, engine, clock = make_stack([rule])
+        state = registry.gauge("service_shard_state", shard="0")
+        state.set(0)  # HEALTHY
+        engine.evaluate(now=clock.now)
+        assert engine.state("shard_unhealthy") == "ok"
+        state.set(1)  # REBUILDING
+        engine.evaluate(now=clock.advance(1.0))
+        assert engine.state("shard_unhealthy") == "firing"
+        state.set(0)
+        engine.evaluate(now=clock.advance(1.0))
+        assert engine.state("shard_unhealthy") == "ok"

@@ -1,0 +1,259 @@
+"""AccuracyAuditor: ground truth, replay, bound judging, service wiring.
+
+The unit tests drive the auditor against hand-built fake services whose
+answers (and certificates) are chosen exactly, so in-bound / violation
+judgements are verified to the tolerance.  The integration tests attach
+it to a real :class:`ShardedSketchService` and check the paper's own
+contract: a fault-free CountMin-backed service audits with zero
+violations, and the auditor survives a supervisor rebuild untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChainCountMin
+from repro.service import ShardedSketchService
+from repro.telemetry import OBSERVED_ERROR_BUCKETS, AccuracyAuditor
+from repro.telemetry.registry import TELEMETRY
+
+
+def unit_stream(n=400, universe=23, seed=3):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, universe, size=n).astype(np.int64)
+    return keys, np.arange(n, dtype=np.float64)
+
+
+class ExactService:
+    """Answers every query with the exact truth (never violates)."""
+
+    def __init__(self, truth):
+        self._truth = truth
+
+    def estimate_at(self, key, timestamp, explain=False):
+        answer = self._truth.truth_at(key, timestamp)
+        return (answer, None) if explain else answer
+
+    def estimate_since(self, key, timestamp, explain=False):
+        answer = self._truth.truth_since(key, timestamp)
+        return (answer, None) if explain else answer
+
+
+class BrokenService:
+    """Overestimates every answer by a fixed absolute amount."""
+
+    def __init__(self, truth, off_by):
+        self._truth = truth
+        self.off_by = off_by
+
+    def estimate_at(self, key, timestamp, explain=False):
+        answer = self._truth.truth_at(key, timestamp) + self.off_by
+        return (answer, None) if explain else answer
+
+    def estimate_since(self, key, timestamp, explain=False):
+        answer = self._truth.truth_since(key, timestamp) + self.off_by
+        return (answer, None) if explain else answer
+
+
+class CertifiedService(BrokenService):
+    """Wrong answers, but carrying an honestly widened certificate."""
+
+    class _Plan:
+        def __init__(self, widened):
+            self.certificate = type(
+                "Cert", (), {"widened_error_bound": widened}
+            )()
+
+    def estimate_at(self, key, timestamp, explain=False):
+        answer = self._truth.truth_at(key, timestamp) + self.off_by
+        if explain:
+            return answer, self._Plan(widened=self.off_by + 1.0)
+        return answer
+
+
+def fed_auditor(service_cls=ExactService, off_by=None, **kwargs):
+    kwargs.setdefault("epsilon", 0.01)
+    kwargs.setdefault("sample_fraction", 1.0)
+    kwargs.setdefault("seed", 7)
+    auditor = AccuracyAuditor(**kwargs)
+    keys, times = unit_stream()
+    auditor.observe_batch(keys, times)
+    truth = auditor._truth[None]
+    if service_cls is not None:
+        service_args = (truth,) if off_by is None else (truth, off_by)
+        auditor.bind(service_cls(*service_args))
+    return auditor, truth
+
+
+class TestGroundTruth:
+    def test_exact_prefix_and_suffix_weights(self):
+        auditor, truth = fed_auditor(service_cls=None)
+        keys, times = unit_stream()
+        key = int(keys[0])
+        cut = 200.0
+        assert truth.truth_at(key, cut) == np.sum(
+            (keys == key) & (times <= cut)
+        )
+        assert truth.truth_since(key, cut) == np.sum(
+            (keys == key) & (times >= cut)
+        )
+        assert truth.total_at(cut) == np.sum(times <= cut)
+
+    def test_weights_respected(self):
+        auditor = AccuracyAuditor(epsilon=0.01, sample_fraction=1.0)
+        auditor.observe_batch([1, 1, 2], [0.0, 1.0, 2.0],
+                              weights=[2.0, 3.0, 10.0])
+        truth = auditor._truth[None]
+        assert truth.truth_at(1, 1.5) == 5.0
+        assert truth.total_since(1.0) == 13.0
+
+    def test_key_sampling_is_deterministic(self):
+        first, _ = fed_auditor(service_cls=None)
+        second, _ = fed_auditor(service_cls=None)
+        assert (first._truth[None].sampled_keys
+                == second._truth[None].sampled_keys)
+        assert first._truth[None].sampled_keys  # actually sampled some
+
+    def test_max_items_saturates_and_freezes_frontier(self):
+        auditor = AccuracyAuditor(epsilon=0.01, sample_fraction=1.0,
+                                  max_items=10)
+        auditor.observe_batch(np.arange(8), np.arange(8, dtype=float))
+        frontier = auditor._truth[None].frontier
+        auditor.observe_batch(np.arange(8), np.arange(8, 16, dtype=float))
+        truth = auditor._truth[None]
+        assert truth.saturated
+        assert truth.items == 8  # the overflowing batch was not recorded
+        assert truth.frontier == frontier
+
+    def test_observe_batch_never_raises(self):
+        auditor = AccuracyAuditor(epsilon=0.01)
+        auditor.observe_batch(object(), object())  # garbage in, no blowup
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyAuditor(epsilon=0.0)
+        with pytest.raises(ValueError):
+            AccuracyAuditor(epsilon=0.01, sample_fraction=0.0)
+
+
+class TestBoundJudging:
+    def test_exact_service_audits_clean(self):
+        auditor, _ = fed_auditor(ExactService)
+        report = auditor.run_audit(queries=20)
+        assert report["queries"] == 20
+        assert report["violations"] == 0
+        assert report["max_observed_error"] == 0.0
+
+    def test_out_of_bound_answers_are_violations(self):
+        # eps * W <= 0.01 * 400 = 4; +50 absolute is far outside
+        auditor, _ = fed_auditor(BrokenService, off_by=50.0)
+        report = auditor.run_audit(queries=20)
+        assert report["violations"] == 20
+
+    def test_widened_certificate_excuses_degraded_answers(self):
+        auditor, _ = fed_auditor(CertifiedService, off_by=50.0)
+        report = auditor.run_audit(queries=20, kinds=("attp",))
+        assert report["queries"] == 20
+        assert report["violations"] == 0  # inside the widened bound
+
+    def test_violation_metrics(self, enabled_telemetry):
+        auditor, _ = fed_auditor(BrokenService, off_by=50.0)
+        auditor.run_audit(queries=10, kinds=("attp",))
+        registry = TELEMETRY.registry
+        violations = registry.get(
+            "audit_bound_violations_total"
+        ).labels()
+        assert violations.value == 10
+        issued = registry.get("audit_queries_total").labels(kind="attp")
+        assert issued.value == 10
+        hist = registry.get("audit_observed_error").labels(kind="attp")
+        assert hist.count == 10
+        assert hist.bounds == OBSERVED_ERROR_BUCKETS
+
+    def test_unsupported_kind_redirects_budget(self):
+        class AttpOnly(ExactService):
+            def estimate_since(self, key, timestamp, explain=False):
+                raise AttributeError("estimate_since")
+
+        auditor, _ = fed_auditor(AttpOnly)
+        report = auditor.run_audit(queries=16)
+        # one bitp probe learns "unsupported", the rest redirect to attp
+        assert report["queries"] == 15
+        assert report["skipped"] == 1
+        assert report["violations"] == 0
+
+    def test_no_data_skips_whole_round(self):
+        auditor = AccuracyAuditor(epsilon=0.01)
+        report = auditor.run_audit(queries=8)
+        assert report == {
+            "queries": 0, "skipped": 8, "violations": 0,
+            "max_observed_error": 0.0, "p99_observed_error": 0.0,
+        }
+
+    def test_status_summary(self):
+        auditor, _ = fed_auditor(ExactService)
+        auditor.run_audit(queries=4)
+        status = auditor.status()
+        assert status["audited"] == 4
+        assert status["violations"] == 0
+        assert status["tenants"]["None"]["items"] == 400
+        assert status["tenants"]["None"]["sampled_keys"] > 0
+
+
+class TestServiceIntegration:
+    def make_service(self, **kwargs):
+        return ShardedSketchService(
+            lambda: ChainCountMin(width=512, depth=4, eps_ckpt=0.002,
+                                  seed=11),
+            num_shards=2,
+            seed=5,
+            **kwargs,
+        )
+
+    def test_fault_free_countmin_service_audits_clean(self):
+        auditor = AccuracyAuditor(epsilon=0.01, sample_fraction=1.0,
+                                  seed=3)
+        with self.make_service() as service:
+            service.attach_auditor(auditor)
+            keys, times = unit_stream(n=2_000, universe=31)
+            service.ingest_batch(keys, times)
+            assert service.drain(timeout=30)
+            report = auditor.run_audit(queries=40, kinds=("attp",))
+        assert report["queries"] == 40
+        assert report["violations"] == 0
+        assert report["p99_observed_error"] <= auditor.epsilon
+
+    def test_ground_truth_survives_rebuild(self, tmp_path):
+        """A supervisor rebuild replays shard WALs; the auditor's record
+        lives parent-side and must not double-count or drift."""
+        import os
+        import signal
+        import time as _time
+
+        auditor = AccuracyAuditor(epsilon=0.01, sample_fraction=1.0,
+                                  seed=3)
+        with self.make_service(
+            backend="process",
+            directory=tmp_path,
+            durable_options={"fsync_policy": "always"},
+            supervise=True,
+            supervisor_options={"backoff_base": 0.01,
+                                "poll_interval": 0.02},
+        ) as service:
+            service.attach_auditor(auditor)
+            keys, times = unit_stream(n=1_000, universe=31)
+            service.ingest_batch(keys[:500], times[:500])
+            assert service.drain(timeout=30)
+            items_before = auditor._truth[None].items
+            os.kill(service._workers[0].pid, signal.SIGKILL)
+            service.ingest_batch(keys[500:], times[500:])
+            assert service.drain(timeout=60)
+            deadline = _time.monotonic() + 30
+            while not service.health()["healthy"]:
+                assert _time.monotonic() < deadline
+                _time.sleep(0.02)
+            # the rebuild replayed 500 items inside the shard; the
+            # auditor saw exactly the 1000 accepted batches, once each
+            assert auditor._truth[None].items == 1_000
+            assert items_before == 500
+            report = auditor.run_audit(queries=30, kinds=("attp",))
+        assert report["violations"] == 0

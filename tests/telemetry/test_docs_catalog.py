@@ -74,6 +74,61 @@ class TestGuideCoversCatalog:
         assert not missing, f"docs/OBSERVABILITY.md missing spans: {missing}"
 
 
+class TestWatcherFamiliesAreCatalogued:
+    """The self-watching layer's own families stay declared and documented.
+
+    These families are declared at *import time* by the timeseries /
+    alerts / audit modules (so the lint above sees them without any
+    poller or auditor ever being constructed); this class pins the
+    inventory so a renamed family fails loudly with its own message
+    rather than vanishing from the catalog unnoticed.
+    """
+
+    POLLER_FAMILIES = (
+        "poller_ticks_total",
+        "poller_tick_seconds",
+        "poller_series",
+        "poller_series_dropped_total",
+    )
+    ALERT_FAMILIES = (
+        "alerts_evaluations_total",
+        "alerts_transitions_total",
+        "alerts_firing",
+    )
+    AUDIT_FAMILIES = (
+        "audit_observed_error",
+        "audit_bound_violations_total",
+        "audit_queries_total",
+        "audit_queries_skipped_total",
+        "audit_sampled_items_total",
+        "audit_sampled_keys",
+        "audit_runs_total",
+    )
+
+    def test_families_registered_at_import(self):
+        registered = set(TELEMETRY.registry.names())
+        for family in (self.POLLER_FAMILIES + self.ALERT_FAMILIES
+                       + self.AUDIT_FAMILIES):
+            assert family in registered, (
+                f"{family} must be declare()d at module import time"
+            )
+
+    def test_families_documented_in_guide(self):
+        text = GUIDE.read_text()
+        for family in (self.POLLER_FAMILIES + self.ALERT_FAMILIES
+                       + self.AUDIT_FAMILIES):
+            assert family in text, (
+                f"docs/OBSERVABILITY.md must catalogue {family}"
+            )
+
+    def test_delta_loss_counter_catalogued(self):
+        """The process-backend loss counter (crash under-count window)."""
+        assert "service_telemetry_delta_lost_total" in set(
+            TELEMETRY.registry.names()
+        )
+        assert "service_telemetry_delta_lost_total" in GUIDE.read_text()
+
+
 class TestOverheadTableMatchesBench:
     def test_bench_json_committed(self):
         assert BENCH_JSON.is_file()

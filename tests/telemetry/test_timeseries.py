@@ -1,0 +1,259 @@
+"""MetricPoller ring buffers, derived series, and their edge cases.
+
+The poller watches a *live* registry, so the interesting behaviour is at
+the seams: a ``MetricsRegistry.reset()`` landing between two ticks (bench
+repetitions do this), tenant label churn being folded into ``__other__``
+by :class:`TenantLabelGuard`, and histogram windows where some (or all)
+bucket deltas are zero.  Ticks are driven manually with an injected clock
+— no sleeping, fully deterministic.
+"""
+
+import pytest
+
+from repro.service.tenancy import OTHER_LABEL, TenantLabelGuard
+from repro.telemetry import (
+    DEFAULT_QUANTILES,
+    MetricPoller,
+    TimeSeries,
+    delta_quantile,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+        return self.now
+
+
+def make_poller(registry, **kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("interval", 1.0)
+    kwargs.setdefault("capacity", 16)
+    return MetricPoller(registry=registry, clock=clock, **kwargs), clock
+
+
+def series_of(poller, name, kind):
+    return [
+        entry
+        for entry in poller.series()["series"]
+        if entry["name"] == name and entry["kind"] == kind
+    ]
+
+
+class TestCounterSeries:
+    def test_raw_and_rate_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs_total")
+        poller, clock = make_poller(registry)
+        counter.inc(5)
+        poller.tick()
+        counter.inc(15)
+        clock.advance(2.0)
+        poller.tick()
+        (raw,) = series_of(poller, "reqs_total", "counter")
+        assert [v for _, v in raw["points"]] == [5.0, 20.0]
+        (rate,) = series_of(poller, "reqs_total", "rate")
+        assert [v for _, v in rate["points"]] == [7.5]  # 15 over 2s
+
+    def test_registry_reset_mid_poll_keeps_rates_nonnegative(self):
+        """A counter that went *down* is a restart, not a negative rate."""
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs_total")
+        poller, clock = make_poller(registry)
+        counter.inc(100)
+        poller.tick()
+        registry.reset()  # bench repetition boundary
+        counter.inc(4)
+        clock.advance(2.0)
+        poller.tick()
+        (rate,) = series_of(poller, "reqs_total", "rate")
+        assert [v for _, v in rate["points"]] == [2.0]  # 4 over 2s, not -48
+        assert all(v >= 0 for _, v in rate["points"])
+
+    def test_ring_buffer_evicts_oldest(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs_total")
+        poller, clock = make_poller(registry, capacity=3)
+        for step in range(5):
+            counter.inc()
+            poller.tick(now=clock.advance(1.0))
+        (raw,) = series_of(poller, "reqs_total", "counter")
+        assert [v for _, v in raw["points"]] == [3.0, 4.0, 5.0]
+
+    def test_max_series_bound_drops_new_labelsets(self):
+        registry = MetricsRegistry()
+        poller, clock = make_poller(registry, max_series=2)
+        for index in range(4):
+            registry.counter("reqs_total", shard=str(index)).inc()
+        poller.tick()
+        assert poller.series()["series_count"] == 2
+
+
+class TestLabelChurn:
+    def test_other_rollup_series_stays_monotone(self):
+        """Churning tenants fold into one monotone ``__other__`` series.
+
+        ``TenantLabelGuard`` maps every tenant past the top-K to
+        ``OTHER_LABEL``, so the underlying counter child only ever goes
+        up no matter how many distinct tenants hide behind it — and the
+        poller's raw series must reflect that: no resets, no dips, and
+        exactly one series despite unbounded churn.
+        """
+        registry = MetricsRegistry()
+        guard = TenantLabelGuard(top_k=2)
+        poller, clock = make_poller(registry)
+        for wave in range(6):
+            # two stable heavies plus a fresh churner every wave
+            for tenant in ("alpha", "beta", f"churn-{wave}"):
+                registry.counter(
+                    "tenant_items_total", tenant=guard.label(tenant)
+                ).inc()
+            poller.tick(now=clock.advance(1.0))
+        rollup = [
+            entry
+            for entry in series_of(poller, "tenant_items_total", "counter")
+            if entry["labels"]["tenant"] == OTHER_LABEL
+        ]
+        assert len(rollup) == 1  # churn did not mint new series
+        values = [v for _, v in rollup[0]["points"]]
+        assert values == sorted(values)  # monotone
+        assert values[-1] == 6.0
+        rates = [
+            entry
+            for entry in series_of(poller, "tenant_items_total", "rate")
+            if entry["labels"]["tenant"] == OTHER_LABEL
+        ]
+        assert all(v >= 0 for _, v in rates[0]["points"])
+
+
+class TestHistogramWindows:
+    BOUNDS = (1.0, 2.0, 4.0)
+
+    def test_zero_delta_buckets_are_skipped(self):
+        """Quantiles interpolate over only the buckets that moved."""
+        # window deltas: nothing in (0,1], 4 obs in (1,2], nothing above
+        deltas = [0, 4, 0, 0]
+        assert delta_quantile(self.BOUNDS, deltas, 0.5) == pytest.approx(1.5)
+        assert delta_quantile(self.BOUNDS, deltas, 1.0) == pytest.approx(2.0)
+        # all mass in the overflow bucket clamps to the largest bound
+        assert delta_quantile(self.BOUNDS, [0, 0, 0, 3], 0.5) == 4.0
+
+    def test_empty_window_appends_no_point(self):
+        """No traffic between ticks means a gap, not a zero latency."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=self.BOUNDS)
+        poller, clock = make_poller(registry)
+        poller.tick()  # baseline
+        hist.observe(1.5)
+        poller.tick(now=clock.advance(1.0))  # window with traffic
+        poller.tick(now=clock.advance(1.0))  # idle window
+        hist.observe(3.0)
+        poller.tick(now=clock.advance(1.0))  # traffic again
+        p50 = [
+            entry
+            for entry in series_of(poller, "lat_seconds", "quantile")
+            if entry["labels"]["quantile"] == "p50"
+        ]
+        # two points (the two trafficked windows), not three
+        assert len(p50) == 1 and len(p50[0]["points"]) == 2
+        assert p50[0]["points"][0][1] == pytest.approx(1.5)
+        assert p50[0]["points"][1][1] == pytest.approx(3.0)
+
+    def test_histogram_reset_treats_lifetime_as_window(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=self.BOUNDS)
+        poller, clock = make_poller(registry)
+        hist.observe(0.5)
+        hist.observe(0.6)
+        poller.tick()
+        registry.reset()
+        hist.observe(3.0)
+        poller.tick(now=clock.advance(1.0))
+        p50 = [
+            entry
+            for entry in series_of(poller, "lat_seconds", "quantile")
+            if entry["labels"]["quantile"] == "p50"
+        ][0]
+        assert p50["points"][-1][1] == pytest.approx(3.0)
+
+    def test_delta_quantile_validates_and_handles_empty(self):
+        assert delta_quantile(self.BOUNDS, [0, 0, 0, 0], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            delta_quantile(self.BOUNDS, [1, 0, 0, 0], 1.5)
+
+
+class TestExportSurface:
+    def test_series_payload_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total").inc()
+        poller, _ = make_poller(registry)
+        poller.tick()
+        payload = poller.series()
+        assert payload["ticks"] == 1
+        assert payload["series_count"] == len(payload["series"])
+        entry = payload["series"][0]
+        assert set(entry) == {"name", "labels", "kind", "points"}
+
+    def test_latest_filters_by_kind_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", shard="0").inc(3)
+        registry.counter("reqs_total", shard="1").inc(5)
+        poller, clock = make_poller(registry)
+        poller.tick()
+        points = poller.latest("reqs_total", kind="counter",
+                               labels={"shard": "1"})
+        assert [(labels["shard"], value) for labels, _, value in points] == [
+            ("1", 5.0)
+        ]
+
+    def test_dashboard_html_is_self_contained(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total").inc()
+        poller, clock = make_poller(registry)
+        poller.tick()
+        poller.tick(now=clock.advance(1.0))
+        page = poller.dashboard_html()
+        assert page.startswith("<!doctype html>")
+        assert "<svg" in page and "reqs_total" in page
+        assert "src=" not in page and "<script" not in page
+
+    def test_timeseries_ring_is_bounded(self):
+        series = TimeSeries("x", {}, "gauge", capacity=2)
+        for step in range(5):
+            series.append(float(step), float(step))
+        assert series.as_dict()["points"] == [[3.0, 3.0], [4.0, 4.0]]
+
+    def test_listener_exceptions_are_swallowed(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total").inc()
+        poller, _ = make_poller(registry)
+        seen = []
+        poller.add_listener(lambda now: seen.append(now))
+        poller.add_listener(lambda now: 1 / 0)
+        poller.tick()
+        assert len(seen) == 1
+
+    def test_quantile_labels_follow_default_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=self.bounds())
+        poller, clock = make_poller(registry)
+        hist.observe(0.5)
+        poller.tick()
+        hist.observe(0.5)
+        poller.tick(now=clock.advance(1.0))
+        names = {
+            entry["labels"]["quantile"]
+            for entry in series_of(poller, "lat_seconds", "quantile")
+        }
+        assert names == {label for label, _ in DEFAULT_QUANTILES}
+
+    @staticmethod
+    def bounds():
+        return (1.0, 2.0)
